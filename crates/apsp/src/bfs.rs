@@ -1,0 +1,158 @@
+//! Depth-truncated breadth-first search.
+//!
+//! On the sparse graphs of the paper's evaluation, running one BFS per
+//! source limited to depth `L` costs `O(V (V + E))` in the worst case and far
+//! less in practice (the frontier dies at depth `L`). This is the default
+//! engine behind opacity evaluation and — via per-source reruns — the
+//! incremental evaluator in the `lopacity` crate.
+
+use crate::dist::{DistanceMatrix, INF};
+use crate::MAX_L;
+use lopacity_graph::{Graph, VertexId};
+
+/// Reusable scratch for depth-truncated single-source BFS.
+///
+/// The incremental opacity evaluator re-runs thousands of tiny BFS sweeps
+/// per greedy step; this struct keeps all buffers allocated across runs and
+/// resets only the vertices the previous sweep touched.
+pub struct TruncatedBfs {
+    dist: Vec<u8>,
+    touched: Vec<VertexId>,
+    queue: Vec<VertexId>,
+}
+
+impl TruncatedBfs {
+    /// Scratch sized for graphs of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        TruncatedBfs { dist: vec![INF; n], touched: Vec::new(), queue: Vec::new() }
+    }
+
+    /// Runs a BFS from `source` limited to depth `max_depth`, leaving the
+    /// result readable through [`TruncatedBfs::dist`] until the next run.
+    ///
+    /// # Panics
+    /// Panics when the scratch size does not match the graph, or
+    /// `max_depth > MAX_L`.
+    pub fn run(&mut self, graph: &Graph, source: VertexId, max_depth: u8) {
+        assert!(max_depth <= MAX_L, "max_depth {max_depth} exceeds MAX_L");
+        assert_eq!(self.dist.len(), graph.num_vertices(), "scratch sized for a different graph");
+        // Reset only what the previous run touched.
+        for &v in &self.touched {
+            self.dist[v as usize] = INF;
+        }
+        self.touched.clear();
+        self.queue.clear();
+
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.queue.push(source);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            if du == max_depth {
+                // Vertices at the depth limit have already been recorded;
+                // their neighbours would exceed it.
+                continue;
+            }
+            for &w in graph.neighbors(u) {
+                if self.dist[w as usize] == INF {
+                    self.dist[w as usize] = du + 1;
+                    self.touched.push(w);
+                    self.queue.push(w);
+                }
+            }
+        }
+    }
+
+    /// Truncated distance of `v` from the last run's source.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> u8 {
+        self.dist[v as usize]
+    }
+
+    /// Vertices reached by the last run (including the source), in
+    /// non-decreasing distance order.
+    #[inline]
+    pub fn reached(&self) -> &[VertexId] {
+        &self.touched
+    }
+}
+
+/// Full truncated APSP: one bounded BFS per source.
+pub fn truncated_bfs_apsp(graph: &Graph, l: u8) -> DistanceMatrix {
+    let n = graph.num_vertices();
+    let mut out = DistanceMatrix::new(n);
+    let mut bfs = TruncatedBfs::new(n);
+    for src in 0..n as VertexId {
+        bfs.run(graph, src, l);
+        for &v in bfs.reached() {
+            // Record each pair once, from its smaller endpoint.
+            if v > src {
+                out.set(src, v, bfs.dist(v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopacity_graph::Graph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn truncation_hides_longer_distances() {
+        let g = path(6);
+        let m = truncated_bfs_apsp(&g, 2);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(0, 2), 2);
+        assert_eq!(m.get(0, 3), INF);
+        assert_eq!(m.get(2, 4), 2);
+    }
+
+    #[test]
+    fn depth_zero_reaches_nothing() {
+        let g = path(4);
+        let m = truncated_bfs_apsp(&g, 0);
+        assert_eq!(m.count_within(254), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_resets_previous_run() {
+        let g = Graph::from_edges(5, [(0u32, 1u32), (1, 2), (3, 4)]).unwrap();
+        let mut bfs = TruncatedBfs::new(5);
+        bfs.run(&g, 0, 4);
+        assert_eq!(bfs.dist(2), 2);
+        assert_eq!(bfs.dist(3), INF);
+        bfs.run(&g, 3, 4);
+        assert_eq!(bfs.dist(4), 1);
+        assert_eq!(bfs.dist(0), INF, "stale distance from previous run");
+        assert_eq!(bfs.dist(2), INF, "stale distance from previous run");
+    }
+
+    #[test]
+    fn reached_is_sorted_by_distance() {
+        let g = path(5);
+        let mut bfs = TruncatedBfs::new(5);
+        bfs.run(&g, 2, 3);
+        let dists: Vec<u8> = bfs.reached().iter().map(|&v| bfs.dist(v)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(bfs.reached().len(), 5);
+    }
+
+    #[test]
+    fn disconnected_pairs_stay_inf() {
+        let g = Graph::from_edges(4, [(0u32, 1u32), (2, 3)]).unwrap();
+        let m = truncated_bfs_apsp(&g, 3);
+        assert_eq!(m.get(0, 2), INF);
+        assert_eq!(m.get(1, 3), INF);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(2, 3), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Triangular truncated distance matrix.
+
+use lopacity_graph::VertexId;
+
+/// "Distance greater than L / unreachable" marker in a [`DistanceMatrix`].
+pub const INF: u8 = u8::MAX;
+
+/// A symmetric matrix of truncated geodesic distances, stored as the strict
+/// upper triangle in row-major order (`(i, j)` with `i < j`).
+///
+/// Entry semantics: `d <= L` is stored exactly; anything longer (including
+/// unreachable) is [`INF`]. This is the "distance matrix for path lengths
+/// <= L" of the paper's Algorithms 2 and 3, packed into one byte per pair —
+/// 50 MB for a 10,000-vertex graph, which is what makes the paper's largest
+/// (ACM) experiment feasible in memory.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<u8>,
+}
+
+impl DistanceMatrix {
+    /// A matrix for `n` vertices with every pair initialized to [`INF`].
+    pub fn new(n: usize) -> Self {
+        DistanceMatrix { n, data: vec![INF; n * n.saturating_sub(1) / 2] }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (unordered) pairs: `n (n - 1) / 2`.
+    #[inline]
+    pub fn num_pairs(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat index of the pair `(i, j)`; order-insensitive.
+    ///
+    /// # Panics
+    /// Panics when `i == j` or either id is out of range.
+    #[inline]
+    pub fn index(&self, i: VertexId, j: VertexId) -> usize {
+        let (i, j) = if i < j { (i as usize, j as usize) } else { (j as usize, i as usize) };
+        debug_assert!(i != j, "no diagonal entries: ({i}, {j})");
+        debug_assert!(j < self.n, "pair ({i}, {j}) out of range (n={})", self.n);
+        // Row i occupies (n-1) + (n-2) + ... + (n-i) = i*(2n-i-1)/2 cells.
+        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// Truncated distance between `i` and `j` (0 when `i == j`).
+    #[inline]
+    pub fn get(&self, i: VertexId, j: VertexId) -> u8 {
+        if i == j {
+            return 0;
+        }
+        self.data[self.index(i, j)]
+    }
+
+    /// Sets the truncated distance for a pair.
+    #[inline]
+    pub fn set(&mut self, i: VertexId, j: VertexId, d: u8) {
+        let idx = self.index(i, j);
+        self.data[idx] = d;
+    }
+
+    /// Raw triangle access by flat index.
+    #[inline]
+    pub fn get_flat(&self, idx: usize) -> u8 {
+        self.data[idx]
+    }
+
+    /// Raw triangle mutation by flat index.
+    #[inline]
+    pub fn set_flat(&mut self, idx: usize, d: u8) {
+        self.data[idx] = d;
+    }
+
+    /// Iterates `(i, j, d)` over all stored pairs in row-major order.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (VertexId, VertexId, u8)> + '_ {
+        let n = self.n;
+        (0..n).flat_map(move |i| ((i + 1)..n).map(move |j| (i as VertexId, j as VertexId)))
+            .zip(self.data.iter().copied())
+            .map(|((i, j), d)| (i, j, d))
+    }
+
+    /// Recovers the pair `(i, j)` (with `i < j`) for a flat index.
+    pub fn pair_of(&self, mut idx: usize) -> (VertexId, VertexId) {
+        debug_assert!(idx < self.data.len());
+        let mut i = 0usize;
+        let mut row_len = self.n - 1;
+        while idx >= row_len {
+            idx -= row_len;
+            i += 1;
+            row_len -= 1;
+        }
+        (i as VertexId, (i + 1 + idx) as VertexId)
+    }
+
+    /// Counts pairs with distance `<= l` (i.e., finite truncated entries no
+    /// larger than `l`).
+    pub fn count_within(&self, l: u8) -> usize {
+        self.data.iter().filter(|&&d| d <= l).count()
+    }
+}
+
+impl std::fmt::Debug for DistanceMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "DistanceMatrix(n={})", self.n)?;
+        for i in 0..self.n as VertexId {
+            for j in (i + 1)..self.n as VertexId {
+                let d = self.get(i, j);
+                if d == INF {
+                    write!(f, "  ∞")?;
+                } else {
+                    write!(f, " {d:2}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_bijective_for_small_n() {
+        for n in 0..12usize {
+            let m = DistanceMatrix::new(n);
+            let mut seen = vec![false; m.num_pairs()];
+            for i in 0..n as VertexId {
+                for j in (i + 1)..n as VertexId {
+                    let idx = m.index(i, j);
+                    assert!(!seen[idx], "index collision at ({i}, {j})");
+                    seen[idx] = true;
+                    assert_eq!(m.pair_of(idx), (i, j));
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn get_set_is_order_insensitive() {
+        let mut m = DistanceMatrix::new(5);
+        m.set(3, 1, 2);
+        assert_eq!(m.get(1, 3), 2);
+        assert_eq!(m.get(3, 1), 2);
+        assert_eq!(m.get(2, 2), 0);
+        assert_eq!(m.get(0, 4), INF);
+    }
+
+    #[test]
+    fn count_within_ignores_inf() {
+        let mut m = DistanceMatrix::new(4);
+        m.set(0, 1, 1);
+        m.set(0, 2, 2);
+        m.set(1, 2, 3);
+        assert_eq!(m.count_within(1), 1);
+        assert_eq!(m.count_within(2), 2);
+        assert_eq!(m.count_within(3), 3);
+        assert_eq!(m.count_within(254), 3);
+    }
+
+    #[test]
+    fn iter_pairs_matches_get() {
+        let mut m = DistanceMatrix::new(4);
+        m.set(1, 2, 7);
+        let collected: Vec<_> = m.iter_pairs().collect();
+        assert_eq!(collected.len(), 6);
+        assert!(collected.contains(&(1, 2, 7)));
+        assert!(collected.contains(&(0, 3, INF)));
+        for (i, j, d) in collected {
+            assert_eq!(m.get(i, j), d);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_vertex_matrices_are_empty() {
+        assert_eq!(DistanceMatrix::new(0).num_pairs(), 0);
+        assert_eq!(DistanceMatrix::new(1).num_pairs(), 0);
+    }
+}

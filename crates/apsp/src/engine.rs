@@ -1,0 +1,110 @@
+//! Engine selection.
+
+use crate::dist::DistanceMatrix;
+use crate::{bfs, floyd, pointer, pruned};
+use lopacity_graph::Graph;
+
+/// Which algorithm computes the truncated distance matrix.
+///
+/// All engines are interchangeable (property-tested to produce identical
+/// output); they differ only in cost profile:
+///
+/// | engine | complexity | sweet spot |
+/// |---|---|---|
+/// | `TruncatedBfs` | `O(V (V + E))` | sparse graphs (default) |
+/// | `FloydWarshall` | `O(V^3)` | reference / dense tiny graphs |
+/// | `PrunedFloydWarshall` | `O(V^3)` w/ pruning | paper Algorithm 2 |
+/// | `PointerFloydWarshall` | output-sensitive | paper Algorithm 3 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApspEngine {
+    /// One depth-limited BFS per source (default).
+    #[default]
+    TruncatedBfs,
+    /// Classic Floyd–Warshall, then clamp to `L`.
+    FloydWarshall,
+    /// Paper Algorithm 2.
+    PrunedFloydWarshall,
+    /// Paper Algorithm 3.
+    PointerFloydWarshall,
+}
+
+impl ApspEngine {
+    /// Computes the truncated distance matrix of `graph` for threshold `l`.
+    pub fn compute(self, graph: &Graph, l: u8) -> DistanceMatrix {
+        match self {
+            ApspEngine::TruncatedBfs => bfs::truncated_bfs_apsp(graph, l),
+            ApspEngine::FloydWarshall => floyd::floyd_warshall(graph).truncate(l),
+            ApspEngine::PrunedFloydWarshall => pruned::l_pruned_floyd_warshall(graph, l),
+            ApspEngine::PointerFloydWarshall => pointer::pointer_floyd_warshall(graph, l),
+        }
+    }
+
+    /// All engines, for cross-checking and benches.
+    pub const ALL: [ApspEngine; 4] = [
+        ApspEngine::TruncatedBfs,
+        ApspEngine::FloydWarshall,
+        ApspEngine::PrunedFloydWarshall,
+        ApspEngine::PointerFloydWarshall,
+    ];
+
+    /// Short stable name (used in bench ids and CSV columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            ApspEngine::TruncatedBfs => "bfs",
+            ApspEngine::FloydWarshall => "floyd",
+            ApspEngine::PrunedFloydWarshall => "pruned-fw",
+            ApspEngine::PointerFloydWarshall => "pointer-fw",
+        }
+    }
+}
+
+impl std::str::FromStr for ApspEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bfs" => Ok(ApspEngine::TruncatedBfs),
+            "floyd" => Ok(ApspEngine::FloydWarshall),
+            "pruned-fw" => Ok(ApspEngine::PrunedFloydWarshall),
+            "pointer-fw" => Ok(ApspEngine::PointerFloydWarshall),
+            other => Err(format!(
+                "unknown apsp engine {other:?} (expected bfs, floyd, pruned-fw or pointer-fw)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopacity_graph::Graph;
+
+    #[test]
+    fn all_engines_agree_on_a_fixed_graph() {
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap();
+        for l in 0..=4u8 {
+            let reference = ApspEngine::FloydWarshall.compute(&g, l);
+            for engine in ApspEngine::ALL {
+                assert_eq!(engine.compute(&g, l), reference, "engine {} at L={l}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for engine in ApspEngine::ALL {
+            let parsed: ApspEngine = engine.name().parse().unwrap();
+            assert_eq!(parsed, engine);
+        }
+        assert!("nope".parse::<ApspEngine>().is_err());
+    }
+
+    #[test]
+    fn default_is_bfs() {
+        assert_eq!(ApspEngine::default(), ApspEngine::TruncatedBfs);
+    }
+}

@@ -1,0 +1,171 @@
+//! Classic Floyd–Warshall on the triangular matrix (reference engine).
+//!
+//! Computes *exact* geodesic distances (no truncation), which Algorithm 1's
+//! illustration (Figure 4a) and the geodesic-distribution utility metric
+//! need. The truncated engines are validated against a clamped version of
+//! this output.
+
+use crate::dist::DistanceMatrix;
+use lopacity_graph::{Graph, VertexId};
+
+/// "Unreachable" marker in a [`FullDistanceMatrix`].
+pub const INF_FULL: u16 = u16::MAX;
+
+/// Untruncated symmetric distance matrix (`u16` entries; diameters beyond
+/// 65534 do not occur in graphs this workspace targets).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FullDistanceMatrix {
+    n: usize,
+    data: Vec<u16>,
+}
+
+impl FullDistanceMatrix {
+    /// All-[`INF_FULL`] matrix for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        FullDistanceMatrix { n, data: vec![INF_FULL; n * n.saturating_sub(1) / 2] }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn index(&self, i: VertexId, j: VertexId) -> usize {
+        let (i, j) = if i < j { (i as usize, j as usize) } else { (j as usize, i as usize) };
+        debug_assert!(i != j && j < self.n);
+        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// Exact distance between a pair (0 on the diagonal).
+    #[inline]
+    pub fn get(&self, i: VertexId, j: VertexId) -> u16 {
+        if i == j {
+            0
+        } else {
+            self.data[self.index(i, j)]
+        }
+    }
+
+    /// Sets the distance for a pair.
+    #[inline]
+    pub fn set(&mut self, i: VertexId, j: VertexId, d: u16) {
+        let idx = self.index(i, j);
+        self.data[idx] = d;
+    }
+
+    /// Iterates `(i, j, d)` over all pairs, `i < j`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (VertexId, VertexId, u16)> + '_ {
+        let n = self.n;
+        (0..n).flat_map(move |i| ((i + 1)..n).map(move |j| (i as VertexId, j as VertexId)))
+            .zip(self.data.iter().copied())
+            .map(|((i, j), d)| (i, j, d))
+    }
+
+    /// Truncates to a byte matrix: entries `> l` become [`crate::INF`].
+    pub fn truncate(&self, l: u8) -> DistanceMatrix {
+        let mut out = DistanceMatrix::new(self.n);
+        for (i, j, d) in self.iter_pairs() {
+            if d <= l as u16 {
+                out.set(i, j, d as u8);
+            }
+        }
+        out
+    }
+}
+
+/// Classic Floyd–Warshall over the triangular adjacency matrix, exactly as
+/// invoked at the start of Section 5.1 (each edge has weight 1).
+pub fn floyd_warshall(graph: &Graph) -> FullDistanceMatrix {
+    let n = graph.num_vertices();
+    let mut m = FullDistanceMatrix::new(n);
+    for e in graph.edges() {
+        m.set(e.u(), e.v(), 1);
+    }
+    for k in 0..n as VertexId {
+        for i in 0..n as VertexId {
+            if i == k {
+                continue;
+            }
+            let dik = m.get(i, k);
+            if dik == INF_FULL {
+                continue;
+            }
+            for j in (i + 1)..n as VertexId {
+                if j == k {
+                    continue;
+                }
+                let dkj = m.get(k, j);
+                if dkj == INF_FULL {
+                    continue;
+                }
+                let through = dik + dkj;
+                if through < m.get(i, j) {
+                    m.set(i, j, through);
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::INF;
+    use lopacity_graph::Graph;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reproduces_figure_4a_distance_matrix() {
+        // Figure 4a of the paper (1-indexed there; 0-indexed here).
+        let m = floyd_warshall(&paper_graph());
+        let expected: [[u16; 7]; 7] = [
+            [0, 1, 1, 2, 2, 2, 3],
+            [1, 0, 1, 1, 1, 2, 3],
+            [1, 1, 0, 2, 1, 1, 2],
+            [2, 1, 2, 0, 1, 2, 3],
+            [2, 1, 1, 1, 0, 1, 2],
+            [2, 2, 1, 2, 1, 0, 1],
+            [3, 3, 2, 3, 2, 1, 0],
+        ];
+        for i in 0..7u32 {
+            for j in 0..7u32 {
+                assert_eq!(m.get(i, j), expected[i as usize][j as usize], "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_inf() {
+        let g = Graph::from_edges(4, [(0u32, 1u32), (2, 3)]).unwrap();
+        let m = floyd_warshall(&g);
+        assert_eq!(m.get(0, 2), INF_FULL);
+        assert_eq!(m.get(1, 3), INF_FULL);
+        assert_eq!(m.get(0, 1), 1);
+    }
+
+    #[test]
+    fn truncate_clamps_long_distances() {
+        let m = floyd_warshall(&paper_graph());
+        let t = m.truncate(1);
+        assert_eq!(t.get(0, 1), 1);
+        assert_eq!(t.get(0, 3), INF);
+        assert_eq!(t.count_within(1), paper_graph().num_edges());
+    }
+
+    #[test]
+    fn empty_graph_is_all_inf() {
+        let m = floyd_warshall(&Graph::new(3));
+        for (_, _, d) in m.iter_pairs() {
+            assert_eq!(d, INF_FULL);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Algorithm 3: the pointer-based L-pruned Floyd–Warshall.
+//!
+//! Algorithm 2 still scans entire rows/columns of the triangular matrix and
+//! re-checks `< L` predicates on every pass. The paper's refinement threads
+//! linked lists through the cells whose value is `< L` — one list per row
+//! and one per column — so iteration `k` touches only the sub-threshold
+//! cells of line `k` (column `k` up to the diagonal, then row `k`). When a
+//! relaxation drives a cell's value below `L` for the first time, the cell
+//! is spliced into its row and column lists ("update connections of cell
+//! new" in the pseudo-code).
+
+use crate::dist::{DistanceMatrix, INF};
+use crate::MAX_L;
+use lopacity_graph::Graph;
+
+const NONE: u32 = u32::MAX;
+
+/// Truncated APSP via the pointer-based L-pruned Floyd–Warshall
+/// (paper Algorithm 3). Output is identical to
+/// [`crate::l_pruned_floyd_warshall`]; only the traversal strategy differs.
+///
+/// # Panics
+/// Panics when `l > MAX_L`.
+pub fn pointer_floyd_warshall(graph: &Graph, l: u8) -> DistanceMatrix {
+    assert!(l <= MAX_L, "l {l} exceeds MAX_L");
+    let n = graph.num_vertices();
+    let mut dist = DistanceMatrix::new(n);
+    if l == 0 || n < 2 {
+        return dist;
+    }
+    for e in graph.edges() {
+        dist.set(e.u(), e.v(), 1);
+    }
+
+    let mut lists = CellLists::new(n);
+    // Pre-processing: link every sub-threshold cell (initially the edges,
+    // when 1 < L) along its row and column. Cells are visited in row-major
+    // order, so appending keeps both lists sorted.
+    if 1 < l {
+        let mut row_tail = vec![NONE; n];
+        let mut col_tail = vec![NONE; n];
+        for e in graph.edges() {
+            let idx = dist.index(e.u(), e.v()) as u32;
+            lists.append_sorted(idx, e.u(), e.v(), &mut row_tail, &mut col_tail);
+        }
+    }
+
+    for k in 0..n as u32 {
+        let mut out = lists.first_of_line(k);
+        while out != NONE {
+            let d_out = dist.get_flat(out as usize);
+            let a = lists.other_endpoint(out, k);
+            let mut inn = lists.advance(out, k);
+            while inn != NONE {
+                let d_in = dist.get_flat(inn as usize);
+                let sum = d_out + d_in;
+                if sum <= l {
+                    let b = lists.other_endpoint(inn, k);
+                    debug_assert!(a != b && a != k && b != k);
+                    let t = dist.index(a, b);
+                    let current = dist.get_flat(t);
+                    if sum < current {
+                        if sum < l && current >= l {
+                            lists.insert(t as u32, a.min(b), a.max(b));
+                        }
+                        dist.set_flat(t, sum);
+                    }
+                }
+                inn = lists.advance(inn, k);
+            }
+            out = lists.advance(out, k);
+        }
+    }
+    debug_assert!(dist.iter_pairs().all(|(_, _, d)| d == INF || d <= l));
+    dist
+}
+
+/// Row/column linked lists over the triangular cell array.
+struct CellLists {
+    n: usize,
+    /// Row index per cell (the column is recovered arithmetically).
+    row_of: Vec<u32>,
+    /// Start offset of each row in the flat triangle.
+    row_start: Vec<usize>,
+    /// Next sub-threshold cell in the same row (larger column), or NONE.
+    next_row: Vec<u32>,
+    /// Next sub-threshold cell in the same column (larger row), or NONE.
+    next_col: Vec<u32>,
+    row_head: Vec<u32>,
+    col_head: Vec<u32>,
+}
+
+impl CellLists {
+    fn new(n: usize) -> Self {
+        let cells = n * (n - 1) / 2;
+        let mut row_of = vec![0u32; cells];
+        let mut row_start = vec![0usize; n];
+        let mut offset = 0usize;
+        for (i, start) in row_start.iter_mut().enumerate() {
+            *start = offset;
+            let row_len = n - 1 - i;
+            row_of[offset..offset + row_len].fill(i as u32);
+            offset += row_len;
+        }
+        CellLists {
+            n,
+            row_of,
+            row_start,
+            next_row: vec![NONE; cells],
+            next_col: vec![NONE; cells],
+            row_head: vec![NONE; n],
+            col_head: vec![NONE; n],
+        }
+    }
+
+    #[inline]
+    fn cell_col(&self, idx: u32) -> u32 {
+        let i = self.row_of[idx as usize] as usize;
+        (idx as usize - self.row_start[i] + i + 1) as u32
+    }
+
+    /// For a cell on line `k`, the endpoint that is not `k`.
+    #[inline]
+    fn other_endpoint(&self, idx: u32, k: u32) -> u32 {
+        let i = self.row_of[idx as usize];
+        if i == k {
+            self.cell_col(idx)
+        } else {
+            debug_assert_eq!(self.cell_col(idx), k);
+            i
+        }
+    }
+
+    /// First sub-threshold cell of line `k`: the column-`k` list (cells
+    /// `(i, k)`, `i < k`), falling through to the row-`k` list.
+    fn first_of_line(&self, k: u32) -> u32 {
+        if self.col_head[k as usize] != NONE {
+            self.col_head[k as usize]
+        } else {
+            self.row_head[k as usize]
+        }
+    }
+
+    /// Next cell after `idx` along line `k`, switching from the column part
+    /// to the row part at the diagonal (paper Algorithm 3, lines 17-24).
+    fn advance(&self, idx: u32, k: u32) -> u32 {
+        if self.row_of[idx as usize] == k {
+            self.next_row[idx as usize]
+        } else {
+            let nxt = self.next_col[idx as usize];
+            if nxt != NONE {
+                nxt
+            } else {
+                self.row_head[k as usize]
+            }
+        }
+    }
+
+    /// Appends a cell during pre-processing (input arrives in row-major
+    /// order, so plain tail appends keep lists sorted).
+    fn append_sorted(&mut self, idx: u32, i: u32, j: u32, row_tail: &mut [u32], col_tail: &mut [u32]) {
+        debug_assert!(i < j);
+        if row_tail[i as usize] == NONE {
+            self.row_head[i as usize] = idx;
+        } else {
+            self.next_row[row_tail[i as usize] as usize] = idx;
+        }
+        row_tail[i as usize] = idx;
+        if col_tail[j as usize] == NONE {
+            self.col_head[j as usize] = idx;
+        } else {
+            self.next_col[col_tail[j as usize] as usize] = idx;
+        }
+        col_tail[j as usize] = idx;
+    }
+
+    /// Splices a newly sub-threshold cell into its row and column lists,
+    /// keeping them sorted (sequential scan, as the paper describes).
+    fn insert(&mut self, idx: u32, i: u32, j: u32) {
+        debug_assert!(i < j);
+        // Row i, sorted by column.
+        let head = self.row_head[i as usize];
+        if head == NONE || self.cell_col(head) > j {
+            self.next_row[idx as usize] = head;
+            self.row_head[i as usize] = idx;
+        } else {
+            debug_assert_ne!(self.cell_col(head), j, "cell already linked");
+            let mut cur = head;
+            while self.next_row[cur as usize] != NONE
+                && self.cell_col(self.next_row[cur as usize]) < j
+            {
+                cur = self.next_row[cur as usize];
+            }
+            self.next_row[idx as usize] = self.next_row[cur as usize];
+            self.next_row[cur as usize] = idx;
+        }
+        // Column j, sorted by row.
+        let head = self.col_head[j as usize];
+        if head == NONE || self.row_of[head as usize] > i {
+            self.next_col[idx as usize] = head;
+            self.col_head[j as usize] = idx;
+        } else {
+            debug_assert_ne!(self.row_of[head as usize], i, "cell already linked");
+            let mut cur = head;
+            while self.next_col[cur as usize] != NONE
+                && self.row_of[self.next_col[cur as usize] as usize] < i
+            {
+                cur = self.next_col[cur as usize];
+            }
+            self.next_col[idx as usize] = self.next_col[cur as usize];
+            self.next_col[cur as usize] = idx;
+        }
+        let _ = self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floyd::floyd_warshall;
+    use crate::pruned::l_pruned_floyd_warshall;
+    use lopacity_graph::Graph;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_pruned_and_classic_on_paper_graph() {
+        let g = paper_graph();
+        let full = floyd_warshall(&g);
+        for l in 0..=6u8 {
+            let pointer = pointer_floyd_warshall(&g, l);
+            assert_eq!(pointer, full.truncate(l), "vs classic, L = {l}");
+            assert_eq!(pointer, l_pruned_floyd_warshall(&g, l), "vs pruned, L = {l}");
+        }
+    }
+
+    #[test]
+    fn l_one_is_pure_adjacency() {
+        let g = paper_graph();
+        let m = pointer_floyd_warshall(&g, 1);
+        assert_eq!(m.count_within(1), g.num_edges());
+    }
+
+    #[test]
+    fn star_graph_distances() {
+        // All leaf pairs are at distance 2 through the hub.
+        let g = Graph::from_edges(5, [(0u32, 1u32), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let m = pointer_floyd_warshall(&g, 2);
+        for i in 1..5u32 {
+            assert_eq!(m.get(0, i), 1);
+            for j in (i + 1)..5u32 {
+                assert_eq!(m.get(i, j), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn long_cycle_truncates_far_side() {
+        let g = Graph::from_edges(8, (0..8u32).map(|i| (i, (i + 1) % 8))).unwrap();
+        let m = pointer_floyd_warshall(&g, 3);
+        assert_eq!(m.get(0, 3), 3);
+        assert_eq!(m.get(0, 4), INF); // distance 4 > L
+        assert_eq!(m.get(0, 5), 3); // around the other side
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        for n in 0..3usize {
+            let g = Graph::new(n);
+            let m = pointer_floyd_warshall(&g, 4);
+            assert_eq!(m.count_within(MAX_L), 0);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Algorithm 2: the L-pruned Floyd–Warshall.
+//!
+//! Identical relaxation order to the classic algorithm, but any relaxation
+//! that cannot produce a distance `<= L` is skipped: a shortest path of
+//! length `<= L` through intermediate `k` splits into two parts of length
+//! `>= 1` each, so both parts are `< L` — hence cells already at `>= L`
+//! never participate as inputs. Paths from/to `k` itself are also skipped,
+//! mirroring the pseudo-code's `i != k` / `j != k` guards.
+
+use crate::dist::DistanceMatrix;
+use crate::MAX_L;
+use lopacity_graph::{Graph, VertexId};
+
+/// Truncated APSP via the L-pruned Floyd–Warshall (paper Algorithm 2).
+///
+/// Produces exactly the distances `<= l`; longer or unreachable pairs are
+/// [`crate::INF`].
+///
+/// # Panics
+/// Panics when `l > MAX_L`.
+pub fn l_pruned_floyd_warshall(graph: &Graph, l: u8) -> DistanceMatrix {
+    assert!(l <= MAX_L, "l {l} exceeds MAX_L");
+    let n = graph.num_vertices();
+    let mut m = DistanceMatrix::new(n);
+    if l == 0 {
+        return m;
+    }
+    for e in graph.edges() {
+        m.set(e.u(), e.v(), 1);
+    }
+    for k in 0..n as VertexId {
+        for i in 0..n as VertexId {
+            if i == k {
+                continue;
+            }
+            let dik = m.get(i, k);
+            // Pruning: a useful first leg must leave room for at least one
+            // more edge within the budget L.
+            if dik >= l {
+                continue;
+            }
+            for j in (i + 1)..n as VertexId {
+                if j == k {
+                    continue;
+                }
+                let dkj = m.get(k, j);
+                if dkj >= l {
+                    continue;
+                }
+                let sum = dik + dkj;
+                if sum <= l && sum < m.get(i, j) {
+                    m.set(i, j, sum);
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::INF;
+    use crate::floyd::floyd_warshall;
+    use lopacity_graph::Graph;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_clamped_classic_floyd_warshall() {
+        let g = paper_graph();
+        let full = floyd_warshall(&g);
+        for l in 0..=5u8 {
+            assert_eq!(l_pruned_floyd_warshall(&g, l), full.truncate(l), "L = {l}");
+        }
+    }
+
+    #[test]
+    fn l_one_equals_adjacency() {
+        let g = paper_graph();
+        let m = l_pruned_floyd_warshall(&g, 1);
+        for (i, j, d) in m.iter_pairs() {
+            if g.has_edge(i, j) {
+                assert_eq!(d, 1);
+            } else {
+                assert_eq!(d, INF);
+            }
+        }
+    }
+
+    #[test]
+    fn l_zero_is_empty() {
+        let m = l_pruned_floyd_warshall(&paper_graph(), 0);
+        assert_eq!(m.count_within(MAX_L), 0);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = Graph::from_edges(6, [(0u32, 1u32), (1, 2), (3, 4)]).unwrap();
+        let m = l_pruned_floyd_warshall(&g, 3);
+        assert_eq!(m.get(0, 2), 2);
+        assert_eq!(m.get(0, 4), INF);
+        assert_eq!(m.get(3, 4), 1);
+        assert_eq!(m.get(0, 5), INF);
+    }
+}

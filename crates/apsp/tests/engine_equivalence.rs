@@ -1,0 +1,72 @@
+//! Property tests: the four APSP engines are interchangeable.
+
+use lopacity_apsp::{ApspEngine, INF};
+use lopacity_graph::Graph;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pair = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(pair, 0..n * 3).prop_map(move |pairs| {
+            let mut g = Graph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_agree_on_random_graphs(g in arb_graph(20), l in 0u8..6) {
+        let reference = ApspEngine::FloydWarshall.compute(&g, l);
+        for engine in ApspEngine::ALL {
+            prop_assert_eq!(
+                &engine.compute(&g, l),
+                &reference,
+                "engine {} disagrees at L={}",
+                engine.name(),
+                l
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_entries_never_exceed_l(g in arb_graph(20), l in 0u8..6) {
+        let m = ApspEngine::TruncatedBfs.compute(&g, l);
+        for (_, _, d) in m.iter_pairs() {
+            prop_assert!(d == INF || d <= l);
+        }
+    }
+
+    #[test]
+    fn adjacency_pairs_have_distance_one(g in arb_graph(16), l in 1u8..5) {
+        let m = ApspEngine::PointerFloydWarshall.compute(&g, l);
+        for e in g.edges() {
+            prop_assert_eq!(m.get(e.u(), e.v()), 1);
+        }
+    }
+
+    #[test]
+    fn distances_are_monotone_in_l(g in arb_graph(16), l in 1u8..5) {
+        // Raising the threshold can only reveal pairs, never change a value
+        // below the old threshold.
+        let lo = ApspEngine::TruncatedBfs.compute(&g, l);
+        let hi = ApspEngine::TruncatedBfs.compute(&g, l + 1);
+        for (i, j, d) in lo.iter_pairs() {
+            if d != INF {
+                prop_assert_eq!(hi.get(i, j), d);
+            }
+        }
+        for (i, j, d) in hi.iter_pairs() {
+            if d != INF && d <= l {
+                prop_assert_eq!(lo.get(i, j), d);
+            }
+        }
+    }
+}

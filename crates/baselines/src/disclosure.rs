@@ -1,0 +1,164 @@
+//! Link-disclosure bookkeeping (Zhang & Zhang's model at `L = 1`).
+
+use lopacity::{LoAssessment, TypeSpec, TypeSystem};
+use lopacity_graph::{Edge, Graph};
+
+/// Per-degree-pair-type edge counts: the disclosure of type `T` is
+/// `#edges of type T / |T|`, which equals `LO_G(T)` at `L = 1`.
+///
+/// Types are frozen from the *original* degrees at construction, mirroring
+/// both Zhang & Zhang's adversary (who knows original degrees) and the
+/// L-opacity publication model.
+pub struct LinkDisclosure {
+    types: TypeSystem,
+    counts: Vec<u64>,
+}
+
+impl LinkDisclosure {
+    /// Builds the disclosure table for `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        let types = TypeSystem::build(graph, &TypeSpec::DegreePairs);
+        let mut counts = vec![0u64; types.num_types()];
+        for e in graph.edges() {
+            if let Some(t) = types.type_of(e.u(), e.v()) {
+                counts[t as usize] += 1;
+            }
+        }
+        LinkDisclosure { types, counts }
+    }
+
+    /// The frozen type system.
+    pub fn types(&self) -> &TypeSystem {
+        &self.types
+    }
+
+    /// Current edge count of type `t`.
+    pub fn count_of(&self, t: u32) -> u64 {
+        self.counts[t as usize]
+    }
+
+    /// All per-type edge counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Maximum disclosure and its multiplicity.
+    pub fn max_disclosure(&self) -> LoAssessment {
+        LoAssessment::from_counts(&self.counts, self.types.denominators())
+    }
+
+    /// Sum of all per-type disclosures (Zhang & Zhang's "total link
+    /// disclosure", the GADED-Max tie-breaker).
+    pub fn total_disclosure(&self) -> f64 {
+        self.counts
+            .iter()
+            .zip(self.types.denominators())
+            .filter(|&(_, &d)| d > 0)
+            .map(|(&c, &d)| c as f64 / d as f64)
+            .sum()
+    }
+
+    /// Whether the edge participates in a type whose disclosure exceeds θ.
+    pub fn edge_violates(&self, e: Edge, theta: f64) -> bool {
+        match self.types.type_of(e.u(), e.v()) {
+            None => false,
+            Some(t) => {
+                let d = self.types.denominators()[t as usize];
+                d > 0 && self.counts[t as usize] as f64 > theta * d as f64 + 1e-9
+            }
+        }
+    }
+
+    /// `(max, total)` disclosure if `e` were removed. O(#types).
+    pub fn after_remove(&self, e: Edge) -> (LoAssessment, f64) {
+        self.after_delta(e, -1)
+    }
+
+    /// `(max, total)` disclosure if `e` were inserted. O(#types).
+    pub fn after_insert(&self, e: Edge) -> (LoAssessment, f64) {
+        self.after_delta(e, 1)
+    }
+
+    fn after_delta(&self, e: Edge, delta: i64) -> (LoAssessment, f64) {
+        let mut counts = self.counts.clone();
+        if let Some(t) = self.types.type_of(e.u(), e.v()) {
+            let slot = &mut counts[t as usize];
+            *slot = (*slot as i64 + delta) as u64;
+        }
+        let max = LoAssessment::from_counts(&counts, self.types.denominators());
+        let total = counts
+            .iter()
+            .zip(self.types.denominators())
+            .filter(|&(_, &d)| d > 0)
+            .map(|(&c, &d)| c as f64 / d as f64)
+            .sum();
+        (max, total)
+    }
+
+    /// Commits an edge removal.
+    pub fn commit_remove(&mut self, e: Edge) {
+        if let Some(t) = self.types.type_of(e.u(), e.v()) {
+            self.counts[t as usize] -= 1;
+        }
+    }
+
+    /// Commits an edge insertion.
+    pub fn commit_insert(&mut self, e: Edge) {
+        if let Some(t) = self.types.type_of(e.u(), e.v()) {
+            self.counts[t as usize] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_l1_opacity() {
+        let g = paper_graph();
+        let ld = LinkDisclosure::new(&g);
+        let report = lopacity::opacity_report(&g, &TypeSpec::DegreePairs, 1);
+        assert_eq!(ld.max_disclosure().ratio(), report.max_lo.ratio());
+        assert_eq!(ld.max_disclosure().n_at_max(), report.max_lo.n_at_max());
+    }
+
+    #[test]
+    fn after_remove_matches_commit() {
+        let g = paper_graph();
+        let mut ld = LinkDisclosure::new(&g);
+        let e = Edge::new(1, 2);
+        let (predicted, _) = ld.after_remove(e);
+        ld.commit_remove(e);
+        assert_eq!(ld.max_disclosure().ratio(), predicted.ratio());
+    }
+
+    #[test]
+    fn total_disclosure_decreases_on_removal() {
+        let g = paper_graph();
+        let ld = LinkDisclosure::new(&g);
+        let before = ld.total_disclosure();
+        let (_, after) = ld.after_remove(Edge::new(0, 1));
+        assert!(after < before);
+    }
+
+    #[test]
+    fn edge_violates_tracks_theta() {
+        let g = paper_graph();
+        let ld = LinkDisclosure::new(&g);
+        // Edge (5,6) is the only P{1,3} pair: disclosure 1.0.
+        assert!(ld.edge_violates(Edge::new(5, 6), 0.9));
+        assert!(!ld.edge_violates(Edge::new(5, 6), 1.0));
+        // P{2,4} edges have disclosure 2/3.
+        assert!(ld.edge_violates(Edge::new(0, 1), 0.5));
+        assert!(!ld.edge_violates(Edge::new(0, 1), 0.7));
+    }
+}

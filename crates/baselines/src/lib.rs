@@ -1,0 +1,27 @@
+//! Competing heuristics of Zhang & Zhang, *Edge anonymity in social network
+//! graphs* (CSE 2009) — the comparison baselines of the paper's evaluation
+//! (Section 6).
+//!
+//! Their model limits an adversary's confidence that a **single edge**
+//! connects two individuals of given degrees; for `L = 1` and degree-pair
+//! types their *link disclosure* coincides exactly with `LO_G(T)`, which is
+//! why the paper compares against them only at `L = 1`.
+//!
+//! Three heuristics are reproduced as described in Section 6 of the
+//! L-opacity paper:
+//!
+//! * [`gaded_rand`] — removes a uniformly random edge among those
+//!   participating in a disclosure above θ;
+//! * [`gaded_max`] — removes the edge with the maximum reduction of the
+//!   maximum link disclosure, tie-broken by the minimum total disclosure;
+//! * [`gades()`](crate::gades()) — degree-preserving edge swaps that reduce the maximum
+//!   disclosure; gives up when no improving swap exists (the paper observes
+//!   it "cannot find any L-opaque graph unless returning an empty graph").
+
+pub mod disclosure;
+pub mod gaded;
+pub mod gades;
+
+pub use disclosure::LinkDisclosure;
+pub use gaded::{gaded_max, gaded_rand};
+pub use gades::gades;

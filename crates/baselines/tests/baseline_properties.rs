@@ -1,0 +1,97 @@
+//! Property tests: the Zhang & Zhang heuristics honour their contracts on
+//! random graphs.
+
+use lopacity_baselines::{gaded_max, gaded_rand, gades, LinkDisclosure};
+use lopacity_graph::Graph;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4..=max_n).prop_flat_map(|n| {
+        let pair = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(pair, 0..n * 2).prop_map(move |pairs| {
+            let mut g = Graph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gaded_rand_always_achieves_and_only_removes(
+        g in arb_graph(14),
+        theta in 0.2f64..0.9,
+        seed in any::<u64>()
+    ) {
+        let out = gaded_rand(&g, theta, seed);
+        // Pure deletion can always fall to the empty graph, so it must
+        // terminate with the threshold met.
+        prop_assert!(out.achieved);
+        prop_assert!(out.inserted.is_empty());
+        let ld = LinkDisclosure::new(&g);
+        let _ = ld; // types frozen from original degrees
+        let cert = lopacity::opacity::opacity_report_against_original(
+            &g, &out.graph, &lopacity::TypeSpec::DegreePairs, 1);
+        prop_assert!(cert.max_lo.satisfies(theta));
+    }
+
+    #[test]
+    fn gaded_max_achieves_deterministically(g in arb_graph(14), theta in 0.3f64..0.9) {
+        // (Greedy max-reduction does NOT always need fewer removals than a
+        // lucky random order — proptest found counterexamples — so the only
+        // honest contracts are: achievement, pure deletion, determinism.)
+        let a = gaded_max(&g, theta);
+        let b = gaded_max(&g, theta);
+        prop_assert!(a.achieved);
+        prop_assert!(a.inserted.is_empty());
+        prop_assert!(a.removed.len() <= g.num_edges());
+        prop_assert_eq!(a.removed, b.removed);
+        let cert = lopacity::opacity::opacity_report_against_original(
+            &g, &a.graph, &lopacity::TypeSpec::DegreePairs, 1);
+        prop_assert!(cert.max_lo.satisfies(theta));
+    }
+
+    #[test]
+    fn gades_preserves_every_degree(g in arb_graph(12), theta in 0.2f64..0.9) {
+        let out = gades(&g, theta);
+        prop_assert_eq!(out.graph.degree_sequence(), g.degree_sequence());
+        prop_assert!(out.graph.check_invariants().is_ok());
+        // Honest reporting: achieved iff the final disclosure satisfies θ.
+        let ld = LinkDisclosure::new(&out.graph);
+        let _ = ld;
+        let cert = lopacity::opacity::opacity_report_against_original(
+            &g, &out.graph, &lopacity::TypeSpec::DegreePairs, 1);
+        prop_assert_eq!(out.achieved, cert.max_lo.satisfies(theta));
+    }
+
+    #[test]
+    fn gades_edit_lists_replay(g in arb_graph(12), theta in 0.3f64..0.9) {
+        let out = gades(&g, theta);
+        let mut replay = g.clone();
+        for e in &out.removed {
+            prop_assert!(replay.remove_edge(e.u(), e.v()));
+        }
+        for e in &out.inserted {
+            prop_assert!(replay.add_edge(e.u(), e.v()));
+        }
+        prop_assert_eq!(replay, out.graph);
+    }
+
+    #[test]
+    fn disclosure_deltas_match_commits(g in arb_graph(12)) {
+        prop_assume!(g.num_edges() > 0);
+        let mut ld = LinkDisclosure::new(&g);
+        for e in g.edge_vec() {
+            let (predicted, _) = ld.after_remove(e);
+            ld.commit_remove(e);
+            prop_assert_eq!(ld.max_disclosure().ratio(), predicted.ratio());
+            ld.commit_insert(e);
+        }
+    }
+}

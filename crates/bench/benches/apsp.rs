@@ -1,0 +1,57 @@
+//! APSP engine ablation (paper Section 5.1.2): classic Floyd–Warshall vs
+//! Algorithm 2 (L-pruned) vs Algorithm 3 (pointer-based) vs truncated BFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopacity_apsp::ApspEngine;
+use lopacity_gen::Dataset;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp");
+    for &n in &[100usize, 300] {
+        for l in [2u8, 4] {
+            let g = Dataset::Gnutella.generate(n, 7);
+            for engine in ApspEngine::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/L{l}", engine.name()), n),
+                    &g,
+                    |b, g| b.iter(|| black_box(engine.compute(g, l))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_density_sensitivity(c: &mut Criterion) {
+    // The pointer variant's advantage grows as fewer cells stay below L;
+    // compare sparse vs dense inputs at fixed n.
+    let mut group = c.benchmark_group("apsp_density");
+    let n = 200;
+    for (label, avg_deg) in [("sparse", 3.0), ("dense", 20.0)] {
+        let m = (avg_deg * n as f64 / 2.0) as usize;
+        let g = lopacity_gen::er::gnm(n, m, 11);
+        for engine in [ApspEngine::PrunedFloydWarshall, ApspEngine::PointerFloydWarshall] {
+            group.bench_function(format!("{}/{label}", engine.name()), |b| {
+                b.iter(|| black_box(engine.compute(&g, 2)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the workspace-wide capture fast: shape comparisons need
+    // stable medians, not publication-grade confidence intervals.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_engines, bench_density_sensitivity
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Generator throughput: every random-graph family at 1000 vertices, plus
+//! the calibrated dataset stand-ins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopacity_gen::ba::{holme_kim, BaParams};
+use lopacity_gen::config_model::configuration_model;
+use lopacity_gen::er::{gnm, gnp};
+use lopacity_gen::powerlaw::power_law_degrees;
+use lopacity_gen::rmat::{rmat, RmatParams};
+use lopacity_gen::ws::watts_strogatz;
+use lopacity_gen::Dataset;
+use std::hint::black_box;
+
+fn bench_families(c: &mut Criterion) {
+    let n = 1000usize;
+    let m = 4000usize;
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("gnm", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(gnm(n, m, seed))
+        })
+    });
+    group.bench_function("gnp", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(gnp(n, 0.008, seed))
+        })
+    });
+    group.bench_function("holme_kim", |b| {
+        let params = BaParams::for_average_degree(8.0, 0.5);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(holme_kim(n, params, seed))
+        })
+    });
+    group.bench_function("watts_strogatz", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(watts_strogatz(n, 8, 0.1, seed))
+        })
+    });
+    group.bench_function("rmat", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(rmat(10, m, RmatParams::GRAPH500, seed))
+        })
+    });
+    group.bench_function("configuration_model", |b| {
+        let degrees = power_law_degrees(n, 2.3, 1, 80, 1);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(configuration_model(&degrees, seed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_dataset_standins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_standins");
+    for d in Dataset::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(d.key()), &d, |b, &d| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(d.generate(500, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the workspace-wide capture fast: shape comparisons need
+    // stable medians, not publication-grade confidence intervals.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_families, bench_dataset_standins
+}
+criterion_main!(benches);

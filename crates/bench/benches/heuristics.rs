@@ -1,0 +1,57 @@
+//! End-to-end anonymization cost: our heuristics vs the Zhang & Zhang
+//! baselines (the per-method wall-clock behind Figures 9 and 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopacity_bench::Method;
+use lopacity_gen::Dataset;
+use std::hint::black_box;
+
+fn bench_methods_l1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anonymize_l1_theta0.5");
+    let g = Dataset::Google.generate(100, 9);
+    for method in Method::PAPER_L1 {
+        group.bench_with_input(BenchmarkId::new(method.name(), 100), &g, |b, g| {
+            b.iter(|| black_box(method.run(g, 1, 0.5, 1, Some(2000))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ours_l2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anonymize_l2_theta0.5");
+    let g = Dataset::Gnutella.generate(100, 9);
+    for method in Method::OURS {
+        group.bench_with_input(BenchmarkId::new(method.name(), 100), &g, |b, g| {
+            b.iter(|| black_box(method.run(g, 2, 0.5, 1, Some(2000))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rem_scaling(c: &mut Criterion) {
+    // The Figure 11 growth curve in microcosm.
+    let mut group = c.benchmark_group("rem_scaling_theta0.7");
+    for &n in &[200usize, 400, 800] {
+        let g = Dataset::AcmDl.generate(n, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(Method::Rem { la: 1 }.run(g, 1, 0.7, 1, None)))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the workspace-wide capture fast: shape comparisons need
+    // stable medians, not publication-grade confidence intervals.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_methods_l1, bench_ours_l2, bench_rem_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Look-ahead ablation (DESIGN.md §3): the paper's two plausible readings
+//! of the `la` mechanism — escalate only when stuck vs exhaustively
+//! enumerate all combination sizes every step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopacity::{edge_removal, AnonymizeConfig, LookaheadMode, TypeSpec};
+use lopacity_gen::Dataset;
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookahead_mode");
+    let g = Dataset::Gnutella.generate(60, 13);
+    for (label, mode) in
+        [("escalating", LookaheadMode::Escalating), ("exhaustive", LookaheadMode::Exhaustive)]
+    {
+        for la in [1usize, 2] {
+            let config = AnonymizeConfig::new(1, 0.4)
+                .with_lookahead(la)
+                .with_mode(mode)
+                .with_seed(3);
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("la{la}")),
+                &g,
+                |b, g| b.iter(|| black_box(edge_removal(g, &TypeSpec::DegreePairs, &config))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_lookahead_depth(c: &mut Criterion) {
+    // Runtime growth with la (Figure 9's la=2 blow-up in microcosm); the
+    // exhaustive mode reproduces the paper's search-space expansion.
+    let mut group = c.benchmark_group("lookahead_depth_exhaustive");
+    let g = Dataset::Epinions.generate(50, 13);
+    for la in [1usize, 2, 3] {
+        let config = AnonymizeConfig::new(1, 0.5)
+            .with_lookahead(la)
+            .with_mode(LookaheadMode::Exhaustive)
+            .with_seed(3);
+        group.bench_with_input(BenchmarkId::from_parameter(la), &g, |b, g| {
+            b.iter(|| black_box(edge_removal(g, &TypeSpec::DegreePairs, &config)))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the workspace-wide capture fast: shape comparisons need
+    // stable medians, not publication-grade confidence intervals.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_modes, bench_lookahead_depth
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Utility-metric costs: the per-point price of the Figure 7/8 sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopacity_gen::Dataset;
+use lopacity_metrics::{
+    clustering, emd_1d, geodesic_distribution, spectral, GraphStats, Histogram, UtilityReport,
+};
+use std::hint::black_box;
+
+fn bench_metric_pieces(c: &mut Criterion) {
+    let g = Dataset::Enron.generate(300, 21);
+    let mut h = g.clone();
+    // A realistic anonymized counterpart: strip 10% of edges.
+    let edges = h.edge_vec();
+    for e in edges.iter().step_by(10) {
+        h.remove_edge(e.u(), e.v());
+    }
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("degree_emd", |b| {
+        let a = Histogram::from_values(g.degree_sequence());
+        let bb = Histogram::from_values(h.degree_sequence());
+        b.iter(|| black_box(emd_1d(&a, &bb)))
+    });
+    group.bench_function("geodesic_distribution", |b| {
+        b.iter(|| black_box(geodesic_distribution(&g)))
+    });
+    group.bench_function("local_clustering", |b| {
+        b.iter(|| black_box(clustering::local_clustering(&g)))
+    });
+    group.bench_function("mean_cc_difference", |b| {
+        b.iter(|| black_box(clustering::mean_cc_difference(&g, &h)))
+    });
+    group.bench_function("spectral_summary", |b| {
+        b.iter(|| black_box(spectral::spectral_summary(&g)))
+    });
+    group.bench_function("graph_stats", |b| b.iter(|| black_box(GraphStats::compute(&g))));
+    group.bench_function("utility_report_full", |b| {
+        b.iter(|| black_box(UtilityReport::compute(&g, &h)))
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the workspace-wide capture fast: shape comparisons need
+    // stable medians, not publication-grade confidence intervals.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_metric_pieces
+}
+criterion_main!(benches);

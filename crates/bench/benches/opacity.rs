@@ -1,0 +1,95 @@
+//! The headline engineering ablation: incremental opacity evaluation
+//! (DESIGN.md §5) vs the paper's full-recompute-per-candidate loop.
+//!
+//! Measures the cost of one greedy step's candidate scan — trying the
+//! removal of every edge and assessing `(maxLO, N)` after each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopacity::opacity::count_within_l;
+use lopacity::{LoAssessment, OpacityEvaluator, TypeSpec, TypeSystem};
+use lopacity_apsp::ApspEngine;
+use lopacity_gen::Dataset;
+use lopacity_graph::Graph;
+use std::hint::black_box;
+
+/// The paper's baseline: re-run Algorithm 1 (full truncated APSP) per
+/// candidate.
+fn full_recompute_scan(g: &Graph, types: &TypeSystem, l: u8) -> LoAssessment {
+    let mut worst = LoAssessment::ZERO;
+    let mut g = g.clone();
+    for e in g.edge_vec() {
+        g.remove_edge(e.u(), e.v());
+        let dist = ApspEngine::TruncatedBfs.compute(&g, l);
+        let counts = count_within_l(&dist, types, l);
+        let a = LoAssessment::from_counts(&counts, types.denominators());
+        if worst.better_than(&a) {
+            worst = a;
+        }
+        g.add_edge(e.u(), e.v());
+    }
+    worst
+}
+
+/// Ours: incremental trials over the shared evaluator.
+fn incremental_scan(ev: &mut OpacityEvaluator) -> LoAssessment {
+    let mut worst = LoAssessment::ZERO;
+    for e in ev.graph().edge_vec() {
+        let a = ev.trial_remove(e);
+        if worst.better_than(&a) {
+            worst = a;
+        }
+    }
+    worst
+}
+
+fn bench_candidate_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_scan");
+    for &n in &[60usize, 120] {
+        for l in [1u8, 2] {
+            let g = Dataset::Google.generate(n, 5);
+            let types = TypeSystem::build(&g, &TypeSpec::DegreePairs);
+            group.bench_with_input(
+                BenchmarkId::new(format!("full-recompute/L{l}"), n),
+                &g,
+                |b, g| b.iter(|| black_box(full_recompute_scan(g, &types, l))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("incremental/L{l}"), n),
+                &g,
+                |b, g| {
+                    let mut ev = OpacityEvaluator::new(g.clone(), &TypeSpec::DegreePairs, l);
+                    b.iter(|| black_box(incremental_scan(&mut ev)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_maxlo(c: &mut Criterion) {
+    // Algorithm 1 end-to-end at increasing sizes.
+    let mut group = c.benchmark_group("maxLO");
+    for &n in &[100usize, 500, 1000] {
+        let g = Dataset::Gnutella.generate(n, 3);
+        group.bench_with_input(BenchmarkId::new("L2", n), &g, |b, g| {
+            b.iter(|| black_box(lopacity::opacity_report(g, &TypeSpec::DegreePairs, 2)))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the workspace-wide capture fast: shape comparisons need
+    // stable medians, not publication-grade confidence intervals.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_candidate_scan, bench_maxlo
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! `repro` — regenerates every table and figure of the EDBT 2014 L-opacity
+//! paper on the synthetic dataset stand-ins.
+//!
+//! ```text
+//! repro <experiment> [--scale smoke|default|paper] [--out results] [--seed N]
+//!
+//! experiments:
+//!   table1 table2 table3   dataset descriptions / properties
+//!   fig6                   distortion vs θ (8 panels)
+//!   fig7                   EMD of degree/geodesic distributions vs θ
+//!   fig8                   mean |ΔCC| vs θ (3 panels)
+//!   fig9                   runtime vs θ (Google 100/500/1000)
+//!   fig10                  runtime by size (Gnutella, L ∈ {1,2})
+//!   fig11 | fig12          runtime & distortion vs size (ACM sweep)
+//!   thm1                   3-SAT reduction demonstration
+//!   optgap                 greedy-vs-exact ablation (tiny instances)
+//!   all                    everything above
+//! ```
+
+use lopacity_bench::experiments::{fig10, fig11_12, fig6, fig7, fig8, fig9, optgap, tables, thm1};
+use lopacity_bench::output::OutputSink;
+use lopacity_bench::Scale;
+use lopacity_util::{Args, Stopwatch};
+
+fn main() {
+    let args = Args::from_env();
+    let unknown = args.unknown_keys(&["scale", "out", "seed"]);
+    if !unknown.is_empty() {
+        eprintln!("unknown options: {unknown:?}");
+        std::process::exit(2);
+    }
+    let experiment = args.positional(0).unwrap_or("all").to_string();
+    let scale: Scale = match args.get("scale").unwrap_or("default").parse() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let out_dir = args.get("out").unwrap_or("results").to_string();
+    let seed: u64 = match args.get_or("seed", 42u64) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let sink = match OutputSink::new(&out_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot create output directory {out_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let run = |name: &str| -> std::io::Result<()> {
+        let sw = Stopwatch::started();
+        let result = match name {
+            "table1" => tables::table1(scale, &sink),
+            "table2" => tables::table2(scale, &sink, seed),
+            "table3" => tables::table3(scale, &sink, seed),
+            "fig6" => fig6::run(scale, &sink, seed),
+            "fig7" => fig7::run(scale, &sink, seed),
+            "fig8" => fig8::run(scale, &sink, seed),
+            "fig9" => fig9::run(scale, &sink, seed),
+            "fig10" => fig10::run(scale, &sink, seed),
+            "fig11" | "fig12" | "fig11_12" => fig11_12::run(scale, &sink, seed),
+            "thm1" => thm1::run(scale, &sink, seed),
+            "optgap" => optgap::run(scale, &sink, seed),
+            other => {
+                eprintln!("unknown experiment {other:?}; see --help text in the source header");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("[{name}] finished in {:.1}s", sw.elapsed_secs());
+        result
+    };
+
+    let outcome = if experiment == "all" {
+        [
+            "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "thm1", "optgap",
+        ]
+        .iter()
+        .try_for_each(|name| run(name))
+    } else {
+        run(&experiment)
+    };
+
+    if let Err(e) = outcome {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("artifacts written to {out_dir}/");
+}

@@ -1,0 +1,70 @@
+//! Figures 11 and 12: runtime and distortion vs graph size on ACM-like
+//! co-authorship graphs, Edge Removal at L = 1, θ ∈ {90..50}%.
+//!
+//! One run produces both figures (the paper's longest experiment — 16 days
+//! at 10k/θ=50% on their testbed; the incremental evaluator brings the
+//! default scale to minutes, and `--scale paper` still covers 1k–10k).
+
+use crate::methods::Method;
+use crate::output::{secs, OutputSink};
+use crate::scale::Scale;
+use lopacity_gen::Dataset;
+use lopacity_util::Table;
+
+/// The θ values of Figures 11/12.
+pub const THETAS: [f64; 5] = [0.9, 0.8, 0.7, 0.6, 0.5];
+
+/// Runs the sweep; one CSV row per (size, θ) carrying both metrics.
+pub fn run(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
+    let sizes = scale.fig11_sizes();
+    let mut csv = sink.csv(
+        "fig11_12_scaling",
+        &["size", "edges", "theta", "secs", "distortion", "achieved"],
+    )?;
+    let mut runtime_table = Table::new(
+        std::iter::once("|V|".to_string())
+            .chain(THETAS.iter().map(|t| format!("θ={:.0}%", t * 100.0)))
+            .collect::<Vec<_>>(),
+    );
+    let mut distortion_table = runtime_table.clone();
+    for &n in &sizes {
+        let g = Dataset::AcmDl.generate(n, seed);
+        let mut time_cells = vec![n.to_string()];
+        let mut dist_cells = vec![n.to_string()];
+        for &theta in &THETAS {
+            let run = Method::Rem { la: 1 }.run_with_budget(&g, 1, theta, seed, scale.max_steps(), scale.trial_budget());
+            let distortion = run.outcome.distortion(&g);
+            csv.write_row(&[
+                n.to_string(),
+                g.num_edges().to_string(),
+                format!("{theta:.2}"),
+                format!("{:.6}", run.secs),
+                format!("{distortion:.6}"),
+                run.outcome.achieved.to_string(),
+            ])?;
+            time_cells.push(secs(run.secs));
+            dist_cells.push(format!("{:.2}%", distortion * 100.0));
+        }
+        runtime_table.add_row(time_cells);
+        distortion_table.add_row(dist_cells);
+    }
+    sink.print_table("Figure 11: runtime (s) vs size — ACM, Rem la=1, L=1", &runtime_table);
+    sink.print_table("Figure 12: distortion vs size — ACM, Rem la=1, L=1", &distortion_table);
+    csv.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "experiment smoke tests run in release only (cargo test --release)")]
+    fn smoke_run_covers_sizes_and_thetas() {
+        let dir = std::env::temp_dir().join(format!("lopacity-fig11-{}", std::process::id()));
+        let sink = OutputSink::new(&dir).unwrap();
+        run(Scale::Smoke, &sink, 11).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig11_12_scaling.csv")).unwrap();
+        assert_eq!(text.lines().count(), 1 + 2 * THETAS.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

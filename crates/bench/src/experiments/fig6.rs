@@ -1,0 +1,126 @@
+//! Figure 6: graph edit-distance ratio (distortion) vs θ.
+//!
+//! Eight panels: (a–d) the full seven-method comparison at L = 1 on the
+//! Google, Wikipedia, Enron and Berkeley-Stanford samples; (e, f) our
+//! heuristics at L = 2 on Epinions(Trust) and Gnutella; (g, h) the effect
+//! of L ∈ {1..4} at la = 1 on the same two datasets.
+
+use crate::methods::Method;
+use crate::output::{pct, OutputSink};
+use crate::scale::Scale;
+use crate::sweep::{theta_sweep, SweepOptions};
+use lopacity_gen::Dataset;
+use lopacity_util::Table;
+
+/// The eight panels of Figure 6.
+pub struct Panel {
+    /// Panel key as in the paper ("a" .. "h").
+    pub key: &'static str,
+    /// Dataset sampled for the panel.
+    pub dataset: Dataset,
+    /// `(L, methods)` series to draw.
+    pub series: Vec<(u8, Method)>,
+}
+
+/// Builds the paper's panel list.
+pub fn panels() -> Vec<Panel> {
+    let l1_methods: Vec<(u8, Method)> = Method::PAPER_L1.iter().map(|&m| (1, m)).collect();
+    let l2_ours: Vec<(u8, Method)> = Method::OURS.iter().map(|&m| (2, m)).collect();
+    let l_sweep = |_d: Dataset| -> Vec<(u8, Method)> {
+        (1..=4u8)
+            .flat_map(|l| [(l, Method::Rem { la: 1 }), (l, Method::RemIns { la: 1 })])
+            .collect()
+    };
+    vec![
+        Panel { key: "a", dataset: Dataset::Google, series: l1_methods.clone() },
+        Panel { key: "b", dataset: Dataset::Wikipedia, series: l1_methods.clone() },
+        Panel { key: "c", dataset: Dataset::Enron, series: l1_methods.clone() },
+        Panel { key: "d", dataset: Dataset::BerkeleyStanford, series: l1_methods },
+        Panel { key: "e", dataset: Dataset::Epinions, series: l2_ours.clone() },
+        Panel { key: "f", dataset: Dataset::Gnutella, series: l2_ours },
+        Panel { key: "g", dataset: Dataset::Epinions, series: l_sweep(Dataset::Epinions) },
+        Panel { key: "h", dataset: Dataset::Gnutella, series: l_sweep(Dataset::Gnutella) },
+    ]
+}
+
+/// Runs the full figure; one CSV row per (panel, series, θ).
+pub fn run(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
+    let thetas = scale.thetas();
+    let mut csv = sink.csv(
+        "fig6_distortion_vs_theta",
+        &["panel", "dataset", "L", "method", "theta", "distortion", "achieved", "secs"],
+    )?;
+    for panel in panels() {
+        let g = panel.dataset.generate(scale.sample_n(), seed);
+        let mut table = Table::new(
+            std::iter::once("theta".to_string())
+                .chain(panel.series.iter().map(|(l, m)| format!("{m} L={l}")))
+                .collect::<Vec<_>>(),
+        );
+        let mut columns = Vec::new();
+        for &(l, method) in &panel.series {
+            let opts = SweepOptions {
+                l,
+                repeats: scale.repeats(),
+                seed,
+                max_steps: scale.max_steps(),
+                max_trials: scale.trial_budget(),
+                with_utility: false,
+            };
+            let points = theta_sweep(&g, method, &thetas, &opts);
+            for p in &points {
+                csv.write_row(&[
+                    panel.key.to_string(),
+                    panel.dataset.key().to_string(),
+                    l.to_string(),
+                    method.name(),
+                    format!("{:.2}", p.theta),
+                    p.distortion.map(|d| format!("{d:.6}")).unwrap_or_default(),
+                    p.achieved.to_string(),
+                    format!("{:.6}", p.secs),
+                ])?;
+            }
+            columns.push(points);
+        }
+        for (row, &theta) in thetas.iter().enumerate() {
+            let mut cells = vec![format!("{:.0}%", theta * 100.0)];
+            for points in &columns {
+                cells.push(pct(points[row].distortion));
+            }
+            table.add_row(cells);
+        }
+        sink.print_table(
+            &format!("Figure 6({}): distortion vs θ — {}", panel.key, panel.dataset),
+            &table,
+        );
+    }
+    csv.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_list_matches_paper_layout() {
+        let ps = panels();
+        assert_eq!(ps.len(), 8);
+        assert_eq!(ps[0].series.len(), 7, "(a) compares all seven methods");
+        assert_eq!(ps[4].series.len(), 4, "(e) is ours-only at L=2");
+        assert_eq!(ps[6].series.len(), 8, "(g) sweeps L=1..4 for Rem and Rem-Ins");
+        assert!(ps[4].series.iter().all(|&(l, _)| l == 2));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "experiment smoke tests run in release only (cargo test --release)")]
+    fn smoke_run_writes_csv() {
+        let dir = std::env::temp_dir().join(format!("lopacity-fig6-{}", std::process::id()));
+        let sink = OutputSink::new(&dir).unwrap();
+        // Single tiny panel worth of work: run the real entry point at smoke
+        // scale, which uses 60-vertex samples.
+        run(Scale::Smoke, &sink, 17).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig6_distortion_vs_theta.csv")).unwrap();
+        assert!(text.lines().count() > 8 * 11, "expected a row per panel/series/theta");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 8: mean of the per-vertex clustering-coefficient differences
+//! vs θ.
+//!
+//! Three panels: (a) Wikipedia at L = 1 with all methods; (b) Epinions
+//! (Trust) at L = 2 with our heuristics; (c) Epinions(Distrust) at la = 1
+//! sweeping L ∈ {1..4}. The distrust sub-network is not separable from the
+//! published Epinions statistics, so panel (c) uses a second, independently
+//! seeded draw of the Epinions generator (same degree law; documented in
+//! DESIGN.md §6).
+
+use crate::methods::Method;
+use crate::output::OutputSink;
+use crate::scale::Scale;
+use crate::sweep::{theta_sweep, SweepOptions};
+use lopacity_gen::Dataset;
+use lopacity_util::Table;
+
+/// Runs all three panels; one CSV row per (panel, series, θ).
+pub fn run(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
+    let thetas = scale.thetas();
+    let mut csv = sink.csv(
+        "fig8_cc_diff_vs_theta",
+        &["panel", "dataset", "L", "method", "theta", "mean_cc_diff", "achieved"],
+    )?;
+
+    // Panel (a): Wikipedia, L = 1, all seven methods.
+    let wiki = Dataset::Wikipedia.generate(scale.sample_n(), seed);
+    let series_a: Vec<(u8, Method)> = Method::PAPER_L1.iter().map(|&m| (1, m)).collect();
+    panel(&mut csv, sink, scale, "a", "Wikipedia, L=1", &wiki, &series_a, &thetas, seed)?;
+
+    // Panel (b): Epinions(Trust), L = 2, our heuristics.
+    let trust = Dataset::Epinions.generate(scale.sample_n(), seed);
+    let series_b: Vec<(u8, Method)> = Method::OURS.iter().map(|&m| (2, m)).collect();
+    panel(&mut csv, sink, scale, "b", "Epinions(Trust), L=2", &trust, &series_b, &thetas, seed)?;
+
+    // Panel (c): Epinions(Distrust), la = 1, L ∈ 1..4.
+    let distrust = Dataset::Epinions.generate(scale.sample_n(), seed ^ 0xD157_0457);
+    let series_c: Vec<(u8, Method)> = (1..=4u8)
+        .flat_map(|l| [(l, Method::Rem { la: 1 }), (l, Method::RemIns { la: 1 })])
+        .collect();
+    panel(&mut csv, sink, scale, "c", "Epinions(Distrust), la=1", &distrust, &series_c, &thetas, seed)?;
+
+    csv.flush()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn panel<W: std::io::Write>(
+    csv: &mut lopacity_util::CsvWriter<W>,
+    sink: &OutputSink,
+    scale: Scale,
+    key: &str,
+    title: &str,
+    g: &lopacity_graph::Graph,
+    series: &[(u8, Method)],
+    thetas: &[f64],
+    seed: u64,
+) -> std::io::Result<()> {
+    let mut table = Table::new(
+        std::iter::once("theta".to_string())
+            .chain(series.iter().map(|(l, m)| format!("{m} L={l}")))
+            .collect::<Vec<_>>(),
+    );
+    let mut columns = Vec::new();
+    for &(l, method) in series {
+        let opts = SweepOptions {
+            l,
+            repeats: scale.repeats(),
+            seed,
+            max_steps: scale.max_steps(),
+                max_trials: scale.trial_budget(),
+            with_utility: true,
+        };
+        let points = theta_sweep(g, method, thetas, &opts);
+        for p in &points {
+            csv.write_row(&[
+                key.to_string(),
+                title.to_string(),
+                l.to_string(),
+                method.name(),
+                format!("{:.2}", p.theta),
+                p.utility
+                    .as_ref()
+                    .map(|u| format!("{:.6}", u.mean_cc_diff))
+                    .unwrap_or_default(),
+                p.achieved.to_string(),
+            ])?;
+        }
+        columns.push(points);
+    }
+    for (row, &theta) in thetas.iter().enumerate() {
+        let mut cells = vec![format!("{:.0}%", theta * 100.0)];
+        for points in &columns {
+            cells.push(
+                points[row]
+                    .utility
+                    .as_ref()
+                    .map(|u| format!("{:.4}", u.mean_cc_diff))
+                    .unwrap_or("-".into()),
+            );
+        }
+        table.add_row(cells);
+    }
+    sink.print_table(&format!("Figure 8({key}): mean |ΔCC| vs θ — {title}"), &table);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "experiment smoke tests run in release only (cargo test --release)")]
+    fn smoke_run_covers_three_panels() {
+        let dir = std::env::temp_dir().join(format!("lopacity-fig8-{}", std::process::id()));
+        let sink = OutputSink::new(&dir).unwrap();
+        run(Scale::Smoke, &sink, 5).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig8_cc_diff_vs_theta.csv")).unwrap();
+        for panel in ["a,", "b,", "c,"] {
+            assert!(text.lines().any(|l| l.starts_with(panel)), "missing panel {panel}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 9: runtime vs θ on Google samples of 100, 500 and 1000 vertices
+//! (L = 1, all seven methods), with the paper's carry-forward recording
+//! rule.
+
+use crate::methods::Method;
+use crate::output::{secs, OutputSink};
+use crate::scale::Scale;
+use crate::sweep::{theta_sweep, SweepOptions};
+use lopacity_gen::Dataset;
+use lopacity_util::Table;
+
+/// Runs one panel per sample size; one CSV row per (size, method, θ).
+pub fn run(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
+    let thetas = scale.thetas();
+    let mut csv = sink.csv(
+        "fig9_runtime_vs_theta",
+        &["size", "method", "theta", "secs", "achieved"],
+    )?;
+    for &n in &scale.fig9_sizes() {
+        let g = Dataset::Google.generate(n, seed);
+        let mut table = Table::new(
+            std::iter::once("theta".to_string())
+                .chain(Method::PAPER_L1.iter().map(|m| m.name()))
+                .collect::<Vec<_>>(),
+        );
+        let mut columns = Vec::new();
+        for method in Method::PAPER_L1 {
+            let opts = SweepOptions {
+                l: 1,
+                repeats: scale.repeats().min(3), // runtime panels need medians, not minima
+                seed,
+                max_steps: scale.max_steps(),
+                max_trials: scale.trial_budget(),
+                with_utility: false,
+            };
+            let points = theta_sweep(&g, method, &thetas, &opts);
+            for p in &points {
+                csv.write_row(&[
+                    n.to_string(),
+                    method.name(),
+                    format!("{:.2}", p.theta),
+                    format!("{:.6}", p.secs),
+                    p.achieved.to_string(),
+                ])?;
+            }
+            columns.push(points);
+        }
+        for (row, &theta) in thetas.iter().enumerate() {
+            let mut cells = vec![format!("{:.0}%", theta * 100.0)];
+            for points in &columns {
+                cells.push(secs(points[row].secs));
+            }
+            table.add_row(cells);
+        }
+        sink.print_table(&format!("Figure 9: runtime (s) vs θ — Google |V|={n}, L=1"), &table);
+    }
+    csv.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "experiment smoke tests run in release only (cargo test --release)")]
+    fn smoke_run_times_all_methods() {
+        let dir = std::env::temp_dir().join(format!("lopacity-fig9-{}", std::process::id()));
+        let sink = OutputSink::new(&dir).unwrap();
+        run(Scale::Smoke, &sink, 7).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig9_runtime_vs_theta.csv")).unwrap();
+        assert!(text.lines().count() > 2 * 7 * 11);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,176 @@
+//! Tables 1–3: dataset descriptions and properties.
+
+use crate::output::OutputSink;
+use crate::scale::Scale;
+use lopacity_gen::Dataset;
+use lopacity_metrics::GraphStats;
+use lopacity_util::Table;
+
+/// **Table 1** — the original datasets (published sizes and domains; these
+/// are the registry's constants, printed for the record).
+pub fn table1(_scale: Scale, sink: &OutputSink) -> std::io::Result<()> {
+    let mut csv = sink.csv("table1", &["dataset", "nodes", "links", "node_desc", "link_desc"])?;
+    let mut table = Table::new(vec!["Data Set", "Nodes", "Links", "Nodes are", "Links are"]);
+    for d in Dataset::ALL {
+        let s = d.spec();
+        csv.write_row(&[
+            s.name,
+            &s.full_nodes.to_string(),
+            &s.full_links.to_string(),
+            s.node_desc,
+            s.link_desc,
+        ])?;
+        table.add_row(vec![
+            s.name.to_string(),
+            s.full_nodes.to_string(),
+            s.full_links.to_string(),
+            s.node_desc.to_string(),
+            s.link_desc.to_string(),
+        ]);
+    }
+    csv.flush()?;
+    sink.print_table("Table 1: original datasets (paper constants)", &table);
+    Ok(())
+}
+
+/// **Table 2** — properties of the (scaled-down synthetic stand-ins for
+/// the) original datasets, next to the paper's published values.
+pub fn table2(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
+    let n = scale.table2_n();
+    let mut csv = sink.csv(
+        "table2",
+        &[
+            "dataset", "scaled_n", "diameter", "avg_deg", "stdd", "acc", "paper_diameter",
+            "paper_avg_deg", "paper_stdd", "paper_acc",
+        ],
+    )?;
+    let mut table = Table::new(vec![
+        "Data Set", "Diam", "AvgDeg", "STDD", "ACC", "| paper:", "Diam", "AvgDeg", "STDD", "ACC",
+    ]);
+    for d in Dataset::ALL {
+        let s = d.spec();
+        let g = d.scaled_full(n.min(s.full_nodes), seed);
+        let stats = GraphStats::compute(&g);
+        csv.write_row(&[
+            s.name.to_string(),
+            g.num_vertices().to_string(),
+            stats.diameter.to_string(),
+            format!("{:.2}", stats.avg_degree),
+            format!("{:.2}", stats.degree_stdd),
+            format!("{:.4}", stats.acc),
+            s.full_diameter.to_string(),
+            format!("{:.1}", s.full_avg_degree),
+            format!("{:.2}", s.full_degree_stdd),
+            format!("{:.4}", s.full_acc),
+        ])?;
+        table.add_row(vec![
+            s.name.to_string(),
+            stats.diameter.to_string(),
+            format!("{:.2}", stats.avg_degree),
+            format!("{:.2}", stats.degree_stdd),
+            format!("{:.4}", stats.acc),
+            "|".to_string(),
+            s.full_diameter.to_string(),
+            format!("{:.1}", s.full_avg_degree),
+            format!("{:.2}", s.full_degree_stdd),
+            format!("{:.4}", s.full_acc),
+        ]);
+    }
+    csv.flush()?;
+    sink.print_table(
+        &format!("Table 2: dataset properties (synthetic stand-ins at n={n} vs paper)"),
+        &table,
+    );
+    Ok(())
+}
+
+/// The (dataset, sample size) rows of Table 3.
+pub const TABLE3_ROWS: [(Dataset, usize); 12] = [
+    (Dataset::Google, 100),
+    (Dataset::Google, 500),
+    (Dataset::Google, 1000),
+    (Dataset::BerkeleyStanford, 500),
+    (Dataset::Epinions, 100),
+    (Dataset::Enron, 100),
+    (Dataset::Enron, 500),
+    (Dataset::Gnutella, 100),
+    (Dataset::Gnutella, 500),
+    (Dataset::Gnutella, 1000),
+    (Dataset::Wikipedia, 100),
+    (Dataset::Wikipedia, 500),
+];
+
+/// **Table 3** — properties of the sampled experiment inputs.
+pub fn table3(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
+    let mut csv = sink.csv(
+        "table3",
+        &["dataset", "nodes", "links", "diameter", "avg_deg", "stdd", "acc", "paper_links", "paper_avg_deg", "paper_acc"],
+    )?;
+    let mut table = Table::new(vec![
+        "Data Set", "Nodes", "Links", "Diam", "AvgDeg", "STDD", "ACC",
+    ]);
+    for (d, n) in TABLE3_ROWS {
+        // Smoke scale shrinks every sample proportionally.
+        let n = if scale == Scale::Smoke { n / 5 } else { n };
+        let g = d.generate(n, seed);
+        let stats = GraphStats::compute(&g);
+        let spec = d.spec();
+        let target_avg = spec.interpolate_avg_degree(n);
+        csv.write_row(&[
+            spec.name.to_string(),
+            n.to_string(),
+            stats.links.to_string(),
+            stats.diameter.to_string(),
+            format!("{:.2}", stats.avg_degree),
+            format!("{:.2}", stats.degree_stdd),
+            format!("{:.4}", stats.acc),
+            format!("{:.0}", target_avg * n as f64 / 2.0),
+            format!("{target_avg:.2}"),
+            format!("{:.2}", spec.interpolate_acc(n)),
+        ])?;
+        table.add_row(vec![
+            format!("{} {}", spec.name, n),
+            n.to_string(),
+            stats.links.to_string(),
+            stats.diameter.to_string(),
+            format!("{:.2}", stats.avg_degree),
+            format!("{:.2}", stats.degree_stdd),
+            format!("{:.4}", stats.acc),
+        ]);
+    }
+    csv.flush()?;
+    sink.print_table("Table 3: sampled graph properties (synthetic)", &table);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink(test: &str) -> OutputSink {
+        // One directory per test: parallel tests must not delete each
+        // other's artifacts.
+        let dir =
+            std::env::temp_dir().join(format!("lopacity-tables-{test}-{}", std::process::id()));
+        OutputSink::new(dir).unwrap()
+    }
+
+    #[test]
+    fn table1_writes_all_seven_rows() {
+        let s = sink("t1");
+        table1(Scale::Smoke, &s).unwrap();
+        let text = std::fs::read_to_string(s.dir().join("table1.csv")).unwrap();
+        assert_eq!(text.lines().count(), 8); // header + 7 datasets
+        assert!(text.contains("Google"));
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn table3_covers_every_paper_row() {
+        let s = sink("t3");
+        table3(Scale::Smoke, &s, 1).unwrap();
+        let text = std::fs::read_to_string(s.dir().join("table3.csv")).unwrap();
+        assert_eq!(text.lines().count(), 1 + TABLE3_ROWS.len());
+        std::fs::remove_dir_all(s.dir()).ok();
+    }
+}

@@ -1,0 +1,196 @@
+//! The seven methods of the paper's evaluation, behind one interface.
+
+use lopacity::{AnonymizationOutcome, AnonymizeConfig, TypeSpec};
+use lopacity_baselines::{gaded_max, gaded_rand, gades};
+use lopacity_graph::Graph;
+use std::time::Instant;
+
+/// An anonymization method as plotted in Figures 6–10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Our Edge Removal (Algorithm 4) with the given look-ahead.
+    Rem { la: usize },
+    /// Our Edge Removal/Insertion (Algorithm 5) with the given look-ahead.
+    RemIns { la: usize },
+    /// Zhang & Zhang's random deletion (L = 1 only).
+    GadedRand,
+    /// Zhang & Zhang's informed deletion (L = 1 only).
+    GadedMax,
+    /// Zhang & Zhang's edge swapping (L = 1 only).
+    Gades,
+}
+
+impl Method {
+    /// The full comparison set of the L = 1 figures, in legend order.
+    pub const PAPER_L1: [Method; 7] = [
+        Method::Rem { la: 1 },
+        Method::RemIns { la: 1 },
+        Method::Rem { la: 2 },
+        Method::RemIns { la: 2 },
+        Method::GadedRand,
+        Method::GadedMax,
+        Method::Gades,
+    ];
+
+    /// Our four heuristics (valid at any L).
+    pub const OURS: [Method; 4] = [
+        Method::Rem { la: 1 },
+        Method::RemIns { la: 1 },
+        Method::Rem { la: 2 },
+        Method::RemIns { la: 2 },
+    ];
+
+    /// Legend label matching the paper's figures.
+    pub fn name(self) -> String {
+        match self {
+            Method::Rem { la } => format!("Rem la={la}"),
+            Method::RemIns { la } => format!("Rem-Ins la={la}"),
+            Method::GadedRand => "GADED-Rand".to_string(),
+            Method::GadedMax => "GADED-Max".to_string(),
+            Method::Gades => "GADES".to_string(),
+        }
+    }
+
+    /// Whether the method supports thresholds beyond single-edge linkage.
+    pub fn supports_l(self, l: u8) -> bool {
+        match self {
+            Method::Rem { .. } | Method::RemIns { .. } => true,
+            // The baselines' disclosure model is single-edge only.
+            _ => l == 1,
+        }
+    }
+
+    /// Runs the method and wall-clocks it.
+    ///
+    /// # Panics
+    /// Panics when `l` is unsupported (baselines demand `l == 1`).
+    pub fn run(
+        self,
+        graph: &Graph,
+        l: u8,
+        theta: f64,
+        seed: u64,
+        max_steps: Option<usize>,
+    ) -> MethodRun {
+        self.run_with_budget(graph, l, theta, seed, max_steps, None)
+    }
+
+    /// [`Method::run`] with an explicit candidate-evaluation budget for the
+    /// look-ahead heuristics (see `AnonymizeConfig::max_trials`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_budget(
+        self,
+        graph: &Graph,
+        l: u8,
+        theta: f64,
+        seed: u64,
+        max_steps: Option<usize>,
+        max_trials: Option<u64>,
+    ) -> MethodRun {
+        assert!(self.supports_l(l), "{} does not support L = {l}", self.name());
+        let configure = |mut config: AnonymizeConfig| {
+            if let Some(cap) = max_steps {
+                config = config.with_max_steps(cap);
+            }
+            if let Some(cap) = max_trials {
+                config = config.with_max_trials(cap);
+                // Budgeted runs beam the multi-edge look-ahead so la >= 2
+                // degrades gracefully instead of burning the whole budget on
+                // one plateau step (paper-faithful full search = unbudgeted).
+                if config.lookahead > 1 {
+                    config = config.with_beam(64);
+                }
+            }
+            config
+        };
+        let start = Instant::now();
+        let outcome = match self {
+            Method::Rem { la } => {
+                let config =
+                    configure(AnonymizeConfig::new(l, theta).with_lookahead(la).with_seed(seed));
+                lopacity::edge_removal(graph, &TypeSpec::DegreePairs, &config)
+            }
+            Method::RemIns { la } => {
+                let config =
+                    configure(AnonymizeConfig::new(l, theta).with_lookahead(la).with_seed(seed));
+                lopacity::edge_removal_insertion(graph, &TypeSpec::DegreePairs, &config)
+            }
+            Method::GadedRand => gaded_rand(graph, theta, seed),
+            Method::GadedMax => gaded_max(graph, theta),
+            Method::Gades => gades(graph, theta),
+        };
+        MethodRun { outcome, secs: start.elapsed().as_secs_f64(), method: self }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A timed anonymization run.
+pub struct MethodRun {
+    /// What the method produced.
+    pub outcome: AnonymizationOutcome,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Which method ran.
+    pub method: Method,
+}
+
+impl MethodRun {
+    /// Distortion for plotting, applying the paper's GADES convention: a
+    /// stuck GADES "returns an empty graph", i.e. 100% distortion; other
+    /// failures plot as gaps (`None`).
+    pub fn plot_distortion(&self, original: &Graph) -> Option<f64> {
+        if self.outcome.achieved {
+            Some(self.outcome.distortion(original))
+        } else if self.method == Method::Gades {
+            Some(1.0)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopacity_gen::Dataset;
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Method::Rem { la: 1 }.name(), "Rem la=1");
+        assert_eq!(Method::RemIns { la: 2 }.name(), "Rem-Ins la=2");
+        assert_eq!(Method::GadedRand.name(), "GADED-Rand");
+    }
+
+    #[test]
+    fn baselines_only_support_l1() {
+        assert!(Method::GadedMax.supports_l(1));
+        assert!(!Method::GadedMax.supports_l(2));
+        assert!(Method::Rem { la: 1 }.supports_l(4));
+    }
+
+    #[test]
+    fn all_seven_methods_run_on_a_sample() {
+        let g = Dataset::Gnutella.generate(60, 3);
+        for method in Method::PAPER_L1 {
+            let run = method.run(&g, 1, 0.6, 9, Some(200));
+            assert!(run.secs >= 0.0);
+            if run.outcome.achieved {
+                assert!(run.outcome.final_lo <= 0.6 + 1e-9, "{method}: {}", run.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn gades_failure_plots_as_full_distortion() {
+        let g = Dataset::Wikipedia.generate(40, 5);
+        let run = Method::Gades.run(&g, 1, 0.05, 1, Some(100));
+        if !run.outcome.achieved {
+            assert_eq!(run.plot_distortion(&g), Some(1.0));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! CSV + console output helpers for the reproduction harness.
+
+use lopacity_util::{CsvWriter, Table};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+/// Where an experiment writes its artifacts.
+pub struct OutputSink {
+    dir: PathBuf,
+}
+
+impl OutputSink {
+    /// Creates (if needed) the output directory.
+    pub fn new<P: AsRef<Path>>(dir: P) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(OutputSink { dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// Opens `<dir>/<name>.csv` with the given header.
+    pub fn csv(&self, name: &str, header: &[&str]) -> std::io::Result<CsvWriter<BufWriter<File>>> {
+        CsvWriter::create(self.dir.join(format!("{name}.csv")), header)
+    }
+
+    /// Prints a titled console table (the paper-style series view).
+    pub fn print_table(&self, title: &str, table: &Table) {
+        println!("\n== {title} ==");
+        print!("{}", table.render());
+    }
+
+    /// The output directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Formats an optional distortion as a percentage cell (`-` = gap).
+pub fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{:.1}%", 100.0 * x),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats seconds with enough precision for sub-millisecond runs.
+pub fn secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{:.4}", s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_gaps() {
+        assert_eq!(pct(Some(0.125)), "12.5%");
+        assert_eq!(pct(None), "-");
+    }
+
+    #[test]
+    fn secs_switches_precision() {
+        assert_eq!(secs(12.3456), "12.35");
+        assert_eq!(secs(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn sink_writes_csv() {
+        let dir = std::env::temp_dir().join("lopacity-bench-output-test");
+        let sink = OutputSink::new(&dir).unwrap();
+        let mut w = sink.csv("probe", &["a", "b"]).unwrap();
+        w.write_record(&[1, 2]).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(dir.join("probe.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,145 @@
+//! Experiment sizing presets.
+
+/// How big the reproduction runs are.
+///
+/// The paper's largest single run took ~16 days on a cluster; the presets
+/// trade sample sizes (never coverage — every figure runs at every scale)
+/// against wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// CI-sized: tiny samples, 1 repeat. Minutes.
+    Smoke,
+    /// Laptop-sized (default): the paper's 100-node samples, reduced
+    /// repeats, capped step budgets. Tens of minutes for `all`.
+    #[default]
+    Default,
+    /// Paper-sized: 100/500/1000-node samples, 10 repeats, uncapped.
+    Paper,
+}
+
+impl Scale {
+    /// Independent repetitions per (θ, method); the paper uses 10 and keeps
+    /// the minimum-distortion result.
+    pub fn repeats(self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Default => 3,
+            Scale::Paper => 10,
+        }
+    }
+
+    /// Sample size for the Figure 6/7/8 dataset samples.
+    pub fn sample_n(self) -> usize {
+        match self {
+            Scale::Smoke => 60,
+            Scale::Default | Scale::Paper => 100,
+        }
+    }
+
+    /// Graph sizes for the Figure 9 runtime sweep (Google samples).
+    pub fn fig9_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![60, 120],
+            Scale::Default => vec![100, 500, 1000],
+            Scale::Paper => vec![100, 500, 1000],
+        }
+    }
+
+    /// Graph sizes for the Figure 10 runtime bars (Gnutella samples).
+    pub fn fig10_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![60, 120],
+            Scale::Default => vec![100, 500, 1000],
+            Scale::Paper => vec![100, 500, 1000],
+        }
+    }
+
+    /// Graph sizes for the Figure 11/12 scaling sweep (ACM-like graphs).
+    /// The paper runs 1k–10k; `Default` stops at 4k to keep the sweep in
+    /// minutes.
+    pub fn fig11_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![200, 400],
+            Scale::Default => vec![1000, 2000, 3000, 4000],
+            Scale::Paper => (1..=10).map(|k| k * 1000).collect(),
+        }
+    }
+
+    /// Vertex count for the scaled-down Table 2 full-graph property rows.
+    pub fn table2_n(self) -> usize {
+        match self {
+            Scale::Smoke => 500,
+            Scale::Default => 2000,
+            Scale::Paper => 5000,
+        }
+    }
+
+    /// Step budget per anonymization run (`None` = run to exhaustion, as
+    /// the paper does). Caps only affect *infeasible* (θ, dataset) points,
+    /// which are reported as failures either way.
+    pub fn max_steps(self) -> Option<usize> {
+        match self {
+            Scale::Smoke => Some(300),
+            Scale::Default => Some(3000),
+            Scale::Paper => None,
+        }
+    }
+
+    /// Candidate-evaluation budget per run (`None` = unbounded, as the
+    /// paper runs). Only binds on infeasible look-ahead runs, which finish
+    /// `achieved: false` either way (see `AnonymizeConfig::max_trials`).
+    pub fn trial_budget(self) -> Option<u64> {
+        match self {
+            Scale::Smoke => Some(2_000_000),
+            Scale::Default => Some(50_000_000),
+            Scale::Paper => None,
+        }
+    }
+
+    /// θ sweep of Section 6: 100% down to 0% in steps of 10.
+    pub fn thetas(self) -> Vec<f64> {
+        (0..=10).rev().map(|k| k as f64 / 10.0).collect()
+    }
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "smoke" => Ok(Scale::Smoke),
+            "default" => Ok(Scale::Default),
+            "paper" => Ok(Scale::Paper),
+            other => Err(format!("unknown scale {other:?} (expected smoke, default or paper)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thetas_descend_from_one_to_zero() {
+        let t = Scale::Default.thetas();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t[0], 1.0);
+        assert_eq!(t[10], 0.0);
+        assert!(t.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn paper_scale_is_uncapped() {
+        assert_eq!(Scale::Paper.max_steps(), None);
+        assert_eq!(Scale::Paper.repeats(), 10);
+        assert_eq!(Scale::Paper.fig11_sizes().last(), Some(&10_000));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for (s, v) in [("smoke", Scale::Smoke), ("default", Scale::Default), ("paper", Scale::Paper)] {
+            assert_eq!(s.parse::<Scale>().unwrap(), v);
+        }
+        assert!("huge".parse::<Scale>().is_err());
+    }
+}

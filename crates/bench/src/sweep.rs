@@ -1,0 +1,182 @@
+//! θ-sweep runner implementing the paper's experimental protocol.
+//!
+//! Section 6: *"We repeat each experiment 10 times for each θ value, and
+//! select the graph of minimum distortion."* and (Section 6.6, for runtime)
+//! *"As soon as an algorithm finds a solution with less θ than the previous
+//! achieved θ, we record the time for all the θ values in between as the
+//! same time."* — the carry-forward rule below.
+
+use crate::methods::{Method, MethodRun};
+use lopacity_graph::Graph;
+use lopacity_metrics::UtilityReport;
+
+/// One (θ, method) cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Requested confidence threshold.
+    pub theta: f64,
+    /// Whether any repetition achieved the threshold.
+    pub achieved: bool,
+    /// Plot distortion (GADES failure convention applied), `None` = gap.
+    pub distortion: Option<f64>,
+    /// Wall-clock seconds of the selected repetition (carry-forward rule
+    /// applied).
+    pub secs: f64,
+    /// `maxLO` actually reached by the selected repetition.
+    pub achieved_lo: f64,
+    /// Utility metrics of the selected repetition's graph (when requested).
+    pub utility: Option<UtilityReport>,
+}
+
+/// Options for [`theta_sweep`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Path-length threshold L.
+    pub l: u8,
+    /// Repetitions per θ (minimum-distortion selection).
+    pub repeats: usize,
+    /// Base RNG seed; repetition `i` uses `seed + i`.
+    pub seed: u64,
+    /// Per-run step cap (see [`crate::Scale::max_steps`]).
+    pub max_steps: Option<usize>,
+    /// Per-run candidate-evaluation cap (see [`crate::Scale::trial_budget`]).
+    pub max_trials: Option<u64>,
+    /// Compute the full utility report per point (costs one APSP per point).
+    pub with_utility: bool,
+}
+
+/// Runs `method` over a descending θ sweep on `graph`.
+pub fn theta_sweep(
+    graph: &Graph,
+    method: Method,
+    thetas: &[f64],
+    opts: &SweepOptions,
+) -> Vec<SweepPoint> {
+    debug_assert!(thetas.windows(2).all(|w| w[0] >= w[1]), "thetas must descend");
+    let mut points: Vec<SweepPoint> = Vec::with_capacity(thetas.len());
+    let mut carry: Option<SweepPoint> = None;
+    for &theta in thetas {
+        if let Some(prev) = &carry {
+            // Carry-forward (paper protocol): a previous run that already
+            // achieved a maxLO at or below this θ answers this cell free.
+            if prev.achieved && prev.achieved_lo <= theta + 1e-9 {
+                let mut reused = prev.clone();
+                reused.theta = theta;
+                points.push(reused);
+                continue;
+            }
+            // Failure carry-forward: the greedy trajectories do not depend
+            // on θ (θ only stops the loop), so a run that could not get
+            // below `achieved_lo` at a looser θ repeats identically at any
+            // stricter one.
+            if !prev.achieved && prev.achieved_lo > theta {
+                let mut reused = prev.clone();
+                reused.theta = theta;
+                points.push(reused);
+                continue;
+            }
+        }
+        let point = run_point(graph, method, theta, opts);
+        carry = Some(point.clone());
+        points.push(point);
+    }
+    points
+}
+
+fn run_point(graph: &Graph, method: Method, theta: f64, opts: &SweepOptions) -> SweepPoint {
+    let mut best: Option<MethodRun> = None;
+    for rep in 0..opts.repeats.max(1) {
+        let run = method.run_with_budget(graph, opts.l, theta, opts.seed + rep as u64, opts.max_steps, opts.max_trials);
+        let better = match &best {
+            None => true,
+            Some(b) => match (run.outcome.achieved, b.outcome.achieved) {
+                (true, false) => true,
+                (false, _) => false,
+                (true, true) => run.outcome.edits() < b.outcome.edits(),
+            },
+        };
+        if better {
+            best = Some(run);
+        }
+        // Deterministic methods need no repetition.
+        if matches!(method, Method::GadedMax | Method::Gades) {
+            break;
+        }
+    }
+    let best = best.expect("at least one repetition ran");
+    let utility = opts
+        .with_utility
+        .then(|| UtilityReport::compute(graph, &best.outcome.graph));
+    SweepPoint {
+        theta,
+        achieved: best.outcome.achieved,
+        distortion: best.plot_distortion(graph),
+        secs: best.secs,
+        achieved_lo: best.outcome.final_lo,
+        utility,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopacity_gen::Dataset;
+
+    fn opts() -> SweepOptions {
+        SweepOptions {
+            l: 1,
+            repeats: 2,
+            seed: 5,
+            max_steps: Some(300),
+            max_trials: Some(1_000_000),
+            with_utility: false,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_thetas_in_order() {
+        let g = Dataset::Gnutella.generate(60, 1);
+        let thetas = [1.0, 0.8, 0.6, 0.4];
+        let points = theta_sweep(&g, Method::Rem { la: 1 }, &thetas, &opts());
+        assert_eq!(points.len(), 4);
+        for (p, &t) in points.iter().zip(&thetas) {
+            assert_eq!(p.theta, t);
+        }
+    }
+
+    #[test]
+    fn distortion_is_monotone_in_privacy() {
+        // Stricter θ can only require at least as many edits (per selected
+        // repetition this is not a theorem, but with carry-forward the
+        // recorded series is monotone except across feasibility cliffs).
+        let g = Dataset::Google.generate(60, 2);
+        let thetas: Vec<f64> = (0..=10).rev().map(|k| k as f64 / 10.0).collect();
+        let points = theta_sweep(&g, Method::Rem { la: 1 }, &thetas, &opts());
+        let distortions: Vec<f64> = points.iter().filter_map(|p| p.distortion).collect();
+        for w in distortions.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "distortion dropped as θ fell: {distortions:?}");
+        }
+    }
+
+    #[test]
+    fn carry_forward_reuses_overshooting_runs() {
+        let g = Dataset::Gnutella.generate(60, 3);
+        let thetas = [1.0, 0.9, 0.8];
+        let points = theta_sweep(&g, Method::Rem { la: 1 }, &thetas, &opts());
+        // θ=1.0 is satisfied by the input graph (LO ≤ 1 always); if its
+        // maxLO is already below 0.9 and 0.8 the cells must be identical.
+        if points[0].achieved_lo <= 0.8 {
+            assert_eq!(points[0].secs, points[1].secs);
+            assert_eq!(points[0].distortion, points[2].distortion);
+        }
+    }
+
+    #[test]
+    fn utility_reports_attach_when_requested() {
+        let g = Dataset::Gnutella.generate(50, 4);
+        let mut o = opts();
+        o.with_utility = true;
+        let points = theta_sweep(&g, Method::Rem { la: 1 }, &[0.5], &o);
+        assert!(points[0].utility.is_some());
+    }
+}

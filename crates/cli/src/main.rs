@@ -1,0 +1,156 @@
+//! `lopacify` — command-line L-opacity anonymization.
+//!
+//! ```text
+//! lopacify anonymize --in graph.txt --out anon.txt --l 2 --theta 0.5
+//!          [--method rem|rem-ins|gaded-rand|gaded-max|gades]
+//!          [--lookahead N] [--seed N] [--max-steps N]
+//! lopacify opacity   --in graph.txt --l 2 [--original orig.txt]
+//! lopacify stats     --in graph.txt
+//! lopacify generate  --dataset google --n 500 --out graph.txt [--seed N]
+//! ```
+//!
+//! Graphs are whitespace-separated edge lists (SNAP format); `#`/`%` lines
+//! are comments. `anonymize` prints the run report to stderr and writes the
+//! anonymized edge list; `opacity` prints the per-type opacity matrix.
+
+use lopacity::opacity::{opacity_report, opacity_report_against_original};
+use lopacity::{AnonymizeConfig, TypeSpec};
+use lopacity_baselines::{gaded_max, gaded_rand, gades};
+use lopacity_gen::Dataset;
+use lopacity_graph::{io as gio, Graph};
+use lopacity_metrics::{GraphStats, UtilityReport};
+use lopacity_util::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let command = args.positional(0).unwrap_or("").to_string();
+    let result = match command.as_str() {
+        "anonymize" => anonymize(&args),
+        "opacity" => opacity(&args),
+        "stats" => stats(&args),
+        "generate" => generate(&args),
+        "" | "help" | "--help" => {
+            eprint!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "\
+lopacify — linkage-aware graph anonymization (L-opacity, EDBT 2014)
+
+commands:
+  anonymize --in FILE --out FILE --l N --theta X [--method M] [--lookahead N]
+            [--seed N] [--max-steps N]
+            methods: rem (default), rem-ins, gaded-rand, gaded-max, gades
+  opacity   --in FILE --l N [--original FILE] [--theta X]
+  stats     --in FILE
+  generate  --dataset D --n N --out FILE [--seed N]
+            datasets: google, berkeley-stanford, epinions, enron, gnutella,
+                      acm, wikipedia
+";
+
+fn load(args: &Args, key: &str) -> Result<Graph, String> {
+    let path = args.get(key).ok_or(format!("missing --{key} FILE"))?;
+    gio::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn anonymize(args: &Args) -> Result<(), String> {
+    let graph = load(args, "in")?;
+    let out_path = args.get("out").ok_or("missing --out FILE")?;
+    let l: u8 = args.get_or("l", 1)?;
+    let theta: f64 = args.get_or("theta", 0.5)?;
+    let lookahead: usize = args.get_or("lookahead", 1)?;
+    let seed: u64 = args.get_or("seed", lopacity::config::DEFAULT_SEED)?;
+    let method = args.get("method").unwrap_or("rem");
+    if !(0.0..=1.0).contains(&theta) {
+        return Err(format!("theta {theta} out of [0, 1]"));
+    }
+    if l == 0 {
+        return Err("L must be at least 1".into());
+    }
+    if !matches!(method, "rem" | "rem-ins") && l != 1 {
+        return Err("baseline methods support only --l 1".into());
+    }
+    let mut config = AnonymizeConfig::new(l, theta).with_lookahead(lookahead).with_seed(seed);
+    let cap: usize = args.get_or("max-steps", 0)?;
+    if cap > 0 {
+        config = config.with_max_steps(cap);
+    }
+    let outcome = match method {
+        "rem" => lopacity::edge_removal(&graph, &TypeSpec::DegreePairs, &config),
+        "rem-ins" => lopacity::edge_removal_insertion(&graph, &TypeSpec::DegreePairs, &config),
+        "gaded-rand" => gaded_rand(&graph, theta, seed),
+        "gaded-max" => gaded_max(&graph, theta),
+        "gades" => gades(&graph, theta),
+        other => return Err(format!("unknown method {other:?}")),
+    };
+    gio::write_edge_list_file(&outcome.graph, out_path)
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!("{outcome}");
+    eprintln!("distortion: {:.2}%", 100.0 * outcome.distortion(&graph));
+    let utility = UtilityReport::compute(&graph, &outcome.graph);
+    eprintln!("utility: {utility}");
+    if !outcome.achieved {
+        eprintln!("warning: θ = {theta} was NOT reached (maxLO = {:.4})", outcome.final_lo);
+        std::process::exit(3);
+    }
+    Ok(())
+}
+
+fn opacity(args: &Args) -> Result<(), String> {
+    let graph = load(args, "in")?;
+    let l: u8 = args.get_or("l", 1)?;
+    if l == 0 {
+        return Err("L must be at least 1".into());
+    }
+    let report = match args.get("original") {
+        Some(path) => {
+            let original =
+                gio::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+            opacity_report_against_original(&original, &graph, &TypeSpec::DegreePairs, l)
+        }
+        None => opacity_report(&graph, &TypeSpec::DegreePairs, l),
+    };
+    println!("type\twithin_L\ttotal\tLO");
+    for row in &report.per_type {
+        println!("{}\t{}\t{}\t{:.4}", row.label, row.within_l, row.total, row.lo);
+    }
+    println!("maxLO = {} over {} non-empty types", report.max_lo, report.per_type.len());
+    let theta: f64 = args.get_or("theta", f64::NAN)?;
+    if !theta.is_nan() {
+        let ok = report.max_lo.satisfies(theta);
+        println!("{l}-opaque wrt θ = {theta}: {}", if ok { "YES" } else { "NO" });
+    }
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let graph = load(args, "in")?;
+    let stats = GraphStats::compute(&graph);
+    println!("{stats}");
+    Ok(())
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let dataset: Dataset = args
+        .get("dataset")
+        .ok_or("missing --dataset NAME")?
+        .parse()?;
+    let n: usize = args.get_or("n", 100)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let out_path = args.get("out").ok_or("missing --out FILE")?;
+    let graph = dataset.generate(n, seed);
+    gio::write_edge_list_file(&graph, out_path).map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!(
+        "generated {dataset} stand-in: n={} m={} -> {out_path}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}

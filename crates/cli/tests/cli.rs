@@ -1,0 +1,155 @@
+//! End-to-end tests of the `lopacify` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lopacify() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lopacify"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lopacify-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = lopacify().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("anonymize"), "usage missing: {text}");
+    assert!(text.contains("generate"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = lopacify().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_stats_anonymize_opacity_pipeline() {
+    let dir = temp_dir("pipeline");
+    let graph_path = dir.join("g.txt");
+    let anon_path = dir.join("anon.txt");
+
+    // generate
+    let out = lopacify()
+        .args(["generate", "--dataset", "gnutella", "--n", "60", "--seed", "7"])
+        .args(["--out", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(graph_path.exists());
+
+    // stats
+    let out = lopacify()
+        .args(["stats", "--in", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("n=60"), "stats output: {text}");
+
+    // anonymize
+    let out = lopacify()
+        .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+        .args(["--out", anon_path.to_str().unwrap()])
+        .args(["--l", "1", "--theta", "0.5", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stderr);
+    assert!(report.contains("achieved"), "report: {report}");
+    assert!(report.contains("distortion:"));
+
+    // opacity certificate against the original
+    let out = lopacify()
+        .args(["opacity", "--in", anon_path.to_str().unwrap()])
+        .args(["--original", graph_path.to_str().unwrap()])
+        .args(["--l", "1", "--theta", "0.5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1-opaque wrt θ = 0.5: YES"), "certificate: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn anonymize_rejects_bad_arguments() {
+    let dir = temp_dir("badargs");
+    let graph_path = dir.join("g.txt");
+    lopacify()
+        .args(["generate", "--dataset", "gnutella", "--n", "20"])
+        .args(["--out", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+
+    // θ out of range
+    let out = lopacify()
+        .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+        .args(["--out", dir.join("x.txt").to_str().unwrap()])
+        .args(["--theta", "1.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of [0, 1]"));
+
+    // baseline at L > 1
+    let out = lopacify()
+        .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+        .args(["--out", dir.join("x.txt").to_str().unwrap()])
+        .args(["--l", "2", "--method", "gades"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only --l 1"));
+
+    // missing file
+    let out = lopacify()
+        .args(["stats", "--in", dir.join("nope.txt").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_rejects_unknown_dataset() {
+    let out = lopacify()
+        .args(["generate", "--dataset", "friendster", "--n", "10", "--out", "/tmp/x.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+}
+
+#[test]
+fn baseline_methods_run_from_cli() {
+    let dir = temp_dir("baselines");
+    let graph_path = dir.join("g.txt");
+    lopacify()
+        .args(["generate", "--dataset", "gnutella", "--n", "40", "--seed", "5"])
+        .args(["--out", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    for method in ["gaded-rand", "gaded-max"] {
+        let out = lopacify()
+            .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+            .args(["--out", dir.join(format!("{method}.txt")).to_str().unwrap()])
+            .args(["--l", "1", "--theta", "0.6", "--method", method])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{method}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

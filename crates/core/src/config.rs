@@ -1,0 +1,171 @@
+//! Anonymization tuning knobs.
+
+use lopacity_apsp::ApspEngine;
+
+/// How the look-ahead explores multi-edge moves (Section 5's description is
+/// ambiguous between these two readings; both are provided and ablated in
+/// the benchmark suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookaheadMode {
+    /// Try single-edge moves first; escalate to combinations of size `s + 1`
+    /// only when no size-`<= s` move strictly improves `(maxLO, N)` — the
+    /// reading of Section 5's opening ("if there is no beneficial move
+    /// involving one edge..."). Default.
+    #[default]
+    Escalating,
+    /// Evaluate *all* combinations of size `1..=la` every step and pick the
+    /// overall best — the reading of Section 5.2 ("delay this random
+    /// decision until after checking all the possible combinations").
+    /// Exponentially more expensive; faithful to the runtime blow-up the
+    /// paper reports for `la = 2`.
+    Exhaustive,
+}
+
+/// Parameters of Algorithms 4 and 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnonymizeConfig {
+    /// Path-length threshold L (`>= 1`).
+    pub l: u8,
+    /// Confidence threshold θ in `[0, 1]`; the run stops when
+    /// `maxLO <= θ`.
+    pub theta: f64,
+    /// Look-ahead `la`: maximum number of edges considered jointly per
+    /// greedy step (`>= 1`).
+    pub lookahead: usize,
+    /// How the look-ahead space is explored.
+    pub lookahead_mode: LookaheadMode,
+    /// Beam width for multi-edge look-ahead: combinations of size `>= 2`
+    /// draw their edges only from the `beam` best single-edge candidates of
+    /// the current step. `None` (default, paper-faithful) searches all
+    /// `O(|E|^la)` combinations — the paper pays ~90,000-second runs for
+    /// that at la = 2; a beam of 32–128 keeps the "look-ahead rescues
+    /// Rem-Ins" effect at a tiny fraction of the cost.
+    pub lookahead_beam: Option<usize>,
+    /// Seed for the reservoir tie-breaker (Algorithm 4, lines 14–18).
+    pub seed: u64,
+    /// Safety valve: stop after this many greedy steps (`None` = run to
+    /// candidate exhaustion, as the paper's pseudo-code does).
+    pub max_steps: Option<usize>,
+    /// Safety valve: stop after this many candidate evaluations (`None` =
+    /// unbounded). Look-ahead `la >= 2` on an infeasible instance otherwise
+    /// enumerates `O(|E|^la)` combinations per step — the paper reports
+    /// ~90,000-second runs for Rem-Ins la=2 at 1000 vertices; this knob
+    /// bounds such runs, which end `achieved: false` either way.
+    pub max_trials: Option<u64>,
+    /// Engine for the initial all-pairs computation.
+    pub engine: ApspEngine,
+}
+
+impl AnonymizeConfig {
+    /// Configuration with the paper's defaults: `la = 1`, escalating
+    /// look-ahead, deterministic seed.
+    pub fn new(l: u8, theta: f64) -> Self {
+        assert!(l >= 1, "L must be at least 1");
+        assert!((0.0..=1.0).contains(&theta), "theta = {theta} out of [0, 1]");
+        AnonymizeConfig {
+            l,
+            theta,
+            lookahead: 1,
+            lookahead_mode: LookaheadMode::default(),
+            lookahead_beam: None,
+            seed: DEFAULT_SEED,
+            max_steps: None,
+            max_trials: None,
+            engine: ApspEngine::default(),
+        }
+    }
+
+    /// Sets the look-ahead depth `la`.
+    pub fn with_lookahead(mut self, la: usize) -> Self {
+        assert!(la >= 1, "look-ahead must be at least 1");
+        self.lookahead = la;
+        self
+    }
+
+    /// Sets the look-ahead exploration mode.
+    pub fn with_mode(mut self, mode: LookaheadMode) -> Self {
+        self.lookahead_mode = mode;
+        self
+    }
+
+    /// Sets the multi-edge look-ahead beam width.
+    pub fn with_beam(mut self, beam: usize) -> Self {
+        assert!(beam >= 2, "a beam below 2 cannot form a pair");
+        self.lookahead_beam = Some(beam);
+        self
+    }
+
+    /// Sets the tie-breaking seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the step budget.
+    pub fn with_max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Sets the candidate-evaluation budget.
+    pub fn with_max_trials(mut self, trials: u64) -> Self {
+        self.max_trials = Some(trials);
+        self
+    }
+
+    /// Sets the initial APSP engine.
+    pub fn with_engine(mut self, engine: ApspEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Default tie-breaking seed ("lopacity" leet-speak). Any fixed value works;
+/// having one makes unseeded runs reproducible.
+pub const DEFAULT_SEED: u64 = 0x10_7AC1_7EED;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AnonymizeConfig::new(2, 0.5);
+        assert_eq!(c.l, 2);
+        assert_eq!(c.theta, 0.5);
+        assert_eq!(c.lookahead, 1);
+        assert_eq!(c.lookahead_mode, LookaheadMode::Escalating);
+        assert_eq!(c.max_steps, None);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = AnonymizeConfig::new(1, 0.3)
+            .with_lookahead(2)
+            .with_mode(LookaheadMode::Exhaustive)
+            .with_seed(7)
+            .with_max_steps(100);
+        assert_eq!(c.lookahead, 2);
+        assert_eq!(c.lookahead_mode, LookaheadMode::Exhaustive);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.max_steps, Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_bad_theta() {
+        AnonymizeConfig::new(1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "L must be")]
+    fn rejects_l_zero() {
+        AnonymizeConfig::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "look-ahead")]
+    fn rejects_la_zero() {
+        AnonymizeConfig::new(1, 0.5).with_lookahead(0);
+    }
+}

@@ -1,0 +1,667 @@
+//! Incremental opacity evaluation with trial / apply / undo.
+//!
+//! The greedy heuristics (Algorithms 4 and 5) evaluate `LO(G')` for *every*
+//! candidate edge at *every* step — the dominant cost in the paper's
+//! `O(|E|^2 |V|^3)` worst case. Recomputing all-pairs distances per trial is
+//! wasteful: removing edge `(u, v)` can only lengthen pairs whose shortest
+//! `≤ L` path crosses that edge, and any such path reaches `u` or `v` within
+//! `L − 1` hops from its source. The evaluator therefore:
+//!
+//! 1. maintains the truncated distance matrix and the per-type
+//!    within-L counts of the *current* graph;
+//! 2. for a **trial**, re-runs a depth-L BFS only from the affected sources
+//!    `S = { i : min(d(i,u), d(i,v)) ≤ L−1 }` (old distances for removal,
+//!    new for insertion) and diffs the rows — counts change only when a pair
+//!    crosses the `≤ L` boundary;
+//! 3. for an **apply**, additionally writes the changed rows and returns an
+//!    [`UndoToken`] so look-ahead combinations roll back in O(changes).
+//!
+//! `L = 1` short-circuits entirely: a single edge flip changes exactly one
+//! pair. Equivalence with full recomputation is property-tested
+//! (`tests/evaluator_equivalence.rs`).
+
+use crate::lo::LoAssessment;
+use crate::types::{TypeSpec, TypeSystem};
+use lopacity_apsp::{ApspEngine, DistanceMatrix, TruncatedBfs, INF};
+use lopacity_graph::{Edge, Graph, VertexId};
+
+/// Incremental `maxLO` evaluator over a mutable working graph.
+pub struct OpacityEvaluator {
+    graph: Graph,
+    types: TypeSystem,
+    l: u8,
+    dist: DistanceMatrix,
+    counts: Vec<u64>,
+    revision: u64,
+    // Scratch (allocated once):
+    bfs: TruncatedBfs,
+    in_sources: Vec<bool>,
+    sources: Vec<VertexId>,
+    counts_scratch: Vec<u64>,
+    /// Insertion scratch: `(vertex, dist to near endpoint, dist to far
+    /// endpoint)` snapshots of the `L-1` balls around the inserted edge's
+    /// endpoints, plus membership marks for pair deduplication.
+    ball_a: Vec<(VertexId, u8, u8)>,
+    ball_b: Vec<(VertexId, u8, u8)>,
+    in_ball_a: Vec<bool>,
+    in_ball_b: Vec<bool>,
+    /// Cached two largest distinct opacity values with multiplicities;
+    /// rebuilt lazily after any committed change. Lets a single-type-delta
+    /// trial (the whole candidate scan at `L = 1`) run in O(1) instead of
+    /// O(#types).
+    top_two: Option<TopTwo>,
+}
+
+/// The two largest distinct per-type opacity values and their
+/// multiplicities.
+#[derive(Debug, Clone, Copy)]
+struct TopTwo {
+    first: Ratio,
+    n_first: usize,
+    second: Option<(Ratio, usize)>,
+}
+
+/// An exact non-negative rational with positive denominator.
+#[derive(Debug, Clone, Copy)]
+struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    fn cmp(self, other: Ratio) -> std::cmp::Ordering {
+        (self.num as u128 * other.den as u128).cmp(&(other.num as u128 * self.den as u128))
+    }
+}
+
+impl TopTwo {
+    fn scan(counts: &[u64], denoms: &[u64]) -> TopTwo {
+        let mut top = TopTwo { first: Ratio { num: 0, den: 1 }, n_first: 0, second: None };
+        for (&c, &d) in counts.iter().zip(denoms) {
+            if d == 0 {
+                continue;
+            }
+            top.offer(Ratio { num: c, den: d });
+        }
+        top
+    }
+
+    fn offer(&mut self, r: Ratio) {
+        use std::cmp::Ordering::*;
+        if self.n_first == 0 {
+            self.first = r;
+            self.n_first = 1;
+            return;
+        }
+        match r.cmp(self.first) {
+            Greater => {
+                self.second = Some((self.first, self.n_first));
+                self.first = r;
+                self.n_first = 1;
+            }
+            Equal => self.n_first += 1,
+            Less => match &mut self.second {
+                None => self.second = Some((r, 1)),
+                Some((s, n)) => match r.cmp(*s) {
+                    Greater => {
+                        *s = r;
+                        *n = 1;
+                    }
+                    Equal => *n += 1,
+                    Less => {}
+                },
+            },
+        }
+    }
+}
+
+/// Which mutation an [`UndoToken`] reverses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Removed(Edge),
+    Inserted(Edge),
+}
+
+/// Proof of an applied mutation; feed back to [`OpacityEvaluator::undo`] in
+/// LIFO order to roll back.
+pub struct UndoToken {
+    op: Op,
+    /// `(flat pair index, previous truncated distance)`.
+    dist_changes: Vec<(usize, u8)>,
+    /// `(type id, delta applied to counts)`.
+    count_changes: Vec<(u32, i64)>,
+    /// Evaluator revision right after this apply (LIFO check).
+    revision: u64,
+}
+
+impl OpacityEvaluator {
+    /// Builds the evaluator: one full truncated APSP plus the per-type
+    /// counts. The type system is frozen from `graph`'s current degrees.
+    ///
+    /// # Panics
+    /// Panics when `l == 0` (no linkage shorter than one edge exists) or
+    /// `l > MAX_L`.
+    pub fn new(graph: Graph, spec: &TypeSpec, l: u8) -> Self {
+        Self::with_engine(graph, spec, l, ApspEngine::default())
+    }
+
+    /// Like [`OpacityEvaluator::new`] with an explicit initial APSP engine.
+    pub fn with_engine(graph: Graph, spec: &TypeSpec, l: u8, engine: ApspEngine) -> Self {
+        assert!(l >= 1, "L must be at least 1");
+        let types = TypeSystem::build(&graph, spec);
+        let dist = engine.compute(&graph, l);
+        let counts = crate::opacity::count_within_l(&dist, &types, l);
+        let n = graph.num_vertices();
+        OpacityEvaluator {
+            graph,
+            l,
+            dist,
+            revision: 0,
+            bfs: TruncatedBfs::new(n),
+            in_sources: vec![false; n],
+            sources: Vec::new(),
+            counts_scratch: counts.clone(),
+            ball_a: Vec::new(),
+            ball_b: Vec::new(),
+            in_ball_a: vec![false; n],
+            in_ball_b: vec![false; n],
+            counts,
+            types,
+            top_two: None,
+        }
+    }
+
+    /// The current working graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The frozen type system.
+    pub fn types(&self) -> &TypeSystem {
+        &self.types
+    }
+
+    /// The length threshold L.
+    pub fn l(&self) -> u8 {
+        self.l
+    }
+
+    /// Consumes the evaluator, returning the working graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Current per-type within-L counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `maxLO` and `N(maxLO)` of the current graph.
+    pub fn assessment(&self) -> LoAssessment {
+        LoAssessment::from_counts(&self.counts, self.types.denominators())
+    }
+
+    /// Assessment of the graph with `e` removed, without mutating state.
+    ///
+    /// # Panics
+    /// Panics when `e` is not currently an edge.
+    pub fn trial_remove(&mut self, e: Edge) -> LoAssessment {
+        let (u, v) = e.endpoints();
+        if self.l == 1 {
+            // Only the pair (u, v) itself crosses the boundary.
+            debug_assert!(self.graph.has_edge(u, v), "trial_remove of non-edge {e}");
+            return self.single_pair_assessment(u, v, -1);
+        }
+        let removed = self.graph.remove_edge(u, v);
+        assert!(removed, "trial_remove of non-edge {e}");
+        self.collect_sources_from_dist(u, v);
+        self.counts_scratch.copy_from_slice(&self.counts);
+        let n = self.graph.num_vertices();
+        for idx in 0..self.sources.len() {
+            let i = self.sources[idx];
+            self.bfs.run(&self.graph, i, self.l);
+            for j in 0..n as VertexId {
+                if j == i || (self.in_sources[j as usize] && j < i) {
+                    continue;
+                }
+                let old = self.dist.get(i, j);
+                if old != INF && self.bfs.dist(j) == INF {
+                    if let Some(t) = self.types.type_of(i, j) {
+                        self.counts_scratch[t as usize] -= 1;
+                    }
+                }
+            }
+        }
+        self.clear_sources();
+        self.graph.add_edge(u, v);
+        LoAssessment::from_counts(&self.counts_scratch, self.types.denominators())
+    }
+
+    /// Assessment of the graph with `e` inserted, without mutating state.
+    ///
+    /// Unlike removal, single-edge insertion has a closed form over the old
+    /// distances — a new shortest path uses the inserted edge at most once,
+    /// so `d'(i,j) = min(d(i,j), d(i,u)+1+d(v,j), d(i,v)+1+d(u,j))` — and
+    /// every pair entering the `<= L` set has both legs inside the `L-1`
+    /// balls around `u` and `v`. No BFS, no graph mutation: `O(n + |B_u|
+    /// |B_v|)` per trial, which is what makes Algorithm 5's `O(|V|^2)`
+    /// insertion candidate scans tractable.
+    ///
+    /// # Panics
+    /// Panics when `e` already is an edge or touches out-of-range vertices.
+    pub fn trial_insert(&mut self, e: Edge) -> LoAssessment {
+        let (u, v) = e.endpoints();
+        assert!(!self.graph.has_edge(u, v), "trial_insert of existing edge {e}");
+        if self.l == 1 {
+            return self.single_pair_assessment(u, v, 1);
+        }
+        self.collect_balls(u, v);
+        self.counts_scratch.copy_from_slice(&self.counts);
+        let l = self.l as u16;
+        for a in 0..self.ball_a.len() {
+            let (i, diu, div) = self.ball_a[a];
+            for b in 0..self.ball_b.len() {
+                let (j, dvj, duj) = self.ball_b[b];
+                if i == j
+                    || (i > j && self.in_ball_b[i as usize] && self.in_ball_a[j as usize])
+                {
+                    continue; // each unordered pair handled exactly once
+                }
+                if self.dist.get(i, j) != INF {
+                    continue; // already within L; membership cannot change
+                }
+                let via1 = diu as u16 + 1 + dvj as u16;
+                let via2 = div as u16 + 1 + duj as u16;
+                if via1.min(via2) <= l {
+                    if let Some(t) = self.types.type_of(i, j) {
+                        self.counts_scratch[t as usize] += 1;
+                    }
+                }
+            }
+        }
+        self.clear_balls();
+        LoAssessment::from_counts(&self.counts_scratch, self.types.denominators())
+    }
+
+    /// Removes `e` permanently, updating distances and counts; returns an
+    /// undo token.
+    pub fn apply_remove(&mut self, e: Edge) -> UndoToken {
+        let (u, v) = e.endpoints();
+        let removed = self.graph.remove_edge(u, v);
+        assert!(removed, "apply_remove of non-edge {e}");
+        // Sources from the *pre-removal* distances: the matrix still holds
+        // them (the graph edge is already gone, but `dist` is stale-by-one).
+        self.collect_sources_from_dist(u, v);
+        let mut token = UndoToken {
+            op: Op::Removed(e),
+            dist_changes: Vec::new(),
+            count_changes: Vec::new(),
+            revision: self.revision + 1,
+        };
+        let n = self.graph.num_vertices();
+        for idx in 0..self.sources.len() {
+            let i = self.sources[idx];
+            self.bfs.run(&self.graph, i, self.l);
+            for j in 0..n as VertexId {
+                if j == i || (self.in_sources[j as usize] && j < i) {
+                    continue;
+                }
+                let old = self.dist.get(i, j);
+                if old == INF {
+                    continue; // removal never shortens
+                }
+                let new = self.bfs.dist(j);
+                if new != old {
+                    let flat = self.dist.index(i, j);
+                    token.dist_changes.push((flat, old));
+                    self.dist.set_flat(flat, new);
+                    if new == INF {
+                        if let Some(t) = self.types.type_of(i, j) {
+                            self.counts[t as usize] -= 1;
+                            token.count_changes.push((t, -1));
+                        }
+                    }
+                }
+            }
+        }
+        self.clear_sources();
+        self.revision += 1;
+        self.top_two = None;
+        token
+    }
+
+    /// Inserts `e` permanently, updating distances and counts; returns an
+    /// undo token. Uses the same closed form as [`Self::trial_insert`]; the
+    /// ball snapshots are taken from the pre-insertion matrix, so in-place
+    /// cell updates cannot contaminate later reads.
+    pub fn apply_insert(&mut self, e: Edge) -> UndoToken {
+        let (u, v) = e.endpoints();
+        let added = self.graph.add_edge(u, v);
+        assert!(added, "apply_insert of existing edge {e}");
+        self.collect_balls(u, v);
+        let mut token = UndoToken {
+            op: Op::Inserted(e),
+            dist_changes: Vec::new(),
+            count_changes: Vec::new(),
+            revision: self.revision + 1,
+        };
+        let l = self.l as u16;
+        for a in 0..self.ball_a.len() {
+            let (i, diu, div) = self.ball_a[a];
+            for b in 0..self.ball_b.len() {
+                let (j, dvj, duj) = self.ball_b[b];
+                if i == j
+                    || (i > j && self.in_ball_b[i as usize] && self.in_ball_a[j as usize])
+                {
+                    continue;
+                }
+                let via1 = diu as u16 + 1 + dvj as u16;
+                let via2 = div as u16 + 1 + duj as u16;
+                let best = via1.min(via2);
+                if best > l {
+                    continue;
+                }
+                let old = self.dist.get(i, j);
+                let best = best as u8;
+                if old == INF || best < old {
+                    let flat = self.dist.index(i, j);
+                    token.dist_changes.push((flat, old));
+                    self.dist.set_flat(flat, best);
+                    if old == INF {
+                        if let Some(t) = self.types.type_of(i, j) {
+                            self.counts[t as usize] += 1;
+                            token.count_changes.push((t, 1));
+                        }
+                    }
+                }
+            }
+        }
+        self.clear_balls();
+        self.revision += 1;
+        self.top_two = None;
+        token
+    }
+
+    /// Rolls back the most recent un-undone apply. Tokens must be returned
+    /// in LIFO order.
+    ///
+    /// # Panics
+    /// Panics when tokens are undone out of order.
+    pub fn undo(&mut self, token: UndoToken) {
+        assert_eq!(
+            token.revision, self.revision,
+            "undo out of order: token revision {} vs evaluator {}",
+            token.revision, self.revision
+        );
+        for &(flat, old) in &token.dist_changes {
+            self.dist.set_flat(flat, old);
+        }
+        for &(t, delta) in &token.count_changes {
+            let slot = &mut self.counts[t as usize];
+            *slot = (*slot as i64 - delta) as u64;
+        }
+        match token.op {
+            Op::Removed(e) => {
+                self.graph.add_edge(e.u(), e.v());
+            }
+            Op::Inserted(e) => {
+                self.graph.remove_edge(e.u(), e.v());
+            }
+        }
+        self.revision -= 1;
+        self.top_two = None;
+    }
+
+    /// Full recomputation of distances and counts — the reference the
+    /// incremental path is validated against.
+    pub fn recompute_full(&self) -> (DistanceMatrix, Vec<u64>) {
+        let dist = ApspEngine::TruncatedBfs.compute(&self.graph, self.l);
+        let counts = crate::opacity::count_within_l(&dist, &self.types, self.l);
+        (dist, counts)
+    }
+
+    /// Debug check: incremental state equals a full recomputation.
+    pub fn verify_consistency(&self) -> Result<(), String> {
+        let (dist, counts) = self.recompute_full();
+        if dist != self.dist {
+            for (i, j, d) in dist.iter_pairs() {
+                if self.dist.get(i, j) != d {
+                    return Err(format!(
+                        "distance mismatch at ({i}, {j}): incremental {} vs full {d}",
+                        self.dist.get(i, j)
+                    ));
+                }
+            }
+        }
+        if counts != self.counts {
+            return Err(format!(
+                "count mismatch: incremental {:?} vs full {counts:?}",
+                self.counts
+            ));
+        }
+        Ok(())
+    }
+
+    /// L = 1 fast path: flipping edge `(u, v)` changes exactly that pair,
+    /// i.e. one type's count by ±1. With the cached top-two opacity values
+    /// the resulting `(maxLO, N)` follows in O(1).
+    fn single_pair_assessment(&mut self, u: VertexId, v: VertexId, delta: i64) -> LoAssessment {
+        let Some(t) = self.types.type_of(u, v) else {
+            return self.assessment();
+        };
+        let den = self.types.denominators()[t as usize];
+        if den == 0 {
+            return self.assessment();
+        }
+        let top = *self
+            .top_two
+            .get_or_insert_with(|| TopTwo::scan(&self.counts, self.types.denominators()));
+        let old = Ratio { num: self.counts[t as usize], den };
+        let new = Ratio { num: (self.counts[t as usize] as i64 + delta) as u64, den };
+
+        use std::cmp::Ordering::*;
+        // Remove one instance of `old` from the cached top values.
+        let base = if old.cmp(top.first) == Equal {
+            if top.n_first > 1 {
+                Some((top.first, top.n_first - 1))
+            } else {
+                top.second
+            }
+        } else {
+            // `old` is below the max; the max is untouched.
+            Some((top.first, top.n_first))
+        };
+        // Fold `new` back in.
+        match base {
+            None => LoAssessment::new(new.num, new.den, 1),
+            Some((b, nb)) => match new.cmp(b) {
+                Greater => LoAssessment::new(new.num, new.den, 1),
+                Equal => LoAssessment::new(b.num, b.den, nb + 1),
+                Less => LoAssessment::new(b.num, b.den, nb),
+            },
+        }
+    }
+
+    /// `S = { i : min(d(i,u), d(i,v)) <= L-1 }` from the stored distances.
+    fn collect_sources_from_dist(&mut self, u: VertexId, v: VertexId) {
+        let n = self.graph.num_vertices();
+        let cutoff = self.l - 1;
+        self.sources.clear();
+        for i in 0..n as VertexId {
+            let du = self.dist.get(i, u);
+            let dv = self.dist.get(i, v);
+            if du.min(dv) <= cutoff {
+                self.sources.push(i);
+                self.in_sources[i as usize] = true;
+            }
+        }
+    }
+
+    /// Snapshots the `L-1` balls around `u` and `v` from the stored (old)
+    /// distances: `ball_a = { (i, d(i,u), d(i,v)) : d(i,u) <= L-1 }` and
+    /// symmetrically for `ball_b` around `v`.
+    fn collect_balls(&mut self, u: VertexId, v: VertexId) {
+        let cutoff = self.l - 1;
+        let n = self.graph.num_vertices();
+        self.ball_a.clear();
+        self.ball_b.clear();
+        for i in 0..n as VertexId {
+            let diu = self.dist.get(i, u);
+            let div = self.dist.get(i, v);
+            if diu <= cutoff {
+                self.ball_a.push((i, diu, div));
+                self.in_ball_a[i as usize] = true;
+            }
+            if div <= cutoff {
+                self.ball_b.push((i, div, diu));
+                self.in_ball_b[i as usize] = true;
+            }
+        }
+    }
+
+    fn clear_balls(&mut self) {
+        for &(i, _, _) in &self.ball_a {
+            self.in_ball_a[i as usize] = false;
+        }
+        for &(j, _, _) in &self.ball_b {
+            self.in_ball_b[j as usize] = false;
+        }
+    }
+
+    fn clear_sources(&mut self) {
+        for &i in &self.sources {
+            self.in_sources[i as usize] = false;
+        }
+        self.sources.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    fn evaluator(l: u8) -> OpacityEvaluator {
+        OpacityEvaluator::new(paper_graph(), &TypeSpec::DegreePairs, l)
+    }
+
+    #[test]
+    fn initial_assessment_matches_algorithm_1() {
+        let ev = evaluator(1);
+        let a = ev.assessment();
+        assert_eq!(a.as_f64(), 1.0);
+        assert_eq!(a.n_at_max(), 2);
+        ev.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn trial_remove_matches_full_recomputation() {
+        for l in 1..=3u8 {
+            let mut ev = evaluator(l);
+            for e in paper_graph().edge_vec() {
+                let trial = ev.trial_remove(e);
+                let mut g = paper_graph();
+                g.remove_edge(e.u(), e.v());
+                let full =
+                    reference_assessment(&g, ev.types(), l);
+                assert_eq!(trial.ratio(), full.ratio(), "edge {e}, L={l}");
+                assert_eq!(trial.n_at_max(), full.n_at_max(), "edge {e}, L={l}");
+                // Trial must not change state.
+                ev.verify_consistency().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn trial_insert_matches_full_recomputation() {
+        for l in 1..=3u8 {
+            let mut ev = evaluator(l);
+            for e in paper_graph().non_edges().collect::<Vec<_>>() {
+                let trial = ev.trial_insert(e);
+                let mut g = paper_graph();
+                g.add_edge(e.u(), e.v());
+                let full = reference_assessment(&g, ev.types(), l);
+                assert_eq!(trial.ratio(), full.ratio(), "edge {e}, L={l}");
+                ev.verify_consistency().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn apply_then_undo_restores_everything() {
+        for l in 1..=3u8 {
+            let mut ev = evaluator(l);
+            let before_counts = ev.counts().to_vec();
+            let e = Edge::new(1, 4);
+            let token = ev.apply_remove(e);
+            assert!(!ev.graph().has_edge(1, 4));
+            ev.verify_consistency().unwrap();
+            ev.undo(token);
+            assert!(ev.graph().has_edge(1, 4));
+            assert_eq!(ev.counts(), before_counts.as_slice(), "L={l}");
+            ev.verify_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn nested_apply_undo_is_lifo() {
+        let mut ev = evaluator(2);
+        let t1 = ev.apply_remove(Edge::new(1, 4));
+        let t2 = ev.apply_insert(Edge::new(0, 6));
+        ev.verify_consistency().unwrap();
+        ev.undo(t2);
+        ev.undo(t1);
+        ev.verify_consistency().unwrap();
+        assert_eq!(ev.graph(), &paper_graph());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn undo_rejects_wrong_order() {
+        let mut ev = evaluator(2);
+        let t1 = ev.apply_remove(Edge::new(1, 4));
+        let _t2 = ev.apply_insert(Edge::new(0, 6));
+        ev.undo(t1); // t2 still outstanding
+    }
+
+    #[test]
+    fn applies_compose_with_full_recompute() {
+        let mut ev = evaluator(3);
+        let _ = ev.apply_remove(Edge::new(1, 4));
+        let _ = ev.apply_remove(Edge::new(2, 5));
+        let _ = ev.apply_insert(Edge::new(0, 6));
+        ev.verify_consistency().unwrap();
+        let a = ev.assessment();
+        let full = reference_assessment(ev.graph(), ev.types(), 3);
+        assert_eq!(a.ratio(), full.ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edge")]
+    fn trial_remove_rejects_non_edges() {
+        let mut ev = evaluator(2);
+        ev.trial_remove(Edge::new(0, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "existing edge")]
+    fn trial_insert_rejects_existing_edges() {
+        let mut ev = evaluator(2);
+        ev.trial_insert(Edge::new(0, 1));
+    }
+
+    /// Reference: assessment from a scratch APSP with a *fixed* type system
+    /// (original degrees of the paper graph).
+    fn reference_assessment(g: &Graph, types: &TypeSystem, l: u8) -> LoAssessment {
+        let dist = ApspEngine::TruncatedBfs.compute(g, l);
+        let counts = crate::opacity::count_within_l(&dist, types, l);
+        LoAssessment::from_counts(&counts, types.denominators())
+    }
+}

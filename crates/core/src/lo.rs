@@ -1,0 +1,191 @@
+//! Exact opacity values.
+//!
+//! Every `LO_G(T)` is a ratio of two integers (pairs within L over all pairs
+//! of the type). The greedy heuristics break ties on *exact equality* of
+//! opacity values — comparing floats there would make tie-breaking (and
+//! therefore the whole run, via the reservoir sampler) platform-dependent.
+//! [`LoAssessment`] keeps the maximum as an exact rational.
+
+use std::cmp::Ordering;
+
+/// The two quantities the greedy step minimizes, lexicographically:
+/// the maximum opacity `maxLO` (an exact rational) and `N(maxLO)`, the
+/// number of types attaining it (Section 5.2's tie-break).
+#[derive(Debug, Clone, Copy)]
+pub struct LoAssessment {
+    /// Numerator of the maximum per-type opacity.
+    num: u64,
+    /// Denominator of the maximum per-type opacity (0 only for "no types").
+    den: u64,
+    /// Number of types attaining the maximum.
+    n_at_max: usize,
+}
+
+impl LoAssessment {
+    /// The all-zero assessment (no typed pair within reach).
+    pub const ZERO: LoAssessment = LoAssessment { num: 0, den: 1, n_at_max: 0 };
+
+    /// Builds an assessment from an explicit ratio and multiplicity. The
+    /// ratio is stored in lowest terms, so equal opacity values always have
+    /// identical representations regardless of which type produced them.
+    pub fn new(num: u64, den: u64, n_at_max: usize) -> Self {
+        assert!(den > 0, "opacity denominator must be positive");
+        let g = gcd(num, den);
+        LoAssessment { num: num / g, den: den / g, n_at_max }
+    }
+
+    /// Scans per-type counts/denominators and returns the exact maximum and
+    /// its multiplicity. Types with a zero denominator are skipped.
+    pub fn from_counts(counts: &[u64], denoms: &[u64]) -> Self {
+        debug_assert_eq!(counts.len(), denoms.len());
+        let mut best = LoAssessment::ZERO;
+        for (&c, &d) in counts.iter().zip(denoms) {
+            if d == 0 {
+                continue;
+            }
+            match cmp_ratio(c, d, best.num, best.den) {
+                Ordering::Greater => best = LoAssessment { num: c, den: d, n_at_max: 1 },
+                Ordering::Equal => best.n_at_max += 1,
+                Ordering::Less => {}
+            }
+        }
+        // A graph with types but none linked: report multiplicity of the
+        // zero value as 0 rather than the number of types; the tie-break
+        // only matters between equal *positive* maxima, and ZERO starts the
+        // scan with multiplicity 0 for the 0/1 value.
+        LoAssessment::new(best.num, best.den, best.n_at_max)
+    }
+
+    /// The opacity value as a float (display / θ comparison).
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Number of types attaining the maximum — the paper's `N(LO(G'))`.
+    pub fn n_at_max(&self) -> usize {
+        self.n_at_max
+    }
+
+    /// Exact numerator/denominator of the maximum.
+    pub fn ratio(&self) -> (u64, u64) {
+        (self.num, self.den)
+    }
+
+    /// Whether the value satisfies the privacy threshold: `maxLO ≤ θ`
+    /// (the loop condition of Algorithms 4 and 5, negated).
+    pub fn satisfies(&self, theta: f64) -> bool {
+        // num/den <= theta  <=>  num <= theta * den, with a tolerance that
+        // forgives float representation of θ values like 0.3.
+        (self.num as f64) <= theta * (self.den as f64) + 1e-9
+    }
+
+    /// Strictly-better comparison for greedy moves: smaller `maxLO` first,
+    /// then smaller `N(maxLO)`.
+    pub fn better_than(&self, other: &LoAssessment) -> bool {
+        match cmp_ratio(self.num, self.den, other.num, other.den) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => self.n_at_max < other.n_at_max,
+        }
+    }
+
+    /// Exact equality of both the value and the multiplicity.
+    pub fn ties_with(&self, other: &LoAssessment) -> bool {
+        cmp_ratio(self.num, self.den, other.num, other.den) == Ordering::Equal
+            && self.n_at_max == other.n_at_max
+    }
+
+    /// Compares only the opacity values (not the multiplicities).
+    pub fn cmp_value(&self, other: &LoAssessment) -> Ordering {
+        cmp_ratio(self.num, self.den, other.num, other.den)
+    }
+}
+
+/// Exact comparison of `a/b` vs `c/d` (b, d > 0) without overflow.
+fn cmp_ratio(a: u64, b: u64, c: u64, d: u64) -> Ordering {
+    debug_assert!(b > 0 && d > 0);
+    (a as u128 * d as u128).cmp(&(c as u128 * b as u128))
+}
+
+/// Greatest common divisor (Euclid); `gcd(0, d) = d`.
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+impl std::fmt::Display for LoAssessment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} ({:.4}) ×{}", self.num, self.den, self.as_f64(), self.n_at_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_finds_max_and_multiplicity() {
+        // LO values: 1/2, 2/3, 4/6 (= 2/3), 0/5 -> max 2/3 with multiplicity 2.
+        let counts = [1, 2, 4, 0];
+        let denoms = [2, 3, 6, 5];
+        let a = LoAssessment::from_counts(&counts, &denoms);
+        assert_eq!(a.ratio(), (2, 3));
+        assert_eq!(a.n_at_max(), 2);
+        assert!((a.as_f64() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominator_types_are_skipped() {
+        let a = LoAssessment::from_counts(&[5, 1], &[0, 2]);
+        assert_eq!(a.ratio(), (1, 2));
+    }
+
+    #[test]
+    fn exact_ties_beat_float_rounding() {
+        // 1/3 vs 333333.../10^18 would tie under f64; exact compare must not.
+        let a = LoAssessment::new(1, 3, 1);
+        let b = LoAssessment::new(333_333_333_333_333_333, 1_000_000_000_000_000_000, 1);
+        assert_eq!(a.cmp_value(&b), Ordering::Greater);
+    }
+
+    #[test]
+    fn better_than_is_lexicographic() {
+        let lo_small = LoAssessment::new(1, 4, 9);
+        let lo_big = LoAssessment::new(1, 2, 1);
+        assert!(lo_small.better_than(&lo_big));
+        let fewer_types = LoAssessment::new(1, 2, 1);
+        let more_types = LoAssessment::new(2, 4, 3);
+        assert!(fewer_types.better_than(&more_types));
+        assert!(!more_types.better_than(&fewer_types));
+        assert!(!fewer_types.better_than(&fewer_types));
+    }
+
+    #[test]
+    fn satisfies_uses_inclusive_threshold() {
+        let half = LoAssessment::new(1, 2, 1);
+        assert!(half.satisfies(0.5));
+        assert!(half.satisfies(0.6));
+        assert!(!half.satisfies(0.49));
+        assert!(LoAssessment::ZERO.satisfies(0.0));
+        let third = LoAssessment::new(1, 3, 1);
+        assert!(third.satisfies(1.0 / 3.0), "float θ representation must not reject equality");
+    }
+
+    #[test]
+    fn ties_with_requires_both_components() {
+        let a = LoAssessment::new(2, 4, 2);
+        let b = LoAssessment::new(1, 2, 2);
+        assert!(a.ties_with(&b));
+        let c = LoAssessment::new(1, 2, 3);
+        assert!(!a.ties_with(&c));
+    }
+
+    #[test]
+    fn empty_counts_are_zero() {
+        let a = LoAssessment::from_counts(&[], &[]);
+        assert_eq!(a.as_f64(), 0.0);
+        assert!(a.satisfies(0.0));
+    }
+}

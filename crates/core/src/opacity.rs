@@ -1,0 +1,234 @@
+//! Opacity computation (paper Algorithm 1 and Figure 5).
+
+use crate::lo::LoAssessment;
+use crate::types::{TypeSpec, TypeSystem};
+use lopacity_apsp::{ApspEngine, DistanceMatrix, INF};
+use lopacity_graph::Graph;
+
+/// Per-type opacity row: `LO_G(T) = |{pairs of T within L}| / |T|`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeOpacity {
+    /// Type identifier.
+    pub type_id: u32,
+    /// Human-readable label (`P{g,h}` for degree types).
+    pub label: String,
+    /// Number of pairs of this type with geodesic distance `<= L`.
+    pub within_l: u64,
+    /// `|T|`, including unreachable pairs.
+    pub total: u64,
+    /// The opacity value (0 for empty types).
+    pub lo: f64,
+}
+
+/// Output of Algorithm 1: every type's opacity plus the maximum.
+#[derive(Debug, Clone)]
+pub struct OpacityReport {
+    /// One row per non-empty type, ascending type id.
+    pub per_type: Vec<TypeOpacity>,
+    /// `max_T LO_G(T)` with its multiplicity `N(maxLO)`.
+    pub max_lo: LoAssessment,
+}
+
+impl OpacityReport {
+    /// Rows currently attaining the maximum opacity.
+    pub fn argmax(&self) -> Vec<&TypeOpacity> {
+        let (num, den) = self.max_lo.ratio();
+        self.per_type
+            .iter()
+            .filter(|row| row.within_l as u128 * den as u128 == num as u128 * row.total as u128)
+            .collect()
+    }
+}
+
+/// Counts, per type, the pairs with distance `<= l` given a truncated
+/// distance matrix. This is the core loop of Algorithm 1 (lines 3–6).
+pub fn count_within_l(dist: &DistanceMatrix, types: &TypeSystem, l: u8) -> Vec<u64> {
+    let mut counts = vec![0u64; types.num_types()];
+    for (i, j, d) in dist.iter_pairs() {
+        if d != INF && d <= l {
+            if let Some(t) = types.type_of(i, j) {
+                counts[t as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Algorithm 1 (`maxLO`), with the full per-type breakdown of Figure 5c.
+/// Uses the default truncated-BFS engine.
+pub fn opacity_report(graph: &Graph, spec: &TypeSpec, l: u8) -> OpacityReport {
+    opacity_report_with_engine(graph, spec, l, ApspEngine::default())
+}
+
+/// Algorithm 1 with an explicit distance engine (Algorithms 2/3 or BFS).
+pub fn opacity_report_with_engine(
+    graph: &Graph,
+    spec: &TypeSpec,
+    l: u8,
+    engine: ApspEngine,
+) -> OpacityReport {
+    let types = TypeSystem::build(graph, spec);
+    let dist = engine.compute(graph, l);
+    let counts = count_within_l(&dist, &types, l);
+    report_from_counts(&types, &counts)
+}
+
+/// Assembles a report from precomputed per-type counts.
+pub fn report_from_counts(types: &TypeSystem, counts: &[u64]) -> OpacityReport {
+    let denoms = types.denominators();
+    let per_type = counts
+        .iter()
+        .zip(denoms)
+        .enumerate()
+        .filter(|&(_, (_, &total))| total > 0)
+        .map(|(t, (&within_l, &total))| TypeOpacity {
+            type_id: t as u32,
+            label: types.label(t as u32).to_string(),
+            within_l,
+            total,
+            lo: within_l as f64 / total as f64,
+        })
+        .collect();
+    OpacityReport { per_type, max_lo: LoAssessment::from_counts(counts, denoms) }
+}
+
+/// Convenience: just the maximum opacity value of a graph.
+pub fn max_lo(graph: &Graph, spec: &TypeSpec, l: u8) -> f64 {
+    opacity_report(graph, spec, l).max_lo.as_f64()
+}
+
+/// Algorithm 1 under the paper's publication model: types are built from
+/// the **original** graph (whose degrees are published alongside the
+/// anonymized form), while distances are measured on the **published**
+/// graph. This is the report that certifies an anonymization: the
+/// `maxLO <= θ` guarantee of Algorithms 4/5 is with respect to original
+/// degrees, which may differ from the published graph's current degrees.
+///
+/// # Panics
+/// Panics when the two graphs have different vertex counts.
+pub fn opacity_report_against_original(
+    original: &Graph,
+    published: &Graph,
+    spec: &TypeSpec,
+    l: u8,
+) -> OpacityReport {
+    assert_eq!(
+        original.num_vertices(),
+        published.num_vertices(),
+        "anonymization never changes the vertex set"
+    );
+    let types = TypeSystem::build(original, spec);
+    let dist = ApspEngine::default().compute(published, l);
+    let counts = count_within_l(&dist, &types, l);
+    report_from_counts(&types, &counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    fn row<'r>(report: &'r OpacityReport, label: &str) -> &'r TypeOpacity {
+        report
+            .per_type
+            .iter()
+            .find(|r| r.label == label)
+            .unwrap_or_else(|| panic!("no row labelled {label}"))
+    }
+
+    #[test]
+    fn reproduces_figure_5_matrices_at_l_1() {
+        // Figure 5a (counts within L) and 5c (opacity matrix) for L = 1.
+        let report = opacity_report(&paper_graph(), &TypeSpec::DegreePairs, 1);
+        assert_eq!(row(&report, "P{1,3}").within_l, 1);
+        assert_eq!(row(&report, "P{2,4}").within_l, 4);
+        assert_eq!(row(&report, "P{3,4}").within_l, 2);
+        assert_eq!(row(&report, "P{4,4}").within_l, 3);
+        assert_eq!(row(&report, "P{1,2}").within_l, 0);
+        assert_eq!(row(&report, "P{2,2}").within_l, 0);
+        // Opacity values of Figure 5c.
+        assert!((row(&report, "P{1,3}").lo - 1.0).abs() < 1e-12);
+        assert!((row(&report, "P{2,4}").lo - 2.0 / 3.0).abs() < 1e-12);
+        assert!((row(&report, "P{3,4}").lo - 2.0 / 3.0).abs() < 1e-12);
+        assert!((row(&report, "P{4,4}").lo - 1.0).abs() < 1e-12);
+        // The running example's maxLO is 1 (Section 5.1.1).
+        assert_eq!(report.max_lo.as_f64(), 1.0);
+        assert_eq!(report.max_lo.n_at_max(), 2); // P{1,3} and P{4,4}
+    }
+
+    #[test]
+    fn argmax_returns_the_saturated_types() {
+        let report = opacity_report(&paper_graph(), &TypeSpec::DegreePairs, 1);
+        let labels: Vec<&str> = report.argmax().iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["P{1,3}", "P{4,4}"]);
+    }
+
+    #[test]
+    fn example_from_section_5_1_1_p34_at_l_1() {
+        // "the L-opacity of P{3,4} in G is 2/3" — three pairs, two within 1.
+        let report = opacity_report(&paper_graph(), &TypeSpec::DegreePairs, 1);
+        let r = row(&report, "P{3,4}");
+        assert_eq!((r.within_l, r.total), (2, 3));
+    }
+
+    #[test]
+    fn larger_l_saturates_connected_graph() {
+        // Figure 1's graph has diameter 3: at L = 3 every pair is within L.
+        let report = opacity_report(&paper_graph(), &TypeSpec::DegreePairs, 3);
+        for r in &report.per_type {
+            assert_eq!(r.within_l, r.total, "type {}", r.label);
+        }
+        assert_eq!(report.max_lo.as_f64(), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_is_fully_opaque() {
+        let g = Graph::new(5);
+        let report = opacity_report(&g, &TypeSpec::DegreePairs, 2);
+        assert_eq!(report.max_lo.as_f64(), 0.0);
+        assert!(report.max_lo.satisfies(0.0));
+    }
+
+    #[test]
+    fn all_engines_agree_on_opacity() {
+        let g = paper_graph();
+        for l in 1..=3u8 {
+            let reference = opacity_report_with_engine(
+                &g,
+                &TypeSpec::DegreePairs,
+                l,
+                ApspEngine::FloydWarshall,
+            );
+            for engine in ApspEngine::ALL {
+                let got = opacity_report_with_engine(&g, &TypeSpec::DegreePairs, l, engine);
+                assert_eq!(got.max_lo.ratio(), reference.max_lo.ratio());
+                assert_eq!(got.per_type.len(), reference.per_type.len());
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_types_ignore_unlisted_pairs() {
+        let g = paper_graph();
+        let spec = TypeSpec::Explicit(vec![vec![(0, 1), (0, 3)]]);
+        let report = opacity_report(&g, &spec, 1);
+        // (0,1) is an edge; (0,3) is at distance 2.
+        assert_eq!(report.per_type.len(), 1);
+        assert_eq!(report.per_type[0].within_l, 1);
+        assert_eq!(report.per_type[0].total, 2);
+        assert_eq!(report.max_lo.ratio(), (1, 2));
+    }
+
+    #[test]
+    fn max_lo_convenience_matches_report() {
+        let g = paper_graph();
+        assert_eq!(max_lo(&g, &TypeSpec::DegreePairs, 1), 1.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Exact minimum-removal L-opacification for small instances.
+//!
+//! Section 4 notes the exhaustive approach — try all `O(2^{|V|^2})` edge
+//! sets — before proving the problem NP-hard and resorting to heuristics.
+//! This module implements a *practical* exact solver for the pure-removal
+//! variant on small graphs: iterative deepening over the number of removals
+//! with branch-and-bound pruning. It exists to measure the greedy
+//! heuristics' optimality gap (the `optgap` ablation), not for production
+//! use; cost is exponential by Theorem 1.
+//!
+//! Pruning: a subset of removals can only *shrink* each type's within-L
+//! count, and removing one edge eliminates at most `cap(e)` currently
+//! violating pairs. At depth `d` with budget `k`, if the most violated type
+//! still needs more than `(k - d)` times the largest per-edge elimination
+//! capacity, the branch is dead — a cheap admissible bound that keeps tiny
+//! instances (≤ ~25 edges) tractable.
+
+use crate::evaluator::OpacityEvaluator;
+use crate::types::TypeSpec;
+use lopacity_apsp::ApspEngine;
+use lopacity_graph::{Edge, Graph};
+
+/// Result of the exact search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// A minimum-cardinality removal set achieving `maxLO <= θ`.
+    pub removals: Vec<Edge>,
+    /// Nodes of the search tree explored (diagnostics).
+    pub nodes_explored: u64,
+}
+
+/// Finds a *minimum-cardinality* edge-removal set making `graph`
+/// `(l, theta)`-opaque, or `None` if even the empty graph fails (only
+/// possible for `theta < 0`-style inputs; the empty graph always satisfies
+/// `theta >= 0`).
+///
+/// # Panics
+/// Panics when the graph has more than `max_edges` edges — the search is
+/// exponential, and the cap (recommended ≤ 25) makes accidental misuse loud
+/// rather than eternal.
+pub fn exact_min_removals(
+    graph: &Graph,
+    spec: &TypeSpec,
+    l: u8,
+    theta: f64,
+    max_edges: usize,
+) -> Option<ExactSolution> {
+    assert!(
+        graph.num_edges() <= max_edges,
+        "exact search on {} edges exceeds the safety cap {max_edges}",
+        graph.num_edges()
+    );
+    let mut ev = OpacityEvaluator::with_engine(graph.clone(), spec, l, ApspEngine::default());
+    let mut nodes = 0u64;
+    if ev.assessment().satisfies(theta) {
+        return Some(ExactSolution { removals: Vec::new(), nodes_explored: 1 });
+    }
+    let edges = graph.edge_vec();
+    // Iterative deepening: the first depth with a solution is minimal.
+    for budget in 1..=edges.len() {
+        let mut chosen = Vec::with_capacity(budget);
+        if search(&mut ev, &edges, 0, budget, theta, &mut chosen, &mut nodes) {
+            return Some(ExactSolution { removals: chosen, nodes_explored: nodes });
+        }
+    }
+    // Removing every edge yields the empty graph (LO = 0 <= θ for θ >= 0),
+    // so the loop above always returns for valid θ.
+    None
+}
+
+fn search(
+    ev: &mut OpacityEvaluator,
+    edges: &[Edge],
+    start: usize,
+    budget: usize,
+    theta: f64,
+    chosen: &mut Vec<Edge>,
+    nodes: &mut u64,
+) -> bool {
+    *nodes += 1;
+    if ev.assessment().satisfies(theta) {
+        return true;
+    }
+    if budget == 0 || start >= edges.len() {
+        return false;
+    }
+    // Bound: even removing `budget` more edges cannot fix a type that is
+    // over-subscribed by more than budget (each removal eliminates at most
+    // one within-L pair per type at L = 1; for L > 1 a removal can clear
+    // many pairs, so the bound only applies at L = 1).
+    if ev.l() == 1 {
+        let denoms = ev.types().denominators();
+        for (t, &count) in ev.counts().iter().enumerate() {
+            let d = denoms[t];
+            if d == 0 {
+                continue;
+            }
+            let allowed = (theta * d as f64 + 1e-9).floor() as u64;
+            if count > allowed + budget as u64 {
+                return false; // this type cannot be repaired in time
+            }
+        }
+    }
+    // Branch: remaining edges must supply all `budget` removals.
+    if edges.len() - start < budget {
+        return false;
+    }
+    for idx in start..edges.len() {
+        let e = edges[idx];
+        if !ev.graph().has_edge(e.u(), e.v()) {
+            continue;
+        }
+        let token = ev.apply_remove(e);
+        chosen.push(e);
+        if search(ev, edges, idx + 1, budget - 1, theta, chosen, nodes) {
+            // `chosen` holds the solution; restore the evaluator so the
+            // iterative-deepening driver can keep reusing it.
+            ev.undo(token);
+            return true;
+        }
+        chosen.pop();
+        ev.undo(token);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opacity::opacity_report_against_original;
+    use crate::{edge_removal, AnonymizeConfig};
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_removals_when_already_opaque() {
+        let g = paper_graph();
+        let sol = exact_min_removals(&g, &TypeSpec::DegreePairs, 1, 1.0, 25).unwrap();
+        assert!(sol.removals.is_empty());
+    }
+
+    #[test]
+    fn solution_is_valid_and_minimal_on_paper_graph() {
+        let g = paper_graph();
+        let theta = 0.5;
+        let sol = exact_min_removals(&g, &TypeSpec::DegreePairs, 1, theta, 25).unwrap();
+        // Validity.
+        let mut h = g.clone();
+        for e in &sol.removals {
+            assert!(h.remove_edge(e.u(), e.v()));
+        }
+        let cert = opacity_report_against_original(&g, &h, &TypeSpec::DegreePairs, 1);
+        assert!(cert.max_lo.satisfies(theta));
+        // Minimality: by hand, θ=0.5 needs the P{1,3} edge gone, P{4,4}
+        // down from 3 to 1 (2 removals) and P{2,4} from 4 to 3 (1 removal,
+        // unless covered by side effects) — at least 3 removals; the greedy
+        // finds 5. Check the exact optimum is sane and no worse than greedy.
+        let greedy = edge_removal(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(1, theta));
+        assert!(sol.removals.len() <= greedy.removed.len());
+        assert!(sol.removals.len() >= 3, "optimum {} below hand bound", sol.removals.len());
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_tiny_graphs() {
+        // Cross-check against a naive subset enumeration.
+        let g = Graph::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)])
+            .unwrap();
+        let theta = 0.4;
+        let sol = exact_min_removals(&g, &TypeSpec::DegreePairs, 1, theta, 25).unwrap();
+        let edges = g.edge_vec();
+        let mut brute_best = usize::MAX;
+        for mask in 0u32..(1 << edges.len()) {
+            let mut h = g.clone();
+            for (i, e) in edges.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    h.remove_edge(e.u(), e.v());
+                }
+            }
+            let cert = opacity_report_against_original(&g, &h, &TypeSpec::DegreePairs, 1);
+            if cert.max_lo.satisfies(theta) {
+                brute_best = brute_best.min(mask.count_ones() as usize);
+            }
+        }
+        assert_eq!(sol.removals.len(), brute_best);
+    }
+
+    #[test]
+    fn works_for_l2() {
+        let g = paper_graph();
+        let sol = exact_min_removals(&g, &TypeSpec::DegreePairs, 2, 0.6, 25).unwrap();
+        let mut h = g.clone();
+        for e in &sol.removals {
+            h.remove_edge(e.u(), e.v());
+        }
+        let cert = opacity_report_against_original(&g, &h, &TypeSpec::DegreePairs, 2);
+        assert!(cert.max_lo.satisfies(0.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "safety cap")]
+    fn rejects_oversized_inputs() {
+        let g = lopacity_gen_free_graph();
+        exact_min_removals(&g, &TypeSpec::DegreePairs, 1, 0.5, 5);
+    }
+
+    /// A 6-edge graph used only to trip the cap assertion.
+    fn lopacity_gen_free_graph() -> Graph {
+        Graph::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap()
+    }
+}

@@ -1,0 +1,387 @@
+//! Algorithm 4: greedy **Edge Removal** with look-ahead.
+//!
+//! Each step evaluates the removal of every candidate edge, choosing the
+//! move that minimizes `(maxLO, N(maxLO))` lexicographically; exact ties
+//! are broken uniformly at random with the reservoir counter of Algorithm 4
+//! (lines 14–18). With look-ahead `la > 1`, combinations of up to `la`
+//! edges enter the search space (see [`crate::config::LookaheadMode`] for
+//! the two explored readings of the paper's description). The loop ends
+//! when `maxLO <= θ` or no removable edge remains.
+
+use crate::config::{AnonymizeConfig, LookaheadMode};
+use crate::evaluator::OpacityEvaluator;
+use crate::lo::LoAssessment;
+use crate::result::AnonymizationOutcome;
+use crate::types::TypeSpec;
+use lopacity_graph::{Edge, Graph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which elementary move a combo scan performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MoveKind {
+    Remove,
+    Insert,
+}
+
+/// Streaming argmin over candidate combos with Algorithm 4's reservoir
+/// tie-break: ties (same exact `maxLO` *and* same `N`) among equal-size
+/// combos are resolved uniformly at random; larger combos never displace an
+/// equally good smaller one.
+pub(crate) struct BestTracker {
+    best: Option<(Vec<Edge>, LoAssessment)>,
+    ties: u64,
+}
+
+impl BestTracker {
+    pub(crate) fn new() -> Self {
+        BestTracker { best: None, ties: 0 }
+    }
+
+    pub(crate) fn offer(&mut self, combo: &[Edge], a: LoAssessment, rng: &mut StdRng) {
+        match &mut self.best {
+            None => {
+                self.best = Some((combo.to_vec(), a));
+                self.ties = 1;
+            }
+            Some((best_combo, best_a)) => {
+                if a.better_than(best_a) {
+                    best_combo.clear();
+                    best_combo.extend_from_slice(combo);
+                    *best_a = a;
+                    self.ties = 1;
+                } else if a.ties_with(best_a) && combo.len() == best_combo.len() {
+                    self.ties += 1;
+                    if rng.random::<f64>() < 1.0 / self.ties as f64 {
+                        best_combo.clear();
+                        best_combo.extend_from_slice(combo);
+                        *best_a = a;
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn take(self) -> Option<(Vec<Edge>, LoAssessment)> {
+        self.best
+    }
+}
+
+/// Evaluates every size-`size` combination of `candidates` (in index
+/// order), offering each to the tracker. Prefix edges are applied and
+/// undone via the evaluator's journal; the last edge of each combo is a
+/// pure trial.
+pub(crate) fn scan_combos(
+    ev: &mut OpacityEvaluator,
+    candidates: &[Edge],
+    size: usize,
+    kind: MoveKind,
+    tracker: &mut BestTracker,
+    rng: &mut StdRng,
+    trials: &mut u64,
+    trial_budget: Option<u64>,
+) {
+    let mut stack = Vec::with_capacity(size);
+    recurse(ev, candidates, 0, size, &mut stack, kind, tracker, rng, trials, trial_budget);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    ev: &mut OpacityEvaluator,
+    candidates: &[Edge],
+    start: usize,
+    size: usize,
+    stack: &mut Vec<Edge>,
+    kind: MoveKind,
+    tracker: &mut BestTracker,
+    rng: &mut StdRng,
+    trials: &mut u64,
+    trial_budget: Option<u64>,
+) {
+    let exhausted = |trials: &u64| trial_budget.is_some_and(|cap| *trials >= cap);
+    if stack.len() + 1 == size {
+        for &e in &candidates[start..] {
+            if exhausted(trials) {
+                return; // budget hit mid-scan: keep the best found so far
+            }
+            let a = match kind {
+                MoveKind::Remove => ev.trial_remove(e),
+                MoveKind::Insert => ev.trial_insert(e),
+            };
+            *trials += 1;
+            stack.push(e);
+            tracker.offer(stack, a, rng);
+            stack.pop();
+        }
+    } else {
+        for idx in start..candidates.len() {
+            if exhausted(trials) {
+                return;
+            }
+            let e = candidates[idx];
+            let token = match kind {
+                MoveKind::Remove => ev.apply_remove(e),
+                MoveKind::Insert => ev.apply_insert(e),
+            };
+            stack.push(e);
+            recurse(ev, candidates, idx + 1, size, stack, kind, tracker, rng, trials, trial_budget);
+            stack.pop();
+            ev.undo(token);
+        }
+    }
+}
+
+/// Chooses the next move per the configured look-ahead policy. Returns
+/// `None` when `candidates` is empty.
+pub(crate) fn choose_move(
+    ev: &mut OpacityEvaluator,
+    candidates: &[Edge],
+    current: LoAssessment,
+    config: &AnonymizeConfig,
+    kind: MoveKind,
+    rng: &mut StdRng,
+    trials: &mut u64,
+) -> Option<(Vec<Edge>, LoAssessment)> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let max_size = config.lookahead.min(candidates.len());
+
+    // Size-1 scan, shared by both modes; per-candidate assessments are kept
+    // only when a beam must be ranked later.
+    let mut tracker = BestTracker::new();
+    let keep_singles = max_size > 1 && config.lookahead_beam.is_some();
+    let mut singles: Vec<(Edge, LoAssessment)> =
+        Vec::with_capacity(if keep_singles { candidates.len() } else { 0 });
+    for &e in candidates {
+        if config.max_trials.is_some_and(|cap| *trials >= cap) {
+            break;
+        }
+        let a = match kind {
+            MoveKind::Remove => ev.trial_remove(e),
+            MoveKind::Insert => ev.trial_insert(e),
+        };
+        *trials += 1;
+        tracker.offer(&[e], a, rng);
+        if keep_singles {
+            singles.push((e, a));
+        }
+    }
+
+    // The candidate pool for multi-edge combinations: everything, or the
+    // `beam` most promising single moves.
+    let beamed: Vec<Edge>;
+    let pool: &[Edge] = match config.lookahead_beam {
+        Some(beam) if singles.len() > beam => {
+            singles.sort_by(|(_, x), (_, y)| {
+                x.cmp_value(y).then(x.n_at_max().cmp(&y.n_at_max()))
+            });
+            beamed = singles.iter().take(beam).map(|&(e, _)| e).collect();
+            &beamed
+        }
+        _ => candidates,
+    };
+
+    match config.lookahead_mode {
+        LookaheadMode::Escalating => {
+            let mut overall = tracker.take();
+            if let Some((_, a)) = &overall {
+                if a.better_than(&current) {
+                    // A beneficial single move exists: no escalation
+                    // (Section 5's first reading).
+                    return overall;
+                }
+            }
+            for size in 2..=max_size {
+                if config.max_trials.is_some_and(|cap| *trials >= cap) {
+                    break; // budget spent: do not escalate further
+                }
+                let mut tracker = BestTracker::new();
+                scan_combos(ev, pool, size, kind, &mut tracker, rng, trials, config.max_trials);
+                if let Some((combo, a)) = tracker.take() {
+                    let replace = match &overall {
+                        None => true,
+                        Some((_, oa)) => a.better_than(oa),
+                    };
+                    if replace {
+                        overall = Some((combo, a));
+                    }
+                    if a.better_than(&current) {
+                        return overall;
+                    }
+                }
+            }
+            overall
+        }
+        LookaheadMode::Exhaustive => {
+            for size in 2..=max_size {
+                if config.max_trials.is_some_and(|cap| *trials >= cap) {
+                    break;
+                }
+                scan_combos(ev, pool, size, kind, &mut tracker, rng, trials, config.max_trials);
+            }
+            tracker.take()
+        }
+    }
+}
+
+/// **Algorithm 4**: anonymize `graph` by greedy edge removal until
+/// `maxLO <= θ` (or candidates/steps run out).
+pub fn edge_removal(
+    graph: &Graph,
+    spec: &TypeSpec,
+    config: &AnonymizeConfig,
+) -> AnonymizationOutcome {
+    let mut ev = OpacityEvaluator::with_engine(graph.clone(), spec, config.l, config.engine);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut removed = Vec::new();
+    let mut steps = 0usize;
+    let mut trials = 0u64;
+    let mut achieved = ev.assessment().satisfies(config.theta);
+    while !achieved && ev.graph().num_edges() > 0 {
+        if config.max_steps.is_some_and(|cap| steps >= cap)
+            || config.max_trials.is_some_and(|cap| trials >= cap)
+        {
+            break;
+        }
+        let current = ev.assessment();
+        let candidates = ev.graph().edge_vec();
+        let Some((combo, _)) =
+            choose_move(&mut ev, &candidates, current, config, MoveKind::Remove, &mut rng, &mut trials)
+        else {
+            break;
+        };
+        for e in combo {
+            let _committed = ev.apply_remove(e);
+            removed.push(e);
+        }
+        steps += 1;
+        achieved = ev.assessment().satisfies(config.theta);
+    }
+    let final_a = ev.assessment();
+    AnonymizationOutcome {
+        graph: ev.into_graph(),
+        removed,
+        inserted: Vec::new(),
+        steps,
+        trials,
+        final_lo: final_a.as_f64(),
+        final_n_at_max: final_a.n_at_max(),
+        achieved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opacity::opacity_report;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn achieves_theta_on_paper_graph_l1() {
+        let original = paper_graph();
+        let config = AnonymizeConfig::new(1, 0.5).with_seed(1);
+        let out = edge_removal(&original, &TypeSpec::DegreePairs, &config);
+        assert!(out.achieved, "{out}");
+        assert!(out.inserted.is_empty());
+        let report = crate::opacity::opacity_report_against_original(
+            &original,
+            &out.graph,
+            &TypeSpec::DegreePairs,
+            1,
+        );
+        assert!(report.max_lo.satisfies(0.5), "final LO {}", report.max_lo);
+    }
+
+    #[test]
+    fn theta_one_needs_no_work() {
+        let config = AnonymizeConfig::new(1, 1.0);
+        let out = edge_removal(&paper_graph(), &TypeSpec::DegreePairs, &config);
+        assert!(out.achieved);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.graph, paper_graph());
+    }
+
+    #[test]
+    fn theta_zero_empties_typed_linkage() {
+        // θ = 0 demands no typed pair within L at all.
+        let config = AnonymizeConfig::new(1, 0.0).with_seed(3);
+        let out = edge_removal(&paper_graph(), &TypeSpec::DegreePairs, &config);
+        assert!(out.achieved);
+        assert_eq!(out.graph.num_edges(), 0, "every edge is a within-1 typed pair");
+    }
+
+    #[test]
+    fn types_use_original_degrees_throughout() {
+        // After removals change degrees, opacity is still measured against
+        // the original degree types; re-building types from the *anonymized*
+        // graph may legitimately differ.
+        let config = AnonymizeConfig::new(1, 0.4).with_seed(5);
+        let original = paper_graph();
+        let out = edge_removal(&original, &TypeSpec::DegreePairs, &config);
+        let frozen = crate::types::TypeSystem::build(&original, &TypeSpec::DegreePairs);
+        let dist = lopacity_apsp::ApspEngine::TruncatedBfs.compute(&out.graph, 1);
+        let counts = crate::opacity::count_within_l(&dist, &frozen, 1);
+        let a = LoAssessment::from_counts(&counts, frozen.denominators());
+        assert!(a.satisfies(0.4));
+    }
+
+    #[test]
+    fn removal_is_deterministic_per_seed() {
+        let config = AnonymizeConfig::new(1, 0.3).with_seed(11);
+        let a = edge_removal(&paper_graph(), &TypeSpec::DegreePairs, &config);
+        let b = edge_removal(&paper_graph(), &TypeSpec::DegreePairs, &config);
+        assert_eq!(a.removed, b.removed);
+    }
+
+    #[test]
+    fn max_steps_caps_the_run() {
+        let config = AnonymizeConfig::new(1, 0.0).with_max_steps(2);
+        let out = edge_removal(&paper_graph(), &TypeSpec::DegreePairs, &config);
+        assert!(!out.achieved);
+        assert_eq!(out.steps, 2);
+        assert_eq!(out.removed.len(), 2);
+    }
+
+    #[test]
+    fn lookahead_two_explores_more() {
+        let base = AnonymizeConfig::new(2, 0.3).with_seed(2);
+        let out1 = edge_removal(&paper_graph(), &TypeSpec::DegreePairs, &base);
+        let out2 = edge_removal(
+            &paper_graph(),
+            &TypeSpec::DegreePairs,
+            &base.with_lookahead(2).with_mode(LookaheadMode::Exhaustive),
+        );
+        assert!(out2.trials >= out1.trials);
+        assert!(out2.achieved);
+    }
+
+    #[test]
+    fn l2_respects_two_hop_linkage() {
+        let config = AnonymizeConfig::new(2, 0.5).with_seed(7);
+        let out = edge_removal(&paper_graph(), &TypeSpec::DegreePairs, &config);
+        assert!(out.achieved);
+        let report = opacity_report(&out.graph, &TypeSpec::DegreePairs, 2);
+        // Note: report re-derives types from the anonymized graph's degrees;
+        // the run guarantee is for original-degree types (checked via
+        // `types_use_original_degrees_throughout`), so only sanity-check
+        // that distances actually shrank here.
+        assert!(!out.removed.is_empty());
+        let _ = report;
+    }
+
+    #[test]
+    fn empty_graph_is_instantly_opaque() {
+        let g = Graph::new(5);
+        let out = edge_removal(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(1, 0.0));
+        assert!(out.achieved);
+        assert_eq!(out.steps, 0);
+    }
+}

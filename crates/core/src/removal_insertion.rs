@@ -1,0 +1,206 @@
+//! Algorithm 5: greedy **Edge Removal/Insertion**.
+//!
+//! Each iteration performs one removal phase followed by one insertion
+//! phase — the insertion counter-balances the removal, keeping the edge
+//! count of the published graph equal to the original's (with `la = 1`).
+//! To prevent oscillation, an edge that has been inserted is never removed
+//! again, and a removed edge is never re-inserted (the paper's `E_D`/`E_A`
+//! bookkeeping); both sets grow monotonically, which also bounds the loop.
+//!
+//! With look-ahead `la > 1`, each phase independently explores multi-edge
+//! combinations (the paper only states the extension is "analogous" to
+//! Algorithm 4's; under multi-edge moves the phases may transiently differ
+//! in size, so exact edge-count preservation is guaranteed for `la = 1`).
+
+use crate::config::AnonymizeConfig;
+use crate::evaluator::OpacityEvaluator;
+use crate::removal::{choose_move, MoveKind};
+use crate::result::AnonymizationOutcome;
+use crate::types::TypeSpec;
+use lopacity_graph::{Edge, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// **Algorithm 5**: anonymize `graph` by alternating edge removal and edge
+/// insertion until `maxLO <= θ` (or candidates/steps run out).
+pub fn edge_removal_insertion(
+    graph: &Graph,
+    spec: &TypeSpec,
+    config: &AnonymizeConfig,
+) -> AnonymizationOutcome {
+    let mut ev = OpacityEvaluator::with_engine(graph.clone(), spec, config.l, config.engine);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut removed: Vec<Edge> = Vec::new();
+    let mut inserted: Vec<Edge> = Vec::new();
+    let mut removed_set: HashSet<Edge> = HashSet::new();
+    let mut inserted_set: HashSet<Edge> = HashSet::new();
+    let mut steps = 0usize;
+    let mut trials = 0u64;
+    let mut achieved = ev.assessment().satisfies(config.theta);
+
+    while !achieved && ev.graph().num_edges() > 0 {
+        if config.max_steps.is_some_and(|cap| steps >= cap)
+            || config.max_trials.is_some_and(|cap| trials >= cap)
+        {
+            break;
+        }
+        // --- Removal phase: edges never previously inserted. ---
+        let candidates: Vec<Edge> =
+            ev.graph().edges().filter(|e| !inserted_set.contains(e)).collect();
+        let current = ev.assessment();
+        let Some((combo, _)) =
+            choose_move(&mut ev, &candidates, current, config, MoveKind::Remove, &mut rng, &mut trials)
+        else {
+            break; // nothing removable: the heuristic is stuck
+        };
+        for e in combo {
+            let _committed = ev.apply_remove(e);
+            removed.push(e);
+            removed_set.insert(e);
+        }
+
+        // --- Insertion phase: non-edges never previously removed. ---
+        let candidates: Vec<Edge> =
+            ev.graph().non_edges().filter(|e| !removed_set.contains(e)).collect();
+        let current = ev.assessment();
+        if let Some((combo, _)) =
+            choose_move(&mut ev, &candidates, current, config, MoveKind::Insert, &mut rng, &mut trials)
+        {
+            for e in combo {
+                let _committed = ev.apply_insert(e);
+                inserted.push(e);
+                inserted_set.insert(e);
+            }
+        }
+
+        steps += 1;
+        achieved = ev.assessment().satisfies(config.theta);
+    }
+
+    let final_a = ev.assessment();
+    AnonymizationOutcome {
+        graph: ev.into_graph(),
+        removed,
+        inserted,
+        steps,
+        trials,
+        final_lo: final_a.as_f64(),
+        final_n_at_max: final_a.n_at_max(),
+        achieved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opacity::opacity_report_against_original;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn infeasible_theta_terminates_without_achieving() {
+        // On the Figure 1 graph at L = 1, keeping |E| = 10 while meeting
+        // θ = 0.5 is *infeasible*: summing each degree-type's maximum
+        // within-L capacity (⌊θ |T|⌋ over all types) allows at most 8 edges.
+        // Algorithm 5 must therefore stop by candidate exhaustion — the
+        // behaviour the paper reports for Rem-Ins on hard instances.
+        let original = paper_graph();
+        let config = AnonymizeConfig::new(1, 0.5).with_seed(1);
+        let out = edge_removal_insertion(&original, &TypeSpec::DegreePairs, &config);
+        assert!(!out.achieved, "θ=0.5 with constant |E| should be infeasible: {out}");
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn achieves_feasible_theta_on_larger_graph() {
+        // A roomier instance where insertion capacity suffices.
+        let mut original = Graph::new(12);
+        for i in 0..12u32 {
+            original.add_edge(i, (i + 1) % 12);
+            if i % 3 == 0 {
+                original.add_edge(i, (i + 5) % 12);
+            }
+        }
+        let config = AnonymizeConfig::new(1, 0.6).with_seed(2);
+        let out = edge_removal_insertion(&original, &TypeSpec::DegreePairs, &config);
+        assert!(out.achieved, "{out}");
+        let report =
+            opacity_report_against_original(&original, &out.graph, &TypeSpec::DegreePairs, 1);
+        assert!(report.max_lo.satisfies(0.6), "final LO {}", report.max_lo);
+    }
+
+    #[test]
+    fn preserves_edge_count_with_la_1() {
+        let original = paper_graph();
+        let config = AnonymizeConfig::new(1, 0.5).with_seed(3);
+        let out = edge_removal_insertion(&original, &TypeSpec::DegreePairs, &config);
+        if out.achieved && out.removed.len() == out.inserted.len() {
+            assert_eq!(out.graph.num_edges(), original.num_edges());
+        }
+        // Every iteration pairs one removal with (at most) one insertion.
+        assert!(out.inserted.len() <= out.removed.len());
+        assert!(out.removed.len() <= out.steps);
+    }
+
+    #[test]
+    fn never_reinserts_removed_or_removes_inserted() {
+        let original = paper_graph();
+        let config = AnonymizeConfig::new(1, 0.3).with_seed(5);
+        let out = edge_removal_insertion(&original, &TypeSpec::DegreePairs, &config);
+        let removed: std::collections::HashSet<_> = out.removed.iter().collect();
+        let inserted: std::collections::HashSet<_> = out.inserted.iter().collect();
+        assert!(removed.is_disjoint(&inserted), "an edge crossed sides");
+        // Edit lists have no duplicates.
+        assert_eq!(removed.len(), out.removed.len());
+        assert_eq!(inserted.len(), out.inserted.len());
+    }
+
+    #[test]
+    fn final_graph_matches_edit_lists() {
+        let original = paper_graph();
+        let config = AnonymizeConfig::new(2, 0.6).with_seed(9);
+        let out = edge_removal_insertion(&original, &TypeSpec::DegreePairs, &config);
+        let mut replay = original.clone();
+        for e in &out.removed {
+            assert!(replay.remove_edge(e.u(), e.v()), "removed edge {e} not present");
+        }
+        for e in &out.inserted {
+            assert!(replay.add_edge(e.u(), e.v()), "inserted edge {e} already present");
+        }
+        assert_eq!(replay, out.graph);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = AnonymizeConfig::new(1, 0.4).with_seed(11);
+        let a = edge_removal_insertion(&paper_graph(), &TypeSpec::DegreePairs, &config);
+        let b = edge_removal_insertion(&paper_graph(), &TypeSpec::DegreePairs, &config);
+        assert_eq!(a.removed, b.removed);
+        assert_eq!(a.inserted, b.inserted);
+    }
+
+    #[test]
+    fn theta_one_is_a_no_op() {
+        let out = edge_removal_insertion(
+            &paper_graph(),
+            &TypeSpec::DegreePairs,
+            &AnonymizeConfig::new(1, 1.0),
+        );
+        assert!(out.achieved);
+        assert_eq!(out.edits(), 0);
+    }
+
+    #[test]
+    fn max_steps_bounds_iterations() {
+        let config = AnonymizeConfig::new(1, 0.0).with_max_steps(3);
+        let out = edge_removal_insertion(&paper_graph(), &TypeSpec::DegreePairs, &config);
+        assert!(out.steps <= 3);
+    }
+}

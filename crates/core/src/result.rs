@@ -1,0 +1,99 @@
+//! Anonymization run reports.
+
+use lopacity_graph::{Edge, Graph};
+
+/// Everything a run of Algorithm 4 or 5 produced.
+#[derive(Debug, Clone)]
+pub struct AnonymizationOutcome {
+    /// The anonymized graph `Ĝ(V, Ê)`.
+    pub graph: Graph,
+    /// Edges removed, in removal order (the paper's `E_D`).
+    pub removed: Vec<Edge>,
+    /// Edges inserted, in insertion order (the paper's `E_A`).
+    pub inserted: Vec<Edge>,
+    /// Greedy steps executed (one step = one committed move, possibly
+    /// multi-edge under look-ahead).
+    pub steps: usize,
+    /// Candidate evaluations performed (the search-space size actually
+    /// explored; grows steeply with `la`).
+    pub trials: u64,
+    /// `maxLO` of the final graph.
+    pub final_lo: f64,
+    /// `N(maxLO)` of the final graph.
+    pub final_n_at_max: usize,
+    /// Whether `maxLO <= θ` was reached (false = candidates exhausted or
+    /// step budget hit).
+    pub achieved: bool,
+}
+
+impl AnonymizationOutcome {
+    /// Distortion against the original graph (Equation 1):
+    /// `|E Δ Ê| / |E|`. The algorithms never undo their own moves, so the
+    /// edit lists *are* the symmetric difference.
+    pub fn distortion(&self, original: &Graph) -> f64 {
+        let delta = self.removed.len() + self.inserted.len();
+        if delta == 0 {
+            return 0.0;
+        }
+        delta as f64 / original.num_edges() as f64
+    }
+
+    /// Total edge edits.
+    pub fn edits(&self) -> usize {
+        self.removed.len() + self.inserted.len()
+    }
+}
+
+impl std::fmt::Display for AnonymizationOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} in {} steps ({} trials): -{} +{} edges, maxLO {:.4} (×{})",
+            if self.achieved { "achieved" } else { "NOT achieved" },
+            self.steps,
+            self.trials,
+            self.removed.len(),
+            self.inserted.len(),
+            self.final_lo,
+            self.final_n_at_max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(removed: usize, inserted: usize) -> AnonymizationOutcome {
+        AnonymizationOutcome {
+            graph: Graph::new(4),
+            removed: (0..removed).map(|i| Edge::new(i as u32, i as u32 + 1)).collect(),
+            inserted: (0..inserted).map(|i| Edge::new(i as u32, i as u32 + 2)).collect(),
+            steps: removed.max(inserted),
+            trials: 10,
+            final_lo: 0.5,
+            final_n_at_max: 1,
+            achieved: true,
+        }
+    }
+
+    #[test]
+    fn distortion_counts_both_sides() {
+        let original = Graph::from_edges(6, [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(outcome(1, 1).distortion(&original), 0.5);
+        assert_eq!(outcome(0, 0).distortion(&original), 0.0);
+        assert_eq!(outcome(2, 0).distortion(&original), 0.5);
+    }
+
+    #[test]
+    fn edits_sums_lists() {
+        assert_eq!(outcome(2, 3).edits(), 5);
+    }
+
+    #[test]
+    fn display_reports_achievement() {
+        let text = outcome(1, 0).to_string();
+        assert!(text.starts_with("achieved"));
+        assert!(text.contains("-1 +0"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Vertex-pair type systems (paper Definition 1).
+//!
+//! A *type* is a set of distinct vertex pairs the data vendor considers
+//! vulnerable. The model is agnostic about what defines a type; this module
+//! provides the two systems the paper uses:
+//!
+//! * **Degree pairs** (the paper's working choice, Section 4): the type of a
+//!   pair `(v, w)` is the unordered pair of their degrees *in the original
+//!   graph*. Every vertex pair belongs to exactly one type. Degrees are
+//!   frozen at construction — the publication model publishes original
+//!   degrees, and the algorithms never refresh them as edges change.
+//! * **Explicit pair sets** (used by the Theorem 1 reduction): each type is
+//!   an explicit list of vertex pairs; unlisted pairs belong to no type.
+
+use lopacity_graph::{Graph, VertexId};
+use std::collections::HashMap;
+
+/// Identifier of a vertex-pair type within a [`TypeSystem`].
+pub type TypeId = u32;
+
+/// Declarative description of a type system, resolved against a concrete
+/// graph by [`TypeSystem::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeSpec {
+    /// One type per unordered pair of original degrees.
+    DegreePairs,
+    /// Explicit pair lists: `types[t]` is the set of pairs of type `t`.
+    Explicit(Vec<Vec<(VertexId, VertexId)>>),
+    /// One type per unordered pair of vertex *classes* (`classes[v]` is the
+    /// class label of vertex `v`). Models adversaries with categorical
+    /// background knowledge — the criminal/suspect roles of the paper's
+    /// Figure 2 — and is the "other types of structural knowledge" extension
+    /// Definition 1 anticipates. Every pair belongs to exactly one type.
+    VertexClasses(Vec<u32>),
+}
+
+/// A resolved type system: maps pairs to types and knows each type's
+/// cardinality `|T|` (the opacity denominator, which includes unreachable
+/// pairs per Definition 2).
+#[derive(Debug, Clone)]
+pub struct TypeSystem {
+    kind: Kind,
+    denoms: Vec<u64>,
+    labels: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    /// Pair type = unordered pair of per-vertex values (degrees or class
+    /// labels).
+    ByVertexValue {
+        /// The frozen per-vertex value.
+        values: Vec<u32>,
+        /// Dense class index per distinct value.
+        class_of_value: Vec<u32>,
+        /// Number of distinct classes.
+        num_classes: usize,
+        /// Whether the values are original degrees (enables
+        /// [`TypeSystem::original_degree`]).
+        degree_based: bool,
+    },
+    Explicit {
+        type_of_pair: HashMap<(VertexId, VertexId), TypeId>,
+    },
+}
+
+impl TypeSystem {
+    /// Resolves a [`TypeSpec`] against `graph` (whose *current* degrees
+    /// become the frozen original degrees for `DegreePairs`).
+    ///
+    /// # Panics
+    /// For explicit specs: panics on out-of-range vertices, self-pairs, or a
+    /// pair assigned to two different types (Definition 1: at most one type
+    /// per pair).
+    pub fn build(graph: &Graph, spec: &TypeSpec) -> Self {
+        match spec {
+            TypeSpec::DegreePairs => {
+                let n = graph.num_vertices();
+                let degrees: Vec<u32> =
+                    (0..n).map(|v| graph.degree(v as VertexId) as u32).collect();
+                Self::by_vertex_value(degrees, "P", true)
+            }
+            TypeSpec::VertexClasses(classes) => {
+                assert_eq!(
+                    classes.len(),
+                    graph.num_vertices(),
+                    "one class label per vertex required"
+                );
+                Self::by_vertex_value(classes.clone(), "C", false)
+            }
+            TypeSpec::Explicit(lists) => Self::explicit(graph, lists),
+        }
+    }
+
+    fn by_vertex_value(values: Vec<u32>, prefix: &str, degree_based: bool) -> Self {
+        let max_value = values.iter().copied().max().unwrap_or(0) as usize;
+        // Dense class ids over the distinct values present.
+        let mut vertices_per_value = vec![0u64; max_value + 1];
+        for &v in &values {
+            vertices_per_value[v as usize] += 1;
+        }
+        let mut class_of_value = vec![u32::MAX; max_value + 1];
+        let mut class_value = Vec::new();
+        let mut class_sizes = Vec::new();
+        for (v, &count) in vertices_per_value.iter().enumerate() {
+            if count > 0 {
+                class_of_value[v] = class_value.len() as u32;
+                class_value.push(v);
+                class_sizes.push(count);
+            }
+        }
+        let num_classes = class_value.len();
+        // Triangular-with-diagonal type ids over (class a <= class b).
+        let num_types = num_classes * (num_classes + 1) / 2;
+        let mut denoms = vec![0u64; num_types];
+        let mut labels = vec![String::new(); num_types];
+        for a in 0..num_classes {
+            for b in a..num_classes {
+                let t = tri_diag_index(a, b, num_classes);
+                let (na, nb) = (class_sizes[a], class_sizes[b]);
+                denoms[t] = if a == b { na * (na - 1) / 2 } else { na * nb };
+                labels[t] = format!("{prefix}{{{},{}}}", class_value[a], class_value[b]);
+            }
+        }
+        TypeSystem {
+            kind: Kind::ByVertexValue { values, class_of_value, num_classes, degree_based },
+            denoms,
+            labels,
+        }
+    }
+
+    fn explicit(graph: &Graph, lists: &[Vec<(VertexId, VertexId)>]) -> Self {
+        let n = graph.num_vertices();
+        let mut type_of_pair = HashMap::new();
+        let mut denoms = vec![0u64; lists.len()];
+        let mut labels = Vec::with_capacity(lists.len());
+        for (t, pairs) in lists.iter().enumerate() {
+            labels.push(format!("T{t}"));
+            for &(a, b) in pairs {
+                assert!(
+                    (a as usize) < n && (b as usize) < n,
+                    "pair ({a}, {b}) out of range (n={n})"
+                );
+                assert_ne!(a, b, "a vertex cannot pair with itself");
+                let key = (a.min(b), a.max(b));
+                let previous = type_of_pair.insert(key, t as TypeId);
+                assert!(
+                    previous.is_none() || previous == Some(t as TypeId),
+                    "pair {key:?} assigned to two types ({previous:?} and {t})"
+                );
+                denoms[t] += 1;
+            }
+        }
+        TypeSystem { kind: Kind::Explicit { type_of_pair }, denoms, labels }
+    }
+
+    /// The type of the pair `(i, j)`, if any. Order-insensitive.
+    #[inline]
+    pub fn type_of(&self, i: VertexId, j: VertexId) -> Option<TypeId> {
+        debug_assert_ne!(i, j);
+        match &self.kind {
+            Kind::ByVertexValue { values, class_of_value, num_classes, .. } => {
+                let ca = class_of_value[values[i as usize] as usize] as usize;
+                let cb = class_of_value[values[j as usize] as usize] as usize;
+                let (a, b) = if ca <= cb { (ca, cb) } else { (cb, ca) };
+                Some(tri_diag_index(a, b, *num_classes) as TypeId)
+            }
+            Kind::Explicit { type_of_pair } => {
+                type_of_pair.get(&(i.min(j), i.max(j))).copied()
+            }
+        }
+    }
+
+    /// Number of types (including types with zero pairs).
+    pub fn num_types(&self) -> usize {
+        self.denoms.len()
+    }
+
+    /// `|T|` per type: the opacity denominators.
+    pub fn denominators(&self) -> &[u64] {
+        &self.denoms
+    }
+
+    /// Human-readable label per type (`P{g,h}` for degree pairs).
+    pub fn label(&self, t: TypeId) -> &str {
+        &self.labels[t as usize]
+    }
+
+    /// Original degree of a vertex (degree-pair systems only).
+    pub fn original_degree(&self, v: VertexId) -> Option<u32> {
+        match &self.kind {
+            Kind::ByVertexValue { values, degree_based: true, .. } => {
+                values.get(v as usize).copied()
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Index of `(a, b)` with `a <= b` in the upper triangle *with* diagonal of
+/// a `c x c` matrix, row-major.
+#[inline]
+fn tri_diag_index(a: usize, b: usize, c: usize) -> usize {
+    debug_assert!(a <= b && b < c);
+    // Cells before row a: sum_{r<a} (c - r) = a(2c - a + 1)/2.
+    a * (2 * c - a + 1) / 2 + (b - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tri_diag_index_is_bijective() {
+        for c in 1..8usize {
+            let mut seen = std::collections::HashSet::new();
+            for a in 0..c {
+                for b in a..c {
+                    assert!(seen.insert(tri_diag_index(a, b, c)));
+                }
+            }
+            assert_eq!(seen.len(), c * (c + 1) / 2);
+            assert!(seen.into_iter().max().unwrap() == c * (c + 1) / 2 - 1);
+        }
+    }
+
+    #[test]
+    fn degree_types_of_paper_graph() {
+        // Degrees {1, 2, 3, 4} -> 4 classes -> 10 types.
+        let ts = TypeSystem::build(&paper_graph(), &TypeSpec::DegreePairs);
+        assert_eq!(ts.num_types(), 10);
+        // Class sizes: deg1 x1 (v6), deg2 x2 (v0, v3), deg3 x1 (v5), deg4 x3.
+        let denom_of = |i: VertexId, j: VertexId| {
+            ts.denominators()[ts.type_of(i, j).unwrap() as usize]
+        };
+        assert_eq!(denom_of(6, 0), 2); // (1,2): 1 * 2
+        assert_eq!(denom_of(0, 3), 1); // (2,2): C(2,2) = 1
+        assert_eq!(denom_of(1, 2), 3); // (4,4): C(3,2) = 3
+        assert_eq!(denom_of(5, 1), 3); // (3,4): 1 * 3
+        assert_eq!(denom_of(6, 5), 1); // (1,3): 1 * 1
+    }
+
+    #[test]
+    fn degree_type_is_order_insensitive_and_frozen() {
+        let g = paper_graph();
+        let ts = TypeSystem::build(&g, &TypeSpec::DegreePairs);
+        assert_eq!(ts.type_of(0, 5), ts.type_of(5, 0));
+        assert_eq!(ts.original_degree(1), Some(4));
+        // The system is frozen: mutating the graph afterwards does not
+        // change type assignments (the TypeSystem holds its own copy).
+        let mut g2 = g.clone();
+        g2.remove_edge(1, 2);
+        assert_eq!(ts.original_degree(1), Some(4));
+    }
+
+    #[test]
+    fn degree_labels_name_the_degrees() {
+        let ts = TypeSystem::build(&paper_graph(), &TypeSpec::DegreePairs);
+        let t = ts.type_of(5, 1).unwrap(); // degree 3 with degree 4
+        assert_eq!(ts.label(t), "P{3,4}");
+    }
+
+    #[test]
+    fn explicit_types_cover_only_listed_pairs() {
+        let g = paper_graph();
+        let spec = TypeSpec::Explicit(vec![vec![(0, 3), (3, 0)], vec![(1, 6)]]);
+        let ts = TypeSystem::build(&g, &spec);
+        assert_eq!(ts.num_types(), 2);
+        assert_eq!(ts.type_of(0, 3), Some(0));
+        assert_eq!(ts.type_of(3, 0), Some(0));
+        assert_eq!(ts.type_of(1, 6), Some(1));
+        assert_eq!(ts.type_of(0, 1), None);
+        // (0,3) listed twice (in both orders) -> denominator counts both
+        // occurrences; Definition 1 speaks of distinct pairs, so callers
+        // should list each pair once — but double listing the same type is
+        // tolerated and counted.
+        assert_eq!(ts.denominators()[0], 2);
+        assert_eq!(ts.denominators()[1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two types")]
+    fn explicit_rejects_conflicting_assignment() {
+        let g = paper_graph();
+        let spec = TypeSpec::Explicit(vec![vec![(0, 3)], vec![(3, 0)]]);
+        TypeSystem::build(&g, &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_rejects_bad_vertices() {
+        let spec = TypeSpec::Explicit(vec![vec![(0, 99)]]);
+        TypeSystem::build(&paper_graph(), &spec);
+    }
+
+    #[test]
+    fn empty_graph_degree_types() {
+        let ts = TypeSystem::build(&Graph::new(0), &TypeSpec::DegreePairs);
+        assert_eq!(ts.num_types(), 0);
+    }
+
+    #[test]
+    fn uniform_degree_graph_has_single_type() {
+        let cycle = Graph::from_edges(5, (0..5u32).map(|i| (i, (i + 1) % 5))).unwrap();
+        let ts = TypeSystem::build(&cycle, &TypeSpec::DegreePairs);
+        assert_eq!(ts.num_types(), 1);
+        assert_eq!(ts.denominators(), &[10]);
+    }
+
+    #[test]
+    fn vertex_classes_partition_pairs_by_role() {
+        // Figure 2's roles: criminal (0), suspect (1), bystander (2).
+        let g = paper_graph();
+        let classes = vec![0u32, 1, 1, 1, 2, 2, 2];
+        let ts = TypeSystem::build(&g, &TypeSpec::VertexClasses(classes));
+        // Three classes -> six types.
+        assert_eq!(ts.num_types(), 6);
+        // criminal-suspect pairs: 1 x 3.
+        let t = ts.type_of(0, 2).unwrap();
+        assert_eq!(ts.denominators()[t as usize], 3);
+        assert_eq!(ts.label(t), "C{0,1}");
+        // suspect-suspect pairs: C(3,2).
+        let t = ts.type_of(1, 3).unwrap();
+        assert_eq!(ts.denominators()[t as usize], 3);
+        // Not degree based.
+        assert_eq!(ts.original_degree(0), None);
+    }
+
+    #[test]
+    fn vertex_classes_drive_opacity_and_anonymization() {
+        let g = paper_graph();
+        // Make "class 7 with class 9" the sensitive relation; labels need
+        // not be dense.
+        let spec = TypeSpec::VertexClasses(vec![7, 9, 9, 7, 9, 7, 7]);
+        let report = crate::opacity::opacity_report(&g, &spec, 1);
+        assert!(report.max_lo.as_f64() > 0.0);
+        let config = crate::AnonymizeConfig::new(1, 0.3).with_seed(4);
+        let out = crate::edge_removal(&g, &spec, &config);
+        assert!(out.achieved);
+        // Certify against the same (graph-independent) class spec.
+        let after = crate::opacity::opacity_report(&out.graph, &spec, 1);
+        assert!(after.max_lo.satisfies(0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "one class label per vertex")]
+    fn vertex_classes_require_full_labelling() {
+        TypeSystem::build(&paper_graph(), &TypeSpec::VertexClasses(vec![0, 1]));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests: the incremental evaluator is indistinguishable from full
+//! recomputation, and the heuristics honour their postconditions.
+
+use lopacity::opacity::{count_within_l, opacity_report_against_original};
+use lopacity::{
+    edge_removal, edge_removal_insertion, AnonymizeConfig, LoAssessment, OpacityEvaluator,
+    TypeSpec, TypeSystem,
+};
+use lopacity_apsp::ApspEngine;
+use lopacity_graph::Graph;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..=max_n).prop_flat_map(|n| {
+        let pair = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(pair, 0..n * 2).prop_map(move |pairs| {
+            let mut g = Graph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn reference_assessment(g: &Graph, types: &TypeSystem, l: u8) -> LoAssessment {
+    let dist = ApspEngine::TruncatedBfs.compute(g, l);
+    let counts = count_within_l(&dist, types, l);
+    LoAssessment::from_counts(&counts, types.denominators())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trial_remove_equals_full_recompute(g in arb_graph(14), l in 1u8..4) {
+        let mut ev = OpacityEvaluator::new(g.clone(), &TypeSpec::DegreePairs, l);
+        for e in g.edge_vec() {
+            let trial = ev.trial_remove(e);
+            let mut h = g.clone();
+            h.remove_edge(e.u(), e.v());
+            let full = reference_assessment(&h, ev.types(), l);
+            prop_assert_eq!(trial.ratio(), full.ratio(), "edge {} L={}", e, l);
+            prop_assert_eq!(trial.n_at_max(), full.n_at_max(), "edge {} L={}", e, l);
+        }
+        ev.verify_consistency().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn trial_insert_equals_full_recompute(g in arb_graph(12), l in 1u8..4) {
+        let mut ev = OpacityEvaluator::new(g.clone(), &TypeSpec::DegreePairs, l);
+        for e in g.non_edges().collect::<Vec<_>>() {
+            let trial = ev.trial_insert(e);
+            let mut h = g.clone();
+            h.add_edge(e.u(), e.v());
+            let full = reference_assessment(&h, ev.types(), l);
+            prop_assert_eq!(trial.ratio(), full.ratio(), "edge {} L={}", e, l);
+        }
+        ev.verify_consistency().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn random_apply_undo_walk_stays_consistent(
+        g in arb_graph(12),
+        l in 1u8..4,
+        moves in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..12)
+    ) {
+        let mut ev = OpacityEvaluator::new(g.clone(), &TypeSpec::DegreePairs, l);
+        let mut stack = Vec::new();
+        for (pick, undo_now) in moves {
+            // Alternate removals and insertions of arbitrary valid edges.
+            let edges = ev.graph().edge_vec();
+            let non_edges: Vec<_> = ev.graph().non_edges().collect();
+            if !edges.is_empty() && (non_edges.is_empty() || pick % 2 == 0) {
+                let e = edges[pick as usize % edges.len()];
+                stack.push(ev.apply_remove(e));
+            } else if !non_edges.is_empty() {
+                let e = non_edges[pick as usize % non_edges.len()];
+                stack.push(ev.apply_insert(e));
+            }
+            if undo_now {
+                if let Some(token) = stack.pop() {
+                    ev.undo(token);
+                }
+            }
+        }
+        ev.verify_consistency().map_err(TestCaseError::fail)?;
+        // Unwind everything: must restore the original graph exactly.
+        while let Some(token) = stack.pop() {
+            ev.undo(token);
+        }
+        prop_assert_eq!(ev.graph(), &g);
+        ev.verify_consistency().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn removal_postcondition_holds(g in arb_graph(10), theta in 0.2f64..0.9, l in 1u8..3) {
+        let config = AnonymizeConfig::new(l, theta).with_seed(7);
+        let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+        // Edge removal can always reach the empty graph, which satisfies
+        // any θ; so it must always achieve.
+        prop_assert!(out.achieved);
+        let report = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, l);
+        prop_assert!(
+            report.max_lo.satisfies(theta),
+            "reported achieved but LO = {} > θ = {}", report.max_lo, theta
+        );
+        // Removal never inserts.
+        prop_assert!(out.inserted.is_empty());
+        // The removed edges really came from g.
+        for e in &out.removed {
+            prop_assert!(g.has_edge(e.u(), e.v()));
+            prop_assert!(!out.graph.has_edge(e.u(), e.v()));
+        }
+    }
+
+    #[test]
+    fn removal_insertion_postcondition_holds(g in arb_graph(10), theta in 0.3f64..0.9) {
+        let config = AnonymizeConfig::new(1, theta).with_seed(11);
+        let out = edge_removal_insertion(&g, &TypeSpec::DegreePairs, &config);
+        let report = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 1);
+        if out.achieved {
+            prop_assert!(report.max_lo.satisfies(theta));
+        }
+        // Bookkeeping invariants hold regardless of achievement.
+        let removed: std::collections::HashSet<_> = out.removed.iter().copied().collect();
+        let inserted: std::collections::HashSet<_> = out.inserted.iter().copied().collect();
+        prop_assert!(removed.is_disjoint(&inserted));
+        prop_assert_eq!(removed.len(), out.removed.len());
+        prop_assert_eq!(inserted.len(), out.inserted.len());
+    }
+
+    #[test]
+    fn lookahead_never_worsens_the_result(g in arb_graph(9), theta in 0.3f64..0.8) {
+        let base = AnonymizeConfig::new(1, theta).with_seed(3);
+        let la1 = edge_removal(&g, &TypeSpec::DegreePairs, &base);
+        let la2 = edge_removal(&g, &TypeSpec::DegreePairs, &base.with_lookahead(2));
+        prop_assert!(la1.achieved && la2.achieved);
+        // Both must satisfy θ; look-ahead explores at least as much.
+        prop_assert!(la2.trials >= la1.trials || la2.edits() <= la1.edits());
+    }
+}

@@ -1,0 +1,180 @@
+//! Barabási–Albert preferential attachment with Holme–Kim triad formation.
+//!
+//! Plain preferential attachment reproduces the heavy-tailed degree
+//! distributions of web/social graphs but produces vanishing clustering. The
+//! Holme–Kim variant follows each preferential attachment with, with
+//! probability `triad_p`, a *triad-formation* step that connects the new
+//! vertex to a random neighbour of the vertex it just attached to — closing
+//! a triangle. Sweeping `triad_p` calibrates the average clustering
+//! coefficient to each dataset's published value (Google 0.60, Enron 0.50,
+//! Epinions 0.11, ...).
+
+use lopacity_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for [`holme_kim`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaParams {
+    /// Edges contributed by each arriving vertex (the classic BA `m`).
+    pub edges_per_vertex: usize,
+    /// Extra fractional edge probability: with probability `extra_edge_p`
+    /// an arriving vertex contributes one additional edge, allowing
+    /// non-integer target average degrees (`avg ≈ 2 (m + extra_edge_p)`).
+    pub extra_edge_p: f64,
+    /// Probability that an attachment is followed by triad formation.
+    pub triad_p: f64,
+}
+
+impl BaParams {
+    /// Parameters hitting a target average degree with a given clustering
+    /// knob. `avg_degree` must be ≥ 2 for a connected-ish result.
+    pub fn for_average_degree(avg_degree: f64, triad_p: f64) -> Self {
+        let per_vertex = (avg_degree / 2.0).max(1.0);
+        let m = per_vertex.floor() as usize;
+        BaParams {
+            edges_per_vertex: m.max(1),
+            extra_edge_p: (per_vertex - m as f64).clamp(0.0, 1.0),
+            triad_p: triad_p.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Generates an `n`-vertex Holme–Kim graph. `triad_p = 0` is classic
+/// Barabási–Albert.
+///
+/// # Panics
+/// Panics when `n == 0` or `edges_per_vertex == 0`.
+pub fn holme_kim(n: usize, params: BaParams, seed: u64) -> Graph {
+    assert!(n > 0, "n must be positive");
+    assert!(params.edges_per_vertex > 0, "edges_per_vertex must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let m0 = (params.edges_per_vertex + 1).min(n);
+    // Seed clique keeps early attachment well-defined.
+    for i in 0..m0 as VertexId {
+        for j in (i + 1)..m0 as VertexId {
+            g.add_edge(i, j);
+        }
+    }
+    // Repeated-endpoints list: picking a uniform element implements
+    // degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * params.edges_per_vertex);
+    for e in g.edges() {
+        endpoints.push(e.u());
+        endpoints.push(e.v());
+    }
+    for v in m0..n {
+        let v = v as VertexId;
+        let mut budget = params.edges_per_vertex.min(v as usize);
+        if params.extra_edge_p > 0.0 && rng.random::<f64>() < params.extra_edge_p {
+            budget = (budget + 1).min(v as usize);
+        }
+        let mut last_attached: Option<VertexId> = None;
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < budget && attempts < budget * 50 {
+            attempts += 1;
+            let target = match last_attached {
+                // Triad formation: a random neighbour of the last target.
+                Some(prev) if params.triad_p > 0.0 && rng.random::<f64>() < params.triad_p => {
+                    let nbrs = g.neighbors(prev);
+                    nbrs[rng.random_range(0..nbrs.len())]
+                }
+                _ => endpoints[rng.random_range(0..endpoints.len())],
+            };
+            if target != v && g.add_edge(v, target) {
+                endpoints.push(v);
+                endpoints.push(target);
+                last_attached = Some(target);
+                added += 1;
+            }
+        }
+        // Degenerate fallback (tiny graphs): attach to any non-neighbour.
+        if added == 0 && v > 0 {
+            for candidate in 0..v {
+                if g.add_edge(v, candidate) {
+                    endpoints.push(v);
+                    endpoints.push(candidate);
+                    break;
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_expected_average_degree() {
+        let params = BaParams::for_average_degree(6.0, 0.0);
+        let g = holme_kim(500, params, 3);
+        let avg = g.degree_sum() as f64 / g.num_vertices() as f64;
+        assert!((avg - 6.0).abs() < 1.0, "avg degree {avg}");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn triads_raise_clustering() {
+        let flat = holme_kim(400, BaParams::for_average_degree(8.0, 0.0), 9);
+        let clustered = holme_kim(400, BaParams::for_average_degree(8.0, 0.9), 9);
+        let cc = |g: &Graph| {
+            // Inline triangle density proxy: count closed wedges over wedges.
+            let mut closed = 0usize;
+            let mut wedges = 0usize;
+            for v in 0..g.num_vertices() as VertexId {
+                let nbrs = g.neighbors(v);
+                for (i, &a) in nbrs.iter().enumerate() {
+                    for &b in &nbrs[i + 1..] {
+                        wedges += 1;
+                        if g.has_edge(a, b) {
+                            closed += 1;
+                        }
+                    }
+                }
+            }
+            closed as f64 / wedges.max(1) as f64
+        };
+        assert!(
+            cc(&clustered) > 2.0 * cc(&flat),
+            "triad formation should raise clustering: {} vs {}",
+            cc(&clustered),
+            cc(&flat)
+        );
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = holme_kim(1000, BaParams::for_average_degree(4.0, 0.0), 17);
+        let max = g.max_degree();
+        let avg = g.degree_sum() as f64 / g.num_vertices() as f64;
+        assert!(max as f64 > 5.0 * avg, "max degree {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = BaParams::for_average_degree(5.0, 0.3);
+        assert_eq!(holme_kim(200, p, 1), holme_kim(200, p, 1));
+        assert_ne!(holme_kim(200, p, 1), holme_kim(200, p, 2));
+    }
+
+    #[test]
+    fn tiny_graphs_are_valid() {
+        for n in 1..6 {
+            let g = holme_kim(n, BaParams::for_average_degree(4.0, 0.5), 1);
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn fractional_degree_interpolates() {
+        let lo = holme_kim(800, BaParams::for_average_degree(4.0, 0.0), 5);
+        let hi = holme_kim(800, BaParams::for_average_degree(5.0, 0.0), 5);
+        let frac = holme_kim(800, BaParams::for_average_degree(4.5, 0.0), 5);
+        assert!(lo.num_edges() < frac.num_edges());
+        assert!(frac.num_edges() < hi.num_edges());
+    }
+}

@@ -1,0 +1,127 @@
+//! Configuration model: a uniform-ish simple graph over a fixed degree
+//! sequence.
+//!
+//! Half-edges are shuffled and paired; pairings that would create self-loops
+//! or parallel edges are resolved by edge-swap repair, falling back to
+//! dropping the offending stubs after a bounded number of attempts (the
+//! usual "erased configuration model", which perturbs the target sequence
+//! only marginally for graphical sequences).
+
+use lopacity_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Builds a simple graph whose degree sequence approximates `degrees`.
+///
+/// # Panics
+/// Panics when a degree exceeds `n - 1` (not realizable in a simple graph).
+pub fn configuration_model(degrees: &[usize], seed: u64) -> Graph {
+    let n = degrees.len();
+    for (v, &d) in degrees.iter().enumerate() {
+        assert!(d < n.max(1), "degree {d} of vertex {v} not realizable among {n} vertices");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(degrees.iter().sum());
+    for (v, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat(v as VertexId).take(d));
+    }
+    let mut g = Graph::new(n);
+    stubs.shuffle(&mut rng);
+    let mut leftovers: Vec<(VertexId, VertexId)> = Vec::new();
+    for pair in stubs.chunks_exact(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a == b || !g.add_edge(a, b) {
+            leftovers.push((a, b));
+        }
+    }
+    // Repair pass: try to place each leftover pair by swapping with an
+    // existing random edge: (a,b)+(c,d) -> (a,c)+(b,d).
+    let edges = g.edge_vec();
+    if !edges.is_empty() {
+        for &(a, b) in &leftovers {
+            let mut placed = false;
+            for _ in 0..200 {
+                let e = edges[rng.random_range(0..edges.len())];
+                let (c, d) = e.endpoints();
+                if !g.has_edge(c, d) {
+                    continue; // this edge was consumed by an earlier swap
+                }
+                if a != c && b != d && a != d && b != c && !g.has_edge(a, c) && !g.has_edge(b, d) {
+                    g.remove_edge(c, d);
+                    g.add_edge(a, c);
+                    g.add_edge(b, d);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                // Erased: drop the stub pair.
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_sequence_is_realized_exactly() {
+        let degrees = vec![3usize; 20];
+        let g = configuration_model(&degrees, 5);
+        g.check_invariants().unwrap();
+        let realized = g.degree_sequence();
+        let exact = realized.iter().filter(|&&d| d == 3).count();
+        assert!(exact >= 18, "only {exact}/20 vertices kept degree 3");
+    }
+
+    #[test]
+    fn heavy_sequence_is_approximated() {
+        let mut degrees = vec![2usize; 50];
+        degrees[0] = 20;
+        degrees[1] = 19;
+        degrees[2] = 1; // make the sum even: 100 - 4 + 39 + ... compute below
+        let sum: usize = degrees.iter().sum();
+        if sum % 2 == 1 {
+            degrees[3] += 1;
+        }
+        let g = configuration_model(&degrees, 7);
+        g.check_invariants().unwrap();
+        assert!(g.degree(0) >= 15, "hub degree {} too low", g.degree(0));
+    }
+
+    #[test]
+    fn empty_and_zero_degrees() {
+        let g = configuration_model(&[], 1);
+        assert_eq!(g.num_vertices(), 0);
+        let g = configuration_model(&[0, 0, 0], 1);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not realizable")]
+    fn rejects_impossible_degree() {
+        configuration_model(&[5, 1, 1, 1], 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = vec![2usize; 30];
+        assert_eq!(configuration_model(&d, 9), configuration_model(&d, 9));
+    }
+
+    #[test]
+    fn total_degree_is_close_to_requested() {
+        let degrees: Vec<usize> = (0..100).map(|i| 1 + i % 5).collect();
+        let requested: usize = degrees.iter().sum();
+        let g = configuration_model(&degrees, 13);
+        let realized = g.degree_sum();
+        assert!(
+            realized + realized / 10 >= requested - requested / 10,
+            "realized {realized} too far below requested {requested}"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Erdős–Rényi random graphs.
+
+use lopacity_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// `G(n, m)`: exactly `m` distinct edges drawn uniformly among all pairs.
+///
+/// Uses rejection sampling, which is near-optimal while `m` is well below
+/// the total pair count; for dense requests (`m > pairs/2`) it samples the
+/// complement instead.
+///
+/// # Panics
+/// Panics when `m` exceeds `n (n - 1) / 2`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= pairs, "cannot place {m} edges among {pairs} pairs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    if m > pairs / 2 {
+        // Dense: pick the complement uniformly, then invert.
+        let complement = sample_distinct_pairs(n, pairs - m, &mut rng);
+        let mut g = Graph::new(n);
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                g.add_edge(i, j);
+            }
+        }
+        for (a, b) in complement {
+            g.remove_edge(a, b);
+        }
+        g
+    } else {
+        let edges = sample_distinct_pairs(n, m, &mut rng);
+        let mut g = Graph::new(n);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+}
+
+fn sample_distinct_pairs(n: usize, k: usize, rng: &mut StdRng) -> Vec<(VertexId, VertexId)> {
+    let mut g = Graph::new(n);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let a = rng.random_range(0..n as VertexId);
+        let b = rng.random_range(0..n as VertexId);
+        if a != b && g.add_edge(a, b) {
+            out.push((a.min(b), a.max(b)));
+        }
+    }
+    out
+}
+
+/// `G(n, p)`: every pair is an edge independently with probability `p`.
+/// Uses geometric skipping, so the cost is proportional to the output size.
+///
+/// # Panics
+/// Panics unless `0 <= p <= 1`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
+    let mut g = Graph::new(n);
+    if p == 0.0 || n < 2 {
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if p == 1.0 {
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                g.add_edge(i, j);
+            }
+        }
+        return g;
+    }
+    // Iterate pair ranks 0..C(n,2), skipping ahead geometrically.
+    let total = n * (n - 1) / 2;
+    let log1mp = (1.0 - p).ln();
+    let mut rank = 0usize;
+    loop {
+        let u: f64 = rng.random();
+        let skip = ((1.0 - u).ln() / log1mp).floor() as usize;
+        rank = rank.saturating_add(skip);
+        if rank >= total {
+            break;
+        }
+        let (i, j) = pair_of_rank(n, rank);
+        g.add_edge(i, j);
+        rank += 1;
+    }
+    g
+}
+
+/// Inverse of the row-major triangular ranking used by `DistanceMatrix`.
+fn pair_of_rank(n: usize, mut rank: usize) -> (VertexId, VertexId) {
+    let mut i = 0usize;
+    let mut row_len = n - 1;
+    while rank >= row_len {
+        rank -= row_len;
+        i += 1;
+        row_len -= 1;
+    }
+    (i as VertexId, (i + 1 + rank) as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        for &m in &[0usize, 1, 10, 50] {
+            let g = gnm(20, m, 7);
+            assert_eq!(g.num_edges(), m);
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn gnm_dense_path_works() {
+        let pairs = 10 * 9 / 2;
+        let g = gnm(10, pairs - 3, 11);
+        assert_eq!(g.num_edges(), pairs - 3);
+        let full = gnm(10, pairs, 11);
+        assert_eq!(full.num_edges(), pairs);
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        assert_eq!(gnm(30, 60, 42), gnm(30, 60, 42));
+        assert_ne!(gnm(30, 60, 42), gnm(30, 60, 43));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn gnm_rejects_overfull() {
+        gnm(3, 4, 0);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_density_is_near_p() {
+        let n = 200;
+        let p = 0.1;
+        let g = gnp(n, p, 5);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        // 5 sigma tolerance: sigma^2 = pairs * p * (1-p).
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!((got - expected).abs() < 5.0 * sigma, "got {got}, expected {expected}");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pair_of_rank_is_bijective() {
+        let n = 9;
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..n * (n - 1) / 2 {
+            let (i, j) = pair_of_rank(n, r);
+            assert!(i < j && (j as usize) < n);
+            assert!(seen.insert((i, j)));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Random-graph generators and synthetic stand-ins for the paper's datasets.
+//!
+//! The EDBT 2014 evaluation samples seven real networks (six from the
+//! Stanford SNAP collection plus an ACM Digital Library crawl). Those raw
+//! files are not redistributable with this repository, so this crate
+//! synthesizes graphs whose *published statistics* (Tables 1–3: vertex and
+//! edge counts, degree mean/standard deviation, average clustering
+//! coefficient) match each dataset. The L-opacification algorithms observe a
+//! graph only through its degree multiset and its short-path structure, so
+//! calibrated synthetic inputs exercise exactly the same code paths — see
+//! DESIGN.md §6 for the substitution argument.
+//!
+//! Generator families:
+//!
+//! * [`er`] — Erdős–Rényi `G(n, m)` and `G(n, p)` (flat degrees, no
+//!   clustering: the Gnutella-like regime);
+//! * [`ba`] — Barabási–Albert preferential attachment with the Holme–Kim
+//!   triad-formation step (heavy-tailed degrees with tunable clustering:
+//!   web graphs, e-mail, co-authorship);
+//! * [`ws`] — Watts–Strogatz small worlds (high clustering, flat degrees);
+//! * [`rmat`] — R-MAT/Kronecker-style recursive quadrant sampling;
+//! * [`config_model`] — the configuration model over an explicit degree
+//!   sequence, plus power-law sequence sampling ([`powerlaw`]);
+//! * [`sample`] — the paper's sampling step (Section 6.1) producing
+//!   100–1000-vertex experiment inputs;
+//! * [`datasets`] — the calibrated registry: one entry per paper dataset.
+//!
+//! Everything is deterministic given a `u64` seed.
+
+pub mod ba;
+pub mod config_model;
+pub mod datasets;
+pub mod er;
+pub mod powerlaw;
+pub mod rmat;
+pub mod sample;
+pub mod ws;
+
+pub use datasets::{Dataset, DatasetSpec};

@@ -1,0 +1,129 @@
+//! R-MAT (recursive matrix) graphs.
+//!
+//! The classic Kronecker-style generator: each edge picks a quadrant of the
+//! adjacency matrix recursively with probabilities `(a, b, c, d)`; skewed
+//! probabilities produce power-law-ish degree distributions and community
+//! structure. The first author's PhD thesis (reference \[18\] of the paper) concerns exactly this
+//! family of data-parallel generators, making R-MAT a natural workload
+//! source for the benchmark harness.
+
+use lopacity_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Quadrant probabilities for [`rmat`]. Must sum to ~1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The ubiquitous Graph500-style skew.
+    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!((sum - 1.0).abs() < 1e-9, "quadrant probabilities sum to {sum}, expected 1");
+        for p in [self.a, self.b, self.c, self.d] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+    }
+}
+
+/// Generates an undirected simple R-MAT graph with `2^scale` vertices and
+/// (up to) `m` edges — duplicates and self-loops are re-drawn, with a
+/// bounded retry budget so skewed parameter sets still terminate.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Graph {
+    params.validate();
+    assert!(scale <= 24, "scale {scale} would allocate 2^{scale} vertices");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let max_edges = n * (n - 1) / 2;
+    let target = m.min(max_edges);
+    let mut failures = 0usize;
+    while g.num_edges() < target && failures < 50 * target + 100 {
+        let (u, v) = draw_edge(scale, params, &mut rng);
+        if u == v || !g.add_edge(u, v) {
+            failures += 1;
+        }
+    }
+    g
+}
+
+fn draw_edge(scale: u32, p: RmatParams, rng: &mut StdRng) -> (VertexId, VertexId) {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.random();
+        if r < p.a {
+            // top-left: no bits set
+        } else if r < p.a + p.b {
+            v |= 1;
+        } else if r < p.a + p.b + p.c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = rmat(8, 500, RmatParams::GRAPH500, 3);
+        assert_eq!(g.num_vertices(), 256);
+        assert_eq!(g.num_edges(), 500);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn skewed_parameters_concentrate_degree() {
+        let g = rmat(9, 1500, RmatParams::GRAPH500, 5);
+        let avg = g.degree_sum() as f64 / g.num_vertices() as f64;
+        assert!(
+            g.max_degree() as f64 > 4.0 * avg,
+            "expected hub formation: max {} vs avg {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn uniform_parameters_resemble_er() {
+        let uniform = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let g = rmat(8, 600, uniform, 7);
+        let avg = g.degree_sum() as f64 / g.num_vertices() as f64;
+        assert!((g.max_degree() as f64) < 5.0 * avg.max(1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(rmat(7, 200, RmatParams::GRAPH500, 9), rmat(7, 200, RmatParams::GRAPH500, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn rejects_bad_probabilities() {
+        rmat(4, 10, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, 0);
+    }
+
+    #[test]
+    fn caps_at_complete_graph() {
+        let g = rmat(2, 1000, RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 }, 1);
+        assert!(g.num_edges() <= 6);
+    }
+}

@@ -1,0 +1,114 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! A ring lattice where every vertex connects to its `k/2` nearest
+//! neighbours on each side, with each edge rewired to a uniform random
+//! endpoint with probability `beta`. `beta = 0` is a maximally clustered
+//! lattice, `beta = 1` approaches Erdős–Rényi; small `beta` gives the
+//! high-clustering/short-path regime the paper's introduction invokes
+//! (Milgram, Watts).
+
+use lopacity_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a Watts–Strogatz graph on `n` vertices with even base degree
+/// `k` and rewiring probability `beta`.
+///
+/// # Panics
+/// Panics when `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k % 2 == 0, "base degree k must be even (got {k})");
+    assert!(k < n, "base degree k = {k} must be below n = {n}");
+    assert!((0.0..=1.0).contains(&beta), "beta = {beta} out of [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Ring lattice.
+    for v in 0..n {
+        for offset in 1..=k / 2 {
+            let w = (v + offset) % n;
+            g.add_edge(v as VertexId, w as VertexId);
+        }
+    }
+    if beta == 0.0 || n < 3 {
+        return g;
+    }
+    // Rewire each lattice edge (v, v+offset) with probability beta.
+    for v in 0..n {
+        for offset in 1..=k / 2 {
+            let w = ((v + offset) % n) as VertexId;
+            let v = v as VertexId;
+            if rng.random::<f64>() >= beta || !g.has_edge(v, w) {
+                continue;
+            }
+            // Find a fresh endpoint; skip when the vertex is saturated.
+            if g.degree(v) >= n - 1 {
+                continue;
+            }
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                if attempts > 50 {
+                    break;
+                }
+                let t = rng.random_range(0..n as VertexId);
+                if t != v && !g.has_edge(v, t) {
+                    g.remove_edge(v, w);
+                    g.add_edge(v, t);
+                    break;
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_zero_is_a_lattice() {
+        let g = watts_strogatz(12, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 12 * 4 / 2);
+        for v in 0..12u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 11));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count() {
+        for beta in [0.1, 0.5, 1.0] {
+            let g = watts_strogatz(40, 6, beta, 7);
+            assert_eq!(g.num_edges(), 40 * 6 / 2, "beta = {beta}");
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn rewiring_changes_the_lattice() {
+        let lattice = watts_strogatz(40, 6, 0.0, 7);
+        let rewired = watts_strogatz(40, 6, 0.5, 7);
+        assert_ne!(lattice, rewired);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(watts_strogatz(30, 4, 0.3, 9), watts_strogatz(30, 4, 0.3, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_degree() {
+        watts_strogatz(10, 3, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn rejects_degree_at_least_n() {
+        watts_strogatz(4, 4, 0.1, 0);
+    }
+}

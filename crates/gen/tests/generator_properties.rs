@@ -1,0 +1,110 @@
+//! Property tests: every generator produces valid simple graphs with the
+//! promised shape, deterministically per seed.
+
+use lopacity_gen::ba::{holme_kim, BaParams};
+use lopacity_gen::config_model::configuration_model;
+use lopacity_gen::er::{gnm, gnp};
+use lopacity_gen::powerlaw::power_law_degrees;
+use lopacity_gen::rmat::{rmat, RmatParams};
+use lopacity_gen::sample::{induced_sample, snowball_sample};
+use lopacity_gen::ws::watts_strogatz;
+use lopacity_gen::Dataset;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gnm_is_simple_and_exact(n in 2usize..40, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let pairs = n * (n - 1) / 2;
+        let m = (frac * pairs as f64) as usize;
+        let g = gnm(n, m, seed);
+        prop_assert_eq!(g.num_edges(), m);
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn gnp_is_simple(n in 2usize..40, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = gnp(n, p, seed);
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert!(g.num_edges() <= n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn holme_kim_is_simple_and_connected_enough(
+        n in 2usize..60,
+        avg in 2.0f64..8.0,
+        triad in 0.0f64..1.0,
+        seed in any::<u64>()
+    ) {
+        let g = holme_kim(n, BaParams::for_average_degree(avg, triad), seed);
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert_eq!(g.num_vertices(), n);
+        // Preferential attachment never leaves isolated vertices (each
+        // arriving vertex attaches at least once).
+        for v in 0..n as u32 {
+            prop_assert!(g.degree(v) >= 1 || n == 1);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_degree_sum(
+        n in 6usize..50,
+        half_k in 1usize..3,
+        beta in 0.0f64..1.0,
+        seed in any::<u64>()
+    ) {
+        let k = 2 * half_k;
+        prop_assume!(k < n);
+        let g = watts_strogatz(n, k, beta, seed);
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert_eq!(g.num_edges(), n * k / 2);
+    }
+
+    #[test]
+    fn rmat_respects_bounds(scale in 2u32..8, m in 0usize..300, seed in any::<u64>()) {
+        let g = rmat(scale, m, RmatParams::GRAPH500, seed);
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert!(g.num_edges() <= m);
+        prop_assert_eq!(g.num_vertices(), 1 << scale);
+    }
+
+    #[test]
+    fn power_law_sequence_feeds_configuration_model(
+        n in 4usize..60,
+        gamma in 1.5f64..4.0,
+        seed in any::<u64>()
+    ) {
+        let k_max = (n - 1).min(12);
+        let degrees = power_law_degrees(n, gamma, 1, k_max, seed);
+        prop_assert_eq!(degrees.iter().sum::<usize>() % 2, 0);
+        let g = configuration_model(&degrees, seed ^ 1);
+        prop_assert!(g.check_invariants().is_ok());
+        // Erasure may drop stubs but never adds: realized <= requested.
+        for (v, &want) in degrees.iter().enumerate() {
+            prop_assert!(g.degree(v as u32) <= want);
+        }
+    }
+
+    #[test]
+    fn samples_are_induced_subgraphs(n in 10usize..50, k in 2usize..10, seed in any::<u64>()) {
+        let g = gnm(n, n * 2, seed);
+        for s in [induced_sample(&g, k, seed), snowball_sample(&g, k, seed)] {
+            prop_assert_eq!(s.num_vertices(), k);
+            prop_assert!(s.check_invariants().is_ok());
+            // An induced subgraph can never be denser than complete.
+            prop_assert!(s.num_edges() <= k * (k - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic_and_sized(seed in any::<u64>(), n in 10usize..80) {
+        for d in Dataset::ALL {
+            let a = d.generate(n, seed);
+            let b = d.generate(n, seed);
+            prop_assert_eq!(&a, &b, "dataset {} not deterministic", d);
+            prop_assert_eq!(a.num_vertices(), n);
+            prop_assert!(a.check_invariants().is_ok());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Canonical undirected edges.
+
+use crate::VertexId;
+use std::fmt;
+
+/// An undirected edge stored canonically with `u() < v()`.
+///
+/// Canonical form makes `Edge` usable as a set/map key and gives the
+/// deterministic iteration order the greedy heuristics rely on for
+/// reproducible tie-breaking.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Edge {
+    /// Builds the canonical edge between two distinct endpoints.
+    ///
+    /// # Panics
+    /// Panics on a self-loop (`a == b`); simple graphs forbid them, so a
+    /// self-loop here is a programming error, not an input error.
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert_ne!(a, b, "self-loop ({a}, {a}) is not a valid simple-graph edge");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> VertexId {
+        self.u
+    }
+
+    /// Larger endpoint.
+    #[inline]
+    pub fn v(&self) -> VertexId {
+        self.v
+    }
+
+    /// Both endpoints as a `(small, large)` pair.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.u, self.v)
+    }
+
+    /// Given one endpoint, returns the opposite one.
+    ///
+    /// # Panics
+    /// Panics when `vertex` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, vertex: VertexId) -> VertexId {
+        if vertex == self.u {
+            self.v
+        } else if vertex == self.v {
+            self.u
+        } else {
+            panic!("vertex {vertex} is not an endpoint of {self:?}");
+        }
+    }
+
+    /// Whether `vertex` is one of the endpoints.
+    #[inline]
+    pub fn touches(&self, vertex: VertexId) -> bool {
+        vertex == self.u || vertex == self.v
+    }
+
+    /// Whether the two edges share at least one endpoint.
+    #[inline]
+    pub fn shares_endpoint(&self, other: &Edge) -> bool {
+        self.touches(other.u) || self.touches(other.v)
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -- {}", self.u, self.v)
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((a, b): (VertexId, VertexId)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_order() {
+        assert_eq!(Edge::new(5, 2), Edge::new(2, 5));
+        assert_eq!(Edge::new(5, 2).endpoints(), (2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = Edge::new(3, 3);
+    }
+
+    #[test]
+    fn other_returns_opposite_endpoint() {
+        let e = Edge::new(1, 9);
+        assert_eq!(e.other(1), 9);
+        assert_eq!(e.other(9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        Edge::new(1, 9).other(5);
+    }
+
+    #[test]
+    fn touches_and_shares() {
+        let e = Edge::new(1, 2);
+        assert!(e.touches(1));
+        assert!(!e.touches(3));
+        assert!(e.shares_endpoint(&Edge::new(2, 7)));
+        assert!(!e.shares_endpoint(&Edge::new(3, 7)));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_canonical_pairs() {
+        let mut edges = vec![Edge::new(2, 3), Edge::new(0, 9), Edge::new(0, 1)];
+        edges.sort();
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(0, 9), Edge::new(2, 3)]);
+    }
+}

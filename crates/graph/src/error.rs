@@ -1,0 +1,77 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced when building or parsing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id was `>= num_vertices`.
+    VertexOutOfRange { vertex: u64, num_vertices: usize },
+    /// An edge `(v, v)` was supplied; simple graphs have no self-loops.
+    SelfLoop { vertex: u64 },
+    /// The same undirected edge appeared twice in `from_edges` input.
+    DuplicateEdge { u: u64, v: u64 },
+    /// An edge-list line could not be parsed.
+    Parse { line: usize, message: String },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} (simple graphs forbid self-loops)")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge ({u}, {v}) (simple graphs forbid parallel edges)")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge-list parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offender() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 3 };
+        assert!(e.to_string().contains('9'));
+        let e = GraphError::SelfLoop { vertex: 4 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("duplicate"));
+        let e = GraphError::Parse { line: 7, message: "bad".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_round_trips_source() {
+        use std::error::Error as _;
+        let e: GraphError = std::io::Error::other("boom").into();
+        assert!(e.source().is_some());
+    }
+}

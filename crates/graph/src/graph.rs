@@ -1,0 +1,417 @@
+//! Sorted-adjacency simple graph storage.
+
+use crate::{Edge, GraphError, VertexId};
+
+/// A simple undirected graph: no self-loops, no parallel edges.
+///
+/// Adjacency is stored as one sorted `Vec<VertexId>` per vertex. This keeps
+/// neighbour iteration cache-friendly, makes [`Graph::has_edge`] a binary
+/// search, and — crucially for the anonymization heuristics, which perform a
+/// trial insert/remove per candidate edge per greedy step — keeps edge
+/// mutation at `O(deg)` with no allocation in the common case.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<VertexId>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= VertexId::MAX as usize, "graph too large for u32 vertex ids");
+        Graph { adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    /// Builds a graph from an edge iterator.
+    ///
+    /// # Errors
+    /// Rejects out-of-range endpoints, self-loops and duplicate edges, so a
+    /// successfully constructed graph is always simple.
+    pub fn from_edges<I, E>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = E>,
+        E: Into<(VertexId, VertexId)>,
+    {
+        let mut g = Graph::new(n);
+        for e in edges {
+            let (a, b) = e.into();
+            g.try_add_edge(a, b)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Sorted slice of `v`'s neighbours.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v as usize]
+    }
+
+    /// Whether the undirected edge `(u, v)` is present. `O(log deg)`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the shorter adjacency list.
+        let (probe, list) = if self.degree(u) <= self.degree(v) { (v, u) } else { (u, v) };
+        self.adj[list as usize].binary_search(&probe).is_ok()
+    }
+
+    /// Inserts the edge `(u, v)`; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range ids — in the hot mutation paths
+    /// these are programming errors. Use [`Graph::try_add_edge`] for
+    /// untrusted input.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert_ne!(u, v, "self-loop ({u}, {u})");
+        let n = self.num_vertices();
+        assert!((u as usize) < n && (v as usize) < n, "edge ({u}, {v}) out of range (n={n})");
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u as usize].insert(pos_u, v);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("adjacency lists out of sync");
+                self.adj[v as usize].insert(pos_v, u);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Checked edge insertion for untrusted input.
+    ///
+    /// # Errors
+    /// Reports self-loops, out-of-range ids and duplicates as [`GraphError`].
+    pub fn try_add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u as u64 });
+        }
+        let n = self.num_vertices();
+        for &x in &[u, v] {
+            if x as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: x as u64, num_vertices: n });
+            }
+        }
+        if !self.add_edge(u, v) {
+            return Err(GraphError::DuplicateEdge { u: u.min(v) as u64, v: u.max(v) as u64 });
+        }
+        Ok(())
+    }
+
+    /// Removes the edge `(u, v)`; returns `true` if it was present.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        let n = self.num_vertices();
+        assert!((u as usize) < n && (v as usize) < n, "edge ({u}, {v}) out of range (n={n})");
+        match self.adj[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos_u) => {
+                self.adj[u as usize].remove(pos_u);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("adjacency lists out of sync");
+                self.adj[v as usize].remove(pos_v);
+                self.num_edges -= 1;
+                true
+            }
+        }
+    }
+
+    /// Iterates all edges in canonical `(u < v)` lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as VertexId;
+            // Each undirected edge is reported once, from its smaller endpoint.
+            let start = nbrs.partition_point(|&w| w <= u);
+            nbrs[start..].iter().map(move |&v| Edge::new(u, v))
+        })
+    }
+
+    /// Collects all edges into a vector (canonical order).
+    pub fn edge_vec(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        out.extend(self.edges());
+        out
+    }
+
+    /// Iterates the *non-edges*: vertex pairs `(u < v)` with no edge. These
+    /// are the insertion candidates of the Removal/Insertion heuristic.
+    pub fn non_edges(&self) -> NonEdges<'_> {
+        NonEdges { graph: self, u: 0, v: 0 }
+    }
+
+    /// Degree of every vertex, indexed by vertex id.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        self.adj.iter().map(Vec::len).collect()
+    }
+
+    /// Maximum degree (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Sum of degrees; equals `2 * num_edges()` (handshake lemma).
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// The subgraph induced by `vertices` (paper's sampling procedure keeps
+    /// every edge whose both endpoints are sampled).
+    ///
+    /// Returns the new graph plus the mapping `new id -> original id`.
+    /// Duplicate ids in `vertices` are ignored after the first occurrence.
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let n = self.num_vertices();
+        let mut new_id = vec![VertexId::MAX; n];
+        let mut mapping = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            assert!((v as usize) < n, "vertex {v} out of range (n={n})");
+            if new_id[v as usize] == VertexId::MAX {
+                new_id[v as usize] = mapping.len() as VertexId;
+                mapping.push(v);
+            }
+        }
+        let mut g = Graph::new(mapping.len());
+        for (nu, &orig_u) in mapping.iter().enumerate() {
+            for &orig_v in self.neighbors(orig_u) {
+                let nv = new_id[orig_v as usize];
+                if nv != VertexId::MAX && (nu as VertexId) < nv {
+                    g.add_edge(nu as VertexId, nv);
+                }
+            }
+        }
+        (g, mapping)
+    }
+
+    /// Exhaustively validates the internal invariants (sorted, symmetric,
+    /// simple, edge count consistent). Intended for tests and debug builds.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut half_edges = 0usize;
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            let u = u as VertexId;
+            if !nbrs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("adjacency of {u} is not strictly sorted"));
+            }
+            for &v in nbrs {
+                if v == u {
+                    return Err(format!("self-loop on {u}"));
+                }
+                if v as usize >= self.adj.len() {
+                    return Err(format!("neighbor {v} of {u} out of range"));
+                }
+                if self.adj[v as usize].binary_search(&u).is_err() {
+                    return Err(format!("edge ({u}, {v}) not symmetric"));
+                }
+            }
+            half_edges += nbrs.len();
+        }
+        if half_edges != 2 * self.num_edges {
+            return Err(format!(
+                "edge count {} inconsistent with degree sum {half_edges}",
+                self.num_edges
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.num_vertices(), self.num_edges())
+    }
+}
+
+/// Iterator over vertex pairs that are *not* edges. See [`Graph::non_edges`].
+pub struct NonEdges<'a> {
+    graph: &'a Graph,
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Iterator for NonEdges<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        let n = self.graph.num_vertices() as VertexId;
+        loop {
+            self.v += 1;
+            if self.v >= n {
+                self.u += 1;
+                if self.u + 1 >= n {
+                    return None;
+                }
+                self.v = self.u + 1;
+            }
+            if !self.graph.has_edge(self.u, self.v) {
+                return Some(Edge::new(self.u, self.v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_graph() -> Graph {
+        // Figure 1 of the paper, vertices renumbered 1..7 -> 0..6.
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = paper_graph();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.degree_sum(), 20);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn paper_degrees_match_figure_1() {
+        let g = paper_graph();
+        // Figure 1 subscripts: 1_2 2_4 3_4 4_2 5_4 6_3 7_1 (1-indexed).
+        assert_eq!(g.degree_sequence(), vec![2, 4, 4, 2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric_and_rejects_loops() {
+        let g = paper_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 6));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn add_edge_rejects_duplicates_quietly() {
+        let mut g = paper_graph();
+        assert!(!g.add_edge(0, 1));
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.add_edge(0, 6));
+        assert_eq!(g.num_edges(), 11);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_round_trips() {
+        let mut g = paper_graph();
+        assert!(g.remove_edge(1, 4));
+        assert!(!g.remove_edge(1, 4));
+        assert_eq!(g.num_edges(), 9);
+        assert!(g.add_edge(1, 4));
+        assert_eq!(g.num_edges(), 10);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_edges_rejects_bad_input() {
+        assert!(matches!(
+            Graph::from_edges(3, [(0u32, 0u32)]),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(3, [(0u32, 5u32)]),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(3, [(0u32, 1u32), (1, 0)]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once_in_order() {
+        let g = paper_graph();
+        let edges = g.edge_vec();
+        assert_eq!(edges.len(), 10);
+        let mut sorted = edges.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, edges);
+        assert_eq!(edges[0], Edge::new(0, 1));
+        assert_eq!(*edges.last().unwrap(), Edge::new(5, 6));
+    }
+
+    #[test]
+    fn non_edges_complements_edges() {
+        let g = paper_graph();
+        let n = g.num_vertices();
+        let non: Vec<Edge> = g.non_edges().collect();
+        assert_eq!(non.len(), n * (n - 1) / 2 - g.num_edges());
+        for e in &non {
+            assert!(!g.has_edge(e.u(), e.v()));
+        }
+        // Union of edges and non-edges covers all pairs exactly once.
+        let mut all: Vec<Edge> = g.edges().chain(non.iter().copied()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = paper_graph();
+        let (sub, mapping) = g.induced_subgraph(&[1, 2, 4, 6]);
+        assert_eq!(mapping, vec![1, 2, 4, 6]);
+        assert_eq!(sub.num_vertices(), 4);
+        // Edges among {1,2,4}: (1,2), (1,4), (2,4). Vertex 6 is isolated here.
+        assert_eq!(sub.num_edges(), 3);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(0, 2));
+        assert!(sub.has_edge(1, 2));
+        assert_eq!(sub.degree(3), 0);
+        sub.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicate_ids() {
+        let g = paper_graph();
+        let (sub, mapping) = g.induced_subgraph(&[1, 1, 2]);
+        assert_eq!(mapping, vec![1, 2]);
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::new(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.non_edges().count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        g.check_invariants().unwrap();
+
+        let g1 = Graph::new(1);
+        assert_eq!(g1.non_edges().count(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Edge-list I/O (SNAP style) and DOT export.
+//!
+//! The format is one `u v` pair per line, whitespace separated; lines
+//! starting with `#` or `%` are comments. This matches the format of the
+//! Stanford Large Network Dataset collection the paper samples from, so a
+//! downstream user can feed real SNAP files to the CLI.
+
+use crate::{Graph, GraphError, VertexId};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads an edge list. Vertex count is `max id + 1` unless `min_vertices`
+/// demands more. Duplicate edges (including reversed duplicates, which SNAP
+/// directed dumps contain) are merged silently; self-loops are dropped,
+/// mirroring how the paper reduces raw datasets to simple graphs.
+pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("expected two vertex ids, got {trimmed:?}"),
+                })
+            }
+        };
+        let parse = |s: &str| -> Result<u64, GraphError> {
+            s.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: idx + 1,
+                message: format!("invalid vertex id {s:?}"),
+            })
+        };
+        let (a, b) = (parse(a)?, parse(b)?);
+        if a == b {
+            continue; // drop self-loops
+        }
+        if a > VertexId::MAX as u64 || b > VertexId::MAX as u64 {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: a.max(b),
+                num_vertices: VertexId::MAX as usize,
+            });
+        }
+        max_id = max_id.max(a).max(b);
+        edges.push((a as VertexId, b as VertexId));
+    }
+    let n = if edges.is_empty() { min_vertices } else { min_vertices.max(max_id as usize + 1) };
+    let mut g = Graph::new(n);
+    for (a, b) in edges {
+        g.add_edge(a, b); // merges duplicates
+    }
+    Ok(g)
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, 0)
+}
+
+/// Writes the graph as an edge list, one canonical `u v` pair per line, with
+/// a header comment recording vertex/edge counts (so vertex count survives a
+/// round trip even when trailing vertices are isolated).
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# lopacity edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(writer, "# vertices {}", graph.num_vertices())?;
+    for e in graph.edges() {
+        writeln!(writer, "{} {}", e.u(), e.v())?;
+    }
+    Ok(())
+}
+
+/// Writes the graph to a file path (buffered).
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> std::io::Result<()> {
+    let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_edge_list(graph, file)
+}
+
+/// Reads an edge list honouring the `# vertices N` header written by
+/// [`write_edge_list`], so isolated trailing vertices are preserved.
+pub fn read_edge_list_with_header<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut text = String::new();
+    let mut reader = BufReader::new(reader);
+    reader.read_to_string(&mut text)?;
+    let mut min_vertices = 0usize;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# vertices ") {
+            if let Ok(n) = rest.trim().parse::<usize>() {
+                min_vertices = n;
+            }
+        }
+    }
+    read_edge_list(text.as_bytes(), min_vertices)
+}
+
+/// Renders the graph in Graphviz DOT format, labelling each vertex with its
+/// id and degree (mirroring Figure 1's `id_degree` inscriptions).
+pub fn to_dot(graph: &Graph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("graph lopacity {\n");
+    for v in 0..graph.num_vertices() {
+        let _ = writeln!(out, "  {v} [label=\"{v}_{}\"];", graph.degree(v as VertexId));
+    }
+    for e in graph.edges() {
+        let _ = writeln!(out, "  {} -- {};", e.u(), e.v());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_whitespace_and_dedup() {
+        let text = "# comment\n% also comment\n0 1\n1\t2\n 2 0 \n1 0\n3 3\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        // "1 0" duplicates "0 1"; the self-loop "3 3" is dropped before max-id
+        // tracking, so only ids 0..=2 remain.
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated_vertices() {
+        let g = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read_edge_list("0 1\nnot numbers here\n".as_bytes(), 0).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = read_edge_list("42\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = Graph::from_edges(6, [(0u32, 1u32), (1, 2), (4, 5)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list_with_header(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_preserves_trailing_isolated_vertices() {
+        let g = Graph::from_edges(9, [(0u32, 1u32)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list_with_header(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), 9);
+    }
+
+    #[test]
+    fn dot_output_contains_all_edges_and_degree_labels() {
+        let g = Graph::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.contains("1 [label=\"1_2\"];"));
+        assert!(dot.starts_with("graph"));
+    }
+}

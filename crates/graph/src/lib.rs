@@ -1,0 +1,43 @@
+//! Simple undirected graph substrate for the L-opacity workspace.
+//!
+//! The paper (Nobari et al., *L-opacity: Linkage-Aware Graph Anonymization*,
+//! EDBT 2014) models a social network as a **simple graph**: undirected,
+//! unweighted, no self-loops, no parallel edges. This crate provides that
+//! data model plus the operations every other crate needs:
+//!
+//! * [`Graph`] — sorted-adjacency storage with O(deg) edge insert/remove and
+//!   O(log deg) membership tests; the anonymization heuristics mutate edges
+//!   millions of times, so these paths are kept allocation-free.
+//! * [`Edge`] — a canonical (`u < v`) undirected edge.
+//! * [`traversal`] — BFS and connected components.
+//! * [`io`] — whitespace-separated edge-list files (SNAP style) and DOT
+//!   export.
+//!
+//! # Example
+//!
+//! ```
+//! use lopacity_graph::Graph;
+//!
+//! // The 7-vertex running example of the paper (Figure 1), 0-indexed.
+//! let g = Graph::from_edges(7, [
+//!     (0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6),
+//! ]).unwrap();
+//! assert_eq!(g.num_vertices(), 7);
+//! assert_eq!(g.num_edges(), 10);
+//! assert_eq!(g.degree(1), 4);
+//! assert!(g.has_edge(5, 6));
+//! ```
+
+mod edge;
+mod error;
+mod graph;
+pub mod io;
+pub mod traversal;
+
+pub use edge::Edge;
+pub use error::GraphError;
+pub use graph::{Graph, NonEdges};
+
+/// Vertex identifier. Graphs are limited to `u32::MAX` vertices, which keeps
+/// adjacency lists at half the size of `usize` ids on 64-bit targets.
+pub type VertexId = u32;

@@ -1,0 +1,188 @@
+//! Breadth-first search and connectivity.
+
+use crate::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Distance value meaning "unreachable" in [`bfs_distances`] output.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Full BFS from `source`; returns a distance per vertex
+/// ([`UNREACHABLE`] where no path exists).
+pub fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; graph.num_vertices()];
+    bfs_distances_into(graph, source, &mut dist);
+    dist
+}
+
+/// BFS writing into a caller-provided buffer, so repeated sweeps (one per
+/// source, as in diameter or geodesic-distribution computation) do not
+/// allocate. The buffer is reset to [`UNREACHABLE`] first.
+pub fn bfs_distances_into(graph: &Graph, source: VertexId, dist: &mut Vec<u32>) {
+    let n = graph.num_vertices();
+    dist.clear();
+    dist.resize(n, UNREACHABLE);
+    assert!((source as usize) < n, "source {source} out of range (n={n})");
+    let mut queue = VecDeque::with_capacity(64);
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in graph.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+}
+
+/// Connected components; returns `(component id per vertex, component count)`.
+/// Component ids are assigned in order of their smallest vertex.
+pub fn connected_components(graph: &Graph) -> (Vec<u32>, usize) {
+    let n = graph.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        comp[start] = count;
+        queue.push_back(start as VertexId);
+        while let Some(u) = queue.pop_front() {
+            for &w in graph.neighbors(u) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Whether the graph is connected. Vacuously true for `n <= 1`.
+pub fn is_connected(graph: &Graph) -> bool {
+    if graph.num_vertices() <= 1 {
+        return true;
+    }
+    connected_components(graph).1 == 1
+}
+
+/// Vertices of the largest connected component (original ids, ascending).
+pub fn largest_component(graph: &Graph) -> Vec<VertexId> {
+    let (comp, count) = connected_components(graph);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .expect("count > 0");
+    comp.iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == best)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+/// Exact diameter: the longest geodesic among *reachable* pairs.
+///
+/// Runs one BFS per vertex (`O(V (V + E))`); intended for the modest graph
+/// sizes of the evaluation (≤ a few thousand vertices). Returns 0 for graphs
+/// with no edges.
+pub fn diameter(graph: &Graph) -> u32 {
+    let n = graph.num_vertices();
+    let mut best = 0u32;
+    let mut dist = Vec::new();
+    for v in 0..n {
+        bfs_distances_into(graph, v as VertexId, &mut dist);
+        for &d in &dist {
+            if d != UNREACHABLE {
+                best = best.max(d);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, 2);
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = Graph::from_edges(4, [(0u32, 1u32)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn bfs_into_reuses_buffer() {
+        let g = path_graph(4);
+        let mut buf = vec![7u32; 99];
+        bfs_distances_into(&g, 3, &mut buf);
+        assert_eq!(buf, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::from_edges(6, [(0u32, 1u32), (1, 2), (3, 4)]).unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[5]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path_graph(4)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(is_connected(&Graph::new(0)));
+    }
+
+    #[test]
+    fn largest_component_finds_biggest() {
+        let g = Graph::from_edges(7, [(0u32, 1u32), (2, 3), (3, 4), (4, 2), (5, 6)]).unwrap();
+        assert_eq!(largest_component(&g), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn diameter_of_paths_and_cycles() {
+        assert_eq!(diameter(&path_graph(5)), 4);
+        let cycle = Graph::from_edges(6, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .unwrap();
+        assert_eq!(diameter(&cycle), 3);
+        assert_eq!(diameter(&Graph::new(3)), 0);
+    }
+
+    #[test]
+    fn diameter_ignores_unreachable_pairs() {
+        // Paper's definition: "the longest shortest path in a graph"; we take
+        // the max over reachable pairs only so disconnected samples are not
+        // reported as infinite.
+        let g = Graph::from_edges(5, [(0u32, 1u32), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(diameter(&g), 2);
+    }
+}

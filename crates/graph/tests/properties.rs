@@ -1,0 +1,119 @@
+//! Property-based tests for the graph substrate.
+
+use lopacity_graph::traversal::{bfs_distances, connected_components, UNREACHABLE};
+use lopacity_graph::{io, Edge, Graph, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph with up to `max_n` vertices, produced from
+/// a set of candidate pairs (dedup handled by `add_edge`).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pair = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(pair, 0..(n * n / 2).max(1)).prop_map(move |pairs| {
+            let mut g = Graph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold_after_random_construction(g in arb_graph(24)) {
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edge_count(g in arb_graph(24)) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn add_then_remove_is_identity(g in arb_graph(16), a in 0u32..16, b in 0u32..16) {
+        let n = g.num_vertices() as u32;
+        prop_assume!(a < n && b < n && a != b);
+        prop_assume!(!g.has_edge(a, b));
+        let mut h = g.clone();
+        prop_assert!(h.add_edge(a, b));
+        prop_assert!(h.remove_edge(a, b));
+        prop_assert_eq!(h, g);
+    }
+
+    #[test]
+    fn remove_then_add_is_identity(g in arb_graph(16)) {
+        let edges = g.edge_vec();
+        prop_assume!(!edges.is_empty());
+        let e = edges[edges.len() / 2];
+        let mut h = g.clone();
+        prop_assert!(h.remove_edge(e.u(), e.v()));
+        prop_assert!(h.add_edge(e.u(), e.v()));
+        prop_assert_eq!(h, g);
+    }
+
+    #[test]
+    fn edges_and_non_edges_partition_all_pairs(g in arb_graph(16)) {
+        let n = g.num_vertices();
+        let mut all: Vec<Edge> = g.edges().chain(g.non_edges()).collect();
+        all.sort();
+        let len = all.len();
+        all.dedup();
+        prop_assert_eq!(all.len(), len, "edges and non-edges overlap");
+        prop_assert_eq!(len, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_on_edges(g in arb_graph(16)) {
+        prop_assume!(g.num_vertices() > 0);
+        let d = bfs_distances(&g, 0);
+        for e in g.edges() {
+            let (du, dv) = (d[e.u() as usize], d[e.v() as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1, "adjacent vertices differ by more than 1");
+            } else {
+                // Both endpoints of an edge are in the same component.
+                prop_assert_eq!(du, dv);
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_with_bfs_reachability(g in arb_graph(16)) {
+        prop_assume!(g.num_vertices() > 0);
+        let (comp, _) = connected_components(&g);
+        let d = bfs_distances(&g, 0);
+        for v in 0..g.num_vertices() {
+            prop_assert_eq!(comp[v] == comp[0], d[v] != UNREACHABLE);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(g in arb_graph(16), keep in proptest::collection::vec(any::<bool>(), 16)) {
+        let verts: Vec<VertexId> = (0..g.num_vertices())
+            .filter(|&v| keep.get(v).copied().unwrap_or(false))
+            .map(|v| v as VertexId)
+            .collect();
+        let (sub, mapping) = g.induced_subgraph(&verts);
+        prop_assert!(sub.check_invariants().is_ok());
+        for i in 0..sub.num_vertices() {
+            for j in (i + 1)..sub.num_vertices() {
+                let (oi, oj) = (mapping[i], mapping[j]);
+                prop_assert_eq!(
+                    sub.has_edge(i as VertexId, j as VertexId),
+                    g.has_edge(oi, oj)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_round_trip(g in arb_graph(16)) {
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = io::read_edge_list_with_header(buf.as_slice()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+}

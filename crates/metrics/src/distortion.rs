@@ -1,0 +1,103 @@
+//! Graph edit-distance ratio (paper Equation 1).
+
+use lopacity_graph::Graph;
+
+/// Counts `(removed, inserted)` edges between an original and an anonymized
+/// graph: `removed = |E \ Ê|`, `inserted = |Ê \ E|`.
+///
+/// # Panics
+/// Panics when the two graphs have different vertex counts — anonymization
+/// never adds or deletes vertices.
+pub fn edge_edit_counts(original: &Graph, anonymized: &Graph) -> (usize, usize) {
+    assert_eq!(
+        original.num_vertices(),
+        anonymized.num_vertices(),
+        "graphs must share a vertex set"
+    );
+    let mut removed = 0usize;
+    for e in original.edges() {
+        if !anonymized.has_edge(e.u(), e.v()) {
+            removed += 1;
+        }
+    }
+    let mut inserted = 0usize;
+    for e in anonymized.edges() {
+        if !original.has_edge(e.u(), e.v()) {
+            inserted += 1;
+        }
+    }
+    (removed, inserted)
+}
+
+/// Distortion `D(E, Ê) = |E ∪ Ê − E ∩ Ê| / |E|` (Equation 1): the symmetric
+/// difference of the edge sets, normalized by the original edge count.
+///
+/// Returns 0 for an edgeless original that stayed edgeless, and `+∞`-free
+/// behaviour otherwise: an edgeless original that gained edges yields
+/// `f64::INFINITY`, which callers should treat as "undefined".
+pub fn distortion(original: &Graph, anonymized: &Graph) -> f64 {
+    let (removed, inserted) = edge_edit_counts(original, anonymized);
+    let delta = removed + inserted;
+    if delta == 0 {
+        return 0.0;
+    }
+    delta as f64 / original.num_edges() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(u32, u32)]) -> Graph {
+        Graph::from_edges(6, edges.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_distortion() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(distortion(&g, &g), 0.0);
+        assert_eq!(edge_edit_counts(&g, &g), (0, 0));
+    }
+
+    #[test]
+    fn pure_removal() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let h = graph(&[(0, 1), (1, 2)]);
+        assert_eq!(edge_edit_counts(&g, &h), (2, 0));
+        assert!((distortion(&g, &h) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_and_insertion_both_count() {
+        // Removal/Insertion keeps |E| constant but distortion still counts
+        // both sides of the symmetric difference.
+        let g = graph(&[(0, 1), (1, 2)]);
+        let h = graph(&[(0, 1), (3, 4)]);
+        assert_eq!(edge_edit_counts(&g, &h), (1, 1));
+        assert!((distortion(&g, &h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_to_full_is_infinite() {
+        let g = graph(&[]);
+        let h = graph(&[(0, 1)]);
+        assert!(distortion(&g, &h).is_infinite());
+        assert_eq!(distortion(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn distortion_is_order_sensitive_in_denominator() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let h = graph(&[(0, 1)]);
+        assert!((distortion(&g, &h) - 0.75).abs() < 1e-12);
+        assert!((distortion(&h, &g) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a vertex set")]
+    fn rejects_vertex_count_mismatch() {
+        let g = Graph::new(3);
+        let h = Graph::new(4);
+        distortion(&g, &h);
+    }
+}

@@ -1,0 +1,89 @@
+//! Geodesic-distance distributions.
+//!
+//! Figure 7b of the paper compares the distribution of shortest-path lengths
+//! before and after anonymization via EMD. [`geodesic_distribution`] returns
+//! the histogram of *finite* geodesic distances over all unordered vertex
+//! pairs, plus the number of unreachable pairs. The EMD is computed on the
+//! normalized finite part (the paper does not define a ground distance to
+//! "infinity"); the unreachable count lets callers report the disconnection
+//! change separately.
+
+use crate::histogram::Histogram;
+use lopacity_graph::traversal::{bfs_distances_into, UNREACHABLE};
+use lopacity_graph::{Graph, VertexId};
+
+/// Histogram of finite geodesic distances across unordered pairs, plus the
+/// count of unreachable pairs. One full BFS per vertex: `O(V (V + E))`.
+pub fn geodesic_distribution(graph: &Graph) -> (Histogram, u64) {
+    let n = graph.num_vertices();
+    let mut hist = Histogram::new();
+    let mut unreachable = 0u64;
+    let mut dist = Vec::new();
+    for src in 0..n as VertexId {
+        bfs_distances_into(graph, src, &mut dist);
+        // Count each unordered pair once, from its smaller endpoint.
+        for &d in &dist[src as usize + 1..n] {
+            match d {
+                UNREACHABLE => unreachable += 1,
+                d => hist.add(d as usize),
+            }
+        }
+    }
+    (hist, unreachable)
+}
+
+/// Mean finite geodesic distance (0 when no pair is reachable) — the
+/// "average path length" small-world statistic cited in the introduction.
+pub fn mean_geodesic(graph: &Graph) -> f64 {
+    let (hist, _) = geodesic_distribution(graph);
+    hist.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_distribution() {
+        // Path 0-1-2-3: distances {1:3, 2:2, 3:1}.
+        let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
+        let (h, unreachable) = geodesic_distribution(&g);
+        assert_eq!(unreachable, 0);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_counted_separately() {
+        let g = Graph::from_edges(4, [(0u32, 1u32), (2, 3)]).unwrap();
+        let (h, unreachable) = geodesic_distribution(&g);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(unreachable, 4);
+    }
+
+    #[test]
+    fn empty_graph_has_only_unreachable_pairs() {
+        let g = Graph::new(4);
+        let (h, unreachable) = geodesic_distribution(&g);
+        assert_eq!(h.total(), 0);
+        assert_eq!(unreachable, 6);
+    }
+
+    #[test]
+    fn mean_geodesic_of_star_is_below_two() {
+        // Star: 3 pairs at distance 1 (hub-leaf... 4 vertices: 3 spokes) and
+        // 3 leaf pairs at distance 2 -> mean 1.5.
+        let g = Graph::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+        assert!((mean_geodesic(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_total_plus_unreachable_covers_all_pairs() {
+        let g = Graph::from_edges(6, [(0u32, 1u32), (1, 2), (3, 4)]).unwrap();
+        let (h, unreachable) = geodesic_distribution(&g);
+        assert_eq!(h.total() + unreachable, 15);
+    }
+}

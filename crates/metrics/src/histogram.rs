@@ -1,0 +1,157 @@
+//! Integer-valued histograms and their normalized distributions.
+
+/// A histogram over non-negative integer values (degree values, geodesic
+/// lengths, ...). Bins are dense from 0 to the largest observed value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Builds a histogram from an iterator of observations.
+    pub fn from_values<I: IntoIterator<Item = usize>>(values: I) -> Self {
+        let mut h = Histogram::new();
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Records one observation of `value`.
+    pub fn add(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Records `count` observations of `value`.
+    pub fn add_many(&mut self, value: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += count;
+        self.total += count;
+    }
+
+    /// Count in bin `value` (0 beyond the last bin).
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observed value, or `None` for an empty histogram.
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Probability mass per bin, padded with zeros to `min_len` bins.
+    /// An empty histogram yields all-zero mass.
+    pub fn normalized(&self, min_len: usize) -> Vec<f64> {
+        let len = self.counts.len().max(min_len);
+        let mut mass = vec![0.0; len];
+        if self.total == 0 {
+            return mass;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            mass[i] = c as f64 / self.total as f64;
+        }
+        mass
+    }
+
+    /// Mean of the observations (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.counts.iter().enumerate().map(|(v, &c)| v as f64 * c as f64).sum();
+        sum / self.total as f64
+    }
+
+    /// Population standard deviation of the observations.
+    pub fn std_dev(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| {
+                let d = v as f64 - mean;
+                d * d * c as f64
+            })
+            .sum::<f64>()
+            / self.total as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_counts_correctly() {
+        let h = Histogram::from_values([1, 2, 2, 5]);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.max_value(), Some(5));
+    }
+
+    #[test]
+    fn normalized_sums_to_one_and_pads() {
+        let h = Histogram::from_values([0, 0, 1, 3]);
+        let p = h.normalized(6);
+        assert_eq!(p.len(), 6);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert_eq!(p[5], 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.normalized(3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std_dev_match_hand_computation() {
+        // Values {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population std dev 2.
+        let h = Histogram::from_values([2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert!((h.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_many_equals_repeated_add() {
+        let mut a = Histogram::new();
+        a.add_many(3, 4);
+        a.add_many(7, 0);
+        let b = Histogram::from_values([3, 3, 3, 3]);
+        assert_eq!(a, b);
+    }
+}

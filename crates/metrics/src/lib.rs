@@ -1,0 +1,36 @@
+//! Utility metrics for anonymized graphs (paper Section 6.2).
+//!
+//! The evaluation of *L-opacity* quantifies how much an anonymization
+//! altered a graph using:
+//!
+//! * [`distortion()`](crate::distortion()) — the graph edit-distance ratio of Equation 1,
+//!   `|E Δ Ê| / |E|`;
+//! * [`emd`] — Earth-Mover's Distance between the degree distributions and
+//!   between the geodesic-distance distributions of the original and
+//!   anonymized graphs;
+//! * [`clustering`] — local clustering coefficients and the mean per-vertex
+//!   difference `mean |C_i − C_i'|`;
+//! * [`stats`] — the structural descriptors of Tables 2 and 3 (diameter,
+//!   average degree, degree standard deviation, average clustering
+//!   coefficient);
+//! * [`spectral`] — adjacency spectral radius and spectral gap via power
+//!   iteration (the abstract's "spectral … graph properties");
+//! * [`report`] — a one-stop [`report::UtilityReport`] bundling everything
+//!   for an (original, anonymized) pair.
+
+pub mod clustering;
+pub mod distortion;
+pub mod emd;
+pub mod geodesic;
+pub mod histogram;
+pub mod report;
+pub mod spectral;
+pub mod stats;
+
+pub use clustering::{local_clustering, mean_cc_difference};
+pub use distortion::{distortion, edge_edit_counts};
+pub use emd::emd_1d;
+pub use geodesic::geodesic_distribution;
+pub use histogram::Histogram;
+pub use report::UtilityReport;
+pub use stats::GraphStats;

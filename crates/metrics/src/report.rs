@@ -1,0 +1,132 @@
+//! Combined utility report for an (original, anonymized) pair.
+
+use crate::clustering::mean_cc_difference;
+use crate::distortion::{distortion, edge_edit_counts};
+use crate::emd::emd_1d;
+use crate::geodesic::geodesic_distribution;
+use crate::spectral::spectral_summary;
+use crate::stats::GraphStats;
+use lopacity_graph::Graph;
+
+/// Every utility metric the paper's evaluation reports (plus the spectral
+/// extension), computed in one pass over an original/anonymized pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilityReport {
+    /// Edit-distance ratio of Equation 1 (Figure 6 y-axis).
+    pub distortion: f64,
+    /// Edges removed (`|E \ Ê|`).
+    pub edges_removed: usize,
+    /// Edges inserted (`|Ê \ E|`).
+    pub edges_inserted: usize,
+    /// EMD between degree distributions (Figure 7a).
+    pub emd_degree: f64,
+    /// EMD between finite geodesic-length distributions (Figure 7b).
+    pub emd_geodesic: f64,
+    /// Change in the fraction of unreachable pairs (extra transparency on
+    /// top of the finite-geodesic EMD).
+    pub unreachable_delta: f64,
+    /// Mean |C_i − C_i'| (Figure 8 y-axis).
+    pub mean_cc_diff: f64,
+    /// |λ₁ − λ₁'| of the adjacency matrices (spectral utility).
+    pub lambda1_diff: f64,
+}
+
+impl UtilityReport {
+    /// Computes every metric. Cost is dominated by the two geodesic
+    /// distributions (one BFS per vertex per graph).
+    pub fn compute(original: &Graph, anonymized: &Graph) -> Self {
+        let (removed, inserted) = edge_edit_counts(original, anonymized);
+        let deg_before = GraphStats::degree_histogram(original);
+        let deg_after = GraphStats::degree_histogram(anonymized);
+        let (geo_before, unreach_before) = geodesic_distribution(original);
+        let (geo_after, unreach_after) = geodesic_distribution(anonymized);
+        let n = original.num_vertices() as f64;
+        let pairs = (n * (n - 1.0) / 2.0).max(1.0);
+        UtilityReport {
+            distortion: distortion(original, anonymized),
+            edges_removed: removed,
+            edges_inserted: inserted,
+            emd_degree: emd_1d(&deg_before, &deg_after),
+            emd_geodesic: emd_1d(&geo_before, &geo_after),
+            unreachable_delta: (unreach_after as f64 - unreach_before as f64) / pairs,
+            mean_cc_diff: mean_cc_difference(original, anonymized),
+            lambda1_diff: (spectral_summary(original).lambda1
+                - spectral_summary(anonymized).lambda1)
+                .abs(),
+        }
+    }
+}
+
+impl std::fmt::Display for UtilityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "distortion={:.4} (−{} +{}), emd_deg={:.4}, emd_geo={:.4}, Δcc={:.4}, Δλ1={:.4}",
+            self.distortion,
+            self.edges_removed,
+            self.edges_inserted,
+            self.emd_degree,
+            self.emd_geodesic,
+            self.mean_cc_diff,
+            self.lambda1_diff
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        Graph::from_edges(5, [(0u32, 1u32), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn identity_report_is_all_zero() {
+        let g = triangle_plus_tail();
+        let r = UtilityReport::compute(&g, &g);
+        assert_eq!(r.distortion, 0.0);
+        assert_eq!(r.edges_removed, 0);
+        assert_eq!(r.edges_inserted, 0);
+        assert_eq!(r.emd_degree, 0.0);
+        assert_eq!(r.emd_geodesic, 0.0);
+        assert_eq!(r.unreachable_delta, 0.0);
+        assert_eq!(r.mean_cc_diff, 0.0);
+        assert_eq!(r.lambda1_diff, 0.0);
+    }
+
+    #[test]
+    fn removal_shows_up_in_every_metric() {
+        let g = triangle_plus_tail();
+        let mut h = g.clone();
+        h.remove_edge(0, 1);
+        let r = UtilityReport::compute(&g, &h);
+        assert!((r.distortion - 0.2).abs() < 1e-12);
+        assert_eq!(r.edges_removed, 1);
+        assert_eq!(r.edges_inserted, 0);
+        assert!(r.emd_degree > 0.0);
+        assert!(r.emd_geodesic > 0.0);
+        assert!(r.mean_cc_diff > 0.0);
+        assert!(r.lambda1_diff > 0.0);
+        assert_eq!(r.unreachable_delta, 0.0);
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let g = triangle_plus_tail();
+        let mut h = g.clone();
+        h.remove_edge(3, 4);
+        let r = UtilityReport::compute(&g, &h);
+        // Vertex 4 became unreachable from the other 4 vertices: 4 pairs of 10.
+        assert!((r.unreachable_delta - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let g = triangle_plus_tail();
+        let text = UtilityReport::compute(&g, &g).to_string();
+        for needle in ["distortion=", "emd_deg=", "emd_geo=", "Δcc=", "Δλ1="] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Structural descriptors: the columns of Tables 2 and 3.
+
+use crate::clustering::average_clustering;
+use crate::histogram::Histogram;
+use lopacity_graph::{traversal, Graph};
+
+/// The property row the paper reports per dataset: vertex/edge counts,
+/// diameter, average degree, degree standard deviation and average
+/// clustering coefficient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub links: usize,
+    /// Longest geodesic among reachable pairs.
+    pub diameter: u32,
+    /// Mean degree.
+    pub avg_degree: f64,
+    /// Population standard deviation of the degrees (STDD column).
+    pub degree_stdd: f64,
+    /// Average clustering coefficient (ACC column).
+    pub acc: f64,
+}
+
+impl GraphStats {
+    /// Computes all descriptors. Diameter costs one BFS per vertex; for the
+    /// graph sizes of the evaluation (≤ 10⁴ vertices) this is seconds, not
+    /// hours.
+    pub fn compute(graph: &Graph) -> Self {
+        let degrees = Histogram::from_values(graph.degree_sequence());
+        GraphStats {
+            nodes: graph.num_vertices(),
+            links: graph.num_edges(),
+            diameter: traversal::diameter(graph),
+            avg_degree: degrees.mean(),
+            degree_stdd: degrees.std_dev(),
+            acc: average_clustering(graph),
+        }
+    }
+
+    /// Degree histogram of a graph (input to the EMD utility metric).
+    pub fn degree_histogram(graph: &Graph) -> Histogram {
+        Histogram::from_values(graph.degree_sequence())
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} diam={} avg_deg={:.2} stdd={:.2} acc={:.4}",
+            self.nodes, self.links, self.diameter, self.avg_degree, self.degree_stdd, self.acc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_paper_graph() {
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.links, 10);
+        assert_eq!(s.diameter, 3);
+        assert!((s.avg_degree - 20.0 / 7.0).abs() < 1e-12);
+        assert!(s.degree_stdd > 0.0);
+        assert!(s.acc > 0.0 && s.acc <= 1.0);
+    }
+
+    #[test]
+    fn regular_graph_has_zero_degree_stdd() {
+        let cycle = Graph::from_edges(5, (0..5u32).map(|i| (i, (i + 1) % 5))).unwrap();
+        let s = GraphStats::compute(&cycle);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.degree_stdd, 0.0);
+        assert_eq!(s.diameter, 2);
+        assert_eq!(s.acc, 0.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = GraphStats::compute(&Graph::new(3));
+        assert_eq!(s.links, 0);
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.acc, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = GraphStats::compute(&Graph::new(2));
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("acc="));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: metric axioms and cross-metric consistency.
+
+use lopacity_graph::Graph;
+use lopacity_metrics::clustering::{local_clustering, mean_cc_difference};
+use lopacity_metrics::distortion::{distortion, edge_edit_counts};
+use lopacity_metrics::emd::emd_1d;
+use lopacity_metrics::geodesic::geodesic_distribution;
+use lopacity_metrics::histogram::Histogram;
+use lopacity_metrics::spectral::spectral_summary;
+use lopacity_metrics::GraphStats;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pair = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(pair, 0..n * 2).prop_map(move |pairs| {
+            let mut g = Graph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn arb_hist() -> impl Strategy<Value = Histogram> {
+    proptest::collection::vec(0usize..12, 1..30).prop_map(Histogram::from_values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn emd_is_a_metric_on_samples(a in arb_hist(), b in arb_hist(), c in arb_hist()) {
+        // identity, symmetry, triangle inequality
+        prop_assert!(emd_1d(&a, &a).abs() < 1e-12);
+        prop_assert!((emd_1d(&a, &b) - emd_1d(&b, &a)).abs() < 1e-12);
+        prop_assert!(emd_1d(&a, &c) <= emd_1d(&a, &b) + emd_1d(&b, &c) + 1e-9);
+        prop_assert!(emd_1d(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn distortion_axioms(g in arb_graph(16), h in arb_graph(16)) {
+        prop_assume!(g.num_vertices() == h.num_vertices());
+        prop_assert_eq!(distortion(&g, &g), 0.0);
+        let (removed, inserted) = edge_edit_counts(&g, &h);
+        let (r2, i2) = edge_edit_counts(&h, &g);
+        // Symmetric difference is symmetric in the roles.
+        prop_assert_eq!(removed, i2);
+        prop_assert_eq!(inserted, r2);
+        if g.num_edges() > 0 {
+            let d = distortion(&g, &h);
+            prop_assert!((d - (removed + inserted) as f64 / g.num_edges() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clustering_coefficients_are_probabilities(g in arb_graph(16)) {
+        for (v, c) in local_clustering(&g).into_iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&c), "C_{v} = {c}");
+        }
+        prop_assert_eq!(mean_cc_difference(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn mean_cc_difference_is_symmetric_and_bounded(g in arb_graph(12), h in arb_graph(12)) {
+        prop_assume!(g.num_vertices() == h.num_vertices());
+        let d1 = mean_cc_difference(&g, &h);
+        let d2 = mean_cc_difference(&h, &g);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn geodesic_distribution_is_complete(g in arb_graph(16)) {
+        let n = g.num_vertices() as u64;
+        let (hist, unreachable) = geodesic_distribution(&g);
+        prop_assert_eq!(hist.total() + unreachable, n * (n - 1) / 2);
+        prop_assert_eq!(hist.count(0), 0, "no zero-length geodesics among distinct pairs");
+        prop_assert_eq!(hist.count(1), g.num_edges() as u64);
+    }
+
+    #[test]
+    fn spectral_radius_bounds(g in arb_graph(14)) {
+        let s = spectral_summary(&g);
+        let max_deg = g.max_degree() as f64;
+        let avg_deg = if g.num_vertices() > 0 {
+            g.degree_sum() as f64 / g.num_vertices() as f64
+        } else {
+            0.0
+        };
+        // Classic bounds: avg degree <= lambda1 <= max degree.
+        prop_assert!(s.lambda1 <= max_deg + 1e-6, "λ1 = {} > Δ = {max_deg}", s.lambda1);
+        prop_assert!(s.lambda1 >= avg_deg - 1e-6, "λ1 = {} < avg = {avg_deg}", s.lambda1);
+        prop_assert!(s.lambda2 <= s.lambda1 + 1e-6);
+    }
+
+    #[test]
+    fn graph_stats_are_internally_consistent(g in arb_graph(16)) {
+        let stats = GraphStats::compute(&g);
+        prop_assert_eq!(stats.nodes, g.num_vertices());
+        prop_assert_eq!(stats.links, g.num_edges());
+        prop_assert!((0.0..=1.0).contains(&stats.acc));
+        prop_assert!(stats.degree_stdd >= 0.0);
+        let (hist, _) = geodesic_distribution(&g);
+        if let Some(max_finite) = hist.max_value() {
+            prop_assert_eq!(stats.diameter as usize, max_finite);
+        } else {
+            prop_assert_eq!(stats.diameter, 0);
+        }
+    }
+}

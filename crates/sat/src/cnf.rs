@@ -1,0 +1,205 @@
+//! 3-CNF formulas.
+
+/// A literal: variable index plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Variable index, `0..num_vars`.
+    pub var: usize,
+    /// `true` for `v`, `false` for `¬v`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal `v`.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// Negative literal `¬v`.
+    pub fn neg(var: usize) -> Self {
+        Literal { var, positive: false }
+    }
+
+    /// Truth value under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.positive {
+            write!(f, "¬")?;
+        }
+        write!(f, "x{}", self.var)
+    }
+}
+
+/// A disjunction of exactly three literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clause(pub [Literal; 3]);
+
+impl Clause {
+    /// Truth value under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|lit| lit.eval(assignment))
+    }
+}
+
+/// A 3-SAT instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf3 {
+    /// Number of Boolean variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf3 {
+    /// Builds an instance, validating literal ranges.
+    ///
+    /// # Panics
+    /// Panics when a literal references a variable `>= num_vars`.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        for clause in &clauses {
+            for lit in &clause.0 {
+                assert!(
+                    lit.var < num_vars,
+                    "literal {lit} out of range for {num_vars} variables"
+                );
+            }
+        }
+        Cnf3 { num_vars, clauses }
+    }
+
+    /// Whether `assignment` satisfies every clause.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment length mismatch");
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// The paper's worked example (Theorem 1 / Figure 3), variables
+    /// `a, b, c, d` mapped to `x0..x3`:
+    ///
+    /// `(a ∨ ¬b ∨ c) ∧ (¬a ∨ ¬c ∨ d) ∧ (a ∨ b ∨ ¬d) ∧ (a ∨ ¬b ∨ ¬c) ∧
+    ///  (¬b ∨ c ∨ d) ∧ (¬a ∨ b ∨ ¬d)`
+    pub fn paper_example() -> Self {
+        use Literal as L;
+        let (a, b, c, d) = (0, 1, 2, 3);
+        Cnf3::new(
+            4,
+            vec![
+                Clause([L::pos(a), L::neg(b), L::pos(c)]),
+                Clause([L::neg(a), L::neg(c), L::pos(d)]),
+                Clause([L::pos(a), L::pos(b), L::neg(d)]),
+                Clause([L::pos(a), L::neg(b), L::neg(c)]),
+                Clause([L::neg(b), L::pos(c), L::pos(d)]),
+                Clause([L::neg(a), L::pos(b), L::neg(d)]),
+            ],
+        )
+    }
+
+    /// A deterministic pseudo-random instance (xorshift-based; no RNG
+    /// dependency) for stress tests.
+    pub fn random(num_vars: usize, num_clauses: usize, seed: u64) -> Self {
+        assert!(num_vars >= 3, "need at least 3 variables for distinct literals");
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % bound as u64) as usize
+        };
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                // Three distinct variables per clause.
+                let v1 = next(num_vars);
+                let mut v2 = next(num_vars);
+                while v2 == v1 {
+                    v2 = next(num_vars);
+                }
+                let mut v3 = next(num_vars);
+                while v3 == v1 || v3 == v2 {
+                    v3 = next(num_vars);
+                }
+                Clause([
+                    Literal { var: v1, positive: next(2) == 0 },
+                    Literal { var: v2, positive: next(2) == 0 },
+                    Literal { var: v3, positive: next(2) == 0 },
+                ])
+            })
+            .collect();
+        Cnf3::new(num_vars, clauses)
+    }
+}
+
+impl std::fmt::Display for Cnf3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (idx, clause) in self.clauses.iter().enumerate() {
+            if idx > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "({} ∨ {} ∨ {})", clause.0[0], clause.0[1], clause.0[2])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_eval() {
+        let assignment = [true, false];
+        assert!(Literal::pos(0).eval(&assignment));
+        assert!(!Literal::neg(0).eval(&assignment));
+        assert!(Literal::neg(1).eval(&assignment));
+    }
+
+    #[test]
+    fn clause_eval_is_disjunction() {
+        let c = Clause([Literal::pos(0), Literal::pos(1), Literal::pos(2)]);
+        assert!(c.eval(&[false, true, false]));
+        assert!(!c.eval(&[false, false, false]));
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        let cnf = Cnf3::paper_example();
+        assert_eq!(cnf.num_vars, 4);
+        assert_eq!(cnf.clauses.len(), 6);
+        // Count occurrences: ¬a appears in clauses 2 and 6 (paper text).
+        let neg_a = cnf
+            .clauses
+            .iter()
+            .filter(|c| c.0.contains(&Literal::neg(0)))
+            .count();
+        assert_eq!(neg_a, 2);
+    }
+
+    #[test]
+    fn paper_example_is_satisfiable() {
+        let cnf = Cnf3::paper_example();
+        // a=T, b=T, c=T, d=T: clause 2 = (¬a ∨ ¬c ∨ d) = T via d; clause 6 =
+        // (¬a ∨ b ∨ ¬d) = T via b.
+        assert!(cnf.eval(&[true, true, true, true]));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_valid() {
+        let a = Cnf3::random(5, 10, 42);
+        let b = Cnf3::random(5, 10, 42);
+        assert_eq!(a, b);
+        for clause in &a.clauses {
+            let vars: std::collections::HashSet<_> = clause.0.iter().map(|l| l.var).collect();
+            assert_eq!(vars.len(), 3, "clause variables must be distinct");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_literals() {
+        Cnf3::new(2, vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(5)])]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Decoding edge removals back into truth assignments.
+
+use crate::reduction::Reduction;
+use lopacity_graph::Edge;
+
+/// Why a removal set fails to encode an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A removed edge is not one of the variable edges.
+    NotAVariableEdge(Edge),
+    /// Both edges of one variable were removed.
+    BothSidesRemoved { var: usize },
+    /// Neither edge of one variable was removed.
+    Unassigned { var: usize },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::NotAVariableEdge(e) => {
+                write!(f, "removed edge {e} is not a variable edge")
+            }
+            DecodeError::BothSidesRemoved { var } => {
+                write!(f, "variable x{var} had both its edges removed")
+            }
+            DecodeError::Unassigned { var } => {
+                write!(f, "variable x{var} had neither edge removed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Interprets a removal set as an assignment: positive edge removed → true,
+/// negative edge removed → false (Theorem 1's encoding). Every variable must
+/// have exactly one of its edges removed and nothing else may be touched.
+pub fn decode_assignment(reduction: &Reduction, removals: &[Edge]) -> Result<Vec<bool>, DecodeError> {
+    let mut assignment: Vec<Option<bool>> = vec![None; reduction.num_vars];
+    for &e in removals {
+        let var = reduction
+            .var_edges
+            .iter()
+            .position(|&(pos, neg)| pos == e || neg == e)
+            .ok_or(DecodeError::NotAVariableEdge(e))?;
+        let value = reduction.var_edges[var].0 == e;
+        match assignment[var] {
+            None => assignment[var] = Some(value),
+            Some(_) => return Err(DecodeError::BothSidesRemoved { var }),
+        }
+    }
+    assignment
+        .into_iter()
+        .enumerate()
+        .map(|(var, value)| value.ok_or(DecodeError::Unassigned { var }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf3;
+
+    fn reduction() -> Reduction {
+        Reduction::build(&Cnf3::paper_example())
+    }
+
+    #[test]
+    fn round_trips_an_assignment() {
+        let red = reduction();
+        let assignment = vec![true, false, true, false];
+        let removals = red.removals_for_assignment(&assignment);
+        assert_eq!(decode_assignment(&red, &removals).unwrap(), assignment);
+    }
+
+    #[test]
+    fn rejects_non_variable_edges() {
+        let red = reduction();
+        // A pendant clause edge.
+        let pendant = red
+            .graph
+            .edges()
+            .find(|e| e.u() as usize >= 4 * red.num_vars || e.v() as usize >= 4 * red.num_vars)
+            .unwrap();
+        let err = decode_assignment(&red, &[pendant]).unwrap_err();
+        assert!(matches!(err, DecodeError::NotAVariableEdge(_)));
+    }
+
+    #[test]
+    fn rejects_double_removal() {
+        let red = reduction();
+        let (pos, neg) = red.var_edges[2];
+        let mut removals = red.removals_for_assignment(&[true; 4]);
+        removals.push(neg);
+        let _ = pos;
+        let err = decode_assignment(&red, &removals).unwrap_err();
+        assert_eq!(err, DecodeError::BothSidesRemoved { var: 2 });
+    }
+
+    #[test]
+    fn rejects_missing_variable() {
+        let red = reduction();
+        let removals = vec![red.var_edges[0].0];
+        let err = decode_assignment(&red, &removals).unwrap_err();
+        assert_eq!(err, DecodeError::Unassigned { var: 1 });
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let red = reduction();
+        let err = decode_assignment(&red, &[]).unwrap_err();
+        assert!(err.to_string().contains("neither edge"));
+    }
+}

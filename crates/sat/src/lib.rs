@@ -1,0 +1,31 @@
+//! Theorem 1 machinery: the NP-hardness reduction from 3-SAT to
+//! L-opacification.
+//!
+//! The paper proves L-opacification NP-hard by encoding a 3-SAT instance as
+//! a graph with explicit vertex-pair types (Figure 3):
+//!
+//! * each variable `v` contributes two disjoint edges — the *positive* edge
+//!   `(v_i, v_j)` and the *negative* edge `(v'_i, v'_j)` — forming the
+//!   two pairs of type `(A_v, B_v)`;
+//! * each clause `C_k` appends, per literal, a fresh pendant pair
+//!   `(A_k, B_k)` whose endpoints hang off the corresponding variable
+//!   edge's endpoints, creating a path of length 3 that exists **iff** the
+//!   variable edge is intact;
+//! * with `L = 3`, removing a variable edge is a truth assignment: the
+//!   formula is satisfiable iff the construction can be made opaque with
+//!   exactly `N` edge removals.
+//!
+//! This crate builds the construction ([`reduction`]), provides a reference
+//! 3-SAT solver ([`solver`]) and decodes edge removals back into
+//! assignments ([`decode`]), letting integration tests verify the
+//! equivalence by exhaustive enumeration on small instances.
+
+pub mod cnf;
+pub mod decode;
+pub mod reduction;
+pub mod solver;
+
+pub use cnf::{Clause, Cnf3, Literal};
+pub use decode::{decode_assignment, DecodeError};
+pub use reduction::{Reduction, REDUCTION_L, REDUCTION_THETA};
+pub use solver::brute_force_sat;

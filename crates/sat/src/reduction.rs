@@ -1,0 +1,191 @@
+//! The Theorem 1 construction: 3-SAT instance → L-opacification instance.
+
+use crate::cnf::Cnf3;
+use lopacity::{opacity, TypeSpec};
+use lopacity_graph::{Edge, Graph, VertexId};
+
+/// The path-length threshold of the reduction (clause pairs sit at distance
+/// exactly 3 through their variable edge).
+pub const REDUCTION_L: u8 = 3;
+
+/// The confidence threshold of the reduction.
+///
+/// The paper states the decision problem with "θ = 1" under Definition 3's
+/// *strict* inequality (`maxLO < θ`). Algorithms 4/5 use the inclusive form
+/// (`maxLO ≤ θ`), under which the equivalent threshold is the largest
+/// attainable value below 1 for the construction's types: variable types
+/// have 2 pairs (values 0, 1/2, 1) and clause types 3 pairs (0, 1/3, 2/3,
+/// 1), so `θ = 2/3` demands at least one broken pair per type — exactly the
+/// strict-θ=1 requirement.
+pub const REDUCTION_THETA: f64 = 2.0 / 3.0;
+
+/// The reduction graph plus its explicit vertex-pair types and the
+/// edge ↔ literal correspondence.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// Explicit types: first `num_vars` variable types `(A_v, B_v)`, then
+    /// one clause type `(A_k, B_k)` per clause.
+    pub spec: TypeSpec,
+    /// Per variable: `(positive edge (v_i, v_j), negative edge (v'_i, v'_j))`.
+    pub var_edges: Vec<(Edge, Edge)>,
+    /// Number of variables `N` (the removal budget of the decision problem).
+    pub num_vars: usize,
+    /// Number of clauses `S`.
+    pub num_clauses: usize,
+}
+
+impl Reduction {
+    /// Builds the construction of Theorem 1 for `cnf`.
+    ///
+    /// Layout: variable `v` owns vertices `4v .. 4v+3` (`v_i, v_j, v'_i,
+    /// v'_j`); every literal occurrence appends a fresh `(A_k, B_k)` pendant
+    /// pair after the variable block.
+    pub fn build(cnf: &Cnf3) -> Self {
+        let n_var_vertices = 4 * cnf.num_vars;
+        let n_clause_vertices = 2 * cnf.clauses.iter().map(|c| c.0.len()).sum::<usize>();
+        let mut graph = Graph::new(n_var_vertices + n_clause_vertices);
+
+        let mut var_edges = Vec::with_capacity(cnf.num_vars);
+        let mut type_lists: Vec<Vec<(VertexId, VertexId)>> =
+            Vec::with_capacity(cnf.num_vars + cnf.clauses.len());
+        for v in 0..cnf.num_vars {
+            let base = (4 * v) as VertexId;
+            let pos = Edge::new(base, base + 1);
+            let neg = Edge::new(base + 2, base + 3);
+            graph.add_edge(pos.u(), pos.v());
+            graph.add_edge(neg.u(), neg.v());
+            var_edges.push((pos, neg));
+            type_lists.push(vec![pos.endpoints(), neg.endpoints()]);
+        }
+
+        let mut next_vertex = n_var_vertices as VertexId;
+        for clause in &cnf.clauses {
+            let mut clause_pairs = Vec::with_capacity(clause.0.len());
+            for lit in &clause.0 {
+                let (edge, _) = var_edges[lit.var];
+                let (vi, vj) = if lit.positive {
+                    edge.endpoints()
+                } else {
+                    var_edges[lit.var].1.endpoints()
+                };
+                let a_k = next_vertex;
+                let b_k = next_vertex + 1;
+                next_vertex += 2;
+                graph.add_edge(a_k, vi);
+                graph.add_edge(b_k, vj);
+                clause_pairs.push((a_k, b_k));
+            }
+            type_lists.push(clause_pairs);
+        }
+        debug_assert_eq!(next_vertex as usize, graph.num_vertices());
+
+        Reduction {
+            graph,
+            spec: TypeSpec::Explicit(type_lists),
+            var_edges,
+            num_vars: cnf.num_vars,
+            num_clauses: cnf.clauses.len(),
+        }
+    }
+
+    /// The edge removals corresponding to a truth assignment: removing the
+    /// positive edge sets the variable true, removing the negative edge
+    /// sets it false (Theorem 1's encoding).
+    pub fn removals_for_assignment(&self, assignment: &[bool]) -> Vec<Edge> {
+        assert_eq!(assignment.len(), self.num_vars, "assignment length mismatch");
+        assignment
+            .iter()
+            .zip(&self.var_edges)
+            .map(|(&value, &(pos, neg))| if value { pos } else { neg })
+            .collect()
+    }
+
+    /// Whether removing exactly `removals` leaves the construction opaque
+    /// (every type `maxLO ≤ 2/3` at `L = 3`).
+    pub fn is_opaque_after(&self, removals: &[Edge]) -> bool {
+        let mut g = self.graph.clone();
+        for e in removals {
+            assert!(g.remove_edge(e.u(), e.v()), "removal {e} is not an edge");
+        }
+        let report = opacity::opacity_report(&g, &self.spec, REDUCTION_L);
+        report.max_lo.satisfies(REDUCTION_THETA)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf3;
+
+    #[test]
+    fn paper_example_dimensions_match_figure_3() {
+        let cnf = Cnf3::paper_example();
+        let red = Reduction::build(&cnf);
+        // 4 variables × 4 vertices + 6 clauses × 3 literals × 2 vertices.
+        assert_eq!(red.graph.num_vertices(), 16 + 36);
+        // 2 edges per variable + 2 edges per literal occurrence.
+        assert_eq!(red.graph.num_edges(), 8 + 36);
+        assert_eq!(red.num_vars, 4);
+        assert_eq!(red.num_clauses, 6);
+        red.graph.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clause_pairs_sit_at_distance_three_through_their_edge() {
+        let cnf = Cnf3::paper_example();
+        let red = Reduction::build(&cnf);
+        let report = opacity::opacity_report(&red.graph, &red.spec, REDUCTION_L);
+        // Before any removal every pair is within 3: all types at LO = 1.
+        assert_eq!(report.max_lo.as_f64(), 1.0);
+        for row in &report.per_type {
+            assert_eq!(row.within_l, row.total, "type {}", row.label);
+        }
+    }
+
+    #[test]
+    fn satisfying_assignment_yields_opacity() {
+        let cnf = Cnf3::paper_example();
+        let red = Reduction::build(&cnf);
+        let assignment = [true, true, true, true];
+        assert!(cnf.eval(&assignment));
+        let removals = red.removals_for_assignment(&assignment);
+        assert_eq!(removals.len(), red.num_vars);
+        assert!(red.is_opaque_after(&removals));
+    }
+
+    #[test]
+    fn falsifying_assignment_leaves_a_saturated_clause_type() {
+        let cnf = Cnf3::paper_example();
+        let red = Reduction::build(&cnf);
+        // a=F, b=T, c=F, d=F falsifies clause 4 = (a ∨ ¬b ∨ ¬c)? a=F, ¬b=F,
+        // ¬c=T -> satisfied. Find a falsifying assignment by search instead.
+        let mut falsifying = None;
+        for bits in 0..16u32 {
+            let assignment: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            if !cnf.eval(&assignment) {
+                falsifying = Some(assignment);
+                break;
+            }
+        }
+        let assignment = falsifying.expect("the example is not a tautology");
+        let removals = red.removals_for_assignment(&assignment);
+        assert!(!red.is_opaque_after(&removals));
+    }
+
+    #[test]
+    fn variable_edge_removal_breaks_only_its_side() {
+        let cnf = Cnf3::paper_example();
+        let red = Reduction::build(&cnf);
+        let (pos, neg) = red.var_edges[0];
+        let mut g = red.graph.clone();
+        g.remove_edge(pos.u(), pos.v());
+        // The negative edge still links its pair.
+        assert!(g.has_edge(neg.u(), neg.v()));
+        let report = opacity::opacity_report(&g, &red.spec, REDUCTION_L);
+        // Variable type 0 drops to 1/2.
+        let row = report.per_type.iter().find(|r| r.type_id == 0).unwrap();
+        assert_eq!((row.within_l, row.total), (1, 2));
+    }
+}

@@ -1,0 +1,79 @@
+//! Reference 3-SAT solving by exhaustive enumeration (instances in this
+//! workspace stay below ~20 variables; the point is ground truth, not
+//! performance).
+
+use crate::cnf::Cnf3;
+
+/// Returns a satisfying assignment, or `None` when unsatisfiable.
+///
+/// # Panics
+/// Panics for more than 24 variables (2^24 assignments is the sanity cap).
+pub fn brute_force_sat(cnf: &Cnf3) -> Option<Vec<bool>> {
+    assert!(cnf.num_vars <= 24, "brute force capped at 24 variables");
+    let mut assignment = vec![false; cnf.num_vars];
+    for bits in 0u64..(1u64 << cnf.num_vars) {
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            *slot = bits >> i & 1 == 1;
+        }
+        if cnf.eval(&assignment) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+/// Counts satisfying assignments (for test diagnostics).
+pub fn count_solutions(cnf: &Cnf3) -> u64 {
+    assert!(cnf.num_vars <= 24, "brute force capped at 24 variables");
+    let mut assignment = vec![false; cnf.num_vars];
+    let mut count = 0;
+    for bits in 0u64..(1u64 << cnf.num_vars) {
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            *slot = bits >> i & 1 == 1;
+        }
+        if cnf.eval(&assignment) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Literal};
+
+    #[test]
+    fn solves_the_paper_example() {
+        let cnf = Cnf3::paper_example();
+        let solution = brute_force_sat(&cnf).expect("example is satisfiable");
+        assert!(cnf.eval(&solution));
+        assert!(count_solutions(&cnf) >= 1);
+    }
+
+    #[test]
+    fn detects_unsatisfiable_instances() {
+        // All eight sign patterns over three variables: unsatisfiable.
+        let mut clauses = Vec::new();
+        for bits in 0..8u32 {
+            clauses.push(Clause([
+                Literal { var: 0, positive: bits & 1 == 0 },
+                Literal { var: 1, positive: bits & 2 == 0 },
+                Literal { var: 2, positive: bits & 4 == 0 },
+            ]));
+        }
+        let cnf = Cnf3::new(3, clauses);
+        assert!(brute_force_sat(&cnf).is_none());
+        assert_eq!(count_solutions(&cnf), 0);
+    }
+
+    #[test]
+    fn trivial_instance_counts_all_assignments() {
+        // One clause over three variables excludes exactly one of 8 patterns.
+        let cnf = Cnf3::new(
+            3,
+            vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(2)])],
+        );
+        assert_eq!(count_solutions(&cnf), 7);
+    }
+}

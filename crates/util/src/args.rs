@@ -1,0 +1,133 @@
+//! A tiny command-line parser.
+//!
+//! Supports the shapes the workspace binaries need:
+//! positional arguments, `--flag` booleans, and `--key value` /
+//! `--key=value` options. Unknown flags are collected so callers can reject
+//! them with a helpful message.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order plus a key/value map.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an iterator of raw arguments (excluding the program name).
+    ///
+    /// `--key=value` and `--key value` are equivalent. A `--key` followed by
+    /// another `--flag` (or nothing) is recorded as a boolean flag.
+    pub fn parse<I, S>(raw: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(token) = iter.next() {
+            if let Some(stripped) = token.strip_prefix("--") {
+                if let Some((key, value)) = stripped.split_once('=') {
+                    args.options.insert(key.to_string(), value.to_string());
+                } else if iter.peek().map(|next| !next.starts_with("--")).unwrap_or(false) {
+                    let value = iter.next().expect("peeked");
+                    args.options.insert(stripped.to_string(), value);
+                } else {
+                    args.flags.push(stripped.to_string());
+                }
+            } else {
+                args.positional.push(token);
+            }
+        }
+        args
+    }
+
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Positional argument by index.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positional.get(index).map(String::as_str)
+    }
+
+    /// All positionals in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Raw string value of `--key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Value of `--key` parsed into `T`, or `default` when absent.
+    ///
+    /// # Errors
+    /// Returns a message naming the key when the value fails to parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("invalid value {raw:?} for --{key}")),
+        }
+    }
+
+    /// Whether a boolean `--flag` was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Keys that were provided but are not in `known` (for error reporting).
+    pub fn unknown_keys<'a>(&'a self, known: &[&str]) -> Vec<&'a str> {
+        self.options
+            .keys()
+            .map(String::as_str)
+            .chain(self.flags.iter().map(String::as_str))
+            .filter(|k| !known.contains(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_positionals_options_and_flags() {
+        let args = Args::parse(["fig6", "--theta", "0.5", "--seed=42", "--verbose"]);
+        assert_eq!(args.positional(0), Some("fig6"));
+        assert_eq!(args.get("theta"), Some("0.5"));
+        assert_eq!(args.get("seed"), Some("42"));
+        assert!(args.has_flag("verbose"));
+        assert!(!args.has_flag("quiet"));
+    }
+
+    #[test]
+    fn get_or_parses_with_default() {
+        let args = Args::parse(["--n", "100"]);
+        assert_eq!(args.get_or("n", 5_usize).unwrap(), 100);
+        assert_eq!(args.get_or("m", 7_usize).unwrap(), 7);
+        assert!(args.get_or::<usize>("n", 0).is_ok());
+        let bad = Args::parse(["--n", "abc"]);
+        assert!(bad.get_or("n", 5_usize).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let args = Args::parse(["--fast", "--n", "3"]);
+        assert!(args.has_flag("fast"));
+        assert_eq!(args.get_or("n", 0_usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_keys_reports_unexpected() {
+        let args = Args::parse(["--good", "1", "--bad", "2", "--worse"]);
+        let unknown = args.unknown_keys(&["good"]);
+        assert_eq!(unknown, vec!["bad", "worse"]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Minimal CSV writing.
+//!
+//! The reproduction harness emits one CSV file per table/figure. The format
+//! is deliberately simple: comma-separated, `"`-quoted only when a field
+//! contains a comma, quote or newline, with `""` escaping. Output is buffered.
+
+use std::fmt::Display;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Buffered CSV writer over any [`Write`] sink.
+pub struct CsvWriter<W: Write> {
+    sink: W,
+    columns: usize,
+}
+
+impl CsvWriter<BufWriter<File>> {
+    /// Creates the file at `path` (truncating), writes the header row, and
+    /// returns a writer that enforces the header's column count.
+    ///
+    /// Parent directories are created if missing.
+    pub fn create<P: AsRef<Path>>(path: P, header: &[&str]) -> io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = BufWriter::new(File::create(path)?);
+        let mut w = CsvWriter { sink: file, columns: header.len() };
+        w.write_row(header)?;
+        Ok(w)
+    }
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wraps an arbitrary sink. The column count is locked in by the first
+    /// row written.
+    pub fn from_writer(sink: W) -> Self {
+        CsvWriter { sink, columns: 0 }
+    }
+
+    /// Writes one row of string-like fields.
+    ///
+    /// # Errors
+    /// Returns [`io::ErrorKind::InvalidInput`] when the row width differs
+    /// from previously written rows, or any underlying I/O error.
+    pub fn write_row<S: AsRef<str>>(&mut self, fields: &[S]) -> io::Result<()> {
+        if self.columns == 0 {
+            self.columns = fields.len();
+        } else if fields.len() != self.columns {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("csv row has {} fields, expected {}", fields.len(), self.columns),
+            ));
+        }
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                self.sink.write_all(b",")?;
+            }
+            write_field(&mut self.sink, f.as_ref())?;
+        }
+        self.sink.write_all(b"\n")
+    }
+
+    /// Convenience: formats every value with [`Display`] and writes the row.
+    pub fn write_record<D: Display>(&mut self, fields: &[D]) -> io::Result<()> {
+        let strings: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
+        self.write_row(&strings)
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+fn write_field<W: Write>(sink: &mut W, field: &str) -> io::Result<()> {
+    if !field.contains([',', '"', '\n', '\r']) {
+        return sink.write_all(field.as_bytes());
+    }
+    // Quoted fields are rare in our output; building them in memory keeps the
+    // streaming path branch-free.
+    let mut buf = String::with_capacity(field.len() + 2);
+    buf.push('"');
+    for ch in field.chars() {
+        if ch == '"' {
+            buf.push('"');
+        }
+        buf.push(ch);
+    }
+    buf.push('"');
+    sink.write_all(buf.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(rows: &[Vec<&str>]) -> String {
+        let mut out = Vec::new();
+        {
+            let mut w = CsvWriter::from_writer(&mut out);
+            for row in rows {
+                w.write_row(row).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn plain_rows() {
+        let got = render(&[vec!["a", "b"], vec!["1", "2"]]);
+        assert_eq!(got, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quotes_fields_with_commas_and_quotes() {
+        let got = render(&[vec!["a,b", "say \"hi\"", "plain"]]);
+        assert_eq!(got, "\"a,b\",\"say \"\"hi\"\"\",plain\n");
+    }
+
+    #[test]
+    fn quotes_fields_with_newlines() {
+        let got = render(&[vec!["line1\nline2"]]);
+        assert_eq!(got, "\"line1\nline2\"\n");
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let mut out = Vec::new();
+        let mut w = CsvWriter::from_writer(&mut out);
+        w.write_row(&["a", "b"]).unwrap();
+        let err = w.write_row(&["only-one"]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn write_record_formats_numbers() {
+        let mut out = Vec::new();
+        let mut w = CsvWriter::from_writer(&mut out);
+        w.write_record(&[1.5_f64, 2.0, 3.25]).unwrap();
+        w.flush().unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "1.5,2,3.25\n");
+    }
+
+    #[test]
+    fn create_writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("lopacity-util-csv-test");
+        let path = dir.join("t.csv");
+        let mut w = CsvWriter::create(&path, &["x", "y"]).unwrap();
+        w.write_record(&[1, 2]).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "x,y\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared utilities for the `lopacity` workspace.
+//!
+//! This crate deliberately has no external dependencies. It provides the
+//! small amounts of infrastructure the benchmark harness and CLI need:
+//!
+//! * [`csv`] — a minimal CSV writer (quoting, buffered output) used by the
+//!   reproduction harness to persist experiment series.
+//! * [`args`] — a tiny `--flag value` command-line parser, so the binaries do
+//!   not need an argument-parsing dependency.
+//! * [`timer`] — wall-clock stopwatch helpers for runtime experiments.
+//! * [`table`] — fixed-width ASCII table rendering for paper-style output.
+
+pub mod args;
+pub mod csv;
+pub mod table;
+pub mod timer;
+
+pub use args::Args;
+pub use csv::CsvWriter;
+pub use table::Table;
+pub use timer::Stopwatch;

@@ -1,0 +1,145 @@
+//! Fixed-width ASCII tables for paper-style console output.
+//!
+//! The reproduction binary prints each regenerated table/figure as a plain
+//! text table so the series can be eyeballed against the paper.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// An in-memory table rendered with [`Table::render`].
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    align: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table with the given header; all columns right-aligned
+    /// except the first.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let mut align = vec![Align::Right; header.len()];
+        if let Some(first) = align.first_mut() {
+            *first = Align::Left;
+        }
+        Table { header, rows: Vec::new(), align }
+    }
+
+    /// Overrides the alignment of column `idx`.
+    pub fn set_align(&mut self, idx: usize, align: Align) {
+        if let Some(slot) = self.align.get_mut(idx) {
+            *slot = align;
+        }
+    }
+
+    /// Appends a data row; panics if the width differs from the header.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "table row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        self.render_row(&mut out, &self.header, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 3 * ncols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            self.render_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    fn render_row(&self, out: &mut String, row: &[String], widths: &[usize]) {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("   ");
+            }
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            match self.align[i] {
+                Align::Left => {
+                    out.push_str(cell);
+                    if i + 1 != row.len() {
+                        out.push_str(&" ".repeat(pad));
+                    }
+                }
+                Align::Right => {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+            }
+        }
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "count"]);
+        t.add_row(vec!["alpha", "1"]);
+        t.add_row(vec!["b", "1000"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Counts are right-aligned to the same terminal column.
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("1000"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "table row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.add_row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

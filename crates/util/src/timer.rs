@@ -1,0 +1,95 @@
+//! Wall-clock timing helpers for runtime experiments.
+
+use std::time::{Duration, Instant};
+
+/// A restartable stopwatch accumulating elapsed wall-clock time.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    started: Option<Instant>,
+    accumulated: Duration,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch with zero accumulated time.
+    pub fn new() -> Self {
+        Stopwatch { started: None, accumulated: Duration::ZERO }
+    }
+
+    /// A stopwatch that starts running immediately.
+    pub fn started() -> Self {
+        Stopwatch { started: Some(Instant::now()), accumulated: Duration::ZERO }
+    }
+
+    /// Starts (or restarts) timing; a no-op when already running.
+    pub fn start(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Stops timing and folds the running interval into the total.
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.accumulated += t0.elapsed();
+        }
+    }
+
+    /// Total accumulated time (including the running interval, if any).
+    pub fn elapsed(&self) -> Duration {
+        match self.started {
+            Some(t0) => self.accumulated + t0.elapsed(),
+            None => self.accumulated,
+        }
+    }
+
+    /// Total accumulated time in (fractional) seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Runs `f` and returns its result plus the wall-clock duration it took.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_start_stop() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        std::thread::sleep(Duration::from_millis(2));
+        sw.stop();
+        let first = sw.elapsed();
+        assert!(first >= Duration::from_millis(2));
+        sw.start();
+        std::thread::sleep(Duration::from_millis(2));
+        sw.stop();
+        assert!(sw.elapsed() >= first + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn elapsed_while_running_includes_partial_interval() {
+        let sw = Stopwatch::started();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn time_it_returns_value_and_duration() {
+        let (v, d) = time_it(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

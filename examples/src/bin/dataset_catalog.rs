@@ -1,0 +1,67 @@
+//! Dataset catalogue: regenerate the paper's Tables 1–3 at example scale.
+//!
+//! Shows the synthetic stand-ins next to the published statistics they are
+//! calibrated against, for every dataset of the evaluation.
+//!
+//! ```text
+//! cargo run --release -p lopacity-examples --bin dataset_catalog
+//! ```
+
+use lopacity_gen::Dataset;
+use lopacity_metrics::GraphStats;
+
+fn main() {
+    println!("{:<22} {:>9} {:>9}  nodes are / links are", "dataset (Table 1)", "nodes", "links");
+    for d in Dataset::ALL {
+        let s = d.spec();
+        println!(
+            "{:<22} {:>9} {:>9}  {} / {}",
+            s.name, s.full_nodes, s.full_links, s.node_desc, s.link_desc
+        );
+    }
+
+    println!("\nsampled stand-ins (Table 3 calibration), n = 100:");
+    println!(
+        "{:<22} {:>6} {:>6} {:>7} {:>7} {:>7}   target avg/acc",
+        "dataset", "edges", "diam", "avgdeg", "stdd", "acc"
+    );
+    for d in Dataset::ALL {
+        let g = d.generate(100, 7);
+        let stats = GraphStats::compute(&g);
+        let spec = d.spec();
+        println!(
+            "{:<22} {:>6} {:>6} {:>7.2} {:>7.2} {:>7.3}   {:.2} / {:.2}",
+            spec.name,
+            stats.links,
+            stats.diameter,
+            stats.avg_degree,
+            stats.degree_stdd,
+            stats.acc,
+            spec.interpolate_avg_degree(100),
+            spec.interpolate_acc(100),
+        );
+    }
+
+    println!("\nscaled full-graph stand-ins (Table 2 calibration), n = 1000:");
+    println!(
+        "{:<22} {:>7} {:>6} {:>7} {:>7} {:>7}   paper avg/stdd/acc",
+        "dataset", "edges", "diam", "avgdeg", "stdd", "acc"
+    );
+    for d in Dataset::ALL {
+        let g = d.scaled_full(1000, 7);
+        let stats = GraphStats::compute(&g);
+        let spec = d.spec();
+        println!(
+            "{:<22} {:>7} {:>6} {:>7.2} {:>7.2} {:>7.3}   {:.1} / {:.2} / {:.3}",
+            spec.name,
+            stats.links,
+            stats.diameter,
+            stats.avg_degree,
+            stats.degree_stdd,
+            stats.acc,
+            spec.full_avg_degree,
+            spec.full_degree_stdd,
+            spec.full_acc,
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Adversary simulation: what linkage confidence does a published graph
+//! actually leak?
+//!
+//! Plays the paper's Figure 2 scenario: an adversary knows the degrees of a
+//! criminal (C) and a target (S) and asks how confident they can be that S
+//! is within L hops of C. The per-type opacity *is* that confidence bound —
+//! this example computes it empirically by enumerating candidate pairs,
+//! before and after anonymization.
+//!
+//! ```text
+//! cargo run --release -p lopacity-examples --bin privacy_audit
+//! ```
+
+use lopacity::{edge_removal, AnonymizeConfig, TypeSpec, TypeSystem};
+use lopacity_apsp::{ApspEngine, INF};
+use lopacity_gen::Dataset;
+use lopacity_graph::{Graph, VertexId};
+
+/// Empirical adversary: among all vertex pairs with original degrees
+/// `(d1, d2)`, the fraction within L of each other in the published graph.
+fn adversary_confidence(original: &Graph, published: &Graph, d1: usize, d2: usize, l: u8) -> f64 {
+    let dist = ApspEngine::default().compute(published, l);
+    let candidates = |d: usize| -> Vec<VertexId> {
+        (0..original.num_vertices() as VertexId)
+            .filter(|&v| original.degree(v) == d)
+            .collect()
+    };
+    let (cs, ss) = (candidates(d1), candidates(d2));
+    let mut linked = 0u64;
+    let mut total = 0u64;
+    for &c in &cs {
+        for &s in &ss {
+            if c == s || (d1 == d2 && c > s) {
+                continue;
+            }
+            total += 1;
+            if dist.get(c, s) != INF {
+                linked += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        linked as f64 / total as f64
+    }
+}
+
+fn main() {
+    let l = 2u8;
+    let graph = Dataset::Wikipedia.generate(120, 99);
+    println!(
+        "published network: {} vertices, {} edges; adversary knows original degrees\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Pick the degree pair an adversary would attack: the most confident one.
+    let types = TypeSystem::build(&graph, &TypeSpec::DegreePairs);
+    let report = lopacity::opacity_report(&graph, &TypeSpec::DegreePairs, l);
+    let worst = report
+        .argmax()
+        .first()
+        .map(|r| r.label.clone())
+        .unwrap_or_default();
+    println!("most exposed degree-pair type before anonymization: {worst}");
+    println!("maxLO before: {}", report.max_lo);
+
+    // Parse the degrees back out of the label P{d1,d2} for the empirical check.
+    let degrees: Vec<usize> = worst
+        .trim_start_matches("P{")
+        .trim_end_matches('}')
+        .split(',')
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let (d1, d2) = (degrees[0], degrees[1]);
+    println!(
+        "empirical adversary confidence for degrees ({d1}, {d2}) within {l} hops: {:.0}%\n",
+        100.0 * adversary_confidence(&graph, &graph, d1, d2, l)
+    );
+
+    // Anonymize and audit again.
+    let theta = 0.5;
+    let outcome = edge_removal(&graph, &TypeSpec::DegreePairs, &AnonymizeConfig::new(l, theta));
+    println!("after Edge Removal to θ = {theta}: {outcome}");
+    println!(
+        "empirical adversary confidence for degrees ({d1}, {d2}) within {l} hops: {:.0}%",
+        100.0 * adversary_confidence(&graph, &outcome.graph, d1, d2, l)
+    );
+    println!(
+        "every degree pair is now bounded by θ: the adversary's best attack\nyields at most {:.0}% confidence (was {:.0}%).",
+        100.0 * outcome.final_lo,
+        100.0 * report.max_lo.as_f64()
+    );
+    let _ = types;
+}

@@ -1,0 +1,61 @@
+//! Quickstart: anonymize the paper's running example.
+//!
+//! Reproduces the walk-through of Sections 1 and 5.1: compute the opacity
+//! matrix of the Figure 1 graph (Figure 5c), observe that an adversary can
+//! infer linkages with certainty, then anonymize with both heuristics and
+//! certify the result.
+//!
+//! ```text
+//! cargo run --release -p lopacity-examples --bin quickstart
+//! ```
+
+use lopacity::opacity::{opacity_report, opacity_report_against_original};
+use lopacity::{edge_removal, edge_removal_insertion, AnonymizeConfig, TypeSpec};
+use lopacity_examples::figure_1_graph;
+
+fn main() {
+    let graph = figure_1_graph();
+    println!("Figure 1 graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+
+    // Step 1 — measure the privacy risk (Algorithm 1, Figure 5c).
+    let before = opacity_report(&graph, &TypeSpec::DegreePairs, 1);
+    println!("\nOpacity matrix at L = 1 (degree-pair types):");
+    for row in &before.per_type {
+        println!("  {:8} {}/{} = {:.3}", row.label, row.within_l, row.total, row.lo);
+    }
+    println!("maxLO = {}", before.max_lo);
+    println!(
+        "=> an adversary knowing two degrees can be {:.0}% sure of a direct link\n   for the saturated types (the Charles-Agatha inference of the introduction).",
+        100.0 * before.max_lo.as_f64()
+    );
+
+    // Step 2 — anonymize to θ = 1/2 with each heuristic.
+    let config = AnonymizeConfig::new(1, 0.5);
+    for (name, outcome) in [
+        ("Edge Removal (Alg. 4)", edge_removal(&graph, &TypeSpec::DegreePairs, &config)),
+        (
+            "Edge Removal/Insertion (Alg. 5)",
+            edge_removal_insertion(&graph, &TypeSpec::DegreePairs, &config),
+        ),
+    ] {
+        println!("\n{name}: {outcome}");
+        if !outcome.removed.is_empty() {
+            println!("  removed:  {:?}", outcome.removed);
+        }
+        if !outcome.inserted.is_empty() {
+            println!("  inserted: {:?}", outcome.inserted);
+        }
+        // Step 3 — certify under the publication model (original degrees).
+        let after =
+            opacity_report_against_original(&graph, &outcome.graph, &TypeSpec::DegreePairs, 1);
+        println!(
+            "  certified maxLO = {} -> {}",
+            after.max_lo,
+            if after.max_lo.satisfies(0.5) { "1-opaque wrt θ=0.5" } else { "NOT opaque" }
+        );
+        println!("  distortion: {:.0}%", 100.0 * outcome.distortion(&graph));
+    }
+    println!(
+        "\nNote: on this tiny graph Rem-Ins cannot reach θ=0.5 while keeping all 10\nedges (the degree-type capacities only admit 8) — exactly the failure mode\nthe paper reports for Rem-Ins on hard instances; Rem always succeeds."
+    );
+}

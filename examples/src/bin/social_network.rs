@@ -1,0 +1,59 @@
+//! Social-network anonymization end to end.
+//!
+//! The scenario the paper's introduction motivates: a vendor wants to
+//! publish an e-mail communication network (Enron-like) without letting an
+//! adversary who knows individual degrees infer short-path relationships
+//! (the Albert–Bruce story). This example generates the synthetic Enron
+//! stand-in, anonymizes it at L = 2 with both heuristics, and compares the
+//! utility bill.
+//!
+//! ```text
+//! cargo run --release -p lopacity-examples --bin social_network
+//! ```
+
+use lopacity::opacity::opacity_report_against_original;
+use lopacity::{edge_removal, edge_removal_insertion, AnonymizeConfig, TypeSpec};
+use lopacity_gen::Dataset;
+use lopacity_metrics::{GraphStats, UtilityReport};
+
+fn main() {
+    let n = 150;
+    let (l, theta) = (2u8, 0.6);
+    let graph = Dataset::Enron.generate(n, 2024);
+    let stats = GraphStats::compute(&graph);
+    println!("Enron-like network: {stats}");
+    println!("privacy goal: no ≥{:.0}% confidence in any ≤{l}-hop linkage\n", theta * 100.0);
+
+    let config = AnonymizeConfig::new(l, theta).with_seed(7);
+    let removal = edge_removal(&graph, &TypeSpec::DegreePairs, &config);
+    let rem_ins = edge_removal_insertion(&graph, &TypeSpec::DegreePairs, &config);
+
+    for (name, outcome) in [("Edge Removal", &removal), ("Edge Removal/Insertion", &rem_ins)] {
+        println!("== {name} ==");
+        println!("  {outcome}");
+        let certified =
+            opacity_report_against_original(&graph, &outcome.graph, &TypeSpec::DegreePairs, l);
+        println!("  certified maxLO: {}", certified.max_lo);
+        let utility = UtilityReport::compute(&graph, &outcome.graph);
+        println!("  {utility}");
+        let after = GraphStats::compute(&outcome.graph);
+        println!("  published graph: {after}\n");
+    }
+
+    // The paper's Section 6 verdict, visible on one instance: Rem-Ins
+    // preserves degree structure better (lower degree-EMD) when it succeeds;
+    // Rem always terminates with a valid graph and lower distortion.
+    let rem_utility = UtilityReport::compute(&graph, &removal.graph);
+    if rem_ins.achieved {
+        let ri_utility = UtilityReport::compute(&graph, &rem_ins.graph);
+        println!(
+            "degree-distribution EMD — Rem: {:.4}, Rem-Ins: {:.4} (lower is better)",
+            rem_utility.emd_degree, ri_utility.emd_degree
+        );
+    } else {
+        println!(
+            "Rem-Ins could not reach θ while keeping |E| constant; Rem did, at {:.1}% distortion.",
+            100.0 * removal.distortion(&graph)
+        );
+    }
+}

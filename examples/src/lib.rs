@@ -1,0 +1,26 @@
+//! Shared helpers for the runnable examples.
+
+use lopacity_graph::Graph;
+
+/// The paper's running example (Figure 1), 0-indexed: degrees
+/// `[2, 4, 4, 2, 4, 3, 1]`, ten edges.
+pub fn figure_1_graph() -> Graph {
+    Graph::from_edges(
+        7,
+        [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+    )
+    .expect("the paper graph is simple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_graph_matches_the_paper() {
+        let g = figure_1_graph();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.degree_sequence(), vec![2, 4, 4, 2, 4, 3, 1]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use lopacity_graph::Graph;
+
+/// The paper's Figure 1 running example (0-indexed).
+pub fn figure_1_graph() -> Graph {
+    Graph::from_edges(
+        7,
+        [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+    )
+    .expect("simple by construction")
+}
+
+/// A deterministic mid-sized test workload: the Gnutella stand-in at `n`.
+pub fn gnutella(n: usize) -> Graph {
+    lopacity_gen::Dataset::Gnutella.generate(n, 0xBEEF)
+}
+
+/// A deterministic clustered workload: the Google stand-in at `n`.
+pub fn google(n: usize) -> Graph {
+    lopacity_gen::Dataset::Google.generate(n, 0xBEEF)
+}

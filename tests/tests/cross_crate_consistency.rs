@@ -1,0 +1,95 @@
+//! Consistency checks that span crates: APSP engines under the opacity
+//! pipeline, generators under the metrics pipeline, baselines against the
+//! core evaluator.
+
+use lopacity::opacity::{count_within_l, opacity_report_with_engine};
+use lopacity::{LoAssessment, TypeSpec, TypeSystem};
+use lopacity_apsp::ApspEngine;
+use lopacity_baselines::LinkDisclosure;
+use lopacity_gen::Dataset;
+use lopacity_integration::{gnutella, google};
+use lopacity_metrics::{geodesic_distribution, GraphStats, Histogram};
+
+#[test]
+fn every_engine_yields_identical_opacity_on_real_workloads() {
+    for g in [gnutella(60), google(60)] {
+        for l in 1..=3u8 {
+            let reference =
+                opacity_report_with_engine(&g, &TypeSpec::DegreePairs, l, ApspEngine::FloydWarshall);
+            for engine in ApspEngine::ALL {
+                let got = opacity_report_with_engine(&g, &TypeSpec::DegreePairs, l, engine);
+                assert_eq!(
+                    got.max_lo.ratio(),
+                    reference.max_lo.ratio(),
+                    "engine {} at L={l}",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn link_disclosure_equals_l1_opacity_on_all_datasets() {
+    for d in Dataset::ALL {
+        let g = d.generate(50, 11);
+        let ld = LinkDisclosure::new(&g);
+        let report = lopacity::opacity_report(&g, &TypeSpec::DegreePairs, 1);
+        assert_eq!(
+            ld.max_disclosure().ratio(),
+            report.max_lo.ratio(),
+            "dataset {d}"
+        );
+    }
+}
+
+#[test]
+fn geodesic_histogram_mass_matches_pair_count() {
+    let g = google(80);
+    let n = g.num_vertices() as u64;
+    let (hist, unreachable) = geodesic_distribution(&g);
+    assert_eq!(hist.total() + unreachable, n * (n - 1) / 2);
+    // Distance-1 bucket is exactly the edge count.
+    assert_eq!(hist.count(1), g.num_edges() as u64);
+}
+
+#[test]
+fn graph_stats_degree_moments_match_histogram() {
+    let g = gnutella(100);
+    let stats = GraphStats::compute(&g);
+    let hist = Histogram::from_values(g.degree_sequence());
+    assert!((stats.avg_degree - hist.mean()).abs() < 1e-12);
+    assert!((stats.degree_stdd - hist.std_dev()).abs() < 1e-12);
+    assert!((stats.avg_degree - 2.0 * g.num_edges() as f64 / g.num_vertices() as f64).abs() < 1e-12);
+}
+
+#[test]
+fn counting_pipeline_is_engine_independent() {
+    let g = gnutella(70);
+    let types = TypeSystem::build(&g, &TypeSpec::DegreePairs);
+    for l in 1..=3u8 {
+        let counts_bfs = count_within_l(&ApspEngine::TruncatedBfs.compute(&g, l), &types, l);
+        let counts_ptr =
+            count_within_l(&ApspEngine::PointerFloydWarshall.compute(&g, l), &types, l);
+        assert_eq!(counts_bfs, counts_ptr, "L={l}");
+        let a = LoAssessment::from_counts(&counts_bfs, types.denominators());
+        let b = LoAssessment::from_counts(&counts_ptr, types.denominators());
+        assert_eq!(a.ratio(), b.ratio());
+    }
+}
+
+#[test]
+fn dataset_generators_feed_the_full_pipeline() {
+    // Every dataset generator's output must survive the whole stack:
+    // stats, opacity, anonymization at a loose θ.
+    use lopacity::{edge_removal, AnonymizeConfig};
+    for d in Dataset::ALL {
+        let g = d.generate(40, 3);
+        g.check_invariants().unwrap();
+        let _ = GraphStats::compute(&g);
+        let report = lopacity::opacity_report(&g, &TypeSpec::DegreePairs, 2);
+        let out = edge_removal(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(2, 0.9));
+        assert!(out.achieved, "dataset {d} at θ=0.9: {out}");
+        let _ = report;
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end pipelines: generate → anonymize → certify → measure.
+
+use lopacity::opacity::opacity_report_against_original;
+use lopacity::{
+    edge_removal, edge_removal_insertion, AnonymizeConfig, LookaheadMode, TypeSpec,
+};
+use lopacity_baselines::{gaded_max, gaded_rand, gades};
+use lopacity_integration::{figure_1_graph, gnutella, google};
+use lopacity_metrics::{distortion, UtilityReport};
+
+#[test]
+fn generate_anonymize_certify_gnutella_l1() {
+    let g = gnutella(80);
+    for theta in [0.6, 0.4, 0.2] {
+        let config = AnonymizeConfig::new(1, theta).with_seed(1);
+        let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+        assert!(out.achieved, "θ={theta}: {out}");
+        let cert = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 1);
+        assert!(cert.max_lo.satisfies(theta), "θ={theta}: certified {}", cert.max_lo);
+        // The outcome's own distortion agrees with the metrics crate's.
+        let metric = distortion(&g, &out.graph);
+        assert!((metric - out.distortion(&g)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn generate_anonymize_certify_google_l2() {
+    let g = google(70);
+    let config = AnonymizeConfig::new(2, 0.6).with_seed(3);
+    let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+    assert!(out.achieved, "{out}");
+    let cert = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 2);
+    assert!(cert.max_lo.satisfies(0.6));
+    // L = 2 opacity bounds L = 1 opacity: direct links are within 2 hops.
+    let cert_l1 = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 1);
+    assert!(cert_l1.max_lo.as_f64() <= cert.max_lo.as_f64() + 1e-12);
+}
+
+#[test]
+fn stricter_theta_costs_at_least_as_much() {
+    let g = google(60);
+    let mut last_edits = 0usize;
+    for theta in [0.8, 0.6, 0.4, 0.2] {
+        let config = AnonymizeConfig::new(1, theta).with_seed(5);
+        let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+        assert!(out.achieved);
+        assert!(
+            out.edits() >= last_edits,
+            "θ={theta} took {} edits, previous (looser) θ took {last_edits}",
+            out.edits()
+        );
+        last_edits = out.edits();
+    }
+}
+
+#[test]
+fn removal_insertion_preserves_edge_count_when_it_succeeds() {
+    let g = gnutella(80);
+    let config = AnonymizeConfig::new(1, 0.6).with_seed(7);
+    let out = edge_removal_insertion(&g, &TypeSpec::DegreePairs, &config);
+    if out.achieved && out.removed.len() == out.inserted.len() {
+        assert_eq!(out.graph.num_edges(), g.num_edges());
+    }
+}
+
+#[test]
+fn all_methods_agree_on_the_certificate_semantics() {
+    let g = gnutella(60);
+    let theta = 0.5;
+    let outcomes = vec![
+        edge_removal(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(1, theta)),
+        edge_removal_insertion(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(1, theta)),
+        gaded_rand(&g, theta, 1),
+        gaded_max(&g, theta),
+        gades(&g, theta),
+    ];
+    for out in outcomes {
+        if out.achieved {
+            let cert = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 1);
+            assert!(
+                cert.max_lo.satisfies(theta),
+                "method claimed achievement but certificate says {}",
+                cert.max_lo
+            );
+        }
+    }
+}
+
+#[test]
+fn lookahead_modes_both_reach_theta() {
+    let g = figure_1_graph();
+    for mode in [LookaheadMode::Escalating, LookaheadMode::Exhaustive] {
+        let config = AnonymizeConfig::new(1, 0.4).with_lookahead(2).with_mode(mode).with_seed(2);
+        let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+        assert!(out.achieved, "mode {mode:?}");
+        let cert = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 1);
+        assert!(cert.max_lo.satisfies(0.4));
+    }
+}
+
+#[test]
+fn utility_report_tracks_every_edit() {
+    let g = google(60);
+    let out = edge_removal(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(1, 0.5));
+    let report = UtilityReport::compute(&g, &out.graph);
+    assert_eq!(report.edges_removed, out.removed.len());
+    assert_eq!(report.edges_inserted, out.inserted.len());
+    assert!(report.distortion >= 0.0);
+    if !out.removed.is_empty() {
+        assert!(report.emd_degree > 0.0 || report.mean_cc_diff >= 0.0);
+    }
+}
+
+#[test]
+fn figure_1_graph_round_trips_through_io() {
+    let g = figure_1_graph();
+    let mut buf = Vec::new();
+    lopacity_graph::io::write_edge_list(&g, &mut buf).unwrap();
+    let g2 = lopacity_graph::io::read_edge_list_with_header(buf.as_slice()).unwrap();
+    assert_eq!(g, g2);
+    // Opacity is invariant under serialization.
+    let a = lopacity::opacity_report(&g, &TypeSpec::DegreePairs, 1);
+    let b = lopacity::opacity_report(&g2, &TypeSpec::DegreePairs, 1);
+    assert_eq!(a.max_lo.ratio(), b.max_lo.ratio());
+}

@@ -1,0 +1,71 @@
+//! Theorem 1, verified: on small instances, a 3-SAT formula is satisfiable
+//! **iff** its reduction graph admits an (L=3, θ=2/3) opacification with
+//! exactly N variable-edge removals — checked by exhaustive enumeration.
+
+use lopacity_sat::{brute_force_sat, decode_assignment, Cnf3, Reduction};
+
+/// Enumerates all 2^N assignments and checks both directions of the
+/// reduction on each.
+fn verify_equivalence(cnf: &Cnf3) {
+    let reduction = Reduction::build(cnf);
+    for bits in 0u64..(1 << cnf.num_vars) {
+        let assignment: Vec<bool> = (0..cnf.num_vars).map(|i| bits >> i & 1 == 1).collect();
+        let removals = reduction.removals_for_assignment(&assignment);
+        let opaque = reduction.is_opaque_after(&removals);
+        let satisfied = cnf.eval(&assignment);
+        assert_eq!(
+            opaque, satisfied,
+            "assignment {assignment:?}: opaque={opaque} but satisfied={satisfied}"
+        );
+        // The decode round-trips.
+        assert_eq!(decode_assignment(&reduction, &removals).unwrap(), assignment);
+    }
+}
+
+#[test]
+fn equivalence_on_the_paper_example() {
+    verify_equivalence(&Cnf3::paper_example());
+}
+
+#[test]
+fn equivalence_on_random_satisfiable_and_unsatisfiable_instances() {
+    for seed in 1..6u64 {
+        // Denser clause/variable ratios mix SAT and UNSAT instances.
+        let cnf = Cnf3::random(4, 14, seed);
+        verify_equivalence(&cnf);
+    }
+}
+
+#[test]
+fn sat_solver_and_reduction_agree_on_satisfiability() {
+    for seed in 1..8u64 {
+        let cnf = Cnf3::random(4, 12, seed * 31);
+        let reduction = Reduction::build(&cnf);
+        let solvable_by_reduction = (0u64..(1 << cnf.num_vars)).any(|bits| {
+            let assignment: Vec<bool> = (0..cnf.num_vars).map(|i| bits >> i & 1 == 1).collect();
+            reduction.is_opaque_after(&reduction.removals_for_assignment(&assignment))
+        });
+        assert_eq!(
+            solvable_by_reduction,
+            brute_force_sat(&cnf).is_some(),
+            "seed {seed}: reduction and SAT solver disagree"
+        );
+    }
+}
+
+#[test]
+fn greedy_opacification_solves_satisfiable_instances() {
+    // Not guaranteed by theory (the greedy is a heuristic), but on these
+    // friendly instances it reliably finds N-removal solutions — the
+    // executable counterpart of the reduction.
+    use lopacity::{edge_removal, AnonymizeConfig};
+    use lopacity_sat::{REDUCTION_L, REDUCTION_THETA};
+    let cnf = Cnf3::paper_example();
+    let reduction = Reduction::build(&cnf);
+    let config = AnonymizeConfig::new(REDUCTION_L, REDUCTION_THETA).with_seed(5);
+    let out = edge_removal(&reduction.graph, &reduction.spec, &config);
+    assert!(out.achieved);
+    let assignment = decode_assignment(&reduction, &out.removed)
+        .expect("greedy should only remove variable edges here");
+    assert!(cnf.eval(&assignment), "decoded assignment must satisfy the formula");
+}
