@@ -1,0 +1,287 @@
+//! Offline stand-in for the subset of the `criterion` crate used by the
+//! workspace's benches.
+//!
+//! Implements the structural API — [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple wall-clock measurement loop
+//! instead of criterion's statistical machinery: per benchmark it runs a
+//! warm-up, sizes an iteration batch to roughly the configured measurement
+//! time, and prints the mean time per iteration. Good enough to compare
+//! engine variants by eye and to keep `cargo bench` green offline; swap the
+//! real crate back in (one `Cargo.toml` line) for publication-grade
+//! confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; collects settings and runs benchmarks.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// How long to run the routine before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label;
+        let settings = self.clone();
+        run_one(&settings, &label, &mut f);
+        self
+    }
+}
+
+/// A named benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let settings = self.criterion.clone();
+        run_one(&settings, &label, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, keeping each result alive until
+    /// after the clock stops so returns are not optimized away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(settings: &Criterion, label: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and calibration: run single iterations until the warm-up
+    // budget is spent, tracking the mean to size the timed batches.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < settings.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 1_000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+    // Size each sample's batch so all samples together roughly fill the
+    // measurement budget.
+    let budget = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+    let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+        let sample = b.elapsed.as_secs_f64() / b.iters as f64;
+        if sample < best {
+            best = sample;
+        }
+    }
+    let mean = total.as_secs_f64() / iters.max(1) as f64;
+    println!(
+        "{label:<60} mean {:>12}  best {:>12}  ({} iters)",
+        format_time(mean),
+        format_time(best),
+        iters
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} s", seconds)
+    }
+}
+
+/// Bundles benchmark functions under one runner name.
+///
+/// Both the plain form `criterion_group!(benches, f, g)` and the
+/// configured form with `name = ...; config = ...; targets = ...` are
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the given [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0u64;
+        group.bench_function("counts", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with-input", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs > 0, "routine was never executed");
+    }
+
+    #[test]
+    fn ids_render_as_name_slash_parameter() {
+        assert_eq!(BenchmarkId::new("apsp", 100).label, "apsp/100");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

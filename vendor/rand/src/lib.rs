@@ -1,0 +1,276 @@
+//! Offline stand-in for the subset of the `rand` crate used by this
+//! workspace.
+//!
+//! The build environment has no route to a crate registry, so the workspace
+//! vendors the few primitives it needs: a seedable [`rngs::StdRng`]
+//! (xoshiro256++ seeded via SplitMix64), the [`RngExt`] sampling trait
+//! (`random` / `random_range`), and [`seq::SliceRandom`] for in-place
+//! Fisher–Yates shuffles. The API mirrors `rand` 0.9, with one deliberate
+//! rename: the sampling trait is called [`RngExt`] here (real `rand` calls
+//! it `Rng`) so the stand-in is never mistaken for the real crate. To swap
+//! the real crate back in, point the root `Cargo.toml` at crates.io *and*
+//! rename the `use rand::RngExt` imports to `use rand::Rng`.
+//!
+//! Determinism is part of the contract: every generator in this workspace is
+//! seeded (`seed_from_u64`), and the test suite asserts bit-for-bit
+//! reproducibility of generated graphs, so the stream produced here must
+//! stay stable across releases.
+
+/// A type that can be created from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to the full
+    /// internal state with SplitMix64 (the expansion `rand` itself uses for
+    /// small seeds).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling helpers layered over a raw `u64` stream.
+///
+/// This is the stand-in for `rand::Rng`, deliberately named `RngExt` so
+/// the stand-in is never mistaken for the real trait (see the crate docs
+/// for the swap-back procedure).
+pub trait RngExt {
+    /// Next raw 64 bits from the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T` (see [`Random`] for the
+    /// supported types; `f64` is uniform on `[0, 1)`).
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// A uniform value in `range`. Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// A biased coin flip: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+/// Types [`RngExt::random`] can produce.
+pub trait Random: Sized {
+    /// Samples one value uniformly from the type's natural domain.
+    fn random<R: RngExt>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngExt>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_int!(u8, u16, u32, u64, usize);
+
+impl Random for bool {
+    fn random<R: RngExt>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn random<R: RngExt>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`RngExt::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample. Panics if the range is empty.
+    fn sample_one<R: RngExt>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngExt>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reduce(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngExt>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (reduce(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_one<R: RngExt>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
+
+/// Maps a raw 64-bit draw onto `[0, span)` without `u128` bias tricks:
+/// Lemire's multiply-shift reduction, unbiased enough for test workloads.
+fn reduce(raw: u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((raw as u128 * span as u128) >> 64) as u64
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard PRNG: xoshiro256++ (Blackman/Vigna), state
+    /// expanded from the seed with SplitMix64. Not cryptographically secure
+    /// — none of the algorithms here need that — but fast, small, and with
+    /// a stable, documented stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::RngExt;
+
+    /// In-place random reordering and choice for slices.
+    pub trait SliceRandom {
+        /// The slice's element type.
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngExt>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` when empty.
+        fn choose<R: RngExt>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngExt>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngExt>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.random_range(0..1);
+            assert_eq!(y, 0);
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            acc += u;
+        }
+        // Crude uniformity check: the mean of 1000 draws is near 1/2.
+        assert!((acc / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+}
