@@ -14,7 +14,10 @@ use lopacity_graph::{Graph, VertexId};
 ///
 /// The incremental opacity evaluator re-runs thousands of tiny BFS sweeps
 /// per greedy step; this struct keeps all buffers allocated across runs and
-/// resets only the vertices the previous sweep touched.
+/// resets only the vertices the previous sweep touched. `Clone` duplicates
+/// the scratch (buffers included) so evaluators can fork into worker
+/// threads for sharded candidate scans.
+#[derive(Clone)]
 pub struct TruncatedBfs {
     dist: Vec<u8>,
     touched: Vec<VertexId>,

@@ -1,0 +1,74 @@
+//! Sharded candidate-scan speedup: the greedy removal step on a G(n, m)
+//! instance with |V| >= 2000 at 1 / 2 / 4 / 8 workers, against the
+//! sequential scan.
+//!
+//! The measured unit is two full greedy steps of Algorithm 4 at L = 2 —
+//! dominated by the size-1 candidate scan (|E| incremental trials per
+//! step, each a bundle of truncated BFS reruns), which is exactly the loop
+//! `Parallelism` shards. Equivalence of the outputs is property-tested
+//! elsewhere (`tests/tests/parallel_equivalence.rs`); this bench only
+//! quantifies the wall-clock. Numbers are honest for the machine they run
+//! on: on a single-core container the 2×/4×/8× rows show sharding
+//! overhead, not speedup — see CHANGES.md for recorded runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopacity::{edge_removal, AnonymizeConfig, Parallelism, TypeSpec};
+use lopacity_gen::er::gnm;
+use std::hint::black_box;
+
+fn bench_par_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_scan_rem_l2_n2000");
+    // θ = 0.05 is far below the instance's initial maxLO, so both capped
+    // steps really scan (θ = 0.5 is already satisfied at L = 2 here and
+    // would measure APSP construction only).
+    let g = gnm(2000, 6000, 9);
+    let base = AnonymizeConfig::new(2, 0.05).with_seed(7).with_max_steps(2);
+    group.bench_with_input(BenchmarkId::new("off", 2000), &g, |b, g| {
+        b.iter(|| {
+            black_box(edge_removal(
+                g,
+                &TypeSpec::DegreePairs,
+                &base.with_parallelism(Parallelism::Off),
+            ))
+        })
+    });
+    for workers in [1usize, 2, 4, 8] {
+        let config = base.with_parallelism(Parallelism::Fixed(workers));
+        group.bench_with_input(BenchmarkId::new(format!("fixed-{workers}"), 2000), &g, |b, g| {
+            b.iter(|| black_box(edge_removal(g, &TypeSpec::DegreePairs, &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_par_scan_denser(c: &mut Criterion) {
+    // A denser instance: more candidates per scan, bigger shards, better
+    // clone-cost amortization.
+    let mut group = c.benchmark_group("par_scan_rem_l2_n2000_m12000");
+    let g = gnm(2000, 12_000, 9);
+    let base = AnonymizeConfig::new(2, 0.05).with_seed(7).with_max_steps(1);
+    for (label, parallelism) in [
+        ("off", Parallelism::Off),
+        ("fixed-4", Parallelism::Fixed(4)),
+    ] {
+        let config = base.with_parallelism(parallelism);
+        group.bench_with_input(BenchmarkId::new(label, 2000), &g, |b, g| {
+            b.iter(|| black_box(edge_removal(g, &TypeSpec::DegreePairs, &config)))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(4))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_par_scan, bench_par_scan_denser
+}
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! lopacify anonymize --in graph.txt --out anon.txt --l 2 --theta 0.5
 //!          [--method rem|rem-ins|gaded-rand|gaded-max|gades]
 //!          [--lookahead N] [--seed N] [--max-steps N]
+//!          [--parallelism auto|off|N]
 //! lopacify opacity   --in graph.txt --l 2 [--original orig.txt]
 //! lopacify stats     --in graph.txt
 //! lopacify generate  --dataset google --n 500 --out graph.txt [--seed N]
@@ -14,7 +15,7 @@
 //! anonymized edge list; `opacity` prints the per-type opacity matrix.
 
 use lopacity::opacity::{opacity_report, opacity_report_against_original};
-use lopacity::{AnonymizeConfig, TypeSpec};
+use lopacity::{AnonymizeConfig, Parallelism, TypeSpec};
 use lopacity_baselines::{gaded_max, gaded_rand, gades};
 use lopacity_gen::Dataset;
 use lopacity_graph::{io as gio, Graph};
@@ -46,8 +47,10 @@ lopacify — linkage-aware graph anonymization (L-opacity, EDBT 2014)
 
 commands:
   anonymize --in FILE --out FILE --l N --theta X [--method M] [--lookahead N]
-            [--seed N] [--max-steps N]
+            [--seed N] [--max-steps N] [--parallelism auto|off|N]
             methods: rem (default), rem-ins, gaded-rand, gaded-max, gades
+            parallelism shards the candidate scan across worker threads;
+            results are identical for every setting (default: auto)
   opacity   --in FILE --l N [--original FILE] [--theta X]
   stats     --in FILE
   generate  --dataset D --n N --out FILE [--seed N]
@@ -77,7 +80,16 @@ fn anonymize(args: &Args) -> Result<(), String> {
     if !matches!(method, "rem" | "rem-ins") && l != 1 {
         return Err("baseline methods support only --l 1".into());
     }
-    let mut config = AnonymizeConfig::new(l, theta).with_lookahead(lookahead).with_seed(seed);
+    // Parsed by hand (not `get_or`) so the valid-values hint in the
+    // `Parallelism` parse error reaches the user.
+    let parallelism: Parallelism = match args.get("parallelism") {
+        None => Parallelism::Auto,
+        Some(raw) => raw.parse().map_err(|e| format!("--parallelism: {e}"))?,
+    };
+    let mut config = AnonymizeConfig::new(l, theta)
+        .with_lookahead(lookahead)
+        .with_seed(seed)
+        .with_parallelism(parallelism);
     let cap: usize = args.get_or("max-steps", 0)?;
     if cap > 0 {
         config = config.with_max_steps(cap);

@@ -120,6 +120,46 @@ fn anonymize_rejects_bad_arguments() {
 }
 
 #[test]
+fn parallelism_settings_produce_identical_output() {
+    let dir = temp_dir("parallelism");
+    let graph_path = dir.join("g.txt");
+    let out = lopacify()
+        .args(["generate", "--dataset", "gnutella", "--n", "60", "--seed", "7"])
+        .args(["--out", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "generate: {}", String::from_utf8_lossy(&out.stderr));
+    let mut outputs = Vec::new();
+    for setting in ["off", "1", "4", "auto"] {
+        let anon_path = dir.join(format!("anon-{setting}.txt"));
+        let out = lopacify()
+            .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+            .args(["--out", anon_path.to_str().unwrap()])
+            .args(["--l", "1", "--theta", "0.5", "--seed", "3"])
+            .args(["--parallelism", setting])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{setting}: {}", String::from_utf8_lossy(&out.stderr));
+        outputs.push(std::fs::read(&anon_path).unwrap());
+    }
+    assert!(
+        outputs.windows(2).all(|w| w[0] == w[1]),
+        "anonymized edge lists differ across --parallelism settings"
+    );
+
+    // Invalid settings are rejected with a parse error.
+    let out = lopacify()
+        .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+        .args(["--out", dir.join("x.txt").to_str().unwrap()])
+        .args(["--parallelism", "warp-speed"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--parallelism"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn generate_rejects_unknown_dataset() {
     let out = lopacify()
         .args(["generate", "--dataset", "friendster", "--n", "10", "--out", "/tmp/x.txt"])

@@ -1,6 +1,7 @@
 //! Anonymization tuning knobs.
 
 use lopacity_apsp::ApspEngine;
+use lopacity_util::Parallelism;
 
 /// How the look-ahead explores multi-edge moves (Section 5's description is
 /// ambiguous between these two readings; both are provided and ablated in
@@ -54,6 +55,14 @@ pub struct AnonymizeConfig {
     pub max_trials: Option<u64>,
     /// Engine for the initial all-pairs computation.
     pub engine: ApspEngine,
+    /// Worker threads for the single-edge candidate scan (the hot loop of
+    /// both heuristics). The parallel scan is bit-for-bit equivalent to the
+    /// sequential one — same argmin, same seeded tie-breaking, same RNG
+    /// evolution — for every worker count (property-tested in
+    /// `tests/tests/parallel_equivalence.rs`), so this knob only trades
+    /// wall-clock for cores. `Auto` (default) falls back to a sequential
+    /// scan on small candidate lists; `Fixed(n)` always shards.
+    pub parallelism: Parallelism,
 }
 
 impl AnonymizeConfig {
@@ -72,6 +81,7 @@ impl AnonymizeConfig {
             max_steps: None,
             max_trials: None,
             engine: ApspEngine::default(),
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -118,6 +128,12 @@ impl AnonymizeConfig {
         self.engine = engine;
         self
     }
+
+    /// Sets the candidate-scan parallelism.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 /// Default tie-breaking seed ("lopacity" leet-speak). Any fixed value works;
@@ -136,6 +152,16 @@ mod tests {
         assert_eq!(c.lookahead, 1);
         assert_eq!(c.lookahead_mode, LookaheadMode::Escalating);
         assert_eq!(c.max_steps, None);
+        assert_eq!(c.parallelism, Parallelism::Auto);
+    }
+
+    #[test]
+    fn parallelism_knob_round_trips() {
+        let c = AnonymizeConfig::new(1, 0.5).with_parallelism(Parallelism::Fixed(4));
+        assert_eq!(c.parallelism, Parallelism::Fixed(4));
+        assert_eq!(c.parallelism.workers(), 4);
+        let c = c.with_parallelism(Parallelism::Off);
+        assert_eq!(c.parallelism.workers(), 1);
     }
 
     #[test]

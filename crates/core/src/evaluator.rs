@@ -26,6 +26,13 @@ use lopacity_apsp::{ApspEngine, DistanceMatrix, TruncatedBfs, INF};
 use lopacity_graph::{Edge, Graph, VertexId};
 
 /// Incremental `maxLO` evaluator over a mutable working graph.
+///
+/// `Clone` is a first-class operation: the parallel candidate scan forks
+/// one evaluator per worker (graph, `DistanceMatrix`, within-L counters,
+/// scratch), trials candidates against the forks, and discards them —
+/// trials never mutate lasting state, so forks need no re-synchronization.
+/// Cost: `O(|V|²)` for the distance matrix, amortized over a whole scan.
+#[derive(Clone)]
 pub struct OpacityEvaluator {
     graph: Graph,
     types: TypeSystem,

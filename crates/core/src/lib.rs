@@ -61,9 +61,11 @@ pub mod optimal;
 pub mod removal;
 pub mod removal_insertion;
 pub mod result;
+mod tracker;
 pub mod types;
 
 pub use config::{AnonymizeConfig, LookaheadMode};
+pub use lopacity_util::Parallelism;
 pub use evaluator::OpacityEvaluator;
 pub use lo::LoAssessment;
 pub use opacity::{opacity_report, OpacityReport};

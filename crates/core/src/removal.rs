@@ -2,20 +2,41 @@
 //!
 //! Each step evaluates the removal of every candidate edge, choosing the
 //! move that minimizes `(maxLO, N(maxLO))` lexicographically; exact ties
-//! are broken uniformly at random with the reservoir counter of Algorithm 4
-//! (lines 14–18). With look-ahead `la > 1`, combinations of up to `la`
-//! edges enter the search space (see [`crate::config::LookaheadMode`] for
-//! the two explored readings of the paper's description). The loop ends
-//! when `maxLO <= θ` or no removable edge remains.
+//! are broken uniformly at random per Algorithm 4 (lines 14–18), realized
+//! here as the order-independent seeded priority of the internal
+//! `tracker` module.
+//! With look-ahead `la > 1`, combinations of up to `la` edges enter the
+//! search space (see [`crate::config::LookaheadMode`] for the two explored
+//! readings of the paper's description). The loop ends when `maxLO <= θ`
+//! or no removable edge remains.
+//!
+//! # The sharded candidate scan
+//!
+//! The single-edge scan — every candidate trialed through the incremental
+//! [`OpacityEvaluator`] — dominates the runtime of both heuristics. Under
+//! [`crate::config::AnonymizeConfig::parallelism`] it is sharded across a
+//! scoped-thread pool ([`lopacity_util::pool`]): the candidate list splits
+//! into contiguous shards, each worker forks the evaluator (`Clone`:
+//! graph + distance matrix + within-L counters), trials its shard, and
+//! feeds a private `BestTracker`; the per-shard winners then merge. The
+//! merged argmin is **bit-for-bit the sequential scan's choice** for every
+//! worker count because the tracker's total order — `(maxLO, N, combo
+//! size, seeded key, global candidate index)` — is a pure function of the
+//! candidate set and the per-step nonce, never of scan order or thread
+//! scheduling; the nonce is drawn exactly once per step, so the run RNG
+//! evolves identically too. Multi-edge look-ahead combos share prefix
+//! apply/undo state and remain sequential.
 
 use crate::config::{AnonymizeConfig, LookaheadMode};
 use crate::evaluator::OpacityEvaluator;
 use crate::lo::LoAssessment;
 use crate::result::AnonymizationOutcome;
+use crate::tracker::{BestTracker, TieBreak};
 use crate::types::TypeSpec;
 use lopacity_graph::{Edge, Graph};
+use lopacity_util::{pool, Parallelism};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 
 /// Which elementary move a combo scan performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,65 +45,100 @@ pub(crate) enum MoveKind {
     Insert,
 }
 
-/// Streaming argmin over candidate combos with Algorithm 4's reservoir
-/// tie-break: ties (same exact `maxLO` *and* same `N`) among equal-size
-/// combos are resolved uniformly at random; larger combos never displace an
-/// equally good smaller one.
-pub(crate) struct BestTracker {
-    best: Option<(Vec<Edge>, LoAssessment)>,
-    ties: u64,
+/// Fewest candidates for which [`Parallelism::Auto`] shards the size-1
+/// scan: below this, the per-worker evaluator clone (`O(|V|²)` for the
+/// distance matrix) costs more than the scan itself. `Fixed(n)` ignores
+/// the floor — the equivalence suite uses that to exercise sharding on
+/// tiny graphs.
+const AUTO_PARALLEL_MIN_CANDIDATES: usize = 256;
+
+/// Worker count for a size-1 scan over `n` candidates.
+fn scan_workers(parallelism: Parallelism, n: usize) -> usize {
+    if parallelism.is_adaptive() && n < AUTO_PARALLEL_MIN_CANDIDATES {
+        return 1;
+    }
+    parallelism.workers().min(n)
 }
 
-impl BestTracker {
-    pub(crate) fn new() -> Self {
-        BestTracker { best: None, ties: 0 }
-    }
-
-    pub(crate) fn offer(&mut self, combo: &[Edge], a: LoAssessment, rng: &mut StdRng) {
-        match &mut self.best {
-            None => {
-                self.best = Some((combo.to_vec(), a));
-                self.ties = 1;
-            }
-            Some((best_combo, best_a)) => {
-                if a.better_than(best_a) {
-                    best_combo.clear();
-                    best_combo.extend_from_slice(combo);
-                    *best_a = a;
-                    self.ties = 1;
-                } else if a.ties_with(best_a) && combo.len() == best_combo.len() {
-                    self.ties += 1;
-                    if rng.random::<f64>() < 1.0 / self.ties as f64 {
-                        best_combo.clear();
-                        best_combo.extend_from_slice(combo);
-                        *best_a = a;
-                    }
-                }
+/// Trials every edge of `scanned` (size-1 moves), offering each to
+/// `tracker` under global indices `0..scanned.len()`, sharded across
+/// workers per `config.parallelism`. When `keep_singles` is set, every
+/// `(edge, assessment)` lands in `singles` in candidate order (the beam
+/// ranking needs them later). Returns the number of trials performed.
+#[allow(clippy::too_many_arguments)]
+fn scan_singles(
+    ev: &mut OpacityEvaluator,
+    scanned: &[Edge],
+    kind: MoveKind,
+    tracker: &mut BestTracker,
+    tb: &TieBreak,
+    config: &AnonymizeConfig,
+    keep_singles: bool,
+    singles: &mut Vec<(Edge, LoAssessment)>,
+) -> u64 {
+    let workers = scan_workers(config.parallelism, scanned.len());
+    if workers <= 1 {
+        for (idx, &e) in scanned.iter().enumerate() {
+            let a = match kind {
+                MoveKind::Remove => ev.trial_remove(e),
+                MoveKind::Insert => ev.trial_insert(e),
+            };
+            tracker.offer(&[idx], &[e], a, tb);
+            if keep_singles {
+                singles.push((e, a));
             }
         }
+    } else {
+        let ev_ref: &OpacityEvaluator = ev;
+        let shards = pool::run_sharded(scanned, workers, |offset, shard| {
+            let mut fork = ev_ref.clone();
+            let mut shard_tracker = BestTracker::new();
+            let mut shard_singles =
+                Vec::with_capacity(if keep_singles { shard.len() } else { 0 });
+            for (k, &e) in shard.iter().enumerate() {
+                let a = match kind {
+                    MoveKind::Remove => fork.trial_remove(e),
+                    MoveKind::Insert => fork.trial_insert(e),
+                };
+                shard_tracker.offer(&[offset + k], &[e], a, tb);
+                if keep_singles {
+                    shard_singles.push((e, a));
+                }
+            }
+            (shard_tracker, shard_singles)
+        });
+        // Shards come back in offset order, so `singles` concatenates to
+        // exactly the sequential candidate order.
+        for (shard_tracker, shard_singles) in shards {
+            tracker.merge(shard_tracker);
+            singles.extend(shard_singles);
+        }
     }
-
-    pub(crate) fn take(self) -> Option<(Vec<Edge>, LoAssessment)> {
-        self.best
-    }
+    scanned.len() as u64
 }
 
 /// Evaluates every size-`size` combination of `candidates` (in index
 /// order), offering each to the tracker. Prefix edges are applied and
 /// undone via the evaluator's journal; the last edge of each combo is a
-/// pure trial.
+/// pure trial. Combos share mutable evaluator state, so this path stays
+/// sequential.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_combos(
     ev: &mut OpacityEvaluator,
     candidates: &[Edge],
     size: usize,
     kind: MoveKind,
     tracker: &mut BestTracker,
-    rng: &mut StdRng,
+    tb: &TieBreak,
     trials: &mut u64,
     trial_budget: Option<u64>,
 ) {
     let mut stack = Vec::with_capacity(size);
-    recurse(ev, candidates, 0, size, &mut stack, kind, tracker, rng, trials, trial_budget);
+    let mut indices = Vec::with_capacity(size);
+    recurse(
+        ev, candidates, 0, size, &mut stack, &mut indices, kind, tracker, tb, trials,
+        trial_budget,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -92,15 +148,16 @@ fn recurse(
     start: usize,
     size: usize,
     stack: &mut Vec<Edge>,
+    indices: &mut Vec<usize>,
     kind: MoveKind,
     tracker: &mut BestTracker,
-    rng: &mut StdRng,
+    tb: &TieBreak,
     trials: &mut u64,
     trial_budget: Option<u64>,
 ) {
     let exhausted = |trials: &u64| trial_budget.is_some_and(|cap| *trials >= cap);
     if stack.len() + 1 == size {
-        for &e in &candidates[start..] {
+        for (idx, &e) in candidates.iter().enumerate().skip(start) {
             if exhausted(trials) {
                 return; // budget hit mid-scan: keep the best found so far
             }
@@ -110,8 +167,10 @@ fn recurse(
             };
             *trials += 1;
             stack.push(e);
-            tracker.offer(stack, a, rng);
+            indices.push(idx);
+            tracker.offer(indices, stack, a, tb);
             stack.pop();
+            indices.pop();
         }
     } else {
         for idx in start..candidates.len() {
@@ -124,8 +183,13 @@ fn recurse(
                 MoveKind::Insert => ev.apply_insert(e),
             };
             stack.push(e);
-            recurse(ev, candidates, idx + 1, size, stack, kind, tracker, rng, trials, trial_budget);
+            indices.push(idx);
+            recurse(
+                ev, candidates, idx + 1, size, stack, indices, kind, tracker, tb, trials,
+                trial_budget,
+            );
             stack.pop();
+            indices.pop();
             ev.undo(token);
         }
     }
@@ -145,28 +209,34 @@ pub(crate) fn choose_move(
     if candidates.is_empty() {
         return None;
     }
+    // One nonce per greedy step, drawn before any scanning: sequential and
+    // sharded scans advance the run RNG identically.
+    let tb = TieBreak::from_rng(rng);
     let max_size = config.lookahead.min(candidates.len());
 
     // Size-1 scan, shared by both modes; per-candidate assessments are kept
-    // only when a beam must be ranked later.
+    // only when a beam must be ranked later. A trial budget truncates the
+    // scan to a *prefix* of the candidate list — computing that prefix up
+    // front (instead of checking per trial) is what lets the sharded scan
+    // evaluate exactly the candidates the sequential one would.
     let mut tracker = BestTracker::new();
     let keep_singles = max_size > 1 && config.lookahead_beam.is_some();
+    let limit = match config.max_trials {
+        Some(cap) => (cap.saturating_sub(*trials)).min(candidates.len() as u64) as usize,
+        None => candidates.len(),
+    };
     let mut singles: Vec<(Edge, LoAssessment)> =
-        Vec::with_capacity(if keep_singles { candidates.len() } else { 0 });
-    for &e in candidates {
-        if config.max_trials.is_some_and(|cap| *trials >= cap) {
-            break;
-        }
-        let a = match kind {
-            MoveKind::Remove => ev.trial_remove(e),
-            MoveKind::Insert => ev.trial_insert(e),
-        };
-        *trials += 1;
-        tracker.offer(&[e], a, rng);
-        if keep_singles {
-            singles.push((e, a));
-        }
-    }
+        Vec::with_capacity(if keep_singles { limit } else { 0 });
+    *trials += scan_singles(
+        ev,
+        &candidates[..limit],
+        kind,
+        &mut tracker,
+        &tb,
+        config,
+        keep_singles,
+        &mut singles,
+    );
 
     // The candidate pool for multi-edge combinations: everything, or the
     // `beam` most promising single moves.
@@ -197,7 +267,7 @@ pub(crate) fn choose_move(
                     break; // budget spent: do not escalate further
                 }
                 let mut tracker = BestTracker::new();
-                scan_combos(ev, pool, size, kind, &mut tracker, rng, trials, config.max_trials);
+                scan_combos(ev, pool, size, kind, &mut tracker, &tb, trials, config.max_trials);
                 if let Some((combo, a)) = tracker.take() {
                     let replace = match &overall {
                         None => true,
@@ -218,7 +288,7 @@ pub(crate) fn choose_move(
                 if config.max_trials.is_some_and(|cap| *trials >= cap) {
                     break;
                 }
-                scan_combos(ev, pool, size, kind, &mut tracker, rng, trials, config.max_trials);
+                scan_combos(ev, pool, size, kind, &mut tracker, &tb, trials, config.max_trials);
             }
             tracker.take()
         }

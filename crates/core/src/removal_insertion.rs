@@ -11,6 +11,15 @@
 //! combinations (the paper only states the extension is "analogous" to
 //! Algorithm 4's; under multi-edge moves the phases may transiently differ
 //! in size, so exact edge-count preservation is guaranteed for `la = 1`).
+//!
+//! Both phases route through the same internal move-selection path
+//! (`removal::choose_move`), so the
+//! removal scan over `E \ E_A` and the insertion scan over the non-edges
+//! minus `E_D` — the larger of the two, at `O(|V|²)` candidates — are both
+//! sharded across the scoped-thread pool under
+//! [`crate::config::AnonymizeConfig::parallelism`], with the same
+//! bit-for-bit sequential-equivalence guarantee (see the scan-shard/merge
+//! notes in [`crate::removal`]).
 
 use crate::config::AnonymizeConfig;
 use crate::evaluator::OpacityEvaluator;

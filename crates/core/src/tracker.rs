@@ -1,0 +1,311 @@
+//! Streaming argmin over candidate moves with **order-independent** seeded
+//! tie-breaking.
+//!
+//! Algorithm 4 (lines 14–18) breaks exact ties — same `maxLO` *and* same
+//! `N(maxLO)` — uniformly at random with a reservoir counter. A reservoir is
+//! inherently scan-order dependent: it draws from the RNG once per tie *in
+//! the order ties are encountered*, so two scans of the same candidates in
+//! different orders (or the same scan split across threads) select
+//! differently and consume different amounts of the random stream. That
+//! latent order bias was harmless while the scan was sequential; it becomes
+//! a correctness bug the moment the scan is sharded across workers.
+//!
+//! [`BestTracker`] therefore resolves ties by *seeded priority* instead:
+//! every candidate combo gets a pseudo-random 64-bit key derived by
+//! [`TieBreak`] from the per-step nonce and the combo's **global candidate
+//! indices**, and the winner is the minimum under the total order
+//!
+//! ```text
+//! (maxLO, N(maxLO), combo size, key, indices)   — lexicographic
+//! ```
+//!
+//! Every component is a pure function of the candidate and the step nonce,
+//! so the argmin over a candidate set does not depend on the order offers
+//! arrive — offering shards separately and [`BestTracker::merge`]-ing the
+//! per-shard winners yields bit-for-bit the sequential scan's choice, for
+//! any shard count and any shard boundaries. Among `k` exactly-tied
+//! same-size combos, each wins with probability `1/k` (the keys are i.i.d.
+//! uniform in the idealized-hash model), preserving Algorithm 4's uniform
+//! tie-break; the `indices` component only breaks hash collisions (for
+//! size-1 combos collisions are impossible — the key map is injective per
+//! nonce), falling back to global candidate index order. The size component
+//! keeps the historical guarantee that a larger combo never displaces an
+//! equally good smaller one.
+
+use crate::lo::LoAssessment;
+use lopacity_graph::Edge;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Per-step tie-breaking context: a nonce drawn **once** per greedy step
+/// from the run's seeded RNG, regardless of candidate count or thread
+/// count — so the RNG stream's evolution is identical for sequential and
+/// parallel scans.
+pub(crate) struct TieBreak {
+    nonce: u64,
+}
+
+impl TieBreak {
+    /// Draws the step nonce (exactly one `u64`) from the run RNG.
+    pub(crate) fn from_rng(rng: &mut StdRng) -> Self {
+        TieBreak { nonce: rng.next_u64() }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn with_nonce(nonce: u64) -> Self {
+        TieBreak { nonce }
+    }
+
+    /// The priority key of a combo, from its global candidate indices.
+    /// Injective in the final index for a fixed prefix (SplitMix64's
+    /// finalizer is a bijection), uniform across nonces.
+    pub(crate) fn key(&self, indices: &[usize]) -> u64 {
+        let mut h = self.nonce;
+        for &i in indices {
+            h = splitmix(h ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        h
+    }
+}
+
+/// SplitMix64's finalizer: a bijective 64-bit mixer.
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The incumbent best move of a (possibly sharded) scan.
+struct BestEntry {
+    combo: Vec<Edge>,
+    indices: Vec<usize>,
+    a: LoAssessment,
+    key: u64,
+}
+
+impl BestEntry {
+    /// `true` when `(a, len, key, indices)` precedes the incumbent in the
+    /// tracker's total order.
+    fn is_displaced_by(&self, a: &LoAssessment, len: usize, key: u64, indices: &[usize]) -> bool {
+        a.cmp_value(&self.a)
+            .then_with(|| a.n_at_max().cmp(&self.a.n_at_max()))
+            .then_with(|| len.cmp(&self.combo.len()))
+            .then_with(|| key.cmp(&self.key))
+            .then_with(|| indices.cmp(&self.indices))
+            .is_lt()
+    }
+}
+
+/// Streaming argmin over candidate combos under the order-independent
+/// total order documented in the [module docs](self).
+pub(crate) struct BestTracker {
+    best: Option<BestEntry>,
+}
+
+impl BestTracker {
+    pub(crate) fn new() -> Self {
+        BestTracker { best: None }
+    }
+
+    /// Offers one combo: `indices` are the combo's global candidate
+    /// indices (shard offset already applied), `combo` the edges.
+    pub(crate) fn offer(
+        &mut self,
+        indices: &[usize],
+        combo: &[Edge],
+        a: LoAssessment,
+        tb: &TieBreak,
+    ) {
+        debug_assert_eq!(indices.len(), combo.len());
+        let key = tb.key(indices);
+        let displaced = match &self.best {
+            None => true,
+            Some(best) => best.is_displaced_by(&a, combo.len(), key, indices),
+        };
+        if displaced {
+            self.best = Some(BestEntry {
+                combo: combo.to_vec(),
+                indices: indices.to_vec(),
+                a,
+                key,
+            });
+        }
+    }
+
+    /// Folds another tracker's incumbent in. Because the underlying order
+    /// is total and offer-order independent, merging per-shard trackers in
+    /// any order equals one tracker fed every offer.
+    pub(crate) fn merge(&mut self, other: BestTracker) {
+        let Some(entry) = other.best else { return };
+        let displaced = match &self.best {
+            None => true,
+            Some(best) => {
+                best.is_displaced_by(&entry.a, entry.combo.len(), entry.key, &entry.indices)
+            }
+        };
+        if displaced {
+            self.best = Some(entry);
+        }
+    }
+
+    /// The winning combo and its assessment, if any offer arrived.
+    pub(crate) fn take(self) -> Option<(Vec<Edge>, LoAssessment)> {
+        self.best.map(|entry| (entry.combo, entry.a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distinct assessments/combos for tie tests: all candidates share the
+    /// same (value, N) so only the seeded priority decides.
+    fn tied_assessment() -> LoAssessment {
+        LoAssessment::new(1, 2, 3)
+    }
+
+    fn edge(i: usize) -> Edge {
+        Edge::new(0, i as u32 + 1)
+    }
+
+    /// Sequential offers in any permutation pick the same winner.
+    #[test]
+    fn tie_winner_is_offer_order_independent() {
+        let tb = TieBreak::with_nonce(0xDEAD_BEEF);
+        let orders: [[usize; 4]; 4] =
+            [[0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1], [1, 3, 0, 2]];
+        let winners: Vec<Edge> = orders
+            .iter()
+            .map(|order| {
+                let mut t = BestTracker::new();
+                for &i in order {
+                    t.offer(&[i], &[edge(i)], tied_assessment(), &tb);
+                }
+                t.take().unwrap().0[0]
+            })
+            .collect();
+        assert!(winners.windows(2).all(|w| w[0] == w[1]), "winners {winners:?}");
+    }
+
+    /// Merging per-shard trackers equals one tracker fed every offer, for
+    /// every split point.
+    #[test]
+    fn merged_shards_equal_sequential_scan() {
+        let tb = TieBreak::with_nonce(42);
+        // Mix of ties and strict improvements.
+        let assessments: Vec<LoAssessment> = vec![
+            LoAssessment::new(2, 3, 1),
+            LoAssessment::new(1, 2, 2),
+            LoAssessment::new(1, 2, 2),
+            LoAssessment::new(3, 4, 1),
+            LoAssessment::new(1, 2, 2),
+            LoAssessment::new(1, 2, 5),
+        ];
+        let mut sequential = BestTracker::new();
+        for (i, a) in assessments.iter().enumerate() {
+            sequential.offer(&[i], &[edge(i)], *a, &tb);
+        }
+        let expected = sequential.take().unwrap();
+        for split in 0..=assessments.len() {
+            let (left, right) = assessments.split_at(split);
+            let mut shard_a = BestTracker::new();
+            for (i, a) in left.iter().enumerate() {
+                shard_a.offer(&[i], &[edge(i)], *a, &tb);
+            }
+            let mut shard_b = BestTracker::new();
+            for (k, a) in right.iter().enumerate() {
+                shard_b.offer(&[split + k], &[edge(split + k)], *a, &tb);
+            }
+            // Merge in both directions: the order must not matter.
+            let mut ab = BestTracker::new();
+            ab.merge(shard_a);
+            ab.merge(shard_b);
+            let got = ab.take().unwrap();
+            assert_eq!(got.0, expected.0, "split {split}");
+            assert_eq!(got.1.ratio(), expected.1.ratio(), "split {split}");
+        }
+    }
+
+    /// A better assessment always displaces, regardless of keys.
+    #[test]
+    fn strictly_better_beats_any_priority() {
+        let tb = TieBreak::with_nonce(7);
+        let mut t = BestTracker::new();
+        t.offer(&[0], &[edge(0)], LoAssessment::new(1, 2, 1), &tb);
+        t.offer(&[1], &[edge(1)], LoAssessment::new(1, 3, 9), &tb);
+        let (combo, a) = t.take().unwrap();
+        assert_eq!(combo, vec![edge(1)]);
+        assert_eq!(a.ratio(), (1, 3));
+        // Same value, smaller multiplicity also wins.
+        let mut t = BestTracker::new();
+        t.offer(&[0], &[edge(0)], LoAssessment::new(1, 2, 5), &tb);
+        t.offer(&[1], &[edge(1)], LoAssessment::new(1, 2, 2), &tb);
+        assert_eq!(t.take().unwrap().0, vec![edge(1)]);
+    }
+
+    /// A larger combo never displaces an equally good smaller one, in
+    /// either offer order.
+    #[test]
+    fn larger_combo_never_displaces_equal_smaller() {
+        let tb = TieBreak::with_nonce(3);
+        for flip in [false, true] {
+            let mut t = BestTracker::new();
+            let single: (&[usize], &[Edge]) = (&[5], &[edge(5)]);
+            let pair_edges = [edge(0), edge(1)];
+            let pair: (&[usize], &[Edge]) = (&[0, 1], &pair_edges);
+            let offers = if flip { [pair, single] } else { [single, pair] };
+            for (indices, combo) in offers {
+                t.offer(indices, combo, tied_assessment(), &tb);
+            }
+            assert_eq!(t.take().unwrap().0, vec![edge(5)], "flip={flip}");
+        }
+    }
+
+    /// The seeded priority is uniform over exactly-tied candidates: over
+    /// many nonces, each of the 4 tied candidates wins about 1/4 of the
+    /// time. (Loose 3-sigma-ish bounds; the point is "no candidate is
+    /// systematically favored by scan position" — the old reservoir got
+    /// this right only for a fixed scan order.)
+    #[test]
+    fn tie_probabilities_are_uniform_across_nonces() {
+        const ROUNDS: usize = 4000;
+        let mut wins = [0usize; 4];
+        for nonce in 0..ROUNDS as u64 {
+            let tb = TieBreak::with_nonce(splitmix(nonce));
+            let mut t = BestTracker::new();
+            for i in 0..4 {
+                t.offer(&[i], &[edge(i)], tied_assessment(), &tb);
+            }
+            let winner = t.take().unwrap().0[0];
+            let slot = (0..4).find(|&i| edge(i) == winner).unwrap();
+            wins[slot] += 1;
+        }
+        for (i, &w) in wins.iter().enumerate() {
+            let p = w as f64 / ROUNDS as f64;
+            assert!((p - 0.25).abs() < 0.035, "candidate {i} won {p:.3} of ties: {wins:?}");
+        }
+    }
+
+    /// Global-candidate-index order is the documented final fallback; with
+    /// equal keys (forced by offering the same index twice) the entry is
+    /// not displaced — i.e. the first-by-index offer is stable.
+    #[test]
+    fn identical_offer_does_not_displace() {
+        let tb = TieBreak::with_nonce(11);
+        let mut t = BestTracker::new();
+        t.offer(&[2], &[edge(2)], tied_assessment(), &tb);
+        t.offer(&[2], &[edge(2)], tied_assessment(), &tb);
+        assert_eq!(t.take().unwrap().0, vec![edge(2)]);
+    }
+
+    /// Size-1 keys are injective per nonce, so the indices fallback can
+    /// never be reached by distinct candidates.
+    #[test]
+    fn size_one_keys_never_collide() {
+        let tb = TieBreak::with_nonce(0x5EED);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000usize {
+            assert!(seen.insert(tb.key(&[i])), "key collision at index {i}");
+        }
+    }
+}

@@ -7,15 +7,20 @@
 //!   reproduction harness to persist experiment series.
 //! * [`args`] — a tiny `--flag value` command-line parser, so the binaries do
 //!   not need an argument-parsing dependency.
+//! * [`pool`] — a scoped-thread work pool with deterministic sharding (the
+//!   parallel candidate scan in the core heuristics builds on it) and the
+//!   [`Parallelism`] knob the binaries expose.
 //! * [`timer`] — wall-clock stopwatch helpers for runtime experiments.
 //! * [`table`] — fixed-width ASCII table rendering for paper-style output.
 
 pub mod args;
 pub mod csv;
+pub mod pool;
 pub mod table;
 pub mod timer;
 
 pub use args::Args;
 pub use csv::CsvWriter;
+pub use pool::Parallelism;
 pub use table::Table;
 pub use timer::Stopwatch;

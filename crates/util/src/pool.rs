@@ -1,0 +1,251 @@
+//! A hand-rolled scoped-thread work pool.
+//!
+//! The build environment has no crate registry, so rayon-style work
+//! stealing is not available; the greedy heuristics' candidate scan is
+//! instead sharded statically over [`std::thread::scope`]. Static contiguous
+//! sharding is the right fit for that workload: every worker pays a fixed
+//! setup cost (cloning the incremental evaluator) and per-candidate costs
+//! are near-uniform, so the classic stealing advantage does not apply while
+//! the shard boundaries stay deterministic — which the caller relies on to
+//! merge per-shard results into a result provably identical to a sequential
+//! scan.
+//!
+//! [`Parallelism`] is the user-facing knob, threaded from the `lopacify`
+//! command line down to the scan loop.
+
+/// How many worker threads a parallelizable scan may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use [`std::thread::available_parallelism`] workers, and let the
+    /// caller fall back to a sequential scan when the input is too small to
+    /// amortize per-worker setup.
+    #[default]
+    Auto,
+    /// Exactly this many workers (`>= 1`), even on inputs where a
+    /// sequential scan would be faster — the equivalence test suite uses
+    /// this to force multi-threaded paths on tiny graphs.
+    Fixed(usize),
+    /// Sequential: never spawn, never shard.
+    Off,
+}
+
+impl Parallelism {
+    /// The worker count this setting resolves to on the current machine.
+    /// Always `>= 1`; [`Parallelism::Off`] resolves to 1.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Off => 1,
+        }
+    }
+
+    /// Whether the caller may skip sharding on small inputs. `Fixed` means
+    /// "shard no matter what" (the test suites rely on that to exercise the
+    /// parallel path on small graphs); `Auto` lets heuristics pick.
+    pub fn is_adaptive(self) -> bool {
+        matches!(self, Parallelism::Auto)
+    }
+}
+
+impl std::str::FromStr for Parallelism {
+    type Err = String;
+
+    /// Parses `auto`, `off`, or a positive worker count.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Parallelism::Auto),
+            "off" | "seq" | "sequential" => Ok(Parallelism::Off),
+            n => match n.parse::<usize>() {
+                Ok(0) | Err(_) => {
+                    Err(format!("parallelism must be `auto`, `off`, or a count >= 1, got {s:?}"))
+                }
+                Ok(n) => Ok(Parallelism::Fixed(n)),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Auto => write!(f, "auto"),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+            Parallelism::Off => write!(f, "off"),
+        }
+    }
+}
+
+/// Splits `items` into at most `workers` contiguous shards, runs `work` on
+/// each shard concurrently, and returns the per-shard results **in shard
+/// order** (ascending by offset).
+///
+/// `work` receives `(offset, shard)` where `offset` is the index of
+/// `shard[0]` within `items` — shard-local loops recover each item's global
+/// index as `offset + k`, which is what keeps sharded scans mergeable into
+/// an order-independent argmin. Shard boundaries depend only on
+/// `items.len()` and `workers` (never on timing): sizes differ by at most
+/// one, larger shards first.
+///
+/// Empty input returns an empty vector without calling `work`. A single
+/// shard (or `workers <= 1`) runs on the calling thread; otherwise shard 0
+/// runs on the calling thread while the rest run on scoped threads.
+///
+/// # Panics
+/// A panicking worker is propagated to the caller (after the remaining
+/// workers finish) with its original payload.
+pub fn run_sharded<T, R, F>(items: &[T], workers: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let shards = workers.clamp(1, items.len());
+    if shards == 1 {
+        return vec![work(0, items)];
+    }
+    let base = items.len() / shards;
+    let extra = items.len() % shards;
+    // Shard w covers `base` items, plus one more for the first `extra`.
+    let bounds: Vec<(usize, usize)> = (0..shards)
+        .scan(0usize, |offset, w| {
+            let len = base + usize::from(w < extra);
+            let start = *offset;
+            *offset += len;
+            Some((start, len))
+        })
+        .collect();
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(shards);
+    results.resize_with(shards, || None);
+    let work = &work;
+    std::thread::scope(|scope| {
+        let (first_slot, rest_slots) = results.split_first_mut().expect("shards >= 2");
+        let handles: Vec<_> = bounds[1..]
+            .iter()
+            .map(|&(start, len)| scope.spawn(move || work(start, &items[start..start + len])))
+            .collect();
+        // Shard 0 runs here: the calling thread is a worker, not a waiter.
+        let (start, len) = bounds[0];
+        *first_slot = Some(work(start, &items[start..start + len]));
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for (slot, handle) in rest_slots.iter_mut().zip(handles) {
+            match handle.join() {
+                Ok(r) => *slot = Some(r),
+                // Keep joining so every worker finishes before unwinding.
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    results.into_iter().map(|r| r.expect("every shard joined")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_runs_nothing() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let out: Vec<u64> = run_sharded(&[] as &[u32], 4, |_, _| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            0
+        });
+        assert!(out.is_empty());
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn one_item_uses_one_inline_shard() {
+        let out = run_sharded(&[7u32], 8, |offset, shard| {
+            assert_eq!(offset, 0);
+            (shard.to_vec(), std::thread::current().id())
+        });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, vec![7]);
+        assert_eq!(out[0].1, std::thread::current().id(), "single shard must not spawn");
+    }
+
+    #[test]
+    fn more_workers_than_items_caps_at_item_count() {
+        let items: Vec<u32> = (0..3).collect();
+        let out = run_sharded(&items, 16, |offset, shard| (offset, shard.to_vec()));
+        assert_eq!(out, vec![(0, vec![0]), (1, vec![1]), (2, vec![2])]);
+    }
+
+    #[test]
+    fn shards_are_contiguous_in_order_and_cover_everything() {
+        for len in 1..40usize {
+            for workers in 1..10usize {
+                let items: Vec<usize> = (0..len).collect();
+                let out = run_sharded(&items, workers, |offset, shard| (offset, shard.to_vec()));
+                assert!(out.len() <= workers && !out.is_empty());
+                let flat: Vec<usize> = out
+                    .iter()
+                    .flat_map(|(offset, shard)| {
+                        // Offsets really are each shard's global base index.
+                        assert_eq!(shard[0], *offset);
+                        shard.clone()
+                    })
+                    .collect();
+                assert_eq!(flat, items, "len={len} workers={workers}");
+                let sizes: Vec<usize> = out.iter().map(|(_, s)| s.len()).collect();
+                let (min, max) =
+                    (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced shards {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn workers_zero_is_treated_as_sequential() {
+        let items = [1u32, 2, 3];
+        let out = run_sharded(&items, 0, |_, shard| shard.iter().sum::<u32>());
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        let items: Vec<u32> = (0..8).collect();
+        let ids = run_sharded(&items, 4, |_, _| std::thread::current().id());
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert!(distinct.len() > 1, "expected more than one worker thread");
+    }
+
+    #[test]
+    fn panicking_worker_propagates_payload() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            run_sharded(&items, 4, |offset, _| {
+                if offset >= 4 {
+                    panic!("shard {offset} exploded");
+                }
+                offset
+            })
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("exploded"), "unexpected payload {message:?}");
+    }
+
+    #[test]
+    fn parallelism_parses_and_resolves() {
+        assert_eq!("auto".parse::<Parallelism>().unwrap(), Parallelism::Auto);
+        assert_eq!("off".parse::<Parallelism>().unwrap(), Parallelism::Off);
+        assert_eq!("6".parse::<Parallelism>().unwrap(), Parallelism::Fixed(6));
+        assert!("0".parse::<Parallelism>().is_err());
+        assert!("fast".parse::<Parallelism>().is_err());
+        assert_eq!(Parallelism::Off.workers(), 1);
+        assert_eq!(Parallelism::Fixed(3).workers(), 3);
+        assert!(Parallelism::Auto.workers() >= 1);
+        assert_eq!(Parallelism::Fixed(4).to_string(), "4");
+    }
+}

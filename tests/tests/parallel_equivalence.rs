@@ -1,0 +1,138 @@
+//! The sharded candidate scan is **bit-for-bit equivalent** to the
+//! sequential one: for random G(n, m) graphs, thresholds, path-length
+//! bounds, and worker counts, `Parallelism::Fixed(w)` produces the exact
+//! edit sequence, trial count, and final report of `Parallelism::Off`
+//! under the same seed.
+//!
+//! This is the parallel-scan counterpart of the Theorem 1 equivalence
+//! suite: an anonymizer whose output depends on the thread count silently
+//! changes the privacy guarantee, so equivalence is a hard requirement,
+//! not an optimization nicety. `Fixed(w)` bypasses the small-input
+//! fallback, so even these deliberately small graphs exercise real
+//! multi-worker sharding (including workers > candidates).
+
+use lopacity::opacity::opacity_report_against_original;
+use lopacity::{
+    edge_removal, edge_removal_insertion, AnonymizeConfig, AnonymizationOutcome, Parallelism,
+    TypeSpec,
+};
+use lopacity_gen::er::gnm;
+use lopacity_graph::Graph;
+use proptest::prelude::*;
+
+/// Worker counts the suite proves equivalent to sequential. 1 exercises
+/// the "forced shard of one" path, 2/3 uneven shard boundaries, 8 more
+/// workers than some candidate lists have items.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Every observable facet of two outcomes matches exactly.
+fn assert_outcomes_identical(
+    seq: &AnonymizationOutcome,
+    par: &AnonymizationOutcome,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&seq.removed, &par.removed, "edit sequence (removals) differ: {}", context);
+    prop_assert_eq!(&seq.inserted, &par.inserted, "edit sequence (insertions) differ: {}", context);
+    prop_assert_eq!(&seq.graph, &par.graph, "published graphs differ: {}", context);
+    prop_assert_eq!(seq.steps, par.steps, "step counts differ: {}", context);
+    prop_assert_eq!(seq.trials, par.trials, "trial counts differ: {}", context);
+    prop_assert_eq!(seq.achieved, par.achieved, "achievement differs: {}", context);
+    prop_assert_eq!(seq.final_lo, par.final_lo, "final maxLO differs: {}", context);
+    prop_assert_eq!(seq.final_n_at_max, par.final_n_at_max, "final N differs: {}", context);
+    Ok(())
+}
+
+/// The certified L-opacity report of the published graph, rendered — the
+/// external artifact a downstream consumer would diff.
+fn rendered_report(original: &Graph, out: &AnonymizationOutcome, l: u8) -> String {
+    let report = opacity_report_against_original(original, &out.graph, &TypeSpec::DegreePairs, l);
+    let mut text = format!("{out}\nmaxLO {}\n", report.max_lo);
+    for row in &report.per_type {
+        text.push_str(&format!("{}\t{}\t{}\t{:.6}\n", row.label, row.within_l, row.total, row.lo));
+    }
+    text
+}
+
+proptest! {
+    // 64 random (graph, L, θ, seed) cases; each is checked against all
+    // four worker counts and both heuristics.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_scan_matches_sequential(
+        n in 8usize..28,
+        density in 1usize..4,
+        l in 1u8..3,
+        theta in 0.2f64..0.8,
+        seed in 0u64..1 << 48,
+    ) {
+        let g = gnm(n, density * n / 2 + 3, seed);
+        let base = AnonymizeConfig::new(l, theta).with_seed(seed);
+        let sequential_rem = edge_removal(
+            &g, &TypeSpec::DegreePairs, &base.with_parallelism(Parallelism::Off),
+        );
+        let sequential_ri = edge_removal_insertion(
+            &g, &TypeSpec::DegreePairs, &base.with_parallelism(Parallelism::Off),
+        );
+        let seq_rem_report = rendered_report(&g, &sequential_rem, l);
+        let seq_ri_report = rendered_report(&g, &sequential_ri, l);
+        for workers in WORKER_COUNTS {
+            let config = base.with_parallelism(Parallelism::Fixed(workers));
+            let context = format!("n={n} l={l} theta={theta} seed={seed} workers={workers}");
+
+            let par = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+            assert_outcomes_identical(&sequential_rem, &par, &format!("rem {context}"))?;
+            prop_assert_eq!(&seq_rem_report, &rendered_report(&g, &par, l));
+
+            let par = edge_removal_insertion(&g, &TypeSpec::DegreePairs, &config);
+            assert_outcomes_identical(&sequential_ri, &par, &format!("rem-ins {context}"))?;
+            prop_assert_eq!(&seq_ri_report, &rendered_report(&g, &par, l));
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_under_lookahead_and_budget(
+        n in 6usize..14,
+        theta in 0.2f64..0.6,
+        seed in 0u64..1 << 48,
+        max_trials in 20u64..200,
+    ) {
+        // Look-ahead mixes the sharded size-1 scan with sequential combo
+        // scans under one tie-break nonce; the trial budget truncates the
+        // scan mid-list. Both must stay worker-count invariant.
+        let g = gnm(n, 2 * n, seed);
+        let base = AnonymizeConfig::new(1, theta)
+            .with_seed(seed)
+            .with_lookahead(2)
+            .with_max_trials(max_trials);
+        let sequential = edge_removal(
+            &g, &TypeSpec::DegreePairs, &base.with_parallelism(Parallelism::Off),
+        );
+        for workers in WORKER_COUNTS {
+            let par = edge_removal(
+                &g,
+                &TypeSpec::DegreePairs,
+                &base.with_parallelism(Parallelism::Fixed(workers)),
+            );
+            let context = format!("n={n} theta={theta} seed={seed} workers={workers}");
+            assert_outcomes_identical(&sequential, &par, &context)?;
+        }
+    }
+}
+
+/// `Auto` must also be equivalent — whatever worker count the machine
+/// resolves to, including the small-input sequential fallback.
+#[test]
+fn auto_parallelism_matches_sequential() {
+    for seed in [1u64, 7, 42] {
+        let g = gnm(40, 100, seed);
+        for l in [1u8, 2] {
+            let base = AnonymizeConfig::new(l, 0.4).with_seed(seed);
+            let seq = edge_removal(&g, &TypeSpec::DegreePairs, &base.with_parallelism(Parallelism::Off));
+            let auto = edge_removal(&g, &TypeSpec::DegreePairs, &base.with_parallelism(Parallelism::Auto));
+            assert_eq!(seq.removed, auto.removed, "seed {seed} l {l}");
+            assert_eq!(seq.graph, auto.graph, "seed {seed} l {l}");
+            assert_eq!(seq.trials, auto.trials, "seed {seed} l {l}");
+        }
+    }
+}
