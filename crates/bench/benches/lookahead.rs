@@ -3,7 +3,7 @@
 //! enumerate all combination sizes every step.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lopacity::{edge_removal, AnonymizeConfig, LookaheadMode, TypeSpec};
+use lopacity::{AnonymizeConfig, Anonymizer, LookaheadMode, Removal, TypeSpec};
 use lopacity_gen::Dataset;
 use std::hint::black_box;
 
@@ -21,7 +21,11 @@ fn bench_modes(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(label, format!("la{la}")),
                 &g,
-                |b, g| b.iter(|| black_box(edge_removal(g, &TypeSpec::DegreePairs, &config))),
+                |b, g| b.iter(|| {
+                black_box(
+                    Anonymizer::new(g, &TypeSpec::DegreePairs).config(config).run_once(Removal),
+                )
+            }),
             );
         }
     }
@@ -39,7 +43,11 @@ fn bench_lookahead_depth(c: &mut Criterion) {
             .with_mode(LookaheadMode::Exhaustive)
             .with_seed(3);
         group.bench_with_input(BenchmarkId::from_parameter(la), &g, |b, g| {
-            b.iter(|| black_box(edge_removal(g, &TypeSpec::DegreePairs, &config)))
+            b.iter(|| {
+                black_box(
+                    Anonymizer::new(g, &TypeSpec::DegreePairs).config(config).run_once(Removal),
+                )
+            })
         });
     }
     group.finish();

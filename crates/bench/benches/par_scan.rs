@@ -12,7 +12,7 @@
 //! overhead, not speedup — see CHANGES.md for recorded runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lopacity::{edge_removal, AnonymizeConfig, Parallelism, TypeSpec};
+use lopacity::{AnonymizeConfig, Anonymizer, Parallelism, Removal, TypeSpec};
 use lopacity_gen::er::gnm;
 use std::hint::black_box;
 
@@ -25,17 +25,21 @@ fn bench_par_scan(c: &mut Criterion) {
     let base = AnonymizeConfig::new(2, 0.05).with_seed(7).with_max_steps(2);
     group.bench_with_input(BenchmarkId::new("off", 2000), &g, |b, g| {
         b.iter(|| {
-            black_box(edge_removal(
-                g,
-                &TypeSpec::DegreePairs,
-                &base.with_parallelism(Parallelism::Off),
-            ))
+            black_box(
+                Anonymizer::new(g, &TypeSpec::DegreePairs)
+                    .config(base.with_parallelism(Parallelism::Off))
+                    .run_once(Removal),
+            )
         })
     });
     for workers in [1usize, 2, 4, 8] {
         let config = base.with_parallelism(Parallelism::Fixed(workers));
         group.bench_with_input(BenchmarkId::new(format!("fixed-{workers}"), 2000), &g, |b, g| {
-            b.iter(|| black_box(edge_removal(g, &TypeSpec::DegreePairs, &config)))
+            b.iter(|| {
+                black_box(
+                    Anonymizer::new(g, &TypeSpec::DegreePairs).config(config).run_once(Removal),
+                )
+            })
         });
     }
     group.finish();
@@ -53,7 +57,11 @@ fn bench_par_scan_denser(c: &mut Criterion) {
     ] {
         let config = base.with_parallelism(parallelism);
         group.bench_with_input(BenchmarkId::new(label, 2000), &g, |b, g| {
-            b.iter(|| black_box(edge_removal(g, &TypeSpec::DegreePairs, &config)))
+            b.iter(|| {
+                black_box(
+                    Anonymizer::new(g, &TypeSpec::DegreePairs).config(config).run_once(Removal),
+                )
+            })
         });
     }
     group.finish();

@@ -14,10 +14,13 @@
 //!   fig11 | fig12          runtime & distortion vs size (ACM sweep)
 //!   thm1                   3-SAT reduction demonstration
 //!   optgap                 greedy-vs-exact ablation (tiny instances)
+//!   sweep                  APSP-sharing multi-θ session sweep vs independent
 //!   all                    everything above
 //! ```
 
-use lopacity_bench::experiments::{fig10, fig11_12, fig6, fig7, fig8, fig9, optgap, tables, thm1};
+use lopacity_bench::experiments::{
+    fig10, fig11_12, fig6, fig7, fig8, fig9, optgap, session_sweep, tables, thm1,
+};
 use lopacity_bench::output::OutputSink;
 use lopacity_bench::Scale;
 use lopacity_util::{Args, Stopwatch};
@@ -67,6 +70,7 @@ fn main() {
             "fig11" | "fig12" | "fig11_12" => fig11_12::run(scale, &sink, seed),
             "thm1" => thm1::run(scale, &sink, seed),
             "optgap" => optgap::run(scale, &sink, seed),
+            "sweep" => session_sweep::run(scale, &sink, seed),
             other => {
                 eprintln!("unknown experiment {other:?}; see --help text in the source header");
                 std::process::exit(2);
@@ -79,7 +83,7 @@ fn main() {
     let outcome = if experiment == "all" {
         [
             "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "thm1", "optgap",
+            "thm1", "optgap", "sweep",
         ]
         .iter()
         .try_for_each(|name| run(name))

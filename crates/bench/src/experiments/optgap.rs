@@ -8,8 +8,7 @@
 
 use crate::output::OutputSink;
 use crate::scale::Scale;
-use lopacity::optimal::exact_min_removals;
-use lopacity::{edge_removal, AnonymizeConfig, TypeSpec};
+use lopacity::{AnonymizeConfig, Anonymizer, ExactMinRemovals, Removal, TypeSpec};
 use lopacity_gen::{er::gnm, Dataset};
 use lopacity_util::Table;
 
@@ -43,25 +42,23 @@ pub fn run(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
             if g.num_edges() > 16 {
                 continue; // keep the exact search instant
             }
-            let exact = exact_min_removals(g, &TypeSpec::DegreePairs, 1, theta, 25)
-                .expect("θ >= 0 is always achievable by the empty graph");
-            let la1 = edge_removal(
-                g,
-                &TypeSpec::DegreePairs,
-                &AnonymizeConfig::new(1, theta).with_seed(seed),
+            // One session per instance: exact, la=1 and la=2 all reuse the
+            // same evaluator build (θ/seed/look-ahead don't invalidate it).
+            let mut session = Anonymizer::new(g, &TypeSpec::DegreePairs)
+                .config(AnonymizeConfig::new(1, theta).with_seed(seed));
+            let exact = session.run(ExactMinRemovals::default());
+            let la1 = session.run(Removal);
+            session.set_config(
+                AnonymizeConfig::new(1, theta).with_lookahead(2).with_seed(seed),
             );
-            let la2 = edge_removal(
-                g,
-                &TypeSpec::DegreePairs,
-                &AnonymizeConfig::new(1, theta).with_lookahead(2).with_seed(seed),
-            );
-            debug_assert!(la1.achieved && la2.achieved);
-            let gap = la1.removed.len() as i64 - exact.removals.len() as i64;
+            let la2 = session.run(Removal);
+            debug_assert!(exact.achieved && la1.achieved && la2.achieved);
+            let gap = la1.removed.len() as i64 - exact.removed.len() as i64;
             csv.write_row(&[
                 name.clone(),
                 g.num_edges().to_string(),
                 format!("{theta:.1}"),
-                exact.removals.len().to_string(),
+                exact.removed.len().to_string(),
                 la1.removed.len().to_string(),
                 la2.removed.len().to_string(),
                 gap.to_string(),
@@ -70,7 +67,7 @@ pub fn run(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
                 format!("{name} θ={theta:.1}"),
                 g.num_edges().to_string(),
                 format!("{theta:.1}"),
-                exact.removals.len().to_string(),
+                exact.removed.len().to_string(),
                 la1.removed.len().to_string(),
                 la2.removed.len().to_string(),
                 format!("+{gap}"),

@@ -1,0 +1,149 @@
+//! Session-sweep benchmark: APSP-sharing multi-θ sweeps vs independent
+//! runs (the ROADMAP's "multi-θ sweeps sharing APSP work" item, wired for
+//! CI trend tracking).
+//!
+//! Runs `Anonymizer::sweep` over a descending θ ladder on the Gnutella
+//! stand-in in both [`SweepMode`]s and records, per (mode, θ): steps,
+//! cumulative and newly spent trials, edits, the reached `maxLO`, and the
+//! per-θ segment wall-clock (`SweepRun::secs`; the shared build is outside
+//! every per-θ clock). `resume` must spend strictly fewer total trials than
+//! `independent` whenever more than one θ requires work, while reporting
+//! identical per-θ outcomes — both facts are checked here at run time (and
+//! property-tested in `tests/tests/session_api.rs`).
+
+use crate::output::{secs, OutputSink};
+use crate::scale::Scale;
+use lopacity::{AnonymizeConfig, Anonymizer, Removal, SweepMode, SweepRun, TypeSpec};
+use lopacity_gen::Dataset;
+use lopacity_util::Table;
+use std::time::Instant;
+
+/// θ ladder as fractions of the instance's *initial* `maxLO` (descending,
+/// as `sweep` runs them). Anchoring to the measured starting point keeps
+/// every rung strictly below it, so each θ demands real scanning work at
+/// any scale and seed — a fixed absolute ladder silently no-ops whenever
+/// the stand-in starts below it.
+const THETA_FRACTIONS: [f64; 5] = [0.8, 0.65, 0.5, 0.4, 0.3];
+
+/// Graph size per scale; the CI job runs `--scale smoke` (n ≈ 500).
+fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 500,
+        Scale::Default => 1000,
+        Scale::Paper => 2000,
+    }
+}
+
+/// Runs both sweep modes and writes `sweep_session.csv`.
+pub fn run(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
+    let n = size(scale);
+    let g = Dataset::Gnutella.generate(n, seed);
+    // One session serves the whole experiment: the θ-ladder probe and both
+    // sweep modes reuse a single evaluator build (the point of the bench).
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+        .config(AnonymizeConfig::new(1, 0.5).with_seed(seed));
+    let initial = session.initial_assessment().as_f64();
+    let thetas: Vec<f64> = THETA_FRACTIONS.iter().map(|f| f * initial).collect();
+    session.set_config(
+        AnonymizeConfig::new(1, *thetas.last().expect("non-empty ladder")).with_seed(seed),
+    );
+    let mut csv = sink.csv(
+        "sweep_session",
+        &[
+            "mode", "n", "theta", "achieved", "steps", "trials", "new_trials", "removed",
+            "inserted", "max_lo", "secs",
+        ],
+    )?;
+    println!("initial maxLO = {initial:.4}; θ ladder = {thetas:.4?}");
+    let mut table =
+        Table::new(vec!["mode", "theta", "steps", "new_trials", "edits", "maxLO", "secs"]);
+    let mut totals = Vec::new();
+    let mut outcomes: Vec<Vec<SweepRun>> = Vec::new();
+    for mode in [SweepMode::Resume, SweepMode::Independent] {
+        let mode_name = match mode {
+            SweepMode::Resume => "resume",
+            SweepMode::Independent => "independent",
+        };
+        session.set_sweep_mode(mode);
+        let start = Instant::now();
+        let runs = session.sweep(&thetas, Removal);
+        let elapsed = start.elapsed().as_secs_f64();
+        for run in &runs {
+            csv.write_row(&[
+                mode_name.to_string(),
+                n.to_string(),
+                format!("{:.4}", run.theta),
+                run.outcome.achieved.to_string(),
+                run.outcome.steps.to_string(),
+                run.outcome.trials.to_string(),
+                run.new_trials.to_string(),
+                run.outcome.removed.len().to_string(),
+                run.outcome.inserted.len().to_string(),
+                format!("{:.6}", run.outcome.final_lo),
+                format!("{:.6}", run.secs),
+            ])?;
+            table.add_row(vec![
+                mode_name.to_string(),
+                format!("{:.3}", run.theta),
+                run.outcome.steps.to_string(),
+                run.new_trials.to_string(),
+                run.outcome.edits().to_string(),
+                format!("{:.4}", run.outcome.final_lo),
+                secs(run.secs),
+            ]);
+        }
+        totals.push((mode_name, runs.iter().map(|r| r.new_trials).sum::<u64>(), elapsed));
+        outcomes.push(runs);
+    }
+    sink.print_table(
+        &format!(
+            "Session sweep: Rem la=1, Gnutella |V|={n}, θ {:.3}→{:.3}, L=1",
+            thetas[0],
+            thetas[thetas.len() - 1]
+        ),
+        &table,
+    );
+    let (resumed, independent) = (&totals[0], &totals[1]);
+    println!(
+        "total trials — {}: {} in {:.2}s, {}: {} in {:.2}s ({:.2}x trial ratio)",
+        resumed.0,
+        resumed.1,
+        resumed.2,
+        independent.0,
+        independent.1,
+        independent.2,
+        independent.1 as f64 / resumed.1.max(1) as f64,
+    );
+    // Run-time sanity: the modes must agree on every per-θ outcome, and
+    // resume must not spend more trials than independent.
+    for (a, b) in outcomes[0].iter().zip(&outcomes[1]) {
+        assert_eq!(a.outcome.removed, b.outcome.removed, "modes diverged at θ = {}", a.theta);
+        assert_eq!(a.outcome.graph, b.outcome.graph, "graphs diverged at θ = {}", a.theta);
+    }
+    assert!(
+        resumed.1 <= independent.1,
+        "resumed sweep spent more trials ({}) than independent ({})",
+        resumed.1,
+        independent.1
+    );
+    csv.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "experiment smoke tests run in release only (cargo test --release)")]
+    fn smoke_run_writes_both_modes() {
+        let dir = std::env::temp_dir().join(format!("lopacity-sweep-{}", std::process::id()));
+        let sink = OutputSink::new(&dir).unwrap();
+        run(Scale::Smoke, &sink, 11).unwrap();
+        let text = std::fs::read_to_string(dir.join("sweep_session.csv")).unwrap();
+        assert!(text.contains("resume"));
+        assert!(text.contains("independent"));
+        // Header + one row per (mode, θ).
+        assert_eq!(text.lines().count(), 1 + 2 * THETA_FRACTIONS.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

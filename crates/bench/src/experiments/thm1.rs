@@ -8,7 +8,7 @@
 
 use crate::output::OutputSink;
 use crate::scale::Scale;
-use lopacity::{AnonymizeConfig, edge_removal};
+use lopacity::{AnonymizeConfig, Anonymizer, Removal};
 use lopacity_sat::{brute_force_sat, decode_assignment, Cnf3, Reduction, REDUCTION_L, REDUCTION_THETA};
 use lopacity_util::Table;
 
@@ -30,7 +30,8 @@ pub fn run(scale: Scale, sink: &OutputSink, seed: u64) -> std::io::Result<()> {
         let reduction = Reduction::build(&cnf);
         let sat = brute_force_sat(&cnf);
         let config = AnonymizeConfig::new(REDUCTION_L, REDUCTION_THETA).with_seed(seed);
-        let outcome = edge_removal(&reduction.graph, &reduction.spec, &config);
+        let outcome =
+            Anonymizer::new(&reduction.graph, &reduction.spec).config(config).run(Removal);
         let decoded = decode_assignment(&reduction, &outcome.removed);
         let satisfies = decoded.as_ref().map(|a| cnf.eval(a)).unwrap_or(false);
         csv.write_row(&[

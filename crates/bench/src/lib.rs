@@ -24,6 +24,7 @@ pub mod experiments {
     pub mod optgap;
     pub mod fig8;
     pub mod fig9;
+    pub mod session_sweep;
     pub mod tables;
     pub mod thm1;
 }

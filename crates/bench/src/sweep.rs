@@ -7,6 +7,7 @@
 //! same time."* — the carry-forward rule below.
 
 use crate::methods::{Method, MethodRun};
+use lopacity::{Anonymizer, TypeSpec};
 use lopacity_graph::Graph;
 use lopacity_metrics::UtilityReport;
 
@@ -46,6 +47,15 @@ pub struct SweepOptions {
 }
 
 /// Runs `method` over a descending θ sweep on `graph`.
+///
+/// All repetitions and θ values share one [`Anonymizer`] session: the
+/// evaluator build (APSP + counters) is paid once per sweep — the seed and
+/// θ vary per run, neither invalidates the cache. The build is primed
+/// *before* the first timed run, so every recorded `secs` measures
+/// anonymization work under the same convention (the one-shot
+/// `Method::run_with_budget` points of Figures 10–12 still include their
+/// private build, as they always did). The paper's protocol
+/// (repeat-and-select, carry-forward) stays on top of that.
 pub fn theta_sweep(
     graph: &Graph,
     method: Method,
@@ -53,6 +63,11 @@ pub fn theta_sweep(
     opts: &SweepOptions,
 ) -> Vec<SweepPoint> {
     debug_assert!(thetas.windows(2).all(|w| w[0] >= w[1]), "thetas must descend");
+    let mut session = Anonymizer::new(graph, &TypeSpec::DegreePairs)
+        .config(lopacity::AnonymizeConfig::new(opts.l, 1.0));
+    if method.uses_session() {
+        session.initial_assessment(); // prime the build outside the clocks
+    }
     let mut points: Vec<SweepPoint> = Vec::with_capacity(thetas.len());
     let mut carry: Option<SweepPoint> = None;
     for &theta in thetas {
@@ -76,17 +91,23 @@ pub fn theta_sweep(
                 continue;
             }
         }
-        let point = run_point(graph, method, theta, opts);
+        let point = run_point(&mut session, method, theta, opts);
         carry = Some(point.clone());
         points.push(point);
     }
     points
 }
 
-fn run_point(graph: &Graph, method: Method, theta: f64, opts: &SweepOptions) -> SweepPoint {
+fn run_point(
+    session: &mut Anonymizer<'_>,
+    method: Method,
+    theta: f64,
+    opts: &SweepOptions,
+) -> SweepPoint {
+    let graph = session.graph();
     let mut best: Option<MethodRun> = None;
     for rep in 0..opts.repeats.max(1) {
-        let run = method.run_with_budget(graph, opts.l, theta, opts.seed + rep as u64, opts.max_steps, opts.max_trials);
+        let run = method.run_in(session, opts.l, theta, opts.seed + rep as u64, opts.max_steps, opts.max_trials);
         let better = match &best {
             None => true,
             Some(b) => match (run.outcome.achieved, b.outcome.achieved) {

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! lopacify anonymize --in graph.txt --out anon.txt --l 2 --theta 0.5
-//!          [--method rem|rem-ins|gaded-rand|gaded-max|gades]
+//!          [--method rem|rem-ins|exact|gaded-rand|gaded-max|gades]
 //!          [--lookahead N] [--seed N] [--max-steps N]
-//!          [--parallelism auto|off|N]
+//!          [--parallelism auto|off|N] [--sweep-mode resume|independent]
 //! lopacify opacity   --in graph.txt --l 2 [--original orig.txt]
 //! lopacify stats     --in graph.txt
 //! lopacify generate  --dataset google --n 500 --out graph.txt [--seed N]
@@ -13,9 +13,18 @@
 //! Graphs are whitespace-separated edge lists (SNAP format); `#`/`%` lines
 //! are comments. `anonymize` prints the run report to stderr and writes the
 //! anonymized edge list; `opacity` prints the per-type opacity matrix.
+//!
+//! `--theta` accepts a comma-separated list (e.g. `--theta 0.9,0.66,0.5`):
+//! the θ values run as one [`lopacity::Anonymizer::sweep`] over a shared
+//! evaluator build, one CSV row per θ on stdout, with the strictest θ's
+//! graph written to `--out`. Under the default resume mode the final graph
+//! is byte-identical to a single-θ run at the strictest value.
 
 use lopacity::opacity::{opacity_report, opacity_report_against_original};
-use lopacity::{AnonymizeConfig, Parallelism, TypeSpec};
+use lopacity::{
+    AnonymizeConfig, Anonymizer, ExactMinRemovals, Parallelism, Removal, RemovalInsertion,
+    SweepMode, TypeSpec,
+};
 use lopacity_baselines::{gaded_max, gaded_rand, gades};
 use lopacity_gen::Dataset;
 use lopacity_graph::{io as gio, Graph};
@@ -46,11 +55,18 @@ const USAGE: &str = "\
 lopacify — linkage-aware graph anonymization (L-opacity, EDBT 2014)
 
 commands:
-  anonymize --in FILE --out FILE --l N --theta X [--method M] [--lookahead N]
-            [--seed N] [--max-steps N] [--parallelism auto|off|N]
-            methods: rem (default), rem-ins, gaded-rand, gaded-max, gades
+  anonymize --in FILE --out FILE --l N --theta X[,X2,...] [--method M]
+            [--lookahead N] [--seed N] [--max-steps N]
+            [--parallelism auto|off|N] [--sweep-mode resume|independent]
+            methods: rem (default), rem-ins, exact (<= 25 edges),
+                     gaded-rand, gaded-max, gades
             parallelism shards the candidate scan across worker threads;
             results are identical for every setting (default: auto)
+            a comma-separated theta list runs a descending sweep over one
+            shared evaluator build (methods rem/rem-ins/exact): one CSV row
+            per theta on stdout, the strictest theta's graph in --out
+            sweep-mode defaults to resume (exact: independent, so every
+            theta stays globally minimal)
   opacity   --in FILE --l N [--original FILE] [--theta X]
   stats     --in FILE
   generate  --dataset D --n N --out FILE [--seed N]
@@ -63,28 +79,74 @@ fn load(args: &Args, key: &str) -> Result<Graph, String> {
     gio::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))
 }
 
+/// The `--theta` list: one or more values in [0, 1], comma-separated.
+fn parse_thetas(args: &Args) -> Result<Vec<f64>, String> {
+    let raw = args.get("theta").unwrap_or("0.5");
+    let mut thetas = Vec::new();
+    for part in raw.split(',') {
+        let theta: f64 = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("--theta: {part:?} is not a number"))?;
+        if !(0.0..=1.0).contains(&theta) {
+            return Err(format!("theta {theta} out of [0, 1]"));
+        }
+        thetas.push(theta);
+    }
+    Ok(thetas)
+}
+
 fn anonymize(args: &Args) -> Result<(), String> {
     let graph = load(args, "in")?;
     let out_path = args.get("out").ok_or("missing --out FILE")?;
     let l: u8 = args.get_or("l", 1)?;
-    let theta: f64 = args.get_or("theta", 0.5)?;
+    let thetas = parse_thetas(args)?;
+    // The strictest θ decides the exit status and names the written graph.
+    let theta = thetas.iter().copied().fold(f64::INFINITY, f64::min);
     let lookahead: usize = args.get_or("lookahead", 1)?;
     let seed: u64 = args.get_or("seed", lopacity::config::DEFAULT_SEED)?;
     let method = args.get("method").unwrap_or("rem");
-    if !(0.0..=1.0).contains(&theta) {
-        return Err(format!("theta {theta} out of [0, 1]"));
-    }
     if l == 0 {
         return Err("L must be at least 1".into());
     }
-    if !matches!(method, "rem" | "rem-ins") && l != 1 {
+    let session_method = matches!(method, "rem" | "rem-ins" | "exact");
+    if !session_method && l != 1 {
         return Err("baseline methods support only --l 1".into());
+    }
+    if !session_method && thetas.len() > 1 {
+        return Err("theta sweeps support only the rem, rem-ins and exact methods".into());
+    }
+    let exact_cap = ExactMinRemovals::default().max_edges;
+    if method == "exact" && graph.num_edges() > exact_cap {
+        return Err(format!(
+            "the exact method is exponential; it accepts at most {exact_cap} edges \
+             (graph has {})",
+            graph.num_edges()
+        ));
     }
     // Parsed by hand (not `get_or`) so the valid-values hint in the
     // `Parallelism` parse error reaches the user.
     let parallelism: Parallelism = match args.get("parallelism") {
         None => Parallelism::Auto,
         Some(raw) => raw.parse().map_err(|e| format!("--parallelism: {e}"))?,
+    };
+    let sweep_mode = match args.get("sweep-mode") {
+        // The exact strategy's search depends on θ, so resuming yields
+        // increment-minimal (not globally minimal) sets; exact sweeps
+        // therefore default to independent per-θ runs. The greedy
+        // trajectories are θ-independent and default to resume.
+        None => {
+            if method == "exact" {
+                SweepMode::Independent
+            } else {
+                SweepMode::Resume
+            }
+        }
+        Some("resume") => SweepMode::Resume,
+        Some("independent") => SweepMode::Independent,
+        Some(other) => {
+            return Err(format!("--sweep-mode: unknown mode {other:?} (resume, independent)"))
+        }
     };
     let mut config = AnonymizeConfig::new(l, theta)
         .with_lookahead(lookahead)
@@ -94,13 +156,47 @@ fn anonymize(args: &Args) -> Result<(), String> {
     if cap > 0 {
         config = config.with_max_steps(cap);
     }
-    let outcome = match method {
-        "rem" => lopacity::edge_removal(&graph, &TypeSpec::DegreePairs, &config),
-        "rem-ins" => lopacity::edge_removal_insertion(&graph, &TypeSpec::DegreePairs, &config),
-        "gaded-rand" => gaded_rand(&graph, theta, seed),
-        "gaded-max" => gaded_max(&graph, theta),
-        "gades" => gades(&graph, theta),
-        other => return Err(format!("unknown method {other:?}")),
+
+    let spec = TypeSpec::DegreePairs;
+    let mut session =
+        Anonymizer::new(&graph, &spec).config(config).sweep_mode(sweep_mode);
+    let outcome = if thetas.len() > 1 {
+        // Multi-θ sweep: one shared evaluator build, one CSV row per θ on
+        // stdout (descending), the strictest θ's graph to --out.
+        let runs = match method {
+            "rem" => session.sweep(&thetas, Removal),
+            "rem-ins" => session.sweep(&thetas, RemovalInsertion::default()),
+            "exact" => session.sweep(&thetas, ExactMinRemovals::default()),
+            other => return Err(format!("unknown method {other:?}")),
+        };
+        println!("theta,achieved,steps,trials,new_trials,removed,inserted,max_lo,distortion");
+        for run in &runs {
+            println!(
+                "{},{},{},{},{},{},{},{:.6},{:.6}",
+                run.theta,
+                run.outcome.achieved,
+                run.outcome.steps,
+                run.outcome.trials,
+                run.new_trials,
+                run.outcome.removed.len(),
+                run.outcome.inserted.len(),
+                run.outcome.final_lo,
+                run.outcome.distortion(&graph),
+            );
+        }
+        runs.into_iter().last().expect("sweep returns one run per theta").outcome
+    } else {
+        // One-shot: consume the session (`run_once`) — no defensive
+        // evaluator clone, the historical free-function cost profile.
+        match method {
+            "rem" => session.run_once(Removal),
+            "rem-ins" => session.run_once(RemovalInsertion::default()),
+            "exact" => session.run_once(ExactMinRemovals::default()),
+            "gaded-rand" => gaded_rand(&graph, theta, seed),
+            "gaded-max" => gaded_max(&graph, theta),
+            "gades" => gades(&graph, theta),
+            other => return Err(format!("unknown method {other:?}")),
+        }
     };
     gio::write_edge_list_file(&outcome.graph, out_path)
         .map_err(|e| format!("writing {out_path}: {e}"))?;

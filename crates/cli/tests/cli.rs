@@ -160,6 +160,74 @@ fn parallelism_settings_produce_identical_output() {
 }
 
 #[test]
+fn theta_sweep_emits_one_row_per_theta_and_matches_single_run() {
+    let dir = temp_dir("sweep");
+    let graph_path = dir.join("g.txt");
+    let out = lopacify()
+        .args(["generate", "--dataset", "gnutella", "--n", "120", "--seed", "4"])
+        .args(["--out", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "generate: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Multi-θ sweep: CSV on stdout, strictest-θ graph in --out.
+    let sweep_path = dir.join("sweep.txt");
+    let out = lopacify()
+        .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+        .args(["--out", sweep_path.to_str().unwrap()])
+        .args(["--l", "1", "--theta", "0.9,0.66,0.5", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "sweep: {}", String::from_utf8_lossy(&out.stderr));
+    let csv = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 4, "header + one row per θ, got: {csv}");
+    assert!(lines[0].starts_with("theta,achieved,steps,trials,new_trials"), "header: {}", lines[0]);
+    for (line, theta) in lines[1..].iter().zip(["0.9", "0.66", "0.5"]) {
+        assert!(line.starts_with(&format!("{theta},")), "row for θ={theta}: {line}");
+    }
+
+    // Single-θ run at the strictest value, same seed.
+    let single_path = dir.join("single.txt");
+    let out = lopacify()
+        .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+        .args(["--out", single_path.to_str().unwrap()])
+        .args(["--l", "1", "--theta", "0.5", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "single: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).is_empty(), "single runs emit no CSV");
+
+    // The final-θ graph of the sweep is byte-identical to the single run.
+    assert_eq!(
+        std::fs::read(&sweep_path).unwrap(),
+        std::fs::read(&single_path).unwrap(),
+        "sweep final graph differs from standalone θ=0.5 run"
+    );
+
+    // Unsweepable combinations fail cleanly.
+    let out = lopacify()
+        .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+        .args(["--out", dir.join("x.txt").to_str().unwrap()])
+        .args(["--theta", "0.9,0.5", "--method", "gades"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("theta sweeps support"));
+
+    let out = lopacify()
+        .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+        .args(["--out", dir.join("x.txt").to_str().unwrap()])
+        .args(["--theta", "0.9,oops"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a number"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn generate_rejects_unknown_dataset() {
     let out = lopacify()
         .args(["generate", "--dataset", "friendster", "--n", "10", "--out", "/tmp/x.txt"])

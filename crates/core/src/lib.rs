@@ -12,8 +12,86 @@
 //! does not exceed `θ` (Definitions 1–3; the decision threshold follows
 //! Algorithms 4/5, which accept when `maxLO ≤ θ`).
 //!
-//! # What this crate provides
+//! # Quickstart: the [`Anonymizer`] session
 //!
+//! A session builds the expensive incremental evaluator (full truncated
+//! APSP + per-type counters) once and then runs any number of pluggable
+//! [`Strategy`] values against it — the paper's Algorithm 4
+//! ([`Removal`]), Algorithm 5 ([`RemovalInsertion`]), or the exact
+//! baseline ([`ExactMinRemovals`]):
+//!
+//! ```
+//! use lopacity::{Anonymizer, AnonymizeConfig, Removal, RemovalInsertion, TypeSpec};
+//! use lopacity_graph::Graph;
+//!
+//! // The paper's Figure 1 graph (0-indexed).
+//! let g = Graph::from_edges(7, [
+//!     (0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6),
+//! ]).unwrap();
+//! let spec = TypeSpec::DegreePairs;
+//!
+//! let mut session = Anonymizer::new(&g, &spec)
+//!     .config(AnonymizeConfig::new(1, 2.0 / 3.0));
+//!
+//! // Its opacity at L = 1 is 1.0: some degree-pair type is fully linked.
+//! assert_eq!(session.initial_assessment().as_f64(), 1.0);
+//!
+//! // Anonymize: confidence at most 2/3 for single-edge linkage. Both
+//! // heuristics reuse the evaluator built above.
+//! let outcome = session.run(Removal);
+//! assert!(outcome.achieved);
+//! let alternative = session.run(RemovalInsertion::default());
+//!
+//! // Certify against the publication model: original degrees, published
+//! // distances.
+//! let after = lopacity::opacity::opacity_report_against_original(
+//!     &g, &outcome.graph, &TypeSpec::DegreePairs, 1,
+//! );
+//! assert!(after.max_lo.as_f64() <= 2.0 / 3.0 + 1e-12);
+//! # let _ = alternative;
+//! ```
+//!
+//! # Multi-θ sweeps (a Figure-9-style privacy/utility curve)
+//!
+//! The paper's experiments evaluate each heuristic across a *sweep* of θ
+//! values on the same graph. [`Anonymizer::sweep`] runs the θ values in
+//! descending order; in the default [`SweepMode::Resume`] each θ resumes
+//! from the previous θ's edited graph, evaluator state, and RNG, so the
+//! whole curve costs one trajectory instead of one per point — and every
+//! cumulative outcome is still bit-for-bit what a standalone run at that θ
+//! would return (the greedy trajectories do not depend on θ; it only
+//! decides when to stop). [`SweepMode::Independent`] opts out and
+//! reproduces standalone runs exactly, still sharing the initial build:
+//!
+//! ```
+//! use lopacity::{Anonymizer, AnonymizeConfig, Removal, TypeSpec};
+//! use lopacity_graph::Graph;
+//!
+//! let g = Graph::from_edges(7, [
+//!     (0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6),
+//! ]).unwrap();
+//! let spec = TypeSpec::DegreePairs;
+//! let mut session = Anonymizer::new(&g, &spec)
+//!     .config(AnonymizeConfig::new(1, 0.5).with_seed(7));
+//!
+//! // One pass, three curve points: (θ, edits) is the Figure-9-style series.
+//! for run in session.sweep(&[0.9, 0.66, 0.5], Removal) {
+//!     println!("θ={:.2}: {} edits, maxLO {:.3} ({} new trials)",
+//!         run.theta, run.outcome.edits(), run.outcome.final_lo, run.new_trials);
+//! }
+//! ```
+//!
+//! Attach a [`ProgressObserver`] (see [`progress`]) to stream per-step
+//! events — step index, `maxLO`, `N`, trial and edit counters — to logs,
+//! metrics, or a cancellation watchdog; observers never change outcomes.
+//!
+//! # Module map
+//!
+//! * [`session`] — the [`Anonymizer`] session API (the maintained entry
+//!   point), sweeps, and the [`RunContext`] strategies execute against;
+//! * [`strategy`] — the [`Strategy`] / [`GreedyPolicy`] traits, the shared
+//!   greedy driver, and the three built-in strategies;
+//! * [`progress`] — [`ProgressObserver`] and the step-event types;
 //! * [`types`] — vertex-pair type systems: the paper's default
 //!   (*original-degree pairs*) plus explicit pair sets (used by the 3-SAT
 //!   hardness construction);
@@ -21,55 +99,40 @@
 //! * [`evaluator`] — an incremental trial/apply/undo opacity evaluator that
 //!   makes the greedy heuristics tractable (property-tested equal to full
 //!   recomputation);
-//! * [`removal`] — Algorithm 4, greedy **Edge Removal** with look-ahead;
-//! * [`removal_insertion`] — Algorithm 5, **Edge Removal/Insertion**, which
-//!   keeps the edge count constant;
+//! * [`removal`] / [`removal_insertion`] — the deprecated free-function
+//!   wrappers for Algorithms 4/5 (bit-for-bit equal to the session API)
+//!   plus the sharded move-selection machinery;
+//! * [`optimal`] — exact minimum-removal search for small instances;
 //! * [`config`] / [`result`] — tuning knobs and rich run reports.
-//!
-//! # Quickstart
-//!
-//! ```
-//! use lopacity::{AnonymizeConfig, TypeSpec};
-//! use lopacity_graph::Graph;
-//!
-//! // The paper's Figure 1 graph (0-indexed).
-//! let g = Graph::from_edges(7, [
-//!     (0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6),
-//! ]).unwrap();
-//!
-//! // Its opacity at L = 1 is 1.0: some degree pair type is fully linked.
-//! let report = lopacity::opacity::opacity_report(&g, &TypeSpec::DegreePairs, 1);
-//! assert_eq!(report.max_lo.as_f64(), 1.0);
-//!
-//! // Anonymize: confidence at most 2/3 for single-edge linkage.
-//! let config = AnonymizeConfig::new(1, 2.0 / 3.0);
-//! let outcome = lopacity::removal::edge_removal(&g, &TypeSpec::DegreePairs, &config);
-//! assert!(outcome.achieved);
-//! // Certify against the publication model: original degrees, published
-//! // distances.
-//! let after = lopacity::opacity::opacity_report_against_original(
-//!     &g, &outcome.graph, &TypeSpec::DegreePairs, 1,
-//! );
-//! assert!(after.max_lo.as_f64() <= 2.0 / 3.0 + 1e-12);
-//! ```
 
 pub mod config;
 pub mod evaluator;
 pub mod lo;
 pub mod opacity;
 pub mod optimal;
+pub mod progress;
 pub mod removal;
 pub mod removal_insertion;
 pub mod result;
+pub mod session;
+pub mod strategy;
 mod tracker;
 pub mod types;
 
 pub use config::{AnonymizeConfig, LookaheadMode};
-pub use lopacity_util::Parallelism;
 pub use evaluator::OpacityEvaluator;
 pub use lo::LoAssessment;
+pub use lopacity_util::Parallelism;
 pub use opacity::{opacity_report, OpacityReport};
-pub use removal::edge_removal;
-pub use removal_insertion::edge_removal_insertion;
+pub use progress::{CountingObserver, NoOpObserver, ProgressObserver, RunInfo, StepEvent};
 pub use result::AnonymizationOutcome;
+pub use session::{Anonymizer, RunContext, SweepMode, SweepRun};
+pub use strategy::{
+    drive_greedy, ExactMinRemovals, GreedyPolicy, MoveKind, Removal, RemovalInsertion, Strategy,
+};
 pub use types::{TypeSpec, TypeSystem};
+
+#[allow(deprecated)]
+pub use removal::edge_removal;
+#[allow(deprecated)]
+pub use removal_insertion::edge_removal_insertion;

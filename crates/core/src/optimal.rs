@@ -68,7 +68,12 @@ pub fn exact_min_removals(
     None
 }
 
-fn search(
+/// One iterative-deepening level of the exact search: does a removal set of
+/// size `budget` drawn from `edges[start..]` reach `maxLO <= theta`? On
+/// success `chosen` holds the set and the evaluator is restored; `nodes`
+/// counts explored search-tree nodes. Shared by [`exact_min_removals`] and
+/// the [`crate::strategy::ExactMinRemovals`] session strategy.
+pub(crate) fn search(
     ev: &mut OpacityEvaluator,
     edges: &[Edge],
     start: usize,
@@ -128,7 +133,7 @@ fn search(
 mod tests {
     use super::*;
     use crate::opacity::opacity_report_against_original;
-    use crate::{edge_removal, AnonymizeConfig};
+    use crate::{AnonymizeConfig, Anonymizer, Removal};
 
     fn paper_graph() -> Graph {
         Graph::from_edges(
@@ -161,7 +166,8 @@ mod tests {
         // down from 3 to 1 (2 removals) and P{2,4} from 4 to 3 (1 removal,
         // unless covered by side effects) — at least 3 removals; the greedy
         // finds 5. Check the exact optimum is sane and no worse than greedy.
-        let greedy = edge_removal(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(1, theta));
+        let greedy =
+            Anonymizer::new(&g, &TypeSpec::DegreePairs).config(AnonymizeConfig::new(1, theta)).run(Removal);
         assert!(sol.removals.len() <= greedy.removed.len());
         assert!(sol.removals.len() >= 3, "optimum {} below hand bound", sol.removals.len());
     }

@@ -1,0 +1,183 @@
+//! Progress observation for anonymization runs.
+//!
+//! A [`ProgressObserver`] attached to an [`crate::Anonymizer`] receives one
+//! [`StepEvent`] per committed greedy step (and per committed removal of the
+//! exact strategy), bracketed by [`ProgressObserver::on_run_start`] /
+//! [`ProgressObserver::on_run_end`] per run — or per θ segment of a sweep.
+//! Observers are strictly read-only taps: they see copies of the run
+//! counters and cannot influence the trajectory, so an attached observer
+//! never changes an outcome (property: same outcome with and without one —
+//! see `tests/tests/progress_observer.rs`).
+//!
+//! Long-running-server workloads hang cancellation, metrics, and streaming
+//! progress UIs off this trait; the crate itself ships two tiny impls:
+//! [`NoOpObserver`] (the default) and [`CountingObserver`] (run/step/trial
+//! accounting, used by the sweep-sharing acceptance tests).
+
+use crate::result::AnonymizationOutcome;
+
+/// Context of a starting run (or θ segment of a sweep).
+#[derive(Debug, Clone, Copy)]
+pub struct RunInfo<'a> {
+    /// [`crate::Strategy::name`] of the executing strategy.
+    pub strategy: &'a str,
+    /// Confidence threshold θ this run drives toward.
+    pub theta: f64,
+    /// Path-length threshold L.
+    pub l: u8,
+    /// `maxLO` of the graph the run starts from.
+    pub initial_lo: f64,
+    /// `N(maxLO)` of the graph the run starts from.
+    pub initial_n_at_max: usize,
+    /// Candidate evaluations already on the clock when this run starts
+    /// (non-zero for resumed sweep segments, which share counters).
+    pub trials_before: u64,
+    /// Steps already on the clock when this run starts.
+    pub steps_before: usize,
+}
+
+/// One committed greedy step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepEvent {
+    /// Confidence threshold θ of the run emitting the event.
+    pub theta: f64,
+    /// 1-based step index. Resumed sweep segments continue the count.
+    pub step: usize,
+    /// `maxLO` after the step's moves were committed.
+    pub max_lo: f64,
+    /// `N(maxLO)` after the step's moves were committed.
+    pub n_at_max: usize,
+    /// Cumulative candidate evaluations so far.
+    pub trials: u64,
+    /// Cumulative edge edits (removals + insertions) so far.
+    pub edits: usize,
+    /// Cumulative removals so far.
+    pub removed: usize,
+    /// Cumulative insertions so far.
+    pub inserted: usize,
+}
+
+/// Read-only tap on a run's progress. Every method has a no-op default, so
+/// implementors override only what they need.
+pub trait ProgressObserver {
+    /// A run (or sweep θ segment) is about to execute.
+    fn on_run_start(&mut self, _info: &RunInfo<'_>) {}
+
+    /// A greedy step committed its moves.
+    fn on_step(&mut self, _event: &StepEvent) {}
+
+    /// The run produced its outcome. For resumed sweep segments the outcome
+    /// is cumulative from the start of the sweep (exactly what a standalone
+    /// run at the segment's θ would report).
+    fn on_run_end(&mut self, _outcome: &AnonymizationOutcome) {}
+}
+
+/// The default observer: ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOpObserver;
+
+impl ProgressObserver for NoOpObserver {}
+
+/// Counts runs, steps, and candidate evaluations; keeps the last event.
+///
+/// `total_trials` sums the *work actually performed* per observed run —
+/// for resumed sweep segments it adds only each segment's newly spent
+/// trials, so a resumed sweep's total is directly comparable to the sum
+/// over independent runs (the APSP-sharing acceptance criterion).
+#[derive(Debug, Clone, Default)]
+pub struct CountingObserver {
+    /// `on_run_start` calls seen.
+    pub runs_started: usize,
+    /// `on_run_end` calls seen.
+    pub runs_finished: usize,
+    /// `on_step` calls seen.
+    pub events: usize,
+    /// The most recent step event.
+    pub last_event: Option<StepEvent>,
+    /// Candidate evaluations actually performed across observed runs.
+    pub total_trials: u64,
+    /// Trial clock at the current run's start (for per-run deltas).
+    run_start_trials: u64,
+}
+
+impl ProgressObserver for CountingObserver {
+    fn on_run_start(&mut self, info: &RunInfo<'_>) {
+        self.runs_started += 1;
+        self.run_start_trials = info.trials_before;
+    }
+
+    fn on_step(&mut self, event: &StepEvent) {
+        self.events += 1;
+        self.last_event = Some(*event);
+    }
+
+    fn on_run_end(&mut self, outcome: &AnonymizationOutcome) {
+        self.runs_finished += 1;
+        self.total_trials += outcome.trials - self.run_start_trials;
+        self.run_start_trials = outcome.trials;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopacity_graph::Graph;
+
+    fn outcome(trials: u64) -> AnonymizationOutcome {
+        AnonymizationOutcome {
+            graph: Graph::new(2),
+            removed: Vec::new(),
+            inserted: Vec::new(),
+            steps: 0,
+            trials,
+            final_lo: 0.0,
+            final_n_at_max: 0,
+            achieved: true,
+        }
+    }
+
+    fn info(trials_before: u64) -> RunInfo<'static> {
+        RunInfo {
+            strategy: "test",
+            theta: 0.5,
+            l: 1,
+            initial_lo: 1.0,
+            initial_n_at_max: 1,
+            trials_before,
+            steps_before: 0,
+        }
+    }
+
+    #[test]
+    fn counting_observer_sums_per_run_deltas() {
+        let mut obs = CountingObserver::default();
+        // Two independent runs: 10 + 7 trials.
+        obs.on_run_start(&info(0));
+        obs.on_run_end(&outcome(10));
+        obs.on_run_start(&info(0));
+        obs.on_run_end(&outcome(7));
+        assert_eq!(obs.total_trials, 17);
+        assert_eq!(obs.runs_started, 2);
+        assert_eq!(obs.runs_finished, 2);
+    }
+
+    #[test]
+    fn counting_observer_handles_resumed_segments() {
+        let mut obs = CountingObserver::default();
+        // A resumed sweep: cumulative clocks 10, 10, 16 — total work is 16.
+        obs.on_run_start(&info(0));
+        obs.on_run_end(&outcome(10));
+        obs.on_run_start(&info(10));
+        obs.on_run_end(&outcome(10)); // carried segment: no new work
+        obs.on_run_start(&info(10));
+        obs.on_run_end(&outcome(16));
+        assert_eq!(obs.total_trials, 16);
+    }
+
+    #[test]
+    fn noop_observer_is_truly_inert() {
+        let mut obs = NoOpObserver;
+        obs.on_run_start(&info(0));
+        obs.on_run_end(&outcome(3));
+    }
+}

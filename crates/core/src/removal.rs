@@ -1,4 +1,8 @@
-//! Algorithm 4: greedy **Edge Removal** with look-ahead.
+//! Algorithm 4: greedy **Edge Removal** with look-ahead — the shared
+//! move-selection machinery, plus the deprecated free-function entry point
+//! (the maintained surface is [`crate::Anonymizer`] running
+//! [`crate::strategy::Removal`]; the greedy loop itself lives in
+//! [`crate::strategy::drive_greedy`]).
 //!
 //! Each step evaluates the removal of every candidate edge, choosing the
 //! move that minimizes `(maxLO, N(maxLO))` lexicographically; exact ties
@@ -31,19 +35,12 @@ use crate::config::{AnonymizeConfig, LookaheadMode};
 use crate::evaluator::OpacityEvaluator;
 use crate::lo::LoAssessment;
 use crate::result::AnonymizationOutcome;
+use crate::strategy::MoveKind;
 use crate::tracker::{BestTracker, TieBreak};
 use crate::types::TypeSpec;
 use lopacity_graph::{Edge, Graph};
 use lopacity_util::{pool, Parallelism};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Which elementary move a combo scan performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum MoveKind {
-    Remove,
-    Insert,
-}
 
 /// Fewest candidates for which [`Parallelism::Auto`] shards the size-1
 /// scan: below this, the per-worker evaluator clone (`O(|V|²)` for the
@@ -297,51 +294,27 @@ pub(crate) fn choose_move(
 
 /// **Algorithm 4**: anonymize `graph` by greedy edge removal until
 /// `maxLO <= θ` (or candidates/steps run out).
+///
+/// Thin compatibility wrapper over the session API; the output is
+/// bit-for-bit identical (asserted in `tests/tests/session_api.rs`), but a
+/// session amortizes the evaluator build across runs and sweeps.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Anonymizer::new(graph, spec).config(*config).run(Removal)` — identical output, \
+            reusable APSP build"
+)]
 pub fn edge_removal(
     graph: &Graph,
     spec: &TypeSpec,
     config: &AnonymizeConfig,
 ) -> AnonymizationOutcome {
-    let mut ev = OpacityEvaluator::with_engine(graph.clone(), spec, config.l, config.engine);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut removed = Vec::new();
-    let mut steps = 0usize;
-    let mut trials = 0u64;
-    let mut achieved = ev.assessment().satisfies(config.theta);
-    while !achieved && ev.graph().num_edges() > 0 {
-        if config.max_steps.is_some_and(|cap| steps >= cap)
-            || config.max_trials.is_some_and(|cap| trials >= cap)
-        {
-            break;
-        }
-        let current = ev.assessment();
-        let candidates = ev.graph().edge_vec();
-        let Some((combo, _)) =
-            choose_move(&mut ev, &candidates, current, config, MoveKind::Remove, &mut rng, &mut trials)
-        else {
-            break;
-        };
-        for e in combo {
-            let _committed = ev.apply_remove(e);
-            removed.push(e);
-        }
-        steps += 1;
-        achieved = ev.assessment().satisfies(config.theta);
-    }
-    let final_a = ev.assessment();
-    AnonymizationOutcome {
-        graph: ev.into_graph(),
-        removed,
-        inserted: Vec::new(),
-        steps,
-        trials,
-        final_lo: final_a.as_f64(),
-        final_n_at_max: final_a.n_at_max(),
-        achieved,
-    }
+    crate::session::Anonymizer::new(graph, spec)
+        .config(*config)
+        .run_once(crate::strategy::Removal)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // pins the wrapper's behavior, not the session's
 mod tests {
     use super::*;
     use crate::opacity::opacity_report;

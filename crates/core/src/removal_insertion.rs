@@ -1,4 +1,5 @@
-//! Algorithm 5: greedy **Edge Removal/Insertion**.
+//! Algorithm 5: greedy **Edge Removal/Insertion** — deprecated
+//! free-function entry point.
 //!
 //! Each iteration performs one removal phase followed by one insertion
 //! phase — the insertion counter-balances the removal, keeping the edge
@@ -12,95 +13,42 @@
 //! Algorithm 4's; under multi-edge moves the phases may transiently differ
 //! in size, so exact edge-count preservation is guaranteed for `la = 1`).
 //!
-//! Both phases route through the same internal move-selection path
-//! (`removal::choose_move`), so the
-//! removal scan over `E \ E_A` and the insertion scan over the non-edges
-//! minus `E_D` — the larger of the two, at `O(|V|²)` candidates — are both
-//! sharded across the scoped-thread pool under
-//! [`crate::config::AnonymizeConfig::parallelism`], with the same
-//! bit-for-bit sequential-equivalence guarantee (see the scan-shard/merge
-//! notes in [`crate::removal`]).
+//! The algorithm itself lives in [`crate::strategy::RemovalInsertion`]
+//! (the two phases as a [`crate::strategy::GreedyPolicy`], with the
+//! `E_D`/`E_A` sets hoisted into strategy state) driven by the single
+//! greedy loop of [`crate::strategy::drive_greedy`]; both phases route
+//! their candidate scans through the same sharded move-selection path as
+//! Algorithm 4 (see the scan-shard/merge notes in [`crate::removal`]),
+//! with the same bit-for-bit sequential-equivalence guarantee under
+//! [`crate::config::AnonymizeConfig::parallelism`].
 
 use crate::config::AnonymizeConfig;
-use crate::evaluator::OpacityEvaluator;
-use crate::removal::{choose_move, MoveKind};
 use crate::result::AnonymizationOutcome;
 use crate::types::TypeSpec;
-use lopacity_graph::{Edge, Graph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::HashSet;
+use lopacity_graph::Graph;
 
 /// **Algorithm 5**: anonymize `graph` by alternating edge removal and edge
 /// insertion until `maxLO <= θ` (or candidates/steps run out).
+///
+/// Thin compatibility wrapper over the session API; the output is
+/// bit-for-bit identical (asserted in `tests/tests/session_api.rs`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Anonymizer::new(graph, spec).config(*config).run(RemovalInsertion::default())` — \
+            identical output, reusable APSP build"
+)]
 pub fn edge_removal_insertion(
     graph: &Graph,
     spec: &TypeSpec,
     config: &AnonymizeConfig,
 ) -> AnonymizationOutcome {
-    let mut ev = OpacityEvaluator::with_engine(graph.clone(), spec, config.l, config.engine);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut removed: Vec<Edge> = Vec::new();
-    let mut inserted: Vec<Edge> = Vec::new();
-    let mut removed_set: HashSet<Edge> = HashSet::new();
-    let mut inserted_set: HashSet<Edge> = HashSet::new();
-    let mut steps = 0usize;
-    let mut trials = 0u64;
-    let mut achieved = ev.assessment().satisfies(config.theta);
-
-    while !achieved && ev.graph().num_edges() > 0 {
-        if config.max_steps.is_some_and(|cap| steps >= cap)
-            || config.max_trials.is_some_and(|cap| trials >= cap)
-        {
-            break;
-        }
-        // --- Removal phase: edges never previously inserted. ---
-        let candidates: Vec<Edge> =
-            ev.graph().edges().filter(|e| !inserted_set.contains(e)).collect();
-        let current = ev.assessment();
-        let Some((combo, _)) =
-            choose_move(&mut ev, &candidates, current, config, MoveKind::Remove, &mut rng, &mut trials)
-        else {
-            break; // nothing removable: the heuristic is stuck
-        };
-        for e in combo {
-            let _committed = ev.apply_remove(e);
-            removed.push(e);
-            removed_set.insert(e);
-        }
-
-        // --- Insertion phase: non-edges never previously removed. ---
-        let candidates: Vec<Edge> =
-            ev.graph().non_edges().filter(|e| !removed_set.contains(e)).collect();
-        let current = ev.assessment();
-        if let Some((combo, _)) =
-            choose_move(&mut ev, &candidates, current, config, MoveKind::Insert, &mut rng, &mut trials)
-        {
-            for e in combo {
-                let _committed = ev.apply_insert(e);
-                inserted.push(e);
-                inserted_set.insert(e);
-            }
-        }
-
-        steps += 1;
-        achieved = ev.assessment().satisfies(config.theta);
-    }
-
-    let final_a = ev.assessment();
-    AnonymizationOutcome {
-        graph: ev.into_graph(),
-        removed,
-        inserted,
-        steps,
-        trials,
-        final_lo: final_a.as_f64(),
-        final_n_at_max: final_a.n_at_max(),
-        achieved,
-    }
+    crate::session::Anonymizer::new(graph, spec)
+        .config(*config)
+        .run_once(crate::strategy::RemovalInsertion::default())
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // pins the wrapper's behavior, not the session's
 mod tests {
     use super::*;
     use crate::opacity::opacity_report_against_original;

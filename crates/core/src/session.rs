@@ -1,0 +1,571 @@
+//! The [`Anonymizer`] session: one evaluator build, many runs.
+//!
+//! The free functions of [`crate::removal`] / [`crate::removal_insertion`]
+//! rebuild the full APSP distance matrix and per-type counters on every
+//! call — pure waste for the paper's experimental protocol (Figures 8–12),
+//! which sweeps θ and L over the *same* graph. A session builds the
+//! [`OpacityEvaluator`] once and amortizes it:
+//!
+//! ```
+//! use lopacity::{Anonymizer, AnonymizeConfig, Removal, TypeSpec};
+//! use lopacity_graph::Graph;
+//!
+//! let g = Graph::from_edges(7, [
+//!     (0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6),
+//! ]).unwrap();
+//! let spec = TypeSpec::DegreePairs;
+//! let mut session = Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5));
+//! let outcome = session.run(Removal);
+//! assert!(outcome.achieved);
+//! // A second run (same L) reuses the cached APSP build.
+//! let again = session.run(Removal);
+//! assert_eq!(outcome.removed, again.removed);
+//! ```
+//!
+//! # Sweeps
+//!
+//! [`Anonymizer::sweep`] drives one strategy across several θ values in
+//! **descending** order. In the default [`SweepMode::Resume`] each θ picks
+//! up from the previous θ's edited graph, evaluator state, RNG, and
+//! strategy bookkeeping. Because the greedy trajectories of
+//! [`crate::strategy::Removal`] and [`crate::strategy::RemovalInsertion`]
+//! do not depend on θ (θ only decides when to *stop*), every resumed
+//! segment's cumulative outcome is **bit-for-bit** what a standalone run at
+//! that θ would produce — at a fraction of the trials (asserted in
+//! `tests/tests/session_api.rs`). [`SweepMode::Independent`] opts out:
+//! every θ restarts from the original graph (still sharing the initial
+//! evaluator build), reproducing N standalone runs exactly.
+//!
+//! The θ-independence caveat: [`crate::strategy::ExactMinRemovals`] *does*
+//! condition its search on θ, so under `Resume` each segment is minimal
+//! only **given** the previous segments' edits; use `Independent` when every
+//! θ must be globally minimal.
+
+use crate::config::AnonymizeConfig;
+use crate::evaluator::OpacityEvaluator;
+use crate::lo::LoAssessment;
+use crate::progress::{NoOpObserver, ProgressObserver, RunInfo, StepEvent};
+use crate::removal::choose_move;
+use crate::result::AnonymizationOutcome;
+use crate::strategy::{MoveKind, Strategy};
+use crate::types::TypeSpec;
+use lopacity_apsp::ApspEngine;
+use lopacity_graph::{Edge, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How [`Anonymizer::sweep`] treats consecutive θ values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// Each θ resumes from the previous θ's edited graph, evaluator, RNG,
+    /// and strategy state. For θ-independent strategies (the greedy
+    /// heuristics) every segment equals a standalone run at its θ,
+    /// bit-for-bit, while trials are paid only once. Default.
+    #[default]
+    Resume,
+    /// Each θ restarts from the original graph with a freshly seeded RNG
+    /// and fresh strategy state — N independent runs that still share the
+    /// session's initial evaluator build (cloned, not recomputed).
+    Independent,
+}
+
+/// One θ cell of an [`Anonymizer::sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The θ this cell was driven toward.
+    pub theta: f64,
+    /// The run outcome as of reaching this θ. Under [`SweepMode::Resume`]
+    /// the counters and edit lists are cumulative from the sweep's start —
+    /// exactly what a standalone run at this θ reports.
+    pub outcome: AnonymizationOutcome,
+    /// Candidate evaluations spent on this θ alone (for `Independent`
+    /// this equals `outcome.trials`).
+    pub new_trials: u64,
+    /// Edge edits committed for this θ alone.
+    pub new_edits: usize,
+    /// Wall-clock seconds spent on this θ alone (segment execution; the
+    /// session's one-time evaluator build is not attributed to any θ).
+    pub secs: f64,
+}
+
+/// Mutable run counters shared by every strategy execution.
+#[derive(Debug, Default)]
+struct RunTotals {
+    steps: usize,
+    trials: u64,
+    removed: Vec<Edge>,
+    inserted: Vec<Edge>,
+}
+
+impl RunTotals {
+    /// Snapshots the counters into an outcome around the given graph.
+    fn outcome(&self, graph: Graph, a: LoAssessment, theta: f64) -> AnonymizationOutcome {
+        AnonymizationOutcome {
+            graph,
+            removed: self.removed.clone(),
+            inserted: self.inserted.clone(),
+            steps: self.steps,
+            trials: self.trials,
+            final_lo: a.as_f64(),
+            final_n_at_max: a.n_at_max(),
+            achieved: a.satisfies(theta),
+        }
+    }
+}
+
+/// Everything a [`Strategy`] may touch while executing: the working
+/// evaluator, the run configuration (with the θ of the current run or
+/// sweep segment), the seeded RNG, the observer, and the shared counters.
+///
+/// The high-level methods ([`RunContext::select`], [`RunContext::commit`],
+/// [`RunContext::step_committed`]) keep the edit lists, trial clock, and
+/// observer stream consistent; strategies that need raw evaluator access
+/// ([`RunContext::evaluator_mut`]) must route every *net* mutation through
+/// [`RunContext::commit`] so the outcome's edit lists stay truthful.
+pub struct RunContext<'s> {
+    ev: &'s mut OpacityEvaluator,
+    config: &'s AnonymizeConfig,
+    rng: &'s mut StdRng,
+    observer: &'s mut dyn ProgressObserver,
+    totals: &'s mut RunTotals,
+}
+
+impl RunContext<'_> {
+    /// The configuration of the current run (θ already set).
+    pub fn config(&self) -> &AnonymizeConfig {
+        self.config
+    }
+
+    /// Read access to the working evaluator.
+    pub fn evaluator(&self) -> &OpacityEvaluator {
+        self.ev
+    }
+
+    /// Raw mutable access to the working evaluator, for strategies that
+    /// search with trial/apply/undo (e.g. the exact solver). Any mutation
+    /// left applied MUST be mirrored through [`RunContext::commit`];
+    /// transient apply/undo pairs need no mirroring.
+    pub fn evaluator_mut(&mut self) -> &mut OpacityEvaluator {
+        self.ev
+    }
+
+    /// `(maxLO, N)` of the working graph.
+    pub fn assessment(&self) -> LoAssessment {
+        self.ev.assessment()
+    }
+
+    /// Whether the working graph already satisfies the run's θ.
+    pub fn achieved(&self) -> bool {
+        self.ev.assessment().satisfies(self.config.theta)
+    }
+
+    /// Whether the step or trial budget is spent (checked by the greedy
+    /// driver at the top of every step, like Algorithms 4/5 do).
+    pub fn out_of_budget(&self) -> bool {
+        self.config.max_steps.is_some_and(|cap| self.totals.steps >= cap)
+            || self.config.max_trials.is_some_and(|cap| self.totals.trials >= cap)
+    }
+
+    /// Committed greedy steps so far (cumulative across resumed segments).
+    pub fn steps(&self) -> usize {
+        self.totals.steps
+    }
+
+    /// Candidate evaluations so far (cumulative across resumed segments).
+    pub fn trials(&self) -> u64 {
+        self.totals.trials
+    }
+
+    /// Adds search work performed outside [`RunContext::select`] (e.g.
+    /// branch-and-bound nodes) to the trial clock.
+    pub fn add_trials(&mut self, n: u64) {
+        self.totals.trials += n;
+    }
+
+    /// Scans `candidates` for the best move of `kind` under the config's
+    /// look-ahead policy and parallelism, advancing the trial clock and the
+    /// run RNG (one tie-break nonce per call on non-empty candidates).
+    /// Returns the chosen combo and its assessment without committing it,
+    /// or `None` when `candidates` is empty.
+    pub fn select(
+        &mut self,
+        kind: MoveKind,
+        candidates: &[Edge],
+    ) -> Option<(Vec<Edge>, LoAssessment)> {
+        let current = self.ev.assessment();
+        choose_move(
+            self.ev,
+            candidates,
+            current,
+            self.config,
+            kind,
+            self.rng,
+            &mut self.totals.trials,
+        )
+    }
+
+    /// Applies a combo permanently and records it in the edit lists.
+    pub fn commit(&mut self, kind: MoveKind, combo: &[Edge]) {
+        for &e in combo {
+            match kind {
+                MoveKind::Remove => {
+                    let _committed = self.ev.apply_remove(e);
+                    self.totals.removed.push(e);
+                }
+                MoveKind::Insert => {
+                    let _committed = self.ev.apply_insert(e);
+                    self.totals.inserted.push(e);
+                }
+            }
+        }
+    }
+
+    /// Counts one completed greedy step and emits the observer event.
+    pub fn step_committed(&mut self) {
+        self.totals.steps += 1;
+        let a = self.ev.assessment();
+        let event = StepEvent {
+            theta: self.config.theta,
+            step: self.totals.steps,
+            max_lo: a.as_f64(),
+            n_at_max: a.n_at_max(),
+            trials: self.totals.trials,
+            edits: self.totals.removed.len() + self.totals.inserted.len(),
+            removed: self.totals.removed.len(),
+            inserted: self.totals.inserted.len(),
+        };
+        self.observer.on_step(&event);
+    }
+}
+
+/// Cached evaluator build, reused while `(l, engine)` stay put.
+struct Prepared {
+    l: u8,
+    engine: ApspEngine,
+    ev: OpacityEvaluator,
+}
+
+/// An anonymization session over one graph and type spec.
+///
+/// Construction is cheap; the expensive [`OpacityEvaluator`] build (full
+/// truncated APSP + per-type counters) happens lazily on the first
+/// [`Anonymizer::run`] / [`Anonymizer::sweep`] and is cached across calls
+/// until [`AnonymizeConfig::l`] or [`AnonymizeConfig::engine`] changes.
+/// See the [module docs](self) for the full tour.
+pub struct Anonymizer<'a> {
+    graph: &'a Graph,
+    spec: &'a TypeSpec,
+    config: AnonymizeConfig,
+    sweep_mode: SweepMode,
+    observer: Option<&'a mut dyn ProgressObserver>,
+    cache: Option<Prepared>,
+}
+
+impl<'a> Anonymizer<'a> {
+    /// Opens a session on `graph` under `spec`. The configuration defaults
+    /// to `AnonymizeConfig::new(1, 0.5)`; set the real one with
+    /// [`Anonymizer::config`].
+    pub fn new(graph: &'a Graph, spec: &'a TypeSpec) -> Self {
+        Anonymizer {
+            graph,
+            spec,
+            config: AnonymizeConfig::new(1, 0.5),
+            sweep_mode: SweepMode::default(),
+            observer: None,
+            cache: None,
+        }
+    }
+
+    /// Sets the run configuration (builder form).
+    pub fn config(mut self, config: AnonymizeConfig) -> Self {
+        self.set_config(config);
+        self
+    }
+
+    /// Sets the run configuration in place. Changing `l` or `engine`
+    /// invalidates the cached evaluator; everything else (θ, seed,
+    /// look-ahead, budgets, parallelism) reuses it.
+    pub fn set_config(&mut self, config: AnonymizeConfig) {
+        self.config = config;
+    }
+
+    /// The current configuration.
+    pub fn current_config(&self) -> &AnonymizeConfig {
+        &self.config
+    }
+
+    /// Attaches a progress observer (builder form). One observer serves
+    /// every subsequent run and sweep of the session.
+    pub fn observer(mut self, observer: &'a mut dyn ProgressObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Sets the sweep mode (builder form); see [`SweepMode`].
+    pub fn sweep_mode(mut self, mode: SweepMode) -> Self {
+        self.set_sweep_mode(mode);
+        self
+    }
+
+    /// Sets the sweep mode in place (never invalidates the cached build).
+    pub fn set_sweep_mode(&mut self, mode: SweepMode) {
+        self.sweep_mode = mode;
+    }
+
+    /// The session's graph (as provided; runs never mutate it).
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The session's type spec.
+    pub fn spec(&self) -> &'a TypeSpec {
+        self.spec
+    }
+
+    /// `(maxLO, N)` of the original graph — the privacy risk a run starts
+    /// from. Builds (and caches) the evaluator if needed.
+    pub fn initial_assessment(&mut self) -> LoAssessment {
+        self.prepared().assessment()
+    }
+
+    /// The cached pristine evaluator, (re)built when `(l, engine)` changed.
+    fn prepared(&mut self) -> &OpacityEvaluator {
+        let (l, engine) = (self.config.l, self.config.engine);
+        let stale = match &self.cache {
+            Some(p) => p.l != l || p.engine != engine,
+            None => true,
+        };
+        if stale {
+            let ev = OpacityEvaluator::with_engine(self.graph.clone(), self.spec, l, engine);
+            self.cache = Some(Prepared { l, engine, ev });
+        }
+        &self.cache.as_ref().expect("cache just ensured").ev
+    }
+
+    /// Runs `strategy` once at the configured θ and returns the outcome.
+    ///
+    /// Each run starts from the *original* graph (a clone of the cached
+    /// evaluator) with a fresh `config.seed`-seeded RNG, so repeated runs
+    /// are reproducible and independent. The clone is an `O(|V|²)` memcpy —
+    /// cheap next to the build it preserves, but pure overhead when the
+    /// session will never run again; one-shot callers should prefer
+    /// [`Anonymizer::run_once`].
+    pub fn run<S: Strategy>(&mut self, strategy: S) -> AnonymizationOutcome {
+        let ev = self.prepared().clone();
+        self.run_on(ev, strategy)
+    }
+
+    /// Like [`Anonymizer::run`], but consumes the session and hands the
+    /// cached evaluator build itself to the strategy — no defensive clone,
+    /// exactly the cost profile of the historical free functions (which
+    /// are thin wrappers over this). Output is identical to `run`.
+    pub fn run_once<S: Strategy>(mut self, strategy: S) -> AnonymizationOutcome {
+        self.prepared();
+        let prepared = self.cache.take().expect("prepared() populates the cache");
+        self.run_on(prepared.ev, strategy)
+    }
+
+    /// Shared tail of `run`/`run_once`: drive `strategy` over `ev`.
+    fn run_on<S: Strategy>(
+        &mut self,
+        mut ev: OpacityEvaluator,
+        mut strategy: S,
+    ) -> AnonymizationOutcome {
+        let config = self.config;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut totals = RunTotals::default();
+        self.execute_segment(&mut ev, &mut rng, &mut totals, &config, &mut strategy);
+        let a = ev.assessment();
+        let outcome = totals.outcome(ev.into_graph(), a, config.theta);
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer.on_run_end(&outcome);
+        }
+        outcome
+    }
+
+    /// Drives `strategy` across `thetas` (sorted descending internally)
+    /// under the session's [`SweepMode`]; returns one [`SweepRun`] per θ in
+    /// descending order. See the [module docs](self) for the exact
+    /// equivalence guarantees of each mode.
+    pub fn sweep<S: Strategy + Clone>(
+        &mut self,
+        thetas: &[f64],
+        strategy: S,
+    ) -> Vec<SweepRun> {
+        let mut order = thetas.to_vec();
+        order.sort_by(|a, b| b.partial_cmp(a).expect("θ values must be comparable"));
+        match self.sweep_mode {
+            SweepMode::Independent => self.sweep_independent(&order, strategy),
+            SweepMode::Resume => self.sweep_resumed(&order, strategy),
+        }
+    }
+
+    fn sweep_independent<S: Strategy + Clone>(
+        &mut self,
+        order: &[f64],
+        strategy: S,
+    ) -> Vec<SweepRun> {
+        let saved_theta = self.config.theta;
+        self.prepared(); // build outside any per-θ clock
+        let runs = order
+            .iter()
+            .map(|&theta| {
+                self.config.theta = theta;
+                let start = std::time::Instant::now();
+                let outcome = self.run(strategy.clone());
+                SweepRun {
+                    theta,
+                    new_trials: outcome.trials,
+                    new_edits: outcome.edits(),
+                    secs: start.elapsed().as_secs_f64(),
+                    outcome,
+                }
+            })
+            .collect();
+        self.config.theta = saved_theta;
+        runs
+    }
+
+    fn sweep_resumed<S: Strategy>(&mut self, order: &[f64], mut strategy: S) -> Vec<SweepRun> {
+        let base = self.config;
+        let mut ev = self.prepared().clone();
+        let mut rng = StdRng::seed_from_u64(base.seed);
+        let mut totals = RunTotals::default();
+        let mut runs = Vec::with_capacity(order.len());
+        for &theta in order {
+            let mut config = base;
+            config.theta = theta;
+            let (trials_before, edits_before) =
+                (totals.trials, totals.removed.len() + totals.inserted.len());
+            let start = std::time::Instant::now();
+            self.execute_segment(&mut ev, &mut rng, &mut totals, &config, &mut strategy);
+            let secs = start.elapsed().as_secs_f64();
+            let a = ev.assessment();
+            let outcome = totals.outcome(ev.graph().clone(), a, theta);
+            if let Some(observer) = self.observer.as_deref_mut() {
+                observer.on_run_end(&outcome);
+            }
+            runs.push(SweepRun {
+                theta,
+                new_trials: totals.trials - trials_before,
+                new_edits: totals.removed.len() + totals.inserted.len() - edits_before,
+                secs,
+                outcome,
+            });
+        }
+        runs
+    }
+
+    /// Announces the segment to the observer and executes the strategy.
+    fn execute_segment<S: Strategy>(
+        &mut self,
+        ev: &mut OpacityEvaluator,
+        rng: &mut StdRng,
+        totals: &mut RunTotals,
+        config: &AnonymizeConfig,
+        strategy: &mut S,
+    ) {
+        let mut noop = NoOpObserver;
+        let observer: &mut dyn ProgressObserver = match self.observer.as_deref_mut() {
+            Some(observer) => observer,
+            None => &mut noop,
+        };
+        let initial = ev.assessment();
+        observer.on_run_start(&RunInfo {
+            strategy: strategy.name(),
+            theta: config.theta,
+            l: config.l,
+            initial_lo: initial.as_f64(),
+            initial_n_at_max: initial.n_at_max(),
+            trials_before: totals.trials,
+            steps_before: totals.steps,
+        });
+        let mut ctx = RunContext { ev, config, rng, observer, totals };
+        strategy.execute(&mut ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{ExactMinRemovals, Removal, RemovalInsertion};
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_matches_known_removal_behaviour() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5).with_seed(1));
+        let out = session.run(Removal);
+        assert!(out.achieved, "{out}");
+        assert!(out.inserted.is_empty());
+    }
+
+    #[test]
+    fn repeated_runs_are_identical_and_share_the_build() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.3).with_seed(11));
+        let a = session.run(Removal);
+        let b = session.run(Removal);
+        assert_eq!(a.removed, b.removed);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn changing_l_rebuilds_the_evaluator() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session = Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5));
+        let lo_l1 = session.initial_assessment().as_f64();
+        session.set_config(AnonymizeConfig::new(2, 0.5));
+        let lo_l2 = session.initial_assessment().as_f64();
+        // L = 2 reaches at least as many pairs per type as L = 1.
+        assert!(lo_l2 >= lo_l1);
+    }
+
+    #[test]
+    fn sweep_orders_thetas_descending() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5).with_seed(3));
+        let runs = session.sweep(&[0.5, 0.9, 0.7], RemovalInsertion::default());
+        let order: Vec<f64> = runs.iter().map(|r| r.theta).collect();
+        assert_eq!(order, vec![0.9, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn resumed_sweep_counters_are_monotone_and_cumulative() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.4).with_seed(5));
+        let runs = session.sweep(&[0.8, 0.6, 0.4], Removal);
+        assert!(runs.windows(2).all(|w| w[0].outcome.trials <= w[1].outcome.trials));
+        assert!(runs.windows(2).all(|w| w[0].outcome.steps <= w[1].outcome.steps));
+        let total_new: u64 = runs.iter().map(|r| r.new_trials).sum();
+        assert_eq!(total_new, runs.last().unwrap().outcome.trials);
+    }
+
+    #[test]
+    fn exact_strategy_runs_in_a_session() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5).with_seed(1));
+        let out = session.run(ExactMinRemovals::default());
+        assert!(out.achieved);
+        assert_eq!(out.steps, out.removed.len());
+        assert!(out.trials > 0, "search nodes must reach the trial clock");
+    }
+}

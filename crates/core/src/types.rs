@@ -343,7 +343,7 @@ mod tests {
         let report = crate::opacity::opacity_report(&g, &spec, 1);
         assert!(report.max_lo.as_f64() > 0.0);
         let config = crate::AnonymizeConfig::new(1, 0.3).with_seed(4);
-        let out = crate::edge_removal(&g, &spec, &config);
+        let out = crate::Anonymizer::new(&g, &spec).config(config).run(crate::Removal);
         assert!(out.achieved);
         // Certify against the same (graph-independent) class spec.
         let after = crate::opacity::opacity_report(&out.graph, &spec, 1);

@@ -3,7 +3,7 @@
 
 use lopacity::opacity::{count_within_l, opacity_report_against_original};
 use lopacity::{
-    edge_removal, edge_removal_insertion, AnonymizeConfig, LoAssessment, OpacityEvaluator,
+    AnonymizeConfig, Anonymizer, LoAssessment, OpacityEvaluator, Removal, RemovalInsertion,
     TypeSpec, TypeSystem,
 };
 use lopacity_apsp::ApspEngine;
@@ -98,7 +98,7 @@ proptest! {
     #[test]
     fn removal_postcondition_holds(g in arb_graph(10), theta in 0.2f64..0.9, l in 1u8..3) {
         let config = AnonymizeConfig::new(l, theta).with_seed(7);
-        let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+        let out = Anonymizer::new(&g, &TypeSpec::DegreePairs).config(config).run(Removal);
         // Edge removal can always reach the empty graph, which satisfies
         // any θ; so it must always achieve.
         prop_assert!(out.achieved);
@@ -119,7 +119,9 @@ proptest! {
     #[test]
     fn removal_insertion_postcondition_holds(g in arb_graph(10), theta in 0.3f64..0.9) {
         let config = AnonymizeConfig::new(1, theta).with_seed(11);
-        let out = edge_removal_insertion(&g, &TypeSpec::DegreePairs, &config);
+        let out = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+            .config(config)
+            .run(RemovalInsertion::default());
         let report = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 1);
         if out.achieved {
             prop_assert!(report.max_lo.satisfies(theta));
@@ -135,8 +137,11 @@ proptest! {
     #[test]
     fn lookahead_never_worsens_the_result(g in arb_graph(9), theta in 0.3f64..0.8) {
         let base = AnonymizeConfig::new(1, theta).with_seed(3);
-        let la1 = edge_removal(&g, &TypeSpec::DegreePairs, &base);
-        let la2 = edge_removal(&g, &TypeSpec::DegreePairs, &base.with_lookahead(2));
+        // One session, two configurations: the second run reuses the build.
+        let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs).config(base);
+        let la1 = session.run(Removal);
+        session.set_config(base.with_lookahead(2));
+        let la2 = session.run(Removal);
         prop_assert!(la1.achieved && la2.achieved);
         // Both must satisfy θ; look-ahead explores at least as much.
         prop_assert!(la2.trials >= la1.trials || la2.edits() <= la1.edits());

@@ -11,7 +11,7 @@
 //! cargo run --release -p lopacity-examples --bin privacy_audit
 //! ```
 
-use lopacity::{edge_removal, AnonymizeConfig, TypeSpec, TypeSystem};
+use lopacity::{AnonymizeConfig, Anonymizer, Removal, TypeSpec, TypeSystem};
 use lopacity_apsp::{ApspEngine, INF};
 use lopacity_gen::Dataset;
 use lopacity_graph::{Graph, VertexId};
@@ -81,7 +81,9 @@ fn main() {
 
     // Anonymize and audit again.
     let theta = 0.5;
-    let outcome = edge_removal(&graph, &TypeSpec::DegreePairs, &AnonymizeConfig::new(l, theta));
+    let outcome = Anonymizer::new(&graph, &TypeSpec::DegreePairs)
+        .config(AnonymizeConfig::new(l, theta))
+        .run(Removal);
     println!("after Edge Removal to θ = {theta}: {outcome}");
     println!(
         "empirical adversary confidence for degrees ({d1}, {d2}) within {l} hops: {:.0}%",

@@ -10,7 +10,7 @@
 //! ```
 
 use lopacity::opacity::{opacity_report, opacity_report_against_original};
-use lopacity::{edge_removal, edge_removal_insertion, AnonymizeConfig, TypeSpec};
+use lopacity::{AnonymizeConfig, Anonymizer, Removal, RemovalInsertion, TypeSpec};
 use lopacity_examples::figure_1_graph;
 
 fn main() {
@@ -29,14 +29,13 @@ fn main() {
         100.0 * before.max_lo.as_f64()
     );
 
-    // Step 2 — anonymize to θ = 1/2 with each heuristic.
-    let config = AnonymizeConfig::new(1, 0.5);
+    // Step 2 — anonymize to θ = 1/2 with each heuristic. One session:
+    // the APSP/evaluator build is shared by both strategies.
+    let spec = TypeSpec::DegreePairs;
+    let mut session = Anonymizer::new(&graph, &spec).config(AnonymizeConfig::new(1, 0.5));
     for (name, outcome) in [
-        ("Edge Removal (Alg. 4)", edge_removal(&graph, &TypeSpec::DegreePairs, &config)),
-        (
-            "Edge Removal/Insertion (Alg. 5)",
-            edge_removal_insertion(&graph, &TypeSpec::DegreePairs, &config),
-        ),
+        ("Edge Removal (Alg. 4)", session.run(Removal)),
+        ("Edge Removal/Insertion (Alg. 5)", session.run(RemovalInsertion::default())),
     ] {
         println!("\n{name}: {outcome}");
         if !outcome.removed.is_empty() {

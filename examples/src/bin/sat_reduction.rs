@@ -9,7 +9,7 @@
 //! cargo run --release -p lopacity-examples --bin sat_reduction
 //! ```
 
-use lopacity::{edge_removal, AnonymizeConfig};
+use lopacity::{AnonymizeConfig, Anonymizer, Removal};
 use lopacity_sat::{
     brute_force_sat, decode_assignment, Cnf3, Reduction, REDUCTION_L, REDUCTION_THETA,
 };
@@ -27,7 +27,8 @@ fn main() {
     );
 
     let config = AnonymizeConfig::new(REDUCTION_L, REDUCTION_THETA).with_seed(1);
-    let outcome = edge_removal(&reduction.graph, &reduction.spec, &config);
+    let outcome =
+        Anonymizer::new(&reduction.graph, &reduction.spec).config(config).run(Removal);
     println!(
         "\ngreedy L-opacification: {} removals, achieved = {}",
         outcome.removed.len(),

@@ -12,7 +12,7 @@
 //! ```
 
 use lopacity::opacity::opacity_report_against_original;
-use lopacity::{edge_removal, edge_removal_insertion, AnonymizeConfig, TypeSpec};
+use lopacity::{AnonymizeConfig, Anonymizer, Removal, RemovalInsertion, TypeSpec};
 use lopacity_gen::Dataset;
 use lopacity_metrics::{GraphStats, UtilityReport};
 
@@ -25,8 +25,10 @@ fn main() {
     println!("privacy goal: no ≥{:.0}% confidence in any ≤{l}-hop linkage\n", theta * 100.0);
 
     let config = AnonymizeConfig::new(l, theta).with_seed(7);
-    let removal = edge_removal(&graph, &TypeSpec::DegreePairs, &config);
-    let rem_ins = edge_removal_insertion(&graph, &TypeSpec::DegreePairs, &config);
+    let spec = TypeSpec::DegreePairs;
+    let mut session = Anonymizer::new(&graph, &spec).config(config);
+    let removal = session.run(Removal);
+    let rem_ins = session.run(RemovalInsertion::default());
 
     for (name, outcome) in [("Edge Removal", &removal), ("Edge Removal/Insertion", &rem_ins)] {
         println!("== {name} ==");

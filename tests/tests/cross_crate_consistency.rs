@@ -82,13 +82,15 @@ fn counting_pipeline_is_engine_independent() {
 fn dataset_generators_feed_the_full_pipeline() {
     // Every dataset generator's output must survive the whole stack:
     // stats, opacity, anonymization at a loose θ.
-    use lopacity::{edge_removal, AnonymizeConfig};
+    use lopacity::{AnonymizeConfig, Anonymizer, Removal};
     for d in Dataset::ALL {
         let g = d.generate(40, 3);
         g.check_invariants().unwrap();
         let _ = GraphStats::compute(&g);
         let report = lopacity::opacity_report(&g, &TypeSpec::DegreePairs, 2);
-        let out = edge_removal(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(2, 0.9));
+        let out = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+            .config(AnonymizeConfig::new(2, 0.9))
+            .run(Removal);
         assert!(out.achieved, "dataset {d} at θ=0.9: {out}");
         let _ = report;
     }

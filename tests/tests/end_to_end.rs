@@ -2,8 +2,18 @@
 
 use lopacity::opacity::opacity_report_against_original;
 use lopacity::{
-    edge_removal, edge_removal_insertion, AnonymizeConfig, LookaheadMode, TypeSpec,
+    AnonymizeConfig, Anonymizer, LookaheadMode, Removal, RemovalInsertion, TypeSpec,
 };
+
+/// Shorthand: one-shot Edge Removal through the session API.
+fn rem(g: &lopacity_graph::Graph, config: AnonymizeConfig) -> lopacity::AnonymizationOutcome {
+    Anonymizer::new(g, &TypeSpec::DegreePairs).config(config).run(Removal)
+}
+
+/// Shorthand: one-shot Edge Removal/Insertion through the session API.
+fn rem_ins(g: &lopacity_graph::Graph, config: AnonymizeConfig) -> lopacity::AnonymizationOutcome {
+    Anonymizer::new(g, &TypeSpec::DegreePairs).config(config).run(RemovalInsertion::default())
+}
 use lopacity_baselines::{gaded_max, gaded_rand, gades};
 use lopacity_integration::{figure_1_graph, gnutella, google};
 use lopacity_metrics::{distortion, UtilityReport};
@@ -13,7 +23,7 @@ fn generate_anonymize_certify_gnutella_l1() {
     let g = gnutella(80);
     for theta in [0.6, 0.4, 0.2] {
         let config = AnonymizeConfig::new(1, theta).with_seed(1);
-        let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+        let out = rem(&g, config);
         assert!(out.achieved, "θ={theta}: {out}");
         let cert = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 1);
         assert!(cert.max_lo.satisfies(theta), "θ={theta}: certified {}", cert.max_lo);
@@ -27,7 +37,7 @@ fn generate_anonymize_certify_gnutella_l1() {
 fn generate_anonymize_certify_google_l2() {
     let g = google(70);
     let config = AnonymizeConfig::new(2, 0.6).with_seed(3);
-    let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+    let out = rem(&g, config);
     assert!(out.achieved, "{out}");
     let cert = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 2);
     assert!(cert.max_lo.satisfies(0.6));
@@ -42,7 +52,7 @@ fn stricter_theta_costs_at_least_as_much() {
     let mut last_edits = 0usize;
     for theta in [0.8, 0.6, 0.4, 0.2] {
         let config = AnonymizeConfig::new(1, theta).with_seed(5);
-        let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+        let out = rem(&g, config);
         assert!(out.achieved);
         assert!(
             out.edits() >= last_edits,
@@ -57,7 +67,7 @@ fn stricter_theta_costs_at_least_as_much() {
 fn removal_insertion_preserves_edge_count_when_it_succeeds() {
     let g = gnutella(80);
     let config = AnonymizeConfig::new(1, 0.6).with_seed(7);
-    let out = edge_removal_insertion(&g, &TypeSpec::DegreePairs, &config);
+    let out = rem_ins(&g, config);
     if out.achieved && out.removed.len() == out.inserted.len() {
         assert_eq!(out.graph.num_edges(), g.num_edges());
     }
@@ -68,8 +78,8 @@ fn all_methods_agree_on_the_certificate_semantics() {
     let g = gnutella(60);
     let theta = 0.5;
     let outcomes = vec![
-        edge_removal(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(1, theta)),
-        edge_removal_insertion(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(1, theta)),
+        rem(&g, AnonymizeConfig::new(1, theta)),
+        rem_ins(&g, AnonymizeConfig::new(1, theta)),
         gaded_rand(&g, theta, 1),
         gaded_max(&g, theta),
         gades(&g, theta),
@@ -91,7 +101,7 @@ fn lookahead_modes_both_reach_theta() {
     let g = figure_1_graph();
     for mode in [LookaheadMode::Escalating, LookaheadMode::Exhaustive] {
         let config = AnonymizeConfig::new(1, 0.4).with_lookahead(2).with_mode(mode).with_seed(2);
-        let out = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+        let out = rem(&g, config);
         assert!(out.achieved, "mode {mode:?}");
         let cert = opacity_report_against_original(&g, &out.graph, &TypeSpec::DegreePairs, 1);
         assert!(cert.max_lo.satisfies(0.4));
@@ -101,7 +111,7 @@ fn lookahead_modes_both_reach_theta() {
 #[test]
 fn utility_report_tracks_every_edit() {
     let g = google(60);
-    let out = edge_removal(&g, &TypeSpec::DegreePairs, &AnonymizeConfig::new(1, 0.5));
+    let out = rem(&g, AnonymizeConfig::new(1, 0.5));
     let report = UtilityReport::compute(&g, &out.graph);
     assert_eq!(report.edges_removed, out.removed.len());
     assert_eq!(report.edges_inserted, out.inserted.len());

@@ -1,0 +1,197 @@
+//! `ProgressObserver` contract:
+//!
+//! * exactly one `StepEvent` per committed step — event count equals
+//!   `outcome.steps` for every strategy (greedy and exact);
+//! * the final event's `maxLO`/`N` match `outcome.final_lo` /
+//!   `outcome.final_n_at_max`, and its counters match the outcome's;
+//! * observers incur **zero behavior change**: the same outcome with and
+//!   without one attached;
+//! * per-event counters are monotone and internally consistent.
+
+use lopacity::{
+    AnonymizationOutcome, AnonymizeConfig, Anonymizer, CountingObserver, ExactMinRemovals,
+    ProgressObserver, Removal, RemovalInsertion, RunInfo, StepEvent, TypeSpec,
+};
+use lopacity_gen::er::gnm;
+use lopacity_gen::Dataset;
+use lopacity_graph::Graph;
+use proptest::prelude::*;
+
+/// Records the full event stream for offline assertions.
+#[derive(Default)]
+struct Recorder {
+    starts: Vec<(String, f64, u64)>,
+    events: Vec<StepEvent>,
+    finishes: usize,
+}
+
+impl ProgressObserver for Recorder {
+    fn on_run_start(&mut self, info: &RunInfo<'_>) {
+        self.starts.push((info.strategy.to_string(), info.theta, info.trials_before));
+    }
+
+    fn on_step(&mut self, event: &StepEvent) {
+        self.events.push(*event);
+    }
+
+    fn on_run_end(&mut self, _outcome: &AnonymizationOutcome) {
+        self.finishes += 1;
+    }
+}
+
+fn check_stream(recorder: &Recorder, outcome: &AnonymizationOutcome) {
+    // One event per committed step.
+    assert_eq!(recorder.events.len(), outcome.steps, "event count != steps");
+    assert_eq!(recorder.finishes, 1);
+    // Step indices are 1..=steps; counters are monotone.
+    for (i, event) in recorder.events.iter().enumerate() {
+        assert_eq!(event.step, i + 1, "step index gap");
+        assert_eq!(event.edits, event.removed + event.inserted);
+    }
+    for pair in recorder.events.windows(2) {
+        assert!(pair[1].trials >= pair[0].trials, "trial clock went backwards");
+        assert!(pair[1].edits >= pair[0].edits, "edit count went backwards");
+    }
+    // The final event agrees with the outcome.
+    if let Some(last) = recorder.events.last() {
+        assert_eq!(last.max_lo, outcome.final_lo, "final event maxLO != outcome.final_lo");
+        assert_eq!(last.n_at_max, outcome.final_n_at_max);
+        assert_eq!(last.removed, outcome.removed.len());
+        assert_eq!(last.inserted, outcome.inserted.len());
+        assert_eq!(last.edits, outcome.edits());
+        // The greedy loop may stop right at the last event (or discover
+        // exhaustion afterwards without further trials for Removal); the
+        // trial clock never exceeds the outcome's.
+        assert!(last.trials <= outcome.trials);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Event accounting holds for both greedy strategies on random graphs,
+    /// and observers never change the outcome.
+    #[test]
+    fn observer_accounting_and_transparency(
+        n in 8usize..22,
+        theta in 0.2f64..0.7,
+        seed in 0u64..1 << 48,
+        which in 0usize..2,
+    ) {
+        let g = gnm(n, n + 5, seed);
+        let config = AnonymizeConfig::new(1, theta).with_seed(seed);
+
+        // Bare run (no observer).
+        let mut bare = Anonymizer::new(&g, &TypeSpec::DegreePairs).config(config);
+        let bare_outcome = match which {
+            0 => bare.run(Removal),
+            _ => bare.run(RemovalInsertion::default()),
+        };
+
+        // Observed run.
+        let mut recorder = Recorder::default();
+        let mut observed = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+            .config(config)
+            .observer(&mut recorder);
+        let observed_outcome = match which {
+            0 => observed.run(Removal),
+            _ => observed.run(RemovalInsertion::default()),
+        };
+        drop(observed);
+
+        // Zero behavior change.
+        prop_assert_eq!(&bare_outcome.graph, &observed_outcome.graph);
+        prop_assert_eq!(&bare_outcome.removed, &observed_outcome.removed);
+        prop_assert_eq!(&bare_outcome.inserted, &observed_outcome.inserted);
+        prop_assert_eq!(bare_outcome.trials, observed_outcome.trials);
+        prop_assert_eq!(bare_outcome.steps, observed_outcome.steps);
+
+        check_stream(&recorder, &observed_outcome);
+    }
+}
+
+/// The exact strategy also honors the event contract: one event per
+/// removal of the optimal set.
+#[test]
+fn exact_strategy_emits_one_event_per_removal() {
+    let g = Graph::from_edges(
+        7,
+        [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+    )
+    .unwrap();
+    let mut recorder = Recorder::default();
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+        .config(AnonymizeConfig::new(1, 0.5).with_seed(1))
+        .observer(&mut recorder);
+    let outcome = session.run(ExactMinRemovals::default());
+    drop(session);
+    assert!(outcome.achieved);
+    assert!(outcome.steps > 0);
+    check_stream(&recorder, &outcome);
+    // Exact runs charge their search nodes to the trial clock.
+    assert!(outcome.trials >= outcome.steps as u64);
+}
+
+/// A run that needs no work emits no step events but still brackets the
+/// run with start/end callbacks.
+#[test]
+fn trivial_run_emits_no_steps() {
+    let g = gnm(10, 12, 5);
+    let mut recorder = Recorder::default();
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+        .config(AnonymizeConfig::new(1, 1.0))
+        .observer(&mut recorder);
+    let outcome = session.run(Removal);
+    drop(session);
+    assert!(outcome.achieved);
+    assert_eq!(outcome.steps, 0);
+    assert!(recorder.events.is_empty());
+    assert_eq!(recorder.starts.len(), 1);
+    assert_eq!(recorder.finishes, 1);
+}
+
+/// Sweeps emit one start/end bracket per θ segment; step events continue
+/// across resumed segments, and the strategy name is carried through.
+#[test]
+fn sweep_brackets_each_theta_segment() {
+    let g = Dataset::Gnutella.generate(120, 4); // starts at maxLO = 1.0
+    let thetas = [0.8, 0.6, 0.5];
+    let mut recorder = Recorder::default();
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+        .config(AnonymizeConfig::new(1, 0.5).with_seed(2))
+        .observer(&mut recorder);
+    let runs = session.sweep(&thetas, RemovalInsertion::default());
+    drop(session);
+    assert_eq!(recorder.starts.len(), thetas.len());
+    assert_eq!(recorder.finishes, thetas.len());
+    for ((name, theta, _), &expected) in recorder.starts.iter().zip(&thetas) {
+        assert_eq!(name, "removal-insertion");
+        assert_eq!(*theta, expected);
+    }
+    // Cumulative step events equal the final segment's step counter.
+    assert_eq!(recorder.events.len(), runs.last().unwrap().outcome.steps);
+    // Step indices never reset across resumed segments.
+    for (i, event) in recorder.events.iter().enumerate() {
+        assert_eq!(event.step, i + 1);
+    }
+}
+
+/// `CountingObserver` is reusable across whole sessions and sums per-run
+/// work without double counting resumed segments.
+#[test]
+fn counting_observer_tracks_multiple_runs() {
+    let g = gnm(14, 20, 8);
+    let config = AnonymizeConfig::new(1, 0.4).with_seed(8);
+    let mut counter = CountingObserver::default();
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+        .config(config)
+        .observer(&mut counter);
+    let a = session.run(Removal);
+    let b = session.run(Removal);
+    drop(session);
+    assert_eq!(counter.runs_started, 2);
+    assert_eq!(counter.runs_finished, 2);
+    assert_eq!(counter.events, a.steps + b.steps);
+    assert_eq!(counter.total_trials, a.trials + b.trials);
+    assert_eq!(counter.last_event.unwrap().max_lo, b.final_lo);
+}

@@ -58,12 +58,12 @@ fn greedy_opacification_solves_satisfiable_instances() {
     // Not guaranteed by theory (the greedy is a heuristic), but on these
     // friendly instances it reliably finds N-removal solutions — the
     // executable counterpart of the reduction.
-    use lopacity::{edge_removal, AnonymizeConfig};
+    use lopacity::{AnonymizeConfig, Anonymizer, Removal};
     use lopacity_sat::{REDUCTION_L, REDUCTION_THETA};
     let cnf = Cnf3::paper_example();
     let reduction = Reduction::build(&cnf);
     let config = AnonymizeConfig::new(REDUCTION_L, REDUCTION_THETA).with_seed(5);
-    let out = edge_removal(&reduction.graph, &reduction.spec, &config);
+    let out = Anonymizer::new(&reduction.graph, &reduction.spec).config(config).run(Removal);
     assert!(out.achieved);
     let assignment = decode_assignment(&reduction, &out.removed)
         .expect("greedy should only remove variable edges here");
