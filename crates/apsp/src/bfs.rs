@@ -9,6 +9,7 @@
 use crate::dist::{DistanceMatrix, INF};
 use crate::MAX_L;
 use lopacity_graph::{Graph, VertexId};
+use lopacity_util::pool;
 
 /// Reusable scratch for depth-truncated single-source BFS.
 ///
@@ -85,15 +86,62 @@ impl TruncatedBfs {
 
 /// Full truncated APSP: one bounded BFS per source.
 pub fn truncated_bfs_apsp(graph: &Graph, l: u8) -> DistanceMatrix {
+    truncated_bfs_apsp_sharded(graph, l, 1)
+}
+
+/// Like [`truncated_bfs_apsp`], sharding the sources across up to
+/// `workers` scoped threads — each source's BFS is independent, so the
+/// build is embarrassingly parallel. Source `src` owns exactly triangle
+/// row `src` (the pairs `(src, v)` with `v > src`), and sources shard
+/// contiguously, so each worker's output is one contiguous flat-index
+/// range of the triangle: the worker fills a private one-byte-per-pair
+/// row buffer (transient memory: `num_pairs` bytes total across all
+/// workers) that the caller then stitches into the matrix. Every pair is
+/// written by exactly one worker, so the result is identical to the
+/// sequential build for every worker count.
+///
+/// `workers <= 1` (or a graph too small to shard) runs the classic
+/// sequential loop with zero overhead.
+pub fn truncated_bfs_apsp_sharded(graph: &Graph, l: u8, workers: usize) -> DistanceMatrix {
     let n = graph.num_vertices();
-    let mut out = DistanceMatrix::new(n);
-    let mut bfs = TruncatedBfs::new(n);
-    for src in 0..n as VertexId {
-        bfs.run(graph, src, l);
-        for &v in bfs.reached() {
-            // Record each pair once, from its smaller endpoint.
-            if v > src {
-                out.set(src, v, bfs.dist(v));
+    let mut out = DistanceMatrix::new(n, l);
+    if workers <= 1 || n < 2 {
+        let mut bfs = TruncatedBfs::new(n);
+        for src in 0..n as VertexId {
+            bfs.run(graph, src, l);
+            for &v in bfs.reached() {
+                // Record each pair once, from its smaller endpoint.
+                if v > src {
+                    out.set(src, v, bfs.dist(v));
+                }
+            }
+        }
+        return out;
+    }
+    // Flat index of the first cell of triangle row `src` (see
+    // `DistanceMatrix::index`): rows 0..src occupy (n-1) + … + (n-src).
+    let row_start = |src: usize| src * (2 * n - src - 1) / 2;
+    let sources: Vec<VertexId> = (0..n as VertexId).collect();
+    let shards = pool::run_sharded(&sources, workers, |offset, shard| {
+        let start = row_start(offset);
+        let end = row_start(offset + shard.len());
+        let mut rows = vec![INF; end - start];
+        let mut bfs = TruncatedBfs::new(n);
+        for &src in shard {
+            bfs.run(graph, src, l);
+            let row = row_start(src as usize) - start;
+            for &v in bfs.reached() {
+                if v > src {
+                    rows[row + (v - src - 1) as usize] = bfs.dist(v);
+                }
+            }
+        }
+        (start, rows)
+    });
+    for (start, rows) in shards {
+        for (k, d) in rows.into_iter().enumerate() {
+            if d != INF {
+                out.set_flat(start + k, d);
             }
         }
     }

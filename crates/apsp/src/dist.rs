@@ -1,28 +1,70 @@
-//! Triangular truncated distance matrix.
+//! Triangular truncated distance matrix, nibble-packed when L allows.
 
 use lopacity_graph::VertexId;
 
 /// "Distance greater than L / unreachable" marker in a [`DistanceMatrix`].
 pub const INF: u8 = u8::MAX;
 
+/// Largest `L` the nibble-packed representation can store exactly.
+///
+/// A nibble holds 0..=15; 15 is reserved as the packed [`INF`], leaving
+/// exact distances 0..=14. Every `L` the paper (and small-world reality)
+/// cares about is far below this — the byte fallback exists for API
+/// completeness, not practice.
+pub const NIBBLE_MAX_L: u8 = 14;
+
+/// Packed encoding of [`INF`] (all nibble bits set).
+const NIBBLE_INF: u8 = 0xF;
+
 /// A symmetric matrix of truncated geodesic distances, stored as the strict
 /// upper triangle in row-major order (`(i, j)` with `i < j`).
 ///
 /// Entry semantics: `d <= L` is stored exactly; anything longer (including
 /// unreachable) is [`INF`]. This is the "distance matrix for path lengths
-/// <= L" of the paper's Algorithms 2 and 3, packed into one byte per pair —
-/// 50 MB for a 10,000-vertex graph, which is what makes the paper's largest
-/// (ACM) experiment feasible in memory.
-#[derive(Clone, PartialEq, Eq)]
+/// <= L" of the paper's Algorithms 2 and 3. Because exact entries never
+/// exceed `L` — in practice a single digit — `L <= NIBBLE_MAX_L` packs
+/// **two pairs per byte** (25 MB for a 10,000-vertex graph instead of the
+/// 50 MB one-byte-per-pair layout), which halves both the resident
+/// footprint of the paper's largest (ACM) experiment and the memcpy
+/// traffic of every evaluator fork. `L > NIBBLE_MAX_L` falls back to one
+/// byte per pair; the choice is made once at construction and is invisible
+/// through the accessor API.
+///
+/// Equality ([`PartialEq`]) compares *logical* distances, so a packed and
+/// a byte matrix holding the same truncated distances are equal.
+#[derive(Clone)]
 pub struct DistanceMatrix {
     n: usize,
+    /// Number of logical pairs, `n (n - 1) / 2`.
+    pairs: usize,
+    /// Two pairs per storage byte when set (low nibble = even flat index).
+    packed: bool,
     data: Vec<u8>,
 }
 
 impl DistanceMatrix {
-    /// A matrix for `n` vertices with every pair initialized to [`INF`].
-    pub fn new(n: usize) -> Self {
-        DistanceMatrix { n, data: vec![INF; n * n.saturating_sub(1) / 2] }
+    /// A matrix for `n` vertices with every pair initialized to [`INF`],
+    /// using the densest storage that can represent distances up to `l`
+    /// (nibble-packed for `l <= NIBBLE_MAX_L`, one byte per pair beyond).
+    pub fn new(n: usize, l: u8) -> Self {
+        if l <= NIBBLE_MAX_L {
+            Self::new_packed(n)
+        } else {
+            Self::new_byte(n)
+        }
+    }
+
+    /// A nibble-packed all-[`INF`] matrix (distances up to
+    /// [`NIBBLE_MAX_L`]).
+    pub fn new_packed(n: usize) -> Self {
+        let pairs = n * n.saturating_sub(1) / 2;
+        DistanceMatrix { n, pairs, packed: true, data: vec![0xFF; pairs.div_ceil(2)] }
+    }
+
+    /// A byte-per-pair all-[`INF`] matrix (distances up to 254).
+    pub fn new_byte(n: usize) -> Self {
+        let pairs = n * n.saturating_sub(1) / 2;
+        DistanceMatrix { n, pairs, packed: false, data: vec![INF; pairs] }
     }
 
     /// Number of vertices.
@@ -34,6 +76,19 @@ impl DistanceMatrix {
     /// Number of stored (unordered) pairs: `n (n - 1) / 2`.
     #[inline]
     pub fn num_pairs(&self) -> usize {
+        self.pairs
+    }
+
+    /// Whether two pairs share each storage byte.
+    #[inline]
+    pub fn is_packed(&self) -> bool {
+        self.packed
+    }
+
+    /// Bytes of backing storage (the matrix's memory footprint modulo the
+    /// three header words).
+    #[inline]
+    pub fn storage_bytes(&self) -> usize {
         self.data.len()
     }
 
@@ -56,39 +111,68 @@ impl DistanceMatrix {
         if i == j {
             return 0;
         }
-        self.data[self.index(i, j)]
+        self.get_flat(self.index(i, j))
     }
 
     /// Sets the truncated distance for a pair.
     #[inline]
     pub fn set(&mut self, i: VertexId, j: VertexId, d: u8) {
         let idx = self.index(i, j);
-        self.data[idx] = d;
+        self.set_flat(idx, d);
     }
 
-    /// Raw triangle access by flat index.
+    /// Raw triangle access by flat *pair* index (packing-independent).
     #[inline]
     pub fn get_flat(&self, idx: usize) -> u8 {
-        self.data[idx]
+        if self.packed {
+            debug_assert!(idx < self.pairs);
+            let nib = (self.data[idx >> 1] >> ((idx & 1) << 2)) & 0xF;
+            if nib == NIBBLE_INF {
+                INF
+            } else {
+                nib
+            }
+        } else {
+            self.data[idx]
+        }
     }
 
-    /// Raw triangle mutation by flat index.
+    /// Raw triangle mutation by flat *pair* index (packing-independent).
+    ///
+    /// # Panics
+    /// A packed matrix accepts exact distances up to [`NIBBLE_MAX_L`] plus
+    /// [`INF`]; anything else panics (a hard assert even in release — the
+    /// engines never store past `L` by construction, but this is a public
+    /// API and silent nibble truncation would corrupt distances, e.g. 31
+    /// would read back as [`INF`] and 20 as 4).
     #[inline]
     pub fn set_flat(&mut self, idx: usize, d: u8) {
-        self.data[idx] = d;
+        if self.packed {
+            debug_assert!(idx < self.pairs);
+            assert!(
+                d == INF || d <= NIBBLE_MAX_L,
+                "distance {d} does not fit the nibble packing"
+            );
+            let nib = if d == INF { NIBBLE_INF } else { d };
+            let shift = (idx & 1) << 2;
+            let slot = &mut self.data[idx >> 1];
+            *slot = (*slot & !(0xF << shift)) | (nib << shift);
+        } else {
+            self.data[idx] = d;
+        }
     }
 
     /// Iterates `(i, j, d)` over all stored pairs in row-major order.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (VertexId, VertexId, u8)> + '_ {
         let n = self.n;
         (0..n).flat_map(move |i| ((i + 1)..n).map(move |j| (i as VertexId, j as VertexId)))
-            .zip(self.data.iter().copied())
-            .map(|((i, j), d)| (i, j, d))
+            .enumerate()
+            .map(|(idx, (i, j))| (i, j, self.get_flat(idx)))
     }
 
     /// Recovers the pair `(i, j)` (with `i < j`) for a flat index.
     pub fn pair_of(&self, mut idx: usize) -> (VertexId, VertexId) {
-        debug_assert!(idx < self.data.len());
+        debug_assert!(idx < self.pairs);
         let mut i = 0usize;
         let mut row_len = self.n - 1;
         while idx >= row_len {
@@ -102,13 +186,34 @@ impl DistanceMatrix {
     /// Counts pairs with distance `<= l` (i.e., finite truncated entries no
     /// larger than `l`).
     pub fn count_within(&self, l: u8) -> usize {
-        self.data.iter().filter(|&&d| d <= l).count()
+        (0..self.pairs).filter(|&idx| self.get_flat(idx) <= l).count()
     }
 }
 
+impl PartialEq for DistanceMatrix {
+    /// Logical equality: same vertex count and same truncated distance for
+    /// every pair, regardless of packing.
+    fn eq(&self, other: &Self) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        if self.packed == other.packed {
+            return self.data == other.data;
+        }
+        (0..self.pairs).all(|idx| self.get_flat(idx) == other.get_flat(idx))
+    }
+}
+
+impl Eq for DistanceMatrix {}
+
 impl std::fmt::Debug for DistanceMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "DistanceMatrix(n={})", self.n)?;
+        writeln!(
+            f,
+            "DistanceMatrix(n={}, {})",
+            self.n,
+            if self.packed { "packed" } else { "byte" }
+        )?;
         for i in 0..self.n as VertexId {
             for j in (i + 1)..self.n as VertexId {
                 let d = self.get(i, j);
@@ -128,61 +233,154 @@ impl std::fmt::Debug for DistanceMatrix {
 mod tests {
     use super::*;
 
+    /// Both storage layouts, for layout-parametric tests.
+    fn both(n: usize) -> [DistanceMatrix; 2] {
+        [DistanceMatrix::new_packed(n), DistanceMatrix::new_byte(n)]
+    }
+
+    #[test]
+    fn l_selects_the_storage() {
+        assert!(DistanceMatrix::new(10, 1).is_packed());
+        assert!(DistanceMatrix::new(10, NIBBLE_MAX_L).is_packed());
+        assert!(!DistanceMatrix::new(10, NIBBLE_MAX_L + 1).is_packed());
+        assert!(!DistanceMatrix::new(10, 254).is_packed());
+    }
+
+    #[test]
+    fn packed_storage_is_half_the_bytes() {
+        let packed = DistanceMatrix::new_packed(100);
+        let byte = DistanceMatrix::new_byte(100);
+        assert_eq!(byte.storage_bytes(), 100 * 99 / 2);
+        assert_eq!(packed.storage_bytes(), (100 * 99 / 2usize).div_ceil(2));
+        assert!(packed.storage_bytes() * 2 <= byte.storage_bytes() + 1);
+    }
+
     #[test]
     fn index_is_bijective_for_small_n() {
         for n in 0..12usize {
-            let m = DistanceMatrix::new(n);
-            let mut seen = vec![false; m.num_pairs()];
-            for i in 0..n as VertexId {
-                for j in (i + 1)..n as VertexId {
-                    let idx = m.index(i, j);
-                    assert!(!seen[idx], "index collision at ({i}, {j})");
-                    seen[idx] = true;
-                    assert_eq!(m.pair_of(idx), (i, j));
+            for m in both(n) {
+                let mut seen = vec![false; m.num_pairs()];
+                for i in 0..n as VertexId {
+                    for j in (i + 1)..n as VertexId {
+                        let idx = m.index(i, j);
+                        assert!(!seen[idx], "index collision at ({i}, {j})");
+                        seen[idx] = true;
+                        assert_eq!(m.pair_of(idx), (i, j));
+                    }
                 }
+                assert!(seen.iter().all(|&s| s));
             }
-            assert!(seen.iter().all(|&s| s));
         }
     }
 
     #[test]
     fn get_set_is_order_insensitive() {
-        let mut m = DistanceMatrix::new(5);
-        m.set(3, 1, 2);
-        assert_eq!(m.get(1, 3), 2);
-        assert_eq!(m.get(3, 1), 2);
-        assert_eq!(m.get(2, 2), 0);
-        assert_eq!(m.get(0, 4), INF);
+        for mut m in both(5) {
+            m.set(3, 1, 2);
+            assert_eq!(m.get(1, 3), 2);
+            assert_eq!(m.get(3, 1), 2);
+            assert_eq!(m.get(2, 2), 0);
+            assert_eq!(m.get(0, 4), INF);
+        }
+    }
+
+    #[test]
+    fn packed_neighbors_do_not_bleed() {
+        // Writing one pair must never disturb the pair sharing its byte.
+        let mut m = DistanceMatrix::new_packed(8);
+        for idx in 0..m.num_pairs() {
+            m.set_flat(idx, (idx % 15) as u8);
+        }
+        for idx in 0..m.num_pairs() {
+            assert_eq!(m.get_flat(idx), (idx % 15) as u8, "flat index {idx}");
+        }
+        // Overwrite every even index; odd indices must keep their value.
+        for idx in (0..m.num_pairs()).step_by(2) {
+            m.set_flat(idx, INF);
+        }
+        for idx in 0..m.num_pairs() {
+            if idx % 2 == 0 {
+                assert_eq!(m.get_flat(idx), INF);
+            } else {
+                assert_eq!(m.get_flat(idx), (idx % 15) as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_round_trips_every_legal_value() {
+        let mut m = DistanceMatrix::new_packed(3);
+        for d in (0..=NIBBLE_MAX_L).chain([INF]) {
+            m.set(0, 1, d);
+            assert_eq!(m.get(0, 1), d, "value {d}");
+        }
+    }
+
+    #[test]
+    fn cross_layout_equality_is_logical() {
+        let mut packed = DistanceMatrix::new_packed(6);
+        let mut byte = DistanceMatrix::new_byte(6);
+        assert_eq!(packed, byte, "all-INF matrices are equal across layouts");
+        packed.set(0, 3, 2);
+        assert_ne!(packed, byte);
+        byte.set(0, 3, 2);
+        assert_eq!(packed, byte);
+        assert_eq!(byte, packed, "equality is symmetric");
+        assert_ne!(packed, DistanceMatrix::new_packed(7), "different n never equal");
     }
 
     #[test]
     fn count_within_ignores_inf() {
-        let mut m = DistanceMatrix::new(4);
-        m.set(0, 1, 1);
-        m.set(0, 2, 2);
-        m.set(1, 2, 3);
-        assert_eq!(m.count_within(1), 1);
-        assert_eq!(m.count_within(2), 2);
-        assert_eq!(m.count_within(3), 3);
-        assert_eq!(m.count_within(254), 3);
+        for mut m in both(4) {
+            m.set(0, 1, 1);
+            m.set(0, 2, 2);
+            m.set(1, 2, 3);
+            assert_eq!(m.count_within(1), 1);
+            assert_eq!(m.count_within(2), 2);
+            assert_eq!(m.count_within(3), 3);
+            assert_eq!(m.count_within(254), 3);
+        }
     }
 
     #[test]
     fn iter_pairs_matches_get() {
-        let mut m = DistanceMatrix::new(4);
-        m.set(1, 2, 7);
-        let collected: Vec<_> = m.iter_pairs().collect();
-        assert_eq!(collected.len(), 6);
-        assert!(collected.contains(&(1, 2, 7)));
-        assert!(collected.contains(&(0, 3, INF)));
-        for (i, j, d) in collected {
-            assert_eq!(m.get(i, j), d);
+        for mut m in both(4) {
+            m.set(1, 2, 7);
+            let collected: Vec<_> = m.iter_pairs().collect();
+            assert_eq!(collected.len(), 6);
+            assert!(collected.contains(&(1, 2, 7)));
+            assert!(collected.contains(&(0, 3, INF)));
+            for (i, j, d) in collected {
+                assert_eq!(m.get(i, j), d);
+            }
         }
     }
 
     #[test]
     fn zero_and_one_vertex_matrices_are_empty() {
-        assert_eq!(DistanceMatrix::new(0).num_pairs(), 0);
-        assert_eq!(DistanceMatrix::new(1).num_pairs(), 0);
+        for l in [1u8, 200] {
+            assert_eq!(DistanceMatrix::new(0, l).num_pairs(), 0);
+            assert_eq!(DistanceMatrix::new(1, l).num_pairs(), 0);
+            assert_eq!(DistanceMatrix::new(0, l).storage_bytes(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit the nibble packing")]
+    fn packed_rejects_unrepresentable_distances() {
+        // 31 has low nibble 0xF: silent truncation would read back as INF.
+        DistanceMatrix::new_packed(4).set(0, 1, 31);
+    }
+
+    #[test]
+    fn odd_pair_count_tail_nibble_works() {
+        // n = 3 has 3 pairs: the last byte is half-used.
+        let mut m = DistanceMatrix::new_packed(3);
+        assert_eq!(m.storage_bytes(), 2);
+        m.set_flat(2, 9);
+        assert_eq!(m.get_flat(2), 9);
+        assert_eq!(m.get_flat(0), INF);
+        assert_eq!(m.get_flat(1), INF);
+        assert_eq!(m.count_within(254), 1);
     }
 }

@@ -3,6 +3,18 @@
 use crate::dist::DistanceMatrix;
 use crate::{bfs, floyd, pointer, pruned};
 use lopacity_graph::Graph;
+use lopacity_util::Parallelism;
+
+/// Fewest vertices for which [`Parallelism::Auto`] shards the BFS build:
+/// below this, one BFS sweep over the whole graph is cheaper than spawning
+/// scoped threads and allocating per-worker scratch. `Fixed(n)` ignores the
+/// floor (the equivalence suites force sharded builds on tiny graphs).
+const AUTO_PARALLEL_MIN_BUILD_VERTICES: usize = 512;
+
+/// Worker count for a truncated-BFS build over `n` sources.
+fn build_workers(parallelism: Parallelism, n: usize) -> usize {
+    parallelism.resolve(n, AUTO_PARALLEL_MIN_BUILD_VERTICES)
+}
 
 /// Which algorithm computes the truncated distance matrix.
 ///
@@ -31,8 +43,24 @@ pub enum ApspEngine {
 impl ApspEngine {
     /// Computes the truncated distance matrix of `graph` for threshold `l`.
     pub fn compute(self, graph: &Graph, l: u8) -> DistanceMatrix {
+        self.compute_with(graph, l, Parallelism::Off)
+    }
+
+    /// Like [`ApspEngine::compute`] with an explicit parallelism budget.
+    ///
+    /// Only [`ApspEngine::TruncatedBfs`] has a parallel build (one
+    /// independent BFS per source, sharded over a scoped-thread pool); the
+    /// Floyd–Warshall family is inherently sequential in `k` and ignores
+    /// the knob. The output is **identical** to the sequential build for
+    /// every setting (each vertex pair is written by exactly one source's
+    /// BFS), so callers may key caches on `(engine, l)` alone.
+    pub fn compute_with(self, graph: &Graph, l: u8, parallelism: Parallelism) -> DistanceMatrix {
         match self {
-            ApspEngine::TruncatedBfs => bfs::truncated_bfs_apsp(graph, l),
+            ApspEngine::TruncatedBfs => bfs::truncated_bfs_apsp_sharded(
+                graph,
+                l,
+                build_workers(parallelism, graph.num_vertices()),
+            ),
             ApspEngine::FloydWarshall => floyd::floyd_warshall(graph).truncate(l),
             ApspEngine::PrunedFloydWarshall => pruned::l_pruned_floyd_warshall(graph, l),
             ApspEngine::PointerFloydWarshall => pointer::pointer_floyd_warshall(graph, l),
@@ -106,5 +134,39 @@ mod tests {
     #[test]
     fn default_is_bfs() {
         assert_eq!(ApspEngine::default(), ApspEngine::TruncatedBfs);
+    }
+
+    #[test]
+    fn sharded_build_matches_sequential() {
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap();
+        for l in 0..=4u8 {
+            let sequential = ApspEngine::TruncatedBfs.compute(&g, l);
+            for workers in [1usize, 2, 3, 8] {
+                let sharded = ApspEngine::TruncatedBfs.compute_with(
+                    &g,
+                    l,
+                    Parallelism::Fixed(workers),
+                );
+                assert_eq!(sharded, sequential, "workers={workers} L={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_workers_honors_the_auto_floor() {
+        assert_eq!(build_workers(Parallelism::Off, 10_000), 1);
+        assert_eq!(
+            build_workers(Parallelism::Auto, AUTO_PARALLEL_MIN_BUILD_VERTICES - 1),
+            1,
+            "Auto stays sequential below the floor"
+        );
+        assert!(build_workers(Parallelism::Auto, AUTO_PARALLEL_MIN_BUILD_VERTICES) >= 1);
+        assert_eq!(build_workers(Parallelism::Fixed(4), 8), 4, "Fixed ignores the floor");
+        assert_eq!(build_workers(Parallelism::Fixed(16), 3), 3, "capped at source count");
+        assert_eq!(build_workers(Parallelism::Fixed(4), 0), 1, "empty graph still resolves");
     }
 }

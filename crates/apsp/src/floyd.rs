@@ -62,9 +62,10 @@ impl FullDistanceMatrix {
             .map(|((i, j), d)| (i, j, d))
     }
 
-    /// Truncates to a byte matrix: entries `> l` become [`crate::INF`].
+    /// Truncates to a [`DistanceMatrix`]: entries `> l` become
+    /// [`crate::INF`] (storage layout chosen by `l`).
     pub fn truncate(&self, l: u8) -> DistanceMatrix {
-        let mut out = DistanceMatrix::new(self.n);
+        let mut out = DistanceMatrix::new(self.n, l);
         for (i, j, d) in self.iter_pairs() {
             if d <= l as u16 {
                 out.set(i, j, d as u8);

@@ -14,8 +14,13 @@
 //!   asymptotically best choice on the sparse graphs of the evaluation
 //!   (`O(V (V + E))` versus `O(V^3)`), used as the default engine.
 //!
-//! All engines produce a [`DistanceMatrix`]: a triangular byte matrix where
-//! entries `> L` are truncated to [`INF`].
+//! All engines produce a [`DistanceMatrix`]: a triangular matrix where
+//! entries `> L` are truncated to [`INF`]. Because exact entries never
+//! exceed `L`, the matrix nibble-packs two pairs per byte whenever
+//! `L <= NIBBLE_MAX_L` (one byte per pair beyond), and the default BFS
+//! engine can shard its per-source sweeps across a scoped-thread pool
+//! ([`ApspEngine::compute_with`]) — output identical to the sequential
+//! build for every worker count.
 
 pub mod bfs;
 pub mod dist;
@@ -24,8 +29,8 @@ pub mod floyd;
 pub mod pointer;
 pub mod pruned;
 
-pub use bfs::{truncated_bfs_apsp, TruncatedBfs};
-pub use dist::{DistanceMatrix, INF};
+pub use bfs::{truncated_bfs_apsp, truncated_bfs_apsp_sharded, TruncatedBfs};
+pub use dist::{DistanceMatrix, INF, NIBBLE_MAX_L};
 pub use engine::ApspEngine;
 pub use floyd::{floyd_warshall, FullDistanceMatrix, INF_FULL};
 pub use pointer::pointer_floyd_warshall;

@@ -24,7 +24,7 @@ const NONE: u32 = u32::MAX;
 pub fn pointer_floyd_warshall(graph: &Graph, l: u8) -> DistanceMatrix {
     assert!(l <= MAX_L, "l {l} exceeds MAX_L");
     let n = graph.num_vertices();
-    let mut dist = DistanceMatrix::new(n);
+    let mut dist = DistanceMatrix::new(n, l);
     if l == 0 || n < 2 {
         return dist;
     }

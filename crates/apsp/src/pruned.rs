@@ -21,7 +21,7 @@ use lopacity_graph::{Graph, VertexId};
 pub fn l_pruned_floyd_warshall(graph: &Graph, l: u8) -> DistanceMatrix {
     assert!(l <= MAX_L, "l {l} exceeds MAX_L");
     let n = graph.num_vertices();
-    let mut m = DistanceMatrix::new(n);
+    let mut m = DistanceMatrix::new(n, l);
     if l == 0 {
         return m;
     }

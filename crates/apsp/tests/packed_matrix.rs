@@ -1,0 +1,145 @@
+//! Property tests: the nibble-packed [`DistanceMatrix`] is observationally
+//! equivalent to the byte layout, across every engine, every worker count
+//! of the sharded BFS build, and across the `L > NIBBLE_MAX_L` fallback
+//! boundary where construction silently switches representation.
+
+use lopacity_apsp::{ApspEngine, DistanceMatrix, INF, NIBBLE_MAX_L};
+use lopacity_graph::Graph;
+use lopacity_util::Parallelism;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pair = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(pair, 0..n * 3).prop_map(move |pairs| {
+            let mut g = Graph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Copies a matrix pair-by-pair into the opposite layout.
+fn transcoded(m: &DistanceMatrix) -> DistanceMatrix {
+    let mut out = if m.is_packed() {
+        DistanceMatrix::new_byte(m.num_vertices())
+    } else {
+        DistanceMatrix::new_packed(m.num_vertices())
+    };
+    for idx in 0..m.num_pairs() {
+        out.set_flat(idx, m.get_flat(idx));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Straddling the packing boundary: `L` in 13..=16 covers packed,
+    /// boundary-packed (14), and the two first byte-fallback values. Every
+    /// engine must agree with the Floyd–Warshall reference regardless of
+    /// which representation `DistanceMatrix::new` picked.
+    #[test]
+    fn engines_agree_across_the_packing_boundary(
+        g in arb_graph(14),
+        l in (NIBBLE_MAX_L - 1)..=(NIBBLE_MAX_L + 2),
+    ) {
+        let reference = ApspEngine::FloydWarshall.compute(&g, l);
+        prop_assert_eq!(reference.is_packed(), l <= NIBBLE_MAX_L);
+        for engine in ApspEngine::ALL {
+            let m = engine.compute(&g, l);
+            prop_assert_eq!(m.is_packed(), l <= NIBBLE_MAX_L, "engine {}", engine.name());
+            prop_assert_eq!(&m, &reference, "engine {} at L={}", engine.name(), l);
+        }
+    }
+
+    /// A matrix transcoded into the opposite layout is equal (cross-layout
+    /// PartialEq), reads back identically through every accessor, and
+    /// counts the same within-L pairs.
+    #[test]
+    fn layouts_are_observationally_identical(g in arb_graph(16), l in 0u8..6) {
+        let m = ApspEngine::TruncatedBfs.compute(&g, l);
+        let other = transcoded(&m);
+        prop_assert_ne!(m.is_packed(), other.is_packed());
+        prop_assert_eq!(&m, &other);
+        prop_assert_eq!(&other, &m);
+        for idx in 0..m.num_pairs() {
+            prop_assert_eq!(m.get_flat(idx), other.get_flat(idx));
+            let (i, j) = m.pair_of(idx);
+            prop_assert_eq!(other.pair_of(idx), (i, j));
+            prop_assert_eq!(m.get(i, j), other.get(j, i));
+        }
+        prop_assert!(m.iter_pairs().eq(other.iter_pairs()));
+        for cutoff in 0..=l.saturating_add(1) {
+            prop_assert_eq!(m.count_within(cutoff), other.count_within(cutoff));
+        }
+        prop_assert_eq!(m.count_within(254), other.count_within(254));
+    }
+
+    /// The sharded BFS build equals the sequential one for any worker
+    /// count, including counts above the vertex count.
+    #[test]
+    fn sharded_build_is_worker_count_invariant(
+        g in arb_graph(24),
+        l in 0u8..6,
+        workers in 1usize..9,
+    ) {
+        let sequential = ApspEngine::TruncatedBfs.compute(&g, l);
+        let sharded =
+            ApspEngine::TruncatedBfs.compute_with(&g, l, Parallelism::Fixed(workers));
+        prop_assert_eq!(&sharded, &sequential, "workers={}", workers);
+    }
+
+    /// Writing arbitrary legal values through `set` reads back exactly, in
+    /// both layouts, with no bleed into the co-packed neighbor.
+    #[test]
+    fn random_writes_round_trip(
+        n in 2usize..12,
+        writes in proptest::collection::vec((0u32..12, 0u32..12, 0u8..15), 0..40),
+    ) {
+        let mut packed = DistanceMatrix::new_packed(n);
+        let mut byte = DistanceMatrix::new_byte(n);
+        let mut reference = vec![INF; n * (n - 1) / 2];
+        for (a, b, d) in writes {
+            let (i, j) = (a % n as u32, b % n as u32);
+            if i == j {
+                continue;
+            }
+            let d = if d == 14 { INF } else { d }; // exercise INF round-trips too
+            packed.set(i, j, d);
+            byte.set(i, j, d);
+            reference[packed.index(i, j)] = d;
+        }
+        for (idx, &d) in reference.iter().enumerate() {
+            prop_assert_eq!(packed.get_flat(idx), d, "packed flat {}", idx);
+            prop_assert_eq!(byte.get_flat(idx), d, "byte flat {}", idx);
+        }
+        prop_assert_eq!(&packed, &byte);
+    }
+}
+
+/// The acceptance bound: packed storage is at most 0.55× the byte layout
+/// for every L that packs (and exactly the byte size beyond).
+#[test]
+fn packed_storage_meets_the_memory_budget() {
+    for n in [10usize, 101, 1000] {
+        let pairs = n * (n - 1) / 2;
+        for l in 1..=NIBBLE_MAX_L {
+            let m = DistanceMatrix::new(n, l);
+            assert!(m.is_packed());
+            assert!(
+                (m.storage_bytes() as f64) <= 0.55 * pairs as f64,
+                "n={n} l={l}: {} bytes vs {} pairs",
+                m.storage_bytes(),
+                pairs
+            );
+        }
+        let fallback = DistanceMatrix::new(n, NIBBLE_MAX_L + 1);
+        assert!(!fallback.is_packed());
+        assert_eq!(fallback.storage_bytes(), pairs);
+    }
+}

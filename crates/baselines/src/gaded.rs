@@ -37,6 +37,7 @@ pub fn gaded_rand(graph: &Graph, theta: f64, seed: u64) -> AnonymizationOutcome 
         final_lo: final_a.as_f64(),
         final_n_at_max: final_a.n_at_max(),
         achieved: final_a.satisfies(theta),
+        fork_clones: 0,
     }
 }
 
@@ -86,6 +87,7 @@ pub fn gaded_max(graph: &Graph, theta: f64) -> AnonymizationOutcome {
         final_lo: final_a.as_f64(),
         final_n_at_max: final_a.n_at_max(),
         achieved: final_a.satisfies(theta),
+        fork_clones: 0,
     }
 }
 

@@ -68,6 +68,7 @@ pub fn gades_with_budget(graph: &Graph, theta: f64, budget: u64) -> Anonymizatio
         final_lo: final_a.as_f64(),
         final_n_at_max: final_a.n_at_max(),
         achieved: final_a.satisfies(theta),
+        fork_clones: 0,
     }
 }
 

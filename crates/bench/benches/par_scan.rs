@@ -9,7 +9,10 @@
 //! elsewhere (`tests/tests/parallel_equivalence.rs`); this bench only
 //! quantifies the wall-clock. Numbers are honest for the machine they run
 //! on: on a single-core container the 2×/4×/8× rows show sharding
-//! overhead, not speedup — see CHANGES.md for recorded runs.
+//! overhead, not speedup — see CHANGES.md for recorded runs. The
+//! machine-readable companion is the `bench4` bench, which measures the
+//! same scan path (plus APSP build time and matrix bytes) and writes
+//! `BENCH_4.json` for the CI perf-trajectory artifact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lopacity::{AnonymizeConfig, Anonymizer, Parallelism, Removal, TypeSpec};

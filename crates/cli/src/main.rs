@@ -60,8 +60,9 @@ commands:
             [--parallelism auto|off|N] [--sweep-mode resume|independent]
             methods: rem (default), rem-ins, exact (<= 25 edges),
                      gaded-rand, gaded-max, gades
-            parallelism shards the candidate scan across worker threads;
-            results are identical for every setting (default: auto)
+            parallelism shards the candidate scan and the initial APSP
+            build across worker threads; results are identical for every
+            setting (default: auto)
             a comma-separated theta list runs a descending sweep over one
             shared evaluator build (methods rem/rem-ins/exact): one CSV row
             per theta on stdout, the strictest theta's graph in --out

@@ -56,12 +56,16 @@ pub struct AnonymizeConfig {
     /// Engine for the initial all-pairs computation.
     pub engine: ApspEngine,
     /// Worker threads for the single-edge candidate scan (the hot loop of
-    /// both heuristics). The parallel scan is bit-for-bit equivalent to the
-    /// sequential one — same argmin, same seeded tie-breaking, same RNG
-    /// evolution — for every worker count (property-tested in
-    /// `tests/tests/parallel_equivalence.rs`), so this knob only trades
-    /// wall-clock for cores. `Auto` (default) falls back to a sequential
-    /// scan on small candidate lists; `Fixed(n)` always shards.
+    /// both heuristics) **and** for the initial truncated-BFS APSP build.
+    /// Both parallel paths are bit-for-bit equivalent to their sequential
+    /// counterparts — same argmin, same seeded tie-breaking, same RNG
+    /// evolution, same distance matrix — for every worker count
+    /// (property-tested in `tests/tests/parallel_equivalence.rs` and
+    /// `crates/apsp/tests/packed_matrix.rs`), so this knob only trades
+    /// wall-clock for cores. `Auto` (default) falls back to sequential
+    /// scans/builds on small inputs; `Fixed(n)` always shards. Scan
+    /// workers trial against persistent evaluator forks cloned once per
+    /// run (see `AnonymizationOutcome::fork_clones`), not per step.
     pub parallelism: Parallelism,
 }
 

@@ -29,9 +29,13 @@ use lopacity_graph::{Edge, Graph, VertexId};
 ///
 /// `Clone` is a first-class operation: the parallel candidate scan forks
 /// one evaluator per worker (graph, `DistanceMatrix`, within-L counters,
-/// scratch), trials candidates against the forks, and discards them —
-/// trials never mutate lasting state, so forks need no re-synchronization.
-/// Cost: `O(|V|²)` for the distance matrix, amortized over a whole scan.
+/// scratch) and trials candidates against the forks — trials never mutate
+/// lasting state. Cost: `O(|V|²)` for the distance matrix (half that when
+/// nibble-packed), which is why forks are **persistent**: they are cloned
+/// once at the first sharded scan of a run and then kept state-identical
+/// by replaying each committed move's [`CommitDelta`]
+/// ([`OpacityEvaluator::replay_commit`], O(changed cells)) instead of
+/// being re-cloned every step.
 #[derive(Clone)]
 pub struct OpacityEvaluator {
     graph: Graph,
@@ -141,6 +145,32 @@ pub struct UndoToken {
     revision: u64,
 }
 
+/// The **forward** net effect of one committed mutation: the edge flip,
+/// the distance-matrix cells it changed (with their *new* values), and the
+/// per-type count deltas.
+///
+/// This is the replay-sync half of the persistent-fork protocol: a worker
+/// fork that was state-identical to the main evaluator before an apply can
+/// be brought back in sync by [`OpacityEvaluator::replay_commit`] in
+/// O(changed cells) — a pure memory patch, no BFS, no `O(|V|²)` copy.
+/// Captured from the apply's [`UndoToken`] (which records the same cells
+/// backward) via [`OpacityEvaluator::commit_delta`].
+#[derive(Debug, Clone)]
+pub struct CommitDelta {
+    op: Op,
+    /// `(flat pair index, new truncated distance)`.
+    dist_changes: Vec<(usize, u8)>,
+    /// `(type id, delta to apply to counts)`.
+    count_changes: Vec<(u32, i64)>,
+}
+
+impl CommitDelta {
+    /// Number of distance-matrix cells this commit changed.
+    pub fn changed_cells(&self) -> usize {
+        self.dist_changes.len()
+    }
+}
+
 impl OpacityEvaluator {
     /// Builds the evaluator: one full truncated APSP plus the per-type
     /// counts. The type system is frozen from `graph`'s current degrees.
@@ -154,9 +184,23 @@ impl OpacityEvaluator {
 
     /// Like [`OpacityEvaluator::new`] with an explicit initial APSP engine.
     pub fn with_engine(graph: Graph, spec: &TypeSpec, l: u8, engine: ApspEngine) -> Self {
+        Self::with_engine_parallel(graph, spec, l, engine, lopacity_util::Parallelism::Off)
+    }
+
+    /// Like [`OpacityEvaluator::with_engine`], additionally sharding the
+    /// initial APSP build over up to `parallelism` scoped threads (only the
+    /// default truncated-BFS engine parallelizes; the build output is
+    /// identical for every setting, see [`ApspEngine::compute_with`]).
+    pub fn with_engine_parallel(
+        graph: Graph,
+        spec: &TypeSpec,
+        l: u8,
+        engine: ApspEngine,
+        parallelism: lopacity_util::Parallelism,
+    ) -> Self {
         assert!(l >= 1, "L must be at least 1");
         let types = TypeSystem::build(&graph, spec);
-        let dist = engine.compute(&graph, l);
+        let dist = engine.compute_with(&graph, l, parallelism);
         let counts = crate::opacity::count_within_l(&dist, &types, l);
         let n = graph.num_vertices();
         OpacityEvaluator {
@@ -201,6 +245,13 @@ impl OpacityEvaluator {
     /// Current per-type within-L counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Net applied mutations (applies minus undos) since construction.
+    /// A fork and its main evaluator agree on this exactly when every
+    /// commit has been replayed — the cheap half of the fork sync check.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// `maxLO` and `N(maxLO)` of the current graph.
@@ -416,6 +467,61 @@ impl OpacityEvaluator {
             }
         }
         self.revision -= 1;
+        self.top_two = None;
+    }
+
+    /// Captures the forward diff of the most recent apply on `self` —
+    /// `token` must be that apply's (not yet undone) token. The new cell
+    /// values are read back from `self`, so the delta replays the apply
+    /// exactly, byte for byte.
+    ///
+    /// # Panics
+    /// Panics when `token` is not the evaluator's most recent apply.
+    pub fn commit_delta(&self, token: &UndoToken) -> CommitDelta {
+        assert_eq!(
+            token.revision, self.revision,
+            "commit_delta of a stale token: token revision {} vs evaluator {}",
+            token.revision, self.revision
+        );
+        CommitDelta {
+            op: token.op,
+            dist_changes: token
+                .dist_changes
+                .iter()
+                .map(|&(flat, _old)| (flat, self.dist.get_flat(flat)))
+                .collect(),
+            count_changes: token.count_changes.clone(),
+        }
+    }
+
+    /// Replays a captured [`CommitDelta`] onto this evaluator, which must
+    /// be state-identical to the evaluator the delta was captured from as
+    /// of *before* that apply (the fork contract: forks only ever mutate
+    /// through replayed commits, so they stay identical forever). Runs in
+    /// O(changed cells) — no BFS, no allocation beyond the delta itself.
+    ///
+    /// # Panics
+    /// Panics (debug) when the edge flip does not apply, i.e. the fork was
+    /// out of sync.
+    pub fn replay_commit(&mut self, delta: &CommitDelta) {
+        match delta.op {
+            Op::Removed(e) => {
+                let removed = self.graph.remove_edge(e.u(), e.v());
+                debug_assert!(removed, "replay of removal {e} on an out-of-sync fork");
+            }
+            Op::Inserted(e) => {
+                let added = self.graph.add_edge(e.u(), e.v());
+                debug_assert!(added, "replay of insertion {e} on an out-of-sync fork");
+            }
+        }
+        for &(flat, new) in &delta.dist_changes {
+            self.dist.set_flat(flat, new);
+        }
+        for &(t, d) in &delta.count_changes {
+            let slot = &mut self.counts[t as usize];
+            *slot = (*slot as i64 + d) as u64;
+        }
+        self.revision += 1;
         self.top_two = None;
     }
 
@@ -662,6 +768,71 @@ mod tests {
     fn trial_insert_rejects_existing_edges() {
         let mut ev = evaluator(2);
         ev.trial_insert(Edge::new(0, 1));
+    }
+
+    /// A replayed fork is byte-identical to the evaluator it mirrors:
+    /// same distances, counts, graph, and (crucially for the scan) the
+    /// same trial results afterwards.
+    #[test]
+    fn replay_commit_keeps_forks_identical() {
+        for l in 1..=3u8 {
+            let mut main = evaluator(l);
+            let mut fork = main.clone();
+            for (edge, insert) in
+                [(Edge::new(1, 4), false), (Edge::new(0, 6), true), (Edge::new(2, 5), false)]
+            {
+                let token =
+                    if insert { main.apply_insert(edge) } else { main.apply_remove(edge) };
+                let delta = main.commit_delta(&token);
+                fork.replay_commit(&delta);
+                fork.verify_consistency().unwrap();
+                assert_eq!(fork.graph(), main.graph(), "L={l}");
+                assert_eq!(fork.counts(), main.counts(), "L={l}");
+                for e in main.graph().edge_vec() {
+                    let a = main.trial_remove(e);
+                    let b = fork.trial_remove(e);
+                    assert_eq!(a.ratio(), b.ratio(), "trial {e} diverged, L={l}");
+                    assert_eq!(a.n_at_max(), b.n_at_max(), "trial {e} diverged, L={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale token")]
+    fn commit_delta_rejects_stale_tokens() {
+        let mut ev = evaluator(2);
+        let t1 = ev.apply_remove(Edge::new(1, 4));
+        let _t2 = ev.apply_remove(Edge::new(2, 5));
+        ev.commit_delta(&t1); // t1 is no longer the most recent apply
+    }
+
+    /// Trial/apply/undo round-trips are exact on both storage layouts of
+    /// the distance matrix, including the `L > NIBBLE_MAX_L` byte
+    /// fallback (the graph is tiny, so distances saturate far below L and
+    /// the two layouts must agree everywhere).
+    #[test]
+    fn apply_undo_round_trips_across_the_packing_boundary() {
+        use lopacity_apsp::NIBBLE_MAX_L;
+        for l in [NIBBLE_MAX_L - 1, NIBBLE_MAX_L, NIBBLE_MAX_L + 1, NIBBLE_MAX_L + 2] {
+            let mut ev = evaluator(l);
+            let before_counts = ev.counts().to_vec();
+            let t1 = ev.apply_remove(Edge::new(4, 5));
+            let t2 = ev.apply_insert(Edge::new(0, 6));
+            ev.verify_consistency().unwrap();
+            let trial = ev.trial_remove(Edge::new(0, 1));
+            let full = {
+                let mut g = ev.graph().clone();
+                g.remove_edge(0, 1);
+                reference_assessment(&g, ev.types(), l)
+            };
+            assert_eq!(trial.ratio(), full.ratio(), "L={l}");
+            ev.undo(t2);
+            ev.undo(t1);
+            ev.verify_consistency().unwrap();
+            assert_eq!(ev.counts(), before_counts.as_slice(), "L={l}");
+            assert_eq!(ev.graph(), &paper_graph(), "L={l}");
+        }
     }
 
     /// Reference: assessment from a scratch APSP with a *fixed* type system

@@ -1,0 +1,150 @@
+//! Persistent per-worker evaluator forks for the sharded candidate scan.
+//!
+//! PR 2's parallel scan forked the [`OpacityEvaluator`] once per worker
+//! *per step* — an `O(|V|²)` memcpy of the distance matrix each time,
+//! which on exactly the large graphs parallelism is for (ACM-scale,
+//! `|V| ≈ 10⁴`, ~25 MB packed) costs more than the scan it parallelizes.
+//! A [`ForkSet`] instead owns **long-lived** forks for the duration of a
+//! strategy run: each fork is cloned once, at the first scan that needs
+//! it (warmup), and thereafter kept state-identical to the main evaluator
+//! by replaying every committed move's [`CommitDelta`] — an O(changed
+//! cells) memory patch ([`OpacityEvaluator::replay_commit`]), no BFS, no
+//! matrix copy. After warmup, a greedy step performs **zero** `O(|V|²)`
+//! allocations (counter-asserted in `tests/tests/parallel_equivalence.rs`).
+//!
+//! The equivalence contract of PR 2 is untouched: a fork is byte-identical
+//! to the per-step clone it replaces (same distances, counts, and graph),
+//! so trial results — and therefore the merged tracker argmin — are
+//! bit-for-bit those of the sequential scan.
+
+use crate::evaluator::{CommitDelta, OpacityEvaluator};
+
+/// The persistent worker forks of one strategy run, plus the allocation
+/// accounting the zero-copy guarantee is asserted against.
+#[derive(Default)]
+pub(crate) struct ForkSet {
+    forks: Vec<OpacityEvaluator>,
+    /// Full `O(|V|²)` evaluator clones performed (warmup cost; never grows
+    /// after the widest scan of the run has run once).
+    clones: u64,
+    /// Committed moves replayed onto forks (each O(changed cells)).
+    replays: u64,
+}
+
+impl ForkSet {
+    /// A fresh, empty fork set (no clones until a sharded scan asks).
+    pub fn new() -> Self {
+        ForkSet::default()
+    }
+
+    /// Whether warmup has happened — used by the scan's `Auto` fallback
+    /// threshold, since a warm scan no longer pays per-worker clones.
+    pub fn warm(&self) -> bool {
+        !self.forks.is_empty()
+    }
+
+    /// Full evaluator clones performed so far.
+    pub fn clones(&self) -> u64 {
+        self.clones
+    }
+
+    /// Grows the set to at least `count` forks of `ev` (which must be the
+    /// main evaluator in its current, trial-clean state). Existing forks
+    /// are already in sync and are never re-cloned.
+    pub fn ensure(&mut self, ev: &OpacityEvaluator, count: usize) {
+        while self.forks.len() < count {
+            self.forks.push(ev.clone());
+            self.clones += 1;
+        }
+    }
+
+    /// The first `count` forks, for use as scan worker states.
+    pub fn first_mut(&mut self, count: usize) -> &mut [OpacityEvaluator] {
+        &mut self.forks[..count]
+    }
+
+    /// Replays one committed move onto every fork, keeping them
+    /// state-identical to the main evaluator. O(forks × changed cells);
+    /// sequential on purpose — the patch is memcpy-scale, far below the
+    /// cost of a thread spawn.
+    pub fn replay(&mut self, delta: &CommitDelta) {
+        for fork in &mut self.forks {
+            fork.replay_commit(delta);
+        }
+        self.replays += self.forks.len() as u64;
+    }
+
+    /// Debug-mode guard for the fork contract: every fork must have seen
+    /// exactly the main evaluator's net mutations (same revision, same
+    /// edge count). A strategy that mutates the evaluator through
+    /// `RunContext::evaluator_mut` and leaves a net change applied without
+    /// committing it desyncs the forks *silently* — trials against them
+    /// would then differ from the sequential scan — so the next sharded
+    /// scan fails loudly here instead (debug builds; free in release).
+    pub fn debug_assert_in_sync(&self, ev: &OpacityEvaluator) {
+        if cfg!(debug_assertions) {
+            for (i, fork) in self.forks.iter().enumerate() {
+                assert_eq!(
+                    fork.revision(),
+                    ev.revision(),
+                    "fork {i} is out of sync: a strategy mutated the evaluator without \
+                     routing the net change through RunContext::commit"
+                );
+                debug_assert_eq!(
+                    fork.graph().num_edges(),
+                    ev.graph().num_edges(),
+                    "fork {i} graph diverged from the main evaluator"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeSpec;
+    use lopacity_graph::{Edge, Graph};
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ensure_clones_once_per_fork() {
+        let ev = OpacityEvaluator::new(paper_graph(), &TypeSpec::DegreePairs, 2);
+        let mut forks = ForkSet::new();
+        assert!(!forks.warm());
+        forks.ensure(&ev, 3);
+        assert!(forks.warm());
+        assert_eq!(forks.clones(), 3);
+        // Re-ensuring at or below the current width clones nothing.
+        forks.ensure(&ev, 3);
+        forks.ensure(&ev, 1);
+        assert_eq!(forks.clones(), 3);
+        forks.ensure(&ev, 5);
+        assert_eq!(forks.clones(), 5);
+    }
+
+    #[test]
+    fn replay_keeps_every_fork_in_sync() {
+        let mut main = OpacityEvaluator::new(paper_graph(), &TypeSpec::DegreePairs, 2);
+        let mut forks = ForkSet::new();
+        forks.ensure(&main, 2);
+        for e in [Edge::new(1, 4), Edge::new(2, 5)] {
+            let token = main.apply_remove(e);
+            let delta = main.commit_delta(&token);
+            forks.replay(&delta);
+        }
+        assert_eq!(forks.replays, 4);
+        for fork in forks.first_mut(2) {
+            assert_eq!(fork.graph(), main.graph());
+            assert_eq!(fork.counts(), main.counts());
+            fork.verify_consistency().unwrap();
+        }
+    }
+}

@@ -107,6 +107,7 @@
 
 pub mod config;
 pub mod evaluator;
+mod forks;
 pub mod lo;
 pub mod opacity;
 pub mod optimal;
@@ -120,7 +121,7 @@ mod tracker;
 pub mod types;
 
 pub use config::{AnonymizeConfig, LookaheadMode};
-pub use evaluator::OpacityEvaluator;
+pub use evaluator::{CommitDelta, OpacityEvaluator};
 pub use lo::LoAssessment;
 pub use lopacity_util::Parallelism;
 pub use opacity::{opacity_report, OpacityReport};

@@ -55,6 +55,12 @@ pub struct StepEvent {
     pub removed: usize,
     /// Cumulative insertions so far.
     pub inserted: usize,
+    /// Cumulative full `O(|V|²)` evaluator clones for scan workers (the
+    /// persistent-fork warmup). Constant from the first sharded scan on —
+    /// the zero-copy tests assert the deltas between steps are zero after
+    /// warmup. A performance counter: it varies with the parallelism knob
+    /// while every other field is parallelism-invariant.
+    pub fork_clones: u64,
 }
 
 /// Read-only tap on a run's progress. Every method has a no-op default, so
@@ -133,6 +139,7 @@ mod tests {
             final_lo: 0.0,
             final_n_at_max: 0,
             achieved: true,
+            fork_clones: 0,
         }
     }
 

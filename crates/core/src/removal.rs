@@ -20,8 +20,11 @@
 //! [`OpacityEvaluator`] — dominates the runtime of both heuristics. Under
 //! [`crate::config::AnonymizeConfig::parallelism`] it is sharded across a
 //! scoped-thread pool ([`lopacity_util::pool`]): the candidate list splits
-//! into contiguous shards, each worker forks the evaluator (`Clone`:
-//! graph + distance matrix + within-L counters), trials its shard, and
+//! into contiguous shards, each worker trials its shard against a
+//! **persistent evaluator fork** (internal `forks` module: cloned once
+//! per run at warmup, then kept state-identical by replaying each
+//! committed move's [`crate::evaluator::CommitDelta`] in O(changed
+//! cells) — never re-cloned per step), and
 //! feeds a private `BestTracker`; the per-shard winners then merge. The
 //! merged argmin is **bit-for-bit the sequential scan's choice** for every
 //! worker count because the tracker's total order — `(maxLO, N, combo
@@ -33,6 +36,7 @@
 
 use crate::config::{AnonymizeConfig, LookaheadMode};
 use crate::evaluator::OpacityEvaluator;
+use crate::forks::ForkSet;
 use crate::lo::LoAssessment;
 use crate::result::AnonymizationOutcome;
 use crate::strategy::MoveKind;
@@ -42,19 +46,35 @@ use lopacity_graph::{Edge, Graph};
 use lopacity_util::{pool, Parallelism};
 use rand::rngs::StdRng;
 
-/// Fewest candidates for which [`Parallelism::Auto`] shards the size-1
-/// scan: below this, the per-worker evaluator clone (`O(|V|²)` for the
-/// distance matrix) costs more than the scan itself. `Fixed(n)` ignores
-/// the floor — the equivalence suite uses that to exercise sharding on
-/// tiny graphs.
-const AUTO_PARALLEL_MIN_CANDIDATES: usize = 256;
+/// Fewest candidates for which [`Parallelism::Auto`] shards a **cold**
+/// size-1 scan — one that still has forks to clone. The `O(|V|²)` clone
+/// per missing worker dwarfs thread-spawn costs, and a scan shorter than
+/// a few hundred trials cannot amortize it; 256 was measured for the
+/// per-step-clone design of PR 2 and still bounds the (one-off) warmup
+/// case, so it is kept for the first scan of a run.
+const AUTO_COLD_MIN_CANDIDATES: usize = 256;
 
-/// Worker count for a size-1 scan over `n` candidates.
-fn scan_workers(parallelism: Parallelism, n: usize) -> usize {
-    if parallelism.is_adaptive() && n < AUTO_PARALLEL_MIN_CANDIDATES {
-        return 1;
-    }
-    parallelism.workers().min(n)
+/// Fewest candidates for which [`Parallelism::Auto`] shards a **warm**
+/// size-1 scan — persistent forks already exist, so sharding pays only
+/// scoped-thread spawn/join (~10–20 µs per worker). One incremental trial
+/// costs on the order of the affected-source BFS re-runs — roughly a
+/// microsecond or more even on small graphs, tens of microseconds at
+/// ACM scale — so 64 candidates split across a handful of workers
+/// amortize spawn overhead with margin. The old fixed 256 cutoff was
+/// sized around the per-step clone this PR removed; keeping it warm
+/// would leave 64–255-candidate scans (the *entire tail* of a removal
+/// run, where most steps live) sequential for no reason.
+const AUTO_WARM_MIN_CANDIDATES: usize = 64;
+
+/// Worker count for a size-1 scan over `n` candidates. `warm` means the
+/// run's [`ForkSet`] is already populated, i.e. sharding no longer pays
+/// per-worker `O(|V|²)` clones. The decision never affects outputs — the
+/// sharded scan is bit-for-bit the sequential one — only wall-clock, so
+/// `Auto` may pick differently on different machines or steps without
+/// breaking determinism of results.
+pub(crate) fn scan_workers(parallelism: Parallelism, n: usize, warm: bool) -> usize {
+    let floor = if warm { AUTO_WARM_MIN_CANDIDATES } else { AUTO_COLD_MIN_CANDIDATES };
+    parallelism.resolve(n, floor)
 }
 
 /// Trials every edge of `scanned` (size-1 moves), offering each to
@@ -62,9 +82,15 @@ fn scan_workers(parallelism: Parallelism, n: usize) -> usize {
 /// workers per `config.parallelism`. When `keep_singles` is set, every
 /// `(edge, assessment)` lands in `singles` in candidate order (the beam
 /// ranking needs them later). Returns the number of trials performed.
+///
+/// Shard 0 scans on the calling thread against `ev` itself; shards 1..w
+/// scan against the run's persistent forks ([`ForkSet`]) — cloned here on
+/// the first sharded scan (warmup), byte-identical to `ev` ever after, so
+/// no `O(|V|²)` state moves once the run is warm.
 #[allow(clippy::too_many_arguments)]
 fn scan_singles(
     ev: &mut OpacityEvaluator,
+    forks: &mut ForkSet,
     scanned: &[Edge],
     kind: MoveKind,
     tracker: &mut BestTracker,
@@ -73,7 +99,7 @@ fn scan_singles(
     keep_singles: bool,
     singles: &mut Vec<(Edge, LoAssessment)>,
 ) -> u64 {
-    let workers = scan_workers(config.parallelism, scanned.len());
+    let workers = scan_workers(config.parallelism, scanned.len(), forks.warm());
     if workers <= 1 {
         for (idx, &e) in scanned.iter().enumerate() {
             let a = match kind {
@@ -86,16 +112,19 @@ fn scan_singles(
             }
         }
     } else {
-        let ev_ref: &OpacityEvaluator = ev;
-        let shards = pool::run_sharded(scanned, workers, |offset, shard| {
-            let mut fork = ev_ref.clone();
+        forks.ensure(ev, workers - 1);
+        forks.debug_assert_in_sync(ev);
+        let mut states: Vec<&mut OpacityEvaluator> = Vec::with_capacity(workers);
+        states.push(ev);
+        states.extend(forks.first_mut(workers - 1).iter_mut());
+        let shards = pool::run_sharded_with(scanned, &mut states, |offset, shard, ev| {
             let mut shard_tracker = BestTracker::new();
             let mut shard_singles =
                 Vec::with_capacity(if keep_singles { shard.len() } else { 0 });
             for (k, &e) in shard.iter().enumerate() {
                 let a = match kind {
-                    MoveKind::Remove => fork.trial_remove(e),
-                    MoveKind::Insert => fork.trial_insert(e),
+                    MoveKind::Remove => ev.trial_remove(e),
+                    MoveKind::Insert => ev.trial_insert(e),
                 };
                 shard_tracker.offer(&[offset + k], &[e], a, tb);
                 if keep_singles {
@@ -194,8 +223,10 @@ fn recurse(
 
 /// Chooses the next move per the configured look-ahead policy. Returns
 /// `None` when `candidates` is empty.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn choose_move(
     ev: &mut OpacityEvaluator,
+    forks: &mut ForkSet,
     candidates: &[Edge],
     current: LoAssessment,
     config: &AnonymizeConfig,
@@ -226,6 +257,7 @@ pub(crate) fn choose_move(
         Vec::with_capacity(if keep_singles { limit } else { 0 });
     *trials += scan_singles(
         ev,
+        forks,
         &candidates[..limit],
         kind,
         &mut tracker,
@@ -418,6 +450,38 @@ mod tests {
         // that distances actually shrank here.
         assert!(!out.removed.is_empty());
         let _ = report;
+    }
+
+    /// Pins the `Auto` sequential-fallback decision function (issue 4
+    /// satellite): `Fixed`/`Off` resolve as before, `Auto` falls back
+    /// below 256 candidates on a *cold* scan (per-worker clones still to
+    /// pay) but already shards at 64 once the run's forks are warm.
+    #[test]
+    fn scan_worker_decision_is_pinned() {
+        use lopacity_util::Parallelism::*;
+        // Off and Fixed ignore warmth and the floor entirely.
+        for warm in [false, true] {
+            assert_eq!(scan_workers(Off, 10_000, warm), 1);
+            assert_eq!(scan_workers(Fixed(4), 10, warm), 4);
+            assert_eq!(scan_workers(Fixed(4), 3, warm), 3, "capped at candidate count");
+            assert_eq!(scan_workers(Fixed(1), 500, warm), 1);
+        }
+        // Auto, cold: the 256 floor of the per-step-clone era still holds
+        // (warmup is the one scan that still clones).
+        assert_eq!(scan_workers(Auto, 255, false), 1);
+        assert!(scan_workers(Auto, 256, false) >= 1);
+        // Auto, warm: the floor drops to 64 — forks exist, sharding costs
+        // spawn/join only.
+        assert_eq!(scan_workers(Auto, 63, true), 1);
+        assert!(scan_workers(Auto, 64, true) >= 1);
+        // The warm floor is strictly below the cold one by design: the
+        // removal tail (shrinking candidate lists) stays parallel.
+        assert!(AUTO_WARM_MIN_CANDIDATES < AUTO_COLD_MIN_CANDIDATES);
+        // Machine-independent part of the resolution: Auto at/above the
+        // floor resolves to available_parallelism capped by candidates.
+        let cores = Auto.workers();
+        assert_eq!(scan_workers(Auto, 10_000, true), cores.min(10_000));
+        assert_eq!(scan_workers(Auto, 64, true), cores.min(64));
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub struct AnonymizationOutcome {
     /// Whether `maxLO <= θ` was reached (false = candidates exhausted or
     /// step budget hit).
     pub achieved: bool,
+    /// Full `O(|V|²)` evaluator clones performed for scan workers — the
+    /// one-off warmup cost of the persistent-fork protocol (at most
+    /// `workers - 1` per run; 0 for sequential scans). A **performance
+    /// counter**, not part of the anonymization result: it varies with
+    /// the parallelism setting while every other field stays bit-for-bit
+    /// identical, so it is excluded from [`std::fmt::Display`] and from
+    /// the equivalence contract.
+    pub fork_clones: u64,
 }
 
 impl AnonymizationOutcome {
@@ -74,6 +82,7 @@ mod tests {
             final_lo: 0.5,
             final_n_at_max: 1,
             achieved: true,
+            fork_clones: 0,
         }
     }
 

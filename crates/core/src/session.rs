@@ -43,6 +43,7 @@
 
 use crate::config::AnonymizeConfig;
 use crate::evaluator::OpacityEvaluator;
+use crate::forks::ForkSet;
 use crate::lo::LoAssessment;
 use crate::progress::{NoOpObserver, ProgressObserver, RunInfo, StepEvent};
 use crate::removal::choose_move;
@@ -99,7 +100,13 @@ struct RunTotals {
 
 impl RunTotals {
     /// Snapshots the counters into an outcome around the given graph.
-    fn outcome(&self, graph: Graph, a: LoAssessment, theta: f64) -> AnonymizationOutcome {
+    fn outcome(
+        &self,
+        graph: Graph,
+        a: LoAssessment,
+        theta: f64,
+        fork_clones: u64,
+    ) -> AnonymizationOutcome {
         AnonymizationOutcome {
             graph,
             removed: self.removed.clone(),
@@ -109,6 +116,7 @@ impl RunTotals {
             final_lo: a.as_f64(),
             final_n_at_max: a.n_at_max(),
             achieved: a.satisfies(theta),
+            fork_clones,
         }
     }
 }
@@ -124,6 +132,7 @@ impl RunTotals {
 /// [`RunContext::commit`] so the outcome's edit lists stay truthful.
 pub struct RunContext<'s> {
     ev: &'s mut OpacityEvaluator,
+    forks: &'s mut ForkSet,
     config: &'s AnonymizeConfig,
     rng: &'s mut StdRng,
     observer: &'s mut dyn ProgressObserver,
@@ -142,9 +151,16 @@ impl RunContext<'_> {
     }
 
     /// Raw mutable access to the working evaluator, for strategies that
-    /// search with trial/apply/undo (e.g. the exact solver). Any mutation
-    /// left applied MUST be mirrored through [`RunContext::commit`];
-    /// transient apply/undo pairs need no mirroring.
+    /// search with trial/apply/undo (e.g. the exact solver).
+    ///
+    /// **Contract:** every apply made through this handle must be undone
+    /// before the strategy next calls [`RunContext::select`] or returns —
+    /// lasting changes go through [`RunContext::commit`] *instead* (commit
+    /// performs the apply itself, keeps the outcome's edit lists truthful,
+    /// and replays the change onto the persistent scan forks). A net
+    /// mutation left applied here would silently desync the forks — and
+    /// with them the parallel scan; debug builds catch the violation at
+    /// the next sharded scan via a revision check.
     pub fn evaluator_mut(&mut self) -> &mut OpacityEvaluator {
         self.ev
     }
@@ -195,6 +211,7 @@ impl RunContext<'_> {
         let current = self.ev.assessment();
         choose_move(
             self.ev,
+            self.forks,
             candidates,
             current,
             self.config,
@@ -204,18 +221,25 @@ impl RunContext<'_> {
         )
     }
 
-    /// Applies a combo permanently and records it in the edit lists.
+    /// Applies a combo permanently and records it in the edit lists. Each
+    /// applied move's forward delta is replayed onto the run's persistent
+    /// scan forks (O(changed cells) per fork), so the next sharded scan
+    /// needs no `O(|V|²)` re-clone.
     pub fn commit(&mut self, kind: MoveKind, combo: &[Edge]) {
         for &e in combo {
-            match kind {
+            let token = match kind {
                 MoveKind::Remove => {
-                    let _committed = self.ev.apply_remove(e);
                     self.totals.removed.push(e);
+                    self.ev.apply_remove(e)
                 }
                 MoveKind::Insert => {
-                    let _committed = self.ev.apply_insert(e);
                     self.totals.inserted.push(e);
+                    self.ev.apply_insert(e)
                 }
+            };
+            if self.forks.warm() {
+                let delta = self.ev.commit_delta(&token);
+                self.forks.replay(&delta);
             }
         }
     }
@@ -233,6 +257,7 @@ impl RunContext<'_> {
             edits: self.totals.removed.len() + self.totals.inserted.len(),
             removed: self.totals.removed.len(),
             inserted: self.totals.inserted.len(),
+            fork_clones: self.forks.clones(),
         };
         self.observer.on_step(&event);
     }
@@ -329,6 +354,12 @@ impl<'a> Anonymizer<'a> {
     }
 
     /// The cached pristine evaluator, (re)built when `(l, engine)` changed.
+    ///
+    /// The build shards its truncated-BFS APSP over
+    /// [`AnonymizeConfig::parallelism`] — the knob is deliberately *not*
+    /// part of the cache key, because the sharded build is identical to
+    /// the sequential one for every worker count (see
+    /// [`lopacity_apsp::ApspEngine::compute_with`]).
     fn prepared(&mut self) -> &OpacityEvaluator {
         let (l, engine) = (self.config.l, self.config.engine);
         let stale = match &self.cache {
@@ -336,7 +367,13 @@ impl<'a> Anonymizer<'a> {
             None => true,
         };
         if stale {
-            let ev = OpacityEvaluator::with_engine(self.graph.clone(), self.spec, l, engine);
+            let ev = OpacityEvaluator::with_engine_parallel(
+                self.graph.clone(),
+                self.spec,
+                l,
+                engine,
+                self.config.parallelism,
+            );
             self.cache = Some(Prepared { l, engine, ev });
         }
         &self.cache.as_ref().expect("cache just ensured").ev
@@ -374,9 +411,10 @@ impl<'a> Anonymizer<'a> {
         let config = self.config;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut totals = RunTotals::default();
-        self.execute_segment(&mut ev, &mut rng, &mut totals, &config, &mut strategy);
+        let mut forks = ForkSet::new();
+        self.execute_segment(&mut ev, &mut forks, &mut rng, &mut totals, &config, &mut strategy);
         let a = ev.assessment();
-        let outcome = totals.outcome(ev.into_graph(), a, config.theta);
+        let outcome = totals.outcome(ev.into_graph(), a, config.theta, forks.clones());
         if let Some(observer) = self.observer.as_deref_mut() {
             observer.on_run_end(&outcome);
         }
@@ -431,6 +469,9 @@ impl<'a> Anonymizer<'a> {
         let mut ev = self.prepared().clone();
         let mut rng = StdRng::seed_from_u64(base.seed);
         let mut totals = RunTotals::default();
+        // One fork set across every resumed segment — forks warmed for an
+        // early θ keep serving the later ones, exactly like one long run.
+        let mut forks = ForkSet::new();
         let mut runs = Vec::with_capacity(order.len());
         for &theta in order {
             let mut config = base;
@@ -438,10 +479,12 @@ impl<'a> Anonymizer<'a> {
             let (trials_before, edits_before) =
                 (totals.trials, totals.removed.len() + totals.inserted.len());
             let start = std::time::Instant::now();
-            self.execute_segment(&mut ev, &mut rng, &mut totals, &config, &mut strategy);
+            self.execute_segment(
+                &mut ev, &mut forks, &mut rng, &mut totals, &config, &mut strategy,
+            );
             let secs = start.elapsed().as_secs_f64();
             let a = ev.assessment();
-            let outcome = totals.outcome(ev.graph().clone(), a, theta);
+            let outcome = totals.outcome(ev.graph().clone(), a, theta, forks.clones());
             if let Some(observer) = self.observer.as_deref_mut() {
                 observer.on_run_end(&outcome);
             }
@@ -460,6 +503,7 @@ impl<'a> Anonymizer<'a> {
     fn execute_segment<S: Strategy>(
         &mut self,
         ev: &mut OpacityEvaluator,
+        forks: &mut ForkSet,
         rng: &mut StdRng,
         totals: &mut RunTotals,
         config: &AnonymizeConfig,
@@ -480,7 +524,7 @@ impl<'a> Anonymizer<'a> {
             trials_before: totals.trials,
             steps_before: totals.steps,
         });
-        let mut ctx = RunContext { ev, config, rng, observer, totals };
+        let mut ctx = RunContext { ev, forks, config, rng, observer, totals };
         strategy.execute(&mut ctx);
     }
 }

@@ -48,6 +48,19 @@ impl Parallelism {
     pub fn is_adaptive(self) -> bool {
         matches!(self, Parallelism::Auto)
     }
+
+    /// Resolves the worker count for a workload of `n` independent items:
+    /// [`Parallelism::Auto`] below `auto_floor` items falls back to 1 (the
+    /// caller's measured break-even point for its per-worker overhead);
+    /// otherwise the machine worker count, capped at `n` so no worker goes
+    /// idle. `Fixed` ignores the floor — the equivalence suites rely on
+    /// that to force sharding on tiny inputs.
+    pub fn resolve(self, n: usize, auto_floor: usize) -> usize {
+        if self.is_adaptive() && n < auto_floor {
+            return 1;
+        }
+        self.workers().min(n.max(1))
+    }
 }
 
 impl std::str::FromStr for Parallelism {
@@ -102,16 +115,47 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    // One unit state per shard: the stateless scan is the stateful one
+    // with nothing to carry, so the shard-bounds arithmetic and the
+    // spawn/join/panic machinery live in exactly one place.
+    let mut states = vec![(); workers.clamp(1, items.len().max(1))];
+    run_sharded_with(items, &mut states, |offset, shard, _unit| work(offset, shard))
+}
+
+/// Like [`run_sharded`], but each shard additionally borrows a dedicated
+/// **worker state** for the duration of its scan: shard `w` receives
+/// `&mut states[w]`. This is the zero-copy variant the greedy candidate
+/// scan runs on — the states are long-lived evaluator forks owned by the
+/// caller, so sharding a scan costs thread spawns only, never the
+/// `O(|V|²)` clone a fresh fork would.
+///
+/// Sharding is identical to [`run_sharded`] with `workers = states.len()`:
+/// contiguous shards in offset order, sizes differing by at most one,
+/// larger shards first, shard 0 (with `states[0]`) on the calling thread.
+/// When `items.len() < states.len()`, only the first `items.len()` states
+/// are borrowed; the rest are untouched. Empty `items` returns an empty
+/// vector without touching any state.
+///
+/// # Panics
+/// Panics when `states` is empty and `items` is not (there is nothing to
+/// run the work on). Worker panics propagate like [`run_sharded`]'s.
+pub fn run_sharded_with<T, W, R, F>(items: &[T], states: &mut [W], work: F) -> Vec<R>
+where
+    T: Sync,
+    W: Send,
+    R: Send,
+    F: Fn(usize, &[T], &mut W) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
-    let shards = workers.clamp(1, items.len());
+    assert!(!states.is_empty(), "run_sharded_with needs at least one worker state");
+    let shards = states.len().min(items.len());
     if shards == 1 {
-        return vec![work(0, items)];
+        return vec![work(0, items, &mut states[0])];
     }
     let base = items.len() / shards;
     let extra = items.len() % shards;
-    // Shard w covers `base` items, plus one more for the first `extra`.
     let bounds: Vec<(usize, usize)> = (0..shards)
         .scan(0usize, |offset, w| {
             let len = base + usize::from(w < extra);
@@ -125,14 +169,18 @@ where
     results.resize_with(shards, || None);
     let work = &work;
     std::thread::scope(|scope| {
+        let (first_state, rest_states) = states.split_first_mut().expect("states >= 1");
         let (first_slot, rest_slots) = results.split_first_mut().expect("shards >= 2");
         let handles: Vec<_> = bounds[1..]
             .iter()
-            .map(|&(start, len)| scope.spawn(move || work(start, &items[start..start + len])))
+            .zip(rest_states.iter_mut())
+            .map(|(&(start, len), state)| {
+                scope.spawn(move || work(start, &items[start..start + len], state))
+            })
             .collect();
         // Shard 0 runs here: the calling thread is a worker, not a waiter.
         let (start, len) = bounds[0];
-        *first_slot = Some(work(start, &items[start..start + len]));
+        *first_slot = Some(work(start, &items[start..start + len], first_state));
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         for (slot, handle) in rest_slots.iter_mut().zip(handles) {
             match handle.join() {
@@ -237,6 +285,94 @@ mod tests {
     }
 
     #[test]
+    fn stateful_shards_match_stateless_bounds() {
+        // run_sharded_with must shard exactly like run_sharded given
+        // workers == states.len(): the scan-equivalence contract depends
+        // on the boundaries being identical.
+        for len in 1..40usize {
+            for workers in 1..10usize {
+                let items: Vec<usize> = (0..len).collect();
+                let stateless = run_sharded(&items, workers, |offset, shard| (offset, shard.len()));
+                let mut states = vec![0u64; workers];
+                let stateful = run_sharded_with(&items, &mut states, |offset, shard, state| {
+                    *state += shard.len() as u64;
+                    (offset, shard.len())
+                });
+                assert_eq!(stateless, stateful, "len={len} workers={workers}");
+                // Every item was charged to exactly one state.
+                assert_eq!(states.iter().sum::<u64>(), len as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_shard_w_gets_state_w() {
+        let items: Vec<u32> = (0..9).collect();
+        let mut states: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        run_sharded_with(&items, &mut states, |_, shard, state| state.extend_from_slice(shard));
+        assert_eq!(states[0], vec![0, 1, 2]);
+        assert_eq!(states[1], vec![3, 4, 5]);
+        assert_eq!(states[2], vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn stateful_excess_states_stay_untouched() {
+        let items = [10u32, 20];
+        let mut states = vec![0u32; 5];
+        let out = run_sharded_with(&items, &mut states, |_, shard, state| {
+            *state = shard[0];
+            shard[0]
+        });
+        assert_eq!(out, vec![10, 20]);
+        assert_eq!(states, vec![10, 20, 0, 0, 0]);
+    }
+
+    #[test]
+    fn stateful_empty_input_touches_nothing() {
+        let mut states = vec![7u32; 3];
+        let out: Vec<u32> = run_sharded_with(&[] as &[u32], &mut states, |_, _, s| *s);
+        assert!(out.is_empty());
+        assert_eq!(states, vec![7, 7, 7]);
+        // An empty state slice is fine as long as the input is empty too.
+        let out: Vec<u32> = run_sharded_with(&[] as &[u32], &mut [] as &mut [u32], |_, _, s| *s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker state")]
+    fn stateful_rejects_missing_states() {
+        run_sharded_with(&[1u32], &mut [] as &mut [u32], |_, _, _| ());
+    }
+
+    #[test]
+    fn stateful_single_state_runs_inline() {
+        let mut states = [std::thread::current().id()];
+        let out = run_sharded_with(&[1u32, 2, 3], &mut states, |offset, shard, state| {
+            assert_eq!(offset, 0);
+            assert_eq!(shard.len(), 3);
+            (*state, std::thread::current().id())
+        });
+        assert_eq!(out[0].0, out[0].1, "single state must not spawn");
+    }
+
+    #[test]
+    fn stateful_panicking_worker_propagates_payload() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            let mut states = vec![0u8; 4];
+            run_sharded_with(&items, &mut states, |offset, _, _| {
+                if offset >= 4 {
+                    panic!("stateful shard {offset} exploded");
+                }
+                offset
+            })
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("exploded"), "unexpected payload {message:?}");
+    }
+
+    #[test]
     fn parallelism_parses_and_resolves() {
         assert_eq!("auto".parse::<Parallelism>().unwrap(), Parallelism::Auto);
         assert_eq!("off".parse::<Parallelism>().unwrap(), Parallelism::Off);
@@ -247,5 +383,15 @@ mod tests {
         assert_eq!(Parallelism::Fixed(3).workers(), 3);
         assert!(Parallelism::Auto.workers() >= 1);
         assert_eq!(Parallelism::Fixed(4).to_string(), "4");
+    }
+
+    #[test]
+    fn resolve_applies_the_auto_floor_and_item_cap() {
+        assert_eq!(Parallelism::Off.resolve(10_000, 64), 1);
+        assert_eq!(Parallelism::Auto.resolve(63, 64), 1, "Auto below floor is sequential");
+        assert!(Parallelism::Auto.resolve(64, 64) >= 1);
+        assert_eq!(Parallelism::Fixed(4).resolve(3, 64), 3, "Fixed ignores floor, capped at n");
+        assert_eq!(Parallelism::Fixed(4).resolve(0, 64), 1, "empty input still resolves");
+        assert_eq!(Parallelism::Fixed(2).resolve(100, 64), 2);
     }
 }

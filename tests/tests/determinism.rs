@@ -85,6 +85,28 @@ fn repeated_runs_are_byte_identical_with_auto() {
     assert_repeat_runs_identical(Parallelism::Auto, "auto");
 }
 
+/// The fork-clone perf counter is itself deterministic per configuration:
+/// repeated runs warm up identically (same candidate counts, same worker
+/// resolution), so a changing counter would reveal scheduling leaking into
+/// the warmup decision.
+#[test]
+fn fork_clone_counter_is_deterministic() {
+    let original = Dataset::Gnutella.generate(120, 9);
+    for parallelism in [Parallelism::Off, Parallelism::Fixed(4)] {
+        // L = 2, θ = 0.3 really steps on this instance (L = 1 is already
+        // below every θ the suite uses, which would warm no forks at all).
+        let config = AnonymizeConfig::new(2, 0.3).with_seed(17).with_parallelism(parallelism);
+        let first = edge_removal(&original, &TypeSpec::DegreePairs, &config);
+        let second = edge_removal(&original, &TypeSpec::DegreePairs, &config);
+        assert!(first.steps > 0, "instance must actually step ({parallelism})");
+        assert_eq!(first.fork_clones, second.fork_clones, "{parallelism}");
+        match parallelism {
+            Parallelism::Off => assert_eq!(first.fork_clones, 0),
+            _ => assert_eq!(first.fork_clones, 3, "Fixed(4) warms exactly 3 forks"),
+        }
+    }
+}
+
 #[test]
 fn four_workers_match_sequential_byte_for_byte() {
     let original = Dataset::Gnutella.generate(120, 9);

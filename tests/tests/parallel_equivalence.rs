@@ -19,8 +19,8 @@
 
 use lopacity::opacity::opacity_report_against_original;
 use lopacity::{
-    edge_removal, edge_removal_insertion, AnonymizeConfig, AnonymizationOutcome, Parallelism,
-    TypeSpec,
+    edge_removal, edge_removal_insertion, AnonymizeConfig, AnonymizationOutcome, Anonymizer,
+    Parallelism, ProgressObserver, Removal, RemovalInsertion, StepEvent, TypeSpec,
 };
 use lopacity_gen::er::gnm;
 use lopacity_graph::Graph;
@@ -124,6 +124,118 @@ proptest! {
             assert_outcomes_identical(&sequential, &par, &context)?;
         }
     }
+}
+
+/// Captures the cumulative fork-clone counter at every committed step.
+#[derive(Default)]
+struct ForkCloneTrace {
+    per_step: Vec<u64>,
+}
+
+impl ProgressObserver for ForkCloneTrace {
+    fn on_step(&mut self, event: &StepEvent) {
+        self.per_step.push(event.fork_clones);
+    }
+}
+
+/// The zero-copy guarantee of the persistent-fork scan (issue 4): after
+/// warmup — which completes within the first greedy step, the first time a
+/// sharded scan runs — a step performs **zero** `O(|V|²)` evaluator
+/// clones. Asserted through the fork-clone counter: the per-step cumulative
+/// count is constant from step 1 on, and the total equals the warmup's
+/// `workers - 1` forks.
+#[test]
+fn sharded_scans_clone_only_at_warmup() {
+    let g = gnm(60, 180, 5);
+    for workers in [2usize, 3, 8] {
+        let config = AnonymizeConfig::new(1, 0.2)
+            .with_seed(11)
+            .with_parallelism(Parallelism::Fixed(workers));
+        let mut trace = ForkCloneTrace::default();
+        let out = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+            .config(config)
+            .observer(&mut trace)
+            .run_once(Removal);
+        assert!(out.steps >= 3, "need a multi-step run to observe the warm path");
+        assert_eq!(trace.per_step.len(), out.steps);
+        assert_eq!(
+            trace.per_step[0],
+            workers as u64 - 1,
+            "warmup must clone exactly workers - 1 forks (workers={workers})"
+        );
+        assert!(
+            trace.per_step.iter().all(|&c| c == trace.per_step[0]),
+            "fork clones after warmup (workers={workers}): {:?}",
+            trace.per_step
+        );
+        assert_eq!(out.fork_clones, workers as u64 - 1);
+    }
+}
+
+/// Same guarantee for Algorithm 5, whose two phases (removal over edges,
+/// insertion over the much larger non-edge set) share one fork set: the
+/// widest phase of step 1 fixes the fork count for the whole run.
+#[test]
+fn removal_insertion_shares_forks_across_phases() {
+    let g = gnm(40, 90, 3);
+    let workers = 4usize;
+    let config = AnonymizeConfig::new(1, 0.2)
+        .with_seed(7)
+        .with_parallelism(Parallelism::Fixed(workers));
+    let mut trace = ForkCloneTrace::default();
+    let out = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+        .config(config)
+        .observer(&mut trace)
+        .run_once(RemovalInsertion::default());
+    assert!(out.steps >= 2);
+    assert!(
+        trace.per_step.iter().all(|&c| c == trace.per_step[0]),
+        "fork clones grew after step 1: {:?}",
+        trace.per_step
+    );
+    assert_eq!(out.fork_clones, workers as u64 - 1);
+}
+
+/// Sequential runs never fork; the counter is a pure perf counter and sits
+/// outside the equivalence contract (every other outcome facet identical).
+#[test]
+fn sequential_runs_never_clone() {
+    let g = gnm(60, 180, 5);
+    let base = AnonymizeConfig::new(1, 0.3).with_seed(11);
+    let seq = edge_removal(&g, &TypeSpec::DegreePairs, &base.with_parallelism(Parallelism::Off));
+    let par = edge_removal(
+        &g,
+        &TypeSpec::DegreePairs,
+        &base.with_parallelism(Parallelism::Fixed(3)),
+    );
+    assert_eq!(seq.fork_clones, 0);
+    assert_eq!(par.fork_clones, 2);
+    assert_eq!(seq.removed, par.removed);
+    assert_eq!(seq.graph, par.graph);
+    assert_eq!(seq.trials, par.trials);
+}
+
+/// A resumed multi-θ sweep keeps one fork set across every segment: the
+/// warmup of the first θ serves all later ones.
+#[test]
+fn resumed_sweeps_reuse_forks_across_segments() {
+    let g = gnm(60, 180, 5);
+    let workers = 3usize;
+    let config = AnonymizeConfig::new(1, 0.2)
+        .with_seed(11)
+        .with_parallelism(Parallelism::Fixed(workers));
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs).config(config);
+    let runs = session.sweep(&[0.8, 0.5, 0.2], Removal);
+    assert!(runs.iter().all(|r| r.outcome.steps > 0));
+    for run in &runs {
+        assert!(
+            run.outcome.fork_clones <= workers as u64 - 1,
+            "θ={} re-cloned forks: {}",
+            run.theta,
+            run.outcome.fork_clones
+        );
+    }
+    assert_eq!(runs.last().unwrap().outcome.fork_clones, workers as u64 - 1);
 }
 
 /// `Auto` must also be equivalent — whatever worker count the machine
