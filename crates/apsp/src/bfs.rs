@@ -84,6 +84,28 @@ impl TruncatedBfs {
     }
 }
 
+/// Mean within-`l` ball size (vertices at distance `1..=l`, source
+/// excluded) over up to `samples` evenly-strided sources — the density
+/// probe behind the adaptive store-backend choice. Deterministic: sources
+/// are `0, s, 2s, …` for stride `s = n / samples`, never random. Returns
+/// 0.0 for an empty graph.
+pub fn sampled_mean_ball(graph: &Graph, l: u8, samples: usize) -> f64 {
+    let n = graph.num_vertices();
+    if n == 0 || samples == 0 {
+        return 0.0;
+    }
+    let count = samples.min(n);
+    let stride = n / count;
+    let mut bfs = TruncatedBfs::new(n);
+    let mut total = 0usize;
+    for k in 0..count {
+        let src = (k * stride) as VertexId;
+        bfs.run(graph, src, l);
+        total += bfs.reached().len() - 1;
+    }
+    total as f64 / count as f64
+}
+
 /// Full truncated APSP: one bounded BFS per source.
 pub fn truncated_bfs_apsp(graph: &Graph, l: u8) -> DistanceMatrix {
     truncated_bfs_apsp_sharded(graph, l, 1)

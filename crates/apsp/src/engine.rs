@@ -11,8 +11,9 @@ use lopacity_util::Parallelism;
 /// floor (the equivalence suites force sharded builds on tiny graphs).
 const AUTO_PARALLEL_MIN_BUILD_VERTICES: usize = 512;
 
-/// Worker count for a truncated-BFS build over `n` sources.
-fn build_workers(parallelism: Parallelism, n: usize) -> usize {
+/// Worker count for a truncated-BFS build over `n` sources (shared with
+/// the sparse-store build, which shards the same per-source BFS sweep).
+pub(crate) fn build_workers(parallelism: Parallelism, n: usize) -> usize {
     parallelism.resolve(n, AUTO_PARALLEL_MIN_BUILD_VERTICES)
 }
 
@@ -65,6 +66,25 @@ impl ApspEngine {
             ApspEngine::PrunedFloydWarshall => pruned::l_pruned_floyd_warshall(graph, l),
             ApspEngine::PointerFloydWarshall => pointer::pointer_floyd_warshall(graph, l),
         }
+    }
+
+    /// Like [`ApspEngine::compute_with`], but producing a
+    /// [`DistStore`](crate::DistStore) —
+    /// the representation-abstracted surface the incremental evaluator
+    /// consumes. `backend` picks the representation
+    /// ([`crate::StoreBackend::Auto`] samples the within-L density); the
+    /// *contents* are identical for every choice, only the memory layout
+    /// and access costs differ. With the truncated-BFS engine the sparse
+    /// backend is built directly from the per-source sweeps, so no
+    /// `Θ(n²)` intermediate ever materializes.
+    pub fn compute_store(
+        self,
+        graph: &Graph,
+        l: u8,
+        parallelism: Parallelism,
+        backend: crate::StoreBackend,
+    ) -> crate::DistStore {
+        crate::DistStore::build(graph, l, self, parallelism, backend)
     }
 
     /// All engines, for cross-checking and benches.

@@ -28,10 +28,12 @@ pub mod engine;
 pub mod floyd;
 pub mod pointer;
 pub mod pruned;
+pub mod store;
 
-pub use bfs::{truncated_bfs_apsp, truncated_bfs_apsp_sharded, TruncatedBfs};
+pub use bfs::{sampled_mean_ball, truncated_bfs_apsp, truncated_bfs_apsp_sharded, TruncatedBfs};
 pub use dist::{DistanceMatrix, INF, NIBBLE_MAX_L};
 pub use engine::ApspEngine;
+pub use store::{auto_prefers_sparse, DistStore, SparseStore, StoreBackend};
 pub use floyd::{floyd_warshall, FullDistanceMatrix, INF_FULL};
 pub use pointer::pointer_floyd_warshall;
 pub use pruned::l_pruned_floyd_warshall;

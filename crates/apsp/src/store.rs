@@ -1,0 +1,1004 @@
+//! Output-sensitive distance storage: one interface, two representations.
+//!
+//! The greedy heuristics only ever care about vertex pairs within distance
+//! `L`. The dense [`DistanceMatrix`] spends `Θ(|V|²)` bytes regardless —
+//! ~25 MB nibble-packed at `|V| = 10⁴` and a hopeless 2.5 GB at `10⁵` —
+//! while the number of *finite* truncated distances is `Σ_v |ball_L(v)|`,
+//! which on the sparse graphs of the paper's evaluation is orders of
+//! magnitude smaller. [`DistStore`] abstracts over both:
+//!
+//! * [`DistStore::Dense`] — the packed triangular matrix, still the right
+//!   call for small or within-L-dense inputs (O(1) random access, no
+//!   per-entry overhead);
+//! * [`DistStore::Sparse`] — a [`SparseStore`]: per-source sorted within-L
+//!   neighbor lists in a CSR-style arena, a small sorted per-source
+//!   overflow vector for insertions, and tombstone-plus-compaction for
+//!   removals. Memory is `O(Σ |ball_L(v)|)`, and row iteration — the
+//!   evaluator's hot loop — is `O(|ball_L(v)|)` instead of `O(|V|)`.
+//!
+//! The backend is chosen once, at build time ([`DistStore::build`]):
+//! [`StoreBackend::Auto`] samples a few within-L balls and picks whichever
+//! representation is estimated smaller. The choice is invisible through
+//! the accessor API and never affects results — both backends hold exactly
+//! the same truncated distances (cross-backend [`PartialEq`] is logical,
+//! and the equivalence is property-tested across every APSP engine in
+//! `tests/store_equivalence.rs`).
+
+use crate::bfs::{sampled_mean_ball, TruncatedBfs};
+use crate::dist::{DistanceMatrix, INF, NIBBLE_MAX_L};
+use crate::engine::ApspEngine;
+use lopacity_graph::{Graph, VertexId};
+use lopacity_util::{pool, Parallelism};
+
+/// Which distance representation a build should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreBackend {
+    /// Estimate the within-L density from a sample of BFS balls and pick
+    /// whichever backend is predicted to occupy less memory (default).
+    #[default]
+    Auto,
+    /// Always the packed triangular [`DistanceMatrix`].
+    Dense,
+    /// Always the [`SparseStore`].
+    Sparse,
+}
+
+impl StoreBackend {
+    /// Short stable name (CSV columns, bench ids).
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreBackend::Auto => "auto",
+            StoreBackend::Dense => "dense",
+            StoreBackend::Sparse => "sparse",
+        }
+    }
+}
+
+impl std::str::FromStr for StoreBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(StoreBackend::Auto),
+            "dense" => Ok(StoreBackend::Dense),
+            "sparse" => Ok(StoreBackend::Sparse),
+            other => {
+                Err(format!("unknown store backend {other:?} (expected auto, dense or sparse)"))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for StoreBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Fewest vertices for which [`StoreBackend::Auto`] even considers the
+/// sparse representation: below this the dense matrix is at most a few
+/// hundred KB and its O(1) access wins outright.
+const AUTO_MIN_SPARSE_VERTICES: usize = 4096;
+
+/// Ball samples drawn by the adaptive backend choice.
+const AUTO_DENSITY_SAMPLES: usize = 64;
+
+/// Bytes per directed sparse entry (`u32` neighbor + `u8` distance in the
+/// parallel arena vectors).
+const DIRECTED_ENTRY_BYTES: usize = 5;
+
+/// The pure decision function behind [`StoreBackend::Auto`]: given the
+/// vertex count, the measured (sampled) mean within-L ball size, and `l`,
+/// would the sparse representation be smaller than the dense one?
+///
+/// Estimated sparse footprint: `n · ball · 5` bytes of arena entries (each
+/// finite pair appears in both endpoint rows) plus the row-offset table;
+/// dense footprint: `n (n−1) / 2` pairs at a nibble (`l ≤ 14`) or byte
+/// each. Tiny graphs (under 4096 vertices) always stay dense. Exposed
+/// (and unit-pinned) separately from the sampling so the policy is
+/// testable without building 10⁵-vertex graphs.
+pub fn auto_prefers_sparse(n: usize, mean_ball: f64, l: u8) -> bool {
+    if n < AUTO_MIN_SPARSE_VERTICES {
+        return false;
+    }
+    let pairs = n * n.saturating_sub(1) / 2;
+    let dense_bytes = if l <= NIBBLE_MAX_L { pairs.div_ceil(2) } else { pairs };
+    let sparse_bytes =
+        n as f64 * mean_ball * DIRECTED_ENTRY_BYTES as f64 + ((n + 1) * 8) as f64;
+    sparse_bytes < dense_bytes as f64
+}
+
+/// A truncated distance store: every finite entry is a geodesic distance
+/// `<= L`; everything longer (or unreachable) reads as [`INF`].
+///
+/// Both variants expose the same accessor surface; see the [module
+/// docs](self) for when each wins. [`PartialEq`] is *logical* — a dense
+/// and a sparse store holding the same truncated distances are equal.
+#[derive(Clone)]
+pub enum DistStore {
+    /// Packed triangular matrix: `Θ(n²)` bytes, O(1) access.
+    Dense(DistanceMatrix),
+    /// CSR-arena within-L rows: `O(Σ |ball|)` bytes, O(ball) row scans.
+    Sparse(SparseStore),
+}
+
+impl DistStore {
+    /// Builds the store for `graph` at threshold `l` using `engine`,
+    /// resolving [`StoreBackend::Auto`] from `n` and a sampled within-L
+    /// density. Only the truncated-BFS engine builds the sparse rows
+    /// directly (never materializing `Θ(n²)` state); the Floyd–Warshall
+    /// family computes its dense matrix first and converts — those engines
+    /// are `Θ(n²)`-resident by nature anyway.
+    pub fn build(
+        graph: &Graph,
+        l: u8,
+        engine: ApspEngine,
+        parallelism: Parallelism,
+        backend: StoreBackend,
+    ) -> DistStore {
+        let sparse = match backend {
+            StoreBackend::Dense => false,
+            StoreBackend::Sparse => true,
+            // Check the vertex floor before paying for the density
+            // probes: small graphs discard the sample unconditionally.
+            StoreBackend::Auto => {
+                graph.num_vertices() >= AUTO_MIN_SPARSE_VERTICES
+                    && auto_prefers_sparse(
+                        graph.num_vertices(),
+                        sampled_mean_ball(graph, l, AUTO_DENSITY_SAMPLES),
+                        l,
+                    )
+            }
+        };
+        if sparse {
+            match engine {
+                ApspEngine::TruncatedBfs => DistStore::Sparse(SparseStore::from_graph(
+                    graph,
+                    l,
+                    crate::engine::build_workers(parallelism, graph.num_vertices()),
+                )),
+                other => {
+                    DistStore::Sparse(SparseStore::from_matrix(&other.compute(graph, l)))
+                }
+            }
+        } else {
+            DistStore::Dense(engine.compute_with(graph, l, parallelism))
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            DistStore::Dense(m) => m.num_vertices(),
+            DistStore::Sparse(s) => s.num_vertices(),
+        }
+    }
+
+    /// Whether this is the sparse representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, DistStore::Sparse(_))
+    }
+
+    /// Short stable backend name (`"dense"` / `"sparse"`).
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            DistStore::Dense(_) => "dense",
+            DistStore::Sparse(_) => "sparse",
+        }
+    }
+
+    /// Truncated distance between `i` and `j` (0 when `i == j`). O(1)
+    /// dense, O(log ball) sparse.
+    #[inline]
+    pub fn get(&self, i: VertexId, j: VertexId) -> u8 {
+        match self {
+            DistStore::Dense(m) => m.get(i, j),
+            DistStore::Sparse(s) => s.get(i, j),
+        }
+    }
+
+    /// Sets the truncated distance of a pair; [`INF`] removes it.
+    ///
+    /// # Panics
+    /// Panics when `i == j` or either id is out of range.
+    #[inline]
+    pub fn set(&mut self, i: VertexId, j: VertexId, d: u8) {
+        match self {
+            DistStore::Dense(m) => m.set(i, j, d),
+            DistStore::Sparse(s) => s.set(i, j, d),
+        }
+    }
+
+    /// Calls `f(j, d)` for every vertex `j != i` with a *finite* truncated
+    /// distance `d` to `i`, in ascending `j`. This is the evaluator's hot
+    /// row scan: O(n) dense, O(ball) sparse.
+    #[inline]
+    pub fn for_each_finite_in_row(&self, i: VertexId, mut f: impl FnMut(VertexId, u8)) {
+        match self {
+            DistStore::Dense(m) => {
+                let n = m.num_vertices() as VertexId;
+                for j in 0..n {
+                    if j != i {
+                        let d = m.get(i, j);
+                        if d != INF {
+                            f(j, d);
+                        }
+                    }
+                }
+            }
+            DistStore::Sparse(s) => s.for_each_finite_in_row(i, f),
+        }
+    }
+
+    /// Calls `f(i, j, d)` for every finite pair with `i < j`, rows
+    /// ascending, `j` ascending within a row.
+    pub fn for_each_finite_pair(&self, mut f: impl FnMut(VertexId, VertexId, u8)) {
+        match self {
+            DistStore::Dense(m) => {
+                for (i, j, d) in m.iter_pairs() {
+                    if d != INF {
+                        f(i, j, d);
+                    }
+                }
+            }
+            DistStore::Sparse(s) => {
+                for i in 0..s.num_vertices() as VertexId {
+                    s.for_each_finite_in_row(i, |j, d| {
+                        if j > i {
+                            f(i, j, d);
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    /// Number of unordered pairs currently within L. O(1) sparse, one
+    /// triangle scan dense.
+    pub fn live_pairs(&self) -> usize {
+        match self {
+            DistStore::Dense(m) => m.count_within(INF - 1),
+            DistStore::Sparse(s) => s.live() / 2,
+        }
+    }
+
+    /// Average finite entries per row (`2 · live_pairs / n`), at least 1 —
+    /// the evaluator's per-trial cost estimate is denominated in this.
+    pub fn mean_row(&self) -> usize {
+        let n = self.num_vertices();
+        if n == 0 {
+            return 1;
+        }
+        (2 * self.live_pairs() / n).max(1)
+    }
+
+    /// Bytes of backing storage (arena + offsets + overflow for sparse;
+    /// the packed triangle for dense).
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            DistStore::Dense(m) => m.storage_bytes(),
+            DistStore::Sparse(s) => s.storage_bytes(),
+        }
+    }
+
+    /// Materializes the dense matrix holding the same truncated distances
+    /// (`l` picks the packing, exactly like [`DistanceMatrix::new`]).
+    pub fn to_dense(&self, l: u8) -> DistanceMatrix {
+        match self {
+            DistStore::Dense(m) => m.clone(),
+            DistStore::Sparse(s) => {
+                let mut m = DistanceMatrix::new(s.num_vertices(), l);
+                self.for_each_finite_pair(|i, j, d| m.set(i, j, d));
+                m
+            }
+        }
+    }
+}
+
+impl PartialEq for DistStore {
+    /// Logical equality: same vertex count, same truncated distance for
+    /// every pair — regardless of backend, packing, tombstones, overflow,
+    /// or compaction history.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (DistStore::Dense(a), DistStore::Dense(b)) => a == b,
+            (DistStore::Sparse(a), DistStore::Sparse(b)) => a.logical_eq(b),
+            (DistStore::Dense(d), DistStore::Sparse(s))
+            | (DistStore::Sparse(s), DistStore::Dense(d)) => s.eq_dense(d),
+        }
+    }
+}
+
+impl Eq for DistStore {}
+
+impl PartialEq<DistanceMatrix> for DistStore {
+    fn eq(&self, other: &DistanceMatrix) -> bool {
+        match self {
+            DistStore::Dense(m) => m == other,
+            DistStore::Sparse(s) => s.eq_dense(other),
+        }
+    }
+}
+
+impl std::fmt::Debug for DistStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DistStore({}, n={}, live_pairs={}, {} bytes)",
+            self.backend_name(),
+            self.num_vertices(),
+            self.live_pairs(),
+            self.storage_bytes()
+        )
+    }
+}
+
+/// Arena tombstone / "no entry" marker: [`INF`] doubles as both because a
+/// live entry is by definition finite.
+const TOMBSTONE: u8 = INF;
+
+/// Compaction slack: tombstone or overflow populations below this never
+/// trigger a rebuild (tiny stores would otherwise compact on every churn).
+const COMPACT_SLACK: usize = 64;
+
+/// Per-row overflow cap: a single row's overflow beyond this triggers a
+/// compaction regardless of global ratios (it linearizes that row's reads).
+const ROW_OVERFLOW_MAX: usize = 64;
+
+/// The sparse truncated-distance store: for every source `v`, the sorted
+/// list of vertices within distance L of `v` (each finite pair appears in
+/// both endpoint rows).
+///
+/// Layout: one CSR-style arena (`row_start` offsets into parallel
+/// neighbor/distance vectors) built in one pass, plus two mutation
+/// side-structures that keep edits cheap without moving the arena:
+///
+/// * **removals** write a tombstone ([`INF`]) over the arena slot — O(log
+///   ball), no shifting;
+/// * **insertions** go to a small sorted per-row overflow vector — arena
+///   rows cannot grow in place;
+/// * a **compaction** rebuilds the arena (merging overflow, dropping
+///   tombstones) once tombstones or overflow exceed a quarter of the live
+///   entries (plus slack), or any single row's overflow passes the
+///   per-row cap (64) — amortized O(1) per mutation.
+///
+/// Re-inserting a tombstoned pair revives the arena slot in place (an id
+/// never lives in a row's arena segment and its overflow simultaneously),
+/// which is what keeps apply → undo churn from growing the store.
+/// Compaction points are a pure function of the mutation sequence, so
+/// evaluator forks replaying identical commit streams stay structurally
+/// identical, not merely logically equal.
+#[derive(Clone)]
+pub struct SparseStore {
+    n: usize,
+    /// `n + 1` offsets into the arena vectors.
+    row_start: Vec<usize>,
+    /// Arena neighbor ids, ascending within each row.
+    nbr: Vec<VertexId>,
+    /// Arena distances; [`TOMBSTONE`] marks a dead slot.
+    dval: Vec<u8>,
+    /// Sorted per-row insertion overflow, disjoint from the arena ids.
+    overflow: Vec<Vec<(VertexId, u8)>>,
+    /// Live *directed* entries (arena live + overflow). Twice the number
+    /// of finite pairs.
+    live: usize,
+    /// Dead arena slots awaiting compaction.
+    tombstones: usize,
+    /// Total overflow entries across rows.
+    overflow_len: usize,
+    /// Arena rebuilds performed (compaction-trigger tests read this).
+    compactions: u64,
+}
+
+impl SparseStore {
+    /// Builds the store with one depth-L BFS per source, sharded across up
+    /// to `workers` scoped threads (sources are independent; each worker
+    /// emits the rows of a contiguous source range and the caller
+    /// concatenates, so the result is identical for every worker count).
+    /// Peak memory is the finished store itself plus per-worker BFS
+    /// scratch — no `Θ(n²)` intermediate.
+    pub fn from_graph(graph: &Graph, l: u8, workers: usize) -> SparseStore {
+        let n = graph.num_vertices();
+        let sources: Vec<VertexId> = (0..n as VertexId).collect();
+        let shards = pool::run_sharded(&sources, workers.max(1), |_offset, shard| {
+            let mut bfs = TruncatedBfs::new(n);
+            let mut nbr: Vec<VertexId> = Vec::new();
+            let mut dval: Vec<u8> = Vec::new();
+            let mut lens: Vec<usize> = Vec::with_capacity(shard.len());
+            let mut row: Vec<(VertexId, u8)> = Vec::new();
+            for &src in shard {
+                bfs.run(graph, src, l);
+                row.clear();
+                row.extend(
+                    bfs.reached().iter().filter(|&&v| v != src).map(|&v| (v, bfs.dist(v))),
+                );
+                row.sort_unstable_by_key(|&(v, _)| v);
+                lens.push(row.len());
+                nbr.extend(row.iter().map(|&(v, _)| v));
+                dval.extend(row.iter().map(|&(_, d)| d));
+            }
+            (nbr, dval, lens)
+        });
+        let mut store = SparseStore {
+            n,
+            row_start: Vec::with_capacity(n + 1),
+            nbr: Vec::new(),
+            dval: Vec::new(),
+            overflow: vec![Vec::new(); n],
+            live: 0,
+            tombstones: 0,
+            overflow_len: 0,
+            compactions: 0,
+        };
+        store.row_start.push(0);
+        for (nbr, dval, lens) in shards {
+            for len in lens {
+                let last = *store.row_start.last().expect("row_start starts non-empty");
+                store.row_start.push(last + len);
+            }
+            store.live += nbr.len();
+            store.nbr.extend(nbr);
+            store.dval.extend(dval);
+        }
+        debug_assert_eq!(store.row_start.len(), n + 1);
+        store
+    }
+
+    /// Converts a dense matrix (row scans — `Θ(n²)` once; used for the
+    /// inherently dense Floyd–Warshall engines and for tests).
+    pub fn from_matrix(m: &DistanceMatrix) -> SparseStore {
+        let n = m.num_vertices();
+        let mut store = SparseStore {
+            n,
+            row_start: Vec::with_capacity(n + 1),
+            nbr: Vec::new(),
+            dval: Vec::new(),
+            overflow: vec![Vec::new(); n],
+            live: 0,
+            tombstones: 0,
+            overflow_len: 0,
+            compactions: 0,
+        };
+        store.row_start.push(0);
+        for i in 0..n as VertexId {
+            for j in 0..n as VertexId {
+                if j != i {
+                    let d = m.get(i, j);
+                    if d != INF {
+                        store.nbr.push(j);
+                        store.dval.push(d);
+                    }
+                }
+            }
+            store.row_start.push(store.nbr.len());
+        }
+        store.live = store.nbr.len();
+        store
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Live *directed* entries (each finite pair counts twice).
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Dead arena slots awaiting compaction.
+    pub fn tombstone_entries(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Entries currently parked in overflow vectors.
+    pub fn overflow_entries(&self) -> usize {
+        self.overflow_len
+    }
+
+    /// Arena rebuilds performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Bytes of backing storage: arena entries (live + tombstoned), the
+    /// row-offset table, the per-row overflow `Vec` headers, and overflow
+    /// entries (entries counted by length, not capacity — capacity is
+    /// allocator-dependent; length is the stable, comparable figure the
+    /// benches track).
+    pub fn storage_bytes(&self) -> usize {
+        self.nbr.len() * DIRECTED_ENTRY_BYTES
+            + self.row_start.len() * std::mem::size_of::<usize>()
+            + self.overflow.len() * std::mem::size_of::<Vec<(VertexId, u8)>>()
+            + self.overflow_len * DIRECTED_ENTRY_BYTES
+    }
+
+    /// The arena segment of row `i`.
+    #[inline]
+    fn row(&self, i: VertexId) -> (usize, usize) {
+        (self.row_start[i as usize], self.row_start[i as usize + 1])
+    }
+
+    /// Truncated distance between `i` and `j` (0 when `i == j`):
+    /// binary-search the arena row, then the overflow.
+    pub fn get(&self, i: VertexId, j: VertexId) -> u8 {
+        if i == j {
+            return 0;
+        }
+        debug_assert!((i as usize) < self.n && (j as usize) < self.n);
+        let (start, end) = self.row(i);
+        if let Ok(k) = self.nbr[start..end].binary_search(&j) {
+            return self.dval[start + k]; // TOMBSTONE already reads as INF
+        }
+        match self.overflow[i as usize].binary_search_by_key(&j, |&(v, _)| v) {
+            Ok(k) => self.overflow[i as usize][k].1,
+            Err(_) => INF,
+        }
+    }
+
+    /// Sets the truncated distance of the pair (both directed rows);
+    /// [`INF`] removes it. May trigger a compaction.
+    ///
+    /// # Panics
+    /// Panics when `i == j` or either id is out of range.
+    pub fn set(&mut self, i: VertexId, j: VertexId, d: u8) {
+        assert!(i != j, "no diagonal entries: ({i}, {j})");
+        assert!(
+            (i as usize) < self.n && (j as usize) < self.n,
+            "pair ({i}, {j}) out of range (n={})",
+            self.n
+        );
+        self.set_directed(i, j, d);
+        self.set_directed(j, i, d);
+        self.maybe_compact(i, j);
+    }
+
+    fn set_directed(&mut self, i: VertexId, j: VertexId, d: u8) {
+        let (start, end) = self.row(i);
+        if let Ok(k) = self.nbr[start..end].binary_search(&j) {
+            let slot = &mut self.dval[start + k];
+            if d == INF {
+                if *slot != TOMBSTONE {
+                    *slot = TOMBSTONE;
+                    self.tombstones += 1;
+                    self.live -= 1;
+                }
+            } else {
+                if *slot == TOMBSTONE {
+                    self.tombstones -= 1;
+                    self.live += 1;
+                }
+                *slot = d;
+            }
+            return;
+        }
+        let over = &mut self.overflow[i as usize];
+        match over.binary_search_by_key(&j, |&(v, _)| v) {
+            Ok(k) => {
+                if d == INF {
+                    over.remove(k);
+                    self.overflow_len -= 1;
+                    self.live -= 1;
+                } else {
+                    over[k].1 = d;
+                }
+            }
+            Err(k) => {
+                if d != INF {
+                    over.insert(k, (j, d));
+                    self.overflow_len += 1;
+                    self.live += 1;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the arena when mutation debt crosses the thresholds; the
+    /// decision reads only the store's own counters (plus the two rows the
+    /// triggering [`SparseStore::set`] touched), so replaying an identical
+    /// mutation stream compacts at identical points.
+    fn maybe_compact(&mut self, i: VertexId, j: VertexId) {
+        let global = self.tombstones > self.live / 4 + COMPACT_SLACK
+            || self.overflow_len > self.live / 4 + COMPACT_SLACK;
+        let row_hot = self.overflow[i as usize].len() > ROW_OVERFLOW_MAX
+            || self.overflow[j as usize].len() > ROW_OVERFLOW_MAX;
+        if global || row_hot {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the arena: merges each row's live arena entries with its
+    /// overflow, drops tombstones, resets the offsets. O(live + dead).
+    /// The merge itself is [`SparseStore::for_each_finite_in_row`] — the
+    /// one definition of what a row logically contains.
+    fn compact(&mut self) {
+        let mut nbr: Vec<VertexId> = Vec::with_capacity(self.live);
+        let mut dval: Vec<u8> = Vec::with_capacity(self.live);
+        let mut row_start: Vec<usize> = Vec::with_capacity(self.n + 1);
+        row_start.push(0);
+        for i in 0..self.n as VertexId {
+            self.for_each_finite_in_row(i, |j, d| {
+                nbr.push(j);
+                dval.push(d);
+            });
+            row_start.push(nbr.len());
+        }
+        debug_assert_eq!(nbr.len(), self.live, "compaction must keep every live entry");
+        self.nbr = nbr;
+        self.dval = dval;
+        self.row_start = row_start;
+        for over in &mut self.overflow {
+            over.clear();
+        }
+        self.tombstones = 0;
+        self.overflow_len = 0;
+        self.compactions += 1;
+    }
+
+    /// Calls `f(j, d)` for every finite entry of row `i`, ascending `j`
+    /// (arena and overflow merged, tombstones skipped). O(ball).
+    pub fn for_each_finite_in_row(&self, i: VertexId, mut f: impl FnMut(VertexId, u8)) {
+        let (start, end) = self.row(i);
+        let over = &self.overflow[i as usize];
+        let (mut a, mut b) = (start, 0usize);
+        loop {
+            while a < end && self.dval[a] == TOMBSTONE {
+                a += 1;
+            }
+            match (a < end, b < over.len()) {
+                (false, false) => break,
+                (true, false) => {
+                    f(self.nbr[a], self.dval[a]);
+                    a += 1;
+                }
+                (false, true) => {
+                    f(over[b].0, over[b].1);
+                    b += 1;
+                }
+                (true, true) => {
+                    if self.nbr[a] < over[b].0 {
+                        f(self.nbr[a], self.dval[a]);
+                        a += 1;
+                    } else {
+                        f(over[b].0, over[b].1);
+                        b += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Logical equality with another sparse store (layouts may differ).
+    fn logical_eq(&self, other: &SparseStore) -> bool {
+        if self.n != other.n || self.live != other.live {
+            return false;
+        }
+        for i in 0..self.n as VertexId {
+            let mut equal = true;
+            self.for_each_finite_in_row(i, |j, d| {
+                if other.get(i, j) != d {
+                    equal = false;
+                }
+            });
+            if !equal {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Logical equality with a dense matrix.
+    fn eq_dense(&self, m: &DistanceMatrix) -> bool {
+        if self.n != m.num_vertices() {
+            return false;
+        }
+        // Every finite pair counted by the matrix must be live here (same
+        // count + every live entry matches ⇒ the sets coincide).
+        if self.live != 2 * m.count_within(INF - 1) {
+            return false;
+        }
+        for i in 0..self.n as VertexId {
+            let mut equal = true;
+            self.for_each_finite_in_row(i, |j, d| {
+                if m.get(i, j) != d {
+                    equal = false;
+                }
+            });
+            if !equal {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for SparseStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SparseStore(n={}, live={}, tombstones={}, overflow={}, compactions={})",
+            self.n, self.live, self.tombstones, self.overflow_len, self.compactions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::truncated_bfs_apsp;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sparse_build_matches_dense_on_the_paper_graph() {
+        let g = paper_graph();
+        for l in 1..=4u8 {
+            let dense = truncated_bfs_apsp(&g, l);
+            for workers in [1usize, 2, 3, 8] {
+                let sparse = SparseStore::from_graph(&g, l, workers);
+                assert!(sparse.eq_dense(&dense), "L={l} workers={workers}");
+                for i in 0..7 {
+                    for j in 0..7 {
+                        assert_eq!(sparse.get(i, j), dense.get(i, j), "({i},{j}) L={l}");
+                    }
+                }
+            }
+            let converted = SparseStore::from_matrix(&dense);
+            assert!(converted.logical_eq(&SparseStore::from_graph(&g, l, 1)));
+        }
+    }
+
+    #[test]
+    fn row_iteration_is_sorted_and_finite() {
+        let g = paper_graph();
+        let s = SparseStore::from_graph(&g, 2, 1);
+        for i in 0..7 {
+            let mut prev: Option<VertexId> = None;
+            s.for_each_finite_in_row(i, |j, d| {
+                assert_ne!(j, i);
+                assert!(d >= 1 && d <= 2, "row {i}: distance {d}");
+                if let Some(p) = prev {
+                    assert!(j > p, "row {i} not ascending: {p} then {j}");
+                }
+                prev = Some(j);
+            });
+        }
+    }
+
+    #[test]
+    fn set_round_trips_against_a_dense_mirror() {
+        let g = paper_graph();
+        let mut sparse = DistStore::Sparse(SparseStore::from_graph(&g, 2, 1));
+        let mut dense = DistStore::Dense(truncated_bfs_apsp(&g, 2));
+        assert_eq!(sparse, dense);
+        // Remove, insert, update — mirrored on both backends.
+        let edits: [(VertexId, VertexId, u8); 6] =
+            [(0, 1, INF), (0, 6, 2), (3, 5, 2), (0, 6, INF), (0, 1, 1), (2, 6, 2)];
+        for (i, j, d) in edits {
+            sparse.set(i, j, d);
+            dense.set(i, j, d);
+            assert_eq!(sparse.get(i, j), dense.get(i, j));
+            assert_eq!(sparse, dense, "after set({i}, {j}, {d})");
+        }
+        assert_eq!(sparse.live_pairs(), dense.live_pairs());
+    }
+
+    #[test]
+    fn tombstone_then_revive_reuses_the_arena_slot() {
+        let g = paper_graph();
+        let mut s = SparseStore::from_graph(&g, 2, 1);
+        let live = s.live();
+        s.set(0, 1, INF);
+        assert_eq!(s.tombstone_entries(), 2, "both directed slots tombstoned");
+        assert_eq!(s.live(), live - 2);
+        assert_eq!(s.get(0, 1), INF);
+        s.set(0, 1, 1);
+        assert_eq!(s.tombstone_entries(), 0, "revival clears the tombstones in place");
+        assert_eq!(s.overflow_entries(), 0, "revival must not route through overflow");
+        assert_eq!(s.live(), live);
+        assert_eq!(s.get(0, 1), 1);
+    }
+
+    #[test]
+    fn inserting_an_absent_pair_lands_in_overflow() {
+        let g = paper_graph();
+        let mut s = SparseStore::from_graph(&g, 1, 1);
+        assert_eq!(s.get(0, 6), INF);
+        s.set(0, 6, 1);
+        assert_eq!(s.get(0, 6), 1);
+        assert_eq!(s.get(6, 0), 1);
+        assert_eq!(s.overflow_entries(), 2);
+        s.set(0, 6, INF);
+        assert_eq!(s.get(0, 6), INF);
+        assert_eq!(s.overflow_entries(), 0, "overflow removal drops the entry outright");
+    }
+
+    #[test]
+    fn setting_an_absent_pair_to_inf_is_a_noop() {
+        let g = paper_graph();
+        let mut s = SparseStore::from_graph(&g, 1, 1);
+        let (live, before) = (s.live(), s.overflow_entries());
+        s.set(0, 6, INF);
+        assert_eq!(s.live(), live);
+        assert_eq!(s.overflow_entries(), before);
+    }
+
+    /// On a near-empty store, the *global* overflow ratio
+    /// (`overflow > live/4 + SLACK`) is the first trigger: inserting k
+    /// absent pairs puts 2k entries in overflow with live = 2k, so the
+    /// ratio crosses at the first k with `2k > 2k/4 + 64`, i.e. k = 43.
+    #[test]
+    fn global_overflow_ratio_triggers_compaction() {
+        let n = 100usize;
+        let g = Graph::new(n); // edgeless: every pair starts absent
+        let mut s = SparseStore::from_graph(&g, 2, 1);
+        assert_eq!(s.live(), 0);
+        let mut compacted_at = None;
+        for j in 1..n as VertexId {
+            s.set(0, j, 1);
+            if s.compactions() > 0 && compacted_at.is_none() {
+                compacted_at = Some(j);
+            }
+        }
+        assert_eq!(
+            compacted_at,
+            Some((COMPACT_SLACK as u32 * 2 / 3) + 1),
+            "global ratio trigger point is pinned"
+        );
+        // Logical content survives the rebuild(s).
+        for j in 1..n as VertexId {
+            assert_eq!(s.get(0, j), 1);
+            assert_eq!(s.get(j, 0), 1);
+        }
+    }
+
+    /// With a large live baseline the global ratio stays quiet and the
+    /// per-row cap fires instead: one row absorbing insertions compacts as
+    /// soon as its own overflow passes [`ROW_OVERFLOW_MAX`].
+    #[test]
+    fn row_overflow_triggers_compaction() {
+        // A long path at L = 2 gives ~4 live entries per row — a baseline
+        // of ~2400 directed entries, so the global overflow ratio would
+        // need ~330 insertions while row 0 caps out at 65.
+        let n = 600usize;
+        let g = Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap();
+        let mut s = SparseStore::from_graph(&g, 2, 1);
+        let mut compacted_at = None;
+        for (k, j) in (10..n as VertexId).enumerate() {
+            s.set(0, j, 2); // d(0, j) on the path is j: all absent at L = 2
+            if s.compactions() > 0 && compacted_at.is_none() {
+                compacted_at = Some(k + 1);
+            }
+        }
+        assert_eq!(
+            compacted_at,
+            Some(ROW_OVERFLOW_MAX + 1),
+            "per-row trigger point is pinned"
+        );
+        for j in 10..n as VertexId {
+            assert_eq!(s.get(0, j), 2);
+        }
+    }
+
+    /// Mass tombstoning crosses the global ratio and compacts; surviving
+    /// entries keep their distances.
+    #[test]
+    fn tombstone_ratio_triggers_compaction() {
+        // A long path at L = 2: 2n - 3 finite pairs.
+        let n = 400usize;
+        let g = Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap();
+        let mut s = SparseStore::from_graph(&g, 2, 1);
+        let reference = truncated_bfs_apsp(&g, 2);
+        let finite: Vec<(u32, u32)> = {
+            let mut pairs = Vec::new();
+            reference.iter_pairs().for_each(|(a, b, d)| {
+                if d != INF {
+                    pairs.push((a, b));
+                }
+            });
+            pairs
+        };
+        let mut removed = Vec::new();
+        for &(a, b) in &finite {
+            if s.compactions() > 0 {
+                break;
+            }
+            s.set(a, b, INF); // arena entries: tombstones, no overflow
+            removed.push((a, b));
+        }
+        assert!(s.compactions() > 0, "ratio trigger never fired over {} pairs", finite.len());
+        assert_eq!(s.tombstone_entries(), 0);
+        for &(a, b) in &removed {
+            assert_eq!(s.get(a, b), INF);
+        }
+        // Every untouched pair still reads its original distance.
+        let removed_set: std::collections::HashSet<(u32, u32)> =
+            removed.into_iter().collect();
+        for (a, b, d) in reference.iter_pairs() {
+            if !removed_set.contains(&(a, b)) {
+                assert_eq!(s.get(a, b), d, "pair ({a}, {b}) after compaction");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_decision_is_pinned() {
+        // Below the vertex floor: always dense, however sparse the balls.
+        assert!(!auto_prefers_sparse(100, 1.0, 2));
+        assert!(!auto_prefers_sparse(AUTO_MIN_SPARSE_VERTICES - 1, 1.0, 2));
+        // 10⁴ vertices, ball ≈ 40: sparse needs ~2 MB vs 25 MB packed.
+        assert!(auto_prefers_sparse(10_000, 40.0, 2));
+        // Within-L-dense graph: ball ~ n/2 ⇒ sparse would cost 5·n²/2
+        // bytes vs n²/4 packed — dense wins.
+        assert!(!auto_prefers_sparse(10_000, 5_000.0, 2));
+        // Byte fallback (L > 14) doubles the dense cost; the break-even
+        // ball roughly doubles with it.
+        assert!(auto_prefers_sparse(10_000, 900.0, 20));
+        assert!(!auto_prefers_sparse(10_000, 1_100.0, 14));
+    }
+
+    #[test]
+    fn build_respects_forced_backends_and_engines() {
+        let g = paper_graph();
+        for engine in ApspEngine::ALL {
+            let dense =
+                DistStore::build(&g, 2, engine, Parallelism::Off, StoreBackend::Dense);
+            let sparse =
+                DistStore::build(&g, 2, engine, Parallelism::Off, StoreBackend::Sparse);
+            assert!(!dense.is_sparse());
+            assert!(sparse.is_sparse());
+            assert_eq!(dense, sparse, "engine {}", engine.name());
+        }
+        // Auto on a tiny graph stays dense.
+        let auto = DistStore::build(
+            &g,
+            2,
+            ApspEngine::TruncatedBfs,
+            Parallelism::Off,
+            StoreBackend::Auto,
+        );
+        assert!(!auto.is_sparse());
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [StoreBackend::Auto, StoreBackend::Dense, StoreBackend::Sparse] {
+            let parsed: StoreBackend = b.name().parse().unwrap();
+            assert_eq!(parsed, b);
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert!("packed".parse::<StoreBackend>().is_err());
+        assert_eq!(StoreBackend::default(), StoreBackend::Auto);
+    }
+
+    #[test]
+    fn empty_and_single_vertex_stores_work() {
+        for n in [0usize, 1] {
+            let g = Graph::new(n);
+            let s = SparseStore::from_graph(&g, 3, 4);
+            assert_eq!(s.live(), 0);
+            assert_eq!(s.num_vertices(), n);
+            let store = DistStore::Sparse(s);
+            assert_eq!(store.live_pairs(), 0);
+            assert_eq!(store.mean_row(), 1);
+        }
+    }
+
+    #[test]
+    fn to_dense_round_trips() {
+        let g = paper_graph();
+        let dense = truncated_bfs_apsp(&g, 2);
+        let sparse = DistStore::Sparse(SparseStore::from_graph(&g, 2, 1));
+        assert_eq!(sparse.to_dense(2), dense);
+        assert!(sparse.to_dense(2).is_packed());
+        assert!(!sparse.to_dense(20).is_packed());
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests: the two [`DistStore`] backends are interchangeable —
+//! same truncated distances from every APSP engine, same behavior under
+//! arbitrary mutation streams (including tombstone/compaction churn and
+//! the `L = 14/15` packing boundary on the dense side).
+
+use lopacity_apsp::{
+    ApspEngine, DistStore, DistanceMatrix, SparseStore, StoreBackend, INF, NIBBLE_MAX_L,
+};
+use lopacity_graph::{Graph, VertexId};
+use lopacity_util::Parallelism;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pair = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(pair, 0..n * 3).prop_map(move |pairs| {
+            let mut g = Graph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+/// All pairwise reads of a store against the reference matrix.
+fn assert_matches_matrix(
+    store: &DistStore,
+    reference: &DistanceMatrix,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let n = reference.num_vertices();
+    prop_assert_eq!(store.num_vertices(), n, "vertex count: {}", context);
+    for i in 0..n as VertexId {
+        for j in 0..n as VertexId {
+            prop_assert_eq!(
+                store.get(i, j),
+                reference.get(i, j),
+                "get({}, {}): {}",
+                i,
+                j,
+                context
+            );
+        }
+    }
+    // Row iteration yields exactly the finite entries, ascending.
+    for i in 0..n as VertexId {
+        let mut seen = Vec::new();
+        store.for_each_finite_in_row(i, |j, d| seen.push((j, d)));
+        let expected: Vec<(VertexId, u8)> = (0..n as VertexId)
+            .filter(|&j| j != i)
+            .filter_map(|j| {
+                let d = reference.get(i, j);
+                (d != INF).then_some((j, d))
+            })
+            .collect();
+        prop_assert_eq!(&seen, &expected, "row {} iteration: {}", i, context);
+    }
+    prop_assert_eq!(
+        store.live_pairs(),
+        reference.count_within(INF - 1),
+        "live pairs: {}",
+        context
+    );
+    prop_assert!(store == reference, "logical eq vs matrix: {}", context);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every engine × every backend × several worker counts produce the
+    /// same truncated distances; the sparse direct-BFS build matches the
+    /// dense-then-convert path.
+    #[test]
+    fn backends_agree_across_engines(g in arb_graph(18), l in 0u8..6) {
+        let reference = ApspEngine::FloydWarshall.compute(&g, l);
+        for engine in ApspEngine::ALL {
+            for backend in [StoreBackend::Dense, StoreBackend::Sparse] {
+                let store = engine.compute_store(&g, l, Parallelism::Off, backend);
+                let context = format!("engine {} backend {}", engine.name(), backend);
+                assert_matches_matrix(&store, &reference, &context)?;
+            }
+        }
+        for workers in [1usize, 2, 3, 8] {
+            let sparse = SparseStore::from_graph(&g, l, workers);
+            assert_matches_matrix(
+                &DistStore::Sparse(sparse),
+                &reference,
+                &format!("direct sparse build, workers={workers}"),
+            )?;
+        }
+    }
+
+    /// An arbitrary mutation stream (updates, removals, insertions —
+    /// enough of them to cross compaction triggers on small stores) keeps
+    /// the sparse store logically identical to a dense mirror, across the
+    /// nibble/byte packing boundary.
+    #[test]
+    fn mutation_streams_keep_backends_identical(
+        g in arb_graph(14),
+        l_sel in 0usize..4,
+        edits in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..200),
+    ) {
+        let l = [2, NIBBLE_MAX_L, NIBBLE_MAX_L + 1, 6][l_sel];
+        let n = g.num_vertices();
+        let mut sparse = DistStore::Sparse(SparseStore::from_graph(&g, l, 1));
+        let mut dense = DistStore::Dense(ApspEngine::TruncatedBfs.compute(&g, l));
+        for (a, b, raw_d) in edits {
+            let i = (a as usize % n) as VertexId;
+            let j = (b as usize % n) as VertexId;
+            if i == j {
+                continue;
+            }
+            // Legal values only: distances 1..=l (nibble-representable by
+            // construction) or INF (removal).
+            let d = if raw_d % 4 == 0 || l == 0 { INF } else { 1 + raw_d % l.max(1) };
+            sparse.set(i, j, d);
+            dense.set(i, j, d);
+            prop_assert_eq!(sparse.get(i, j), dense.get(i, j));
+        }
+        prop_assert_eq!(&sparse, &dense, "post-stream logical equality");
+        prop_assert_eq!(sparse.live_pairs(), dense.live_pairs());
+        // Row iteration order and content agree row by row.
+        for i in 0..n as VertexId {
+            let mut from_sparse = Vec::new();
+            sparse.for_each_finite_in_row(i, |j, d| from_sparse.push((j, d)));
+            let mut from_dense = Vec::new();
+            dense.for_each_finite_in_row(i, |j, d| from_dense.push((j, d)));
+            prop_assert_eq!(&from_sparse, &from_dense, "row {}", i);
+        }
+    }
+
+    /// Remove-then-restore round trips land the sparse store back on the
+    /// original content regardless of how many tombstones, overflow
+    /// entries, or compactions the excursion produced.
+    #[test]
+    fn remove_restore_round_trips(g in arb_graph(14), l in 1u8..5) {
+        let reference = ApspEngine::TruncatedBfs.compute(&g, l);
+        let mut store = DistStore::Sparse(SparseStore::from_graph(&g, l, 1));
+        let finite: Vec<(VertexId, VertexId, u8)> = {
+            let mut pairs = Vec::new();
+            store.for_each_finite_pair(|i, j, d| pairs.push((i, j, d)));
+            pairs
+        };
+        // Tombstone everything…
+        for &(i, j, _) in &finite {
+            store.set(i, j, INF);
+        }
+        prop_assert_eq!(store.live_pairs(), 0);
+        // …then restore in reverse order (half lands in overflow).
+        for &(i, j, d) in finite.iter().rev() {
+            store.set(i, j, d);
+        }
+        prop_assert!(store == reference, "round trip lost content");
+    }
+}
+
+/// `Auto` must resolve to *some* backend whose contents equal both forced
+/// backends — on a graph large enough to clear the adaptive floor.
+#[test]
+fn auto_backend_is_consistent_at_scale() {
+    // A ring of 5000 vertices: mean within-2 ball = 4, so Auto must pick
+    // sparse; contents must still match the forced-dense build.
+    let n = 5000usize;
+    let g = Graph::from_edges(
+        n,
+        (0..n as u32).map(|i| (i, ((i + 1) % n as u32))),
+    )
+    .unwrap();
+    let auto = ApspEngine::TruncatedBfs.compute_store(&g, 2, Parallelism::Off, StoreBackend::Auto);
+    assert!(auto.is_sparse(), "a ring is maximally within-L-sparse");
+    let dense = ApspEngine::TruncatedBfs.compute_store(&g, 2, Parallelism::Off, StoreBackend::Dense);
+    assert_eq!(auto, dense);
+    assert_eq!(auto.live_pairs(), 2 * n); // each vertex: 2 at d=1, 2 at d=2
+    assert!(
+        auto.storage_bytes() * 10 < dense.storage_bytes(),
+        "sparse ring must be far below a tenth of the dense footprint \
+         ({} vs {} bytes)",
+        auto.storage_bytes(),
+        dense.storage_bytes()
+    );
+}
+
+/// The packing boundary on the dense side of the store: `L = 14` packs
+/// two pairs per byte, `L = 15` falls back to bytes; the sparse backend is
+/// unaffected and equal to both.
+#[test]
+fn packing_boundary_is_store_invisible() {
+    let g = Graph::from_edges(40, (0..39u32).map(|i| (i, i + 1))).unwrap();
+    for l in [NIBBLE_MAX_L, NIBBLE_MAX_L + 1] {
+        let dense = ApspEngine::TruncatedBfs.compute_store(&g, l, Parallelism::Off, StoreBackend::Dense);
+        let sparse = ApspEngine::TruncatedBfs.compute_store(&g, l, Parallelism::Off, StoreBackend::Sparse);
+        let packed = match &dense {
+            DistStore::Dense(m) => m.is_packed(),
+            DistStore::Sparse(_) => unreachable!("forced dense"),
+        };
+        assert_eq!(packed, l <= NIBBLE_MAX_L, "L={l}");
+        assert_eq!(dense, sparse, "L={l}");
+    }
+}

@@ -4,7 +4,8 @@
 //! lopacify anonymize --in graph.txt --out anon.txt --l 2 --theta 0.5
 //!          [--method rem|rem-ins|exact|gaded-rand|gaded-max|gades]
 //!          [--lookahead N] [--seed N] [--max-steps N]
-//!          [--parallelism auto|off|N] [--sweep-mode resume|independent]
+//!          [--parallelism auto|off|N] [--store auto|dense|sparse]
+//!          [--sweep-mode resume|independent]
 //! lopacify opacity   --in graph.txt --l 2 [--original orig.txt]
 //! lopacify stats     --in graph.txt
 //! lopacify generate  --dataset google --n 500 --out graph.txt [--seed N]
@@ -23,7 +24,7 @@
 use lopacity::opacity::{opacity_report, opacity_report_against_original};
 use lopacity::{
     AnonymizeConfig, Anonymizer, ExactMinRemovals, Parallelism, Removal, RemovalInsertion,
-    SweepMode, TypeSpec,
+    StoreBackend, SweepMode, TypeSpec,
 };
 use lopacity_baselines::{gaded_max, gaded_rand, gades};
 use lopacity_gen::Dataset;
@@ -57,12 +58,17 @@ lopacify — linkage-aware graph anonymization (L-opacity, EDBT 2014)
 commands:
   anonymize --in FILE --out FILE --l N --theta X[,X2,...] [--method M]
             [--lookahead N] [--seed N] [--max-steps N]
-            [--parallelism auto|off|N] [--sweep-mode resume|independent]
+            [--parallelism auto|off|N] [--store auto|dense|sparse]
+            [--sweep-mode resume|independent]
             methods: rem (default), rem-ins, exact (<= 25 edges),
                      gaded-rand, gaded-max, gades
             parallelism shards the candidate scan and the initial APSP
             build across worker threads; results are identical for every
             setting (default: auto)
+            store picks the distance representation: dense O(V^2) matrix,
+            sparse within-L lists (unlocks very large graphs), or an
+            adaptive choice from the measured within-L density (default:
+            auto); results are identical for every setting
             a comma-separated theta list runs a descending sweep over one
             shared evaluator build (methods rem/rem-ins/exact): one CSV row
             per theta on stdout, the strictest theta's graph in --out
@@ -131,6 +137,10 @@ fn anonymize(args: &Args) -> Result<(), String> {
         None => Parallelism::Auto,
         Some(raw) => raw.parse().map_err(|e| format!("--parallelism: {e}"))?,
     };
+    let store: StoreBackend = match args.get("store") {
+        None => StoreBackend::Auto,
+        Some(raw) => raw.parse().map_err(|e| format!("--store: {e}"))?,
+    };
     let sweep_mode = match args.get("sweep-mode") {
         // The exact strategy's search depends on θ, so resuming yields
         // increment-minimal (not globally minimal) sets; exact sweeps
@@ -152,7 +162,8 @@ fn anonymize(args: &Args) -> Result<(), String> {
     let mut config = AnonymizeConfig::new(l, theta)
         .with_lookahead(lookahead)
         .with_seed(seed)
-        .with_parallelism(parallelism);
+        .with_parallelism(parallelism)
+        .with_store(store);
     let cap: usize = args.get_or("max-steps", 0)?;
     if cap > 0 {
         config = config.with_max_steps(cap);

@@ -159,6 +159,48 @@ fn parallelism_settings_produce_identical_output() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Every `--store` backend publishes the identical graph (the
+/// representation is outside the equivalence contract), and bad values
+/// fail with a hint naming the flag.
+#[test]
+fn store_settings_produce_identical_output() {
+    let dir = temp_dir("store");
+    let graph_path = dir.join("g.txt");
+    let out = lopacify()
+        .args(["generate", "--dataset", "gnutella", "--n", "60", "--seed", "7"])
+        .args(["--out", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "generate: {}", String::from_utf8_lossy(&out.stderr));
+    let mut outputs = Vec::new();
+    for setting in ["auto", "dense", "sparse"] {
+        let anon_path = dir.join(format!("anon-{setting}.txt"));
+        let out = lopacify()
+            .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+            .args(["--out", anon_path.to_str().unwrap()])
+            .args(["--l", "2", "--theta", "0.5", "--seed", "3"])
+            .args(["--store", setting])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{setting}: {}", String::from_utf8_lossy(&out.stderr));
+        outputs.push(std::fs::read(&anon_path).unwrap());
+    }
+    assert!(
+        outputs.windows(2).all(|w| w[0] == w[1]),
+        "anonymized edge lists differ across --store settings"
+    );
+
+    let out = lopacify()
+        .args(["anonymize", "--in", graph_path.to_str().unwrap()])
+        .args(["--out", dir.join("x.txt").to_str().unwrap()])
+        .args(["--store", "ram"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--store"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn theta_sweep_emits_one_row_per_theta_and_matches_single_run() {
     let dir = temp_dir("sweep");

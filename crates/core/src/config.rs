@@ -1,6 +1,6 @@
 //! Anonymization tuning knobs.
 
-use lopacity_apsp::ApspEngine;
+use lopacity_apsp::{ApspEngine, StoreBackend};
 use lopacity_util::Parallelism;
 
 /// How the look-ahead explores multi-edge moves (Section 5's description is
@@ -67,6 +67,14 @@ pub struct AnonymizeConfig {
     /// workers trial against persistent evaluator forks cloned once per
     /// run (see `AnonymizationOutcome::fork_clones`), not per step.
     pub parallelism: Parallelism,
+    /// Distance-store representation for the evaluator build: the packed
+    /// dense matrix, the sparse within-L CSR store, or an adaptive choice
+    /// from `|V|` and the sampled within-L density (default). Never
+    /// affects results — sparse- and dense-backed runs are bit-for-bit
+    /// equivalent (property-tested) — only memory footprint (`Θ(|V|²)` vs
+    /// `O(Σ |ball_L|)`) and per-trial scan cost (`O(|V|)` vs `O(ball)`
+    /// per affected source).
+    pub store: StoreBackend,
 }
 
 impl AnonymizeConfig {
@@ -86,6 +94,7 @@ impl AnonymizeConfig {
             max_trials: None,
             engine: ApspEngine::default(),
             parallelism: Parallelism::default(),
+            store: StoreBackend::default(),
         }
     }
 
@@ -138,6 +147,12 @@ impl AnonymizeConfig {
         self.parallelism = parallelism;
         self
     }
+
+    /// Sets the distance-store backend.
+    pub fn with_store(mut self, store: StoreBackend) -> Self {
+        self.store = store;
+        self
+    }
 }
 
 /// Default tie-breaking seed ("lopacity" leet-speak). Any fixed value works;
@@ -157,6 +172,16 @@ mod tests {
         assert_eq!(c.lookahead_mode, LookaheadMode::Escalating);
         assert_eq!(c.max_steps, None);
         assert_eq!(c.parallelism, Parallelism::Auto);
+    }
+
+    #[test]
+    fn store_knob_round_trips() {
+        let c = AnonymizeConfig::new(1, 0.5);
+        assert_eq!(c.store, StoreBackend::Auto, "adaptive selection is the default");
+        let c = c.with_store(StoreBackend::Sparse);
+        assert_eq!(c.store, StoreBackend::Sparse);
+        let c = c.with_store(StoreBackend::Dense);
+        assert_eq!(c.store, StoreBackend::Dense);
     }
 
     #[test]

@@ -7,14 +7,23 @@
 //! `≤ L` path crosses that edge, and any such path reaches `u` or `v` within
 //! `L − 1` hops from its source. The evaluator therefore:
 //!
-//! 1. maintains the truncated distance matrix and the per-type
-//!    within-L counts of the *current* graph;
+//! 1. maintains the truncated distance store and the per-type within-L
+//!    counts of the *current* graph;
 //! 2. for a **trial**, re-runs a depth-L BFS only from the affected sources
 //!    `S = { i : min(d(i,u), d(i,v)) ≤ L−1 }` (old distances for removal,
-//!    new for insertion) and diffs the rows — counts change only when a pair
-//!    crosses the `≤ L` boundary;
-//! 3. for an **apply**, additionally writes the changed rows and returns an
+//!    new for insertion) and diffs each source's stored within-L row —
+//!    counts change only when a pair crosses the `≤ L` boundary;
+//! 3. for an **apply**, additionally writes the changed cells and returns an
 //!    [`UndoToken`] so look-ahead combinations roll back in O(changes).
+//!
+//! Distances live behind a [`DistStore`] — the packed dense matrix or the
+//! sparse within-L CSR store, chosen at build time. Every hot loop above is
+//! **output-sensitive** against that interface: sources, balls, and
+//! per-source diffs are enumerated from the store's finite rows, so with
+//! the sparse backend a trial costs `O(Σ_{i ∈ S} |ball_L(i)|)` instead of
+//! `O(|S| · |V|)`. All mutation journaling ([`UndoToken`],
+//! [`CommitDelta`]) addresses cells as representation-independent `(i, j)`
+//! pairs, so deltas captured on one backend replay exactly on the other.
 //!
 //! `L = 1` short-circuits entirely: a single edge flip changes exactly one
 //! pair. Equivalence with full recomputation is property-tested
@@ -22,33 +31,63 @@
 
 use crate::lo::LoAssessment;
 use crate::types::{TypeSpec, TypeSystem};
-use lopacity_apsp::{ApspEngine, DistanceMatrix, TruncatedBfs, INF};
+use lopacity_apsp::{ApspEngine, DistStore, DistanceMatrix, StoreBackend, TruncatedBfs, INF};
 use lopacity_graph::{Edge, Graph, VertexId};
+use lopacity_util::{pool, Parallelism};
+
+/// Fewest affected sources for which [`Parallelism::Auto`] shards the
+/// per-commit row recomputation inside [`OpacityEvaluator::apply_remove`],
+/// and only for the **dense** backend: a dense source row costs `O(|V|)`
+/// to diff, so a hundred-source commit on an ACM-scale graph is
+/// milliseconds of recompute that a handful of scoped threads genuinely
+/// split. Sparse rows are ball-bounded — microseconds each — so `Auto`
+/// never shards them (thread spawns would dominate); `Fixed` still forces
+/// sharding on both backends, which the equivalence suites rely on.
+const APPLY_AUTO_MIN_SOURCES: usize = 128;
+
+/// Worker count for the per-commit BFS/diff loop over `sources` affected
+/// sources. The sharded loop is bit-for-bit the sequential one (each
+/// changed cell is found by exactly one source, shards are contiguous and
+/// merged in source order), so the decision only trades wall-clock.
+pub(crate) fn apply_workers(parallelism: Parallelism, sources: usize, dense: bool) -> usize {
+    if parallelism.is_adaptive() && (!dense || sources < APPLY_AUTO_MIN_SOURCES) {
+        return 1;
+    }
+    parallelism.workers().min(sources.max(1))
+}
 
 /// Incremental `maxLO` evaluator over a mutable working graph.
 ///
 /// `Clone` is a first-class operation: the parallel candidate scan forks
-/// one evaluator per worker (graph, `DistanceMatrix`, within-L counters,
+/// one evaluator per worker (graph, [`DistStore`], within-L counters,
 /// scratch) and trials candidates against the forks — trials never mutate
-/// lasting state. Cost: `O(|V|²)` for the distance matrix (half that when
-/// nibble-packed), which is why forks are **persistent**: they are cloned
-/// once at the first sharded scan of a run and then kept state-identical
-/// by replaying each committed move's [`CommitDelta`]
-/// ([`OpacityEvaluator::replay_commit`], O(changed cells)) instead of
-/// being re-cloned every step.
+/// lasting state. Cost: `O(|V|²)` for the dense store (half that when
+/// nibble-packed) or `O(Σ |ball|)` for the sparse one, which is why forks
+/// are **persistent**: they are cloned once at the first sharded scan of a
+/// run and then kept state-identical by replaying each committed move's
+/// [`CommitDelta`] ([`OpacityEvaluator::replay_commit`], O(changed cells))
+/// instead of being re-cloned every step.
 #[derive(Clone)]
 pub struct OpacityEvaluator {
     graph: Graph,
     types: TypeSystem,
     l: u8,
-    dist: DistanceMatrix,
+    dist: DistStore,
     counts: Vec<u64>,
     revision: u64,
+    /// Unordered pairs currently within L (all pairs, typed or not) —
+    /// maintained incrementally so the ball-bounded cost estimate behind
+    /// the scan's `Auto` heuristic never scans the store.
+    live_pairs: usize,
+    /// Parallelism budget for the per-commit row recomputation.
+    parallelism: Parallelism,
     // Scratch (allocated once):
     bfs: TruncatedBfs,
     in_sources: Vec<bool>,
     sources: Vec<VertexId>,
     counts_scratch: Vec<u64>,
+    /// Per-commit change buffer: `(i, j, old, new)` per changed cell.
+    changes: Vec<(VertexId, VertexId, u8, u8)>,
     /// Insertion scratch: `(vertex, dist to near endpoint, dist to far
     /// endpoint)` snapshots of the `L-1` balls around the inserted edge's
     /// endpoints, plus membership marks for pair deduplication.
@@ -56,6 +95,12 @@ pub struct OpacityEvaluator {
     ball_b: Vec<(VertexId, u8, u8)>,
     in_ball_a: Vec<bool>,
     in_ball_b: Vec<bool>,
+    /// Row snapshots for ball collection: `du[x] = d(x, u)`, `dv[x] =
+    /// d(x, v)` (INF-initialized, reset via the touched lists).
+    du: Vec<u8>,
+    dv: Vec<u8>,
+    du_touched: Vec<VertexId>,
+    dv_touched: Vec<VertexId>,
     /// Cached two largest distinct opacity values with multiplicities;
     /// rebuilt lazily after any committed change. Lets a single-type-delta
     /// trial (the whole candidate scan at `L = 1`) run in O(1) instead of
@@ -137,8 +182,10 @@ enum Op {
 /// LIFO order to roll back.
 pub struct UndoToken {
     op: Op,
-    /// `(flat pair index, previous truncated distance)`.
-    dist_changes: Vec<(usize, u8)>,
+    /// `(i, j, previous truncated distance)` per changed cell, `i < j` —
+    /// representation-independent addressing, identical whichever
+    /// [`DistStore`] backend recorded it.
+    dist_changes: Vec<(VertexId, VertexId, u8)>,
     /// `(type id, delta applied to counts)`.
     count_changes: Vec<(u32, i64)>,
     /// Evaluator revision right after this apply (LIFO check).
@@ -146,26 +193,29 @@ pub struct UndoToken {
 }
 
 /// The **forward** net effect of one committed mutation: the edge flip,
-/// the distance-matrix cells it changed (with their *new* values), and the
+/// the distance cells it changed (with their *new* values), and the
 /// per-type count deltas.
 ///
 /// This is the replay-sync half of the persistent-fork protocol: a worker
 /// fork that was state-identical to the main evaluator before an apply can
 /// be brought back in sync by [`OpacityEvaluator::replay_commit`] in
 /// O(changed cells) — a pure memory patch, no BFS, no `O(|V|²)` copy.
-/// Captured from the apply's [`UndoToken`] (which records the same cells
-/// backward) via [`OpacityEvaluator::commit_delta`].
+/// Cells are addressed as `(i, j)` pairs, never as layout offsets, so a
+/// delta captured from a dense-backed evaluator replays exactly on a
+/// sparse-backed one (and vice versa). Captured from the apply's
+/// [`UndoToken`] (which records the same cells backward) via
+/// [`OpacityEvaluator::commit_delta`].
 #[derive(Debug, Clone)]
 pub struct CommitDelta {
     op: Op,
-    /// `(flat pair index, new truncated distance)`.
-    dist_changes: Vec<(usize, u8)>,
+    /// `(i, j, new truncated distance)` per changed cell, `i < j`.
+    dist_changes: Vec<(VertexId, VertexId, u8)>,
     /// `(type id, delta to apply to counts)`.
     count_changes: Vec<(u32, i64)>,
 }
 
 impl CommitDelta {
-    /// Number of distance-matrix cells this commit changed.
+    /// Number of distance cells this commit changed.
     pub fn changed_cells(&self) -> usize {
         self.dist_changes.len()
     }
@@ -184,38 +234,63 @@ impl OpacityEvaluator {
 
     /// Like [`OpacityEvaluator::new`] with an explicit initial APSP engine.
     pub fn with_engine(graph: Graph, spec: &TypeSpec, l: u8, engine: ApspEngine) -> Self {
-        Self::with_engine_parallel(graph, spec, l, engine, lopacity_util::Parallelism::Off)
+        Self::with_engine_parallel(graph, spec, l, engine, Parallelism::Off)
     }
 
     /// Like [`OpacityEvaluator::with_engine`], additionally sharding the
     /// initial APSP build over up to `parallelism` scoped threads (only the
     /// default truncated-BFS engine parallelizes; the build output is
     /// identical for every setting, see [`ApspEngine::compute_with`]).
+    /// The distance representation is chosen adaptively
+    /// ([`StoreBackend::Auto`]).
     pub fn with_engine_parallel(
         graph: Graph,
         spec: &TypeSpec,
         l: u8,
         engine: ApspEngine,
-        parallelism: lopacity_util::Parallelism,
+        parallelism: Parallelism,
+    ) -> Self {
+        Self::with_options(graph, spec, l, engine, parallelism, StoreBackend::Auto)
+    }
+
+    /// The fully explicit constructor: engine, build/commit parallelism,
+    /// and distance-store backend. `backend` never affects results — a
+    /// sparse-backed evaluator is bit-for-bit equivalent to a dense-backed
+    /// one (property-tested) — only memory footprint and per-trial cost.
+    pub fn with_options(
+        graph: Graph,
+        spec: &TypeSpec,
+        l: u8,
+        engine: ApspEngine,
+        parallelism: Parallelism,
+        backend: StoreBackend,
     ) -> Self {
         assert!(l >= 1, "L must be at least 1");
         let types = TypeSystem::build(&graph, spec);
-        let dist = engine.compute_with(&graph, l, parallelism);
-        let counts = crate::opacity::count_within_l(&dist, &types, l);
+        let dist = engine.compute_store(&graph, l, parallelism, backend);
+        let counts = crate::opacity::count_within_l_store(&dist, &types);
+        let live_pairs = dist.live_pairs();
         let n = graph.num_vertices();
         OpacityEvaluator {
             graph,
             l,
             dist,
             revision: 0,
+            live_pairs,
+            parallelism,
             bfs: TruncatedBfs::new(n),
             in_sources: vec![false; n],
             sources: Vec::new(),
             counts_scratch: counts.clone(),
+            changes: Vec::new(),
             ball_a: Vec::new(),
             ball_b: Vec::new(),
             in_ball_a: vec![false; n],
             in_ball_b: vec![false; n],
+            du: vec![INF; n],
+            dv: vec![INF; n],
+            du_touched: Vec::new(),
+            dv_touched: Vec::new(),
             counts,
             types,
             top_two: None,
@@ -237,6 +312,28 @@ impl OpacityEvaluator {
         self.l
     }
 
+    /// The distance store backing this evaluator (backend, footprint, and
+    /// density introspection for benches and the scan heuristics).
+    pub fn dist_store(&self) -> &DistStore {
+        &self.dist
+    }
+
+    /// The parallelism budget for the per-commit row recomputation.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Re-budgets the per-commit row recomputation. The construction-time
+    /// knob also sharded the APSP build (already done); this updates the
+    /// only place the evaluator consults it afterwards, so a session
+    /// reusing a cached build under a new config stays faithful to
+    /// `Parallelism::Off`'s never-spawn contract (and vice versa). Never
+    /// affects results — the sharded diff is bit-for-bit the sequential
+    /// one.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
     /// Consumes the evaluator, returning the working graph.
     pub fn into_graph(self) -> Graph {
         self.graph
@@ -252,6 +349,28 @@ impl OpacityEvaluator {
     /// commit has been replayed — the cheap half of the fork sync check.
     pub fn revision(&self) -> u64 {
         self.revision
+    }
+
+    /// Unordered vertex pairs currently within L, maintained in O(1) per
+    /// changed cell.
+    pub fn live_pairs(&self) -> usize {
+        self.live_pairs
+    }
+
+    /// Estimated cost of one removal trial, in distance-cell visits: the
+    /// mean within-L ball bounds the affected-source count, and each
+    /// source costs one stored-row scan — `O(ball)` sparse, `O(|V|)`
+    /// dense. This is the number the scan's `Auto` fallback weighs against
+    /// thread-spawn overhead; it is a heuristic, never part of any
+    /// equivalence contract.
+    pub fn estimated_trial_cost(&self) -> usize {
+        let n = self.graph.num_vertices();
+        if n == 0 {
+            return 1;
+        }
+        let mean_ball = (2 * self.live_pairs / n).max(1);
+        let row_scan = if self.dist.is_sparse() { mean_ball } else { n };
+        mean_ball.saturating_mul(row_scan).max(1)
     }
 
     /// `maxLO` and `N(maxLO)` of the current graph.
@@ -274,21 +393,24 @@ impl OpacityEvaluator {
         assert!(removed, "trial_remove of non-edge {e}");
         self.collect_sources_from_dist(u, v);
         self.counts_scratch.copy_from_slice(&self.counts);
-        let n = self.graph.num_vertices();
         for idx in 0..self.sources.len() {
             let i = self.sources[idx];
             self.bfs.run(&self.graph, i, self.l);
-            for j in 0..n as VertexId {
-                if j == i || (self.in_sources[j as usize] && j < i) {
-                    continue;
+            let (dist, bfs, types, in_sources) =
+                (&self.dist, &self.bfs, &self.types, &self.in_sources);
+            let counts_scratch = &mut self.counts_scratch;
+            // Removal never shortens: only stored (finite) pairs of row i
+            // can change, and only by leaving the within-L set.
+            dist.for_each_finite_in_row(i, |j, _old| {
+                if in_sources[j as usize] && j < i {
+                    return; // each unordered pair diffed from one source
                 }
-                let old = self.dist.get(i, j);
-                if old != INF && self.bfs.dist(j) == INF {
-                    if let Some(t) = self.types.type_of(i, j) {
-                        self.counts_scratch[t as usize] -= 1;
+                if bfs.dist(j) == INF {
+                    if let Some(t) = types.type_of(i, j) {
+                        counts_scratch[t as usize] -= 1;
                     }
                 }
-            }
+            });
         }
         self.clear_sources();
         self.graph.add_edge(u, v);
@@ -301,9 +423,9 @@ impl OpacityEvaluator {
     /// distances — a new shortest path uses the inserted edge at most once,
     /// so `d'(i,j) = min(d(i,j), d(i,u)+1+d(v,j), d(i,v)+1+d(u,j))` — and
     /// every pair entering the `<= L` set has both legs inside the `L-1`
-    /// balls around `u` and `v`. No BFS, no graph mutation: `O(n + |B_u|
-    /// |B_v|)` per trial, which is what makes Algorithm 5's `O(|V|^2)`
-    /// insertion candidate scans tractable.
+    /// balls around `u` and `v`. No BFS, no graph mutation: `O(|B_u| +
+    /// |B_v| + |B_u| |B_v|)` per trial, which is what makes Algorithm 5's
+    /// `O(|V|^2)` insertion candidate scans tractable.
     ///
     /// # Panics
     /// Panics when `e` already is an edge or touches out-of-range vertices.
@@ -343,11 +465,19 @@ impl OpacityEvaluator {
 
     /// Removes `e` permanently, updating distances and counts; returns an
     /// undo token.
+    ///
+    /// The change set is computed first (one BFS + stored-row diff per
+    /// affected source, reads only) and applied second — two phases so the
+    /// sparse backend never mutates a row mid-scan, and so the read phase
+    /// can shard over the configured [`Parallelism`] (each changed cell is
+    /// found by exactly one source, sources shard contiguously, shards
+    /// merge in source order: the change list is identical to the
+    /// sequential one for every worker count).
     pub fn apply_remove(&mut self, e: Edge) -> UndoToken {
         let (u, v) = e.endpoints();
         let removed = self.graph.remove_edge(u, v);
         assert!(removed, "apply_remove of non-edge {e}");
-        // Sources from the *pre-removal* distances: the matrix still holds
+        // Sources from the *pre-removal* distances: the store still holds
         // them (the graph edge is already gone, but `dist` is stale-by-one).
         self.collect_sources_from_dist(u, v);
         let mut token = UndoToken {
@@ -356,32 +486,63 @@ impl OpacityEvaluator {
             count_changes: Vec::new(),
             revision: self.revision + 1,
         };
-        let n = self.graph.num_vertices();
-        for idx in 0..self.sources.len() {
-            let i = self.sources[idx];
-            self.bfs.run(&self.graph, i, self.l);
-            for j in 0..n as VertexId {
-                if j == i || (self.in_sources[j as usize] && j < i) {
-                    continue;
-                }
-                let old = self.dist.get(i, j);
-                if old == INF {
-                    continue; // removal never shortens
-                }
-                let new = self.bfs.dist(j);
-                if new != old {
-                    let flat = self.dist.index(i, j);
-                    token.dist_changes.push((flat, old));
-                    self.dist.set_flat(flat, new);
-                    if new == INF {
-                        if let Some(t) = self.types.type_of(i, j) {
-                            self.counts[t as usize] -= 1;
-                            token.count_changes.push((t, -1));
-                        }
+        let workers =
+            apply_workers(self.parallelism, self.sources.len(), !self.dist.is_sparse());
+        let mut changes = std::mem::take(&mut self.changes);
+        changes.clear();
+        if workers <= 1 {
+            for idx in 0..self.sources.len() {
+                let i = self.sources[idx];
+                self.bfs.run(&self.graph, i, self.l);
+                let (dist, bfs, in_sources) = (&self.dist, &self.bfs, &self.in_sources);
+                dist.for_each_finite_in_row(i, |j, old| {
+                    if in_sources[j as usize] && j < i {
+                        return;
                     }
+                    let new = bfs.dist(j);
+                    if new != old {
+                        changes.push((i, j, old, new));
+                    }
+                });
+            }
+        } else {
+            let (graph, dist, in_sources, l) =
+                (&self.graph, &self.dist, &self.in_sources, self.l);
+            let n = graph.num_vertices();
+            let shards = pool::run_sharded(&self.sources, workers, |_offset, shard| {
+                let mut bfs = TruncatedBfs::new(n);
+                let mut out: Vec<(VertexId, VertexId, u8, u8)> = Vec::new();
+                for &i in shard {
+                    bfs.run(graph, i, l);
+                    dist.for_each_finite_in_row(i, |j, old| {
+                        if in_sources[j as usize] && j < i {
+                            return;
+                        }
+                        let new = bfs.dist(j);
+                        if new != old {
+                            out.push((i, j, old, new));
+                        }
+                    });
+                }
+                out
+            });
+            for shard in shards {
+                changes.extend(shard);
+            }
+        }
+        for &(i, j, old, new) in &changes {
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            token.dist_changes.push((a, b, old));
+            self.dist.set(a, b, new);
+            if new == INF {
+                self.live_pairs -= 1;
+                if let Some(t) = self.types.type_of(i, j) {
+                    self.counts[t as usize] -= 1;
+                    token.count_changes.push((t, -1));
                 }
             }
         }
+        self.changes = changes;
         self.clear_sources();
         self.revision += 1;
         self.top_two = None;
@@ -390,8 +551,9 @@ impl OpacityEvaluator {
 
     /// Inserts `e` permanently, updating distances and counts; returns an
     /// undo token. Uses the same closed form as [`Self::trial_insert`]; the
-    /// ball snapshots are taken from the pre-insertion matrix, so in-place
-    /// cell updates cannot contaminate later reads.
+    /// ball snapshots are taken from the pre-insertion store, so in-place
+    /// cell updates cannot contaminate later reads (each unordered pair is
+    /// visited exactly once).
     pub fn apply_insert(&mut self, e: Edge) -> UndoToken {
         let (u, v) = e.endpoints();
         let added = self.graph.add_edge(u, v);
@@ -422,10 +584,11 @@ impl OpacityEvaluator {
                 let old = self.dist.get(i, j);
                 let best = best as u8;
                 if old == INF || best < old {
-                    let flat = self.dist.index(i, j);
-                    token.dist_changes.push((flat, old));
-                    self.dist.set_flat(flat, best);
+                    let (x, y) = if i < j { (i, j) } else { (j, i) };
+                    token.dist_changes.push((x, y, old));
+                    self.dist.set(x, y, best);
                     if old == INF {
+                        self.live_pairs += 1;
                         if let Some(t) = self.types.type_of(i, j) {
                             self.counts[t as usize] += 1;
                             token.count_changes.push((t, 1));
@@ -451,8 +614,14 @@ impl OpacityEvaluator {
             "undo out of order: token revision {} vs evaluator {}",
             token.revision, self.revision
         );
-        for &(flat, old) in &token.dist_changes {
-            self.dist.set_flat(flat, old);
+        for &(i, j, old) in &token.dist_changes {
+            let cur = self.dist.get(i, j);
+            if cur == INF && old != INF {
+                self.live_pairs += 1;
+            } else if cur != INF && old == INF {
+                self.live_pairs -= 1;
+            }
+            self.dist.set(i, j, old);
         }
         for &(t, delta) in &token.count_changes {
             let slot = &mut self.counts[t as usize];
@@ -473,7 +642,7 @@ impl OpacityEvaluator {
     /// Captures the forward diff of the most recent apply on `self` —
     /// `token` must be that apply's (not yet undone) token. The new cell
     /// values are read back from `self`, so the delta replays the apply
-    /// exactly, byte for byte.
+    /// exactly, cell for cell, on any backend.
     ///
     /// # Panics
     /// Panics when `token` is not the evaluator's most recent apply.
@@ -488,7 +657,7 @@ impl OpacityEvaluator {
             dist_changes: token
                 .dist_changes
                 .iter()
-                .map(|&(flat, _old)| (flat, self.dist.get_flat(flat)))
+                .map(|&(i, j, _old)| (i, j, self.dist.get(i, j)))
                 .collect(),
             count_changes: token.count_changes.clone(),
         }
@@ -499,6 +668,8 @@ impl OpacityEvaluator {
     /// of *before* that apply (the fork contract: forks only ever mutate
     /// through replayed commits, so they stay identical forever). Runs in
     /// O(changed cells) — no BFS, no allocation beyond the delta itself.
+    /// Cell addressing is `(i, j)`, so the fork and the delta's source may
+    /// even use different store backends.
     ///
     /// # Panics
     /// Panics (debug) when the edge flip does not apply, i.e. the fork was
@@ -514,8 +685,14 @@ impl OpacityEvaluator {
                 debug_assert!(added, "replay of insertion {e} on an out-of-sync fork");
             }
         }
-        for &(flat, new) in &delta.dist_changes {
-            self.dist.set_flat(flat, new);
+        for &(i, j, new) in &delta.dist_changes {
+            let cur = self.dist.get(i, j);
+            if cur == INF && new != INF {
+                self.live_pairs += 1;
+            } else if cur != INF && new == INF {
+                self.live_pairs -= 1;
+            }
+            self.dist.set(i, j, new);
         }
         for &(t, d) in &delta.count_changes {
             let slot = &mut self.counts[t as usize];
@@ -533,10 +710,11 @@ impl OpacityEvaluator {
         (dist, counts)
     }
 
-    /// Debug check: incremental state equals a full recomputation.
+    /// Debug check: incremental state equals a full recomputation
+    /// (logically — the store backend is irrelevant).
     pub fn verify_consistency(&self) -> Result<(), String> {
         let (dist, counts) = self.recompute_full();
-        if dist != self.dist {
+        if self.dist != dist {
             for (i, j, d) in dist.iter_pairs() {
                 if self.dist.get(i, j) != d {
                     return Err(format!(
@@ -545,11 +723,19 @@ impl OpacityEvaluator {
                     ));
                 }
             }
+            return Err("store disagrees with full recompute (extra live entries)".into());
         }
         if counts != self.counts {
             return Err(format!(
                 "count mismatch: incremental {:?} vs full {counts:?}",
                 self.counts
+            ));
+        }
+        let live = self.dist.live_pairs();
+        if live != self.live_pairs {
+            return Err(format!(
+                "live-pair counter drifted: cached {} vs store {live}",
+                self.live_pairs
             ));
         }
         Ok(())
@@ -595,41 +781,87 @@ impl OpacityEvaluator {
         }
     }
 
-    /// `S = { i : min(d(i,u), d(i,v)) <= L-1 }` from the stored distances.
+    /// `S = { i : min(d(i,u), d(i,v)) <= L-1 }`, ascending, from the
+    /// stored distances: the endpoints themselves plus every finite entry
+    /// within `L-1` of either stored row — O(ball(u) + ball(v)) on the
+    /// sparse backend, one row scan each on the dense one.
     fn collect_sources_from_dist(&mut self, u: VertexId, v: VertexId) {
-        let n = self.graph.num_vertices();
         let cutoff = self.l - 1;
         self.sources.clear();
-        for i in 0..n as VertexId {
-            let du = self.dist.get(i, u);
-            let dv = self.dist.get(i, v);
-            if du.min(dv) <= cutoff {
-                self.sources.push(i);
-                self.in_sources[i as usize] = true;
+        let (dist, in_sources, sources) = (&self.dist, &mut self.in_sources, &mut self.sources);
+        let mut add = |i: VertexId| {
+            if !in_sources[i as usize] {
+                in_sources[i as usize] = true;
+                sources.push(i);
             }
-        }
+        };
+        add(u); // d(u, u) = 0 <= cutoff, always a source
+        add(v);
+        dist.for_each_finite_in_row(u, |i, d| {
+            if d <= cutoff {
+                add(i);
+            }
+        });
+        dist.for_each_finite_in_row(v, |i, d| {
+            if d <= cutoff {
+                add(i);
+            }
+        });
+        self.sources.sort_unstable();
     }
 
     /// Snapshots the `L-1` balls around `u` and `v` from the stored (old)
-    /// distances: `ball_a = { (i, d(i,u), d(i,v)) : d(i,u) <= L-1 }` and
-    /// symmetrically for `ball_b` around `v`.
+    /// distances: `ball_a = { (i, d(i,u), d(i,v)) : d(i,u) <= L-1 }`
+    /// ascending, and symmetrically for `ball_b` around `v`. The two
+    /// stored rows are read once each into INF-initialized scratch (`du`,
+    /// `dv`), so cross-distances cost O(1) lookups instead of per-pair
+    /// store probes.
     fn collect_balls(&mut self, u: VertexId, v: VertexId) {
         let cutoff = self.l - 1;
-        let n = self.graph.num_vertices();
         self.ball_a.clear();
         self.ball_b.clear();
-        for i in 0..n as VertexId {
-            let diu = self.dist.get(i, u);
-            let div = self.dist.get(i, v);
-            if diu <= cutoff {
-                self.ball_a.push((i, diu, div));
-                self.in_ball_a[i as usize] = true;
-            }
-            if div <= cutoff {
-                self.ball_b.push((i, div, diu));
-                self.in_ball_b[i as usize] = true;
+        {
+            let (dist, du, dv) = (&self.dist, &mut self.du, &mut self.dv);
+            let (du_touched, dv_touched) = (&mut self.du_touched, &mut self.dv_touched);
+            du[u as usize] = 0;
+            du_touched.push(u);
+            dist.for_each_finite_in_row(u, |x, d| {
+                du[x as usize] = d;
+                du_touched.push(x);
+            });
+            dv[v as usize] = 0;
+            dv_touched.push(v);
+            dist.for_each_finite_in_row(v, |x, d| {
+                dv[x as usize] = d;
+                dv_touched.push(x);
+            });
+        }
+        for &x in &self.du_touched {
+            let d = self.du[x as usize];
+            if d <= cutoff {
+                self.ball_a.push((x, d, self.dv[x as usize]));
+                self.in_ball_a[x as usize] = true;
             }
         }
+        for &x in &self.dv_touched {
+            let d = self.dv[x as usize];
+            if d <= cutoff {
+                self.ball_b.push((x, d, self.du[x as usize]));
+                self.in_ball_b[x as usize] = true;
+            }
+        }
+        // The apply/trial pair loops must visit pairs in the dense scan's
+        // ascending-id order so journals are backend-identical.
+        self.ball_a.sort_unstable_by_key(|&(x, _, _)| x);
+        self.ball_b.sort_unstable_by_key(|&(x, _, _)| x);
+        for &x in &self.du_touched {
+            self.du[x as usize] = INF;
+        }
+        self.du_touched.clear();
+        for &x in &self.dv_touched {
+            self.dv[x as usize] = INF;
+        }
+        self.dv_touched.clear();
     }
 
     fn clear_balls(&mut self) {
@@ -661,8 +893,22 @@ mod tests {
         .unwrap()
     }
 
+    /// Both store backends, for backend-parametric tests.
+    const BACKENDS: [StoreBackend; 2] = [StoreBackend::Dense, StoreBackend::Sparse];
+
     fn evaluator(l: u8) -> OpacityEvaluator {
         OpacityEvaluator::new(paper_graph(), &TypeSpec::DegreePairs, l)
+    }
+
+    fn evaluator_on(l: u8, backend: StoreBackend) -> OpacityEvaluator {
+        OpacityEvaluator::with_options(
+            paper_graph(),
+            &TypeSpec::DegreePairs,
+            l,
+            ApspEngine::default(),
+            Parallelism::Off,
+            backend,
+        )
     }
 
     #[test]
@@ -676,63 +922,70 @@ mod tests {
 
     #[test]
     fn trial_remove_matches_full_recomputation() {
-        for l in 1..=3u8 {
-            let mut ev = evaluator(l);
-            for e in paper_graph().edge_vec() {
-                let trial = ev.trial_remove(e);
-                let mut g = paper_graph();
-                g.remove_edge(e.u(), e.v());
-                let full =
-                    reference_assessment(&g, ev.types(), l);
-                assert_eq!(trial.ratio(), full.ratio(), "edge {e}, L={l}");
-                assert_eq!(trial.n_at_max(), full.n_at_max(), "edge {e}, L={l}");
-                // Trial must not change state.
-                ev.verify_consistency().unwrap();
+        for backend in BACKENDS {
+            for l in 1..=3u8 {
+                let mut ev = evaluator_on(l, backend);
+                for e in paper_graph().edge_vec() {
+                    let trial = ev.trial_remove(e);
+                    let mut g = paper_graph();
+                    g.remove_edge(e.u(), e.v());
+                    let full = reference_assessment(&g, ev.types(), l);
+                    assert_eq!(trial.ratio(), full.ratio(), "edge {e}, L={l}, {backend}");
+                    assert_eq!(trial.n_at_max(), full.n_at_max(), "edge {e}, L={l}, {backend}");
+                    // Trial must not change state.
+                    ev.verify_consistency().unwrap();
+                }
             }
         }
     }
 
     #[test]
     fn trial_insert_matches_full_recomputation() {
-        for l in 1..=3u8 {
-            let mut ev = evaluator(l);
-            for e in paper_graph().non_edges().collect::<Vec<_>>() {
-                let trial = ev.trial_insert(e);
-                let mut g = paper_graph();
-                g.add_edge(e.u(), e.v());
-                let full = reference_assessment(&g, ev.types(), l);
-                assert_eq!(trial.ratio(), full.ratio(), "edge {e}, L={l}");
-                ev.verify_consistency().unwrap();
+        for backend in BACKENDS {
+            for l in 1..=3u8 {
+                let mut ev = evaluator_on(l, backend);
+                for e in paper_graph().non_edges().collect::<Vec<_>>() {
+                    let trial = ev.trial_insert(e);
+                    let mut g = paper_graph();
+                    g.add_edge(e.u(), e.v());
+                    let full = reference_assessment(&g, ev.types(), l);
+                    assert_eq!(trial.ratio(), full.ratio(), "edge {e}, L={l}, {backend}");
+                    ev.verify_consistency().unwrap();
+                }
             }
         }
     }
 
     #[test]
     fn apply_then_undo_restores_everything() {
-        for l in 1..=3u8 {
-            let mut ev = evaluator(l);
-            let before_counts = ev.counts().to_vec();
-            let e = Edge::new(1, 4);
-            let token = ev.apply_remove(e);
-            assert!(!ev.graph().has_edge(1, 4));
-            ev.verify_consistency().unwrap();
-            ev.undo(token);
-            assert!(ev.graph().has_edge(1, 4));
-            assert_eq!(ev.counts(), before_counts.as_slice(), "L={l}");
-            ev.verify_consistency().unwrap();
+        for backend in BACKENDS {
+            for l in 1..=3u8 {
+                let mut ev = evaluator_on(l, backend);
+                let before_counts = ev.counts().to_vec();
+                let e = Edge::new(1, 4);
+                let token = ev.apply_remove(e);
+                assert!(!ev.graph().has_edge(1, 4));
+                ev.verify_consistency().unwrap();
+                ev.undo(token);
+                assert!(ev.graph().has_edge(1, 4));
+                assert_eq!(ev.counts(), before_counts.as_slice(), "L={l}, {backend}");
+                ev.verify_consistency().unwrap();
+            }
         }
     }
 
     #[test]
     fn nested_apply_undo_is_lifo() {
-        let mut ev = evaluator(2);
-        let t1 = ev.apply_remove(Edge::new(1, 4));
-        let t2 = ev.apply_insert(Edge::new(0, 6));
-        ev.verify_consistency().unwrap();
-        ev.undo(t2);
-        ev.undo(t1);
-        ev.verify_consistency().unwrap();
-        assert_eq!(ev.graph(), &paper_graph());
+        for backend in BACKENDS {
+            let mut ev = evaluator_on(2, backend);
+            let t1 = ev.apply_remove(Edge::new(1, 4));
+            let t2 = ev.apply_insert(Edge::new(0, 6));
+            ev.verify_consistency().unwrap();
+            ev.undo(t2);
+            ev.undo(t1);
+            ev.verify_consistency().unwrap();
+            assert_eq!(ev.graph(), &paper_graph());
+        }
     }
 
     #[test]
@@ -746,14 +999,16 @@ mod tests {
 
     #[test]
     fn applies_compose_with_full_recompute() {
-        let mut ev = evaluator(3);
-        let _ = ev.apply_remove(Edge::new(1, 4));
-        let _ = ev.apply_remove(Edge::new(2, 5));
-        let _ = ev.apply_insert(Edge::new(0, 6));
-        ev.verify_consistency().unwrap();
-        let a = ev.assessment();
-        let full = reference_assessment(ev.graph(), ev.types(), 3);
-        assert_eq!(a.ratio(), full.ratio());
+        for backend in BACKENDS {
+            let mut ev = evaluator_on(3, backend);
+            let _ = ev.apply_remove(Edge::new(1, 4));
+            let _ = ev.apply_remove(Edge::new(2, 5));
+            let _ = ev.apply_insert(Edge::new(0, 6));
+            ev.verify_consistency().unwrap();
+            let a = ev.assessment();
+            let full = reference_assessment(ev.graph(), ev.types(), 3);
+            assert_eq!(a.ratio(), full.ratio());
+        }
     }
 
     #[test]
@@ -770,30 +1025,56 @@ mod tests {
         ev.trial_insert(Edge::new(0, 1));
     }
 
-    /// A replayed fork is byte-identical to the evaluator it mirrors:
+    /// A replayed fork is state-identical to the evaluator it mirrors:
     /// same distances, counts, graph, and (crucially for the scan) the
-    /// same trial results afterwards.
+    /// same trial results afterwards — on both backends.
     #[test]
     fn replay_commit_keeps_forks_identical() {
-        for l in 1..=3u8 {
-            let mut main = evaluator(l);
-            let mut fork = main.clone();
-            for (edge, insert) in
-                [(Edge::new(1, 4), false), (Edge::new(0, 6), true), (Edge::new(2, 5), false)]
-            {
-                let token =
-                    if insert { main.apply_insert(edge) } else { main.apply_remove(edge) };
-                let delta = main.commit_delta(&token);
-                fork.replay_commit(&delta);
-                fork.verify_consistency().unwrap();
-                assert_eq!(fork.graph(), main.graph(), "L={l}");
-                assert_eq!(fork.counts(), main.counts(), "L={l}");
-                for e in main.graph().edge_vec() {
-                    let a = main.trial_remove(e);
-                    let b = fork.trial_remove(e);
-                    assert_eq!(a.ratio(), b.ratio(), "trial {e} diverged, L={l}");
-                    assert_eq!(a.n_at_max(), b.n_at_max(), "trial {e} diverged, L={l}");
+        for backend in BACKENDS {
+            for l in 1..=3u8 {
+                let mut main = evaluator_on(l, backend);
+                let mut fork = main.clone();
+                for (edge, insert) in
+                    [(Edge::new(1, 4), false), (Edge::new(0, 6), true), (Edge::new(2, 5), false)]
+                {
+                    let token =
+                        if insert { main.apply_insert(edge) } else { main.apply_remove(edge) };
+                    let delta = main.commit_delta(&token);
+                    fork.replay_commit(&delta);
+                    fork.verify_consistency().unwrap();
+                    assert_eq!(fork.graph(), main.graph(), "L={l}, {backend}");
+                    assert_eq!(fork.counts(), main.counts(), "L={l}, {backend}");
+                    for e in main.graph().edge_vec() {
+                        let a = main.trial_remove(e);
+                        let b = fork.trial_remove(e);
+                        assert_eq!(a.ratio(), b.ratio(), "trial {e} diverged, L={l}");
+                        assert_eq!(a.n_at_max(), b.n_at_max(), "trial {e} diverged, L={l}");
+                    }
                 }
+            }
+        }
+    }
+
+    /// A delta captured on one backend replays exactly on the other: the
+    /// `(i, j)` cell addressing owes nothing to the source's layout.
+    #[test]
+    fn commit_deltas_replay_across_backends() {
+        for l in 1..=3u8 {
+            let mut dense_main = evaluator_on(l, StoreBackend::Dense);
+            let mut sparse_fork = evaluator_on(l, StoreBackend::Sparse);
+            for (edge, insert) in
+                [(Edge::new(1, 4), false), (Edge::new(0, 6), true), (Edge::new(4, 5), false)]
+            {
+                let token = if insert {
+                    dense_main.apply_insert(edge)
+                } else {
+                    dense_main.apply_remove(edge)
+                };
+                let delta = dense_main.commit_delta(&token);
+                sparse_fork.replay_commit(&delta);
+                sparse_fork.verify_consistency().unwrap();
+                assert_eq!(sparse_fork.graph(), dense_main.graph(), "L={l}");
+                assert_eq!(sparse_fork.counts(), dense_main.counts(), "L={l}");
             }
         }
     }
@@ -807,31 +1088,109 @@ mod tests {
         ev.commit_delta(&t1); // t1 is no longer the most recent apply
     }
 
-    /// Trial/apply/undo round-trips are exact on both storage layouts of
-    /// the distance matrix, including the `L > NIBBLE_MAX_L` byte
-    /// fallback (the graph is tiny, so distances saturate far below L and
-    /// the two layouts must agree everywhere).
+    /// Trial/apply/undo round-trips are exact on every storage layout —
+    /// the nibble-packed and byte dense matrices across the
+    /// `L > NIBBLE_MAX_L` boundary, and the sparse store (whose layout is
+    /// L-independent but must agree with both).
     #[test]
     fn apply_undo_round_trips_across_the_packing_boundary() {
         use lopacity_apsp::NIBBLE_MAX_L;
-        for l in [NIBBLE_MAX_L - 1, NIBBLE_MAX_L, NIBBLE_MAX_L + 1, NIBBLE_MAX_L + 2] {
-            let mut ev = evaluator(l);
-            let before_counts = ev.counts().to_vec();
-            let t1 = ev.apply_remove(Edge::new(4, 5));
+        for backend in BACKENDS {
+            for l in [NIBBLE_MAX_L - 1, NIBBLE_MAX_L, NIBBLE_MAX_L + 1, NIBBLE_MAX_L + 2] {
+                let mut ev = evaluator_on(l, backend);
+                let before_counts = ev.counts().to_vec();
+                let t1 = ev.apply_remove(Edge::new(4, 5));
+                let t2 = ev.apply_insert(Edge::new(0, 6));
+                ev.verify_consistency().unwrap();
+                let trial = ev.trial_remove(Edge::new(0, 1));
+                let full = {
+                    let mut g = ev.graph().clone();
+                    g.remove_edge(0, 1);
+                    reference_assessment(&g, ev.types(), l)
+                };
+                assert_eq!(trial.ratio(), full.ratio(), "L={l}, {backend}");
+                ev.undo(t2);
+                ev.undo(t1);
+                ev.verify_consistency().unwrap();
+                assert_eq!(ev.counts(), before_counts.as_slice(), "L={l}, {backend}");
+                assert_eq!(ev.graph(), &paper_graph(), "L={l}, {backend}");
+            }
+        }
+    }
+
+    /// The sharded per-commit row recomputation produces the identical
+    /// token (same cells, same order, same values) for every worker count,
+    /// on both backends.
+    #[test]
+    fn parallel_apply_matches_sequential() {
+        for backend in BACKENDS {
+            for l in 2..=3u8 {
+                let reference = {
+                    let mut ev = evaluator_on(l, backend);
+                    let t = ev.apply_remove(Edge::new(1, 4));
+                    (ev.commit_delta(&t).dist_changes.clone(), ev.counts().to_vec())
+                };
+                for workers in [1usize, 2, 3, 8] {
+                    let mut ev = OpacityEvaluator::with_options(
+                        paper_graph(),
+                        &TypeSpec::DegreePairs,
+                        l,
+                        ApspEngine::default(),
+                        Parallelism::Fixed(workers),
+                        backend,
+                    );
+                    let t = ev.apply_remove(Edge::new(1, 4));
+                    let delta = ev.commit_delta(&t);
+                    assert_eq!(
+                        delta.dist_changes, reference.0,
+                        "L={l} workers={workers} {backend}"
+                    );
+                    assert_eq!(ev.counts(), reference.1.as_slice());
+                    ev.verify_consistency().unwrap();
+                }
+            }
+        }
+    }
+
+    /// Pins the `Auto` decision for the per-commit shard: dense rows shard
+    /// from [`APPLY_AUTO_MIN_SOURCES`] affected sources, sparse rows never
+    /// (ball-bounded diffs are too cheap to ship to threads); `Fixed`
+    /// forces sharding everywhere, `Off` none.
+    #[test]
+    fn apply_worker_decision_is_pinned() {
+        use Parallelism::*;
+        for dense in [false, true] {
+            assert_eq!(apply_workers(Off, 10_000, dense), 1);
+            assert_eq!(apply_workers(Fixed(4), 10, dense), 4);
+            assert_eq!(apply_workers(Fixed(8), 3, dense), 3, "capped at source count");
+        }
+        assert_eq!(apply_workers(Auto, APPLY_AUTO_MIN_SOURCES - 1, true), 1);
+        assert!(apply_workers(Auto, APPLY_AUTO_MIN_SOURCES, true) >= 1);
+        assert_eq!(
+            apply_workers(Auto, 1_000_000, false),
+            1,
+            "Auto never shards ball-bounded sparse diffs"
+        );
+        let cores = Auto.workers();
+        assert_eq!(apply_workers(Auto, 10_000, true), cores.min(10_000));
+    }
+
+    /// The live-pair counter powering the trial-cost estimate tracks the
+    /// store through apply/undo churn.
+    #[test]
+    fn live_pairs_and_trial_cost_track_mutations() {
+        for backend in BACKENDS {
+            let mut ev = evaluator_on(2, backend);
+            assert_eq!(ev.live_pairs(), ev.dist_store().live_pairs());
+            assert!(ev.estimated_trial_cost() >= 1);
+            let t1 = ev.apply_remove(Edge::new(5, 6));
+            assert_eq!(ev.live_pairs(), ev.dist_store().live_pairs(), "{backend}");
             let t2 = ev.apply_insert(Edge::new(0, 6));
-            ev.verify_consistency().unwrap();
-            let trial = ev.trial_remove(Edge::new(0, 1));
-            let full = {
-                let mut g = ev.graph().clone();
-                g.remove_edge(0, 1);
-                reference_assessment(&g, ev.types(), l)
-            };
-            assert_eq!(trial.ratio(), full.ratio(), "L={l}");
+            assert_eq!(ev.live_pairs(), ev.dist_store().live_pairs(), "{backend}");
             ev.undo(t2);
             ev.undo(t1);
+            assert_eq!(ev.live_pairs(), ev.dist_store().live_pairs(), "{backend}");
             ev.verify_consistency().unwrap();
-            assert_eq!(ev.counts(), before_counts.as_slice(), "L={l}");
-            assert_eq!(ev.graph(), &paper_graph(), "L={l}");
         }
     }
 

@@ -12,10 +12,13 @@
 //! matrix copy. After warmup, a greedy step performs **zero** `O(|V|²)`
 //! allocations (counter-asserted in `tests/tests/parallel_equivalence.rs`).
 //!
-//! The equivalence contract of PR 2 is untouched: a fork is byte-identical
-//! to the per-step clone it replaces (same distances, counts, and graph),
-//! so trial results — and therefore the merged tracker argmin — are
-//! bit-for-bit those of the sequential scan.
+//! The equivalence contract of PR 2 is untouched: a fork is
+//! state-identical to the per-step clone it replaces (same distances,
+//! counts, and graph — byte-identical on the dense distance store;
+//! logically identical on the sparse one, whose physical layout may
+//! compact at different points without observable difference), so trial
+//! results — and therefore the merged tracker argmin — are bit-for-bit
+//! those of the sequential scan, on either backend.
 
 use crate::evaluator::{CommitDelta, OpacityEvaluator};
 

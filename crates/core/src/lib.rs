@@ -85,6 +85,24 @@
 //! events — step index, `maxLO`, `N`, trial and edit counters — to logs,
 //! metrics, or a cancellation watchdog; observers never change outcomes.
 //!
+//! # Large graphs: the sparse distance store
+//!
+//! Sessions keep truncated distances behind an adaptive
+//! [`StoreBackend`]: small or within-L-dense graphs get the packed
+//! `Θ(|V|²)` matrix, while large sparse graphs (the default resolution
+//! beyond ~4k vertices when the sampled within-L density allows) get a
+//! sparse within-L store — `O(Σ |ball_L(v)|)` memory and ball-bounded
+//! trial scans, which is what makes `|V| = 10⁵` runs practical (~24 MB
+//! resident instead of a 2.5 GB matrix; see `BENCH_5.json`). The choice
+//! never changes results, only footprint and speed; force it per run
+//! with [`AnonymizeConfig::with_store`]:
+//!
+//! ```
+//! use lopacity::{AnonymizeConfig, StoreBackend};
+//! let config = AnonymizeConfig::new(2, 0.5).with_store(StoreBackend::Sparse);
+//! assert_eq!(config.store, StoreBackend::Sparse);
+//! ```
+//!
 //! # Module map
 //!
 //! * [`session`] — the [`Anonymizer`] session API (the maintained entry
@@ -123,6 +141,7 @@ pub mod types;
 pub use config::{AnonymizeConfig, LookaheadMode};
 pub use evaluator::{CommitDelta, OpacityEvaluator};
 pub use lo::LoAssessment;
+pub use lopacity_apsp::StoreBackend;
 pub use lopacity_util::Parallelism;
 pub use opacity::{opacity_report, OpacityReport};
 pub use progress::{CountingObserver, NoOpObserver, ProgressObserver, RunInfo, StepEvent};

@@ -2,7 +2,7 @@
 
 use crate::lo::LoAssessment;
 use crate::types::{TypeSpec, TypeSystem};
-use lopacity_apsp::{ApspEngine, DistanceMatrix, INF};
+use lopacity_apsp::{ApspEngine, DistStore, DistanceMatrix, INF};
 use lopacity_graph::Graph;
 
 /// Per-type opacity row: `LO_G(T) = |{pairs of T within L}| / |T|`.
@@ -51,6 +51,20 @@ pub fn count_within_l(dist: &DistanceMatrix, types: &TypeSystem, l: u8) -> Vec<u
             }
         }
     }
+    counts
+}
+
+/// Like [`count_within_l`] over a [`DistStore`]: every *finite* stored
+/// entry is within L by construction (both backends hold the L-truncated
+/// distances), so the count enumerates live pairs only — O(Σ |ball|) on
+/// the sparse backend instead of a full triangle scan.
+pub fn count_within_l_store(store: &DistStore, types: &TypeSystem) -> Vec<u64> {
+    let mut counts = vec![0u64; types.num_types()];
+    store.for_each_finite_pair(|i, j, _d| {
+        if let Some(t) = types.type_of(i, j) {
+            counts[t as usize] += 1;
+        }
+    });
     counts
 }
 

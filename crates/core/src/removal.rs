@@ -46,35 +46,61 @@ use lopacity_graph::{Edge, Graph};
 use lopacity_util::{pool, Parallelism};
 use rand::rngs::StdRng;
 
-/// Fewest candidates for which [`Parallelism::Auto`] shards a **cold**
-/// size-1 scan — one that still has forks to clone. The `O(|V|²)` clone
-/// per missing worker dwarfs thread-spawn costs, and a scan shorter than
-/// a few hundred trials cannot amortize it; 256 was measured for the
-/// per-step-clone design of PR 2 and still bounds the (one-off) warmup
-/// case, so it is kept for the first scan of a run.
-const AUTO_COLD_MIN_CANDIDATES: usize = 256;
+/// Fewest estimated distance-cell visits for which [`Parallelism::Auto`]
+/// shards a **warm** size-1 scan — persistent forks already exist, so
+/// sharding pays only scoped-thread spawn/join (~10–20 µs per worker).
+///
+/// The unit is the evaluator's
+/// [`OpacityEvaluator::estimated_trial_cost`] (mean ball × stored-row
+/// scan length) times the candidate count. A cell visit is a few ns, so
+/// `2²⁰` ≈ 1M visits ≈ single-digit milliseconds of scan — comfortably
+/// above a handful of spawns. The floor replaces the fixed 64-candidate
+/// cutoff of issue 4, which was calibrated for *dense* trials
+/// (`O(|V|)` per affected source, ~20k cells on the smoke bench): under
+/// the sparse store a trial is ball-bounded — often 50–100× cheaper —
+/// and 64 tiny trials (~100k cells total) would be pure spawn overhead;
+/// conversely a dense 10⁵-vertex graph pays millions of cells *per
+/// trial*, where sharding even a 4-candidate tail scan is a real win.
+/// Work, not candidate count, is the quantity spawn overhead competes
+/// with.
+const AUTO_WARM_WORK_FLOOR: u128 = 1 << 20;
 
-/// Fewest candidates for which [`Parallelism::Auto`] shards a **warm**
-/// size-1 scan — persistent forks already exist, so sharding pays only
-/// scoped-thread spawn/join (~10–20 µs per worker). One incremental trial
-/// costs on the order of the affected-source BFS re-runs — roughly a
-/// microsecond or more even on small graphs, tens of microseconds at
-/// ACM scale — so 64 candidates split across a handful of workers
-/// amortize spawn overhead with margin. The old fixed 256 cutoff was
-/// sized around the per-step clone this PR removed; keeping it warm
-/// would leave 64–255-candidate scans (the *entire tail* of a removal
-/// run, where most steps live) sequential for no reason.
-const AUTO_WARM_MIN_CANDIDATES: usize = 64;
+/// Work floor for a **cold** size-1 scan — one that still has forks to
+/// clone. Cloning a worker's evaluator costs an `O(|V|²)` (dense) or
+/// `O(Σ ball)` (sparse) memcpy, so the first sharded scan must be ~4×
+/// larger before the one-off warmup pays for itself; matches the old
+/// 256-vs-64 candidate ratio.
+const AUTO_COLD_WORK_FLOOR: u128 = 1 << 22;
+
+/// Below this many candidates `Auto` never shards: the per-shard tracker
+/// merge and spawn bookkeeping cannot win on a handful of trials, however
+/// expensive each one is (a 3-candidate scan saturates at 3 workers and
+/// still pays 2 spawns + merges to halve a cost the caller pays once).
+const AUTO_MIN_CANDIDATES: usize = 4;
 
 /// Worker count for a size-1 scan over `n` candidates. `warm` means the
 /// run's [`ForkSet`] is already populated, i.e. sharding no longer pays
-/// per-worker `O(|V|²)` clones. The decision never affects outputs — the
-/// sharded scan is bit-for-bit the sequential one — only wall-clock, so
-/// `Auto` may pick differently on different machines or steps without
-/// breaking determinism of results.
-pub(crate) fn scan_workers(parallelism: Parallelism, n: usize, warm: bool) -> usize {
-    let floor = if warm { AUTO_WARM_MIN_CANDIDATES } else { AUTO_COLD_MIN_CANDIDATES };
-    parallelism.resolve(n, floor)
+/// per-worker clones; `per_trial_cost` is the evaluator's estimated
+/// distance-cell visits per trial, which makes the decision
+/// backend-aware: ball-bounded sparse trials need many more candidates to
+/// amortize a spawn than `O(|V|)`-row dense trials. The decision never
+/// affects outputs — the sharded scan is bit-for-bit the sequential one —
+/// only wall-clock, so `Auto` may pick differently on different machines,
+/// steps, or backends without breaking determinism of results.
+pub(crate) fn scan_workers(
+    parallelism: Parallelism,
+    n: usize,
+    warm: bool,
+    per_trial_cost: usize,
+) -> usize {
+    if parallelism.is_adaptive() {
+        let floor = if warm { AUTO_WARM_WORK_FLOOR } else { AUTO_COLD_WORK_FLOOR };
+        let work = n as u128 * per_trial_cost.max(1) as u128;
+        if n < AUTO_MIN_CANDIDATES || work < floor {
+            return 1;
+        }
+    }
+    parallelism.workers().min(n.max(1))
 }
 
 /// Trials every edge of `scanned` (size-1 moves), offering each to
@@ -99,7 +125,12 @@ fn scan_singles(
     keep_singles: bool,
     singles: &mut Vec<(Edge, LoAssessment)>,
 ) -> u64 {
-    let workers = scan_workers(config.parallelism, scanned.len(), forks.warm());
+    let workers = scan_workers(
+        config.parallelism,
+        scanned.len(),
+        forks.warm(),
+        ev.estimated_trial_cost(),
+    );
     if workers <= 1 {
         for (idx, &e) in scanned.iter().enumerate() {
             let a = match kind {
@@ -452,36 +483,53 @@ mod tests {
         let _ = report;
     }
 
-    /// Pins the `Auto` sequential-fallback decision function (issue 4
-    /// satellite): `Fixed`/`Off` resolve as before, `Auto` falls back
-    /// below 256 candidates on a *cold* scan (per-worker clones still to
-    /// pay) but already shards at 64 once the run's forks are warm.
+    /// Pins the `Auto` sequential-fallback decision function (issue 5
+    /// satellite): `Fixed`/`Off` resolve as before; `Auto` weighs
+    /// *estimated work* (candidates × per-trial cell visits) against the
+    /// warm/cold floors, so ball-bounded sparse trials need far more
+    /// candidates to shard than `O(|V|)`-row dense trials.
     #[test]
     fn scan_worker_decision_is_pinned() {
         use lopacity_util::Parallelism::*;
-        // Off and Fixed ignore warmth and the floor entirely.
+        // Representative per-trial costs: a dense trial on the smoke-bench
+        // graph (ball ≈ 40, n = 500) visits ~20k cells; the same graph's
+        // sparse trials visit ~1.6k (ball²).
+        const DENSE_COST: usize = 20_000;
+        const SPARSE_COST: usize = 1_600;
+        // Off and Fixed ignore warmth and cost entirely.
         for warm in [false, true] {
-            assert_eq!(scan_workers(Off, 10_000, warm), 1);
-            assert_eq!(scan_workers(Fixed(4), 10, warm), 4);
-            assert_eq!(scan_workers(Fixed(4), 3, warm), 3, "capped at candidate count");
-            assert_eq!(scan_workers(Fixed(1), 500, warm), 1);
+            for cost in [1usize, SPARSE_COST, DENSE_COST] {
+                assert_eq!(scan_workers(Off, 10_000, warm, cost), 1);
+                assert_eq!(scan_workers(Fixed(4), 10, warm, cost), 4);
+                assert_eq!(scan_workers(Fixed(4), 3, warm, cost), 3, "capped at candidates");
+                assert_eq!(scan_workers(Fixed(1), 500, warm, cost), 1);
+            }
         }
-        // Auto, cold: the 256 floor of the per-step-clone era still holds
-        // (warmup is the one scan that still clones).
-        assert_eq!(scan_workers(Auto, 255, false), 1);
-        assert!(scan_workers(Auto, 256, false) >= 1);
-        // Auto, warm: the floor drops to 64 — forks exist, sharding costs
-        // spawn/join only.
-        assert_eq!(scan_workers(Auto, 63, true), 1);
-        assert!(scan_workers(Auto, 64, true) >= 1);
-        // The warm floor is strictly below the cold one by design: the
-        // removal tail (shrinking candidate lists) stays parallel.
-        assert!(AUTO_WARM_MIN_CANDIDATES < AUTO_COLD_MIN_CANDIDATES);
-        // Machine-independent part of the resolution: Auto at/above the
-        // floor resolves to available_parallelism capped by candidates.
+        // Auto, warm, dense-cost trials: the work floor (2²⁰ cells) is the
+        // same ballpark as the old 64-candidate cutoff — 52 here.
+        assert_eq!(scan_workers(Auto, 52, true, DENSE_COST), 1);
+        assert!(scan_workers(Auto, 53, true, DENSE_COST) >= 1);
+        // Auto, warm, sparse-cost trials: ball-bounded trials are ~12×
+        // cheaper, so the same floor needs ~12× the candidates — the old
+        // fixed 64 cutoff would have sharded pure spawn overhead.
+        assert_eq!(scan_workers(Auto, 64, true, SPARSE_COST), 1);
+        assert_eq!(scan_workers(Auto, 655, true, SPARSE_COST), 1);
+        assert!(scan_workers(Auto, 656, true, SPARSE_COST) >= 1);
+        // Cold scans (warmup still clones forks) need 4× the work.
+        assert_eq!(scan_workers(Auto, 209, false, DENSE_COST), 1);
+        assert!(scan_workers(Auto, 210, false, DENSE_COST) >= 1);
+        assert!(AUTO_WARM_WORK_FLOOR < AUTO_COLD_WORK_FLOOR);
+        // A huge per-trial cost (dense 10⁵-vertex graph: ~4M cells) makes
+        // even a tiny tail scan worth sharding — but never below the
+        // absolute candidate floor.
+        let huge = 4_000_000usize;
+        assert!(scan_workers(Auto, AUTO_MIN_CANDIDATES, true, huge) >= 1);
+        assert_eq!(scan_workers(Auto, AUTO_MIN_CANDIDATES - 1, true, huge), 1);
+        // Machine-independent part of the resolution: Auto above the floor
+        // resolves to available_parallelism capped by candidates.
         let cores = Auto.workers();
-        assert_eq!(scan_workers(Auto, 10_000, true), cores.min(10_000));
-        assert_eq!(scan_workers(Auto, 64, true), cores.min(64));
+        assert_eq!(scan_workers(Auto, 10_000, true, DENSE_COST), cores.min(10_000));
+        assert_eq!(scan_workers(Auto, 656, true, SPARSE_COST), cores.min(656));
     }
 
     #[test]

@@ -263,10 +263,11 @@ impl RunContext<'_> {
     }
 }
 
-/// Cached evaluator build, reused while `(l, engine)` stay put.
+/// Cached evaluator build, reused while `(l, engine, store)` stay put.
 struct Prepared {
     l: u8,
     engine: ApspEngine,
+    store: lopacity_apsp::StoreBackend,
     ev: OpacityEvaluator,
 }
 
@@ -307,9 +308,9 @@ impl<'a> Anonymizer<'a> {
         self
     }
 
-    /// Sets the run configuration in place. Changing `l` or `engine`
-    /// invalidates the cached evaluator; everything else (θ, seed,
-    /// look-ahead, budgets, parallelism) reuses it.
+    /// Sets the run configuration in place. Changing `l`, `engine`, or
+    /// the store backend invalidates the cached evaluator; everything
+    /// else (θ, seed, look-ahead, budgets, parallelism) reuses it.
     pub fn set_config(&mut self, config: AnonymizeConfig) {
         self.config = config;
     }
@@ -353,30 +354,49 @@ impl<'a> Anonymizer<'a> {
         self.prepared().assessment()
     }
 
-    /// The cached pristine evaluator, (re)built when `(l, engine)` changed.
+    /// Read access to the cached pristine evaluator (building it if
+    /// necessary) — the hook for tooling and benches that need to inspect
+    /// the prepared state (distance-store backend, footprint, within-L
+    /// density) without running a strategy.
+    pub fn evaluator(&mut self) -> &OpacityEvaluator {
+        self.prepared()
+    }
+
+    /// The cached pristine evaluator, (re)built when `(l, engine, store)`
+    /// changed. This is where [`AnonymizeConfig::store`]'s adaptive
+    /// backend choice lands: `Auto` samples the graph's within-L density
+    /// and picks dense or sparse per
+    /// [`lopacity_apsp::DistStore::build`].
     ///
     /// The build shards its truncated-BFS APSP over
-    /// [`AnonymizeConfig::parallelism`] — the knob is deliberately *not*
+    /// [`AnonymizeConfig::parallelism`] — that knob is deliberately *not*
     /// part of the cache key, because the sharded build is identical to
     /// the sequential one for every worker count (see
     /// [`lopacity_apsp::ApspEngine::compute_with`]).
     fn prepared(&mut self) -> &OpacityEvaluator {
-        let (l, engine) = (self.config.l, self.config.engine);
+        let (l, engine, store) = (self.config.l, self.config.engine, self.config.store);
         let stale = match &self.cache {
-            Some(p) => p.l != l || p.engine != engine,
+            Some(p) => p.l != l || p.engine != engine || p.store != store,
             None => true,
         };
         if stale {
-            let ev = OpacityEvaluator::with_engine_parallel(
+            let ev = OpacityEvaluator::with_options(
                 self.graph.clone(),
                 self.spec,
                 l,
                 engine,
                 self.config.parallelism,
+                store,
             );
-            self.cache = Some(Prepared { l, engine, ev });
+            self.cache = Some(Prepared { l, engine, store, ev });
         }
-        &self.cache.as_ref().expect("cache just ensured").ev
+        let prepared = self.cache.as_mut().expect("cache just ensured");
+        // The knob also gates the evaluator's *runtime* per-commit
+        // sharding, so a reused build must pick up the current config —
+        // an evaluator built under Fixed(8) serving a run reconfigured to
+        // Off would otherwise keep spawning threads per commit.
+        prepared.ev.set_parallelism(self.config.parallelism);
+        &prepared.ev
     }
 
     /// Runs `strategy` once at the configured θ and returns the outcome.
@@ -599,6 +619,28 @@ mod tests {
         assert!(runs.windows(2).all(|w| w[0].outcome.steps <= w[1].outcome.steps));
         let total_new: u64 = runs.iter().map(|r| r.new_trials).sum();
         assert_eq!(total_new, runs.last().unwrap().outcome.trials);
+    }
+
+    /// A reused cached build adopts the *current* config's parallelism:
+    /// the knob gates runtime per-commit sharding, so a session
+    /// reconfigured from Fixed(8) to Off must stop spawning (and vice
+    /// versa) without invalidating the build cache.
+    #[test]
+    fn cached_evaluator_tracks_parallelism_reconfiguration() {
+        use lopacity_util::Parallelism;
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session = Anonymizer::new(&g, &spec)
+            .config(AnonymizeConfig::new(2, 0.5).with_parallelism(Parallelism::Fixed(8)));
+        assert_eq!(session.evaluator().parallelism(), Parallelism::Fixed(8));
+        session.set_config(
+            AnonymizeConfig::new(2, 0.5).with_parallelism(Parallelism::Off),
+        );
+        assert_eq!(
+            session.evaluator().parallelism(),
+            Parallelism::Off,
+            "cache reuse must refresh the runtime parallelism budget"
+        );
     }
 
     #[test]

@@ -4,10 +4,11 @@
 use lopacity::opacity::{count_within_l, opacity_report_against_original};
 use lopacity::{
     AnonymizeConfig, Anonymizer, LoAssessment, OpacityEvaluator, Removal, RemovalInsertion,
-    TypeSpec, TypeSystem,
+    StoreBackend, TypeSpec, TypeSystem,
 };
 use lopacity_apsp::ApspEngine;
 use lopacity_graph::Graph;
+use lopacity_util::Parallelism;
 use proptest::prelude::*;
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
@@ -93,6 +94,107 @@ proptest! {
         }
         prop_assert_eq!(ev.graph(), &g);
         ev.verify_consistency().map_err(TestCaseError::fail)?;
+    }
+
+    /// A sparse-backed evaluator is observationally identical to a
+    /// dense-backed one under an arbitrary interleaving of trials,
+    /// applies, and undos — every assessment agrees, every
+    /// `verify_consistency` passes, and both land back on the original
+    /// graph. This drives the sparse store's tombstone/overflow/compaction
+    /// machinery through realistic evaluator mutation streams across all
+    /// four engines.
+    #[test]
+    fn sparse_backend_walks_match_dense(
+        g in arb_graph(12),
+        l in 1u8..4,
+        engine_sel in 0usize..4,
+        moves in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..14)
+    ) {
+        let engine = ApspEngine::ALL[engine_sel];
+        let mut dense = OpacityEvaluator::with_options(
+            g.clone(), &TypeSpec::DegreePairs, l, engine, Parallelism::Off,
+            StoreBackend::Dense,
+        );
+        let mut sparse = OpacityEvaluator::with_options(
+            g.clone(), &TypeSpec::DegreePairs, l, engine, Parallelism::Off,
+            StoreBackend::Sparse,
+        );
+        prop_assert_eq!(dense.counts(), sparse.counts(), "initial counts");
+        let mut dense_stack = Vec::new();
+        let mut sparse_stack = Vec::new();
+        for (pick, undo_now) in moves {
+            let edges = dense.graph().edge_vec();
+            let non_edges: Vec<_> = dense.graph().non_edges().collect();
+            if !edges.is_empty() && (non_edges.is_empty() || pick % 2 == 0) {
+                let e = edges[pick as usize % edges.len()];
+                let td = dense.trial_remove(e);
+                let ts = sparse.trial_remove(e);
+                prop_assert_eq!(td.ratio(), ts.ratio(), "trial_remove {} diverged", e);
+                dense_stack.push(dense.apply_remove(e));
+                sparse_stack.push(sparse.apply_remove(e));
+            } else if !non_edges.is_empty() {
+                let e = non_edges[pick as usize % non_edges.len()];
+                let td = dense.trial_insert(e);
+                let ts = sparse.trial_insert(e);
+                prop_assert_eq!(td.ratio(), ts.ratio(), "trial_insert {} diverged", e);
+                dense_stack.push(dense.apply_insert(e));
+                sparse_stack.push(sparse.apply_insert(e));
+            }
+            if undo_now {
+                if let Some(token) = dense_stack.pop() {
+                    dense.undo(token);
+                }
+                if let Some(token) = sparse_stack.pop() {
+                    sparse.undo(token);
+                }
+            }
+            prop_assert_eq!(dense.counts(), sparse.counts(), "counts diverged");
+            prop_assert_eq!(
+                dense.assessment().ratio(), sparse.assessment().ratio(),
+                "assessments diverged"
+            );
+            prop_assert_eq!(dense.live_pairs(), sparse.live_pairs());
+        }
+        sparse.verify_consistency().map_err(TestCaseError::fail)?;
+        dense.verify_consistency().map_err(TestCaseError::fail)?;
+        while let Some(token) = sparse_stack.pop() {
+            sparse.undo(token);
+            dense.undo(dense_stack.pop().expect("stacks move in lockstep"));
+        }
+        prop_assert_eq!(sparse.graph(), &g);
+        sparse.verify_consistency().map_err(TestCaseError::fail)?;
+    }
+
+    /// Full anonymization runs are bit-for-bit backend-invariant through
+    /// the session API (outcome facets, edit lists, published graphs).
+    #[test]
+    fn session_runs_are_backend_invariant(
+        g in arb_graph(10),
+        theta in 0.2f64..0.8,
+        l in 1u8..3,
+        seed in 0u64..1 << 32,
+    ) {
+        let base = AnonymizeConfig::new(l, theta).with_seed(seed);
+        let dense = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+            .config(base.with_store(StoreBackend::Dense))
+            .run(Removal);
+        let sparse = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+            .config(base.with_store(StoreBackend::Sparse))
+            .run(Removal);
+        prop_assert_eq!(&dense.removed, &sparse.removed);
+        prop_assert_eq!(&dense.graph, &sparse.graph);
+        prop_assert_eq!(dense.trials, sparse.trials);
+        prop_assert_eq!(dense.final_lo, sparse.final_lo);
+        let ri_dense = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+            .config(base.with_store(StoreBackend::Dense))
+            .run(RemovalInsertion::default());
+        let ri_sparse = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+            .config(base.with_store(StoreBackend::Sparse))
+            .run(RemovalInsertion::default());
+        prop_assert_eq!(&ri_dense.removed, &ri_sparse.removed);
+        prop_assert_eq!(&ri_dense.inserted, &ri_sparse.inserted);
+        prop_assert_eq!(&ri_dense.graph, &ri_sparse.graph);
+        prop_assert_eq!(ri_dense.trials, ri_sparse.trials);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use lopacity::opacity::opacity_report_against_original;
 use lopacity::{
     edge_removal, edge_removal_insertion, AnonymizeConfig, AnonymizationOutcome, Anonymizer,
-    Parallelism, ProgressObserver, Removal, RemovalInsertion, StepEvent, TypeSpec,
+    Parallelism, ProgressObserver, Removal, RemovalInsertion, StepEvent, StoreBackend, TypeSpec,
 };
 use lopacity_gen::er::gnm;
 use lopacity_graph::Graph;
@@ -93,6 +93,25 @@ proptest! {
             let par = edge_removal_insertion(&g, &TypeSpec::DegreePairs, &config);
             assert_outcomes_identical(&sequential_ri, &par, &format!("rem-ins {context}"))?;
             prop_assert_eq!(&seq_ri_report, &rendered_report(&g, &par, l));
+        }
+        // The distance-store backend is equally outside the equivalence
+        // contract: a sparse-backed run — sequential or sharded — produces
+        // the identical outcome and certified report (the sequential
+        // references above ran on the dense store: Auto resolves dense at
+        // these sizes).
+        for parallelism in [Parallelism::Off, Parallelism::Fixed(3)] {
+            let config =
+                base.with_parallelism(parallelism).with_store(StoreBackend::Sparse);
+            let context =
+                format!("n={n} l={l} theta={theta} seed={seed} sparse {parallelism}");
+
+            let sparse = edge_removal(&g, &TypeSpec::DegreePairs, &config);
+            assert_outcomes_identical(&sequential_rem, &sparse, &format!("rem {context}"))?;
+            prop_assert_eq!(&seq_rem_report, &rendered_report(&g, &sparse, l));
+
+            let sparse = edge_removal_insertion(&g, &TypeSpec::DegreePairs, &config);
+            assert_outcomes_identical(&sequential_ri, &sparse, &format!("rem-ins {context}"))?;
+            prop_assert_eq!(&seq_ri_report, &rendered_report(&g, &sparse, l));
         }
     }
 
@@ -236,6 +255,33 @@ fn resumed_sweeps_reuse_forks_across_segments() {
         );
     }
     assert_eq!(runs.last().unwrap().outcome.fork_clones, workers as u64 - 1);
+}
+
+/// Persistent forks inherit the main evaluator's backend and stay in sync
+/// under sparse-store mutation churn (tombstones, overflow, compaction):
+/// a sharded sparse-backed run equals the sequential sparse-backed run on
+/// a graph large enough for real multi-step fork replay.
+#[test]
+fn sparse_forks_survive_multi_step_replay() {
+    let g = gnm(80, 240, 13);
+    for l in [1u8, 2] {
+        let base = AnonymizeConfig::new(l, 0.2)
+            .with_seed(29)
+            .with_store(StoreBackend::Sparse);
+        let seq =
+            edge_removal(&g, &TypeSpec::DegreePairs, &base.with_parallelism(Parallelism::Off));
+        assert!(seq.steps >= 3, "need a multi-step run to stress replay (L={l})");
+        for workers in [2usize, 4] {
+            let par = edge_removal(
+                &g,
+                &TypeSpec::DegreePairs,
+                &base.with_parallelism(Parallelism::Fixed(workers)),
+            );
+            assert_eq!(seq.removed, par.removed, "L={l} workers={workers}");
+            assert_eq!(seq.graph, par.graph, "L={l} workers={workers}");
+            assert_eq!(seq.trials, par.trials, "L={l} workers={workers}");
+        }
+    }
 }
 
 /// `Auto` must also be equivalent — whatever worker count the machine
