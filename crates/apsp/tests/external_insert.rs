@@ -1,0 +1,198 @@
+//! Unit tests for the sparse store's **external-insert** paths — the
+//! mutation shapes a churn stream produces, which the greedy-scan suites
+//! under-exercise: ball growth across the L boundary (brand-new pairs
+//! landing in overflow), overflow-cap compactions driven by out-of-band
+//! inserts, external inserts interleaved with greedy-style removals, and
+//! tombstone revival on re-insert of a deleted edge.
+
+use lopacity_apsp::{ApspEngine, DistanceMatrix, SparseStore, INF};
+use lopacity_graph::{Graph, VertexId};
+use lopacity_util::testkit;
+
+/// A path 0 – 1 – … – (n-1).
+fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+}
+
+/// Applies to `store` the cell diff between the truncated distances of
+/// `before` and `after` — exactly the set of writes an evaluator's
+/// external edge event issues — and returns the number of changed pairs.
+fn apply_external_diff(
+    store: &mut SparseStore,
+    before: &DistanceMatrix,
+    after: &DistanceMatrix,
+) -> usize {
+    let n = before.num_vertices();
+    let mut changed = 0;
+    for i in 0..n as VertexId {
+        for j in i + 1..n as VertexId {
+            let (old, new) = (before.get(i, j), after.get(i, j));
+            if old != new {
+                store.set(i, j, new);
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+fn assert_matches(store: &SparseStore, reference: &DistanceMatrix, context: &str) {
+    let n = reference.num_vertices();
+    testkit::cells_match(n, |i, j| store.get(i, j), |i, j| reference.get(i, j), context)
+        .unwrap();
+    for i in 0..n as VertexId {
+        let mut seen = Vec::new();
+        store.for_each_finite_in_row(i, |j, d| seen.push((j, d)));
+        let expected = testkit::finite_row(n, i, INF, |i, j| reference.get(i, j));
+        assert_eq!(seen, expected, "row {i} iteration: {context}");
+    }
+}
+
+/// An external insert that shortcuts a long path makes pairs cross the
+/// `<= L` boundary *into* the store: their ids were never in the CSR
+/// arena (built when they were unreachable within L), so every one of
+/// them must land in row overflow — and the result must equal a fresh
+/// build over the mutated graph.
+#[test]
+fn external_insert_grows_balls_across_the_l_boundary() {
+    let l = 3u8;
+    let g = path(30);
+    let before = ApspEngine::TruncatedBfs.compute(&g, l);
+    let mut store = SparseStore::from_graph(&g, l, 1);
+
+    let mut mutated = g.clone();
+    assert!(mutated.add_edge(0, 29));
+    let after = ApspEngine::TruncatedBfs.compute(&mutated, l);
+
+    let changed = apply_external_diff(&mut store, &before, &after);
+    // The new within-L pairs: i -- 29-k with i + 1 + k <= L, i.e.
+    // (0,29) (0,28) (0,27) (1,29) (1,28) (2,29) — six pairs, all formerly
+    // beyond L.
+    assert_eq!(changed, 6);
+    assert_eq!(store.compactions(), 0, "six overflow pairs are far below any trigger");
+    assert_eq!(
+        store.overflow_entries(),
+        12,
+        "every boundary-crossing pair is arena-absent: 6 pairs × 2 directed rows"
+    );
+    assert_matches(&store, &after, "post-insert vs fresh build");
+    let fresh = SparseStore::from_graph(&mutated, l, 1);
+    assert_eq!(store.live(), fresh.live(), "live directed entries");
+}
+
+/// Repeated external inserts into one hub row push that row's overflow
+/// past the per-row cap and force a compaction; contents must stay equal
+/// to a dense mirror maintained in lockstep, before and after.
+#[test]
+fn hub_insert_stream_triggers_row_compaction()
+{
+    let l = 1u8;
+    let n = 200usize;
+    let g = path(n);
+    let mut store = SparseStore::from_graph(&g, l, 1);
+    let mut mirror = ApspEngine::TruncatedBfs.compute(&g, l);
+
+    // At L = 1 an inserted edge changes exactly its own pair: a pure
+    // overflow insert into both endpoint rows, concentrated on hub 0.
+    let mut compacted_at = None;
+    for j in 2..n as VertexId - 1 {
+        store.set(0, j, 1);
+        mirror.set(0, j, 1);
+        if store.compactions() > 0 && compacted_at.is_none() {
+            compacted_at = Some(j);
+        }
+    }
+    let at = compacted_at.expect("a hub row crossing the 64-entry overflow cap must compact");
+    // Overflow cap is 64 entries in row 0 (plus the two arena neighbours
+    // the row was born with): the 65th overflow insert compacts.
+    assert_eq!(at, 2 + 65 - 1, "compaction point must be a pure function of the stream");
+    assert!(
+        store.overflow_entries() < 65,
+        "compaction folded the hub overflow into the arena"
+    );
+    assert_matches(&store, &mirror, "post-compaction vs dense mirror");
+    assert_eq!(store.tombstone_entries(), 0);
+}
+
+/// External inserts interleaved with greedy-style removals (tombstones):
+/// both mutation debts accumulate and the eventual compaction folds both
+/// away, at a point that is a pure function of the stream — two stores
+/// replaying the identical stream compact identically (the structural
+/// determinism the fork-replay protocol relies on).
+#[test]
+fn interleaved_external_inserts_and_greedy_removals_compact_deterministically() {
+    let l = 2u8;
+    let n = 400usize;
+    let g = path(n);
+    let reference = ApspEngine::TruncatedBfs.compute(&g, l);
+    let mut a = SparseStore::from_graph(&g, l, 1);
+    let mut b = SparseStore::from_graph(&g, l, 1);
+    let mut mirror = reference.clone();
+
+    // Alternate: a greedy-style removal (tombstone an existing within-L
+    // pair) and an external insert (a brand-new overflow pair). Spread
+    // over many rows so the *global* ratio triggers, not the per-row cap.
+    let mut step = 0u32;
+    for i in 0..n as VertexId - 20 {
+        // Tombstone the (i, i+1) pair.
+        a.set(i, i + 1, INF);
+        b.set(i, i + 1, INF);
+        mirror.set(i, i + 1, INF);
+        // External insert: pair (i, i+10) enters at a fake distance 1
+        // (content is irrelevant to layout mechanics; equality is what we
+        // assert).
+        a.set(i, i + 10, 1);
+        b.set(i, i + 10, 1);
+        mirror.set(i, i + 10, 1);
+        step += 1;
+        assert_eq!(a.compactions(), b.compactions(), "step {step}: divergent compaction");
+    }
+    assert!(
+        a.compactions() > 0,
+        "the interleaved stream must cross the global debt threshold \
+         (tombstones {} overflow {} live {})",
+        a.tombstone_entries(),
+        a.overflow_entries(),
+        a.live()
+    );
+    assert_eq!(a.compactions(), b.compactions());
+    assert_matches(&a, &mirror, "store A vs dense mirror");
+    assert_matches(&b, &mirror, "store B vs dense mirror");
+}
+
+/// Deleting an edge's pairs and then re-inserting them (a churn stream
+/// reviving a tombstoned edge) must revive the arena slots in place: no
+/// overflow growth, no leftover tombstones, contents equal to the
+/// original build.
+#[test]
+fn tombstone_revival_keeps_the_arena_in_place() {
+    let l = 2u8;
+    let g = path(50);
+    let reference = ApspEngine::TruncatedBfs.compute(&g, l);
+    let mut store = SparseStore::from_graph(&g, l, 1);
+
+    // Tombstone every pair touching vertices 10..20, then restore.
+    let mut killed: Vec<(VertexId, VertexId, u8)> = Vec::new();
+    for i in 10..20 as VertexId {
+        store.for_each_finite_in_row(i, |j, d| {
+            if j > i || !(10..20).contains(&j) {
+                killed.push((i, j, d));
+            }
+        });
+    }
+    for &(i, j, _) in &killed {
+        store.set(i, j, INF);
+    }
+    assert!(store.tombstone_entries() > 0);
+    let overflow_before = store.overflow_entries();
+    for &(i, j, d) in &killed {
+        store.set(i, j, d);
+    }
+    assert_eq!(store.tombstone_entries(), 0, "every revived slot left the tombstone set");
+    assert_eq!(
+        store.overflow_entries(),
+        overflow_before,
+        "revival must reuse arena slots, never the overflow"
+    );
+    assert_matches(&store, &reference, "after kill/revive round trip");
+}

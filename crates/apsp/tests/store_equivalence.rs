@@ -7,7 +7,7 @@ use lopacity_apsp::{
     ApspEngine, DistStore, DistanceMatrix, SparseStore, StoreBackend, INF, NIBBLE_MAX_L,
 };
 use lopacity_graph::{Graph, VertexId};
-use lopacity_util::Parallelism;
+use lopacity_util::{testkit, Parallelism};
 use proptest::prelude::*;
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
@@ -33,29 +33,13 @@ fn assert_matches_matrix(
 ) -> Result<(), TestCaseError> {
     let n = reference.num_vertices();
     prop_assert_eq!(store.num_vertices(), n, "vertex count: {}", context);
-    for i in 0..n as VertexId {
-        for j in 0..n as VertexId {
-            prop_assert_eq!(
-                store.get(i, j),
-                reference.get(i, j),
-                "get({}, {}): {}",
-                i,
-                j,
-                context
-            );
-        }
-    }
+    let cells = testkit::cells_match(n, |i, j| store.get(i, j), |i, j| reference.get(i, j), context);
+    prop_assert_eq!(cells, Ok(()));
     // Row iteration yields exactly the finite entries, ascending.
     for i in 0..n as VertexId {
         let mut seen = Vec::new();
         store.for_each_finite_in_row(i, |j, d| seen.push((j, d)));
-        let expected: Vec<(VertexId, u8)> = (0..n as VertexId)
-            .filter(|&j| j != i)
-            .filter_map(|j| {
-                let d = reference.get(i, j);
-                (d != INF).then_some((j, d))
-            })
-            .collect();
+        let expected = testkit::finite_row(n, i, INF, |i, j| reference.get(i, j));
         prop_assert_eq!(&seen, &expected, "row {} iteration: {}", i, context);
     }
     prop_assert_eq!(

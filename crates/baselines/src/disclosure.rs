@@ -18,6 +18,14 @@ impl LinkDisclosure {
     /// Builds the disclosure table for `graph`.
     pub fn new(graph: &Graph) -> Self {
         let types = TypeSystem::build(graph, &TypeSpec::DegreePairs);
+        Self::with_types(types, graph)
+    }
+
+    /// Builds the table for `graph` under an already-frozen type system —
+    /// the session-routed entry point: a churn repair's types were frozen
+    /// from the *pre-churn* graph, so its disclosure mirror must count
+    /// under those same types rather than re-freeze from mutated degrees.
+    pub fn with_types(types: TypeSystem, graph: &Graph) -> Self {
         let mut counts = vec![0u64; types.num_types()];
         for e in graph.edges() {
             if let Some(t) = types.type_of(e.u(), e.v()) {

@@ -1,94 +1,29 @@
 //! GADED-Rand and GADED-Max: greedy edge deletion against link disclosure.
+//!
+//! Both are thin wrappers over their session-routed [`lopacity::Strategy`] forms
+//! ([`crate::GadedRand`], [`crate::GadedMax`]) — one-shot
+//! [`lopacity::Anonymizer`] runs at `L = 1` over degree-pair types. The
+//! legacy standalone implementations live on in this module's test module
+//! as the regression oracle: the session route must reproduce them field
+//! for field.
 
-use crate::disclosure::LinkDisclosure;
+use crate::strategies::{run_once_at_l1, GadedMax, GadedRand};
 use lopacity::AnonymizationOutcome;
-use lopacity_graph::{Edge, Graph};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use lopacity_graph::Graph;
 
-/// **GADED-Rand**: while some degree-pair type disclosres above θ, remove a
+/// **GADED-Rand**: while some degree-pair type discloses above θ, remove a
 /// uniformly random edge among the edges participating in a violating type.
 pub fn gaded_rand(graph: &Graph, theta: f64, seed: u64) -> AnonymizationOutcome {
-    let mut g = graph.clone();
-    let mut ld = LinkDisclosure::new(&g);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut removed = Vec::new();
-    let mut steps = 0usize;
-    let mut trials = 0u64;
-    while !ld.max_disclosure().satisfies(theta) {
-        let violating: Vec<Edge> = g.edges().filter(|&e| ld.edge_violates(e, theta)).collect();
-        trials += violating.len() as u64;
-        let Some(&pick) = violating.get(rng.random_range(0..violating.len().max(1)))
-        else {
-            break; // no participating edge left (cannot happen at L = 1)
-        };
-        g.remove_edge(pick.u(), pick.v());
-        ld.commit_remove(pick);
-        removed.push(pick);
-        steps += 1;
-    }
-    let final_a = ld.max_disclosure();
-    AnonymizationOutcome {
-        graph: g,
-        removed,
-        inserted: Vec::new(),
-        steps,
-        trials,
-        final_lo: final_a.as_f64(),
-        final_n_at_max: final_a.n_at_max(),
-        achieved: final_a.satisfies(theta),
-        fork_clones: 0,
-    }
+    run_once_at_l1(graph, theta, seed, GadedRand)
 }
 
 /// **GADED-Max**: while some type discloses above θ, remove the edge whose
 /// removal yields the smallest maximum disclosure, tie-broken by the
 /// smallest total disclosure (Zhang & Zhang's "maximum reduction of the
 /// maximum link disclosure and minimum increase of the total link
-/// disclosures").
+/// disclosures"). Deterministic — no seed.
 pub fn gaded_max(graph: &Graph, theta: f64) -> AnonymizationOutcome {
-    let mut g = graph.clone();
-    let mut ld = LinkDisclosure::new(&g);
-    let mut removed = Vec::new();
-    let mut steps = 0usize;
-    let mut trials = 0u64;
-    while !ld.max_disclosure().satisfies(theta) && g.num_edges() > 0 {
-        let mut best: Option<(Edge, lopacity::LoAssessment, f64)> = None;
-        for e in g.edges() {
-            let (max, total) = ld.after_remove(e);
-            trials += 1;
-            let better = match &best {
-                None => true,
-                Some((_, bmax, btotal)) => {
-                    match max.cmp_value(bmax) {
-                        std::cmp::Ordering::Less => true,
-                        std::cmp::Ordering::Greater => false,
-                        std::cmp::Ordering::Equal => total < *btotal - 1e-12,
-                    }
-                }
-            };
-            if better {
-                best = Some((e, max, total));
-            }
-        }
-        let Some((pick, _, _)) = best else { break };
-        g.remove_edge(pick.u(), pick.v());
-        ld.commit_remove(pick);
-        removed.push(pick);
-        steps += 1;
-    }
-    let final_a = ld.max_disclosure();
-    AnonymizationOutcome {
-        graph: g,
-        removed,
-        inserted: Vec::new(),
-        steps,
-        trials,
-        final_lo: final_a.as_f64(),
-        final_n_at_max: final_a.n_at_max(),
-        achieved: final_a.satisfies(theta),
-        fork_clones: 0,
-    }
+    run_once_at_l1(graph, theta, 0, GadedMax)
 }
 
 #[cfg(test)]
@@ -156,5 +91,132 @@ mod tests {
     fn gaded_rand_deterministic_per_seed() {
         let g = paper_graph();
         assert_eq!(gaded_rand(&g, 0.4, 9).removed, gaded_rand(&g, 0.4, 9).removed);
+    }
+
+    /// The retired standalone implementations, kept verbatim as the
+    /// regression oracle for the session-routed path.
+    mod legacy {
+        use crate::disclosure::LinkDisclosure;
+        use lopacity::AnonymizationOutcome;
+        use lopacity_graph::{Edge, Graph};
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        pub fn gaded_rand(graph: &Graph, theta: f64, seed: u64) -> AnonymizationOutcome {
+            let mut g = graph.clone();
+            let mut ld = LinkDisclosure::new(&g);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut removed = Vec::new();
+            let mut steps = 0usize;
+            let mut trials = 0u64;
+            while !ld.max_disclosure().satisfies(theta) {
+                let violating: Vec<Edge> =
+                    g.edges().filter(|&e| ld.edge_violates(e, theta)).collect();
+                trials += violating.len() as u64;
+                let Some(&pick) = violating.get(rng.random_range(0..violating.len().max(1)))
+                else {
+                    break;
+                };
+                g.remove_edge(pick.u(), pick.v());
+                ld.commit_remove(pick);
+                removed.push(pick);
+                steps += 1;
+            }
+            let final_a = ld.max_disclosure();
+            AnonymizationOutcome {
+                graph: g,
+                removed,
+                inserted: Vec::new(),
+                steps,
+                trials,
+                final_lo: final_a.as_f64(),
+                final_n_at_max: final_a.n_at_max(),
+                achieved: final_a.satisfies(theta),
+                fork_clones: 0,
+            }
+        }
+
+        pub fn gaded_max(graph: &Graph, theta: f64) -> AnonymizationOutcome {
+            let mut g = graph.clone();
+            let mut ld = LinkDisclosure::new(&g);
+            let mut removed = Vec::new();
+            let mut steps = 0usize;
+            let mut trials = 0u64;
+            while !ld.max_disclosure().satisfies(theta) && g.num_edges() > 0 {
+                let mut best: Option<(Edge, lopacity::LoAssessment, f64)> = None;
+                for e in g.edges() {
+                    let (max, total) = ld.after_remove(e);
+                    trials += 1;
+                    let better = match &best {
+                        None => true,
+                        Some((_, bmax, btotal)) => match max.cmp_value(bmax) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Greater => false,
+                            std::cmp::Ordering::Equal => total < *btotal - 1e-12,
+                        },
+                    };
+                    if better {
+                        best = Some((e, max, total));
+                    }
+                }
+                let Some((pick, _, _)) = best else { break };
+                g.remove_edge(pick.u(), pick.v());
+                ld.commit_remove(pick);
+                removed.push(pick);
+                steps += 1;
+            }
+            let final_a = ld.max_disclosure();
+            AnonymizationOutcome {
+                graph: g,
+                removed,
+                inserted: Vec::new(),
+                steps,
+                trials,
+                final_lo: final_a.as_f64(),
+                final_n_at_max: final_a.n_at_max(),
+                achieved: final_a.satisfies(theta),
+                fork_clones: 0,
+            }
+        }
+    }
+
+    fn assert_outcomes_match(a: &AnonymizationOutcome, b: &AnonymizationOutcome, ctx: &str) {
+        assert_eq!(a.graph, b.graph, "graph: {ctx}");
+        assert_eq!(a.removed, b.removed, "removed: {ctx}");
+        assert_eq!(a.inserted, b.inserted, "inserted: {ctx}");
+        assert_eq!(a.steps, b.steps, "steps: {ctx}");
+        assert_eq!(a.trials, b.trials, "trials: {ctx}");
+        assert_eq!(a.final_lo, b.final_lo, "final_lo: {ctx}");
+        assert_eq!(a.final_n_at_max, b.final_n_at_max, "final_n_at_max: {ctx}");
+        assert_eq!(a.achieved, b.achieved, "achieved: {ctx}");
+    }
+
+    /// The session-routed path reproduces the retired standalone
+    /// implementation field for field, across θ values and seeds.
+    #[test]
+    fn session_route_matches_legacy_implementation() {
+        let graphs = [
+            paper_graph(),
+            Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap(),
+            Graph::from_edges(9, (0..8u32).map(|i| (i, i + 1))).unwrap(),
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            for theta in [0.0, 0.3, 0.5, 0.8, 1.0] {
+                for seed in [0u64, 7, 42] {
+                    let ctx = format!("graph {gi}, θ={theta}, seed={seed}");
+                    assert_outcomes_match(
+                        &gaded_rand(g, theta, seed),
+                        &legacy::gaded_rand(g, theta, seed),
+                        &format!("gaded_rand, {ctx}"),
+                    );
+                }
+                let ctx = format!("graph {gi}, θ={theta}");
+                assert_outcomes_match(
+                    &gaded_max(g, theta),
+                    &legacy::gaded_max(g, theta),
+                    &format!("gaded_max, {ctx}"),
+                );
+            }
+        }
     }
 }

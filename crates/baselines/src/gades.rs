@@ -20,70 +20,30 @@ use lopacity_graph::{Edge, Graph};
 pub const DEFAULT_SWAP_BUDGET: u64 = 500_000;
 
 /// **GADES**: swap edges while the maximum disclosure exceeds θ and an
-/// improving swap exists, with the default trial budget.
+/// improving swap exists, with the default trial budget. A thin one-shot
+/// session wrapper over [`crate::Gades`]; the legacy standalone
+/// implementation is retained in the test module as the regression oracle.
 pub fn gades(graph: &Graph, theta: f64) -> AnonymizationOutcome {
     gades_with_budget(graph, theta, DEFAULT_SWAP_BUDGET)
 }
 
 /// [`gades`] with an explicit swap-evaluation budget.
 pub fn gades_with_budget(graph: &Graph, theta: f64, budget: u64) -> AnonymizationOutcome {
-    let mut g = graph.clone();
-    let mut ld = LinkDisclosure::new(&g);
-    let mut removed = Vec::new();
-    let mut inserted = Vec::new();
-    let mut steps = 0usize;
-    let mut trials = 0u64;
-
-    loop {
-        let current = ld.max_disclosure();
-        if current.satisfies(theta) {
-            break;
-        }
-        if trials >= budget {
-            break; // budget exhausted: report failure honestly
-        }
-        let Some(swap) = first_improving_swap(&g, &ld, &current, &mut trials, budget) else {
-            break; // stuck: no degree-preserving improvement exists
-        };
-        let Swap { out1, out2, in1, in2 } = swap;
-        g.remove_edge(out1.u(), out1.v());
-        g.remove_edge(out2.u(), out2.v());
-        g.add_edge(in1.u(), in1.v());
-        g.add_edge(in2.u(), in2.v());
-        ld.commit_remove(out1);
-        ld.commit_remove(out2);
-        ld.commit_insert(in1);
-        ld.commit_insert(in2);
-        record_edit(&mut removed, &mut inserted, out1, out2, in1, in2, graph);
-        steps += 1;
-    }
-
-    let final_a = ld.max_disclosure();
-    AnonymizationOutcome {
-        graph: g,
-        removed,
-        inserted,
-        steps,
-        trials,
-        final_lo: final_a.as_f64(),
-        final_n_at_max: final_a.n_at_max(),
-        achieved: final_a.satisfies(theta),
-        fork_clones: 0,
-    }
+    crate::strategies::run_once_at_l1(graph, theta, 0, crate::Gades { budget })
 }
 
-struct Swap {
-    out1: Edge,
-    out2: Edge,
-    in1: Edge,
-    in2: Edge,
+pub(crate) struct Swap {
+    pub(crate) out1: Edge,
+    pub(crate) out2: Edge,
+    pub(crate) in1: Edge,
+    pub(crate) in2: Edge,
 }
 
 /// Finds a swap that strictly reduces the maximum disclosure
 /// (first-improvement local search; among the two orientations of a pair,
 /// the better `(max, total)` is taken). Returns `None` when no improving
 /// swap exists or the budget runs out mid-scan.
-fn first_improving_swap(
+pub(crate) fn first_improving_swap(
     g: &Graph,
     ld: &LinkDisclosure,
     current: &LoAssessment,
@@ -169,38 +129,125 @@ fn evaluate_swap(
     (max, total)
 }
 
-/// Books a swap into the cumulative edit lists relative to the *original*
-/// graph: swapping back an edge that was previously swapped out must cancel
-/// rather than double-count.
-fn record_edit(
-    removed: &mut Vec<Edge>,
-    inserted: &mut Vec<Edge>,
-    out1: Edge,
-    out2: Edge,
-    in1: Edge,
-    in2: Edge,
-    original: &Graph,
-) {
-    for e in [out1, out2] {
-        if let Some(pos) = inserted.iter().position(|&x| x == e) {
-            inserted.swap_remove(pos); // cancelled an earlier insertion
-        } else {
-            debug_assert!(original.has_edge(e.u(), e.v()));
-            removed.push(e);
-        }
-    }
-    for e in [in1, in2] {
-        if let Some(pos) = removed.iter().position(|&x| x == e) {
-            removed.swap_remove(pos); // restored an original edge
-        } else {
-            inserted.push(e);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The retired standalone implementation, kept verbatim as the
+    /// regression oracle for the session-routed path.
+    mod legacy {
+        use super::super::{first_improving_swap, Swap};
+        use crate::disclosure::LinkDisclosure;
+        use lopacity::AnonymizationOutcome;
+        use lopacity_graph::{Edge, Graph};
+
+        pub fn gades_with_budget(
+            graph: &Graph,
+            theta: f64,
+            budget: u64,
+        ) -> AnonymizationOutcome {
+            let mut g = graph.clone();
+            let mut ld = LinkDisclosure::new(&g);
+            let mut removed = Vec::new();
+            let mut inserted = Vec::new();
+            let mut steps = 0usize;
+            let mut trials = 0u64;
+
+            loop {
+                let current = ld.max_disclosure();
+                if current.satisfies(theta) {
+                    break;
+                }
+                if trials >= budget {
+                    break;
+                }
+                let Some(swap) = first_improving_swap(&g, &ld, &current, &mut trials, budget)
+                else {
+                    break;
+                };
+                let Swap { out1, out2, in1, in2 } = swap;
+                g.remove_edge(out1.u(), out1.v());
+                g.remove_edge(out2.u(), out2.v());
+                g.add_edge(in1.u(), in1.v());
+                g.add_edge(in2.u(), in2.v());
+                ld.commit_remove(out1);
+                ld.commit_remove(out2);
+                ld.commit_insert(in1);
+                ld.commit_insert(in2);
+                record_edit(&mut removed, &mut inserted, out1, out2, in1, in2, graph);
+                steps += 1;
+            }
+
+            let final_a = ld.max_disclosure();
+            AnonymizationOutcome {
+                graph: g,
+                removed,
+                inserted,
+                steps,
+                trials,
+                final_lo: final_a.as_f64(),
+                final_n_at_max: final_a.n_at_max(),
+                achieved: final_a.satisfies(theta),
+                fork_clones: 0,
+            }
+        }
+
+        /// Books a swap into the cumulative edit lists relative to the
+        /// *original* graph: swapping back an edge that was previously
+        /// swapped out must cancel rather than double-count.
+        fn record_edit(
+            removed: &mut Vec<Edge>,
+            inserted: &mut Vec<Edge>,
+            out1: Edge,
+            out2: Edge,
+            in1: Edge,
+            in2: Edge,
+            original: &Graph,
+        ) {
+            for e in [out1, out2] {
+                if let Some(pos) = inserted.iter().position(|&x| x == e) {
+                    inserted.swap_remove(pos); // cancelled an earlier insertion
+                } else {
+                    debug_assert!(original.has_edge(e.u(), e.v()));
+                    removed.push(e);
+                }
+            }
+            for e in [in1, in2] {
+                if let Some(pos) = removed.iter().position(|&x| x == e) {
+                    removed.swap_remove(pos); // restored an original edge
+                } else {
+                    inserted.push(e);
+                }
+            }
+        }
+    }
+
+    /// The session-routed path reproduces the retired standalone
+    /// implementation field for field, across θ values and budgets.
+    #[test]
+    fn session_route_matches_legacy_implementation() {
+        let graphs = [
+            paper_graph(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)])
+                .unwrap(),
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            for theta in [0.2, 0.5, 0.8, 1.0] {
+                for budget in [50u64, 500_000] {
+                    let new = gades_with_budget(g, theta, budget);
+                    let old = legacy::gades_with_budget(g, theta, budget);
+                    let ctx = format!("graph {gi}, θ={theta}, budget={budget}");
+                    assert_eq!(new.graph, old.graph, "graph: {ctx}");
+                    assert_eq!(new.removed, old.removed, "removed: {ctx}");
+                    assert_eq!(new.inserted, old.inserted, "inserted: {ctx}");
+                    assert_eq!(new.steps, old.steps, "steps: {ctx}");
+                    assert_eq!(new.trials, old.trials, "trials: {ctx}");
+                    assert_eq!(new.final_lo, old.final_lo, "final_lo: {ctx}");
+                    assert_eq!(new.achieved, old.achieved, "achieved: {ctx}");
+                }
+            }
+        }
+    }
 
     fn paper_graph() -> Graph {
         Graph::from_edges(

@@ -17,11 +17,21 @@
 //! * [`gades()`](crate::gades()) — degree-preserving edge swaps that reduce the maximum
 //!   disclosure; gives up when no improving swap exists (the paper observes
 //!   it "cannot find any L-opaque graph unless returning an empty graph").
+//!
+//! Each heuristic is also available as a session [`lopacity::Strategy`]
+//! ([`GadedRand`], [`GadedMax`], [`Gades`]) so it can run anywhere the
+//! [`lopacity::Anonymizer`] surface is the entry point — sweeps, progress
+//! observers, and `ChurnSession::repair`. The free functions are thin
+//! one-shot wrappers over those strategies and reproduce the historical
+//! standalone implementations bit-for-bit (regression-tested in
+//! [`gaded`] / [`mod@gades`]).
 
 pub mod disclosure;
 pub mod gaded;
 pub mod gades;
+pub mod strategies;
 
 pub use disclosure::LinkDisclosure;
 pub use gaded::{gaded_max, gaded_rand};
-pub use gades::gades;
+pub use gades::{gades, gades_with_budget, DEFAULT_SWAP_BUDGET};
+pub use strategies::{Gades, GadedMax, GadedRand};

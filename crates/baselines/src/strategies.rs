@@ -1,0 +1,198 @@
+//! The baselines as session [`Strategy`] values.
+//!
+//! The free functions ([`crate::gaded_rand`], [`crate::gaded_max`],
+//! [`crate::gades()`]) historically bypassed the [`Anonymizer`] session
+//! surface entirely — their own graph clone, their own counters, their own
+//! outcome assembly. That made them unusable anywhere the session is the
+//! entry point: sweeps, progress observers, and (the reason this module
+//! exists) churn repair, where `ChurnSession::repair` accepts any
+//! [`Strategy`] and re-runs it over the *live* evaluator state.
+//!
+//! Each wrapper runs the **verbatim** decision procedure of its free
+//! function — same candidate enumeration order, same RNG call sequence,
+//! same tie-breaking epsilons — while routing every commit through
+//! [`RunContext::commit`], so edit lists, trial clocks, step counts, and
+//! the final graph are bit-for-bit those of the legacy path (pinned by the
+//! regression tests in [`crate::gaded`] / [`mod@crate::gades`]). The free
+//! functions are now thin `run_once` wrappers over these types.
+//!
+//! The disclosure mirror is rebuilt at `execute` time from the evaluator's
+//! **frozen** type system ([`LinkDisclosure::with_types`]): on a pristine
+//! session that equals the legacy behaviour exactly (the types were frozen
+//! from the same graph), and under churn it keeps the baseline answering
+//! the session's privacy question instead of silently re-freezing types
+//! from mutated degrees.
+//!
+//! All three baselines model single-edge linkage, so they assert
+//! `config.l == 1` — running them at higher L would report disclosure
+//! numbers that do not bound the evaluator's L-ball opacity.
+
+use crate::disclosure::LinkDisclosure;
+use crate::gades::{first_improving_swap, Swap, DEFAULT_SWAP_BUDGET};
+use lopacity::{Anonymizer, MoveKind, RunContext, Strategy};
+use lopacity_graph::Edge;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Builds the disclosure mirror for a baseline run and checks the L = 1
+/// contract.
+fn mirror(ctx: &RunContext<'_>, name: &str) -> LinkDisclosure {
+    assert_eq!(
+        ctx.config().l,
+        1,
+        "{name} models single-edge link disclosure and is only defined at L = 1"
+    );
+    LinkDisclosure::with_types(ctx.evaluator().types().clone(), ctx.evaluator().graph())
+}
+
+/// [`crate::gaded_rand`] as a [`Strategy`]: while some type disclosures
+/// above θ, remove a uniformly random edge among those participating in a
+/// violating type. The RNG is seeded from `config.seed`, exactly as the
+/// free function seeds from its `seed` argument.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GadedRand;
+
+impl Strategy for GadedRand {
+    fn name(&self) -> &'static str {
+        "gaded-rand"
+    }
+
+    fn execute(&mut self, ctx: &mut RunContext<'_>) {
+        let mut ld = mirror(ctx, "GADED-Rand");
+        let theta = ctx.config().theta;
+        let mut rng = StdRng::seed_from_u64(ctx.config().seed);
+        while !ld.max_disclosure().satisfies(theta) {
+            let violating: Vec<Edge> = ctx
+                .evaluator()
+                .graph()
+                .edges()
+                .filter(|&e| ld.edge_violates(e, theta))
+                .collect();
+            ctx.add_trials(violating.len() as u64);
+            let Some(&pick) = violating.get(rng.random_range(0..violating.len().max(1)))
+            else {
+                break; // no participating edge left (cannot happen at L = 1)
+            };
+            ld.commit_remove(pick);
+            ctx.commit(MoveKind::Remove, &[pick]);
+            ctx.step_committed();
+        }
+    }
+}
+
+/// [`crate::gaded_max`] as a [`Strategy`]: remove the edge with the
+/// maximum reduction of the maximum disclosure, tie-broken by the minimum
+/// total disclosure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GadedMax;
+
+impl Strategy for GadedMax {
+    fn name(&self) -> &'static str {
+        "gaded-max"
+    }
+
+    fn execute(&mut self, ctx: &mut RunContext<'_>) {
+        let mut ld = mirror(ctx, "GADED-Max");
+        let theta = ctx.config().theta;
+        while !ld.max_disclosure().satisfies(theta) && ctx.evaluator().graph().num_edges() > 0
+        {
+            let mut best: Option<(Edge, lopacity::LoAssessment, f64)> = None;
+            let mut scanned = 0u64;
+            for e in ctx.evaluator().graph().edges() {
+                let (max, total) = ld.after_remove(e);
+                scanned += 1;
+                let better = match &best {
+                    None => true,
+                    Some((_, bmax, btotal)) => match max.cmp_value(bmax) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Greater => false,
+                        std::cmp::Ordering::Equal => total < *btotal - 1e-12,
+                    },
+                };
+                if better {
+                    best = Some((e, max, total));
+                }
+            }
+            ctx.add_trials(scanned);
+            let Some((pick, _, _)) = best else { break };
+            ld.commit_remove(pick);
+            ctx.commit(MoveKind::Remove, &[pick]);
+            ctx.step_committed();
+        }
+    }
+}
+
+/// [`crate::gades()`] as a [`Strategy`]: degree-preserving edge swaps that
+/// strictly reduce the maximum disclosure, bounded by a swap-evaluation
+/// budget. Swapping an earlier swap back in cancels in the edit lists
+/// (that is [`RunContext::commit`]'s bookkeeping rule, which mirrors the
+/// free function's `record_edit`).
+#[derive(Debug, Clone, Copy)]
+pub struct Gades {
+    /// Cap on swap-candidate evaluations for this run; see
+    /// [`DEFAULT_SWAP_BUDGET`].
+    pub budget: u64,
+}
+
+impl Default for Gades {
+    fn default() -> Self {
+        Gades { budget: DEFAULT_SWAP_BUDGET }
+    }
+}
+
+impl Strategy for Gades {
+    fn name(&self) -> &'static str {
+        "gades"
+    }
+
+    fn execute(&mut self, ctx: &mut RunContext<'_>) {
+        let mut ld = mirror(ctx, "GADES");
+        let theta = ctx.config().theta;
+        // The free function's budget counts this run's own evaluations;
+        // mirror with a local clock and stream it into the session's.
+        let mut trials = 0u64;
+        let mut synced = 0u64;
+        loop {
+            let current = ld.max_disclosure();
+            if current.satisfies(theta) {
+                break;
+            }
+            if trials >= self.budget {
+                break; // budget exhausted: report failure honestly
+            }
+            let found = first_improving_swap(
+                ctx.evaluator().graph(),
+                &ld,
+                &current,
+                &mut trials,
+                self.budget,
+            );
+            ctx.add_trials(trials - synced);
+            synced = trials;
+            let Some(Swap { out1, out2, in1, in2 }) = found else {
+                break; // stuck: no degree-preserving improvement exists
+            };
+            ld.commit_remove(out1);
+            ld.commit_remove(out2);
+            ld.commit_insert(in1);
+            ld.commit_insert(in2);
+            ctx.commit(MoveKind::Remove, &[out1, out2]);
+            ctx.commit(MoveKind::Insert, &[in1, in2]);
+            ctx.step_committed();
+        }
+    }
+}
+
+/// Shared shape of the legacy free functions: a one-shot session at L = 1
+/// over degree-pair types.
+pub(crate) fn run_once_at_l1<S: Strategy>(
+    graph: &lopacity_graph::Graph,
+    theta: f64,
+    seed: u64,
+    strategy: S,
+) -> lopacity::AnonymizationOutcome {
+    let spec = lopacity::TypeSpec::DegreePairs;
+    Anonymizer::new(graph, &spec)
+        .config(lopacity::AnonymizeConfig::new(1, theta).with_seed(seed))
+        .run_once(strategy)
+}

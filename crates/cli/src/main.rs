@@ -6,6 +6,9 @@
 //!          [--lookahead N] [--seed N] [--max-steps N]
 //!          [--parallelism auto|off|N] [--store auto|dense|sparse]
 //!          [--sweep-mode resume|independent]
+//! lopacify churn     --in graph.txt --events events.txt --out live.txt
+//!          --l 2 --theta 0.5 [--method ...] [--batch N] [--seed N]
+//!          [--parallelism auto|off|N] [--store auto|dense|sparse]
 //! lopacify opacity   --in graph.txt --l 2 [--original orig.txt]
 //! lopacify stats     --in graph.txt
 //! lopacify generate  --dataset google --n 500 --out graph.txt [--seed N]
@@ -20,13 +23,20 @@
 //! evaluator build, one CSV row per θ on stdout, with the strictest θ's
 //! graph written to `--out`. Under the default resume mode the final graph
 //! is byte-identical to a single-θ run at the strictest value.
+//!
+//! `churn` replays an external edge-event stream (`+ u v` / `- u v`, one
+//! per line) against a live [`lopacity::ChurnSession`]: events apply as
+//! incremental deltas, each `--batch`-sized window re-reads certification,
+//! and violations trigger an in-place repair — one CSV row per batch on
+//! stdout, the final graph to `--out`, exit status 3 if the stream ends
+//! uncertified.
 
 use lopacity::opacity::{opacity_report, opacity_report_against_original};
 use lopacity::{
-    AnonymizeConfig, Anonymizer, ExactMinRemovals, Parallelism, Removal, RemovalInsertion,
-    StoreBackend, SweepMode, TypeSpec,
+    AnonymizeConfig, Anonymizer, ChurnSession, EdgeEvent, ExactMinRemovals, Parallelism,
+    RepairPatch, Removal, RemovalInsertion, StoreBackend, SweepMode, TypeSpec,
 };
-use lopacity_baselines::{gaded_max, gaded_rand, gades};
+use lopacity_baselines::{gaded_max, gaded_rand, gades, Gades, GadedMax, GadedRand};
 use lopacity_gen::Dataset;
 use lopacity_graph::{io as gio, Graph};
 use lopacity_metrics::{GraphStats, UtilityReport};
@@ -37,6 +47,7 @@ fn main() {
     let command = args.positional(0).unwrap_or("").to_string();
     let result = match command.as_str() {
         "anonymize" => anonymize(&args),
+        "churn" => churn(&args),
         "opacity" => opacity(&args),
         "stats" => stats(&args),
         "generate" => generate(&args),
@@ -74,6 +85,17 @@ commands:
             per theta on stdout, the strictest theta's graph in --out
             sweep-mode defaults to resume (exact: independent, so every
             theta stays globally minimal)
+  churn     --in FILE --events FILE --out FILE --l N --theta X
+            [--method M] [--batch N] [--seed N]
+            [--parallelism auto|off|N] [--store auto|dense|sparse]
+            methods: rem (default), rem-ins, gaded-rand, gaded-max, gades
+                     (baselines only at --l 1)
+            replays an external edge-event stream (one `+ u v` or `- u v`
+            per line; #/% comments) as incremental deltas against a live
+            session: every --batch events (default 1) certification is
+            re-read and a violation triggers an in-place repair; one CSV
+            row per batch on stdout, the final graph in --out, exit 3 if
+            the stream ends uncertified
   opacity   --in FILE --l N [--original FILE] [--theta X]
   stats     --in FILE
   generate  --dataset D --n N --out FILE [--seed N]
@@ -218,6 +240,117 @@ fn anonymize(args: &Args) -> Result<(), String> {
     eprintln!("utility: {utility}");
     if !outcome.achieved {
         eprintln!("warning: θ = {theta} was NOT reached (maxLO = {:.4})", outcome.final_lo);
+        std::process::exit(3);
+    }
+    Ok(())
+}
+
+/// Runs one repair under the named method. A match per call (rather than a
+/// boxed strategy held across the loop) keeps `ChurnSession::repair`'s
+/// fresh-per-repair semantics obvious: each repair builds its own strategy
+/// value, RNG, and edit bookkeeping.
+fn repair_with(session: &mut ChurnSession, method: &str) -> Result<RepairPatch, String> {
+    Ok(match method {
+        "rem" => session.repair(Removal),
+        "rem-ins" => session.repair(RemovalInsertion::default()),
+        "gaded-rand" => session.repair(GadedRand),
+        "gaded-max" => session.repair(GadedMax),
+        "gades" => session.repair(Gades::default()),
+        other => return Err(format!("unknown method {other:?}")),
+    })
+}
+
+fn churn(args: &Args) -> Result<(), String> {
+    let graph = load(args, "in")?;
+    let out_path = args.get("out").ok_or("missing --out FILE")?;
+    let events_path = args.get("events").ok_or("missing --events FILE")?;
+    let text = std::fs::read_to_string(events_path)
+        .map_err(|e| format!("reading {events_path}: {e}"))?;
+    let events = EdgeEvent::parse_stream(&text).map_err(|e| format!("{events_path}: {e}"))?;
+    let l: u8 = args.get_or("l", 1)?;
+    if l == 0 {
+        return Err("L must be at least 1".into());
+    }
+    let thetas = parse_thetas(args)?;
+    let [theta] = thetas[..] else {
+        return Err("churn certifies one theta (no sweeps)".into());
+    };
+    let batch: usize = args.get_or("batch", 1)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let seed: u64 = args.get_or("seed", lopacity::config::DEFAULT_SEED)?;
+    let method = args.get("method").unwrap_or("rem");
+    if !matches!(method, "rem" | "rem-ins") && l != 1 {
+        return Err("baseline methods support only --l 1".into());
+    }
+    let parallelism: Parallelism = match args.get("parallelism") {
+        None => Parallelism::Auto,
+        Some(raw) => raw.parse().map_err(|e| format!("--parallelism: {e}"))?,
+    };
+    let store: StoreBackend = match args.get("store") {
+        None => StoreBackend::Auto,
+        Some(raw) => raw.parse().map_err(|e| format!("--store: {e}"))?,
+    };
+    let config = AnonymizeConfig::new(l, theta)
+        .with_seed(seed)
+        .with_parallelism(parallelism)
+        .with_store(store);
+    let spec = TypeSpec::DegreePairs;
+    let mut session = ChurnSession::new(Anonymizer::new(&graph, &spec).config(config));
+
+    // If the input graph is not yet (θ, L)-certified, repair before the
+    // stream starts — the session then maintains that certificate.
+    if !session.is_certified() {
+        let initial = repair_with(&mut session, method)?;
+        eprintln!(
+            "initial repair: -{} +{} edges in {} steps, maxLO = {:.4}{}",
+            initial.removed.len(),
+            initial.inserted.len(),
+            initial.steps,
+            initial.max_lo,
+            if initial.achieved { "" } else { " (NOT certified)" },
+        );
+    }
+
+    println!("batch,applied,skipped,changed_cells,max_lo,violated,repair_removed,repair_inserted,repair_steps,repair_max_lo");
+    for (b, window) in events.chunks(batch).enumerate() {
+        let report = session.apply_batch(window);
+        let repair = if report.violated {
+            Some(repair_with(&mut session, method)?)
+        } else {
+            None
+        };
+        println!(
+            "{},{},{},{},{:.6},{},{},{},{},{}",
+            b,
+            report.applied,
+            report.skipped,
+            report.changed_cells,
+            report.max_lo,
+            report.violated,
+            repair.as_ref().map_or(0, |p| p.removed.len()),
+            repair.as_ref().map_or(0, |p| p.inserted.len()),
+            repair.as_ref().map_or(0, |p| p.steps),
+            repair.as_ref().map_or_else(String::new, |p| format!("{:.6}", p.max_lo)),
+        );
+    }
+
+    session.certify().map_err(|e| format!("incremental state failed certification: {e}"))?;
+    let certified = session.is_certified();
+    let final_a = session.assessment();
+    eprintln!(
+        "stream done: {} applied, {} skipped, {} repairs, maxLO = {:.4}",
+        session.events_applied(),
+        session.events_skipped(),
+        session.repairs(),
+        final_a.as_f64(),
+    );
+    let final_graph = session.into_graph();
+    gio::write_edge_list_file(&final_graph, out_path)
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    if !certified {
+        eprintln!("warning: θ = {theta} NOT held at end of stream");
         std::process::exit(3);
     }
     Ok(())

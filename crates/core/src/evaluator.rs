@@ -265,8 +265,27 @@ impl OpacityEvaluator {
         parallelism: Parallelism,
         backend: StoreBackend,
     ) -> Self {
-        assert!(l >= 1, "L must be at least 1");
         let types = TypeSystem::build(&graph, spec);
+        Self::with_type_system(graph, types, l, engine, parallelism, backend)
+    }
+
+    /// Like [`OpacityEvaluator::with_options`] but adopting a pre-resolved
+    /// [`TypeSystem`] instead of freezing one from `graph`'s current
+    /// degrees. This is the fresh-build **oracle** constructor of the churn
+    /// equivalence contract: a [`crate::churn::ChurnSession`] freezes its
+    /// types once at session start, so a from-scratch rebuild over the
+    /// *mutated* graph must count pairs under those same frozen types —
+    /// re-freezing from mutated degrees would compare different privacy
+    /// questions, not different code paths.
+    pub fn with_type_system(
+        graph: Graph,
+        types: TypeSystem,
+        l: u8,
+        engine: ApspEngine,
+        parallelism: Parallelism,
+        backend: StoreBackend,
+    ) -> Self {
+        assert!(l >= 1, "L must be at least 1");
         let dist = engine.compute_store(&graph, l, parallelism, backend);
         let counts = crate::opacity::count_within_l_store(&dist, &types);
         let live_pairs = dist.live_pairs();
@@ -700,6 +719,31 @@ impl OpacityEvaluator {
         }
         self.revision += 1;
         self.top_two = None;
+    }
+
+    /// Applies an **external** edge event — an insert or delete that came
+    /// from outside the greedy scan (a churn stream), not from a strategy's
+    /// candidate selection — and returns its forward [`CommitDelta`] for
+    /// fork replay. External streams are noisy: inserting an edge that
+    /// already exists, deleting one that does not, or touching a vertex
+    /// beyond the graph are **no-ops** and return `None` (the strict
+    /// [`OpacityEvaluator::apply_insert`] / [`OpacityEvaluator::apply_remove`]
+    /// panic on those, which is right for internal moves where a duplicate
+    /// is a programming error). The change is permanent — no undo token
+    /// survives; external events are facts about the world, not search
+    /// moves to roll back.
+    pub fn apply_external(&mut self, e: Edge, insert: bool) -> Option<CommitDelta> {
+        let (u, v) = e.endpoints();
+        if (v as usize) >= self.graph.num_vertices() {
+            return None; // u < v by Edge's canonical form, so v covers both
+        }
+        let present = self.graph.has_edge(u, v);
+        let token = match (insert, present) {
+            (true, true) | (false, false) => return None,
+            (true, false) => self.apply_insert(e),
+            (false, true) => self.apply_remove(e),
+        };
+        Some(self.commit_delta(&token))
     }
 
     /// Full recomputation of distances and counts — the reference the

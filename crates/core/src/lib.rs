@@ -107,6 +107,9 @@
 //!
 //! * [`session`] — the [`Anonymizer`] session API (the maintained entry
 //!   point), sweeps, and the [`RunContext`] strategies execute against;
+//! * [`churn`] — the [`ChurnSession`] live-graph loop: external
+//!   [`EdgeEvent`] streams applied as incremental deltas, violation
+//!   detection, and certified [`RepairPatch`] emission;
 //! * [`strategy`] — the [`Strategy`] / [`GreedyPolicy`] traits, the shared
 //!   greedy driver, and the three built-in strategies;
 //! * [`progress`] — [`ProgressObserver`] and the step-event types;
@@ -123,6 +126,7 @@
 //! * [`optimal`] — exact minimum-removal search for small instances;
 //! * [`config`] / [`result`] — tuning knobs and rich run reports.
 
+pub mod churn;
 pub mod config;
 pub mod evaluator;
 mod forks;
@@ -138,6 +142,7 @@ pub mod strategy;
 mod tracker;
 pub mod types;
 
+pub use churn::{BatchReport, ChurnSession, EdgeEvent, RepairPatch};
 pub use config::{AnonymizeConfig, LookaheadMode};
 pub use evaluator::{CommitDelta, OpacityEvaluator};
 pub use lo::LoAssessment;

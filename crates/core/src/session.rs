@@ -89,13 +89,15 @@ pub struct SweepRun {
     pub secs: f64,
 }
 
-/// Mutable run counters shared by every strategy execution.
+/// Mutable run counters shared by every strategy execution (also the
+/// repair bookkeeping of [`crate::churn::ChurnSession`], which snapshots
+/// them into a `RepairPatch` instead of an outcome).
 #[derive(Debug, Default)]
-struct RunTotals {
-    steps: usize,
-    trials: u64,
-    removed: Vec<Edge>,
-    inserted: Vec<Edge>,
+pub(crate) struct RunTotals {
+    pub(crate) steps: usize,
+    pub(crate) trials: u64,
+    pub(crate) removed: Vec<Edge>,
+    pub(crate) inserted: Vec<Edge>,
 }
 
 impl RunTotals {
@@ -225,15 +227,33 @@ impl RunContext<'_> {
     /// applied move's forward delta is replayed onto the run's persistent
     /// scan forks (O(changed cells) per fork), so the next sharded scan
     /// needs no `O(|V|²)` re-clone.
+    ///
+    /// Edit lists are kept relative to the run's *start* graph: committing
+    /// a move that reverses an earlier committed edit of the same run
+    /// cancels that entry instead of double-booking both directions. The
+    /// built-in greedy strategies never revisit an edited edge (Algorithm
+    /// 5's `E_D`/`E_A` sets exist precisely to forbid it), so their edit
+    /// lists are untouched by this rule; strategies that legitimately
+    /// re-edit — GADES' degree-preserving swaps can swap an edge back —
+    /// get symmetric-difference lists, which is what
+    /// [`AnonymizationOutcome::distortion`] assumes.
     pub fn commit(&mut self, kind: MoveKind, combo: &[Edge]) {
         for &e in combo {
             let token = match kind {
                 MoveKind::Remove => {
-                    self.totals.removed.push(e);
+                    if let Some(pos) = self.totals.inserted.iter().position(|&x| x == e) {
+                        self.totals.inserted.swap_remove(pos); // cancels an insertion
+                    } else {
+                        self.totals.removed.push(e);
+                    }
                     self.ev.apply_remove(e)
                 }
                 MoveKind::Insert => {
-                    self.totals.inserted.push(e);
+                    if let Some(pos) = self.totals.removed.iter().position(|&x| x == e) {
+                        self.totals.removed.swap_remove(pos); // restores a removal
+                    } else {
+                        self.totals.inserted.push(e);
+                    }
                     self.ev.apply_insert(e)
                 }
             };
@@ -534,19 +554,43 @@ impl<'a> Anonymizer<'a> {
             Some(observer) => observer,
             None => &mut noop,
         };
-        let initial = ev.assessment();
-        observer.on_run_start(&RunInfo {
-            strategy: strategy.name(),
-            theta: config.theta,
-            l: config.l,
-            initial_lo: initial.as_f64(),
-            initial_n_at_max: initial.n_at_max(),
-            trials_before: totals.trials,
-            steps_before: totals.steps,
-        });
-        let mut ctx = RunContext { ev, forks, config, rng, observer, totals };
-        strategy.execute(&mut ctx);
+        run_segment(ev, forks, rng, totals, config, observer, strategy);
     }
+
+    /// Hands the cached pristine evaluator build (building it if needed) to
+    /// the caller, consuming the cache — the [`crate::churn::ChurnSession`]
+    /// entry point, which adopts the build as its long-lived working state.
+    pub(crate) fn take_prepared(&mut self) -> OpacityEvaluator {
+        self.prepared();
+        self.cache.take().expect("prepared() populates the cache").ev
+    }
+}
+
+/// Announces the segment to `observer` and drives `strategy` over `ev` —
+/// the shared execution engine behind [`Anonymizer`] runs and sweeps and
+/// [`crate::churn::ChurnSession`] repairs. Lives here because only this
+/// module may assemble a [`RunContext`].
+pub(crate) fn run_segment<S: Strategy + ?Sized>(
+    ev: &mut OpacityEvaluator,
+    forks: &mut ForkSet,
+    rng: &mut StdRng,
+    totals: &mut RunTotals,
+    config: &AnonymizeConfig,
+    observer: &mut dyn ProgressObserver,
+    strategy: &mut S,
+) {
+    let initial = ev.assessment();
+    observer.on_run_start(&RunInfo {
+        strategy: strategy.name(),
+        theta: config.theta,
+        l: config.l,
+        initial_lo: initial.as_f64(),
+        initial_n_at_max: initial.n_at_max(),
+        trials_before: totals.trials,
+        steps_before: totals.steps,
+    });
+    let mut ctx = RunContext { ev, forks, config, rng, observer, totals };
+    strategy.execute(&mut ctx);
 }
 
 #[cfg(test)]

@@ -12,11 +12,15 @@
 //!   [`Parallelism`] knob the binaries expose.
 //! * [`timer`] — wall-clock stopwatch helpers for runtime experiments.
 //! * [`table`] — fixed-width ASCII table rendering for paper-style output.
+//! * [`testkit`] — closure-generic distance-cell comparators shared by the
+//!   workspace's equivalence test suites (store backends, evaluator,
+//!   churn replay).
 
 pub mod args;
 pub mod csv;
 pub mod pool;
 pub mod table;
+pub mod testkit;
 pub mod timer;
 
 pub use args::Args;

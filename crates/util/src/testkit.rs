@@ -1,0 +1,136 @@
+//! Shared comparators for the workspace's equivalence test suites.
+//!
+//! Three suites pin the same contract from different angles — store
+//! backends (`crates/apsp/tests/store_equivalence.rs`), the incremental
+//! evaluator (`crates/core/tests/evaluator_equivalence.rs`), and churn
+//! replay (`tests/tests/churn_equivalence.rs`): *two distance sources must
+//! agree on every `(i, j)` cell*. This module holds that comparator once.
+//!
+//! The util crate sits below the graph/apsp/core stack (and deliberately
+//! has no dependencies), so the comparators are **closure-generic**: a
+//! distance source is any `Fn(u32, u32) -> u8`, which every store,
+//! matrix, and evaluator in the workspace can provide as a one-line
+//! closure. That inversion is what lets one comparator serve crates the
+//! util layer cannot name.
+
+/// The first cell where two distance sources disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellMismatch {
+    /// Row of the disagreeing cell.
+    pub i: u32,
+    /// Column of the disagreeing cell.
+    pub j: u32,
+    /// The left source's value.
+    pub left: u8,
+    /// The right source's value.
+    pub right: u8,
+}
+
+impl std::fmt::Display for CellMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell ({}, {}): left {} vs right {}",
+            self.i, self.j, self.left, self.right
+        )
+    }
+}
+
+/// Scans all `n × n` ordered cells in row-major order and returns the
+/// first disagreement, or `None` when the sources are identical. Ordered
+/// (not just `i < j`) on purpose: symmetric storage is part of the
+/// contract, so an asymmetry bug in either source must surface here.
+pub fn first_cell_mismatch(
+    n: usize,
+    left: impl Fn(u32, u32) -> u8,
+    right: impl Fn(u32, u32) -> u8,
+) -> Option<CellMismatch> {
+    for i in 0..n as u32 {
+        for j in 0..n as u32 {
+            let (l, r) = (left(i, j), right(i, j));
+            if l != r {
+                return Some(CellMismatch { i, j, left: l, right: r });
+            }
+        }
+    }
+    None
+}
+
+/// [`first_cell_mismatch`] as a `Result`, with the caller's context folded
+/// into the error — the shape `assert!`/`prop_assert!` call sites want.
+pub fn cells_match(
+    n: usize,
+    left: impl Fn(u32, u32) -> u8,
+    right: impl Fn(u32, u32) -> u8,
+    context: &str,
+) -> Result<(), String> {
+    match first_cell_mismatch(n, left, right) {
+        None => Ok(()),
+        Some(m) => Err(format!("{m} ({context})")),
+    }
+}
+
+/// The finite entries of row `i` as the workspace's stores iterate them:
+/// `(j, d)` for every `j != i` with `d != inf`, ascending in `j`. Both
+/// sides of a row-iteration equivalence check can be normalized through
+/// this — the reference side reads cell by cell, the store side collects
+/// its iterator — and then compared as plain vectors.
+pub fn finite_row(
+    n: usize,
+    i: u32,
+    inf: u8,
+    get: impl Fn(u32, u32) -> u8,
+) -> Vec<(u32, u8)> {
+    (0..n as u32)
+        .filter(|&j| j != i)
+        .filter_map(|j| {
+            let d = get(i, j);
+            (d != inf).then_some((j, d))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INF: u8 = u8::MAX;
+
+    #[test]
+    fn identical_sources_have_no_mismatch() {
+        let cells = |i: u32, j: u32| (i + j) as u8;
+        assert_eq!(first_cell_mismatch(5, cells, cells), None);
+        assert!(cells_match(5, cells, cells, "self").is_ok());
+    }
+
+    #[test]
+    fn first_mismatch_is_row_major() {
+        let left = |i: u32, j: u32| (i * 4 + j) as u8;
+        let right = |i: u32, j: u32| if (i, j) >= (1, 2) { 0 } else { left(i, j) };
+        let m = first_cell_mismatch(4, left, right).unwrap();
+        assert_eq!((m.i, m.j), (1, 2), "must report the row-major-first cell");
+        assert_eq!(m.left, 6);
+        assert_eq!(m.right, 0);
+        let err = cells_match(4, left, right, "ctx").unwrap_err();
+        assert!(err.contains("(1, 2)") && err.contains("ctx"), "{err}");
+    }
+
+    #[test]
+    fn asymmetric_sources_are_caught() {
+        let left = |_: u32, _: u32| 1;
+        let right = |i: u32, j: u32| if i > j { 2 } else { 1 };
+        assert!(first_cell_mismatch(3, left, right).is_some());
+    }
+
+    #[test]
+    fn finite_row_skips_diagonal_and_inf() {
+        let get = |i: u32, j: u32| match (i, j) {
+            (1, 0) => 2,
+            (1, 3) => INF,
+            (1, 4) => 1,
+            _ => INF,
+        };
+        assert_eq!(finite_row(5, 1, INF, get), vec![(0, 2), (4, 1)]);
+        assert_eq!(finite_row(5, 2, INF, get), vec![]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Oracle equivalence for incremental re-certification under churn.
+//!
+//! The churn contract: after replaying *any* external edge-event stream
+//! through a [`ChurnSession`], the incrementally maintained state — graph,
+//! truncated distances, per-type within-L counts, live-pair counter — must
+//! be **bit-for-bit equal** to a fresh evaluator build over the mutated
+//! graph under the session's frozen types, and the whole trajectory
+//! (batch reports and certified repair patches) must be invariant under
+//! store backend, APSP engine, and scan worker count, and byte-identical
+//! on a second replay of the same stream.
+//!
+//! Streams are 200 random insert/delete events over a vertex pool small
+//! enough (≤ 16 vertices ⇒ ≤ 120 pairs) that duplicates, deletes of
+//! absent edges, and re-inserts of tombstoned edges all occur in every
+//! case — the no-op and revival paths are load-bearing here, not corner
+//! cases.
+
+use lopacity::{
+    AnonymizeConfig, Anonymizer, BatchReport, ChurnSession, EdgeEvent, OpacityEvaluator,
+    Parallelism, Removal, RepairPatch, StoreBackend, TypeSpec,
+};
+use lopacity_apsp::ApspEngine;
+use lopacity_gen::er::gnm;
+use lopacity_graph::{Edge, Graph};
+use lopacity_util::testkit;
+use proptest::prelude::*;
+
+const BACKENDS: [StoreBackend; 2] = [StoreBackend::Dense, StoreBackend::Sparse];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const BATCH: usize = 20;
+
+/// One generated scenario: a random G(n, m) graph and a 200-event stream.
+#[derive(Debug, Clone)]
+struct Case {
+    graph: Graph,
+    events: Vec<EdgeEvent>,
+    l: u8,
+    theta: f64,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (8u32..=16, 1u8..=2, 0.4f64..0.9, any::<u64>())
+        .prop_flat_map(|(n, l, theta, seed)| {
+            let raw = proptest::collection::vec((0..n, 0..n, any::<bool>()), 200);
+            (Just((n, l, theta, seed)), raw)
+        })
+        .prop_map(|((n, l, theta, seed), raw)| {
+            let graph = gnm(n as usize, 2 * n as usize, seed);
+            let events = raw
+                .into_iter()
+                .map(|(u, v, insert)| {
+                    // Redirect would-be self-loops instead of discarding
+                    // them, keeping every stream at exactly 200 events.
+                    let v = if u == v { (v + 1) % n } else { v };
+                    let e = Edge::new(u, v);
+                    if insert { EdgeEvent::Insert(e) } else { EdgeEvent::Delete(e) }
+                })
+                .collect();
+            Case { graph, events, l, theta }
+        })
+}
+
+/// Everything observable about one replay of a stream.
+struct Trajectory {
+    reports: Vec<BatchReport>,
+    patches: Vec<RepairPatch>,
+    session: ChurnSession,
+}
+
+/// Replays `case` on a fresh session: certify the seed graph first (the
+/// stream then churns a *certified* graph, as in a deployment), apply the
+/// events in fixed-size batches, repair on every violation, and verify
+/// the incremental state against a full recomputation at the end.
+fn replay(
+    case: &Case,
+    backend: StoreBackend,
+    engine: ApspEngine,
+    workers: usize,
+) -> Result<Trajectory, TestCaseError> {
+    let spec = TypeSpec::DegreePairs;
+    let config = AnonymizeConfig::new(case.l, case.theta)
+        .with_store(backend)
+        .with_engine(engine)
+        .with_parallelism(Parallelism::Fixed(workers));
+    let mut session = ChurnSession::new(Anonymizer::new(&case.graph, &spec).config(config));
+    let mut reports = Vec::new();
+    let mut patches = Vec::new();
+    if !session.is_certified() {
+        patches.push(session.repair(Removal));
+    }
+    for window in case.events.chunks(BATCH) {
+        let report = session.apply_batch(window);
+        if report.violated {
+            patches.push(session.repair(Removal));
+        }
+        reports.push(report);
+    }
+    prop_assert!(
+        session.certify().is_ok(),
+        "incremental state failed self-certification ({backend}, {engine:?}, {workers}w)"
+    );
+    Ok(Trajectory { reports, patches, session })
+}
+
+/// The fresh-build oracle: a new evaluator over the mutated graph with the
+/// session's *frozen* type system, equal to the incremental state cell for
+/// cell.
+fn assert_matches_oracle(
+    t: &Trajectory,
+    l: u8,
+    oracle_engine: ApspEngine,
+    oracle_backend: StoreBackend,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let inc = t.session.evaluator();
+    let oracle = OpacityEvaluator::with_type_system(
+        inc.graph().clone(),
+        inc.types().clone(),
+        l,
+        oracle_engine,
+        Parallelism::Off,
+        oracle_backend,
+    );
+    prop_assert_eq!(inc.counts(), oracle.counts(), "within-L counts: {}", context);
+    prop_assert_eq!(inc.live_pairs(), oracle.live_pairs(), "live pairs: {}", context);
+    prop_assert_eq!(
+        inc.assessment().ratio(),
+        oracle.assessment().ratio(),
+        "assessment: {}",
+        context
+    );
+    let n = inc.graph().num_vertices();
+    if let Err(mismatch) = testkit::cells_match(
+        n,
+        |i, j| inc.dist_store().get(i, j),
+        |i, j| oracle.dist_store().get(i, j),
+        context,
+    ) {
+        return Err(TestCaseError::fail(mismatch));
+    }
+    Ok(())
+}
+
+fn assert_trajectories_identical(
+    a: &Trajectory,
+    b: &Trajectory,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.reports, &b.reports, "batch reports: {}", context);
+    prop_assert_eq!(&a.patches, &b.patches, "repair patches: {}", context);
+    prop_assert_eq!(
+        a.session.evaluator().graph(),
+        b.session.evaluator().graph(),
+        "final graphs: {}",
+        context
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full equivalence matrix on one generated stream:
+    ///
+    /// * the canonical replay (dense, default engine, 1 worker) equals the
+    ///   fresh-build oracle under every engine × backend;
+    /// * every backend × worker-count replay is trajectory-identical to
+    ///   the canonical one (sparse included, so tombstone revival and
+    ///   compaction are on the replayed path);
+    /// * every initial-build engine produces the identical trajectory;
+    /// * replaying the canonical configuration a second time is
+    ///   byte-identical — patches compare as whole values.
+    #[test]
+    fn incremental_replay_equals_fresh_build_for_every_configuration(case in arb_case()) {
+        let canonical = replay(&case, StoreBackend::Dense, ApspEngine::default(), 1)?;
+        prop_assert_eq!(
+            canonical.session.events_applied() + canonical.session.events_skipped(),
+            200,
+            "every event is consumed"
+        );
+
+        for engine in ApspEngine::ALL {
+            for backend in BACKENDS {
+                assert_matches_oracle(
+                    &canonical, case.l, engine, backend,
+                    &format!("oracle {engine:?}/{backend}"),
+                )?;
+            }
+        }
+
+        for backend in BACKENDS {
+            for workers in WORKER_COUNTS {
+                let other = replay(&case, backend, ApspEngine::default(), workers)?;
+                assert_trajectories_identical(
+                    &canonical, &other,
+                    &format!("{backend} workers={workers}"),
+                )?;
+            }
+        }
+
+        for engine in ApspEngine::ALL {
+            let other = replay(&case, StoreBackend::Sparse, engine, 1)?;
+            assert_trajectories_identical(&canonical, &other, &format!("build engine {engine:?}"))?;
+        }
+
+        let again = replay(&case, StoreBackend::Dense, ApspEngine::default(), 1)?;
+        assert_trajectories_identical(&canonical, &again, "second replay")?;
+    }
+
+    /// Churn streams that *undo* a certified repair (re-insert exactly the
+    /// removed edges) must be detected as violations and re-repaired to a
+    /// certified state — on both backends, with identical patches.
+    #[test]
+    fn re_inserting_repaired_edges_is_detected_and_re_repaired(
+        n in 8u32..=16, seed in any::<u64>(), theta in 0.3f64..0.7,
+    ) {
+        let graph = gnm(n as usize, 2 * n as usize, seed);
+        let spec = TypeSpec::DegreePairs;
+        let mut per_backend = Vec::new();
+        for backend in BACKENDS {
+            let config = AnonymizeConfig::new(1, theta).with_store(backend);
+            let mut session = ChurnSession::new(Anonymizer::new(&graph, &spec).config(config));
+            let initial = session.repair(Removal);
+            prop_assert!(initial.achieved, "{}: greedy removal always certifies at L = 1", backend);
+            let undo: Vec<EdgeEvent> =
+                initial.removed.iter().map(|&e| EdgeEvent::Insert(e)).collect();
+            let report = session.apply_batch(&undo);
+            prop_assert_eq!(report.applied, undo.len(), "{}", backend);
+            if report.violated {
+                let patch = session.repair(Removal);
+                prop_assert!(patch.achieved, "{}", backend);
+            }
+            prop_assert!(session.is_certified(), "{}", backend);
+            prop_assert!(session.certify().is_ok(), "{}", backend);
+            per_backend.push((report, session.into_graph()));
+        }
+        let (dense, sparse) = (&per_backend[0], &per_backend[1]);
+        prop_assert_eq!(&dense.0, &sparse.0, "reports diverged");
+        prop_assert_eq!(&dense.1, &sparse.1, "graphs diverged");
+    }
+}
