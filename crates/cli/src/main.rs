@@ -12,6 +12,7 @@
 //! lopacify opacity   --in graph.txt --l 2 [--original orig.txt]
 //! lopacify stats     --in graph.txt
 //! lopacify generate  --dataset google --n 500 --out graph.txt [--seed N]
+//! lopacify serve     [--addr HOST:PORT] [--workers N] [--queue N]
 //! ```
 //!
 //! Graphs are whitespace-separated edge lists (SNAP format); `#`/`%` lines
@@ -37,29 +38,55 @@ use lopacity::{
     RepairPatch, Removal, RemovalInsertion, StoreBackend, SweepMode, TypeSpec,
 };
 use lopacity_baselines::{gaded_max, gaded_rand, gades, Gades, GadedMax, GadedRand};
+use lopacity_daemon::{Daemon, DaemonConfig};
 use lopacity_gen::Dataset;
-use lopacity_graph::{io as gio, Graph};
+use lopacity_graph::{io as gio, Graph, GraphError};
 use lopacity_metrics::{GraphStats, UtilityReport};
 use lopacity_util::Args;
+
+/// A CLI failure with its exit status. The exit-code contract (documented
+/// in the usage text and README):
+///
+/// * `1` — I/O failures and usage errors,
+/// * `2` — input parse errors (edge lists, event streams),
+/// * `3` — θ lost: the run/stream ended with `maxLO > θ` (raised at the
+///   `exit(3)` sites in `anonymize`/`churn`, not through this type).
+struct CliError {
+    code: i32,
+    message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError { code: 1, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError { code: 1, message: message.to_string() }
+    }
+}
 
 fn main() {
     let args = Args::from_env();
     let command = args.positional(0).unwrap_or("").to_string();
-    let result = match command.as_str() {
-        "anonymize" => anonymize(&args),
+    let result: Result<(), CliError> = match command.as_str() {
+        "anonymize" => anonymize(&args).map_err(CliError::from),
         "churn" => churn(&args),
-        "opacity" => opacity(&args),
-        "stats" => stats(&args),
-        "generate" => generate(&args),
+        "serve" => serve(&args).map_err(CliError::from),
+        "opacity" => opacity(&args).map_err(CliError::from),
+        "stats" => stats(&args).map_err(CliError::from),
+        "generate" => generate(&args).map_err(CliError::from),
         "" | "help" | "--help" => {
             eprint!("{}", USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(CliError::from(format!("unknown command {other:?}\n{USAGE}"))),
     };
-    if let Err(message) = result {
-        eprintln!("error: {message}");
-        std::process::exit(1);
+    if let Err(e) = result {
+        eprintln!("error: {}", e.message);
+        std::process::exit(e.code);
     }
 }
 
@@ -101,11 +128,34 @@ commands:
   generate  --dataset D --n N --out FILE [--seed N]
             datasets: google, berkeley-stanford, epinions, enron, gnutella,
                       acm, wikipedia
+  serve     [--addr HOST:PORT] [--workers N] [--queue N]
+            starts lopacityd, the anonymization daemon: jobs over HTTP with
+            progress streaming, cooperative cancellation, per-job budgets,
+            a shared (graph, L, engine) evaluator cache, and held churn
+            sessions (defaults: 127.0.0.1:7311, 2 workers, queue 32)
+
+exit codes:
+  0  success
+  1  I/O failures (unreadable/unwritable files) and usage errors
+  2  input parse errors (malformed edge lists or event streams)
+  3  theta lost: anonymize ended with maxLO > theta, or a churn stream
+     ended uncertified after repair
 ";
 
 fn load(args: &Args, key: &str) -> Result<Graph, String> {
     let path = args.get(key).ok_or(format!("missing --{key} FILE"))?;
     gio::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// Like [`load`], but classifying the failure for the exit-code contract:
+/// an unreadable file is an I/O failure (exit 1), malformed content is a
+/// parse error (exit 2).
+fn load_classified(args: &Args, key: &str) -> Result<Graph, CliError> {
+    let path = args.get(key).ok_or_else(|| format!("missing --{key} FILE"))?;
+    gio::read_edge_list_file(path).map_err(|e| CliError {
+        code: if matches!(e, GraphError::Io(_)) { 1 } else { 2 },
+        message: format!("reading {path}: {e}"),
+    })
 }
 
 /// The `--theta` list: one or more values in [0, 1], comma-separated.
@@ -260,13 +310,16 @@ fn repair_with(session: &mut ChurnSession, method: &str) -> Result<RepairPatch, 
     })
 }
 
-fn churn(args: &Args) -> Result<(), String> {
-    let graph = load(args, "in")?;
+fn churn(args: &Args) -> Result<(), CliError> {
+    let graph = load_classified(args, "in")?;
     let out_path = args.get("out").ok_or("missing --out FILE")?;
     let events_path = args.get("events").ok_or("missing --events FILE")?;
+    // I/O failure (exit 1) vs. malformed stream (exit 2) — the two files
+    // are read and parsed as separate steps so the codes stay distinct.
     let text = std::fs::read_to_string(events_path)
-        .map_err(|e| format!("reading {events_path}: {e}"))?;
-    let events = EdgeEvent::parse_stream(&text).map_err(|e| format!("{events_path}: {e}"))?;
+        .map_err(|e| CliError { code: 1, message: format!("reading {events_path}: {e}") })?;
+    let events = EdgeEvent::parse_stream(&text)
+        .map_err(|e| CliError { code: 2, message: format!("{events_path}: {e}") })?;
     let l: u8 = args.get_or("l", 1)?;
     if l == 0 {
         return Err("L must be at least 1".into());
@@ -406,4 +459,21 @@ fn generate(args: &Args) -> Result<(), String> {
         graph.num_edges()
     );
     Ok(())
+}
+
+/// Boots `lopacityd` in-process and serves until killed. The daemon crate
+/// also ships a standalone `lopacityd` binary with the same knobs.
+fn serve(args: &Args) -> Result<(), String> {
+    let defaults = DaemonConfig::default();
+    let config = DaemonConfig {
+        addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
+        workers: args.get_or("workers", defaults.workers)?,
+        queue_capacity: args.get_or("queue", defaults.queue_capacity)?,
+    };
+    let daemon = Daemon::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    println!("lopacityd listening on {}", daemon.addr());
+    println!("workers {} queue {}", config.workers.max(1), config.queue_capacity);
+    loop {
+        std::thread::park();
+    }
 }

@@ -1,0 +1,145 @@
+//! The `lopacify` exit-code contract, driven through the real binary:
+//!
+//! * `0` — success,
+//! * `1` — I/O failures (unreadable files) and usage errors,
+//! * `2` — input parse errors (malformed edge lists or event streams),
+//! * `3` — θ lost: the churn stream ended uncertified after repair.
+//!
+//! The codes let scripts distinguish "fix your pipeline" (1), "fix your
+//! data" (2), and "the privacy goal is unreachable" (3) without scraping
+//! stderr.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lopacify() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lopacify"))
+}
+
+/// A scratch file under the system temp dir, unique per test process.
+fn scratch(name: &str, content: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("lopacify-exit-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).expect("write scratch file");
+    path
+}
+
+fn out_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lopacify-exit-{}-out-{name}", std::process::id()))
+}
+
+/// A triangle: certifiable at θ = 1 trivially.
+const TRIANGLE: &str = "0 1\n1 2\n0 2\n";
+
+// (No K4-style fixture for the greedy methods: `rem` commits weakly
+// improving moves, so it always reaches θ = 0 by emptying the graph. The
+// lost-θ test instead repairs with the GADES baseline, which inserts for
+// degree anonymity and cannot drive `maxLO` to 0.)
+
+#[test]
+fn certified_stream_exits_0() {
+    let graph = scratch("ok-graph", TRIANGLE);
+    let events = scratch("ok-events", "- 0 1\n+ 0 1\n");
+    let status = lopacify()
+        .args(["churn", "--l", "1", "--theta", "1.0"])
+        .arg("--in")
+        .arg(&graph)
+        .arg("--events")
+        .arg(&events)
+        .arg("--out")
+        .arg(out_path("ok"))
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn unreadable_graph_exits_1() {
+    let events = scratch("noio-events", "+ 0 1\n");
+    let status = lopacify()
+        .args(["churn", "--l", "1", "--theta", "1.0", "--in", "/nonexistent/graph.txt"])
+        .arg("--events")
+        .arg(&events)
+        .arg("--out")
+        .arg(out_path("noio"))
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(1), "missing graph file is an I/O failure");
+}
+
+#[test]
+fn unreadable_event_stream_exits_1() {
+    let graph = scratch("noev-graph", TRIANGLE);
+    let status = lopacify()
+        .args(["churn", "--l", "1", "--theta", "1.0"])
+        .arg("--in")
+        .arg(&graph)
+        .args(["--events", "/nonexistent/events.txt"])
+        .arg("--out")
+        .arg(out_path("noev"))
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(1), "missing events file is an I/O failure");
+}
+
+#[test]
+fn malformed_graph_exits_2() {
+    let graph = scratch("badgraph-graph", "0 zebra\n");
+    let events = scratch("badgraph-events", "+ 0 1\n");
+    let status = lopacify()
+        .args(["churn", "--l", "1", "--theta", "1.0"])
+        .arg("--in")
+        .arg(&graph)
+        .arg("--events")
+        .arg(&events)
+        .arg("--out")
+        .arg(out_path("badgraph"))
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(2), "malformed edge list is a parse error");
+}
+
+#[test]
+fn malformed_event_stream_exits_2() {
+    let graph = scratch("badev-graph", TRIANGLE);
+    let events = scratch("badev-events", "+ 0 1\nnot an event\n");
+    let status = lopacify()
+        .args(["churn", "--l", "1", "--theta", "1.0"])
+        .arg("--in")
+        .arg(&graph)
+        .arg("--events")
+        .arg(&events)
+        .arg("--out")
+        .arg(out_path("badev"))
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(2), "malformed event stream is a parse error");
+}
+
+#[test]
+fn lost_theta_after_repair_exits_3() {
+    let graph = scratch("lost-graph", TRIANGLE);
+    let events = scratch("lost-events", "# no events\n");
+    let status = lopacify()
+        .args(["churn", "--l", "1", "--theta", "0.0", "--method", "gades"])
+        .arg("--in")
+        .arg(&graph)
+        .arg("--events")
+        .arg(&events)
+        .arg("--out")
+        .arg(out_path("lost"))
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(3), "uncertified end of stream reports lost θ");
+}
+
+#[test]
+fn help_lists_the_exit_codes() {
+    let output = lopacify().arg("help").output().expect("run lopacify");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stderr);
+    assert!(text.contains("exit codes:"), "usage text documents the contract");
+    for needle in ["1  I/O failures", "2  input parse errors", "3  theta lost"] {
+        assert!(text.contains(needle), "usage text missing {needle:?}");
+    }
+}

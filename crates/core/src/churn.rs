@@ -54,7 +54,8 @@
 //! ```
 
 use crate::config::AnonymizeConfig;
-use crate::evaluator::OpacityEvaluator;
+use crate::control::RunControl;
+use crate::evaluator::{BatchDelta, CommitDelta, OpacityEvaluator};
 use crate::forks::ForkSet;
 use crate::lo::LoAssessment;
 use crate::progress::NoOpObserver;
@@ -207,6 +208,9 @@ pub struct ChurnSession {
     ev: OpacityEvaluator,
     forks: ForkSet,
     config: AnonymizeConfig,
+    control: Option<RunControl>,
+    /// Reused coalescing buffer for [`apply_batch`](Self::apply_batch).
+    batch: BatchDelta,
     applied: u64,
     skipped: u64,
     repairs: u64,
@@ -225,10 +229,20 @@ impl ChurnSession {
             ev,
             forks: ForkSet::new(),
             config,
+            control: None,
+            batch: BatchDelta::new(),
             applied: 0,
             skipped: 0,
             repairs: 0,
         }
+    }
+
+    /// Attaches (or detaches) a shared [`RunControl`] polled by future
+    /// [`repair`](Self::repair) runs, for mid-repair cancellation and
+    /// dynamic budgets. Event application itself is not interruptible —
+    /// individual deltas are cheap and must land atomically.
+    pub fn set_control(&mut self, control: Option<RunControl>) {
+        self.control = control;
     }
 
     /// Read access to the working evaluator (graph, distances, counts).
@@ -266,29 +280,58 @@ impl ChurnSession {
         self.repairs
     }
 
+    /// Full `O(|V|²)`-scale evaluator clones paid so far (fork warmup).
+    pub fn fork_clones(&self) -> u64 {
+        self.forks.clones()
+    }
+
+    /// Fork-sync replay applications so far — after batch coalescing, one
+    /// per fork per *batch* (or per single out-of-batch event), however
+    /// many events the batch contained.
+    pub fn fork_replays(&self) -> u64 {
+        self.forks.replays()
+    }
+
     /// Applies one event as an incremental delta. Returns the number of
     /// distance cells it changed, or `None` for a no-op event. Warm scan
     /// forks are kept in sync by replaying the event's [`crate::CommitDelta`],
     /// exactly as for a committed greedy move — so a later repair needs no
     /// re-clone.
     pub fn apply_event(&mut self, event: EdgeEvent) -> Option<usize> {
-        match self.ev.apply_external(event.edge(), event.is_insert()) {
+        match self.mutate(event) {
             Some(delta) => {
                 if self.forks.warm() {
                     self.forks.replay(&delta);
                 }
-                self.applied += 1;
                 Some(delta.changed_cells())
             }
-            None => {
-                self.skipped += 1;
-                None
-            }
+            None => None,
         }
+    }
+
+    /// Applies one event to the main evaluator and the session counters —
+    /// everything except fork sync, which the caller owes (per event for
+    /// [`apply_event`](Self::apply_event), once per batch for
+    /// [`apply_batch`](Self::apply_batch)).
+    fn mutate(&mut self, event: EdgeEvent) -> Option<CommitDelta> {
+        let delta = self.ev.apply_external(event.edge(), event.is_insert());
+        match delta {
+            Some(_) => self.applied += 1,
+            None => self.skipped += 1,
+        }
+        delta
     }
 
     /// Applies a batch of events and re-reads certification — the
     /// detect step of the churn loop.
+    ///
+    /// The main evaluator absorbs events one delta at a time (each event's
+    /// delta is computed against the state its predecessors produced), but
+    /// warm scan forks are synced by **one** coalesced [`BatchDelta`]
+    /// application per batch — one write per distinct distance cell, not
+    /// one per event — which for localized churn is the dominant fork-sync
+    /// saving. The end-of-batch state is identical either way (the report,
+    /// assessment, and any later repair are byte-for-byte unchanged).
     pub fn apply_batch(&mut self, events: &[EdgeEvent]) -> BatchReport {
         let mut report = BatchReport {
             applied: 0,
@@ -298,15 +341,21 @@ impl ChurnSession {
             n_at_max: 0,
             violated: false,
         };
+        self.batch.clear();
         for &event in events {
-            match self.apply_event(event) {
-                Some(cells) => {
+            match self.mutate(event) {
+                Some(delta) => {
                     report.applied += 1;
-                    report.changed_cells += cells;
+                    report.changed_cells += delta.changed_cells();
+                    if self.forks.warm() {
+                        self.batch.absorb(&delta);
+                    }
                 }
                 None => report.skipped += 1,
             }
         }
+        self.forks.replay_batch(&self.batch);
+        self.batch.clear();
         let a = self.ev.assessment();
         report.max_lo = a.as_f64();
         report.n_at_max = a.n_at_max();
@@ -333,6 +382,7 @@ impl ChurnSession {
             &mut totals,
             &self.config,
             &mut observer,
+            self.control.as_ref(),
             &mut strategy,
         );
         self.repairs += 1;
@@ -500,6 +550,44 @@ mod tests {
             assert!(patch.edits() > 0);
             assert!(s.is_certified());
             assert_eq!(s.repairs(), 2);
+            s.certify().unwrap();
+        }
+    }
+
+    /// Regression (issue 7 satellite): a churn batch syncs the warm scan
+    /// forks with **one** coalesced replay application per fork, not one
+    /// per event — and the forks remain exactly in sync (a later sharded
+    /// repair re-scans against them, which debug-asserts revision
+    /// equality, and the final state self-certifies).
+    #[test]
+    fn batch_syncs_forks_with_one_replay_application() {
+        for backend in BACKENDS {
+            let g = paper_graph();
+            let spec = TypeSpec::DegreePairs;
+            let anonymizer = Anonymizer::new(&g, &spec).config(
+                AnonymizeConfig::new(1, 0.5)
+                    .with_store(backend)
+                    .with_parallelism(Parallelism::Fixed(2))
+                    .with_seed(7),
+            );
+            let mut s = ChurnSession::new(anonymizer);
+            let initial = s.repair(Removal);
+            assert!(initial.achieved, "{backend}");
+            let forks = s.fork_clones();
+            assert!(forks > 0, "{backend}: the sharded repair must warm the forks");
+            let replays_before = s.fork_replays();
+            let events: Vec<EdgeEvent> =
+                initial.removed.iter().map(|&e| EdgeEvent::Insert(e)).collect();
+            assert!(events.len() >= 2, "{backend}: need a multi-event batch");
+            let report = s.apply_batch(&events);
+            assert_eq!(report.applied, events.len(), "{backend}");
+            assert_eq!(
+                s.fork_replays() - replays_before,
+                forks,
+                "{backend}: one replay application per fork per batch"
+            );
+            let patch = s.repair(Removal);
+            assert!(patch.achieved, "{backend}");
             s.certify().unwrap();
         }
     }

@@ -1,0 +1,165 @@
+//! Cooperative run interruption: cancellation and dynamic budgets.
+//!
+//! The static budgets of [`crate::AnonymizeConfig`] (`max_steps`,
+//! `max_trials`) are part of the determinism contract: they are fixed
+//! before a run starts and enforced by *prefix truncation* of the
+//! candidate scan, so a budgeted run is bit-for-bit a prefix-bounded
+//! version of the unbudgeted one for every worker count. A long-running
+//! service needs the opposite shape — a knob another thread can turn
+//! **while the run executes**: cancel this job now, or tighten its trial
+//! budget mid-flight. That cannot ride on `AnonymizeConfig` (it is `Copy`
+//! and owned by the run) and must not ride on prefix truncation (the cap
+//! is not known when the scan starts).
+//!
+//! A [`RunControl`] is the shared half of that protocol: a cheaply
+//! cloneable handle around atomics that the owning thread (a server
+//! worker, a signal handler, a watchdog) flips, and that the greedy
+//! driver polls **cooperatively** at its deterministic checkpoints — the
+//! top of every greedy step and every phase boundary inside a step, plus
+//! the deepening levels of the exact strategy. A run therefore stops
+//! within one scan phase of the request, never mid-scan:
+//!
+//! * committed steps are bit-for-bit those of an uninterrupted run (the
+//!   interrupted trajectory is a *prefix* — cancellation can never
+//!   produce a step an uncancelled run would not have produced);
+//! * a dynamic trial budget is compared against the deterministic trial
+//!   clock, so for a fixed budget value the stopping point is itself
+//!   deterministic — budget-interrupted outcomes are reproducible;
+//! * with no control attached (or an untouched one) the driver's
+//!   behaviour is unchanged, preserving every existing equivalence
+//!   contract.
+//!
+//! Interrupted runs end like budget-capped ones always have: a valid
+//! partial edit list with `achieved: false` (unless θ was reached first).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel for "no dynamic cap set".
+const UNSET: u64 = u64::MAX;
+
+/// A shared, thread-safe interruption handle for one run (or any number of
+/// runs that should stop together). Clones share state; `Default` is an
+/// inert control that never interrupts.
+#[derive(Debug, Clone)]
+pub struct RunControl {
+    inner: Arc<Inner>,
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl::new()
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    max_trials: AtomicU64,
+    max_steps: AtomicU64,
+}
+
+impl RunControl {
+    /// A fresh control: not cancelled, no dynamic budgets.
+    pub fn new() -> Self {
+        RunControl {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                max_trials: AtomicU64::new(UNSET),
+                max_steps: AtomicU64::new(UNSET),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the run's next
+    /// cooperative checkpoint (within one scan phase).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Sets (or clears) the dynamic candidate-evaluation cap. Unlike
+    /// [`crate::AnonymizeConfig::max_trials`] this may change while the
+    /// run executes; it is compared against the cumulative trial clock at
+    /// each checkpoint.
+    pub fn set_max_trials(&self, cap: Option<u64>) {
+        self.inner.max_trials.store(cap.unwrap_or(UNSET), Ordering::Relaxed);
+    }
+
+    /// Sets (or clears) the dynamic greedy-step cap.
+    pub fn set_max_steps(&self, cap: Option<u64>) {
+        self.inner.max_steps.store(cap.unwrap_or(UNSET), Ordering::Relaxed);
+    }
+
+    /// The dynamic trial cap, if set.
+    pub fn max_trials(&self) -> Option<u64> {
+        match self.inner.max_trials.load(Ordering::Relaxed) {
+            UNSET => None,
+            cap => Some(cap),
+        }
+    }
+
+    /// The dynamic step cap, if set.
+    pub fn max_steps(&self) -> Option<u64> {
+        match self.inner.max_steps.load(Ordering::Relaxed) {
+            UNSET => None,
+            cap => Some(cap),
+        }
+    }
+
+    /// Whether a run with the given cumulative counters should stop:
+    /// cancelled, or a dynamic cap reached. The greedy driver calls this
+    /// at its checkpoints via [`crate::RunContext`].
+    pub fn should_stop(&self, trials: u64, steps: usize) -> bool {
+        self.is_cancelled()
+            || trials >= self.inner.max_trials.load(Ordering::Relaxed)
+            || (steps as u64) >= self.inner.max_steps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_control_never_stops() {
+        let c = RunControl::new();
+        assert!(!c.is_cancelled());
+        assert!(!c.should_stop(u64::MAX - 1, usize::MAX - 1));
+        assert_eq!(c.max_trials(), None);
+        assert_eq!(c.max_steps(), None);
+    }
+
+    #[test]
+    fn default_is_inert() {
+        let c = RunControl::default();
+        assert!(!c.should_stop(1_000_000, 1_000_000));
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let c = RunControl::new();
+        let remote = c.clone();
+        assert!(!c.should_stop(0, 0));
+        remote.cancel();
+        assert!(c.is_cancelled());
+        assert!(c.should_stop(0, 0));
+    }
+
+    #[test]
+    fn dynamic_budgets_compare_against_the_clock() {
+        let c = RunControl::new();
+        c.set_max_trials(Some(100));
+        assert!(!c.should_stop(99, 0));
+        assert!(c.should_stop(100, 0));
+        c.set_max_trials(None);
+        assert!(!c.should_stop(100, 0));
+        c.set_max_steps(Some(5));
+        assert!(!c.should_stop(0, 4));
+        assert!(c.should_stop(0, 5));
+    }
+}

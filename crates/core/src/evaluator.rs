@@ -221,6 +221,93 @@ impl CommitDelta {
     }
 }
 
+/// A run of consecutive [`CommitDelta`]s coalesced into one replayable
+/// patch: the edge flips in order, but each distance cell and each type
+/// count exactly **once**, at its final value / net delta. This is the
+/// batch-level coalescing named in the churn roadmap — a churn batch that
+/// touches the same neighborhood `k` times costs every fork one cell write
+/// instead of `k`.
+///
+/// Replaying an absorbed batch ([`OpacityEvaluator::replay_batch`]) leaves
+/// an in-sync fork in exactly the state that replaying each source delta
+/// in order would have — same graph, distances, counts, live-pair counter,
+/// and revision — because cell writes are last-wins, count deltas are
+/// additive, and within-L membership is binary (only the initial-vs-final
+/// value of a cell decides the live-pair transition, not the path between
+/// them).
+#[derive(Debug, Clone, Default)]
+pub struct BatchDelta {
+    ops: Vec<Op>,
+    /// `(i, j, final truncated distance)`, first-touch order, one entry
+    /// per distinct cell.
+    dist_changes: Vec<(VertexId, VertexId, u8)>,
+    /// Position of each cell in `dist_changes` (last-wins updates).
+    index: std::collections::HashMap<(VertexId, VertexId), usize>,
+    /// `(type id, net delta)`, one entry per distinct type.
+    count_changes: Vec<(u32, i64)>,
+    count_index: std::collections::HashMap<u32, usize>,
+}
+
+impl BatchDelta {
+    /// An empty batch (replays as a no-op).
+    pub fn new() -> Self {
+        BatchDelta::default()
+    }
+
+    /// Folds one more committed delta into the batch. Deltas must be
+    /// absorbed in the order they were applied to the source evaluator.
+    pub fn absorb(&mut self, delta: &CommitDelta) {
+        self.ops.push(delta.op);
+        for &(i, j, new) in &delta.dist_changes {
+            match self.index.entry((i, j)) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    self.dist_changes[*slot.get()].2 = new;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(self.dist_changes.len());
+                    self.dist_changes.push((i, j, new));
+                }
+            }
+        }
+        for &(t, d) in &delta.count_changes {
+            match self.count_index.entry(t) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    self.count_changes[*slot.get()].1 += d;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(self.count_changes.len());
+                    self.count_changes.push((t, d));
+                }
+            }
+        }
+    }
+
+    /// Number of deltas absorbed so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no delta has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Distinct distance cells the batch touches (≤ the sum over its
+    /// source deltas — the coalescing win).
+    pub fn distinct_cells(&self) -> usize {
+        self.dist_changes.len()
+    }
+
+    /// Empties the batch for reuse, keeping its allocations.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.dist_changes.clear();
+        self.index.clear();
+        self.count_changes.clear();
+        self.count_index.clear();
+    }
+}
+
 impl OpacityEvaluator {
     /// Builds the evaluator: one full truncated APSP plus the per-type
     /// counts. The type system is frozen from `graph`'s current degrees.
@@ -721,6 +808,44 @@ impl OpacityEvaluator {
         self.top_two = None;
     }
 
+    /// Replays a coalesced [`BatchDelta`] onto this evaluator, which must
+    /// be in sync as of *before* the batch's first absorbed delta. One
+    /// write per distinct cell, one add per distinct type — equivalent to
+    /// replaying each source delta via [`OpacityEvaluator::replay_commit`]
+    /// in order, including the final revision (advanced by the batch's
+    /// length, so the fork set's revision-sync guard holds).
+    pub fn replay_batch(&mut self, batch: &BatchDelta) {
+        for op in &batch.ops {
+            match *op {
+                Op::Removed(e) => {
+                    let removed = self.graph.remove_edge(e.u(), e.v());
+                    debug_assert!(removed, "batched replay of removal {e} on an out-of-sync fork");
+                }
+                Op::Inserted(e) => {
+                    let added = self.graph.add_edge(e.u(), e.v());
+                    debug_assert!(added, "batched replay of insertion {e} on an out-of-sync fork");
+                }
+            }
+        }
+        for &(i, j, new) in &batch.dist_changes {
+            let cur = self.dist.get(i, j);
+            if cur == INF && new != INF {
+                self.live_pairs += 1;
+            } else if cur != INF && new == INF {
+                self.live_pairs -= 1;
+            }
+            self.dist.set(i, j, new);
+        }
+        for &(t, d) in &batch.count_changes {
+            let slot = &mut self.counts[t as usize];
+            *slot = (*slot as i64 + d) as u64;
+        }
+        self.revision += batch.ops.len() as u64;
+        if !batch.is_empty() {
+            self.top_two = None;
+        }
+    }
+
     /// Applies an **external** edge event — an insert or delete that came
     /// from outside the greedy scan (a churn stream), not from a strategy's
     /// candidate selection — and returns its forward [`CommitDelta`] for
@@ -1121,6 +1246,62 @@ mod tests {
                 assert_eq!(sparse_fork.counts(), dense_main.counts(), "L={l}");
             }
         }
+    }
+
+    /// Regression (issue 7 satellite): a batch of deltas coalesced into
+    /// one [`BatchDelta`] replays to **exactly** the state that replaying
+    /// each delta in order produces — graph, distances, counts, live-pair
+    /// counter, and revision — even when later events in the batch rewrite
+    /// (or revert) cells touched by earlier ones, on both backends.
+    #[test]
+    fn batched_replay_matches_per_event_replay() {
+        // Remove then re-insert the same edge inside one batch: its cells
+        // take two values, and the coalesced patch must keep the last.
+        let script = [
+            (Edge::new(1, 4), false),
+            (Edge::new(0, 6), true),
+            (Edge::new(1, 4), true),
+            (Edge::new(2, 5), false),
+        ];
+        for backend in BACKENDS {
+            for l in 1..=3u8 {
+                let mut main = evaluator_on(l, backend);
+                let mut per_event = main.clone();
+                let mut batched = main.clone();
+                let mut batch = BatchDelta::new();
+                let mut uncoalesced_cells = 0;
+                for (edge, insert) in script {
+                    let token =
+                        if insert { main.apply_insert(edge) } else { main.apply_remove(edge) };
+                    let delta = main.commit_delta(&token);
+                    uncoalesced_cells += delta.changed_cells();
+                    per_event.replay_commit(&delta);
+                    batch.absorb(&delta);
+                }
+                assert_eq!(batch.len(), script.len());
+                assert!(
+                    batch.distinct_cells() <= uncoalesced_cells,
+                    "coalescing may never grow the patch"
+                );
+                batched.replay_batch(&batch);
+                assert_eq!(batched.revision(), per_event.revision(), "L={l}, {backend}");
+                assert_eq!(batched.graph(), per_event.graph(), "L={l}, {backend}");
+                assert_eq!(batched.counts(), per_event.counts(), "L={l}, {backend}");
+                assert_eq!(batched.live_pairs(), per_event.live_pairs(), "L={l}, {backend}");
+                batched.verify_consistency().unwrap();
+            }
+        }
+    }
+
+    /// An empty batch replays as a true no-op (same revision, no cache
+    /// invalidation needed).
+    #[test]
+    fn empty_batch_replay_is_a_noop() {
+        let mut ev = evaluator(2);
+        let before = ev.revision();
+        ev.replay_batch(&BatchDelta::new());
+        assert_eq!(ev.revision(), before);
+        ev.verify_consistency().unwrap();
     }
 
     #[test]

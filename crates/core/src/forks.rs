@@ -20,7 +20,7 @@
 //! results — and therefore the merged tracker argmin — are bit-for-bit
 //! those of the sequential scan, on either backend.
 
-use crate::evaluator::{CommitDelta, OpacityEvaluator};
+use crate::evaluator::{BatchDelta, CommitDelta, OpacityEvaluator};
 
 /// The persistent worker forks of one strategy run, plus the allocation
 /// accounting the zero-copy guarantee is asserted against.
@@ -51,6 +51,13 @@ impl ForkSet {
         self.clones
     }
 
+    /// Fork-sync replay applications performed so far (per fork, per
+    /// replay call — a batched replay counts once per fork, that being
+    /// the point).
+    pub fn replays(&self) -> u64 {
+        self.replays
+    }
+
     /// Grows the set to at least `count` forks of `ev` (which must be the
     /// main evaluator in its current, trial-clean state). Existing forks
     /// are already in sync and are never re-cloned.
@@ -73,6 +80,19 @@ impl ForkSet {
     pub fn replay(&mut self, delta: &CommitDelta) {
         for fork in &mut self.forks {
             fork.replay_commit(delta);
+        }
+        self.replays += self.forks.len() as u64;
+    }
+
+    /// Replays a whole coalesced [`BatchDelta`] onto every fork in **one**
+    /// application per fork — the churn batch path. O(forks × distinct
+    /// cells) however many events the batch absorbed.
+    pub fn replay_batch(&mut self, batch: &BatchDelta) {
+        if batch.is_empty() {
+            return;
+        }
+        for fork in &mut self.forks {
+            fork.replay_batch(batch);
         }
         self.replays += self.forks.len() as u64;
     }

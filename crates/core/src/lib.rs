@@ -128,6 +128,7 @@
 
 pub mod churn;
 pub mod config;
+pub mod control;
 pub mod evaluator;
 mod forks;
 pub mod lo;
@@ -144,7 +145,8 @@ pub mod types;
 
 pub use churn::{BatchReport, ChurnSession, EdgeEvent, RepairPatch};
 pub use config::{AnonymizeConfig, LookaheadMode};
-pub use evaluator::{CommitDelta, OpacityEvaluator};
+pub use control::RunControl;
+pub use evaluator::{BatchDelta, CommitDelta, OpacityEvaluator};
 pub use lo::LoAssessment;
 pub use lopacity_apsp::StoreBackend;
 pub use lopacity_util::Parallelism;
@@ -161,3 +163,31 @@ pub use types::{TypeSpec, TypeSystem};
 pub use removal::edge_removal;
 #[allow(deprecated)]
 pub use removal_insertion::edge_removal_insertion;
+
+#[cfg(test)]
+mod send_assertions {
+    //! Compile-time `Send` guarantees for the service layer: a daemon
+    //! worker thread owns an evaluator or a churn session outright, and a
+    //! handler thread holds `RunControl` clones — all of that must cross
+    //! thread boundaries. Kept as tests so a future `Rc`/raw-pointer field
+    //! fails loudly here instead of deep inside the daemon.
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn service_layer_types_are_send() {
+        assert_send::<crate::OpacityEvaluator>();
+        assert_send::<crate::ChurnSession>();
+        assert_send::<crate::AnonymizationOutcome>();
+        assert_send::<crate::BatchDelta>();
+        assert_send::<crate::CommitDelta>();
+        assert_send::<crate::AnonymizeConfig>();
+    }
+
+    #[test]
+    fn run_control_is_shareable_across_threads() {
+        assert_send::<crate::RunControl>();
+        assert_sync::<crate::RunControl>();
+    }
+}

@@ -42,6 +42,7 @@
 //! θ must be globally minimal.
 
 use crate::config::AnonymizeConfig;
+use crate::control::RunControl;
 use crate::evaluator::OpacityEvaluator;
 use crate::forks::ForkSet;
 use crate::lo::LoAssessment;
@@ -139,6 +140,7 @@ pub struct RunContext<'s> {
     rng: &'s mut StdRng,
     observer: &'s mut dyn ProgressObserver,
     totals: &'s mut RunTotals,
+    control: Option<&'s RunControl>,
 }
 
 impl RunContext<'_> {
@@ -182,6 +184,25 @@ impl RunContext<'_> {
     pub fn out_of_budget(&self) -> bool {
         self.config.max_steps.is_some_and(|cap| self.totals.steps >= cap)
             || self.config.max_trials.is_some_and(|cap| self.totals.trials >= cap)
+    }
+
+    /// Whether the attached [`RunControl`] (if any) asks this run to stop:
+    /// cancellation, or a dynamic trial/step cap reached. Unlike
+    /// [`RunContext::out_of_budget`]'s static config budgets — which are
+    /// enforced deterministically by prefix-truncating the candidate scan —
+    /// this is a purely **cooperative** signal, polled by
+    /// [`crate::strategy::drive_greedy`] at every phase boundary, so a run
+    /// stops within one scan phase of the request and every committed step
+    /// remains a bit-for-bit prefix of the uninterrupted trajectory.
+    pub fn stop_requested(&self) -> bool {
+        self.control.is_some_and(|c| c.should_stop(self.totals.trials, self.totals.steps))
+    }
+
+    /// Whether the run should stop for *any* reason — static budgets or a
+    /// cooperative stop request. The greedy driver and the exact strategy
+    /// check this at their step/level boundaries.
+    pub fn interrupted(&self) -> bool {
+        self.out_of_budget() || self.stop_requested()
     }
 
     /// Committed greedy steps so far (cumulative across resumed segments).
@@ -305,6 +326,7 @@ pub struct Anonymizer<'a> {
     sweep_mode: SweepMode,
     observer: Option<&'a mut dyn ProgressObserver>,
     cache: Option<Prepared>,
+    control: Option<RunControl>,
 }
 
 impl<'a> Anonymizer<'a> {
@@ -319,6 +341,7 @@ impl<'a> Anonymizer<'a> {
             sweep_mode: SweepMode::default(),
             observer: None,
             cache: None,
+            control: None,
         }
     }
 
@@ -345,6 +368,21 @@ impl<'a> Anonymizer<'a> {
     pub fn observer(mut self, observer: &'a mut dyn ProgressObserver) -> Self {
         self.observer = Some(observer);
         self
+    }
+
+    /// Attaches a cooperative interruption handle (builder form). Keep a
+    /// clone on the controlling side: [`RunControl::cancel`] and the
+    /// dynamic budget setters take effect at the next phase boundary of
+    /// any subsequent run or sweep segment. An inert control changes
+    /// nothing.
+    pub fn control(mut self, control: RunControl) -> Self {
+        self.set_control(Some(control));
+        self
+    }
+
+    /// Sets or clears the interruption handle in place.
+    pub fn set_control(&mut self, control: Option<RunControl>) {
+        self.control = control;
     }
 
     /// Sets the sweep mode (builder form); see [`SweepMode`].
@@ -554,7 +592,7 @@ impl<'a> Anonymizer<'a> {
             Some(observer) => observer,
             None => &mut noop,
         };
-        run_segment(ev, forks, rng, totals, config, observer, strategy);
+        run_segment(ev, forks, rng, totals, config, observer, self.control.as_ref(), strategy);
     }
 
     /// Hands the cached pristine evaluator build (building it if needed) to
@@ -564,12 +602,43 @@ impl<'a> Anonymizer<'a> {
         self.prepared();
         self.cache.take().expect("prepared() populates the cache").ev
     }
+
+    /// Seeds the session's build cache with an externally held pristine
+    /// evaluator, skipping the APSP build entirely. This is the session-
+    /// cache entry point for long-running services: a server that has
+    /// already paid for a build of `(graph, L, engine, store)` hands a
+    /// clone to every later session opened on the same key.
+    ///
+    /// **Contract:** `ev` must be a pristine (never-mutated) build over
+    /// exactly this session's graph and type spec under the current
+    /// config's `(l, engine, store)` — normally a clone of another
+    /// session's [`Anonymizer::evaluator`]. `l` is checked; the rest is
+    /// the caller's cache key.
+    ///
+    /// # Panics
+    /// Panics when `ev.l()` disagrees with the configured L.
+    pub fn adopt_prepared(&mut self, ev: OpacityEvaluator) {
+        assert_eq!(
+            ev.l(),
+            self.config.l,
+            "adopted evaluator was built for L = {}, config wants L = {}",
+            ev.l(),
+            self.config.l
+        );
+        self.cache = Some(Prepared {
+            l: self.config.l,
+            engine: self.config.engine,
+            store: self.config.store,
+            ev,
+        });
+    }
 }
 
 /// Announces the segment to `observer` and drives `strategy` over `ev` —
 /// the shared execution engine behind [`Anonymizer`] runs and sweeps and
 /// [`crate::churn::ChurnSession`] repairs. Lives here because only this
 /// module may assemble a [`RunContext`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_segment<S: Strategy + ?Sized>(
     ev: &mut OpacityEvaluator,
     forks: &mut ForkSet,
@@ -577,6 +646,7 @@ pub(crate) fn run_segment<S: Strategy + ?Sized>(
     totals: &mut RunTotals,
     config: &AnonymizeConfig,
     observer: &mut dyn ProgressObserver,
+    control: Option<&RunControl>,
     strategy: &mut S,
 ) {
     let initial = ev.assessment();
@@ -589,7 +659,7 @@ pub(crate) fn run_segment<S: Strategy + ?Sized>(
         trials_before: totals.trials,
         steps_before: totals.steps,
     });
-    let mut ctx = RunContext { ev, forks, config, rng, observer, totals };
+    let mut ctx = RunContext { ev, forks, config, rng, observer, totals, control };
     strategy.execute(&mut ctx);
 }
 

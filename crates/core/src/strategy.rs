@@ -77,15 +77,28 @@ pub trait GreedyPolicy {
 /// is skipped for that step. A full pass in which *no* phase commits
 /// anything also ends the run — the state cannot change again, and a
 /// policy with only optional phases would otherwise spin forever.
+///
+/// Interruption happens at two grains with deliberately different
+/// mechanics: the *static* config budgets are re-checked only at the top
+/// of each step (and enforced within a step by prefix-truncating the
+/// candidate scan, keeping budgeted runs bit-for-bit prefixes of
+/// unbudgeted ones), while a shared [`crate::RunControl`] is additionally
+/// polled **between phases**, so a cancellation or dynamic budget lands
+/// within one scan phase instead of one full step. With no control
+/// attached the extra polls are inert and the loop is byte-identical to
+/// its historical behaviour.
 pub fn drive_greedy<P: GreedyPolicy + ?Sized>(ctx: &mut RunContext<'_>, policy: &mut P) {
     let phases = policy.num_phases();
     let mut candidates: Vec<Edge> = Vec::new();
     'run: while !ctx.achieved() && ctx.evaluator().graph().num_edges() > 0 {
-        if ctx.out_of_budget() {
+        if ctx.interrupted() {
             break;
         }
         let mut committed_any = false;
         for phase in 0..phases {
+            if ctx.stop_requested() {
+                break 'run; // cooperative cancel/budget: stop mid-step
+            }
             candidates.clear();
             policy.candidates(phase, ctx.evaluator(), &mut candidates);
             let kind = policy.kind(phase);
@@ -251,7 +264,7 @@ impl Strategy for ExactMinRemovals {
         // Iterative deepening: the first depth with a solution is minimal.
         // Removing every edge satisfies any θ >= 0, so the loop terminates.
         for budget in 1..=edges.len() {
-            if ctx.out_of_budget() {
+            if ctx.interrupted() {
                 return; // trial/step budget spent between deepening levels
             }
             let mut nodes = 0u64;
@@ -268,7 +281,9 @@ impl Strategy for ExactMinRemovals {
             ctx.add_trials(nodes);
             if found {
                 for e in chosen {
-                    if ctx.config().max_steps.is_some_and(|cap| ctx.steps() >= cap) {
+                    if ctx.config().max_steps.is_some_and(|cap| ctx.steps() >= cap)
+                        || ctx.stop_requested()
+                    {
                         return; // step cap: commit a valid prefix, like the greedy caps
                     }
                     ctx.commit(MoveKind::Remove, &[e]);

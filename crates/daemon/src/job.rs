@@ -1,0 +1,304 @@
+//! Job specifications: what a client submits to `POST /jobs`.
+//!
+//! The wire format is a plain-text header of `key value` lines, a blank
+//! line, and (for `graph inline`) an edge list — the same offline-friendly
+//! shape as the workspace's other formats, no JSON dependency needed:
+//!
+//! ```text
+//! mode anonymize
+//! l 2
+//! theta 0.5
+//! method rem
+//! seed 11
+//! max_trials 5000
+//! graph gnm 40 90 3
+//! ```
+//!
+//! Graph sources: `inline` (edge list follows the blank line), `gnm N M
+//! SEED`, or `dataset NAME N SEED` (the paper's generator stand-ins).
+
+use lopacity::config::DEFAULT_SEED;
+use lopacity::{AnonymizeConfig, Parallelism, StoreBackend};
+use lopacity_apsp::ApspEngine;
+use lopacity_gen::Dataset;
+use lopacity_graph::{io as gio, Graph};
+
+/// Where the job's graph comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSource {
+    /// Edge list shipped in the request body after the blank line.
+    Inline(String),
+    /// `G(n, m)` Erdős–Rényi sample.
+    Gnm { n: usize, m: usize, seed: u64 },
+    /// One of the paper's dataset stand-ins.
+    Dataset { which: Dataset, n: usize, seed: u64 },
+}
+
+/// What kind of session the job opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobMode {
+    /// One anonymization run; the job finishes when the run does.
+    Anonymize,
+    /// Build a certified [`lopacity::ChurnSession`] and hold it; the
+    /// daemon then accepts event batches on `POST /jobs/<id>/events`.
+    Churn,
+}
+
+/// A fully parsed, validated job submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub mode: JobMode,
+    /// `rem`, `rem-ins`, or `exact`.
+    pub method: String,
+    pub l: u8,
+    pub theta: f64,
+    pub seed: u64,
+    pub engine: ApspEngine,
+    pub store: StoreBackend,
+    /// Dynamic candidate-evaluation budget (cooperative, see
+    /// [`lopacity::RunControl`]).
+    pub max_trials: Option<u64>,
+    /// Dynamic greedy-step budget.
+    pub max_steps: Option<u64>,
+    pub source: GraphSource,
+}
+
+impl JobSpec {
+    /// Parses a submission body. Returns a message suitable for a `400`.
+    pub fn parse(body: &str) -> Result<JobSpec, String> {
+        let (header, rest) = match body.split_once("\n\n") {
+            Some((h, r)) => (h, r),
+            None => (body, ""),
+        };
+        let mut spec = JobSpec {
+            mode: JobMode::Anonymize,
+            method: "rem".to_string(),
+            l: 1,
+            theta: 0.5,
+            seed: DEFAULT_SEED,
+            engine: ApspEngine::default(),
+            store: StoreBackend::Auto,
+            max_trials: None,
+            max_steps: None,
+            source: GraphSource::Inline(String::new()),
+        };
+        let mut saw_graph = false;
+        for line in header.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("spec line {line:?} has no value"))?;
+            let value = value.trim();
+            match key {
+                "mode" => {
+                    spec.mode = match value {
+                        "anonymize" => JobMode::Anonymize,
+                        "churn" => JobMode::Churn,
+                        other => return Err(format!("unknown mode {other:?}")),
+                    }
+                }
+                "method" => {
+                    if !matches!(value, "rem" | "rem-ins" | "exact") {
+                        return Err(format!("unknown method {value:?} (rem, rem-ins, exact)"));
+                    }
+                    spec.method = value.to_string();
+                }
+                "l" => {
+                    spec.l = value.parse().map_err(|_| format!("l: {value:?} is not a u8"))?;
+                    if spec.l == 0 {
+                        return Err("l must be at least 1".into());
+                    }
+                }
+                "theta" => {
+                    spec.theta =
+                        value.parse().map_err(|_| format!("theta: {value:?} is not a number"))?;
+                    if !(0.0..=1.0).contains(&spec.theta) {
+                        return Err(format!("theta {value} out of [0, 1]"));
+                    }
+                }
+                "seed" => {
+                    spec.seed =
+                        value.parse().map_err(|_| format!("seed: {value:?} is not a u64"))?;
+                }
+                "engine" => {
+                    spec.engine = value.parse().map_err(|e| format!("engine: {e}"))?;
+                }
+                "store" => {
+                    spec.store = value.parse().map_err(|e| format!("store: {e}"))?;
+                }
+                "max_trials" => {
+                    spec.max_trials = Some(
+                        value.parse().map_err(|_| format!("max_trials: {value:?} is not a u64"))?,
+                    );
+                }
+                "max_steps" => {
+                    spec.max_steps = Some(
+                        value.parse().map_err(|_| format!("max_steps: {value:?} is not a u64"))?,
+                    );
+                }
+                "graph" => {
+                    saw_graph = true;
+                    spec.source = parse_graph_source(value, rest)?;
+                }
+                other => return Err(format!("unknown spec key {other:?}")),
+            }
+        }
+        if !saw_graph {
+            return Err("missing `graph` line (inline | gnm N M SEED | dataset NAME N SEED)".into());
+        }
+        if spec.mode == JobMode::Churn && spec.method == "exact" {
+            return Err("churn sessions repair with greedy methods only (rem, rem-ins)".into());
+        }
+        Ok(spec)
+    }
+
+    /// The session configuration this spec maps to. The dynamic budgets
+    /// are *not* in here — they ride on the job's [`lopacity::RunControl`]
+    /// so a client can tighten them while the job runs.
+    pub fn config(&self) -> AnonymizeConfig {
+        AnonymizeConfig::new(self.l, self.theta)
+            .with_seed(self.seed)
+            .with_engine(self.engine)
+            .with_store(self.store)
+            .with_parallelism(Parallelism::Auto)
+    }
+
+    /// The session-cache key: everything that determines the prepared
+    /// evaluator build. Two submissions with equal keys share one APSP
+    /// build (the acceptance criterion's `(graph hash, L, engine)`, plus
+    /// the store backend since it shapes the built artifact).
+    pub fn cache_key(&self, graph_hash: u64) -> String {
+        format!("{graph_hash:016x}/l{}/{}/{}", self.l, self.engine.name(), self.store)
+    }
+}
+
+fn parse_graph_source(value: &str, rest: &str) -> Result<GraphSource, String> {
+    let mut words = value.split_whitespace();
+    match words.next() {
+        Some("inline") => Ok(GraphSource::Inline(rest.to_string())),
+        Some("gnm") => {
+            let mut next = |what: &str| -> Result<u64, String> {
+                words
+                    .next()
+                    .ok_or(format!("graph gnm: missing {what}"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("graph gnm: {what} is not a number"))
+            };
+            let n = next("N")? as usize;
+            let m = next("M")? as usize;
+            let seed = next("SEED")?;
+            Ok(GraphSource::Gnm { n, m, seed })
+        }
+        Some("dataset") => {
+            let which: Dataset = words
+                .next()
+                .ok_or("graph dataset: missing NAME")?
+                .parse()
+                .map_err(|e: String| format!("graph dataset: {e}"))?;
+            let n = words
+                .next()
+                .ok_or("graph dataset: missing N")?
+                .parse::<usize>()
+                .map_err(|_| "graph dataset: N is not a number".to_string())?;
+            let seed = words
+                .next()
+                .ok_or("graph dataset: missing SEED")?
+                .parse::<u64>()
+                .map_err(|_| "graph dataset: SEED is not a number".to_string())?;
+            Ok(GraphSource::Dataset { which, n, seed })
+        }
+        other => Err(format!("unknown graph source {other:?} (inline, gnm, dataset)")),
+    }
+}
+
+/// Materializes the job's graph. Inline parse failures carry the
+/// edge-list error; generators cannot fail.
+pub fn resolve_graph(source: &GraphSource) -> Result<Graph, String> {
+    match source {
+        GraphSource::Inline(text) => gio::read_edge_list(text.as_bytes(), 0)
+            .map_err(|e| format!("inline edge list: {e}")),
+        GraphSource::Gnm { n, m, seed } => Ok(lopacity_gen::er::gnm(*n, *m, *seed)),
+        GraphSource::Dataset { which, n, seed } => Ok(which.generate(*n, *seed)),
+    }
+}
+
+/// FNV-1a over the canonical edge list — the graph half of the session
+/// cache key. Identical uploads (or identical generator specs) hash
+/// equal; the canonical `u < v` edge order makes the hash insertion-order
+/// independent.
+pub fn graph_hash(g: &Graph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(g.num_vertices() as u64);
+    for e in g.edges() {
+        mix(e.u() as u64);
+        mix(e.v() as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_generator_spec() {
+        let spec = JobSpec::parse("mode anonymize\nl 2\ntheta 0.4\ngraph gnm 40 90 3\n").unwrap();
+        assert_eq!(spec.mode, JobMode::Anonymize);
+        assert_eq!(spec.l, 2);
+        assert_eq!(spec.theta, 0.4);
+        assert_eq!(spec.source, GraphSource::Gnm { n: 40, m: 90, seed: 3 });
+        assert_eq!(spec.method, "rem");
+    }
+
+    #[test]
+    fn parses_an_inline_graph() {
+        let spec = JobSpec::parse("l 1\ntheta 0.9\ngraph inline\n\n0 1\n1 2\n").unwrap();
+        let GraphSource::Inline(text) = &spec.source else { panic!("not inline") };
+        let g = resolve_graph(&GraphSource::Inline(text.clone())).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(JobSpec::parse("l 2\n").unwrap_err().contains("graph"));
+        assert!(JobSpec::parse("l 0\ngraph gnm 5 5 1\n").is_err());
+        assert!(JobSpec::parse("theta 1.5\ngraph gnm 5 5 1\n").is_err());
+        assert!(JobSpec::parse("mode churn\nmethod exact\ngraph gnm 5 5 1\n").is_err());
+        assert!(JobSpec::parse("bogus 3\ngraph gnm 5 5 1\n").is_err());
+        assert!(JobSpec::parse("graph inline\n\nnot numbers\n").is_ok()); // parse fails later
+        assert!(resolve_graph(&GraphSource::Inline("not numbers\n".into())).is_err());
+    }
+
+    #[test]
+    fn graph_hash_is_content_addressed() {
+        let a = lopacity_gen::er::gnm(30, 60, 7);
+        let b = lopacity_gen::er::gnm(30, 60, 7);
+        let c = lopacity_gen::er::gnm(30, 60, 8);
+        assert_eq!(graph_hash(&a), graph_hash(&b));
+        assert_ne!(graph_hash(&a), graph_hash(&c));
+    }
+
+    #[test]
+    fn cache_key_separates_l_engine_and_store() {
+        let mut spec = JobSpec::parse("l 2\ntheta 0.5\ngraph gnm 10 20 1\n").unwrap();
+        let k1 = spec.cache_key(42);
+        spec.l = 3;
+        let k2 = spec.cache_key(42);
+        spec.engine = ApspEngine::FloydWarshall;
+        let k3 = spec.cache_key(42);
+        assert_ne!(k1, k2);
+        assert_ne!(k2, k3);
+        assert_ne!(spec.cache_key(41), spec.cache_key(42));
+    }
+}

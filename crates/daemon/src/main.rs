@@ -1,0 +1,58 @@
+//! `lopacityd` binary: bind, announce the address, serve until killed.
+
+use lopacity_daemon::{Daemon, DaemonConfig};
+use lopacity_util::Args;
+
+const USAGE: &str = "\
+lopacityd - L-opacity anonymization daemon
+
+USAGE:
+    lopacityd [--addr HOST:PORT] [--workers N] [--queue N]
+
+OPTIONS:
+    --addr HOST:PORT   bind address (default 127.0.0.1:7311; port 0 picks a free port)
+    --workers N        job worker threads (default 2)
+    --queue N          queued-job cap; excess submissions get 429 (default 32)
+
+ENDPOINTS:
+    POST /jobs                submit a job spec (see crate docs for the format)
+    GET  /jobs/<id>           job phase + summary
+    GET  /jobs/<id>/progress  observer lines (?since=K)
+    GET  /jobs/<id>/result    final summary (409 until finished)
+    POST /jobs/<id>/cancel    cooperative cancel
+    POST /jobs/<id>/events    churn event batch into a held session
+    GET  /metrics             counters (cache hits, trials, queue depth, ...)
+    GET  /healthz             liveness probe
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        print!("{USAGE}");
+        return;
+    }
+    if let Err(e) = run(&argv) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv.iter().map(String::as_str));
+    let unknown = args.unknown_keys(&["addr", "workers", "queue"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option --{} (see --help)", unknown[0]));
+    }
+    let defaults = DaemonConfig::default();
+    let config = DaemonConfig {
+        addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
+        workers: args.get_or("workers", defaults.workers)?,
+        queue_capacity: args.get_or("queue", defaults.queue_capacity)?,
+    };
+    let daemon = Daemon::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    println!("lopacityd listening on {}", daemon.addr());
+    println!("workers {} queue {}", config.workers.max(1), config.queue_capacity);
+    loop {
+        std::thread::park();
+    }
+}

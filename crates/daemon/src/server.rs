@@ -1,0 +1,230 @@
+//! The HTTP front end: a listener thread accepting connections, one
+//! handler thread per connection (requests are short — submit, poll,
+//! cancel — the long work happens on the worker pool), and the route
+//! table over [`lopacity_util::http`].
+//!
+//! Endpoints:
+//!
+//! | method + path                 | effect                                      |
+//! |-------------------------------|---------------------------------------------|
+//! | `POST /jobs`                  | submit a job spec; `202 id=N` or `429`      |
+//! | `GET /jobs/<id>`              | phase + summary                             |
+//! | `GET /jobs/<id>/progress`     | observer lines from `?since=K` on           |
+//! | `GET /jobs/<id>/result`       | summary once finished, else `409`           |
+//! | `POST /jobs/<id>/cancel`      | cooperative cancel (running or queued)      |
+//! | `POST /jobs/<id>/events`      | churn batch into the held session           |
+//! | `GET /metrics`                | counter exposition                          |
+//! | `GET /healthz`                | liveness probe                              |
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use lopacity_util::http::{HttpError, Request, Response};
+
+use crate::job::JobSpec;
+use crate::state::{ChurnError, Job, ServerState, SubmitError};
+
+/// Boot-time knobs for [`Daemon::bind`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks a free port (see [`Daemon::addr`]).
+    pub addr: String,
+    /// Worker threads running jobs.
+    pub workers: usize,
+    /// Queued-job cap; submissions beyond it get `429`.
+    pub queue_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig { addr: "127.0.0.1:7311".to_string(), workers: 2, queue_capacity: 32 }
+    }
+}
+
+/// A running daemon: listener + worker pool over a shared [`ServerState`].
+/// Dropping it shuts everything down (cancelling in-flight jobs).
+pub struct Daemon {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listener and spawns the accept loop and worker pool.
+    pub fn bind(config: &DaemonConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = ServerState::new(config.queue_capacity);
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                thread::Builder::new()
+                    .name(format!("lopacityd-worker-{i}"))
+                    .spawn(move || state.worker_loop())
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept_state = Arc::clone(&state);
+        let accept = thread::Builder::new()
+            .name("lopacityd-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_state))
+            .expect("spawn accept thread");
+        Ok(Daemon { state, addr, accept: Some(accept), workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct access to the shared state (integration tests, embedding).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops accepting, cancels in-flight jobs, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.accept.is_none() && self.workers.is_empty() {
+            return;
+        }
+        self.state.request_shutdown();
+        self.state.cancel_all();
+        // Unblock the accept loop with one last connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.is_shutdown() {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(&state);
+        let _ = thread::Builder::new()
+            .name("lopacityd-conn".to_string())
+            .spawn(move || handle_connection(stream, state));
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let response = match Request::parse(&mut reader) {
+        Ok(request) => route(&request, &state),
+        Err(HttpError::ConnectionClosed) => return,
+        Err(e) => Response::new(400).text(format!("bad request: {e}\n")),
+    };
+    let mut write_half = stream;
+    let _ = response.write_to(&mut write_half);
+}
+
+/// Dispatches one parsed request against the state.
+pub fn route(request: &Request, state: &Arc<ServerState>) -> Response {
+    let segments: Vec<&str> =
+        request.path.split('/').filter(|segment| !segment.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::ok("ok\n"),
+        ("GET", ["metrics"]) => Response::ok(state.render_metrics()),
+        ("POST", ["jobs"]) => submit(request, state),
+        ("GET", ["jobs", id]) => with_job(state, id, |job| {
+            let status = job.snapshot();
+            Response::ok(format!("id {}\nphase {}\n{}", job.id, status.phase.name(), status.summary))
+        }),
+        ("GET", ["jobs", id, "progress"]) => with_job(state, id, |job| {
+            let since = request
+                .query_param("since")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            let (next, lines) = job.progress_since(since);
+            let mut body = format!("next {next}\n");
+            for line in lines {
+                body.push_str(&line);
+                body.push('\n');
+            }
+            Response::ok(body)
+        }),
+        ("GET", ["jobs", id, "result"]) => with_job(state, id, |job| {
+            let status = job.snapshot();
+            if status.phase.finished() {
+                Response::ok(format!("phase {}\n{}", status.phase.name(), status.summary))
+            } else {
+                Response::new(409).text(format!("job {} still {}\n", job.id, status.phase.name()))
+            }
+        }),
+        ("POST", ["jobs", id, "cancel"]) => match id.parse::<u64>() {
+            Ok(id) if state.cancel(id) => Response::ok("cancelling\n"),
+            Ok(id) => Response::new(404).text(format!("no job {id}\n")),
+            Err(_) => Response::new(400).text("job id is not a number\n"),
+        },
+        ("POST", ["jobs", id, "events"]) => events(request, state, id),
+        _ => Response::new(404).text("not found\n"),
+    }
+}
+
+fn with_job(
+    state: &Arc<ServerState>,
+    id: &str,
+    respond: impl FnOnce(&Job) -> Response,
+) -> Response {
+    match id.parse::<u64>() {
+        Ok(id) => match state.job(id) {
+            Some(job) => respond(&job),
+            None => Response::new(404).text(format!("no job {id}\n")),
+        },
+        Err(_) => Response::new(400).text("job id is not a number\n"),
+    }
+}
+
+fn submit(request: &Request, state: &Arc<ServerState>) -> Response {
+    let Some(body) = request.body_str() else {
+        return Response::new(400).text("body is not UTF-8\n");
+    };
+    let spec = match JobSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(e) => return Response::new(400).text(format!("bad job spec: {e}\n")),
+    };
+    match state.submit(spec) {
+        Ok(job) => Response::new(202).text(format!("id {}\n", job.id)),
+        Err(SubmitError::QueueFull) => Response::new(429).text("queue full\n"),
+        Err(SubmitError::ShuttingDown) => Response::new(503).text("shutting down\n"),
+    }
+}
+
+fn events(request: &Request, state: &Arc<ServerState>, id: &str) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::new(400).text("job id is not a number\n");
+    };
+    let Some(body) = request.body_str() else {
+        return Response::new(400).text("body is not UTF-8\n");
+    };
+    match state.apply_churn_events(id, body) {
+        Ok(report) => Response::ok(report),
+        Err(ChurnError::UnknownJob) => Response::new(404).text(format!("no job {id}\n")),
+        Err(ChurnError::NoSession) => {
+            Response::new(409).text(format!("job {id} holds no live churn session\n"))
+        }
+        Err(ChurnError::Parse(e)) => Response::new(400).text(format!("bad event stream: {e}\n")),
+    }
+}

@@ -1,0 +1,557 @@
+//! Shared daemon state: the job table, the bounded work queue, the worker
+//! pool loop, the prepared-evaluator session cache, and the metrics
+//! counters surfaced on `/metrics`.
+//!
+//! Concurrency design, in one paragraph: HTTP handler threads only ever
+//! touch short-lived locks (submit, status snapshots, cancel) or the
+//! per-job [`RunControl`] (lock-free atomics), so a long anonymization run
+//! never blocks the front end. Workers pull from a [`Condvar`]-guarded
+//! queue; a submission that would overflow the queue is rejected at the
+//! door (`429`) rather than buffered without bound. The session cache maps
+//! a [`JobSpec::cache_key`] to an `Arc<OnceLock<OpacityEvaluator>>`:
+//! `OnceLock::get_or_init` blocks every concurrent worker wanting the same
+//! key behind the single builder, so N simultaneous submissions over the
+//! same graph pay exactly one APSP build — the losers record cache hits.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use lopacity::{
+    AnonymizationOutcome, Anonymizer, ChurnSession, EdgeEvent, ExactMinRemovals,
+    OpacityEvaluator, ProgressObserver, Removal, RemovalInsertion, RepairPatch, RunControl,
+    RunInfo, StepEvent, TypeSpec,
+};
+
+use crate::job::{graph_hash, resolve_graph, JobMode, JobSpec};
+
+/// Monotonic counters for `/metrics` (plus two gauges computed at render
+/// time). Relaxed ordering everywhere: these are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub jobs_submitted: AtomicU64,
+    pub jobs_completed: AtomicU64,
+    pub jobs_cancelled: AtomicU64,
+    pub jobs_failed: AtomicU64,
+    /// Submissions bounced off a full queue (`429`).
+    pub jobs_rejected: AtomicU64,
+    /// Prepared-evaluator cache: jobs that reused an existing build.
+    pub cache_hits: AtomicU64,
+    /// Prepared-evaluator cache: jobs that paid for the build.
+    pub cache_builds: AtomicU64,
+    /// Candidate evaluations across all finished runs and repairs.
+    pub trials_total: AtomicU64,
+    /// Full evaluator clones for scan-worker warmup, across all jobs.
+    pub fork_clones_total: AtomicU64,
+    /// Churn events that changed a held session's graph.
+    pub churn_events_applied: AtomicU64,
+    /// Repairs triggered by churn batches that broke certification.
+    pub churn_repairs: AtomicU64,
+    /// Workers currently inside a job (gauge).
+    pub workers_busy: AtomicU64,
+}
+
+fn bump(counter: &AtomicU64, by: u64) {
+    counter.fetch_add(by, Ordering::Relaxed);
+}
+
+/// Job lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Queued,
+    Running,
+    /// Finished normally (including budget-interrupted partial outcomes —
+    /// those are deterministic results, not failures).
+    Done,
+    /// Stopped by an explicit cancel; the summary still carries the
+    /// partial outcome committed before the stop.
+    Cancelled,
+    Failed,
+}
+
+impl Phase {
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Running => "running",
+            Phase::Done => "done",
+            Phase::Cancelled => "cancelled",
+            Phase::Failed => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal phase (has a result).
+    pub fn finished(self) -> bool {
+        matches!(self, Phase::Done | Phase::Cancelled | Phase::Failed)
+    }
+}
+
+/// Snapshot of where a job is and what it produced.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    pub phase: Phase,
+    /// `key value` lines; the job's result once finished, an error
+    /// message for failed jobs, empty while queued.
+    pub summary: String,
+}
+
+/// One submitted job. Shared between the worker that runs it and the
+/// handler threads that poll or cancel it.
+#[derive(Debug)]
+pub struct Job {
+    pub id: u64,
+    pub spec: JobSpec,
+    /// Cancellation + dynamic budgets, honored cooperatively inside the
+    /// greedy driver (`RunContext` checkpoints).
+    pub control: RunControl,
+    status: Mutex<JobStatus>,
+    /// Progress lines appended live by the run's observer; clients poll
+    /// `GET /jobs/<id>/progress?since=K`.
+    progress: Mutex<Vec<String>>,
+}
+
+impl Job {
+    pub fn snapshot(&self) -> JobStatus {
+        self.status.lock().expect("job status lock").clone()
+    }
+
+    /// Progress lines from `since` on, plus the new cursor.
+    pub fn progress_since(&self, since: usize) -> (usize, Vec<String>) {
+        let lines = self.progress.lock().expect("job progress lock");
+        let since = since.min(lines.len());
+        (lines.len(), lines[since..].to_vec())
+    }
+
+    fn set_phase(&self, phase: Phase, summary: String) {
+        let mut status = self.status.lock().expect("job status lock");
+        status.phase = phase;
+        status.summary = summary;
+    }
+
+    fn push_progress(&self, line: String) {
+        self.progress.lock().expect("job progress lock").push(line);
+    }
+}
+
+/// Rejection reasons for [`ServerState::submit`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// The daemon is shutting down.
+    ShuttingDown,
+}
+
+/// Failure modes of `POST /jobs/<id>/events`.
+#[derive(Debug)]
+pub enum ChurnError {
+    /// No job with that id.
+    UnknownJob,
+    /// The job exists but holds no live churn session (wrong mode, not
+    /// finished preparing, or setup failed).
+    NoSession,
+    /// The event stream did not parse; the message names the line.
+    Parse(String),
+}
+
+/// Observer that streams step events into the job's progress log as they
+/// commit. Only parallelism-invariant fields go into the lines, so a
+/// cancelled job's log is comparable (prefix-wise) to an uncancelled run
+/// of the same spec regardless of pool sizing.
+struct ProgressLog<'a> {
+    job: &'a Job,
+}
+
+impl ProgressObserver for ProgressLog<'_> {
+    fn on_run_start(&mut self, info: &RunInfo<'_>) {
+        self.job.push_progress(format!(
+            "start strategy={} l={} theta={} initial_lo={:.6}",
+            info.strategy, info.l, info.theta, info.initial_lo
+        ));
+    }
+
+    fn on_step(&mut self, event: &StepEvent) {
+        self.job.push_progress(format!(
+            "step {} trials={} removed={} inserted={} max_lo={:.6} n_at_max={}",
+            event.step, event.trials, event.removed, event.inserted, event.max_lo, event.n_at_max
+        ));
+    }
+
+    fn on_run_end(&mut self, outcome: &AnonymizationOutcome) {
+        self.job.push_progress(format!(
+            "end achieved={} steps={} trials={} final_lo={:.6}",
+            outcome.achieved, outcome.steps, outcome.trials, outcome.final_lo
+        ));
+    }
+}
+
+/// Everything the daemon's threads share.
+pub struct ServerState {
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    shutdown: AtomicBool,
+    /// `cache_key -> once-built prepared evaluator`. Grows with distinct
+    /// keys for the daemon's lifetime — acceptable for a session daemon;
+    /// restart to flush.
+    cache: Mutex<HashMap<String, Arc<OnceLock<OpacityEvaluator>>>>,
+    /// Live churn sessions by job id. One lock for all sessions: event
+    /// batches are cheap relative to APSP builds, and churn jobs are
+    /// expected to be few and long-lived.
+    churn: Mutex<HashMap<u64, ChurnSession>>,
+    pub metrics: Metrics,
+}
+
+impl ServerState {
+    pub fn new(queue_capacity: usize) -> Arc<ServerState> {
+        Arc::new(ServerState {
+            next_id: AtomicU64::new(0),
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_capacity: queue_capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(HashMap::new()),
+            churn: Mutex::new(HashMap::new()),
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// Registers and enqueues a job, or rejects it if the queue is full.
+    pub fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, SubmitError> {
+        if self.is_shutdown() {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut queue = self.queue.lock().expect("queue lock");
+        if queue.len() >= self.queue_capacity {
+            bump(&self.metrics.jobs_rejected, 1);
+            return Err(SubmitError::QueueFull);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let job = Arc::new(Job {
+            id,
+            spec,
+            control: RunControl::new(),
+            status: Mutex::new(JobStatus { phase: Phase::Queued, summary: String::new() }),
+            progress: Mutex::new(Vec::new()),
+        });
+        self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
+        queue.push_back(Arc::clone(&job));
+        drop(queue);
+        self.queue_cv.notify_one();
+        bump(&self.metrics.jobs_submitted, 1);
+        Ok(job)
+    }
+
+    pub fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs.lock().expect("jobs lock").get(&id).cloned()
+    }
+
+    /// Requests cancellation. Running jobs stop at their next cooperative
+    /// checkpoint; queued jobs are skipped when a worker dequeues them.
+    /// Returns false for unknown ids.
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.job(id) {
+            Some(job) => {
+                job.control.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+    }
+
+    pub fn churn_sessions(&self) -> usize {
+        self.churn.lock().expect("churn lock").len()
+    }
+
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Cancels every registered job — used at shutdown so workers reach
+    /// their next checkpoint promptly.
+    pub fn cancel_all(&self) {
+        for job in self.jobs.lock().expect("jobs lock").values() {
+            job.control.cancel();
+        }
+    }
+
+    /// Plain-text metrics exposition (one `name value` per line).
+    pub fn render_metrics(&self) -> String {
+        let m = &self.metrics;
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = String::new();
+        for (name, value) in [
+            ("lopacityd_jobs_submitted", get(&m.jobs_submitted)),
+            ("lopacityd_jobs_completed", get(&m.jobs_completed)),
+            ("lopacityd_jobs_cancelled", get(&m.jobs_cancelled)),
+            ("lopacityd_jobs_failed", get(&m.jobs_failed)),
+            ("lopacityd_jobs_rejected", get(&m.jobs_rejected)),
+            ("lopacityd_cache_hits", get(&m.cache_hits)),
+            ("lopacityd_cache_builds", get(&m.cache_builds)),
+            ("lopacityd_trials_total", get(&m.trials_total)),
+            ("lopacityd_fork_clones_total", get(&m.fork_clones_total)),
+            ("lopacityd_churn_events_applied", get(&m.churn_events_applied)),
+            ("lopacityd_churn_repairs", get(&m.churn_repairs)),
+            ("lopacityd_workers_busy", get(&m.workers_busy)),
+            ("lopacityd_queue_depth", self.queue_depth() as u64),
+            ("lopacityd_churn_sessions", self.churn_sessions() as u64),
+        ] {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The worker-pool loop: block on the queue, skip pre-cancelled jobs,
+    /// run the rest. Returns when shutdown is requested.
+    pub fn worker_loop(self: &Arc<ServerState>) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("queue lock");
+                loop {
+                    if self.is_shutdown() {
+                        return;
+                    }
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    queue = self.queue_cv.wait(queue).expect("queue lock");
+                }
+            };
+            if job.control.is_cancelled() {
+                bump(&self.metrics.jobs_cancelled, 1);
+                job.set_phase(Phase::Cancelled, "cancelled before start\n".to_string());
+                continue;
+            }
+            bump(&self.metrics.workers_busy, 1);
+            // A panicking job must not take its worker down with it — mark
+            // the job failed and keep serving the queue.
+            let run = catch_unwind(AssertUnwindSafe(|| self.run_job(&job)));
+            if run.is_err() {
+                bump(&self.metrics.jobs_failed, 1);
+                job.set_phase(Phase::Failed, "internal error: job panicked\n".to_string());
+            }
+            self.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fetches (building at most once per key, daemon-wide) the prepared
+    /// evaluator for a spec over its resolved graph.
+    fn cached_evaluator(&self, spec: &JobSpec, graph: &lopacity_graph::Graph) -> OpacityEvaluator {
+        let key = spec.cache_key(graph_hash(graph));
+        let slot = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            Arc::clone(cache.entry(key).or_default())
+        };
+        let mut built = false;
+        let ev = slot.get_or_init(|| {
+            built = true;
+            OpacityEvaluator::with_options(
+                graph.clone(),
+                &TypeSpec::DegreePairs,
+                spec.l,
+                spec.engine,
+                lopacity::Parallelism::Auto,
+                spec.store,
+            )
+        });
+        if built {
+            bump(&self.metrics.cache_builds, 1);
+        } else {
+            bump(&self.metrics.cache_hits, 1);
+        }
+        ev.clone()
+    }
+
+    fn run_job(&self, job: &Job) {
+        job.set_phase(Phase::Running, String::new());
+        let graph = match resolve_graph(&job.spec.source) {
+            Ok(g) => g,
+            Err(e) => {
+                bump(&self.metrics.jobs_failed, 1);
+                job.set_phase(Phase::Failed, format!("graph error: {e}\n"));
+                return;
+            }
+        };
+        let exact_cap = ExactMinRemovals::default().max_edges;
+        if job.spec.method == "exact" && graph.num_edges() > exact_cap {
+            bump(&self.metrics.jobs_failed, 1);
+            job.set_phase(
+                Phase::Failed,
+                format!(
+                    "graph error: exact method caps at {exact_cap} edges, graph has {}\n",
+                    graph.num_edges()
+                ),
+            );
+            return;
+        }
+        let ev = self.cached_evaluator(&job.spec, &graph);
+        job.control.set_max_trials(job.spec.max_trials);
+        job.control.set_max_steps(job.spec.max_steps);
+        match job.spec.mode {
+            JobMode::Anonymize => self.run_anonymize(job, &graph, ev),
+            JobMode::Churn => self.run_churn_setup(job, &graph, ev),
+        }
+    }
+
+    fn run_anonymize(&self, job: &Job, graph: &lopacity_graph::Graph, ev: OpacityEvaluator) {
+        let mut observer = ProgressLog { job };
+        let mut session = Anonymizer::new(graph, &TypeSpec::DegreePairs)
+            .config(job.spec.config())
+            .observer(&mut observer)
+            .control(job.control.clone());
+        session.adopt_prepared(ev);
+        let out = match job.spec.method.as_str() {
+            "rem" => session.run(Removal),
+            "rem-ins" => session.run(RemovalInsertion::default()),
+            _ => session.run(ExactMinRemovals::default()),
+        };
+        drop(session);
+        bump(&self.metrics.trials_total, out.trials);
+        bump(&self.metrics.fork_clones_total, out.fork_clones);
+        let summary = summarize_outcome(&job.spec, &out, job.control.is_cancelled());
+        if job.control.is_cancelled() {
+            bump(&self.metrics.jobs_cancelled, 1);
+            job.set_phase(Phase::Cancelled, summary);
+        } else {
+            bump(&self.metrics.jobs_completed, 1);
+            job.set_phase(Phase::Done, summary);
+        }
+    }
+
+    fn run_churn_setup(&self, job: &Job, graph: &lopacity_graph::Graph, ev: OpacityEvaluator) {
+        let mut anonymizer =
+            Anonymizer::new(graph, &TypeSpec::DegreePairs).config(job.spec.config());
+        anonymizer.adopt_prepared(ev);
+        let mut session = ChurnSession::new(anonymizer);
+        session.set_control(Some(job.control.clone()));
+        let clones_before = session.fork_clones();
+        let patch = if session.is_certified() {
+            None
+        } else {
+            job.push_progress("initial repair".to_string());
+            Some(repair_with(&mut session, &job.spec.method))
+        };
+        bump(&self.metrics.fork_clones_total, session.fork_clones() - clones_before);
+        if let Some(p) = &patch {
+            bump(&self.metrics.trials_total, p.trials);
+        }
+        let assessment = session.assessment();
+        let certified = session.is_certified();
+        let mut summary = format!(
+            "mode churn\ncertified {certified}\nmax_lo {:.6}\nn_at_max {}\n",
+            assessment.as_f64(),
+            assessment.n_at_max()
+        );
+        if let Some(p) = &patch {
+            summary.push_str(&format!(
+                "repair_steps {}\nrepair_trials {}\nrepair_removed {}\nrepair_inserted {}\n",
+                p.steps,
+                p.trials,
+                p.removed.len(),
+                p.inserted.len()
+            ));
+        }
+        job.push_progress(format!("churn session certified={certified}"));
+        if job.control.is_cancelled() {
+            bump(&self.metrics.jobs_cancelled, 1);
+            job.set_phase(Phase::Cancelled, summary);
+        } else if certified {
+            self.churn.lock().expect("churn lock").insert(job.id, session);
+            bump(&self.metrics.jobs_completed, 1);
+            job.set_phase(Phase::Done, summary);
+        } else {
+            // Budget exhausted before certification: no session to hold.
+            bump(&self.metrics.jobs_failed, 1);
+            summary.push_str("error initial repair did not reach theta\n");
+            job.set_phase(Phase::Failed, summary);
+        }
+    }
+
+    /// Applies an event batch to a held churn session (one coalesced
+    /// fork-sync per batch), auto-repairing if the batch breaks
+    /// certification. Returns the report as `key value` lines.
+    pub fn apply_churn_events(&self, id: u64, text: &str) -> Result<String, ChurnError> {
+        let job = self.job(id).ok_or(ChurnError::UnknownJob)?;
+        let events = EdgeEvent::parse_stream(text).map_err(ChurnError::Parse)?;
+        let mut sessions = self.churn.lock().expect("churn lock");
+        let session = sessions.get_mut(&id).ok_or(ChurnError::NoSession)?;
+        let clones_before = session.fork_clones();
+        let report = session.apply_batch(&events);
+        bump(&self.metrics.churn_events_applied, report.applied as u64);
+        let mut out = format!(
+            "applied {}\nskipped {}\nchanged_cells {}\nmax_lo {:.6}\nviolated {}\n",
+            report.applied, report.skipped, report.changed_cells, report.max_lo, report.violated
+        );
+        job.push_progress(format!(
+            "batch applied={} skipped={} max_lo={:.6} violated={}",
+            report.applied, report.skipped, report.max_lo, report.violated
+        ));
+        if report.violated {
+            let patch = repair_with(session, &job.spec.method);
+            bump(&self.metrics.churn_repairs, 1);
+            bump(&self.metrics.trials_total, patch.trials);
+            out.push_str(&format!(
+                "repair_achieved {}\nrepair_steps {}\nrepair_trials {}\nrepair_removed {}\nrepair_inserted {}\nrepair_max_lo {:.6}\n",
+                patch.achieved,
+                patch.steps,
+                patch.trials,
+                patch.removed.len(),
+                patch.inserted.len(),
+                patch.max_lo
+            ));
+            job.push_progress(format!(
+                "repair achieved={} steps={} trials={}",
+                patch.achieved, patch.steps, patch.trials
+            ));
+        }
+        bump(&self.metrics.fork_clones_total, session.fork_clones() - clones_before);
+        Ok(out)
+    }
+}
+
+fn repair_with(session: &mut ChurnSession, method: &str) -> RepairPatch {
+    match method {
+        "rem-ins" => session.repair(RemovalInsertion::default()),
+        _ => session.repair(Removal),
+    }
+}
+
+fn summarize_outcome(spec: &JobSpec, out: &AnonymizationOutcome, cancelled: bool) -> String {
+    let interrupted = if cancelled {
+        "cancel"
+    } else if !out.achieved
+        && (spec.max_trials.is_some_and(|cap| out.trials >= cap)
+            || spec.max_steps.is_some_and(|cap| out.steps as u64 >= cap))
+    {
+        "budget"
+    } else {
+        "no"
+    };
+    format!(
+        "mode anonymize\nachieved {}\nsteps {}\ntrials {}\nremoved {}\ninserted {}\nfinal_lo {:.6}\nn_at_max {}\ninterrupted {interrupted}\n",
+        out.achieved,
+        out.steps,
+        out.trials,
+        out.removed.len(),
+        out.inserted.len(),
+        out.final_lo,
+        out.final_n_at_max
+    )
+}

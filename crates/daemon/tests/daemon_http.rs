@@ -1,0 +1,269 @@
+//! End-to-end tests of `lopacityd` over real TCP: boot a daemon on port 0,
+//! drive it with a hand-rolled HTTP/1.1 client, and check the acceptance
+//! criteria of the service layer:
+//!
+//! * N concurrent submissions over the same `(graph, L, engine, store)`
+//!   pay for exactly one APSP build (verified through `/metrics`);
+//! * a cancelled job frees its worker, the pool keeps serving, and the
+//!   cancelled job's progress trajectory is a prefix of an uncancelled
+//!   run's;
+//! * budget-interrupted jobs produce deterministic partial outcomes;
+//! * churn jobs hold a live session that accepts event batches;
+//! * the bounded queue rejects overflow with `429`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use lopacity_daemon::{Daemon, DaemonConfig};
+
+fn boot(workers: usize, queue: usize) -> Daemon {
+    Daemon::bind(&DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: queue,
+    })
+    .expect("bind daemon on an ephemeral port")
+}
+
+/// One request over a fresh connection (the daemon is `Connection: close`).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Reads `key value` from a summary body.
+fn field(body: &str, key: &str) -> Option<String> {
+    body.lines().find_map(|line| {
+        line.strip_prefix(key)
+            .filter(|rest| rest.starts_with(' '))
+            .map(|rest| rest.trim().to_string())
+    })
+}
+
+fn submit(addr: SocketAddr, spec: &str) -> u64 {
+    let (status, body) = request(addr, "POST", "/jobs", spec);
+    assert_eq!(status, 202, "submit failed: {body}");
+    field(&body, "id").expect("submit returns an id").parse().expect("numeric id")
+}
+
+/// Polls until the job reaches a terminal phase; returns (phase, summary).
+fn wait_finished(addr: SocketAddr, id: u64) -> (String, String) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "status poll failed: {body}");
+        let phase = field(&body, "phase").expect("status has a phase");
+        if matches!(phase.as_str(), "done" | "cancelled" | "failed") {
+            return (phase, body);
+        }
+        assert!(Instant::now() < deadline, "job {id} did not finish; last status:\n{body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The job's `step ...` progress lines.
+fn step_lines(addr: SocketAddr, id: u64) -> Vec<String> {
+    let (status, body) = request(addr, "GET", &format!("/jobs/{id}/progress"), "");
+    assert_eq!(status, 200);
+    body.lines().filter(|l| l.starts_with("step ")).map(str::to_string).collect()
+}
+
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    body.lines()
+        .find_map(|line| line.strip_prefix(name).map(|rest| rest.trim().parse().unwrap()))
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{body}"))
+}
+
+/// A spec whose cache key is shared by every θ (θ is not part of the
+/// prepared build).
+fn shared_spec(theta: f64) -> String {
+    format!("mode anonymize\nl 2\ntheta {theta}\nseed 11\ngraph gnm 40 90 3\n")
+}
+
+/// A spec that runs long enough (hundreds of greedy steps in a debug
+/// build) to cancel mid-run.
+const SLOW_SPEC: &str = "mode anonymize\nl 2\ntheta 0.0\nseed 11\ngraph gnm 150 450 7\n";
+
+#[test]
+fn healthz_metrics_and_routing_respond() {
+    let daemon = boot(1, 4);
+    let addr = daemon.addr();
+    assert_eq!(request(addr, "GET", "/healthz", ""), (200, "ok\n".to_string()));
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("lopacityd_jobs_submitted 0"));
+    assert_eq!(request(addr, "GET", "/nope", "").0, 404);
+    assert_eq!(request(addr, "GET", "/jobs/99", "").0, 404);
+    assert_eq!(request(addr, "POST", "/jobs", "l 2\n").0, 400, "spec without a graph");
+    daemon.shutdown();
+}
+
+#[test]
+fn eight_concurrent_jobs_share_one_apsp_build() {
+    let daemon = boot(4, 32);
+    let addr = daemon.addr();
+    // Eight jobs, eight θ values, one (graph, L, engine, store) key.
+    let ids: Vec<u64> = (0..8)
+        .map(|i| submit(addr, &shared_spec(0.90 - 0.05 * i as f64)))
+        .collect();
+    let mut done = 0;
+    for &id in &ids {
+        let (phase, body) = wait_finished(addr, id);
+        assert_eq!(phase, "done", "job {id}: {body}");
+        assert_eq!(field(&body, "achieved").as_deref(), Some("true"), "job {id}: {body}");
+        done += 1;
+    }
+    assert_eq!(done, 8);
+    // The acceptance criterion: exactly one build, everyone else hits.
+    assert_eq!(metric(addr, "lopacityd_cache_builds"), 1);
+    assert_eq!(metric(addr, "lopacityd_cache_hits"), 7);
+    assert_eq!(metric(addr, "lopacityd_jobs_completed"), 8);
+    assert_eq!(metric(addr, "lopacityd_jobs_failed"), 0);
+    assert!(metric(addr, "lopacityd_trials_total") > 0);
+    daemon.shutdown();
+}
+
+#[test]
+fn cancelled_job_frees_its_worker_and_leaves_a_prefix() {
+    let daemon = boot(1, 8);
+    let addr = daemon.addr();
+    // Reference trajectory: the same spec run to completion first (also
+    // warms the cache so the cancelled run starts its greedy phase fast).
+    let reference = submit(addr, SLOW_SPEC);
+    let (phase, _) = wait_finished(addr, reference);
+    assert_eq!(phase, "done");
+    let reference_steps = step_lines(addr, reference);
+    assert!(reference_steps.len() > 10, "need a long reference run");
+
+    let victim = submit(addr, SLOW_SPEC);
+    // Let it commit a few steps, then cancel mid-run.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while step_lines(addr, victim).len() < 3 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(request(addr, "POST", &format!("/jobs/{victim}/cancel"), "").0, 200);
+    let (phase, body) = wait_finished(addr, victim);
+    assert_eq!(phase, "cancelled", "{body}");
+    assert_eq!(field(&body, "interrupted").as_deref(), Some("cancel"));
+
+    // Partial trajectory is a prefix of the uncancelled run's.
+    let victim_steps = step_lines(addr, victim);
+    assert!(!victim_steps.is_empty());
+    assert!(victim_steps.len() < reference_steps.len(), "cancel landed mid-run");
+    assert_eq!(victim_steps[..], reference_steps[..victim_steps.len()], "prefix property");
+
+    // The worker is reclaimed: the single-worker pool still serves jobs.
+    let next = submit(addr, &shared_spec(0.5));
+    let (phase, _) = wait_finished(addr, next);
+    assert_eq!(phase, "done");
+    assert_eq!(metric(addr, "lopacityd_workers_busy"), 0);
+    assert_eq!(metric(addr, "lopacityd_jobs_cancelled"), 1);
+    daemon.shutdown();
+}
+
+#[test]
+fn budget_interrupted_jobs_are_deterministic_partial_outcomes() {
+    let daemon = boot(2, 16);
+    let addr = daemon.addr();
+    let full = submit(addr, SLOW_SPEC);
+    let (phase, full_body) = wait_finished(addr, full);
+    assert_eq!(phase, "done");
+    let full_steps: u64 = field(&full_body, "steps").unwrap().parse().unwrap();
+    assert!(full_steps > 6);
+
+    // Two identical step-budgeted jobs: byte-identical partial outcomes.
+    let budgeted = format!("{SLOW_SPEC}max_steps 5\n");
+    let a = submit(addr, &budgeted);
+    let b = submit(addr, &budgeted);
+    let (phase_a, body_a) = wait_finished(addr, a);
+    let (phase_b, body_b) = wait_finished(addr, b);
+    assert_eq!(phase_a, "done");
+    assert_eq!(phase_b, "done");
+    assert_eq!(body_a.replace(&format!("id {a}"), ""), body_b.replace(&format!("id {b}"), ""));
+    assert_eq!(field(&body_a, "steps").as_deref(), Some("5"));
+    assert_eq!(field(&body_a, "interrupted").as_deref(), Some("budget"));
+    // And the budgeted trajectory is a prefix of the full one.
+    let full_lines = step_lines(addr, full);
+    let a_lines = step_lines(addr, a);
+    assert_eq!(a_lines[..], full_lines[..a_lines.len()]);
+
+    // A trial budget stops within one scan step of the cap, deterministically.
+    let full_trials: u64 = field(&full_body, "trials").unwrap().parse().unwrap();
+    let capped = format!("{SLOW_SPEC}max_trials {}\n", full_trials / 2);
+    let c = submit(addr, &capped);
+    let d = submit(addr, &capped);
+    let (_, body_c) = wait_finished(addr, c);
+    let (_, body_d) = wait_finished(addr, d);
+    let trials_c: u64 = field(&body_c, "trials").unwrap().parse().unwrap();
+    assert!(trials_c >= full_trials / 2 && trials_c < full_trials);
+    assert_eq!(field(&body_c, "trials"), field(&body_d, "trials"));
+    assert_eq!(field(&body_c, "steps"), field(&body_d, "steps"));
+    daemon.shutdown();
+}
+
+#[test]
+fn churn_jobs_hold_live_sessions() {
+    let daemon = boot(2, 8);
+    let addr = daemon.addr();
+    let job = submit(addr, "mode churn\nl 1\ntheta 0.6\nseed 5\ngraph gnm 30 60 9\n");
+    let (phase, body) = wait_finished(addr, job);
+    assert_eq!(phase, "done", "{body}");
+    assert_eq!(field(&body, "certified").as_deref(), Some("true"));
+    assert_eq!(metric(addr, "lopacityd_churn_sessions"), 1);
+
+    // A batch of events lands in the held session.
+    let (status, report) =
+        request(addr, "POST", &format!("/jobs/{job}/events"), "+ 0 1\n- 2 3\n+ 4 5\n");
+    assert_eq!(status, 200, "{report}");
+    let applied: u64 = field(&report, "applied").unwrap().parse().unwrap();
+    let skipped: u64 = field(&report, "skipped").unwrap().parse().unwrap();
+    assert_eq!(applied + skipped, 3);
+    assert!(field(&report, "max_lo").is_some());
+    assert_eq!(metric(addr, "lopacityd_churn_events_applied"), applied);
+
+    // Error paths: bad stream, wrong job kind, unknown id.
+    assert_eq!(request(addr, "POST", &format!("/jobs/{job}/events"), "bogus\n").0, 400);
+    let plain = submit(addr, &shared_spec(0.5));
+    wait_finished(addr, plain);
+    assert_eq!(request(addr, "POST", &format!("/jobs/{plain}/events"), "+ 0 1\n").0, 409);
+    assert_eq!(request(addr, "POST", "/jobs/999/events", "+ 0 1\n").0, 404);
+    daemon.shutdown();
+}
+
+#[test]
+fn bounded_queue_rejects_overflow_with_429() {
+    let daemon = boot(1, 1);
+    let addr = daemon.addr();
+    // Occupy the worker with a slow job, fill the queue's single slot,
+    // then overflow.
+    let slow = submit(addr, SLOW_SPEC);
+    let queued = submit(addr, &shared_spec(0.5));
+    let (status, body) = request(addr, "POST", "/jobs", &shared_spec(0.4));
+    assert_eq!(status, 429, "{body}");
+    assert_eq!(metric(addr, "lopacityd_jobs_rejected"), 1);
+
+    // A cancelled queued job is skipped without occupying the worker.
+    assert_eq!(request(addr, "POST", &format!("/jobs/{queued}/cancel"), "").0, 200);
+    assert_eq!(request(addr, "POST", &format!("/jobs/{slow}/cancel"), "").0, 200);
+    let (phase, _) = wait_finished(addr, queued);
+    assert_eq!(phase, "cancelled");
+    wait_finished(addr, slow);
+    daemon.shutdown();
+}

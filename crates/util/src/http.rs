@@ -1,0 +1,338 @@
+//! A vendored minimal HTTP/1.1 layer — hand-rolled in the same spirit as
+//! the workspace's other registry-free stand-ins (`rand`, `proptest`,
+//! `criterion`): exactly the subset the `lopacityd` daemon needs, nothing
+//! more.
+//!
+//! Supported: request-line + header parsing from any [`BufRead`],
+//! `Content-Length` bodies, query-string splitting, and a response writer
+//! that always answers `Connection: close` (one exchange per connection —
+//! the daemon's job submissions are seconds-to-minutes of work, so
+//! keep-alive would buy nothing and cost connection-state bookkeeping).
+//! Not supported, by design: chunked transfer encoding, multipart bodies,
+//! TLS, HTTP/2, pipelining.
+//!
+//! The parser is defensive rather than strict: it enforces the request
+//! shape it understands (reasonable line/header/body limits, a valid
+//! `Content-Length`) and rejects everything else with a typed
+//! [`HttpError`], which the server maps to a `400`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+/// Upper bound on a request body (graph uploads are edge lists; 64 MiB is
+/// ~4M `u32 u32` lines, far past anything the daemon serves in tests).
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Why a request could not be parsed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The connection closed before a full request arrived.
+    ConnectionClosed,
+    /// A line exceeded the per-line byte cap or the header count
+    /// exceeded the header cap.
+    TooLarge(&'static str),
+    /// The request line or a header was syntactically malformed.
+    Malformed(&'static str),
+    /// Transport failure.
+    Io(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed mid-request"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e.to_string())
+    }
+}
+
+/// One parsed HTTP/1.x request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Path component of the target, before any `?`.
+    pub path: String,
+    /// Raw query string (after `?`, empty when absent).
+    pub query: String,
+    /// Headers, keys lowercased; later duplicates overwrite earlier ones.
+    pub headers: HashMap<String, String>,
+    /// The body, sized by `Content-Length` (empty when the header is
+    /// absent or `0`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Parses one request from `reader` (blocking until the body is
+    /// complete). Returns [`HttpError::ConnectionClosed`] on a clean EOF
+    /// before the first byte — the normal end of a connection.
+    pub fn parse<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            return Err(HttpError::ConnectionClosed);
+        }
+        let mut parts = line.split(' ').filter(|p| !p.is_empty());
+        let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?;
+        let target = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
+        let version = parts.next().ok_or(HttpError::Malformed("missing HTTP version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        if parts.next().is_some() {
+            return Err(HttpError::Malformed("trailing tokens in request line"));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+
+        let mut headers = HashMap::new();
+        loop {
+            let line = read_line(reader)?;
+            if line.is_empty() {
+                break; // blank line: end of headers
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::TooLarge("header count"));
+            }
+            let (name, value) =
+                line.split_once(':').ok_or(HttpError::Malformed("header without ':'"))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::Malformed("invalid header name"));
+            }
+            headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+        }
+
+        let length = match headers.get("content-length") {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("invalid Content-Length"))?,
+            None => 0,
+        };
+        if length > MAX_BODY {
+            return Err(HttpError::TooLarge("body"));
+        }
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::ConnectionClosed
+            } else {
+                HttpError::Io(e.to_string())
+            }
+        })?;
+
+        Ok(Request { method: method.to_string(), path, query, headers, body })
+    }
+
+    /// The body as UTF-8, or `None` when it is not valid UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Looks up a `key=value` pair in the query string (first match;
+    /// no percent-decoding — the daemon's parameters are alphanumeric).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| match pair.split_once('=') {
+            Some((k, v)) if k == key => Some(v),
+            None if pair == key => Some(""),
+            _ => None,
+        })
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without its terminator.
+/// An EOF before any byte yields an empty string (mapped to
+/// [`HttpError::ConnectionClosed`] by the request-line caller, and to
+/// end-of-headers nowhere — a blank line is `"\r\n"`, two bytes).
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => break,
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(HttpError::TooLarge("line"));
+                }
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-UTF-8 line"))
+}
+
+/// An HTTP/1.1 response under construction.
+#[derive(Debug)]
+pub struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status code and canned reason phrase.
+    pub fn new(status: u16) -> Response {
+        let reason = match status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        };
+        Response { status, reason, content_type: "text/plain; charset=utf-8", body: Vec::new() }
+    }
+
+    /// `200 OK` with a plain-text body.
+    pub fn ok(body: impl Into<String>) -> Response {
+        Response::new(200).text(body)
+    }
+
+    /// Sets a plain-text body.
+    pub fn text(mut self, body: impl Into<String>) -> Response {
+        self.body = body.into().into_bytes();
+        self
+    }
+
+    /// Overrides the content type (e.g. a metrics exposition format).
+    pub fn content_type(mut self, ct: &'static str) -> Response {
+        self.content_type = ct;
+        self
+    }
+
+    /// The status code this response will send.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Serializes the response (always `Connection: close`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        Request::parse(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse("GET /jobs/7/progress?since=12&full HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/7/progress");
+        assert_eq!(req.query, "since=12&full");
+        assert_eq!(req.query_param("since"), Some("12"));
+        assert_eq!(req.query_param("full"), Some(""));
+        assert_eq!(req.query_param("absent"), None);
+        assert_eq!(req.headers.get("host").map(String::as_str), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse("POST /jobs HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello\nworld").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body_str(), Some("hello\nworld"));
+    }
+
+    #[test]
+    fn bare_lf_lines_are_tolerated() {
+        let req = parse("GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn clean_eof_is_connection_closed() {
+        assert_eq!(parse("").unwrap_err(), HttpError::ConnectionClosed);
+    }
+
+    #[test]
+    fn truncated_body_is_connection_closed() {
+        let err = parse("POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
+        assert_eq!(err, HttpError::ConnectionClosed);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(matches!(parse("GET /x\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse("GET /x SMTP/1.0\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse("GET /x HTTP/1.1 junk\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: lots\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 1));
+        assert!(matches!(parse(&long), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn header_keys_are_lowercased_and_last_wins() {
+        let req =
+            parse("GET / HTTP/1.1\r\nX-Tag: a\r\nx-tag: b\r\n\r\n").unwrap();
+        assert_eq!(req.headers.get("x-tag").map(String::as_str), Some("b"));
+    }
+
+    #[test]
+    fn responses_serialize_with_connection_close() {
+        let mut out = Vec::new();
+        Response::ok("body\n").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\nbody\n"));
+
+        let mut out = Vec::new();
+        Response::new(429).text("queue full").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+    }
+}

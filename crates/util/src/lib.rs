@@ -15,9 +15,13 @@
 //! * [`testkit`] — closure-generic distance-cell comparators shared by the
 //!   workspace's equivalence test suites (store backends, evaluator,
 //!   churn replay).
+//! * [`http`] — a vendored minimal HTTP/1.1 request parser and response
+//!   writer (no TLS, no chunked encoding), the transport under the
+//!   `lopacityd` daemon.
 
 pub mod args;
 pub mod csv;
+pub mod http;
 pub mod pool;
 pub mod table;
 pub mod testkit;

@@ -157,6 +157,67 @@ fn assert_trajectories_identical(
     Ok(())
 }
 
+/// Regression (issue 7 satellite): `OpacityEvaluator::apply_external`
+/// must keep the live-pair counter — the quantity behind
+/// `estimated_trial_cost()` and therefore the scan's work-based `Auto`
+/// sharding decision — exactly in sync through a long noisy stream. After
+/// 200 events the counter must equal a fresh build's, on both backends,
+/// so churn can never mis-shard later scans. (Deterministic companion to
+/// the property suite below: a fixed stream, pinned forever.)
+#[test]
+fn live_pair_counter_matches_fresh_build_after_200_event_stream() {
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+    for backend in BACKENDS {
+        let g = gnm(60, 140, 99);
+        let spec = TypeSpec::DegreePairs;
+        let anonymizer =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(3, 1.0).with_store(backend));
+        let mut s = ChurnSession::new(anonymizer);
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut events = Vec::new();
+        for _ in 0..200 {
+            let u = (xorshift(&mut state) % 60) as u32;
+            let mut v = (xorshift(&mut state) % 60) as u32;
+            if u == v {
+                v = (v + 1) % 60;
+            }
+            let e = Edge::new(u, v);
+            events.push(if xorshift(&mut state) & 1 == 0 {
+                EdgeEvent::Insert(e)
+            } else {
+                EdgeEvent::Delete(e)
+            });
+        }
+        let _ = s.apply_batch(&events);
+        let oracle = OpacityEvaluator::with_type_system(
+            s.evaluator().graph().clone(),
+            s.evaluator().types().clone(),
+            3,
+            ApspEngine::default(),
+            Parallelism::Off,
+            backend,
+        );
+        assert_eq!(
+            s.evaluator().live_pairs(),
+            oracle.live_pairs(),
+            "{backend}: live-pair counter drifted from fresh build"
+        );
+        assert_eq!(
+            s.evaluator().estimated_trial_cost(),
+            oracle.estimated_trial_cost(),
+            "{backend}: the scan-sharding cost estimate drifted"
+        );
+        s.certify().unwrap();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

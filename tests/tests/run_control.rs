@@ -1,0 +1,174 @@
+//! The cooperative interruption contract of [`RunControl`]:
+//!
+//! 1. **Prefix property** — an interrupted run's committed trajectory is
+//!    bit-for-bit a *prefix* of the uninterrupted run's: cancellation or a
+//!    dynamic budget can only cut the run short, never steer it onto moves
+//!    the full run would not have made.
+//! 2. **Determinism** — for a fixed dynamic budget value the stopping
+//!    point is itself deterministic (the budget is compared against the
+//!    deterministic trial/step clock at fixed checkpoints), so partial
+//!    outcomes are reproducible.
+//! 3. **Inertness** — an attached-but-untouched control changes nothing;
+//!    the whole interruption layer rides on checks that are `false` in
+//!    every pre-existing code path.
+//!
+//! This is the substrate the `lopacityd` daemon's cancel endpoint and
+//! per-job budgets stand on (`crates/daemon`).
+
+use lopacity::{
+    AnonymizationOutcome, AnonymizeConfig, Anonymizer, ExactMinRemovals, ProgressObserver,
+    Removal, RunControl, StepEvent, TypeSpec,
+};
+use lopacity_gen::er::gnm;
+use lopacity_graph::Graph;
+
+fn full_run(g: &Graph, config: AnonymizeConfig) -> AnonymizationOutcome {
+    Anonymizer::new(g, &TypeSpec::DegreePairs).config(config).run_once(Removal)
+}
+
+/// A control cancelled before the run starts stops it before any step.
+#[test]
+fn cancelled_control_stops_before_the_first_step() {
+    let g = gnm(30, 70, 5);
+    let control = RunControl::new();
+    control.cancel();
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+        .config(AnonymizeConfig::new(2, 0.0).with_seed(1))
+        .control(control);
+    let out = session.run(Removal);
+    assert!(!out.achieved);
+    assert_eq!(out.steps, 0);
+    assert!(out.removed.is_empty() && out.inserted.is_empty());
+}
+
+/// An attached but untouched control is inert: the outcome is bit-for-bit
+/// the no-control run's.
+#[test]
+fn untouched_control_changes_nothing() {
+    let g = gnm(30, 70, 5);
+    let config = AnonymizeConfig::new(2, 0.55).with_seed(1);
+    let plain = full_run(&g, config);
+    let mut session =
+        Anonymizer::new(&g, &TypeSpec::DegreePairs).config(config).control(RunControl::new());
+    let controlled = session.run(Removal);
+    assert_eq!(plain.removed, controlled.removed);
+    assert_eq!(plain.trials, controlled.trials);
+    assert_eq!(plain.steps, controlled.steps);
+    assert_eq!(plain.achieved, controlled.achieved);
+    assert_eq!(plain.graph, controlled.graph);
+}
+
+/// A dynamic step budget truncates the trajectory to exactly its first k
+/// steps — same moves, same order.
+#[test]
+fn step_budgeted_trajectory_is_a_prefix_of_the_full_run() {
+    let g = gnm(30, 70, 5);
+    let config = AnonymizeConfig::new(2, 0.0).with_seed(1);
+    let full = full_run(&g, config);
+    assert!(full.steps >= 4, "need a long enough run to truncate ({} steps)", full.steps);
+    for k in [1u64, 2, 3] {
+        let control = RunControl::new();
+        control.set_max_steps(Some(k));
+        let mut session =
+            Anonymizer::new(&g, &TypeSpec::DegreePairs).config(config).control(control);
+        let part = session.run(Removal);
+        assert_eq!(part.steps as u64, k);
+        assert!(!part.achieved);
+        assert_eq!(
+            part.removed.as_slice(),
+            &full.removed[..part.removed.len()],
+            "k={k}: interrupted removals are not a prefix of the full run's"
+        );
+    }
+}
+
+/// A dynamic trial budget stops the run at its first checkpoint at or past
+/// the cap — deterministically, with a prefix trajectory, without the
+/// silent-truncation semantics of the static config budget (the scan that
+/// crosses the cap completes; the run never starts another).
+#[test]
+fn trial_budgeted_run_stops_deterministically_past_the_cap() {
+    let g = gnm(30, 70, 5);
+    let config = AnonymizeConfig::new(2, 0.0).with_seed(1);
+    let full = full_run(&g, config);
+    let cap = full.trials / 3;
+    assert!(cap > 0);
+
+    let run_with_cap = || {
+        let control = RunControl::new();
+        control.set_max_trials(Some(cap));
+        let mut session =
+            Anonymizer::new(&g, &TypeSpec::DegreePairs).config(config).control(control);
+        session.run(Removal)
+    };
+    let a = run_with_cap();
+    let b = run_with_cap();
+    assert!(!a.achieved);
+    assert!(a.trials >= cap, "stops only once the clock reaches the cap");
+    assert!(a.trials < full.trials);
+    assert_eq!(a.removed.as_slice(), &full.removed[..a.removed.len()], "prefix property");
+    // Reproducible partial outcome — the daemon's budget-interruption
+    // determinism criterion.
+    assert_eq!(a.removed, b.removed);
+    assert_eq!(a.trials, b.trials);
+    assert_eq!(a.steps, b.steps);
+}
+
+/// Observer that cancels its control after a fixed number of committed
+/// steps — a deterministic stand-in for a remote cancel request arriving
+/// mid-run.
+struct CancelAfter {
+    control: RunControl,
+    after: usize,
+    seen: Vec<StepEvent>,
+}
+
+impl ProgressObserver for CancelAfter {
+    fn on_step(&mut self, event: &StepEvent) {
+        self.seen.push(*event);
+        if event.step >= self.after {
+            self.control.cancel();
+        }
+    }
+}
+
+/// A cancel arriving mid-run (here: raised inside the step observer, the
+/// same checkpoint cadence a daemon's HTTP cancel hits) stops the run at
+/// the next checkpoint, leaving a partial trajectory that is a prefix of
+/// the uncancelled run's — the daemon acceptance criterion.
+#[test]
+fn mid_run_cancel_leaves_a_prefix_trajectory() {
+    let g = gnm(30, 70, 5);
+    let config = AnonymizeConfig::new(2, 0.0).with_seed(1);
+    let full = full_run(&g, config);
+    assert!(full.steps >= 4);
+
+    let control = RunControl::new();
+    let mut observer = CancelAfter { control: control.clone(), after: 2, seen: Vec::new() };
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+        .config(config)
+        .observer(&mut observer)
+        .control(control);
+    let out = session.run(Removal);
+    drop(session);
+
+    assert!(!out.achieved);
+    assert_eq!(out.steps, 2, "cancel after step 2 must land before step 3 commits");
+    assert_eq!(observer.seen.len(), 2);
+    assert_eq!(out.removed.as_slice(), &full.removed[..out.removed.len()], "prefix property");
+}
+
+/// The exact strategy honors the dynamic controls at its own checkpoints:
+/// cancellation between deepening levels prevents any commit.
+#[test]
+fn exact_strategy_polls_the_control() {
+    let g = gnm(8, 14, 2);
+    let control = RunControl::new();
+    control.cancel();
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs)
+        .config(AnonymizeConfig::new(1, 0.5).with_seed(1))
+        .control(control);
+    let out = session.run(ExactMinRemovals::default());
+    assert!(!out.achieved);
+    assert!(out.removed.is_empty());
+}

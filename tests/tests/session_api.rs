@@ -204,6 +204,58 @@ fn resumed_sweep_shares_work_across_thetas() {
     }
 }
 
+/// Regression (issue 7 satellite): `max_trials` is **one** budget for the
+/// whole resumed sweep, not a per-segment allowance that silently resets
+/// at each θ. A budget exhausted mid-segment must stop the sweep at
+/// exactly the trial count the equivalent standalone runs report, with
+/// the observer's per-run trial accounting agreeing on both sides.
+#[test]
+fn trial_budget_spans_resumed_sweep_segments_like_standalone_runs() {
+    let g = gnm(40, 90, 3);
+    let spec = TypeSpec::DegreePairs;
+    let thetas = [0.6, 0.4, 0.2];
+    for cap in [5u64, 20, 60, 150, 400] {
+        let config = AnonymizeConfig::new(2, 0.0).with_seed(11).with_max_trials(cap);
+        let mut sweep_counter = CountingObserver::default();
+        let mut session =
+            Anonymizer::new(&g, &spec).config(config).observer(&mut sweep_counter);
+        let runs = session.sweep(&thetas, Removal);
+        drop(session);
+        assert_eq!(sweep_counter.runs_finished, thetas.len(), "cap={cap}");
+
+        for run in &runs {
+            let mut standalone_cfg = config;
+            standalone_cfg.theta = run.theta;
+            let mut alone_counter = CountingObserver::default();
+            let mut alone_session =
+                Anonymizer::new(&g, &spec).config(standalone_cfg).observer(&mut alone_counter);
+            let alone = alone_session.run(Removal);
+            drop(alone_session);
+            assert_eq!(
+                run.outcome.trials, alone.trials,
+                "cap={cap} θ={}: sweep trial clock diverges from the standalone run",
+                run.theta
+            );
+            assert_eq!(
+                alone_counter.total_trials, alone.trials,
+                "cap={cap} θ={}: observer accounting disagrees with the outcome",
+                run.theta
+            );
+            assert_eq!(
+                run.outcome.removed, alone.removed,
+                "cap={cap} θ={}: edits diverge",
+                run.theta
+            );
+        }
+
+        // The observer's summed per-segment work is the sweep's cumulative
+        // clock, and the one shared budget is never overspent.
+        let total = runs.last().unwrap().outcome.trials;
+        assert_eq!(sweep_counter.total_trials, total, "cap={cap}");
+        assert!(total <= cap, "cap={cap}: the sweep overspent its budget ({total})");
+    }
+}
+
 /// The resumed sweep's final graph is byte-identical to a single-θ run at
 /// the strictest value — the invariant the CLI's `--theta 0.9,0.66,0.5`
 /// contract builds on.
