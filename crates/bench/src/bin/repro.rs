@@ -15,11 +15,13 @@
 //!   thm1                   3-SAT reduction demonstration
 //!   optgap                 greedy-vs-exact ablation (tiny instances)
 //!   sweep                  APSP-sharing multi-θ session sweep vs independent
+//!   compare                privacy models head-to-head at a matched budget
+//!                          (COMPARE.json + compare_models.csv)
 //!   all                    everything above
 //! ```
 
 use lopacity_bench::experiments::{
-    fig10, fig11_12, fig6, fig7, fig8, fig9, optgap, session_sweep, tables, thm1,
+    compare, fig10, fig11_12, fig6, fig7, fig8, fig9, optgap, session_sweep, tables, thm1,
 };
 use lopacity_bench::output::OutputSink;
 use lopacity_bench::Scale;
@@ -71,6 +73,7 @@ fn main() {
             "thm1" => thm1::run(scale, &sink, seed),
             "optgap" => optgap::run(scale, &sink, seed),
             "sweep" => session_sweep::run(scale, &sink, seed),
+            "compare" => compare::run(scale, &sink, seed),
             other => {
                 eprintln!("unknown experiment {other:?}; see --help text in the source header");
                 std::process::exit(2);
@@ -83,7 +86,7 @@ fn main() {
     let outcome = if experiment == "all" {
         [
             "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "thm1", "optgap", "sweep",
+            "thm1", "optgap", "sweep", "compare",
         ]
         .iter()
         .try_for_each(|name| run(name))

@@ -17,6 +17,7 @@ pub mod sweep;
 
 pub mod experiments {
     //! One module per paper table/figure.
+    pub mod compare;
     pub mod fig10;
     pub mod fig11_12;
     pub mod fig6;

@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! lopacify anonymize --in graph.txt --out anon.txt --l 2 --theta 0.5
-//!          [--method rem|rem-ins|exact|gaded-rand|gaded-max|gades]
-//!          [--lookahead N] [--seed N] [--max-steps N]
+//!          [--method rem|rem-ins|exact|gaded-rand|gaded-max|gades
+//!                   |k-degree|kl-adjacency] [--k N] [--ell N]
+//!          [--lookahead N] [--seed N] [--max-steps N] [--max-edits N]
 //!          [--parallelism auto|off|N] [--store auto|dense|sparse]
 //!          [--sweep-mode resume|independent]
+//! lopacify compare   --in graph.txt [--json COMPARE.json] [--csv FILE]
+//!          --l 2 --theta 0.5 [--k N] [--ell N] [--budget N]
+//!          [--ls 1,2,3] [--seed N] [--store auto|dense|sparse]
 //! lopacify churn     --in graph.txt --events events.txt --out live.txt
 //!          --l 2 --theta 0.5 [--method ...] [--batch N] [--seed N]
 //!          [--parallelism auto|off|N] [--store auto|dense|sparse]
 //! lopacify opacity   --in graph.txt --l 2 [--original orig.txt]
 //! lopacify stats     --in graph.txt
 //! lopacify generate  --dataset google --n 500 --out graph.txt [--seed N]
-//! lopacify serve     [--addr HOST:PORT] [--workers N] [--queue N]
+//! lopacify serve     [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS]
 //! ```
 //!
 //! Graphs are whitespace-separated edge lists (SNAP format); `#`/`%` lines
@@ -38,6 +42,7 @@ use lopacity::{
     RepairPatch, Removal, RemovalInsertion, StoreBackend, SweepMode, TypeSpec,
 };
 use lopacity_baselines::{gaded_max, gaded_rand, gades, Gades, GadedMax, GadedRand};
+use lopacity_models::{run_comparison, CompareSpec, KDegreeAnonymity, KLAdjacencyAnonymity};
 use lopacity_daemon::{Daemon, DaemonConfig};
 use lopacity_gen::Dataset;
 use lopacity_graph::{io as gio, Graph, GraphError};
@@ -73,6 +78,7 @@ fn main() {
     let command = args.positional(0).unwrap_or("").to_string();
     let result: Result<(), CliError> = match command.as_str() {
         "anonymize" => anonymize(&args).map_err(CliError::from),
+        "compare" => compare(&args),
         "churn" => churn(&args),
         "serve" => serve(&args).map_err(CliError::from),
         "opacity" => opacity(&args).map_err(CliError::from),
@@ -95,11 +101,18 @@ lopacify — linkage-aware graph anonymization (L-opacity, EDBT 2014)
 
 commands:
   anonymize --in FILE --out FILE --l N --theta X[,X2,...] [--method M]
-            [--lookahead N] [--seed N] [--max-steps N]
-            [--parallelism auto|off|N] [--store auto|dense|sparse]
-            [--sweep-mode resume|independent]
+            [--k N] [--ell N] [--lookahead N] [--seed N] [--max-steps N]
+            [--max-edits N] [--parallelism auto|off|N]
+            [--store auto|dense|sparse] [--sweep-mode resume|independent]
             methods: rem (default), rem-ins, exact (<= 25 edges),
-                     gaded-rand, gaded-max, gades
+                     gaded-rand, gaded-max, gades,
+                     k-degree, kl-adjacency
+            k-degree and kl-adjacency repair toward the rival anonymity
+            models (degree-sequence k-anonymity; (k,l)-adjacency
+            anonymity) through the same session; they take --k (default
+            2) and --ell (default 1), ignore theta for their verdict, and
+            exit 3 when their own certifier is not satisfied
+            max-edits caps the total edge edits (matched-budget runs)
             parallelism shards the candidate scan and the initial APSP
             build across worker threads; results are identical for every
             setting (default: auto)
@@ -123,23 +136,37 @@ commands:
             re-read and a violation triggers an in-place repair; one CSV
             row per batch on stdout, the final graph in --out, exit 3 if
             the stream ends uncertified
+  compare   --in FILE [--json FILE] [--csv FILE] --l N --theta X
+            [--k N] [--ell N] [--budget N] [--ls L1,L2,...] [--seed N]
+            [--store auto|dense|sparse]
+            runs every privacy model (L-opacity removal and
+            removal/insertion, k-degree, (k,l)-adjacency) on one graph at
+            a matched edit budget — taken from the unbudgeted L-opacity
+            removal run unless --budget overrides it — scores every
+            output with every model's certifier plus the utility suite,
+            writes COMPARE.json (default) and optionally --csv, and
+            prints a summary table on stdout; --ls adds budget-matched
+            L-opacity rows and certifier columns at extra L values
   opacity   --in FILE --l N [--original FILE] [--theta X]
   stats     --in FILE
   generate  --dataset D --n N --out FILE [--seed N]
             datasets: google, berkeley-stanford, epinions, enron, gnutella,
                       acm, wikipedia
-  serve     [--addr HOST:PORT] [--workers N] [--queue N]
+  serve     [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS]
             starts lopacityd, the anonymization daemon: jobs over HTTP with
             progress streaming, cooperative cancellation, per-job budgets,
             a shared (graph, L, engine) evaluator cache, and held churn
-            sessions (defaults: 127.0.0.1:7311, 2 workers, queue 32)
+            sessions (defaults: 127.0.0.1:7311, 2 workers, queue 32);
+            --job-ttl drops finished jobs SECS after completion (default:
+            keep forever)
 
 exit codes:
   0  success
   1  I/O failures (unreadable/unwritable files) and usage errors
   2  input parse errors (malformed edge lists or event streams)
-  3  theta lost: anonymize ended with maxLO > theta, or a churn stream
-     ended uncertified after repair
+  3  theta lost: anonymize ended with maxLO > theta (for the k-degree and
+     kl-adjacency methods: ended with their own certifier unsatisfied),
+     or a churn stream ended uncertified after repair
 ";
 
 fn load(args: &Args, key: &str) -> Result<Graph, String> {
@@ -189,7 +216,10 @@ fn anonymize(args: &Args) -> Result<(), String> {
         return Err("L must be at least 1".into());
     }
     let session_method = matches!(method, "rem" | "rem-ins" | "exact");
-    if !session_method && l != 1 {
+    // The rival models run through the session but never read distances,
+    // so any L is fine; baselines are pinned to L = 1.
+    let model_method = matches!(method, "k-degree" | "kl-adjacency");
+    if !session_method && !model_method && l != 1 {
         return Err("baseline methods support only --l 1".into());
     }
     if !session_method && thetas.len() > 1 {
@@ -240,6 +270,10 @@ fn anonymize(args: &Args) -> Result<(), String> {
     if cap > 0 {
         config = config.with_max_steps(cap);
     }
+    let edit_cap: usize = args.get_or("max-edits", 0)?;
+    if edit_cap > 0 {
+        config = config.with_max_edits(edit_cap);
+    }
 
     let spec = TypeSpec::DegreePairs;
     let mut session =
@@ -279,6 +313,10 @@ fn anonymize(args: &Args) -> Result<(), String> {
             "gaded-rand" => gaded_rand(&graph, theta, seed),
             "gaded-max" => gaded_max(&graph, theta),
             "gades" => gades(&graph, theta),
+            "k-degree" => session.run_once(KDegreeAnonymity::new(parse_k(args)?)),
+            "kl-adjacency" => {
+                session.run_once(KLAdjacencyAnonymity::new(parse_k(args)?, parse_ell(args)?))
+            }
             other => return Err(format!("unknown method {other:?}")),
         }
     };
@@ -289,8 +327,116 @@ fn anonymize(args: &Args) -> Result<(), String> {
     let utility = UtilityReport::compute(&graph, &outcome.graph);
     eprintln!("utility: {utility}");
     if !outcome.achieved {
-        eprintln!("warning: θ = {theta} was NOT reached (maxLO = {:.4})", outcome.final_lo);
+        if model_method {
+            eprintln!("warning: {method} anonymity was NOT reached");
+        } else {
+            eprintln!("warning: θ = {theta} was NOT reached (maxLO = {:.4})", outcome.final_lo);
+        }
         std::process::exit(3);
+    }
+    Ok(())
+}
+
+/// `--k` for the k-degree / (k,ℓ)-adjacency methods (default 2).
+fn parse_k(args: &Args) -> Result<usize, String> {
+    let k: usize = args.get_or("k", 2)?;
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    Ok(k)
+}
+
+/// `--ell` for the (k,ℓ)-adjacency method (default 1; patterns are
+/// tracked as 64-bit masks, and certification is O(|V|^ell)).
+fn parse_ell(args: &Args) -> Result<usize, String> {
+    let ell: usize = args.get_or("ell", 1)?;
+    if !(1..=64).contains(&ell) {
+        return Err("--ell must be in 1..=64".into());
+    }
+    Ok(ell)
+}
+
+/// `lopacify compare` — every privacy model on one graph at a matched
+/// edit budget; COMPARE.json (+ optional CSV) out, summary table on
+/// stdout. A comparison is a report, so it exits 0 even when some model
+/// fails to certify within the budget.
+fn compare(args: &Args) -> Result<(), CliError> {
+    let graph = load_classified(args, "in")?;
+    let l: u8 = args.get_or("l", 2)?;
+    if l == 0 {
+        return Err("L must be at least 1".into());
+    }
+    let theta: f64 = args.get_or("theta", 0.5)?;
+    if !(0.0..=1.0).contains(&theta) {
+        return Err(format!("theta {theta} out of [0, 1]").into());
+    }
+    let seed: u64 = args.get_or("seed", lopacity::config::DEFAULT_SEED)?;
+    let store: StoreBackend = match args.get("store") {
+        None => StoreBackend::Auto,
+        Some(raw) => raw.parse().map_err(|e| format!("--store: {e}"))?,
+    };
+    let mut spec = CompareSpec::new(l, theta, parse_k(args)?, parse_ell(args)?)
+        .with_seed(seed)
+        .with_store(store);
+    let budget: usize = args.get_or("budget", 0)?;
+    if budget > 0 {
+        spec = spec.with_budget(budget);
+    }
+    if let Some(raw) = args.get("ls") {
+        let mut ls = Vec::new();
+        for part in raw.split(',') {
+            let lx: u8 = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("--ls: {part:?} is not an L value"))?;
+            if lx == 0 {
+                return Err("--ls: L values must be at least 1".into());
+            }
+            ls.push(lx);
+        }
+        spec = spec.with_ls(&ls);
+    }
+
+    let report = run_comparison(&graph, &spec);
+
+    let json_path = args.get("json").unwrap_or("COMPARE.json");
+    std::fs::write(json_path, report.to_json())
+        .map_err(|e| format!("writing {json_path}: {e}"))?;
+    let mut written = json_path.to_string();
+    if let Some(csv_path) = args.get("csv") {
+        let mut csv = report.csv_header();
+        csv.push('\n');
+        for row in report.csv_rows() {
+            csv.push_str(&row);
+            csv.push('\n');
+        }
+        std::fs::write(csv_path, csv).map_err(|e| format!("writing {csv_path}: {e}"))?;
+        written.push_str(", ");
+        written.push_str(csv_path);
+    }
+
+    eprintln!(
+        "compared {} models on |V| = {} |E| = {} at budget {} -> {written}",
+        report.rows.len(),
+        report.vertices,
+        report.edges,
+        report.budget,
+    );
+    let leak_cols: Vec<String> =
+        report.certifiers.iter().map(|c| format!("leak[{c}]")).collect();
+    println!("model,achieved,removed,inserted,distortion,{}", leak_cols.join(","));
+    for row in &report.rows {
+        let leaks: Vec<String> =
+            row.cells.iter().map(|c| format!("{:.4}", c.leakage)).collect();
+        println!(
+            "{},{},{},{},{:.4},{}",
+            row.model,
+            row.achieved,
+            row.removed,
+            row.inserted,
+            row.utility.distortion,
+            leaks.join(","),
+        );
     }
     Ok(())
 }
@@ -469,6 +615,12 @@ fn serve(args: &Args) -> Result<(), String> {
         addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
         workers: args.get_or("workers", defaults.workers)?,
         queue_capacity: args.get_or("queue", defaults.queue_capacity)?,
+        job_ttl_secs: match args.get("job-ttl") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse().map_err(|_| format!("--job-ttl: {raw:?} is not a seconds count"))?,
+            ),
+        },
     };
     let daemon = Daemon::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
     println!("lopacityd listening on {}", daemon.addr());

@@ -143,3 +143,95 @@ fn help_lists_the_exit_codes() {
         assert!(text.contains(needle), "usage text missing {needle:?}");
     }
 }
+
+#[test]
+fn help_lists_the_rival_models_and_compare() {
+    let output = lopacify().arg("help").output().expect("run lopacify");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stderr);
+    for needle in ["k-degree", "kl-adjacency", "compare", "--budget"] {
+        assert!(text.contains(needle), "usage text missing {needle:?}");
+    }
+}
+
+/// A five-leaf star: its hub is alone in its degree class, so k-degree
+/// repair must insert edges before certifying.
+const STAR5: &str = "0 1\n0 2\n0 3\n0 4\n0 5\n";
+
+#[test]
+fn k_degree_repair_exits_0() {
+    let graph = scratch("kdeg-graph", STAR5);
+    let out = out_path("kdeg");
+    let status = lopacify()
+        .args(["anonymize", "--l", "1", "--theta", "1.0", "--method", "k-degree", "--k", "3"])
+        .arg("--in")
+        .arg(&graph)
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(0), "a feasible k-degree repair certifies");
+    assert!(out.exists(), "the anonymized graph is written");
+}
+
+#[test]
+fn budget_starved_k_degree_repair_exits_3() {
+    let graph = scratch("kdeg3-graph", STAR5);
+    let status = lopacify()
+        .args([
+            "anonymize", "--l", "1", "--theta", "1.0", "--method", "k-degree", "--k", "3",
+            "--max-edits", "1",
+        ])
+        .arg("--in")
+        .arg(&graph)
+        .arg("--out")
+        .arg(out_path("kdeg3"))
+        .status()
+        .expect("run lopacify");
+    assert_eq!(
+        status.code(),
+        Some(3),
+        "one edit cannot reach 3-degree anonymity on the star: the model's \
+         certifier (not theta) decides the verdict"
+    );
+}
+
+#[test]
+fn kl_adjacency_repair_exits_0() {
+    let graph = scratch("kladj-graph", STAR5);
+    let status = lopacify()
+        .args(["anonymize", "--l", "1", "--theta", "1.0", "--method", "kl-adjacency", "--k", "2"])
+        .arg("--in")
+        .arg(&graph)
+        .arg("--out")
+        .arg(out_path("kladj"))
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(0), "a feasible (2,1)-adjacency repair certifies");
+}
+
+#[test]
+fn compare_writes_the_report_and_exits_0() {
+    let graph = scratch("cmp-graph", STAR5);
+    let json = out_path("cmp-json");
+    let csv = out_path("cmp-csv");
+    let output = lopacify()
+        .args(["compare", "--l", "1", "--theta", "0.5", "--k", "2", "--ell", "1"])
+        .arg("--in")
+        .arg(&graph)
+        .arg("--json")
+        .arg(&json)
+        .arg("--csv")
+        .arg(&csv)
+        .output()
+        .expect("run lopacify");
+    assert_eq!(output.status.code(), Some(0), "a comparison is a report, never exit 3");
+    let report = std::fs::read_to_string(&json).expect("COMPARE.json written");
+    for needle in ["\"l-opacity-rem\"", "\"k-degree\"", "\"kl-adjacency\"", "\"budget\""] {
+        assert!(report.contains(needle), "COMPARE.json missing {needle}");
+    }
+    let table = std::fs::read_to_string(&csv).expect("CSV written");
+    assert!(table.starts_with("model,"), "CSV has the fixed header");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("l-opacity-rem-ins"), "summary table on stdout");
+}

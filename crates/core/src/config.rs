@@ -53,6 +53,16 @@ pub struct AnonymizeConfig {
     /// ~90,000-second runs for Rem-Ins la=2 at 1000 vertices; this knob
     /// bounds such runs, which end `achieved: false` either way.
     pub max_trials: Option<u64>,
+    /// Edit budget: stop once this many *net* edge edits (removals +
+    /// insertions, after cancellation) have been committed (`None` =
+    /// unbounded). This is the matched-budget knob of the cross-model
+    /// comparison harness: every privacy model is granted the same number
+    /// of edits, so utility differences are attributable to the model, not
+    /// to how much it was allowed to change the graph. Checked at the same
+    /// step boundaries as `max_steps`, so the final step may overshoot by
+    /// at most one step's worth of edits minus one (`phases * la - 1`,
+    /// e.g. `2*la - 1` for removal/insertion).
+    pub max_edits: Option<usize>,
     /// Engine for the initial all-pairs computation.
     pub engine: ApspEngine,
     /// Worker threads for the single-edge candidate scan (the hot loop of
@@ -92,6 +102,7 @@ impl AnonymizeConfig {
             seed: DEFAULT_SEED,
             max_steps: None,
             max_trials: None,
+            max_edits: None,
             engine: ApspEngine::default(),
             parallelism: Parallelism::default(),
             store: StoreBackend::default(),
@@ -133,6 +144,12 @@ impl AnonymizeConfig {
     /// Sets the candidate-evaluation budget.
     pub fn with_max_trials(mut self, trials: u64) -> Self {
         self.max_trials = Some(trials);
+        self
+    }
+
+    /// Sets the edge-edit budget (matched-budget model comparisons).
+    pub fn with_max_edits(mut self, edits: usize) -> Self {
+        self.max_edits = Some(edits);
         self
     }
 
@@ -199,11 +216,13 @@ mod tests {
             .with_lookahead(2)
             .with_mode(LookaheadMode::Exhaustive)
             .with_seed(7)
-            .with_max_steps(100);
+            .with_max_steps(100)
+            .with_max_edits(40);
         assert_eq!(c.lookahead, 2);
         assert_eq!(c.lookahead_mode, LookaheadMode::Exhaustive);
         assert_eq!(c.seed, 7);
         assert_eq!(c.max_steps, Some(100));
+        assert_eq!(c.max_edits, Some(40));
     }
 
     #[test]

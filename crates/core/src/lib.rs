@@ -112,6 +112,10 @@
 //!   detection, and certified [`RepairPatch`] emission;
 //! * [`strategy`] — the [`Strategy`] / [`GreedyPolicy`] traits, the shared
 //!   greedy driver, and the three built-in strategies;
+//! * [`model`] — the [`PrivacyModel`] trait (certify / violations /
+//!   repair) that lets rival anonymity notions — `crates/models`'
+//!   k-degree and (k,ℓ)-adjacency anonymity — run behind the same
+//!   session, plus [`LOpacity`], the paper's notion as a model;
 //! * [`progress`] — [`ProgressObserver`] and the step-event types;
 //! * [`types`] — vertex-pair type systems: the paper's default
 //!   (*original-degree pairs*) plus explicit pair sets (used by the 3-SAT
@@ -132,6 +136,7 @@ pub mod control;
 pub mod evaluator;
 mod forks;
 pub mod lo;
+pub mod model;
 pub mod opacity;
 pub mod optimal;
 pub mod progress;
@@ -150,10 +155,11 @@ pub use evaluator::{BatchDelta, CommitDelta, OpacityEvaluator};
 pub use lo::LoAssessment;
 pub use lopacity_apsp::StoreBackend;
 pub use lopacity_util::Parallelism;
+pub use model::{LOpacity, PrivacyModel};
 pub use opacity::{opacity_report, OpacityReport};
 pub use progress::{CountingObserver, NoOpObserver, ProgressObserver, RunInfo, StepEvent};
 pub use result::AnonymizationOutcome;
-pub use session::{Anonymizer, RunContext, SweepMode, SweepRun};
+pub use session::{Anonymizer, LSweepRun, RunContext, SweepMode, SweepRun};
 pub use strategy::{
     drive_greedy, ExactMinRemovals, GreedyPolicy, MoveKind, Removal, RemovalInsertion, Strategy,
 };

@@ -1,0 +1,226 @@
+//! The [`PrivacyModel`] trait: competing anonymity notions behind one
+//! session.
+//!
+//! L-opacity exists because distance-based linkage defeats simpler
+//! anonymity notions — a claim that is only testable when the rival
+//! notions are runnable side by side. A [`PrivacyModel`] packages one such
+//! notion as three capabilities:
+//!
+//! 1. **certify** — decide whether a graph satisfies the model;
+//! 2. **violations** — count the unmet constraints (0 ⇔ certified), so
+//!    partially-repaired graphs are comparable;
+//! 3. **repair** — hand back a [`Strategy`] that drives a graph toward
+//!    the model through the ordinary [`crate::Anonymizer`] session, so
+//!    the greedy driver, [`crate::ProgressObserver`] streaming,
+//!    [`crate::RunControl`] cancellation, and the persistent-fork
+//!    machinery are reused unchanged.
+//!
+//! Plus a scalar **leakage** score used by the cross-model comparison
+//! harness ("does the k-degree-anonymous output still leak under
+//! L-opacity at θ?"): for L-opacity it is `maxLO`; counting models report
+//! the violating fraction of their constraint space.
+//!
+//! The crate ships the [`LOpacity`] model (the paper's own notion);
+//! degree-sequence k-anonymity and (k,ℓ)-adjacency anonymity live in
+//! `crates/models`, which implements this trait for each.
+
+use crate::opacity::{opacity_report, opacity_report_against_original, OpacityReport};
+use crate::strategy::{Removal, RemovalInsertion, Strategy};
+use crate::types::TypeSpec;
+use lopacity_graph::Graph;
+
+/// Float slack for per-type opacity comparisons; matches the tolerance the
+/// doc examples use when checking `maxLO <= θ` on `f64` values.
+const EPS: f64 = 1e-12;
+
+/// One anonymity notion: certifier, violation counter, and repair policy.
+///
+/// Object-safe — the comparison harness holds `Box<dyn PrivacyModel>`
+/// values and scores every model's output with every *other* model's
+/// certifier.
+pub trait PrivacyModel {
+    /// Short stable identifier (CSV columns, JSON keys, CLI labels).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable label including the model's parameters,
+    /// e.g. `l-opacity-rem(L=2, theta=0.50)`.
+    fn label(&self) -> String;
+
+    /// Number of unmet constraints in `graph`; 0 means certified. The
+    /// constraint granularity is model-specific (L-opacity: over-θ types;
+    /// k-degree: vertices in undersized degree classes) — comparable
+    /// within a model across graphs, not across models.
+    fn violations(&self, graph: &Graph) -> u64;
+
+    /// Whether `graph` satisfies the model.
+    fn certify(&self, graph: &Graph) -> bool {
+        self.violations(graph) == 0
+    }
+
+    /// Scalar leakage in `[0, 1]`: how exposed `graph` is under this
+    /// model's adversary (0 = fully protected). Unlike
+    /// [`PrivacyModel::violations`], this is designed for *cross*-model
+    /// comparison columns.
+    fn leakage(&self, graph: &Graph) -> f64;
+
+    /// A fresh repair policy for this model, runnable by
+    /// [`crate::Anonymizer::run`] like any other [`Strategy`]. Repairs
+    /// declare their own verdict via `RunContext::declare_achieved`, so
+    /// the outcome's `achieved` field reflects *this* model's certifier.
+    fn repair_strategy(&self) -> Box<dyn Strategy>;
+}
+
+/// The paper's own notion as a [`PrivacyModel`]: a graph passes when
+/// `maxLO <= θ` at the configured L.
+///
+/// Certification follows the publication model when an original graph is
+/// attached ([`LOpacity::against_original`]): vertex-pair types are built
+/// from the *original* degrees (published alongside the anonymized graph),
+/// distances are measured on the graph under test. Without an original the
+/// graph under test supplies both — the right reading for certifying an
+/// unedited input.
+#[derive(Debug, Clone)]
+pub struct LOpacity {
+    spec: TypeSpec,
+    l: u8,
+    theta: f64,
+    insertion: bool,
+    original: Option<Graph>,
+}
+
+impl LOpacity {
+    /// L-opacity repaired by greedy edge removal (Algorithm 4).
+    pub fn removal(spec: TypeSpec, l: u8, theta: f64) -> Self {
+        assert!(l >= 1, "L must be at least 1");
+        assert!((0.0..=1.0).contains(&theta), "theta = {theta} out of [0, 1]");
+        LOpacity { spec, l, theta, insertion: false, original: None }
+    }
+
+    /// L-opacity repaired by greedy removal/insertion (Algorithm 5).
+    pub fn removal_insertion(spec: TypeSpec, l: u8, theta: f64) -> Self {
+        LOpacity { insertion: true, ..Self::removal(spec, l, theta) }
+    }
+
+    /// Certify against `original`'s published degrees (the paper's
+    /// publication model) instead of the graph under test's own.
+    pub fn against_original(mut self, original: &Graph) -> Self {
+        self.original = Some(original.clone());
+        self
+    }
+
+    /// The configured path-length threshold L.
+    pub fn l(&self) -> u8 {
+        self.l
+    }
+
+    /// The configured confidence threshold θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn report(&self, graph: &Graph) -> OpacityReport {
+        match &self.original {
+            Some(original) => {
+                opacity_report_against_original(original, graph, &self.spec, self.l)
+            }
+            None => opacity_report(graph, &self.spec, self.l),
+        }
+    }
+}
+
+impl PrivacyModel for LOpacity {
+    fn name(&self) -> &'static str {
+        if self.insertion {
+            "l-opacity-rem-ins"
+        } else {
+            "l-opacity-rem"
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}(L={}, theta={:.2})", self.name(), self.l, self.theta)
+    }
+
+    fn violations(&self, graph: &Graph) -> u64 {
+        self.report(graph)
+            .per_type
+            .iter()
+            .filter(|row| row.lo > self.theta + EPS)
+            .count() as u64
+    }
+
+    fn leakage(&self, graph: &Graph) -> f64 {
+        self.report(graph).max_lo.as_f64()
+    }
+
+    fn repair_strategy(&self) -> Box<dyn Strategy> {
+        if self.insertion {
+            Box::new(RemovalInsertion::default())
+        } else {
+            Box::new(Removal)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnonymizeConfig;
+    use crate::session::Anonymizer;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4), (4, 5), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn l_opacity_model_certifies_like_the_report() {
+        let g = paper_graph();
+        let model = LOpacity::removal(TypeSpec::DegreePairs, 1, 0.5);
+        // Figure 5c: maxLO = 1 at L = 1, with P{1,3} and P{4,4} saturated
+        // and P{2,4}, P{3,4} at 2/3 — four types above θ = 0.5.
+        assert!(!model.certify(&g));
+        assert_eq!(model.violations(&g), 4);
+        assert_eq!(model.leakage(&g), 1.0);
+        // θ = 1 accepts anything.
+        let lax = LOpacity::removal(TypeSpec::DegreePairs, 1, 1.0);
+        assert!(lax.certify(&g));
+        assert_eq!(lax.violations(&g), 0);
+    }
+
+    #[test]
+    fn repair_strategy_runs_through_the_session_and_certifies() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let model = LOpacity::removal(spec.clone(), 1, 0.5).against_original(&g);
+        let mut session =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5).with_seed(1));
+        let outcome = session.run(model.repair_strategy());
+        assert!(outcome.achieved);
+        assert!(model.certify(&outcome.graph), "publication-model certification");
+        assert!(model.leakage(&outcome.graph) <= 0.5 + EPS);
+    }
+
+    #[test]
+    fn boxed_strategies_match_unboxed_runs() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5).with_seed(2));
+        let unboxed = session.run(Removal);
+        let boxed: Box<dyn Strategy> = Box::new(Removal);
+        let via_box = session.run(boxed);
+        assert_eq!(unboxed.removed, via_box.removed);
+        assert_eq!(unboxed.graph, via_box.graph);
+    }
+
+    #[test]
+    fn labels_carry_the_parameters() {
+        let model = LOpacity::removal_insertion(TypeSpec::DegreePairs, 2, 0.5);
+        assert_eq!(model.name(), "l-opacity-rem-ins");
+        assert_eq!(model.label(), "l-opacity-rem-ins(L=2, theta=0.50)");
+    }
+}

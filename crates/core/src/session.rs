@@ -90,6 +90,19 @@ pub struct SweepRun {
     pub secs: f64,
 }
 
+/// One L cell of an [`Anonymizer::l_sweep`].
+#[derive(Debug, Clone)]
+pub struct LSweepRun {
+    /// The path-length threshold this cell ran at.
+    pub l: u8,
+    /// The standalone outcome of the run at this L (each L restarts from
+    /// the original graph with a fresh `config.seed` RNG).
+    pub outcome: AnonymizationOutcome,
+    /// Wall-clock seconds spent on this L (evaluator build included when
+    /// this L's build was not already cached).
+    pub secs: f64,
+}
+
 /// Mutable run counters shared by every strategy execution (also the
 /// repair bookkeeping of [`crate::churn::ChurnSession`], which snapshots
 /// them into a `RepairPatch` instead of an outcome).
@@ -99,6 +112,11 @@ pub(crate) struct RunTotals {
     pub(crate) trials: u64,
     pub(crate) removed: Vec<Edge>,
     pub(crate) inserted: Vec<Edge>,
+    /// Set by [`RunContext::declare_achieved`]: a strategy pursuing an
+    /// objective other than `maxLO <= θ` (the `crates/models` privacy
+    /// models) overrides the outcome's `achieved` verdict with its own
+    /// certifier's. `None` keeps the L-opacity default.
+    pub(crate) achieved_override: Option<bool>,
 }
 
 impl RunTotals {
@@ -118,7 +136,7 @@ impl RunTotals {
             trials: self.trials,
             final_lo: a.as_f64(),
             final_n_at_max: a.n_at_max(),
-            achieved: a.satisfies(theta),
+            achieved: self.achieved_override.unwrap_or_else(|| a.satisfies(theta)),
             fork_clones,
         }
     }
@@ -179,11 +197,12 @@ impl RunContext<'_> {
         self.ev.assessment().satisfies(self.config.theta)
     }
 
-    /// Whether the step or trial budget is spent (checked by the greedy
-    /// driver at the top of every step, like Algorithms 4/5 do).
+    /// Whether the step, trial, or edit budget is spent (checked by the
+    /// greedy driver at the top of every step, like Algorithms 4/5 do).
     pub fn out_of_budget(&self) -> bool {
         self.config.max_steps.is_some_and(|cap| self.totals.steps >= cap)
             || self.config.max_trials.is_some_and(|cap| self.totals.trials >= cap)
+            || self.config.max_edits.is_some_and(|cap| self.edits() >= cap)
     }
 
     /// Whether the attached [`RunControl`] (if any) asks this run to stop:
@@ -213,6 +232,22 @@ impl RunContext<'_> {
     /// Candidate evaluations so far (cumulative across resumed segments).
     pub fn trials(&self) -> u64 {
         self.totals.trials
+    }
+
+    /// Net edge edits committed so far (removals + insertions after
+    /// cancellation) — the quantity [`AnonymizeConfig::max_edits`] caps.
+    pub fn edits(&self) -> usize {
+        self.totals.removed.len() + self.totals.inserted.len()
+    }
+
+    /// Overrides the outcome's `achieved` verdict. The session's default
+    /// verdict is the L-opacity one (`maxLO <= θ`); strategies that pursue
+    /// a different privacy objective — the `crates/models` plug-ins —
+    /// declare their own certifier's verdict here before returning, so
+    /// `AnonymizationOutcome::achieved` is truthful for every model. The
+    /// last declaration of a run (or resumed sweep) wins.
+    pub fn declare_achieved(&mut self, achieved: bool) {
+        self.totals.achieved_override = Some(achieved);
     }
 
     /// Adds search work performed outside [`RunContext::select`] (e.g.
@@ -304,12 +339,18 @@ impl RunContext<'_> {
     }
 }
 
-/// Cached evaluator build, reused while `(l, engine, store)` stay put.
+/// One cached evaluator build, keyed by `(l, engine, store)`.
 struct Prepared {
     l: u8,
     engine: ApspEngine,
     store: lopacity_apsp::StoreBackend,
     ev: OpacityEvaluator,
+}
+
+impl Prepared {
+    fn matches(&self, l: u8, engine: ApspEngine, store: lopacity_apsp::StoreBackend) -> bool {
+        self.l == l && self.engine == engine && self.store == store
+    }
 }
 
 /// An anonymization session over one graph and type spec.
@@ -325,8 +366,16 @@ pub struct Anonymizer<'a> {
     config: AnonymizeConfig,
     sweep_mode: SweepMode,
     observer: Option<&'a mut dyn ProgressObserver>,
-    cache: Option<Prepared>,
+    /// Every build this session has paid for, keyed by `(l, engine,
+    /// store)`. Revisiting a key — an [`Anonymizer::l_sweep`] passing over
+    /// the same L values twice, or a comparison harness alternating
+    /// between models at different L — reuses the entry instead of
+    /// rebuilding. The set of distinct keys a session touches is small
+    /// (L is a u8 and real sweeps use a handful of values), so no
+    /// eviction is needed.
+    cache: Vec<Prepared>,
     control: Option<RunControl>,
+    builds: u64,
 }
 
 impl<'a> Anonymizer<'a> {
@@ -340,8 +389,9 @@ impl<'a> Anonymizer<'a> {
             config: AnonymizeConfig::new(1, 0.5),
             sweep_mode: SweepMode::default(),
             observer: None,
-            cache: None,
+            cache: Vec::new(),
             control: None,
+            builds: 0,
         }
     }
 
@@ -352,8 +402,11 @@ impl<'a> Anonymizer<'a> {
     }
 
     /// Sets the run configuration in place. Changing `l`, `engine`, or
-    /// the store backend invalidates the cached evaluator; everything
-    /// else (θ, seed, look-ahead, budgets, parallelism) reuses it.
+    /// the store backend selects (or lazily creates) a different cached
+    /// evaluator build; everything else (θ, seed, look-ahead, budgets,
+    /// parallelism) reuses the current one. Builds are never discarded by
+    /// reconfiguration, so flipping back to an earlier `(l, engine,
+    /// store)` is free.
     pub fn set_config(&mut self, config: AnonymizeConfig) {
         self.config = config;
     }
@@ -433,22 +486,24 @@ impl<'a> Anonymizer<'a> {
     /// [`lopacity_apsp::ApspEngine::compute_with`]).
     fn prepared(&mut self) -> &OpacityEvaluator {
         let (l, engine, store) = (self.config.l, self.config.engine, self.config.store);
-        let stale = match &self.cache {
-            Some(p) => p.l != l || p.engine != engine || p.store != store,
-            None => true,
+        let hit = self.cache.iter().position(|p| p.matches(l, engine, store));
+        let index = match hit {
+            Some(index) => index,
+            None => {
+                let ev = OpacityEvaluator::with_options(
+                    self.graph.clone(),
+                    self.spec,
+                    l,
+                    engine,
+                    self.config.parallelism,
+                    store,
+                );
+                self.builds += 1;
+                self.cache.push(Prepared { l, engine, store, ev });
+                self.cache.len() - 1
+            }
         };
-        if stale {
-            let ev = OpacityEvaluator::with_options(
-                self.graph.clone(),
-                self.spec,
-                l,
-                engine,
-                self.config.parallelism,
-                store,
-            );
-            self.cache = Some(Prepared { l, engine, store, ev });
-        }
-        let prepared = self.cache.as_mut().expect("cache just ensured");
+        let prepared = &mut self.cache[index];
         // The knob also gates the evaluator's *runtime* per-commit
         // sharding, so a reused build must pick up the current config —
         // an evaluator built under Fixed(8) serving a run reconfigured to
@@ -475,9 +530,8 @@ impl<'a> Anonymizer<'a> {
     /// exactly the cost profile of the historical free functions (which
     /// are thin wrappers over this). Output is identical to `run`.
     pub fn run_once<S: Strategy>(mut self, strategy: S) -> AnonymizationOutcome {
-        self.prepared();
-        let prepared = self.cache.take().expect("prepared() populates the cache");
-        self.run_on(prepared.ev, strategy)
+        let ev = self.take_prepared();
+        self.run_on(ev, strategy)
     }
 
     /// Shared tail of `run`/`run_once`: drive `strategy` over `ev`.
@@ -542,6 +596,32 @@ impl<'a> Anonymizer<'a> {
         runs
     }
 
+    /// Drives `strategy` across several path-length thresholds L at the
+    /// session's configured θ — the L axis of the paper's Figures 10–12,
+    /// and the leakage axis of the cross-model comparison harness. Every
+    /// L runs independently from the original graph (L changes the
+    /// *objective*, so resuming one L's edits into the next would conflate
+    /// them), but all runs share the session's keyed build cache: the
+    /// first pass pays one evaluator build per distinct L, any repeat
+    /// visit — a second sweep, or interleaved `set_config` calls — pays
+    /// zero (asserted via [`Anonymizer::builds`] in the session tests).
+    /// The session's configured L is restored afterwards.
+    pub fn l_sweep<S: Strategy + Clone>(&mut self, ls: &[u8], strategy: S) -> Vec<LSweepRun> {
+        let saved_l = self.config.l;
+        let runs = ls
+            .iter()
+            .map(|&l| {
+                assert!(l >= 1, "L must be at least 1");
+                self.config.l = l;
+                let start = std::time::Instant::now();
+                let outcome = self.run(strategy.clone());
+                LSweepRun { l, outcome, secs: start.elapsed().as_secs_f64() }
+            })
+            .collect();
+        self.config.l = saved_l;
+        runs
+    }
+
     fn sweep_resumed<S: Strategy>(&mut self, order: &[f64], mut strategy: S) -> Vec<SweepRun> {
         let base = self.config;
         let mut ev = self.prepared().clone();
@@ -600,7 +680,13 @@ impl<'a> Anonymizer<'a> {
     /// entry point, which adopts the build as its long-lived working state.
     pub(crate) fn take_prepared(&mut self) -> OpacityEvaluator {
         self.prepared();
-        self.cache.take().expect("prepared() populates the cache").ev
+        let (l, engine, store) = (self.config.l, self.config.engine, self.config.store);
+        let index = self
+            .cache
+            .iter()
+            .position(|p| p.matches(l, engine, store))
+            .expect("prepared() populates the cache");
+        self.cache.swap_remove(index).ev
     }
 
     /// Seeds the session's build cache with an externally held pristine
@@ -625,12 +711,17 @@ impl<'a> Anonymizer<'a> {
             ev.l(),
             self.config.l
         );
-        self.cache = Some(Prepared {
-            l: self.config.l,
-            engine: self.config.engine,
-            store: self.config.store,
-            ev,
-        });
+        let (l, engine, store) = (self.config.l, self.config.engine, self.config.store);
+        self.cache.retain(|p| !p.matches(l, engine, store));
+        self.cache.push(Prepared { l, engine, store, ev });
+    }
+
+    /// Number of evaluator builds this session has paid for — the cost the
+    /// `(l, engine, store)` cache amortizes. An [`Anonymizer::l_sweep`]
+    /// over `k` distinct L values costs `k` builds the first time and zero
+    /// on any repeat pass.
+    pub fn builds(&self) -> u64 {
+        self.builds
     }
 }
 
@@ -755,6 +846,98 @@ mod tests {
             Parallelism::Off,
             "cache reuse must refresh the runtime parallelism budget"
         );
+    }
+
+    /// The keyed build cache: alternating between two L values must pay
+    /// for exactly two builds no matter how often the session flips, and
+    /// a repeated `l_sweep` over the same L values must add zero builds.
+    #[test]
+    fn build_cache_is_keyed_not_last_value_only() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session = Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5));
+        session.initial_assessment();
+        session.set_config(AnonymizeConfig::new(2, 0.5));
+        session.initial_assessment();
+        session.set_config(AnonymizeConfig::new(1, 0.5));
+        session.initial_assessment();
+        assert_eq!(session.builds(), 2, "flipping back to L = 1 must hit the cache");
+
+        let first = session.l_sweep(&[1, 2, 3], Removal);
+        assert_eq!(session.builds(), 3, "sweep adds only the unseen L = 3 build");
+        let second = session.l_sweep(&[1, 2, 3], Removal);
+        assert_eq!(session.builds(), 3, "a repeat sweep is build-free");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.l, b.l);
+            assert_eq!(a.outcome.removed, b.outcome.removed, "L = {} not reproducible", a.l);
+        }
+    }
+
+    /// `l_sweep` runs each L standalone: outcomes equal per-L `run` calls
+    /// and the session's configured L is restored afterwards.
+    #[test]
+    fn l_sweep_matches_standalone_runs() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5).with_seed(9));
+        let sweep = session.l_sweep(&[2, 1], Removal);
+        assert_eq!(session.current_config().l, 1, "configured L restored");
+        for cell in &sweep {
+            session.set_config(AnonymizeConfig::new(cell.l, 0.5).with_seed(9));
+            let standalone = session.run(Removal);
+            assert_eq!(cell.outcome.removed, standalone.removed, "L = {}", cell.l);
+            assert_eq!(cell.outcome.graph, standalone.graph, "L = {}", cell.l);
+        }
+    }
+
+    /// The edit budget stops a run at the step boundary after the cap is
+    /// reached and reports `achieved: false` when θ was not yet met.
+    #[test]
+    fn max_edits_caps_the_run() {
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        let mut session =
+            Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5).with_seed(1));
+        let free = session.run(Removal);
+        assert!(free.achieved && free.edits() >= 2, "baseline needs >= 2 edits: {free}");
+
+        session.set_config(
+            AnonymizeConfig::new(1, 0.5).with_seed(1).with_max_edits(1),
+        );
+        let capped = session.run(Removal);
+        assert!(!capped.achieved);
+        assert_eq!(capped.edits(), 1, "la = 1 commits exactly one edit per step");
+        assert_eq!(
+            capped.removed,
+            free.removed[..1],
+            "a budgeted run is a prefix of the unbudgeted one"
+        );
+    }
+
+    /// `declare_achieved` overrides the outcome verdict in both directions.
+    #[test]
+    fn declared_achievement_overrides_the_theta_verdict() {
+        struct Declare(bool);
+        impl Strategy for Declare {
+            fn name(&self) -> &'static str {
+                "declare"
+            }
+            fn execute(&mut self, ctx: &mut RunContext<'_>) {
+                ctx.declare_achieved(self.0);
+            }
+        }
+        let g = paper_graph();
+        let spec = TypeSpec::DegreePairs;
+        // θ = 1 is trivially satisfied; a strategy declaring failure wins.
+        let mut session = Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 1.0));
+        assert!(!session.run(Declare(false)).achieved);
+        // θ = 0 is unmet; a strategy declaring success wins.
+        session.set_config(AnonymizeConfig::new(1, 0.0));
+        assert!(session.run(Declare(true)).achieved);
+        // Without a declaration the θ verdict stands.
+        session.set_config(AnonymizeConfig::new(1, 1.0));
+        assert!(session.run(Removal).achieved);
     }
 
     #[test]

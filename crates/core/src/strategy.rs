@@ -46,6 +46,19 @@ pub trait Strategy {
     fn execute(&mut self, ctx: &mut RunContext<'_>);
 }
 
+/// Boxed strategies are strategies: lets [`crate::model::PrivacyModel`]
+/// implementations hand `Box<dyn Strategy>` repair policies straight to
+/// [`crate::Anonymizer::run`] without an unboxing shim.
+impl Strategy for Box<dyn Strategy + '_> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn execute(&mut self, ctx: &mut RunContext<'_>) {
+        (**self).execute(ctx)
+    }
+}
+
 /// Per-phase policy of one greedy step — everything that distinguished
 /// Algorithm 4 from Algorithm 5.
 pub trait GreedyPolicy {

@@ -7,12 +7,15 @@ const USAGE: &str = "\
 lopacityd - L-opacity anonymization daemon
 
 USAGE:
-    lopacityd [--addr HOST:PORT] [--workers N] [--queue N]
+    lopacityd [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS]
 
 OPTIONS:
     --addr HOST:PORT   bind address (default 127.0.0.1:7311; port 0 picks a free port)
     --workers N        job worker threads (default 2)
     --queue N          queued-job cap; excess submissions get 429 (default 32)
+    --job-ttl SECS     drop finished jobs (results, logs, held churn sessions)
+                       SECS after they finish; counted in the
+                       lopacityd_jobs_expired metric (default: keep forever)
 
 ENDPOINTS:
     POST /jobs                submit a job spec (see crate docs for the format)
@@ -39,7 +42,7 @@ fn main() {
 
 fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv.iter().map(String::as_str));
-    let unknown = args.unknown_keys(&["addr", "workers", "queue"]);
+    let unknown = args.unknown_keys(&["addr", "workers", "queue", "job-ttl"]);
     if !unknown.is_empty() {
         return Err(format!("unknown option --{} (see --help)", unknown[0]));
     }
@@ -48,6 +51,12 @@ fn run(argv: &[String]) -> Result<(), String> {
         addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
         workers: args.get_or("workers", defaults.workers)?,
         queue_capacity: args.get_or("queue", defaults.queue_capacity)?,
+        job_ttl_secs: match args.get("job-ttl") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse().map_err(|_| format!("--job-ttl: {raw:?} is not a seconds count"))?,
+            ),
+        },
     };
     let daemon = Daemon::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
     println!("lopacityd listening on {}", daemon.addr());

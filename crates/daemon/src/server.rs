@@ -36,11 +36,20 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Queued-job cap; submissions beyond it get `429`.
     pub queue_capacity: usize,
+    /// Finished-job retention in seconds: expired jobs (results, progress
+    /// logs, held churn sessions) are garbage-collected and counted in
+    /// `lopacityd_jobs_expired`. `None` keeps them forever.
+    pub job_ttl_secs: Option<u64>,
 }
 
 impl Default for DaemonConfig {
     fn default() -> DaemonConfig {
-        DaemonConfig { addr: "127.0.0.1:7311".to_string(), workers: 2, queue_capacity: 32 }
+        DaemonConfig {
+            addr: "127.0.0.1:7311".to_string(),
+            workers: 2,
+            queue_capacity: 32,
+            job_ttl_secs: None,
+        }
     }
 }
 
@@ -58,7 +67,10 @@ impl Daemon {
     pub fn bind(config: &DaemonConfig) -> std::io::Result<Daemon> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let state = ServerState::new(config.queue_capacity);
+        let state = ServerState::with_job_ttl(
+            config.queue_capacity,
+            config.job_ttl_secs.map(Duration::from_secs),
+        );
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let state = Arc::clone(&state);

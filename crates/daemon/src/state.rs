@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use lopacity::{
     AnonymizationOutcome, Anonymizer, ChurnSession, EdgeEvent, ExactMinRemovals,
@@ -49,6 +50,8 @@ pub struct Metrics {
     pub churn_events_applied: AtomicU64,
     /// Repairs triggered by churn batches that broke certification.
     pub churn_repairs: AtomicU64,
+    /// Finished jobs garbage-collected after outliving the job TTL.
+    pub jobs_expired: AtomicU64,
     /// Workers currently inside a job (gauge).
     pub workers_busy: AtomicU64,
 }
@@ -110,6 +113,9 @@ pub struct Job {
     /// Progress lines appended live by the run's observer; clients poll
     /// `GET /jobs/<id>/progress?since=K`.
     progress: Mutex<Vec<String>>,
+    /// When the job reached a terminal phase — the GC clock for the job
+    /// TTL ([`ServerState::gc_expired`]). `None` while queued/running.
+    finished_at: Mutex<Option<Instant>>,
 }
 
 impl Job {
@@ -128,6 +134,18 @@ impl Job {
         let mut status = self.status.lock().expect("job status lock");
         status.phase = phase;
         status.summary = summary;
+        drop(status);
+        if phase.finished() {
+            *self.finished_at.lock().expect("job finished_at lock") = Some(Instant::now());
+        }
+    }
+
+    /// Whether the job finished more than `ttl` ago.
+    fn expired(&self, ttl: Duration) -> bool {
+        self.finished_at
+            .lock()
+            .expect("job finished_at lock")
+            .is_some_and(|at| at.elapsed() >= ttl)
     }
 
     fn push_progress(&self, line: String) {
@@ -203,11 +221,20 @@ pub struct ServerState {
     /// batches are cheap relative to APSP builds, and churn jobs are
     /// expected to be few and long-lived.
     churn: Mutex<HashMap<u64, ChurnSession>>,
+    /// Keep finished jobs (results, progress logs, held churn sessions)
+    /// this long after they finish; `None` keeps them for the daemon's
+    /// lifetime. Swept opportunistically on submit and after every run.
+    job_ttl: Option<Duration>,
     pub metrics: Metrics,
 }
 
 impl ServerState {
     pub fn new(queue_capacity: usize) -> Arc<ServerState> {
+        ServerState::with_job_ttl(queue_capacity, None)
+    }
+
+    /// Like [`ServerState::new`], with a finished-job retention TTL.
+    pub fn with_job_ttl(queue_capacity: usize, job_ttl: Option<Duration>) -> Arc<ServerState> {
         Arc::new(ServerState {
             next_id: AtomicU64::new(0),
             jobs: Mutex::new(HashMap::new()),
@@ -217,8 +244,35 @@ impl ServerState {
             shutdown: AtomicBool::new(false),
             cache: Mutex::new(HashMap::new()),
             churn: Mutex::new(HashMap::new()),
+            job_ttl,
             metrics: Metrics::default(),
         })
+    }
+
+    /// Drops every finished job that outlived the TTL — its status,
+    /// progress log, and any held churn session — and counts it in
+    /// `jobs_expired`. A no-op without a TTL; running and queued jobs are
+    /// never collected. Returns how many jobs were dropped.
+    pub fn gc_expired(&self) -> usize {
+        let Some(ttl) = self.job_ttl else { return 0 };
+        let mut jobs = self.jobs.lock().expect("jobs lock");
+        let expired: Vec<u64> = jobs
+            .iter()
+            .filter(|(_, job)| job.snapshot().phase.finished() && job.expired(ttl))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            jobs.remove(id);
+        }
+        drop(jobs);
+        if !expired.is_empty() {
+            let mut sessions = self.churn.lock().expect("churn lock");
+            for id in &expired {
+                sessions.remove(id);
+            }
+            bump(&self.metrics.jobs_expired, expired.len() as u64);
+        }
+        expired.len()
     }
 
     /// Registers and enqueues a job, or rejects it if the queue is full.
@@ -226,6 +280,7 @@ impl ServerState {
         if self.is_shutdown() {
             return Err(SubmitError::ShuttingDown);
         }
+        self.gc_expired();
         let mut queue = self.queue.lock().expect("queue lock");
         if queue.len() >= self.queue_capacity {
             bump(&self.metrics.jobs_rejected, 1);
@@ -238,6 +293,7 @@ impl ServerState {
             control: RunControl::new(),
             status: Mutex::new(JobStatus { phase: Phase::Queued, summary: String::new() }),
             progress: Mutex::new(Vec::new()),
+            finished_at: Mutex::new(None),
         });
         self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
         queue.push_back(Arc::clone(&job));
@@ -306,6 +362,7 @@ impl ServerState {
             ("lopacityd_fork_clones_total", get(&m.fork_clones_total)),
             ("lopacityd_churn_events_applied", get(&m.churn_events_applied)),
             ("lopacityd_churn_repairs", get(&m.churn_repairs)),
+            ("lopacityd_jobs_expired", get(&m.jobs_expired)),
             ("lopacityd_workers_busy", get(&m.workers_busy)),
             ("lopacityd_queue_depth", self.queue_depth() as u64),
             ("lopacityd_churn_sessions", self.churn_sessions() as u64),
@@ -348,6 +405,7 @@ impl ServerState {
                 job.set_phase(Phase::Failed, "internal error: job panicked\n".to_string());
             }
             self.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
+            self.gc_expired();
         }
     }
 
@@ -530,6 +588,69 @@ fn repair_with(session: &mut ChurnSession, method: &str) -> RepairPatch {
     match method {
         "rem-ins" => session.repair(RemovalInsertion::default()),
         _ => session.repair(Removal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> JobSpec {
+        JobSpec::parse("mode anonymize\nl 1\ntheta 1.0\ngraph gnm 12 20 3\n").unwrap()
+    }
+
+    /// Submits a job and runs it inline (no worker thread), returning it
+    /// in its terminal phase.
+    fn submit_and_run(state: &Arc<ServerState>) -> Arc<Job> {
+        let job = state.submit(quick_spec()).expect("submit");
+        state.run_job(&job);
+        assert!(job.snapshot().phase.finished(), "job must finish");
+        job
+    }
+
+    #[test]
+    fn finished_jobs_expire_after_the_ttl() {
+        let state = ServerState::with_job_ttl(4, Some(Duration::ZERO));
+        let done = submit_and_run(&state);
+        assert_eq!(state.gc_expired(), 1);
+        assert!(state.job(done.id).is_none(), "finished job is dropped");
+        assert_eq!(state.metrics.jobs_expired.load(Ordering::Relaxed), 1);
+        assert!(state.render_metrics().contains("lopacityd_jobs_expired 1"));
+        // A queued job must survive the sweep no matter how old — and
+        // submit() itself sweeps, so an explicit pass finds nothing new.
+        let queued = state.submit(quick_spec()).expect("submit");
+        assert_eq!(state.gc_expired(), 0);
+        assert!(state.job(queued.id).is_some(), "queued job is kept");
+    }
+
+    #[test]
+    fn without_a_ttl_jobs_are_kept_forever() {
+        let state = ServerState::new(4);
+        let done = submit_and_run(&state);
+        assert_eq!(state.gc_expired(), 0);
+        assert!(state.job(done.id).is_some());
+        assert_eq!(state.metrics.jobs_expired.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn unexpired_jobs_survive_the_sweep() {
+        let state = ServerState::with_job_ttl(4, Some(Duration::from_secs(3600)));
+        let done = submit_and_run(&state);
+        assert_eq!(state.gc_expired(), 0);
+        assert!(state.job(done.id).is_some(), "TTL not yet reached");
+    }
+
+    #[test]
+    fn expiry_drops_held_churn_sessions() {
+        let state = ServerState::with_job_ttl(4, Some(Duration::ZERO));
+        let spec =
+            JobSpec::parse("mode churn\nl 1\ntheta 1.0\ngraph gnm 12 20 3\n").unwrap();
+        let job = state.submit(spec).expect("submit");
+        state.run_job(&job);
+        assert_eq!(job.snapshot().phase, Phase::Done);
+        assert_eq!(state.churn_sessions(), 1, "churn job holds a session");
+        assert_eq!(state.gc_expired(), 1);
+        assert_eq!(state.churn_sessions(), 0, "expiry releases the session");
     }
 }
 

@@ -1,0 +1,323 @@
+//! Cross-model comparison reports: many anonymization models, one graph,
+//! matched edit budgets.
+//!
+//! This module is the *data* half of the comparison harness: plain rows
+//! and cells assembled by `crates/models` (which knows the privacy-model
+//! semantics) and serialized here as machine-readable JSON (`COMPARE.json`)
+//! and CSV. Keeping the builder in `lopacity-metrics` — which depends only
+//! on `lopacity-graph` — means any crate that can score a graph can emit a
+//! comparison report; the cells are generic `(certifier, certified,
+//! violations, leakage)` tuples with no reference to specific models.
+//!
+//! A report is rectangular by construction: every row carries one cell per
+//! certifier in [`CompareReport::certifiers`], in that order
+//! ([`CompareReport::push_row`] asserts it), so the CSV columns line up and
+//! the JSON objects share keys.
+
+use crate::report::UtilityReport;
+use std::fmt::Write as _;
+
+/// One model's output scored by one certifier — the "does A's output leak
+/// under B?" cell of the comparison matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossCell {
+    /// Name of the certifying model (column identity).
+    pub certifier: String,
+    /// Whether the output satisfies the certifier's notion outright.
+    pub certified: bool,
+    /// The certifier's count of unmet constraints (0 ⇔ certified).
+    pub violations: u64,
+    /// The certifier's scalar leakage score in `[0, 1]` (model-specific
+    /// semantics; for L-opacity this is `maxLO`).
+    pub leakage: f64,
+}
+
+/// One anonymization model's run on the shared graph.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Short stable model identifier (CSV cell, JSON key).
+    pub model: String,
+    /// Human-readable label with parameters.
+    pub label: String,
+    /// The model's own verdict on its output.
+    pub achieved: bool,
+    /// Edges removed by the run.
+    pub removed: usize,
+    /// Edges inserted by the run.
+    pub inserted: usize,
+    /// Greedy steps committed.
+    pub steps: usize,
+    /// Candidate evaluations spent.
+    pub trials: u64,
+    /// Wall-clock seconds for the run.
+    pub secs: f64,
+    /// Utility of the output against the shared original graph.
+    pub utility: UtilityReport,
+    /// One cell per report certifier, in report order.
+    pub cells: Vec<CrossCell>,
+}
+
+/// The full comparison: context, certifier columns, one row per model.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// `|V|` of the shared input graph.
+    pub vertices: usize,
+    /// `|E|` of the shared input graph.
+    pub edges: usize,
+    /// The matched edit budget every row ran under.
+    pub budget: usize,
+    /// Free-form experiment parameters (`l`, `theta`, `k`, ...), emitted
+    /// verbatim so downstream tooling can reconstruct the setup.
+    pub params: Vec<(String, String)>,
+    /// Certifier column names; every row's `cells` must match this order.
+    pub certifiers: Vec<String>,
+    /// One row per model run.
+    pub rows: Vec<ModelRow>,
+}
+
+impl CompareReport {
+    /// Appends a row, asserting its cells align with the certifier columns.
+    ///
+    /// # Panics
+    /// Panics when the row's cell names or order disagree with
+    /// [`CompareReport::certifiers`] — a malformed report is a harness bug,
+    /// not an input error.
+    pub fn push_row(&mut self, row: ModelRow) {
+        assert_eq!(
+            row.cells.iter().map(|c| c.certifier.as_str()).collect::<Vec<_>>(),
+            self.certifiers.iter().map(String::as_str).collect::<Vec<_>>(),
+            "row {} cells must match the report's certifier columns",
+            row.model
+        );
+        self.rows.push(row);
+    }
+
+    /// The whole report as a JSON object (hand-rolled; the workspace has
+    /// no serde). Keys are stable; numbers are finite decimals.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"vertices\": {},", self.vertices);
+        let _ = writeln!(out, "  \"edges\": {},", self.edges);
+        let _ = writeln!(out, "  \"budget\": {},", self.budget);
+        out.push_str("  \"params\": {");
+        for (i, (key, value)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_str(key), json_str(value));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"certifiers\": [");
+        for (i, name) in self.certifiers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(name));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"models\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"model\": {},", json_str(&row.model));
+            let _ = writeln!(out, "      \"label\": {},", json_str(&row.label));
+            let _ = writeln!(out, "      \"achieved\": {},", row.achieved);
+            let _ = writeln!(out, "      \"removed\": {},", row.removed);
+            let _ = writeln!(out, "      \"inserted\": {},", row.inserted);
+            let _ = writeln!(out, "      \"steps\": {},", row.steps);
+            let _ = writeln!(out, "      \"trials\": {},", row.trials);
+            let _ = writeln!(out, "      \"secs\": {:.3},", row.secs);
+            let u = &row.utility;
+            let _ = writeln!(
+                out,
+                "      \"utility\": {{\"distortion\": {:.6}, \"emd_degree\": {:.6}, \
+                 \"emd_geodesic\": {:.6}, \"unreachable_delta\": {:.6}, \
+                 \"mean_cc_diff\": {:.6}, \"lambda1_diff\": {:.6}}},",
+                u.distortion,
+                u.emd_degree,
+                u.emd_geodesic,
+                u.unreachable_delta,
+                u.mean_cc_diff,
+                u.lambda1_diff
+            );
+            out.push_str("      \"cross\": {");
+            for (j, cell) in row.cells.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{}: {{\"certified\": {}, \"violations\": {}, \"leakage\": {:.6}}}",
+                    json_str(&cell.certifier),
+                    cell.certified,
+                    cell.violations,
+                    cell.leakage
+                );
+            }
+            out.push_str("}\n");
+            out.push_str(if i + 1 < self.rows.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The CSV header matching [`CompareReport::csv_rows`]: fixed run and
+    /// utility columns, then `certified_*`/`violations_*`/`leakage_*`
+    /// triplets per certifier.
+    pub fn csv_header(&self) -> String {
+        let mut header = String::from(
+            "model,achieved,budget,removed,inserted,steps,trials,secs,\
+             distortion,emd_degree,emd_geodesic,unreachable_delta,mean_cc_diff,lambda1_diff",
+        );
+        for name in &self.certifiers {
+            let _ = write!(
+                header,
+                ",certified_{name},violations_{name},leakage_{name}",
+            );
+        }
+        header
+    }
+
+    /// One CSV line per row, in report order (no header; pair with
+    /// [`CompareReport::csv_header`]).
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let u = &row.utility;
+                let mut line = format!(
+                    "{},{},{},{},{},{},{},{:.3},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                    row.model,
+                    row.achieved,
+                    self.budget,
+                    row.removed,
+                    row.inserted,
+                    row.steps,
+                    row.trials,
+                    row.secs,
+                    u.distortion,
+                    u.emd_degree,
+                    u.emd_geodesic,
+                    u.unreachable_delta,
+                    u.mean_cc_diff,
+                    u.lambda1_diff
+                );
+                for cell in &row.cells {
+                    let _ = write!(
+                        line,
+                        ",{},{},{:.6}",
+                        cell.certified, cell.violations, cell.leakage
+                    );
+                }
+                line
+            })
+            .collect()
+    }
+}
+
+/// Minimal JSON string literal (quotes, backslashes, and control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopacity_graph::Graph;
+
+    fn sample_report() -> CompareReport {
+        let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
+        let utility = UtilityReport::compute(&g, &g);
+        let mut report = CompareReport {
+            vertices: 4,
+            edges: 3,
+            budget: 2,
+            params: vec![("l".into(), "2".into()), ("theta".into(), "0.50".into())],
+            certifiers: vec!["alpha".into(), "beta".into()],
+            rows: Vec::new(),
+        };
+        report.push_row(ModelRow {
+            model: "alpha".into(),
+            label: "alpha(x=1)".into(),
+            achieved: true,
+            removed: 2,
+            inserted: 0,
+            steps: 2,
+            trials: 17,
+            secs: 0.25,
+            utility,
+            cells: vec![
+                CrossCell {
+                    certifier: "alpha".into(),
+                    certified: true,
+                    violations: 0,
+                    leakage: 0.5,
+                },
+                CrossCell {
+                    certifier: "beta".into(),
+                    certified: false,
+                    violations: 3,
+                    leakage: 1.0,
+                },
+            ],
+        });
+        report
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let json = sample_report().to_json();
+        for needle in [
+            "\"vertices\": 4",
+            "\"budget\": 2",
+            "\"params\": {\"l\": \"2\", \"theta\": \"0.50\"}",
+            "\"certifiers\": [\"alpha\", \"beta\"]",
+            "\"model\": \"alpha\"",
+            "\"beta\": {\"certified\": false, \"violations\": 3, \"leakage\": 1.000000}",
+        ] {
+            assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+        }
+        // Balanced braces/brackets — a cheap well-formedness smoke check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn csv_header_and_rows_are_rectangular() {
+        let report = sample_report();
+        let header = report.csv_header();
+        let cols = header.split(',').count();
+        assert!(header.ends_with("leakage_beta"));
+        for line in report.csv_rows() {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "certifier columns")]
+    fn misaligned_cells_are_rejected() {
+        let mut report = sample_report();
+        let mut row = report.rows[0].clone();
+        row.cells.pop();
+        report.push_row(row);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

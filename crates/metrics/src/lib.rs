@@ -16,9 +16,13 @@
 //! * [`spectral`] — adjacency spectral radius and spectral gap via power
 //!   iteration (the abstract's "spectral … graph properties");
 //! * [`report`] — a one-stop [`report::UtilityReport`] bundling everything
-//!   for an (original, anonymized) pair.
+//!   for an (original, anonymized) pair;
+//! * [`compare`] — the cross-model [`compare::CompareReport`] builder
+//!   (one row per privacy model, one certifier cell per rival notion)
+//!   with `COMPARE.json` / CSV serialization for the comparison harness.
 
 pub mod clustering;
+pub mod compare;
 pub mod distortion;
 pub mod emd;
 pub mod geodesic;
@@ -28,6 +32,7 @@ pub mod spectral;
 pub mod stats;
 
 pub use clustering::{local_clustering, mean_cc_difference};
+pub use compare::{CompareReport, CrossCell, ModelRow};
 pub use distortion::{distortion, edge_edit_counts};
 pub use emd::emd_1d;
 pub use geodesic::geodesic_distribution;

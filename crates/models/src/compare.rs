@@ -1,0 +1,324 @@
+//! Head-to-head model comparison at matched edit budgets.
+//!
+//! The paper's claim is comparative: simpler anonymity notions leave
+//! distance-based linkage on the table. [`run_comparison`] makes that
+//! measurable. It runs every model — L-opacity removal, L-opacity
+//! removal/insertion, degree-sequence k-anonymity, (k,ℓ)-adjacency
+//! anonymity — on the *same* graph through *one* [`Anonymizer`] session
+//! (shared evaluator builds, shared config plumbing), grants each the
+//! same edge-edit budget, and scores every output twice over:
+//!
+//! * **utility** — the full [`UtilityReport`] against the original
+//!   (distortion, degree/geodesic EMD, clustering, spectral);
+//! * **cross-certification** — every output judged by every *notion*'s
+//!   certifier, so the report answers "does the k-degree-anonymous output
+//!   still leak under L-opacity at θ?" in one table.
+//!
+//! The budget is matched by construction: the unbudgeted L-opacity
+//! removal run fixes it (or [`CompareSpec::with_budget`] overrides it),
+//! and every other model runs under `AnonymizeConfig::max_edits` of that
+//! value, so utility differences are attributable to the model rather
+//! than to edit volume.
+//!
+//! Extra L values ([`CompareSpec::with_ls`]) add budget-matched L-opacity
+//! reference rows via [`Anonymizer::l_sweep`] — the session's keyed build
+//! cache shares each per-L evaluator build — and an `l-opacity@L=x`
+//! certifier column per value, turning the table into a leakage-versus-L
+//! curve for every rival model's output.
+
+use crate::kdegree::KDegreeAnonymity;
+use crate::kladjacency::KLAdjacencyAnonymity;
+use lopacity::{
+    AnonymizationOutcome, AnonymizeConfig, Anonymizer, LOpacity, PrivacyModel, Removal,
+    StoreBackend, TypeSpec,
+};
+use lopacity_graph::Graph;
+use lopacity_metrics::{CompareReport, CrossCell, ModelRow, UtilityReport};
+use std::time::Instant;
+
+/// Parameters of one comparison run.
+#[derive(Debug, Clone)]
+pub struct CompareSpec {
+    /// Path-length threshold L for the L-opacity models.
+    pub l: u8,
+    /// Confidence threshold θ for the L-opacity models.
+    pub theta: f64,
+    /// Anonymity parameter k shared by k-degree and (k,ℓ)-adjacency.
+    pub k: usize,
+    /// Adversary subset bound ℓ for (k,ℓ)-adjacency (keep 1 beyond toy
+    /// sizes: certification is O(|V|^ℓ)).
+    pub ell: usize,
+    /// Explicit edit budget; `None` derives it from the unbudgeted
+    /// L-opacity removal run.
+    pub budget: Option<usize>,
+    /// Extra L values for the leakage sweep (values equal to `l` are
+    /// ignored; empty = no sweep).
+    pub ls: Vec<u8>,
+    /// Tie-breaking seed for every run.
+    pub seed: u64,
+    /// Distance-store backend for the shared session.
+    pub store: StoreBackend,
+}
+
+impl CompareSpec {
+    /// A spec with no explicit budget, no L sweep, the default seed, and
+    /// the adaptive store.
+    pub fn new(l: u8, theta: f64, k: usize, ell: usize) -> Self {
+        CompareSpec {
+            l,
+            theta,
+            k,
+            ell,
+            budget: None,
+            ls: Vec::new(),
+            seed: lopacity::config::DEFAULT_SEED,
+            store: StoreBackend::Auto,
+        }
+    }
+
+    /// Overrides the derived edit budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Adds leakage-sweep L values.
+    pub fn with_ls(mut self, ls: &[u8]) -> Self {
+        self.ls = ls.to_vec();
+        self
+    }
+
+    /// Sets the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the distance-store backend.
+    pub fn with_store(mut self, store: StoreBackend) -> Self {
+        self.store = store;
+        self
+    }
+}
+
+/// Scores `outcome` with every certifier column and assembles the row.
+fn build_row(
+    model: String,
+    label: String,
+    outcome: &AnonymizationOutcome,
+    secs: f64,
+    original: &Graph,
+    certifiers: &[(String, Box<dyn PrivacyModel>)],
+) -> ModelRow {
+    let cells = certifiers
+        .iter()
+        .map(|(column, certifier)| CrossCell {
+            certifier: column.clone(),
+            certified: certifier.certify(&outcome.graph),
+            violations: certifier.violations(&outcome.graph),
+            leakage: certifier.leakage(&outcome.graph),
+        })
+        .collect();
+    ModelRow {
+        model,
+        label,
+        achieved: outcome.achieved,
+        removed: outcome.removed.len(),
+        inserted: outcome.inserted.len(),
+        steps: outcome.steps,
+        trials: outcome.trials,
+        secs,
+        utility: UtilityReport::compute(original, &outcome.graph),
+        cells,
+    }
+}
+
+/// Runs every model on `graph` at a matched edit budget and returns the
+/// cross-model report (serialize with [`CompareReport::to_json`] /
+/// [`CompareReport::csv_header`]). See the [module docs](self) for the
+/// protocol.
+pub fn run_comparison(graph: &Graph, spec: &CompareSpec) -> CompareReport {
+    let types = TypeSpec::DegreePairs;
+    let base = AnonymizeConfig::new(spec.l, spec.theta)
+        .with_seed(spec.seed)
+        .with_store(spec.store);
+    let mut session = Anonymizer::new(graph, &types);
+    session.set_config(base);
+
+    // The unbudgeted L-opacity removal run fixes the matched budget.
+    let start = Instant::now();
+    let reference = session.run(Removal);
+    let reference_secs = start.elapsed().as_secs_f64();
+    let budget = spec.budget.unwrap_or_else(|| reference.edits()).max(1);
+    let budgeted = base.with_max_edits(budget);
+
+    let lop_rem =
+        LOpacity::removal(types.clone(), spec.l, spec.theta).against_original(graph);
+    let lop_ri =
+        LOpacity::removal_insertion(types.clone(), spec.l, spec.theta).against_original(graph);
+    let kdeg = KDegreeAnonymity::new(spec.k);
+    let kladj = KLAdjacencyAnonymity::new(spec.k, spec.ell);
+
+    // One certifier column per *notion* (both L-opacity strategies share
+    // one), plus an L-opacity column per extra sweep L.
+    let extra_ls: Vec<u8> = spec.ls.iter().copied().filter(|&lx| lx != spec.l).collect();
+    let mut certifiers: Vec<(String, Box<dyn PrivacyModel>)> = vec![
+        ("l-opacity".into(), Box::new(lop_rem.clone())),
+        ("k-degree".into(), Box::new(kdeg.clone())),
+        ("kl-adjacency".into(), Box::new(kladj.clone())),
+    ];
+    for &lx in &extra_ls {
+        certifiers.push((
+            format!("l-opacity@L={lx}"),
+            Box::new(LOpacity::removal(types.clone(), lx, spec.theta).against_original(graph)),
+        ));
+    }
+
+    let mut report = CompareReport {
+        vertices: graph.num_vertices(),
+        edges: graph.num_edges(),
+        budget,
+        params: vec![
+            ("l".into(), spec.l.to_string()),
+            ("theta".into(), format!("{:.4}", spec.theta)),
+            ("k".into(), spec.k.to_string()),
+            ("ell".into(), spec.ell.to_string()),
+            ("seed".into(), spec.seed.to_string()),
+        ],
+        certifiers: certifiers.iter().map(|(name, _)| name.clone()).collect(),
+        rows: Vec::new(),
+    };
+
+    // Row 1: L-opacity removal — the reference run itself unless an
+    // explicit budget demands a capped re-run.
+    let (rem_outcome, rem_secs) = if spec.budget.is_some() {
+        session.set_config(budgeted);
+        let start = Instant::now();
+        let outcome = session.run(lop_rem.repair_strategy());
+        (outcome, start.elapsed().as_secs_f64())
+    } else {
+        (reference, reference_secs)
+    };
+    report.push_row(build_row(
+        "l-opacity-rem".into(),
+        lop_rem.label(),
+        &rem_outcome,
+        rem_secs,
+        graph,
+        &certifiers,
+    ));
+
+    // Rows 2–4: the rival models, all under the matched budget.
+    session.set_config(budgeted);
+    let rivals: [(&str, &dyn PrivacyModel); 3] =
+        [("l-opacity-rem-ins", &lop_ri), ("k-degree", &kdeg), ("kl-adjacency", &kladj)];
+    for (name, model) in rivals {
+        let start = Instant::now();
+        let outcome = session.run(model.repair_strategy());
+        let secs = start.elapsed().as_secs_f64();
+        report.push_row(build_row(
+            name.into(),
+            model.label(),
+            &outcome,
+            secs,
+            graph,
+            &certifiers,
+        ));
+    }
+
+    // Sweep rows: budget-matched L-opacity removal at every extra L,
+    // sharing per-L evaluator builds through the session cache.
+    if !extra_ls.is_empty() {
+        session.set_config(budgeted);
+        for cell in session.l_sweep(&extra_ls, Removal) {
+            report.push_row(build_row(
+                format!("l-opacity-rem@L={}", cell.l),
+                format!("l-opacity-rem(L={}, theta={:.2})", cell.l, spec.theta),
+                &cell.outcome,
+                cell.secs,
+                graph,
+                &certifiers,
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopacity_graph::VertexId;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        while g.num_edges() < m {
+            let u = rng.random_range(0..n as VertexId);
+            let v = rng.random_range(0..n as VertexId);
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn comparison_report_covers_all_models_and_is_rectangular() {
+        let g = gnm(24, 48, 7);
+        let spec = CompareSpec::new(2, 0.6, 3, 1).with_ls(&[1, 2]);
+        let report = run_comparison(&g, &spec);
+
+        let names: Vec<&str> = report.rows.iter().map(|r| r.model.as_str()).collect();
+        assert_eq!(
+            &names[..4],
+            &["l-opacity-rem", "l-opacity-rem-ins", "k-degree", "kl-adjacency"]
+        );
+        assert!(names.contains(&"l-opacity-rem@L=1"), "{names:?}");
+        assert_eq!(report.certifiers, vec!["l-opacity", "k-degree", "kl-adjacency", "l-opacity@L=1"]);
+        assert!(report.budget >= 1);
+
+        // The reference model certifies under its own column; every rival
+        // reports a leakage number under every notion.
+        let rem = &report.rows[0];
+        assert!(rem.achieved);
+        assert!(rem.cells[0].certified, "reference must pass its own certifier");
+        for row in &report.rows {
+            assert_eq!(row.cells.len(), report.certifiers.len());
+            for cell in &row.cells {
+                assert!((0.0..=1.0).contains(&cell.leakage), "{}: {:?}", row.model, cell);
+                assert_eq!(cell.certified, cell.violations == 0);
+            }
+        }
+
+        // Matched budgets: the cap is enforced at step boundaries, so the
+        // final removal/insertion step may overshoot by one edit at la=1.
+        for row in &report.rows[1..] {
+            assert!(
+                row.removed + row.inserted <= report.budget + 1,
+                "{} exceeded the budget",
+                row.model
+            );
+        }
+
+        // Serialization round-trips through the metrics builder.
+        let json = report.to_json();
+        assert!(json.contains("\"k-degree\""));
+        let header = report.csv_header();
+        for line in report.csv_rows() {
+            assert_eq!(line.split(',').count(), header.split(',').count());
+        }
+    }
+
+    #[test]
+    fn explicit_budget_caps_the_reference_model_too() {
+        let g = gnm(20, 40, 3);
+        let spec = CompareSpec::new(1, 0.5, 2, 1).with_budget(2);
+        let report = run_comparison(&g, &spec);
+        assert_eq!(report.budget, 2);
+        for row in &report.rows {
+            assert!(row.removed + row.inserted <= 3, "{} exceeded", row.model);
+        }
+    }
+}

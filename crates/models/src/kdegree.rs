@@ -1,0 +1,304 @@
+//! Degree-sequence k-anonymity (Feder, Nabar & Terzi, "Anonymizing
+//! Graphs").
+//!
+//! A graph is **k-degree anonymous** when every vertex shares its degree
+//! with at least `k − 1` others — the adversary who knows a target's
+//! degree cannot narrow it below k candidates. The classic construction
+//! has two halves: *degree-sequence anonymization* (pick a k-anonymous
+//! target sequence close to the current one) and *realization* (edit edges
+//! until the graph meets the targets). [`KDegreeAnonymity`] implements
+//! both as a session [`Strategy`]:
+//!
+//! * **Grouping** — vertices sorted by descending degree are cut into
+//!   consecutive groups of `k` (the tail group absorbs up to `2k − 1`),
+//!   and each group's target is its maximum degree, so every deficit is
+//!   non-negative and insertion-only realization suffices.
+//! * **Realization** — repeatedly connect the two non-adjacent vertices
+//!   with the largest remaining deficits (ties to the smaller id). When a
+//!   deficit vertex is adjacent to every other deficit vertex, it borrows
+//!   the smallest-id non-neighbor instead and the next round regroups
+//!   from the updated degrees.
+//!
+//! Every round either certifies, returns on an exhausted budget, or
+//! inserts at least one edge — and the complete graph is regular (hence
+//! k-degree anonymous for every `k ≤ |V|`), so the repair terminates.
+//! All decisions read only the working graph (never distances or the run
+//! RNG), which is why repairs are bit-for-bit identical across store
+//! backends and worker counts.
+
+use lopacity::{MoveKind, PrivacyModel, RunContext, Strategy};
+use lopacity_graph::{Edge, Graph, VertexId};
+
+/// Number of vertices whose degree class has fewer than `k` members
+/// (0 ⇔ [`is_k_degree_anonymous`]). `k <= 1` never violates.
+pub fn k_degree_violations(graph: &Graph, k: usize) -> u64 {
+    if k <= 1 {
+        return 0;
+    }
+    let n = graph.num_vertices();
+    let mut class_sizes = vec![0u64; n.max(1)];
+    for v in 0..n {
+        class_sizes[graph.degree(v as VertexId)] += 1;
+    }
+    class_sizes.iter().filter(|&&c| c > 0 && c < k as u64).sum()
+}
+
+/// Whether every vertex shares its degree with at least `k − 1` others.
+pub fn is_k_degree_anonymous(graph: &Graph, k: usize) -> bool {
+    k_degree_violations(graph, k) == 0
+}
+
+/// Greedy degree-sequence anonymization: descending-degree order, groups
+/// of `k` (tail group up to `2k − 1`), target = group maximum. Returns
+/// each vertex's target degree; targets never undershoot current degrees.
+fn degree_targets(graph: &Graph, k: usize) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+    let mut targets = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        let remaining = n - i;
+        let take = if remaining >= 2 * k { k } else { remaining };
+        let target = graph.degree(order[i]);
+        for &v in &order[i..i + take] {
+            targets[v as usize] = target;
+        }
+        i += take;
+    }
+    targets
+}
+
+/// Degree-sequence k-anonymity as a [`PrivacyModel`] and session
+/// [`Strategy`] (see the [module docs](self) for the algorithm).
+#[derive(Debug, Clone)]
+pub struct KDegreeAnonymity {
+    k: usize,
+}
+
+impl KDegreeAnonymity {
+    /// Repair toward k-anonymous degrees.
+    ///
+    /// # Panics
+    /// Panics when `k` is 0 (no adversary model corresponds to it).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KDegreeAnonymity { k }
+    }
+
+    /// The anonymity parameter k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Strategy for KDegreeAnonymity {
+    fn name(&self) -> &'static str {
+        "k-degree"
+    }
+
+    fn execute(&mut self, ctx: &mut RunContext<'_>) {
+        let k = self.k;
+        loop {
+            if is_k_degree_anonymous(ctx.evaluator().graph(), k) {
+                ctx.declare_achieved(true);
+                return;
+            }
+            if ctx.interrupted() {
+                ctx.declare_achieved(false);
+                return;
+            }
+            let n = ctx.evaluator().graph().num_vertices();
+            let targets = degree_targets(ctx.evaluator().graph(), k);
+            let mut deficit: Vec<usize> = (0..n)
+                .map(|v| targets[v] - ctx.evaluator().graph().degree(v as VertexId))
+                .collect();
+            let mut committed_this_round = 0usize;
+            loop {
+                if ctx.interrupted() {
+                    ctx.declare_achieved(is_k_degree_anonymous(ctx.evaluator().graph(), k));
+                    return;
+                }
+                // Largest remaining deficit, ties to the smaller id.
+                let u = match (0..n)
+                    .filter(|&v| deficit[v] > 0)
+                    .max_by_key(|&v| (deficit[v], std::cmp::Reverse(v)))
+                {
+                    Some(u) => u,
+                    None => break,
+                };
+                ctx.add_trials(1);
+                // Preferred partner: another deficit vertex (mutual
+                // progress); fallback: any non-neighbor (regrouped next
+                // round); neither: u is saturated, skip it this round.
+                let partner = {
+                    let graph = ctx.evaluator().graph();
+                    (0..n)
+                        .filter(|&w| {
+                            w != u
+                                && deficit[w] > 0
+                                && !graph.has_edge(u as VertexId, w as VertexId)
+                        })
+                        .max_by_key(|&w| (deficit[w], std::cmp::Reverse(w)))
+                        .or_else(|| {
+                            (0..n).find(|&w| {
+                                w != u && !graph.has_edge(u as VertexId, w as VertexId)
+                            })
+                        })
+                };
+                match partner {
+                    Some(w) => {
+                        ctx.commit(MoveKind::Insert, &[Edge::new(u as VertexId, w as VertexId)]);
+                        ctx.step_committed();
+                        deficit[u] -= 1;
+                        deficit[w] = deficit[w].saturating_sub(1);
+                        committed_this_round += 1;
+                    }
+                    None => deficit[u] = 0,
+                }
+            }
+            if committed_this_round == 0 {
+                // Stalled round: force progress with the smallest absent
+                // edge, or concede on the complete graph (regular, so if
+                // it still violates — k > |V| — no graph can certify).
+                let forced = ctx.evaluator().graph().non_edges().next();
+                match forced {
+                    Some(e) => {
+                        ctx.commit(MoveKind::Insert, &[e]);
+                        ctx.step_committed();
+                    }
+                    None => {
+                        ctx.declare_achieved(is_k_degree_anonymous(
+                            ctx.evaluator().graph(),
+                            k,
+                        ));
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PrivacyModel for KDegreeAnonymity {
+    fn name(&self) -> &'static str {
+        "k-degree"
+    }
+
+    fn label(&self) -> String {
+        format!("k-degree(k={})", self.k)
+    }
+
+    fn violations(&self, graph: &Graph) -> u64 {
+        k_degree_violations(graph, self.k)
+    }
+
+    fn leakage(&self, graph: &Graph) -> f64 {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return 0.0;
+        }
+        self.violations(graph) as f64 / n as f64
+    }
+
+    fn repair_strategy(&self) -> Box<dyn Strategy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopacity::{AnonymizeConfig, Anonymizer, TypeSpec};
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(
+            n,
+            (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)),
+        )
+        .unwrap()
+    }
+
+    fn star(leaves: usize) -> Graph {
+        Graph::from_edges(leaves + 1, (1..=leaves).map(|i| (0u32, i as VertexId))).unwrap()
+    }
+
+    #[test]
+    fn certifier_on_known_shapes() {
+        // A cycle is regular: one degree class of size n.
+        for k in 1..=6 {
+            assert!(is_k_degree_anonymous(&cycle(6), k), "k = {k}");
+        }
+        assert!(!is_k_degree_anonymous(&cycle(6), 7));
+        // A star's hub is alone in its degree class.
+        let s = star(4);
+        assert!(is_k_degree_anonymous(&s, 1));
+        assert!(!is_k_degree_anonymous(&s, 2));
+        assert_eq!(k_degree_violations(&s, 2), 1, "only the hub violates");
+        assert_eq!(k_degree_violations(&s, 5), 5, "all five vertices violate");
+        // Empty graphs are vacuously anonymous.
+        assert!(is_k_degree_anonymous(&Graph::new(0), 3));
+    }
+
+    #[test]
+    fn targets_never_undershoot_and_group_at_least_k() {
+        let g = star(5);
+        let targets = degree_targets(&g, 2);
+        for v in 0..g.num_vertices() {
+            assert!(targets[v] >= g.degree(v as VertexId), "vertex {v}");
+        }
+        // Each distinct target must cover >= k vertices.
+        let mut by_target = std::collections::HashMap::new();
+        for &t in &targets {
+            *by_target.entry(t).or_insert(0usize) += 1;
+        }
+        assert!(by_target.values().all(|&c| c >= 2), "{targets:?}");
+    }
+
+    #[test]
+    fn repair_certifies_and_is_insertion_only() {
+        let g = star(6);
+        let spec = TypeSpec::DegreePairs;
+        let mut session = Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5));
+        let out = session.run(KDegreeAnonymity::new(3));
+        assert!(out.achieved, "{out}");
+        assert!(out.removed.is_empty(), "repair is insertion-only");
+        assert!(!out.inserted.is_empty(), "the star violates, so edits are needed");
+        assert!(is_k_degree_anonymous(&out.graph, 3));
+        // The session's θ verdict was overridden by the model's certifier.
+        assert_eq!(out.steps, out.inserted.len());
+    }
+
+    #[test]
+    fn infeasible_k_concedes_with_a_complete_graph() {
+        let g = star(2); // 3 vertices: k = 5 is unreachable
+        let spec = TypeSpec::DegreePairs;
+        let mut session = Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5));
+        let out = session.run(KDegreeAnonymity::new(5));
+        assert!(!out.achieved);
+        assert_eq!(out.graph.num_edges(), 3, "repair drove to the complete graph");
+    }
+
+    #[test]
+    fn budgeted_repair_stops_uncertified() {
+        let g = star(6);
+        let spec = TypeSpec::DegreePairs;
+        let mut session = Anonymizer::new(&g, &spec)
+            .config(AnonymizeConfig::new(1, 0.5).with_max_edits(1));
+        let out = session.run(KDegreeAnonymity::new(3));
+        assert!(!out.achieved, "budget cannot reach anonymity");
+        assert_eq!(out.edits(), 1);
+    }
+
+    #[test]
+    fn model_surface_is_consistent() {
+        let model = KDegreeAnonymity::new(2);
+        assert_eq!(model.label(), "k-degree(k=2)");
+        let s = star(4);
+        assert!(!model.certify(&s));
+        assert_eq!(model.violations(&s), 1);
+        assert!((model.leakage(&s) - 0.2).abs() < 1e-12);
+        assert!(model.certify(&cycle(5)));
+        assert_eq!(model.leakage(&cycle(5)), 0.0);
+    }
+}

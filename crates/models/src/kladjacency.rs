@@ -1,0 +1,462 @@
+//! (k,ℓ)-adjacency anonymity (Mauw, Ramírez-Cruz & Trujillo-Rasua,
+//! "Rethinking (k,ℓ)-anonymity in social graphs").
+//!
+//! The adversary controls up to ℓ sybil vertices and knows each target's
+//! adjacency to them. A graph is **(k,ℓ)-adjacency anonymous** when for
+//! every non-empty vertex subset `S` with `|S| ≤ ℓ`, every equivalence
+//! class of `V ∖ S` under "same adjacency pattern toward S" is either
+//! empty or has at least `k` members — no pattern pins a target below k
+//! candidates.
+//!
+//! At ℓ = 1 the condition collapses to a **degree band**: for `S = {u}`
+//! the two classes are u's neighbors (size `deg(u)`) and non-neighbors
+//! (size `n − 1 − deg(u)`), so the graph is (k,1)-anonymous iff every
+//! degree lies in `{0} ∪ [k, n−1−k] ∪ {n−1}` (with the obvious boundary
+//! cases for tiny n). That makes an insertion-only, provably terminating
+//! repair possible, and it is the fast path [`KLAdjacencyAnonymity`]
+//! uses; the general certifier enumerates all subsets and is exercised
+//! against the band characterization in the tests. For ℓ ≥ 2 the repair
+//! falls back to a greedy loop that inserts the absent edge minimizing
+//! the violation count (ties lexicographic) — each step adds one edge, so
+//! it terminates at the complete graph, which certifies iff
+//! `n ≥ k + ℓ`.
+
+use lopacity::{MoveKind, PrivacyModel, RunContext, Strategy};
+use lopacity_graph::{Graph, VertexId};
+use std::collections::HashMap;
+
+/// Number of "insufficiently hidden" vertices summed over all adversary
+/// subsets: for every non-empty `S`, `|S| ≤ ell`, every member of an
+/// adjacency-pattern class with `0 < size < k` counts once
+/// (0 ⇔ [`is_kl_adjacency_anonymous`]). `k <= 1` never violates.
+pub fn kl_adjacency_violations(graph: &Graph, k: usize, ell: usize) -> u64 {
+    subset_stats(graph, k, ell).0
+}
+
+/// Whether the graph is (k,ℓ)-adjacency anonymous.
+pub fn is_kl_adjacency_anonymous(graph: &Graph, k: usize, ell: usize) -> bool {
+    kl_adjacency_violations(graph, k, ell) == 0
+}
+
+/// Fraction of adversary subsets (non-empty, `|S| ≤ ell`) that expose at
+/// least one undersized pattern class — the model's leakage score in
+/// `[0, 1]`.
+pub fn kl_adjacency_leakage(graph: &Graph, k: usize, ell: usize) -> f64 {
+    let (_, violating_subsets, total_subsets) = subset_stats_full(graph, k, ell);
+    if total_subsets == 0 {
+        return 0.0;
+    }
+    violating_subsets as f64 / total_subsets as f64
+}
+
+fn subset_stats(graph: &Graph, k: usize, ell: usize) -> (u64, u64) {
+    let (violations, violating_subsets, _) = subset_stats_full(graph, k, ell);
+    (violations, violating_subsets)
+}
+
+/// `(violating members, violating subsets, total subsets)` over every
+/// non-empty `S` with `|S| ≤ ell`. ℓ = 1 uses the degree-band closed
+/// form (O(|V|) after degrees); larger ℓ enumerates subsets.
+fn subset_stats_full(graph: &Graph, k: usize, ell: usize) -> (u64, u64, u64) {
+    assert!(ell <= 64, "adjacency patterns are tracked as 64-bit masks");
+    let n = graph.num_vertices();
+    if k <= 1 || n == 0 || ell == 0 {
+        let mut total = 0u64;
+        let mut choose = 1u64;
+        for s in 1..=ell.min(n) {
+            choose = choose * (n as u64 - s as u64 + 1) / s as u64;
+            total += choose;
+        }
+        return (0, 0, total);
+    }
+    let mut violations = 0u64;
+    let mut violating_subsets = 0u64;
+    let mut total_subsets = 0u64;
+    // ℓ = 1 closed form: for S = {u} the classes are neighbors (deg u)
+    // and non-neighbors (n − 1 − deg u).
+    for u in 0..n {
+        total_subsets += 1;
+        let deg = graph.degree(u as VertexId);
+        let co = n - 1 - deg;
+        let mut here = 0u64;
+        if deg > 0 && deg < k {
+            here += deg as u64;
+        }
+        if co > 0 && co < k {
+            here += co as u64;
+        }
+        violations += here;
+        violating_subsets += (here > 0) as u64;
+    }
+    // ℓ ≥ 2: enumerate subsets and bucket V∖S by adjacency bitmask.
+    let mut subset: Vec<usize> = Vec::with_capacity(ell);
+    if ell >= 2 && n >= 2 {
+        enumerate_subsets(n, 2, ell.min(n), &mut subset, &mut |s| {
+            total_subsets += 1;
+            let mut classes: HashMap<u64, u64> = HashMap::new();
+            'vertex: for v in 0..n {
+                let mut mask = 0u64;
+                for (bit, &u) in s.iter().enumerate() {
+                    if u == v {
+                        continue 'vertex;
+                    }
+                    if graph.has_edge(v as VertexId, u as VertexId) {
+                        mask |= 1 << bit;
+                    }
+                }
+                *classes.entry(mask).or_default() += 1;
+            }
+            let here: u64 = classes.values().filter(|&&c| c < k as u64).sum();
+            violations += here;
+            violating_subsets += (here > 0) as u64;
+        });
+    }
+    (violations, violating_subsets, total_subsets)
+}
+
+/// Calls `visit` for every subset of `{0..n}` with size in `[min, max]`,
+/// in lexicographic order.
+fn enumerate_subsets(
+    n: usize,
+    min: usize,
+    max: usize,
+    subset: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    if subset.len() >= min {
+        visit(subset);
+    }
+    if subset.len() == max {
+        return;
+    }
+    let start = subset.last().map_or(0, |&last| last + 1);
+    for v in start..n {
+        subset.push(v);
+        enumerate_subsets(n, min, max, subset, visit);
+        subset.pop();
+    }
+}
+
+/// Whether degree `d` is allowed under the (k,1) band
+/// `{0} ∪ [k, n−1−k] ∪ {n−1}` (boundary cases: an empty co-class or
+/// neighbor class is always fine).
+fn band_allowed(d: usize, n: usize, k: usize) -> bool {
+    let others = n - 1;
+    let neighbors_ok = d == 0 || d >= k;
+    let co_ok = d == others || others - d >= k;
+    neighbors_ok && co_ok
+}
+
+/// (k,ℓ)-adjacency anonymity as a [`PrivacyModel`] and session
+/// [`Strategy`] (see the [module docs](self) for both repair modes).
+#[derive(Debug, Clone)]
+pub struct KLAdjacencyAnonymity {
+    k: usize,
+    ell: usize,
+}
+
+impl KLAdjacencyAnonymity {
+    /// Repair toward (k,ℓ)-adjacency anonymity.
+    ///
+    /// # Panics
+    /// Panics when `k` or `ell` is 0, or `ell > 64` (adjacency patterns
+    /// are tracked as 64-bit masks; real adversaries control few sybils).
+    pub fn new(k: usize, ell: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!((1..=64).contains(&ell), "ell must be in 1..=64");
+        KLAdjacencyAnonymity { k, ell }
+    }
+
+    /// The anonymity parameter k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The adversary subset bound ℓ.
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// Insertion-only ℓ = 1 repair via the degree band: raise each
+    /// offending vertex's degree to the band floor (or to `n − 1` when
+    /// the band is empty), preferring partners that are themselves
+    /// violating, then partners whose degree stays allowed.
+    fn repair_band(&self, ctx: &mut RunContext<'_>) {
+        let k = self.k;
+        loop {
+            let n = ctx.evaluator().graph().num_vertices();
+            let offender = {
+                let graph = ctx.evaluator().graph();
+                (0..n).find(|&v| !band_allowed(graph.degree(v as VertexId), n, k))
+            };
+            let u = match offender {
+                Some(u) => u,
+                None => {
+                    ctx.declare_achieved(true);
+                    return;
+                }
+            };
+            if ctx.interrupted() {
+                ctx.declare_achieved(false);
+                return;
+            }
+            ctx.add_trials(1);
+            let partner = {
+                let graph = ctx.evaluator().graph();
+                let free = |w: usize| w != u && !graph.has_edge(u as VertexId, w as VertexId);
+                (0..n)
+                    .find(|&w| free(w) && !band_allowed(graph.degree(w as VertexId), n, k))
+                    .or_else(|| {
+                        (0..n).find(|&w| {
+                            free(w) && band_allowed(graph.degree(w as VertexId) + 1, n, k)
+                        })
+                    })
+                    .or_else(|| (0..n).find(|&w| free(w)))
+            };
+            match partner {
+                Some(w) => {
+                    ctx.commit(
+                        MoveKind::Insert,
+                        &[lopacity_graph::Edge::new(u as VertexId, w as VertexId)],
+                    );
+                    ctx.step_committed();
+                }
+                None => {
+                    // u is adjacent to everyone, yet still violating — its
+                    // neighbor class is n − 1 < k. Insertion elsewhere
+                    // cannot change u's classes; the notion is infeasible.
+                    ctx.declare_achieved(false);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// General ℓ ≥ 2 repair: greedily insert the absent edge minimizing
+    /// the violation count (ties lexicographic). Certifier-complete but
+    /// O(|V|^ℓ) per evaluation — intended for the small graphs where a
+    /// multi-sybil adversary is actually analyzable.
+    fn repair_greedy(&self, ctx: &mut RunContext<'_>) {
+        let (k, ell) = (self.k, self.ell);
+        loop {
+            if is_kl_adjacency_anonymous(ctx.evaluator().graph(), k, ell) {
+                ctx.declare_achieved(true);
+                return;
+            }
+            if ctx.interrupted() {
+                ctx.declare_achieved(false);
+                return;
+            }
+            let best = {
+                let graph = ctx.evaluator().graph();
+                let mut best = None;
+                let mut trials = 0u64;
+                for e in graph.non_edges() {
+                    let mut candidate = graph.clone();
+                    candidate.add_edge(e.u(), e.v());
+                    let value = kl_adjacency_violations(&candidate, k, ell);
+                    trials += 1;
+                    // Lexicographic enumeration + strict improvement keeps
+                    // the first (smallest) edge among ties.
+                    if best.map_or(true, |(b, _)| value < b) {
+                        best = Some((value, e));
+                    }
+                }
+                ctx.add_trials(trials);
+                best.map(|(_, e)| e)
+            };
+            match best {
+                Some(e) => {
+                    ctx.commit(MoveKind::Insert, &[e]);
+                    ctx.step_committed();
+                }
+                None => {
+                    // Complete graph and still violating: infeasible
+                    // (n < k + ℓ).
+                    ctx.declare_achieved(false);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for KLAdjacencyAnonymity {
+    fn name(&self) -> &'static str {
+        "kl-adjacency"
+    }
+
+    fn execute(&mut self, ctx: &mut RunContext<'_>) {
+        if self.k <= 1 {
+            ctx.declare_achieved(true);
+            return;
+        }
+        if self.ell == 1 {
+            self.repair_band(ctx);
+        } else {
+            self.repair_greedy(ctx);
+        }
+    }
+}
+
+impl PrivacyModel for KLAdjacencyAnonymity {
+    fn name(&self) -> &'static str {
+        "kl-adjacency"
+    }
+
+    fn label(&self) -> String {
+        format!("kl-adjacency(k={}, ell={})", self.k, self.ell)
+    }
+
+    fn violations(&self, graph: &Graph) -> u64 {
+        kl_adjacency_violations(graph, self.k, self.ell)
+    }
+
+    fn leakage(&self, graph: &Graph) -> f64 {
+        kl_adjacency_leakage(graph, self.k, self.ell)
+    }
+
+    fn repair_strategy(&self) -> Box<dyn Strategy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopacity::{AnonymizeConfig, Anonymizer, TypeSpec};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(
+            n,
+            (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)),
+        )
+        .unwrap()
+    }
+
+    fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        while g.num_edges() < m {
+            let u = rng.random_range(0..n as VertexId);
+            let v = rng.random_range(0..n as VertexId);
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// The ℓ = 1 degree-band characterization must agree with the general
+    /// subset enumerator on random graphs (the enumerator at ℓ = 1 *is*
+    /// the closed form here, so compare against a naive recount).
+    #[test]
+    fn band_matches_naive_subset_count_at_ell_1() {
+        for seed in 0..8 {
+            let g = gnm(9, 12, seed);
+            let n = g.num_vertices();
+            for k in 2..=4 {
+                let mut naive = 0u64;
+                for u in 0..n {
+                    let deg = g.degree(u as VertexId);
+                    let co = n - 1 - deg;
+                    for class in [deg, co] {
+                        if class > 0 && class < k {
+                            naive += class as u64;
+                        }
+                    }
+                }
+                assert_eq!(kl_adjacency_violations(&g, k, 1), naive, "seed {seed} k {k}");
+                let banded = (0..n).all(|v| band_allowed(g.degree(v as VertexId), n, k));
+                assert_eq!(is_kl_adjacency_anonymous(&g, k, 1), banded, "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_certifies_iff_n_at_least_k_plus_ell() {
+        let complete = |n: usize| {
+            let mut g = Graph::new(n);
+            for u in 0..n as VertexId {
+                for v in (u + 1)..n as VertexId {
+                    g.add_edge(u, v);
+                }
+            }
+            g
+        };
+        for (n, k, ell, want) in
+            [(6, 3, 2, true), (5, 3, 2, true), (4, 3, 2, false), (5, 4, 1, true), (4, 4, 1, false)]
+        {
+            assert_eq!(
+                is_kl_adjacency_anonymous(&complete(n), k, ell),
+                want,
+                "n={n} k={k} ell={ell}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_pass_at_ell_1_but_fail_at_ell_2() {
+        // C6: every degree is 2 = k, co-degree 3 >= k.
+        assert!(is_kl_adjacency_anonymous(&cycle(6), 2, 1));
+        // But an adjacent sybil pair {u, v} in a cycle pins the outer
+        // neighbor of u (pattern "adjacent to u only") alone in its
+        // class, so no cycle is (2,2)-anonymous.
+        assert!(!is_kl_adjacency_anonymous(&cycle(7), 2, 2));
+    }
+
+    #[test]
+    fn star_hub_is_exposed() {
+        let g = Graph::from_edges(5, [(0u32, 1u32), (0, 2), (0, 3), (0, 4)]).unwrap();
+        // Leaves have degree 1 < 2: their neighbor class {hub} has size 1.
+        assert!(!is_kl_adjacency_anonymous(&g, 2, 1));
+        assert!(kl_adjacency_leakage(&g, 2, 1) > 0.0);
+        assert_eq!(kl_adjacency_leakage(&g, 1, 1), 0.0, "k = 1 never leaks");
+    }
+
+    #[test]
+    fn band_repair_certifies_through_the_session() {
+        let g = Graph::from_edges(8, [(0u32, 1u32), (0, 2), (0, 3), (0, 4), (5, 6)]).unwrap();
+        let spec = TypeSpec::DegreePairs;
+        let mut session = Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5));
+        let out = session.run(KLAdjacencyAnonymity::new(2, 1));
+        assert!(out.achieved, "{out}");
+        assert!(out.removed.is_empty(), "band repair is insertion-only");
+        assert!(is_kl_adjacency_anonymous(&out.graph, 2, 1));
+    }
+
+    #[test]
+    fn greedy_repair_certifies_at_ell_2() {
+        let g = Graph::from_edges(7, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)])
+            .unwrap();
+        let spec = TypeSpec::DegreePairs;
+        let mut session = Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5));
+        let out = session.run(KLAdjacencyAnonymity::new(2, 2));
+        assert!(out.achieved, "{out}");
+        assert!(is_kl_adjacency_anonymous(&out.graph, 2, 2));
+        assert!(out.trials > 0, "greedy candidate scans reach the trial clock");
+    }
+
+    #[test]
+    fn infeasible_instance_concedes() {
+        // n = 3 < k + ell = 4: nothing certifies.
+        let g = Graph::from_edges(3, [(0u32, 1u32)]).unwrap();
+        let spec = TypeSpec::DegreePairs;
+        let mut session = Anonymizer::new(&g, &spec).config(AnonymizeConfig::new(1, 0.5));
+        let out = session.run(KLAdjacencyAnonymity::new(3, 1));
+        assert!(!out.achieved);
+    }
+
+    #[test]
+    fn model_surface_is_consistent() {
+        let model = KLAdjacencyAnonymity::new(2, 1);
+        assert_eq!(model.label(), "kl-adjacency(k=2, ell=1)");
+        assert!(model.certify(&cycle(6)));
+        let star = Graph::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+        assert!(!model.certify(&star));
+        assert!(model.violations(&star) > 0);
+        assert!(model.leakage(&star) > 0.0 && model.leakage(&star) <= 1.0);
+    }
+}

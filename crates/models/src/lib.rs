@@ -1,0 +1,33 @@
+//! Rival graph-anonymity models behind the L-opacity session.
+//!
+//! The core crate anonymizes against *distance-based* linkage
+//! (L-opacity). The literature it argues with anonymizes against
+//! *structural* re-identification instead, and the paper's evaluation is
+//! a head-to-head. This crate supplies the rivals as first-class
+//! [`PrivacyModel`](lopacity::PrivacyModel)s — certifier, leakage score,
+//! and a repair [`Strategy`](lopacity::Strategy) that runs through the
+//! same [`Anonymizer`](lopacity::Anonymizer) session as the paper's own
+//! algorithms — plus the harness that pits all of them against each
+//! other at matched edit budgets.
+//!
+//! Module map:
+//!
+//! * [`kdegree`] — degree-sequence k-anonymity (Feder, Nabar & Terzi):
+//!   every vertex shares its degree with ≥ k−1 others.
+//! * [`kladjacency`] — (k,ℓ)-adjacency anonymity (Mauw, Trujillo-Rasua &
+//!   Xuan): every adjacency pattern toward ≤ ℓ compromised accounts is
+//!   shared by ≥ k vertices or by none.
+//! * [`compare`] — [`run_comparison`]: one session, every model, matched
+//!   budgets, every output scored by every certifier and by the full
+//!   utility suite; feeds `COMPARE.json` / CSV via
+//!   [`lopacity_metrics::CompareReport`].
+
+pub mod compare;
+pub mod kdegree;
+pub mod kladjacency;
+
+pub use compare::{run_comparison, CompareSpec};
+pub use kdegree::{is_k_degree_anonymous, k_degree_violations, KDegreeAnonymity};
+pub use kladjacency::{
+    is_kl_adjacency_anonymous, kl_adjacency_leakage, kl_adjacency_violations, KLAdjacencyAnonymity,
+};

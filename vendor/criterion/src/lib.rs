@@ -4,12 +4,13 @@
 //! Implements the structural API — [`Criterion`], benchmark groups,
 //! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
 //! [`criterion_main!`] macros — with a simple wall-clock measurement loop
-//! instead of criterion's statistical machinery: per benchmark it runs a
-//! warm-up, sizes an iteration batch to roughly the configured measurement
-//! time, and prints the mean time per iteration. Good enough to compare
-//! engine variants by eye and to keep `cargo bench` green offline; swap the
-//! real crate back in (one `Cargo.toml` line) for publication-grade
-//! confidence intervals.
+//! instead of criterion's full statistical machinery: per benchmark it
+//! runs a warm-up, sizes an iteration batch to roughly the configured
+//! measurement time, and reports per-iteration sample statistics (mean,
+//! median, sample std-dev, best). Good enough to compare engine variants
+//! by eye and to keep `cargo bench` green offline; swap the real crate
+//! back in (one `Cargo.toml` line) for publication-grade confidence
+//! intervals.
 
 use std::time::{Duration, Instant};
 
@@ -190,29 +191,68 @@ where
     let budget = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
     let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
 
-    let mut total = Duration::ZERO;
     let mut iters = 0u64;
-    let mut best = f64::INFINITY;
+    let mut samples = Vec::with_capacity(settings.sample_size);
     for _ in 0..settings.sample_size {
         let mut b = Bencher {
             iters: batch,
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        total += b.elapsed;
         iters += b.iters;
-        let sample = b.elapsed.as_secs_f64() / b.iters as f64;
-        if sample < best {
-            best = sample;
-        }
+        samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
     }
-    let mean = total.as_secs_f64() / iters.max(1) as f64;
+    let stats = Stats::from_samples(&samples);
     println!(
-        "{label:<60} mean {:>12}  best {:>12}  ({} iters)",
-        format_time(mean),
-        format_time(best),
+        "{label:<60} mean {:>12}  median {:>12}  stddev {:>12}  best {:>12}  ({} iters)",
+        format_time(stats.mean),
+        format_time(stats.median),
+        format_time(stats.std_dev),
+        format_time(stats.best),
         iters
     );
+}
+
+/// Per-iteration sample statistics over one benchmark's timed samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean of the per-iteration sample times.
+    pub mean: f64,
+    /// Median (midpoint of the two central samples for even counts).
+    pub median: f64,
+    /// Sample standard deviation (Bessel-corrected, n − 1); zero for a
+    /// single sample.
+    pub std_dev: f64,
+    /// Fastest sample.
+    pub best: f64,
+}
+
+impl Stats {
+    /// Computes the summary of `samples` (seconds per iteration).
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty — the runner always collects at
+    /// least one sample ([`Criterion::sample_size`] rejects zero).
+    pub fn from_samples(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty(), "no samples to summarize");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let mid = sorted.len() / 2;
+        let median = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        };
+        let std_dev = if sorted.len() > 1 {
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+            var.sqrt()
+        } else {
+            0.0
+        };
+        Stats { mean, median, std_dev, best: sorted[0] }
+    }
 }
 
 fn format_time(seconds: f64) -> String {
@@ -277,6 +317,42 @@ mod tests {
         });
         group.finish();
         assert!(runs > 0, "routine was never executed");
+    }
+
+    #[test]
+    fn stats_of_an_odd_sample_count() {
+        let s = Stats::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.best, 1.0);
+        // Sample variance of {1,2,3} is ((1)^2 + 0 + (1)^2) / 2 = 1.
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_an_even_sample_count_average_the_middle_pair() {
+        let s = Stats::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.best, 1.0);
+        // Sample variance of {1,2,3,4} is (2.25+0.25+0.25+2.25)/3 = 5/3.
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_single_sample_has_zero_spread() {
+        let s = Stats::from_samples(&[0.25]);
+        assert_eq!(s.mean, 0.25);
+        assert_eq!(s.median, 0.25);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.best, 0.25);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_std_dev() {
+        let s = Stats::from_samples(&[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 0.5);
     }
 
     #[test]
