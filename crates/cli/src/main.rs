@@ -16,7 +16,7 @@
 //! lopacify opacity   --in graph.txt --l 2 [--original orig.txt]
 //! lopacify stats     --in graph.txt
 //! lopacify generate  --dataset google --n 500 --out graph.txt [--seed N]
-//! lopacify serve     [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS]
+//! lopacify serve     [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS] [--state-dir DIR]
 //! ```
 //!
 //! Graphs are whitespace-separated edge lists (SNAP format); `#`/`%` lines
@@ -153,12 +153,16 @@ commands:
             datasets: google, berkeley-stanford, epinions, enron, gnutella,
                       acm, wikipedia
   serve     [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS]
+            [--state-dir DIR]
             starts lopacityd, the anonymization daemon: jobs over HTTP with
             progress streaming, cooperative cancellation, per-job budgets,
             a shared (graph, L, engine) evaluator cache, and held churn
             sessions (defaults: 127.0.0.1:7311, 2 workers, queue 32);
             --job-ttl drops finished jobs SECS after completion (default:
-            keep forever)
+            keep forever); --state-dir keeps a durable job journal so
+            interrupted jobs resume byte-identically on the next boot
+            (SIGTERM drains and exits 0; see lopacityd --help for the
+            full robustness knobs: --fault, --backlog-bytes, ...)
 
 exit codes:
   0  success
@@ -621,11 +625,15 @@ fn serve(args: &Args) -> Result<(), String> {
                 raw.parse().map_err(|_| format!("--job-ttl: {raw:?} is not a seconds count"))?,
             ),
         },
+        state_dir: args.get("state-dir").map(std::path::PathBuf::from),
+        ..defaults
     };
     let daemon = Daemon::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
     println!("lopacityd listening on {}", daemon.addr());
     println!("workers {} queue {}", config.workers.max(1), config.queue_capacity);
-    loop {
-        std::thread::park();
+    if let Some(dir) = &config.state_dir {
+        println!("state-dir {}", dir.display());
     }
+    lopacity_daemon::server::serve_until_term(daemon);
+    Ok(())
 }

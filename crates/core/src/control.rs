@@ -33,10 +33,40 @@
 //! partial edit list with `achieved: false` (unless θ was reached first).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+use lopacity_graph::Edge;
 
 /// Sentinel for "no dynamic cap set".
 const UNSET: u64 = u64::MAX;
+
+/// A resumable snapshot of a greedy run at a step boundary.
+///
+/// Captured by the driver when [`RunControl::set_checkpoint_every`] is
+/// armed, published through the control's checkpoint slot, and consumed by
+/// [`crate::Anonymizer::resume_run`]. The snapshot is *complete* for the
+/// greedy strategies: the edited graph is reconstructible from the
+/// pristine graph plus the edit lists (edit order does not matter — the
+/// evaluator's logical state is a function of the current graph), the
+/// anti-oscillation sets of [`crate::RemovalInsertion`] equal the edit
+/// lists at every step boundary (the greedy strategies never revisit an
+/// edited edge), and the RNG state resumes the tie-break nonce stream
+/// exactly. A resumed run therefore re-traces the uninterrupted run's
+/// remaining steps bit-for-bit — the property the crash-recovery tests
+/// pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCheckpoint {
+    /// Committed greedy steps at capture time.
+    pub steps: usize,
+    /// Cumulative candidate evaluations at capture time.
+    pub trials: u64,
+    /// The run RNG's raw state (xoshiro256++, 4 words).
+    pub rng_state: [u64; 4],
+    /// Edges removed so far, relative to the run's start graph.
+    pub removed: Vec<Edge>,
+    /// Edges inserted so far, relative to the run's start graph.
+    pub inserted: Vec<Edge>,
+}
 
 /// A shared, thread-safe interruption handle for one run (or any number of
 /// runs that should stop together). Clones share state; `Default` is an
@@ -57,6 +87,11 @@ struct Inner {
     cancelled: AtomicBool,
     max_trials: AtomicU64,
     max_steps: AtomicU64,
+    /// Checkpoint cadence in steps; 0 disables capture.
+    checkpoint_every: AtomicU64,
+    /// The latest captured checkpoint, awaiting a consumer (a daemon
+    /// worker journaling it). Overwritten by each newer capture.
+    checkpoint: Mutex<Option<RunCheckpoint>>,
 }
 
 impl RunControl {
@@ -67,6 +102,8 @@ impl RunControl {
                 cancelled: AtomicBool::new(false),
                 max_trials: AtomicU64::new(UNSET),
                 max_steps: AtomicU64::new(UNSET),
+                checkpoint_every: AtomicU64::new(0),
+                checkpoint: Mutex::new(None),
             }),
         }
     }
@@ -111,6 +148,38 @@ impl RunControl {
         }
     }
 
+    /// Arms (or disarms, with `None`/`Some(0)`) checkpoint capture: the
+    /// greedy driver publishes a [`RunCheckpoint`] into this control every
+    /// `every` committed steps (step numbers divisible by `every`). The
+    /// capture itself is O(edit list) — a clone of the run's edit lists —
+    /// and never changes the run's trajectory.
+    pub fn set_checkpoint_every(&self, every: Option<u64>) {
+        self.inner.checkpoint_every.store(every.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Whether a checkpoint should be captured at committed step `steps`.
+    pub fn checkpoint_due(&self, steps: usize) -> bool {
+        match self.inner.checkpoint_every.load(Ordering::Relaxed) {
+            0 => false,
+            every => (steps as u64) % every == 0,
+        }
+    }
+
+    /// Publishes a captured checkpoint (newest wins).
+    pub fn store_checkpoint(&self, checkpoint: RunCheckpoint) {
+        *self.inner.checkpoint.lock().expect("checkpoint slot") = Some(checkpoint);
+    }
+
+    /// Takes the latest unconsumed checkpoint, leaving the slot empty.
+    pub fn take_checkpoint(&self) -> Option<RunCheckpoint> {
+        self.inner.checkpoint.lock().expect("checkpoint slot").take()
+    }
+
+    /// A clone of the latest checkpoint, leaving it in place.
+    pub fn latest_checkpoint(&self) -> Option<RunCheckpoint> {
+        self.inner.checkpoint.lock().expect("checkpoint slot").clone()
+    }
+
     /// Whether a run with the given cumulative counters should stop:
     /// cancelled, or a dynamic cap reached. The greedy driver calls this
     /// at its checkpoints via [`crate::RunContext`].
@@ -148,6 +217,31 @@ mod tests {
         remote.cancel();
         assert!(c.is_cancelled());
         assert!(c.should_stop(0, 0));
+    }
+
+    #[test]
+    fn checkpoint_slot_is_latest_wins_and_shared() {
+        let c = RunControl::new();
+        assert!(!c.checkpoint_due(1), "capture disarmed by default");
+        c.set_checkpoint_every(Some(2));
+        assert!(!c.checkpoint_due(1));
+        assert!(c.checkpoint_due(2));
+        assert!(c.checkpoint_due(4));
+        let ck = |steps| RunCheckpoint {
+            steps,
+            trials: steps as u64 * 10,
+            rng_state: [1, 2, 3, 4],
+            removed: vec![],
+            inserted: vec![],
+        };
+        let remote = c.clone();
+        c.store_checkpoint(ck(2));
+        c.store_checkpoint(ck(4));
+        assert_eq!(remote.latest_checkpoint().unwrap().steps, 4);
+        assert_eq!(remote.take_checkpoint().unwrap().steps, 4, "newest wins");
+        assert!(remote.take_checkpoint().is_none(), "take drains the slot");
+        c.set_checkpoint_every(None);
+        assert!(!c.checkpoint_due(2));
     }
 
     #[test]

@@ -150,7 +150,7 @@ pub mod types;
 
 pub use churn::{BatchReport, ChurnSession, EdgeEvent, RepairPatch};
 pub use config::{AnonymizeConfig, LookaheadMode};
-pub use control::RunControl;
+pub use control::{RunCheckpoint, RunControl};
 pub use evaluator::{BatchDelta, CommitDelta, OpacityEvaluator};
 pub use lo::LoAssessment;
 pub use lopacity_apsp::StoreBackend;

@@ -321,8 +321,24 @@ impl RunContext<'_> {
     }
 
     /// Counts one completed greedy step and emits the observer event.
+    /// When the attached [`RunControl`] has checkpoint capture armed and
+    /// the cadence is due, a [`crate::RunCheckpoint`] is published into
+    /// the control *before* the observer event fires — so an observer
+    /// that persists checkpoints (the daemon's journal) sees the snapshot
+    /// for the step it is being told about.
     pub fn step_committed(&mut self) {
         self.totals.steps += 1;
+        if let Some(control) = self.control {
+            if control.checkpoint_due(self.totals.steps) {
+                control.store_checkpoint(crate::RunCheckpoint {
+                    steps: self.totals.steps,
+                    trials: self.totals.trials,
+                    rng_state: self.rng.state(),
+                    removed: self.totals.removed.clone(),
+                    inserted: self.totals.inserted.clone(),
+                });
+            }
+        }
         let a = self.ev.assessment();
         let event = StepEvent {
             theta: self.config.theta,
@@ -544,6 +560,59 @@ impl<'a> Anonymizer<'a> {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut totals = RunTotals::default();
         let mut forks = ForkSet::new();
+        self.execute_segment(&mut ev, &mut forks, &mut rng, &mut totals, &config, &mut strategy);
+        let a = ev.assessment();
+        let outcome = totals.outcome(ev.into_graph(), a, config.theta, forks.clones());
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer.on_run_end(&outcome);
+        }
+        outcome
+    }
+
+    /// Resumes an interrupted run from a [`crate::RunCheckpoint`] — the
+    /// crash-recovery half of the determinism contract.
+    ///
+    /// The pristine cached evaluator is cloned and fast-forwarded by
+    /// applying the checkpoint's edit lists (order-free: the evaluator's
+    /// logical state is a function of the current graph), the run RNG is
+    /// restored from the captured raw state, and the counters resume from
+    /// the checkpoint's values — then `strategy` continues exactly where
+    /// the interrupted run stopped. For the greedy strategies this
+    /// re-traces the uninterrupted run's remaining trajectory bit-for-bit,
+    /// so `resume_run(s, ck).graph == run(s).graph` byte-for-byte for any
+    /// checkpoint `ck` the same configuration captured (pinned by
+    /// `tests/tests/checkpoint_resume.rs`).
+    ///
+    /// **Contract:** `strategy` must carry any internal state the
+    /// checkpoint implies — [`crate::RemovalInsertion`] must be rebuilt
+    /// with [`crate::RemovalInsertion::with_forbidden`] over the
+    /// checkpoint's edit lists ([`crate::Removal`] is stateless).
+    /// [`crate::ExactMinRemovals`] is not resumable (its search tree is
+    /// not checkpointed); rerun it from scratch instead — it is equally
+    /// deterministic.
+    pub fn resume_run<S: Strategy>(
+        &mut self,
+        strategy: S,
+        checkpoint: &crate::RunCheckpoint,
+    ) -> AnonymizationOutcome {
+        let mut ev = self.prepared().clone();
+        for &e in &checkpoint.removed {
+            ev.apply_remove(e);
+        }
+        for &e in &checkpoint.inserted {
+            ev.apply_insert(e);
+        }
+        let config = self.config;
+        let mut rng = StdRng::from_state(checkpoint.rng_state);
+        let mut totals = RunTotals {
+            steps: checkpoint.steps,
+            trials: checkpoint.trials,
+            removed: checkpoint.removed.clone(),
+            inserted: checkpoint.inserted.clone(),
+            achieved_override: None,
+        };
+        let mut forks = ForkSet::new();
+        let mut strategy = strategy;
         self.execute_segment(&mut ev, &mut forks, &mut rng, &mut totals, &config, &mut strategy);
         let a = ev.assessment();
         let outcome = totals.outcome(ev.into_graph(), a, config.theta, forks.clones());

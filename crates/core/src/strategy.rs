@@ -176,6 +176,22 @@ pub struct RemovalInsertion {
 }
 
 impl RemovalInsertion {
+    /// Rebuilds the strategy's anti-oscillation state from explicit edit
+    /// lists — the checkpoint-resume constructor. At every step boundary
+    /// of a run the `E_D`/`E_A` sets equal the run's edit lists (the
+    /// greedy loop never revisits an edited edge), so a
+    /// [`crate::RunCheckpoint`]'s `removed`/`inserted` lists are exactly
+    /// the state a resumed strategy must carry.
+    pub fn with_forbidden(
+        removed: impl IntoIterator<Item = Edge>,
+        inserted: impl IntoIterator<Item = Edge>,
+    ) -> Self {
+        RemovalInsertion {
+            removed_set: removed.into_iter().collect(),
+            inserted_set: inserted.into_iter().collect(),
+        }
+    }
+
     /// Edges removed so far and therefore barred from re-insertion
     /// (the paper's `E_D`).
     pub fn removed_set(&self) -> &HashSet<Edge> {

@@ -166,6 +166,43 @@ impl JobSpec {
             .with_parallelism(Parallelism::Auto)
     }
 
+    /// Serializes the spec back to the wire format, with every field
+    /// explicit. `parse(canonical_body(s)) == s` for all valid specs — the
+    /// property the journal's crash recovery rests on: a Submit record
+    /// carries this text, and replaying it reconstructs the job exactly.
+    pub fn canonical_body(&self) -> String {
+        let mut out = String::new();
+        out.push_str(match self.mode {
+            JobMode::Anonymize => "mode anonymize\n",
+            JobMode::Churn => "mode churn\n",
+        });
+        out.push_str(&format!("method {}\n", self.method));
+        out.push_str(&format!("l {}\n", self.l));
+        out.push_str(&format!("theta {}\n", self.theta));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("engine {}\n", self.engine.name()));
+        out.push_str(&format!("store {}\n", self.store.name()));
+        if let Some(cap) = self.max_trials {
+            out.push_str(&format!("max_trials {cap}\n"));
+        }
+        if let Some(cap) = self.max_steps {
+            out.push_str(&format!("max_steps {cap}\n"));
+        }
+        match &self.source {
+            GraphSource::Inline(text) => {
+                out.push_str("graph inline\n\n");
+                out.push_str(text);
+            }
+            GraphSource::Gnm { n, m, seed } => {
+                out.push_str(&format!("graph gnm {n} {m} {seed}\n"));
+            }
+            GraphSource::Dataset { which, n, seed } => {
+                out.push_str(&format!("graph dataset {} {n} {seed}\n", which.key()));
+            }
+        }
+        out
+    }
+
     /// The session-cache key: everything that determines the prepared
     /// evaluator build. Two submissions with equal keys share one APSP
     /// build (the acceptance criterion's `(graph hash, L, engine)`, plus
@@ -278,6 +315,23 @@ mod tests {
         assert!(JobSpec::parse("bogus 3\ngraph gnm 5 5 1\n").is_err());
         assert!(JobSpec::parse("graph inline\n\nnot numbers\n").is_ok()); // parse fails later
         assert!(resolve_graph(&GraphSource::Inline("not numbers\n".into())).is_err());
+    }
+
+    #[test]
+    fn canonical_body_round_trips() {
+        let bodies = [
+            "mode anonymize\nmethod rem-ins\nl 2\ntheta 0.4\nseed 9\nengine floyd\n\
+             store sparse\nmax_trials 500\nmax_steps 7\ngraph gnm 40 90 3\n",
+            "mode churn\nl 1\ntheta 0.9\ngraph dataset enron 100 5\n",
+            "l 1\ntheta 0.9\ngraph inline\n\n0 1\n1 2\n",
+        ];
+        for body in bodies {
+            let spec = JobSpec::parse(body).unwrap();
+            let canonical = spec.canonical_body();
+            let reparsed = JobSpec::parse(&canonical).unwrap();
+            assert_eq!(reparsed.canonical_body(), canonical, "fixed point for {body:?}");
+            assert_eq!(format!("{reparsed:?}"), format!("{spec:?}"), "field-equal for {body:?}");
+        }
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //! See `ARCHITECTURE.md` ("Service layer") for the full design.
 
 pub mod job;
+pub mod journal;
 pub mod server;
 pub mod state;
 
 pub use job::{GraphSource, JobMode, JobSpec};
+pub use journal::{Journal, Record};
 pub use server::{Daemon, DaemonConfig};
 pub use state::{ChurnError, Job, JobStatus, Phase, ServerState, SubmitError};

@@ -1,6 +1,7 @@
-//! `lopacityd` binary: bind, announce the address, serve until killed.
+//! `lopacityd` binary: bind, announce the address, serve until SIGTERM
+//! (graceful drain) or SIGKILL (the journal recovers on the next boot).
 
-use lopacity_daemon::{Daemon, DaemonConfig};
+use lopacity_daemon::{server::serve_until_term, Daemon, DaemonConfig};
 use lopacity_util::Args;
 
 const USAGE: &str = "\
@@ -8,6 +9,8 @@ lopacityd - L-opacity anonymization daemon
 
 USAGE:
     lopacityd [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS]
+              [--state-dir DIR] [--checkpoint-every STEPS] [--max-attempts N]
+              [--backlog-bytes N] [--io-timeout SECS] [--fault PLAN]
 
 OPTIONS:
     --addr HOST:PORT   bind address (default 127.0.0.1:7311; port 0 picks a free port)
@@ -16,15 +19,39 @@ OPTIONS:
     --job-ttl SECS     drop finished jobs (results, logs, held churn sessions)
                        SECS after they finish; counted in the
                        lopacityd_jobs_expired metric (default: keep forever)
+    --state-dir DIR    durable job journal in DIR/journal.log: submissions,
+                       checkpoints, results. On boot the journal is replayed:
+                       finished jobs restore, interrupted jobs resume from
+                       their last checkpoint with byte-identical results
+                       (default: in-memory only)
+    --checkpoint-every STEPS
+                       journal a resumable snapshot every STEPS greedy steps;
+                       0 disables checkpointing (default 1)
+    --max-attempts N   worker panics tolerated per job before it is
+                       quarantined as failed (default 3)
+    --backlog-bytes N  queued-spec byte budget; when exceeded the oldest
+                       queued jobs are shed and over-budget submissions get
+                       503 + Retry-After (default: no shedding)
+    --io-timeout SECS  per-connection socket read/write deadline — the
+                       slowloris guard; 0 disables (default 30)
+    --fault PLAN       deterministic fault injection, e.g.
+                       'journal.fsync:2,worker.panic:3:crash'; sites:
+                       journal.append journal.fsync worker.panic
+                       socket.read socket.write cache.insert
+
+SIGNALS:
+    SIGTERM            graceful drain: stop admitting, checkpoint running
+                       jobs, exit 0; with --state-dir they resume next boot
 
 ENDPOINTS:
     POST /jobs                submit a job spec (see crate docs for the format)
     GET  /jobs/<id>           job phase + summary
     GET  /jobs/<id>/progress  observer lines (?since=K)
     GET  /jobs/<id>/result    final summary (409 until finished)
+    GET  /jobs/<id>/graph     anonymized graph as an edge list (once done)
     POST /jobs/<id>/cancel    cooperative cancel
     POST /jobs/<id>/events    churn event batch into a held session
-    GET  /metrics             counters (cache hits, trials, queue depth, ...)
+    GET  /metrics             counters (cache hits, recoveries, faults, ...)
     GET  /healthz             liveness probe
 ";
 
@@ -42,26 +69,48 @@ fn main() {
 
 fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv.iter().map(String::as_str));
-    let unknown = args.unknown_keys(&["addr", "workers", "queue", "job-ttl"]);
+    let unknown = args.unknown_keys(&[
+        "addr",
+        "workers",
+        "queue",
+        "job-ttl",
+        "state-dir",
+        "checkpoint-every",
+        "max-attempts",
+        "backlog-bytes",
+        "io-timeout",
+        "fault",
+    ]);
     if !unknown.is_empty() {
         return Err(format!("unknown option --{} (see --help)", unknown[0]));
     }
     let defaults = DaemonConfig::default();
+    let optional_u64 = |key: &str| -> Result<Option<u64>, String> {
+        match args.get(key) {
+            None => Ok(None),
+            Some(raw) => {
+                raw.parse().map(Some).map_err(|_| format!("--{key}: {raw:?} is not a number"))
+            }
+        }
+    };
     let config = DaemonConfig {
         addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
         workers: args.get_or("workers", defaults.workers)?,
         queue_capacity: args.get_or("queue", defaults.queue_capacity)?,
-        job_ttl_secs: match args.get("job-ttl") {
-            None => None,
-            Some(raw) => Some(
-                raw.parse().map_err(|_| format!("--job-ttl: {raw:?} is not a seconds count"))?,
-            ),
-        },
+        job_ttl_secs: optional_u64("job-ttl")?,
+        state_dir: args.get("state-dir").map(std::path::PathBuf::from),
+        fault_spec: args.get("fault").map(str::to_string),
+        io_timeout_secs: args.get_or("io-timeout", defaults.io_timeout_secs)?,
+        checkpoint_every: args.get_or("checkpoint-every", defaults.checkpoint_every)?,
+        max_attempts: args.get_or("max-attempts", defaults.max_attempts)?,
+        backlog_bytes: optional_u64("backlog-bytes")?.map(|n| n as usize),
     };
     let daemon = Daemon::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
     println!("lopacityd listening on {}", daemon.addr());
     println!("workers {} queue {}", config.workers.max(1), config.queue_capacity);
-    loop {
-        std::thread::park();
+    if let Some(dir) = &config.state_dir {
+        println!("state-dir {}", dir.display());
     }
+    serve_until_term(daemon);
+    Ok(())
 }

@@ -11,6 +11,7 @@
 //! | `GET /jobs/<id>`              | phase + summary                             |
 //! | `GET /jobs/<id>/progress`     | observer lines from `?since=K` on           |
 //! | `GET /jobs/<id>/result`       | summary once finished, else `409`           |
+//! | `GET /jobs/<id>/graph`        | anonymized graph (edge list) once done      |
 //! | `POST /jobs/<id>/cancel`      | cooperative cancel (running or queued)      |
 //! | `POST /jobs/<id>/events`      | churn batch into the held session           |
 //! | `GET /metrics`                | counter exposition                          |
@@ -18,14 +19,17 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use lopacity_util::http::{HttpError, Request, Response};
+use lopacity_util::http::{set_stream_deadlines, HttpError, Request, Response};
+use lopacity_util::FaultPlan;
 
 use crate::job::JobSpec;
-use crate::state::{ChurnError, Job, ServerState, SubmitError};
+use crate::journal::Journal;
+use crate::state::{ChurnError, Job, ServerState, StateOptions, SubmitError};
 
 /// Boot-time knobs for [`Daemon::bind`].
 #[derive(Debug, Clone)]
@@ -40,6 +44,24 @@ pub struct DaemonConfig {
     /// logs, held churn sessions) are garbage-collected and counted in
     /// `lopacityd_jobs_expired`. `None` keeps them forever.
     pub job_ttl_secs: Option<u64>,
+    /// Durable state directory. When set, every job transition is
+    /// journaled to `<state_dir>/journal.log` and replayed at boot:
+    /// finished jobs restore, interrupted jobs resume from their last
+    /// checkpoint (see the crate docs and `journal`).
+    pub state_dir: Option<PathBuf>,
+    /// Deterministic fault plan, e.g.
+    /// `journal.fsync:2,worker.panic:3:crash` (see
+    /// [`lopacity_util::FaultPlan::parse`]). `None` injects nothing.
+    pub fault_spec: Option<String>,
+    /// Per-connection socket read *and* write deadline in seconds — the
+    /// slowloris guard. 0 disables the deadlines.
+    pub io_timeout_secs: u64,
+    /// Checkpoint cadence in greedy steps (0 disables capture).
+    pub checkpoint_every: u64,
+    /// Worker panics tolerated per job before quarantine.
+    pub max_attempts: u64,
+    /// Queued-spec byte budget for load-shedding admission.
+    pub backlog_bytes: Option<usize>,
 }
 
 impl Default for DaemonConfig {
@@ -49,6 +71,12 @@ impl Default for DaemonConfig {
             workers: 2,
             queue_capacity: 32,
             job_ttl_secs: None,
+            state_dir: None,
+            fault_spec: None,
+            io_timeout_secs: 30,
+            checkpoint_every: 1,
+            max_attempts: 3,
+            backlog_bytes: None,
         }
     }
 }
@@ -60,17 +88,41 @@ pub struct Daemon {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    io_timeout: Option<Duration>,
 }
 
 impl Daemon {
     /// Binds the listener and spawns the accept loop and worker pool.
+    /// With a `state_dir`, the journal is opened and replayed *before*
+    /// the first worker starts, so recovered jobs run exactly once.
     pub fn bind(config: &DaemonConfig) -> std::io::Result<Daemon> {
+        let faults = Arc::new(match &config.fault_spec {
+            Some(spec) => FaultPlan::parse(spec).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("fault plan: {e}"))
+            })?,
+            None => FaultPlan::none(),
+        });
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let state = ServerState::with_job_ttl(
-            config.queue_capacity,
-            config.job_ttl_secs.map(Duration::from_secs),
-        );
+        let state = ServerState::with_options(StateOptions {
+            queue_capacity: config.queue_capacity,
+            job_ttl: config.job_ttl_secs.map(Duration::from_secs),
+            faults: Arc::clone(&faults),
+            checkpoint_every: config.checkpoint_every,
+            max_attempts: config.max_attempts,
+            backlog_bytes: config.backlog_bytes,
+        });
+        if let Some(dir) = &config.state_dir {
+            let (journal, records) = Journal::open(dir, faults)?;
+            let recovered = state.attach_journal(Arc::new(journal), records);
+            if recovered > 0 {
+                eprintln!("lopacityd: recovered {recovered} job(s) from the journal");
+            }
+        }
+        let io_timeout = match config.io_timeout_secs {
+            0 => None,
+            secs => Some(Duration::from_secs(secs)),
+        };
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let state = Arc::clone(&state);
@@ -83,9 +135,14 @@ impl Daemon {
         let accept_state = Arc::clone(&state);
         let accept = thread::Builder::new()
             .name("lopacityd-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_state))
+            .spawn(move || accept_loop(listener, accept_state, io_timeout))
             .expect("spawn accept thread");
-        Ok(Daemon { state, addr, accept: Some(accept), workers })
+        Ok(Daemon { state, addr, accept: Some(accept), workers, io_timeout })
+    }
+
+    /// The configured per-connection socket deadline.
+    pub fn io_timeout(&self) -> Option<Duration> {
+        self.io_timeout
     }
 
     /// The bound address (resolves port 0).
@@ -100,6 +157,16 @@ impl Daemon {
 
     /// Stops accepting, cancels in-flight jobs, and joins all threads.
     pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Graceful SIGTERM-style drain: stop admitting (`503`), stop running
+    /// jobs at their next cooperative checkpoint *without* journaling a
+    /// terminal phase, and join all threads. With a state dir, every job
+    /// still queued or running recovers — and resumes from its last
+    /// durable checkpoint — on the next boot over the same directory.
+    pub fn drain(mut self) {
+        self.state.begin_drain();
         self.shutdown_inner();
     }
 
@@ -126,7 +193,58 @@ impl Drop for Daemon {
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+/// SIGTERM plumbing for [`serve_until_term`]: a raw `signal(2)`
+/// registration (no dependencies; libc is always linked on unix) whose
+/// handler only flips an atomic — everything async-signal-unsafe happens
+/// on the main thread after the poll loop observes the flag.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static TERM: AtomicBool = AtomicBool::new(false);
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+}
+
+/// Serves until SIGTERM, then drains gracefully ([`Daemon::drain`]) and
+/// returns — the caller exits 0, the contract init systems expect from a
+/// well-behaved service. Running jobs stop at their next cooperative
+/// checkpoint with their snapshots journaled; with a state dir they
+/// resume on the next boot. On non-unix targets this never returns (no
+/// SIGTERM to catch — kill the process).
+pub fn serve_until_term(daemon: Daemon) {
+    #[cfg(unix)]
+    {
+        term_signal::install();
+        while !term_signal::TERM.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::park_timeout(Duration::from_millis(100));
+        }
+        eprintln!("lopacityd: SIGTERM received, draining");
+        daemon.drain();
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = daemon;
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>, io_timeout: Option<Duration>) {
     for stream in listener.incoming() {
         if state.is_shutdown() {
             return;
@@ -135,12 +253,18 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
         let state = Arc::clone(&state);
         let _ = thread::Builder::new()
             .name("lopacityd-conn".to_string())
-            .spawn(move || handle_connection(stream, state));
+            .spawn(move || handle_connection(stream, state, io_timeout));
     }
 }
 
-fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+fn handle_connection(stream: TcpStream, state: Arc<ServerState>, io_timeout: Option<Duration>) {
+    // Read *and* write deadlines: a client that stalls mid-request (or
+    // stops draining the response) costs one handler thread for at most
+    // the deadline, not forever — the slowloris guard.
+    let _ = set_stream_deadlines(&stream, io_timeout, io_timeout);
+    if state.faults.check_io("socket.read").is_err() {
+        return; // injected read failure: the connection just dies
+    }
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let response = match Request::parse(&mut reader) {
@@ -148,12 +272,19 @@ fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
         Err(HttpError::ConnectionClosed) => return,
         Err(e) => Response::new(400).text(format!("bad request: {e}\n")),
     };
+    if state.faults.check_io("socket.write").is_err() {
+        return; // injected write failure: response lost on the wire
+    }
     let mut write_half = stream;
     let _ = response.write_to(&mut write_half);
 }
 
 /// Dispatches one parsed request against the state.
 pub fn route(request: &Request, state: &Arc<ServerState>) -> Response {
+    // Sweep expired jobs on every request, not only on submit and
+    // worker-loop turns — an idle daemon that only ever gets polled
+    // still honors its TTL.
+    state.gc_expired();
     let segments: Vec<&str> =
         request.path.split('/').filter(|segment| !segment.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
@@ -176,6 +307,17 @@ pub fn route(request: &Request, state: &Arc<ServerState>) -> Response {
                 body.push('\n');
             }
             Response::ok(body)
+        }),
+        ("GET", ["jobs", id, "graph"]) => with_job(state, id, |job| {
+            let status = job.snapshot();
+            match job.result_graph() {
+                Some(graph) => Response::ok(graph),
+                None if status.phase.finished() => Response::new(404)
+                    .text(format!("job {} produced no graph ({})\n", job.id, status.phase.name())),
+                None => {
+                    Response::new(409).text(format!("job {} still {}\n", job.id, status.phase.name()))
+                }
+            }
         }),
         ("GET", ["jobs", id, "result"]) => with_job(state, id, |job| {
             let status = job.snapshot();
@@ -221,6 +363,12 @@ fn submit(request: &Request, state: &Arc<ServerState>) -> Response {
         Ok(job) => Response::new(202).text(format!("id {}\n", job.id)),
         Err(SubmitError::QueueFull) => Response::new(429).text("queue full\n"),
         Err(SubmitError::ShuttingDown) => Response::new(503).text("shutting down\n"),
+        Err(SubmitError::Overloaded) => Response::new(503)
+            .header("Retry-After", "5")
+            .text("overloaded: checkpointed backlog over budget\n"),
+        Err(SubmitError::Journal(e)) => {
+            Response::new(503).text(format!("journal write failed, job not admitted: {e}\n"))
+        }
     }
 }
 

@@ -13,7 +13,7 @@
 //! key behind the single builder, so N simultaneous submissions over the
 //! same graph pay exactly one APSP build — the losers record cache hits.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -21,11 +21,13 @@ use std::time::{Duration, Instant};
 
 use lopacity::{
     AnonymizationOutcome, Anonymizer, ChurnSession, EdgeEvent, ExactMinRemovals,
-    OpacityEvaluator, ProgressObserver, Removal, RemovalInsertion, RepairPatch, RunControl,
-    RunInfo, StepEvent, TypeSpec,
+    OpacityEvaluator, ProgressObserver, Removal, RemovalInsertion, RepairPatch, RunCheckpoint,
+    RunControl, RunInfo, StepEvent, TypeSpec,
 };
+use lopacity_util::FaultPlan;
 
 use crate::job::{graph_hash, resolve_graph, JobMode, JobSpec};
+use crate::journal::{Journal, Record};
 
 /// Monotonic counters for `/metrics` (plus two gauges computed at render
 /// time). Relaxed ordering everywhere: these are statistics, not
@@ -54,6 +56,12 @@ pub struct Metrics {
     pub jobs_expired: AtomicU64,
     /// Workers currently inside a job (gauge).
     pub workers_busy: AtomicU64,
+    /// Jobs re-queued or rebuilt from the journal at boot.
+    pub jobs_recovered: AtomicU64,
+    /// Jobs failed after exhausting their panic-retry budget.
+    pub jobs_quarantined: AtomicU64,
+    /// Queued jobs dropped by load-shedding admission control.
+    pub shed_total: AtomicU64,
 }
 
 fn bump(counter: &AtomicU64, by: u64) {
@@ -116,11 +124,52 @@ pub struct Job {
     /// When the job reached a terminal phase — the GC clock for the job
     /// TTL ([`ServerState::gc_expired`]). `None` while queued/running.
     finished_at: Mutex<Option<Instant>>,
+    /// The newest durable [`RunCheckpoint`] (journaled, or replayed at
+    /// boot). A worker picking the job up resumes from it.
+    checkpoint: Mutex<Option<RunCheckpoint>>,
+    /// Times a worker has panicked inside this job; at
+    /// `max_attempts` the job is quarantined instead of re-queued.
+    attempts: AtomicU64,
+    /// Canonical spec size — the unit of backlog accounting for
+    /// load-shedding admission.
+    spec_bytes: usize,
+    /// Rendered final graph (canonical edge-list text), served on
+    /// `GET /jobs/<id>/graph` once the job is done.
+    result_graph: Mutex<Option<String>>,
 }
 
 impl Job {
+    fn new(id: u64, spec: JobSpec, spec_bytes: usize) -> Job {
+        Job {
+            id,
+            spec,
+            control: RunControl::new(),
+            status: Mutex::new(JobStatus { phase: Phase::Queued, summary: String::new() }),
+            progress: Mutex::new(Vec::new()),
+            finished_at: Mutex::new(None),
+            checkpoint: Mutex::new(None),
+            attempts: AtomicU64::new(0),
+            spec_bytes,
+            result_graph: Mutex::new(None),
+        }
+    }
+
     pub fn snapshot(&self) -> JobStatus {
         self.status.lock().expect("job status lock").clone()
+    }
+
+    /// The rendered final graph, if the job produced one.
+    pub fn result_graph(&self) -> Option<String> {
+        self.result_graph.lock().expect("job result lock").clone()
+    }
+
+    /// The newest durable checkpoint (the resume point).
+    pub fn latest_checkpoint(&self) -> Option<RunCheckpoint> {
+        self.checkpoint.lock().expect("job checkpoint lock").clone()
+    }
+
+    fn store_checkpoint(&self, ck: RunCheckpoint) {
+        *self.checkpoint.lock().expect("job checkpoint lock") = Some(ck);
     }
 
     /// Progress lines from `since` on, plus the new cursor.
@@ -158,8 +207,14 @@ impl Job {
 pub enum SubmitError {
     /// The bounded queue is at capacity.
     QueueFull,
-    /// The daemon is shutting down.
+    /// The daemon is shutting down (or draining).
     ShuttingDown,
+    /// The checkpointed backlog byte budget cannot admit this spec even
+    /// after shedding — retry later (`503` + `Retry-After`).
+    Overloaded,
+    /// The durable journal could not record the submission; the job was
+    /// not admitted (crash safety over availability).
+    Journal(String),
 }
 
 /// Failure modes of `POST /jobs/<id>/events`.
@@ -178,8 +233,16 @@ pub enum ChurnError {
 /// commit. Only parallelism-invariant fields go into the lines, so a
 /// cancelled job's log is comparable (prefix-wise) to an uncancelled run
 /// of the same spec regardless of pool sizing.
+///
+/// It is also the journaling hook: the greedy driver publishes a
+/// [`RunCheckpoint`] into the control just before emitting each step
+/// event, so draining the slot here makes every logged step's snapshot
+/// durable *synchronously* on the worker thread — a crash after step `k`
+/// always recovers to a checkpoint at step `k` or later... never earlier
+/// than the last fsync'd one.
 struct ProgressLog<'a> {
     job: &'a Job,
+    state: &'a ServerState,
 }
 
 impl ProgressObserver for ProgressLog<'_> {
@@ -191,10 +254,28 @@ impl ProgressObserver for ProgressLog<'_> {
     }
 
     fn on_step(&mut self, event: &StepEvent) {
+        match self.state.faults.check("worker.panic") {
+            Some(lopacity_util::FaultAction::Error) => {
+                panic!("injected fault at worker.panic (step {})", event.step)
+            }
+            Some(lopacity_util::FaultAction::Crash) => self.state.faults.abort_now("worker.panic"),
+            None => {}
+        }
         self.job.push_progress(format!(
             "step {} trials={} removed={} inserted={} max_lo={:.6} n_at_max={}",
             event.step, event.trials, event.removed, event.inserted, event.max_lo, event.n_at_max
         ));
+        if let Some(ck) = self.job.control.take_checkpoint() {
+            if let Err(e) = self
+                .state
+                .journal_append(&Record::Checkpoint { id: self.job.id, checkpoint: ck.clone() })
+            {
+                // Degraded, not fatal: the run continues; recovery just
+                // resumes from an older durable checkpoint.
+                self.job.push_progress(format!("journal write failed for checkpoint: {e}"));
+            }
+            self.job.store_checkpoint(ck);
+        }
     }
 
     fn on_run_end(&mut self, outcome: &AnonymizationOutcome) {
@@ -202,6 +283,38 @@ impl ProgressObserver for ProgressLog<'_> {
             "end achieved={} steps={} trials={} final_lo={:.6}",
             outcome.achieved, outcome.steps, outcome.trials, outcome.final_lo
         ));
+    }
+}
+
+/// Construction-time knobs for [`ServerState::with_options`]; the
+/// daemon-facing superset of the old `(queue_capacity, job_ttl)` pair.
+#[derive(Debug, Clone)]
+pub struct StateOptions {
+    /// Queued-job cap; submissions beyond it get `429`.
+    pub queue_capacity: usize,
+    /// Finished-job retention; `None` keeps jobs forever.
+    pub job_ttl: Option<Duration>,
+    /// Deterministic fault plan shared across every injection site.
+    pub faults: Arc<FaultPlan>,
+    /// Checkpoint cadence in greedy steps; 0 disables capture.
+    pub checkpoint_every: u64,
+    /// Worker panics tolerated per job before quarantine.
+    pub max_attempts: u64,
+    /// Queued-spec byte budget for load-shedding admission; `None`
+    /// disables shedding.
+    pub backlog_bytes: Option<usize>,
+}
+
+impl Default for StateOptions {
+    fn default() -> StateOptions {
+        StateOptions {
+            queue_capacity: 32,
+            job_ttl: None,
+            faults: Arc::new(FaultPlan::none()),
+            checkpoint_every: 1,
+            max_attempts: 3,
+            backlog_bytes: None,
+        }
     }
 }
 
@@ -213,6 +326,19 @@ pub struct ServerState {
     queue_cv: Condvar,
     queue_capacity: usize,
     shutdown: AtomicBool,
+    /// Drain mode: stop admitting, suppress terminal journaling so
+    /// running and queued jobs recover on the next boot.
+    draining: AtomicBool,
+    /// Set during boot-time journal replay to suppress re-journaling of
+    /// the records being replayed.
+    recovering: AtomicBool,
+    /// The durable journal, once attached ([`ServerState::attach_journal`]).
+    journal: OnceLock<Arc<Journal>>,
+    /// Deterministic fault plan (inert by default).
+    pub(crate) faults: Arc<FaultPlan>,
+    checkpoint_every: u64,
+    max_attempts: u64,
+    backlog_bytes: Option<usize>,
     /// `cache_key -> once-built prepared evaluator`. Grows with distinct
     /// keys for the daemon's lifetime — acceptable for a session daemon;
     /// restart to flush.
@@ -235,18 +361,154 @@ impl ServerState {
 
     /// Like [`ServerState::new`], with a finished-job retention TTL.
     pub fn with_job_ttl(queue_capacity: usize, job_ttl: Option<Duration>) -> Arc<ServerState> {
+        ServerState::with_options(StateOptions { queue_capacity, job_ttl, ..Default::default() })
+    }
+
+    /// Full-option constructor; see [`StateOptions`].
+    pub fn with_options(options: StateOptions) -> Arc<ServerState> {
         Arc::new(ServerState {
             next_id: AtomicU64::new(0),
             jobs: Mutex::new(HashMap::new()),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
-            queue_capacity: queue_capacity.max(1),
+            queue_capacity: options.queue_capacity.max(1),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            recovering: AtomicBool::new(false),
+            journal: OnceLock::new(),
+            faults: options.faults,
+            checkpoint_every: options.checkpoint_every,
+            max_attempts: options.max_attempts.max(1),
+            backlog_bytes: options.backlog_bytes,
             cache: Mutex::new(HashMap::new()),
             churn: Mutex::new(HashMap::new()),
-            job_ttl,
+            job_ttl: options.job_ttl,
             metrics: Metrics::default(),
         })
+    }
+
+    /// Appends to the journal if one is attached and the state is not
+    /// replaying it. Failures on this path are reported to the caller
+    /// only where admission depends on them (submit); elsewhere the
+    /// record is dropped with a progress note — the in-memory result
+    /// stays valid, recovery just re-runs more.
+    fn journal_append(&self, record: &Record) -> std::io::Result<()> {
+        if self.recovering.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match self.journal.get() {
+            Some(journal) => journal.append(record),
+            None => Ok(()),
+        }
+    }
+
+    /// Attaches the durable journal and replays its records: finished
+    /// jobs are restored in place (status, summary, result graph, with a
+    /// fresh TTL clock), `done` churn jobs get their held session rebuilt
+    /// deterministically (re-run setup, re-apply every journaled event
+    /// batch), and interrupted jobs are re-queued carrying their newest
+    /// checkpoint so the worker resumes instead of restarting. Must run
+    /// before the worker pool starts. Returns the number of jobs
+    /// recovered (re-queued or rebuilt), also counted in
+    /// `lopacityd_jobs_recovered`.
+    pub fn attach_journal(
+        self: &Arc<ServerState>,
+        journal: Arc<Journal>,
+        records: Vec<Record>,
+    ) -> usize {
+        self.journal.set(journal).expect("journal attached once");
+
+        #[derive(Default)]
+        struct Replay {
+            spec: Option<String>,
+            checkpoint: Option<RunCheckpoint>,
+            events: Vec<String>,
+            terminal: Option<(String, String)>,
+            result: Option<String>,
+        }
+        let mut replay: BTreeMap<u64, Replay> = BTreeMap::new();
+        for record in records {
+            let entry = replay.entry(record.id()).or_default();
+            match record {
+                Record::Submit { spec, .. } => entry.spec = Some(spec),
+                Record::Checkpoint { checkpoint, .. } => entry.checkpoint = Some(checkpoint),
+                Record::Events { batch, .. } => entry.events.push(batch),
+                Record::Phase { phase, summary, .. } => entry.terminal = Some((phase, summary)),
+                Record::Result { graph, .. } => entry.result = Some(graph),
+            }
+        }
+
+        self.recovering.store(true, Ordering::SeqCst);
+        let mut recovered = 0;
+        for (&id, entry) in &replay {
+            self.next_id.fetch_max(id, Ordering::Relaxed);
+            let Some(spec_text) = &entry.spec else { continue };
+            let spec = match JobSpec::parse(spec_text) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("lopacityd: journal replay: job {id} spec rejected: {e}");
+                    continue;
+                }
+            };
+            let job = Arc::new(Job::new(id, spec, spec_text.len()));
+            self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
+            match &entry.terminal {
+                Some((phase, summary)) => {
+                    // A `done` churn job still owes its clients a live
+                    // session: rebuild it by re-running the (deterministic)
+                    // setup and re-applying the journaled batches.
+                    if job.spec.mode == JobMode::Churn && phase == "done" {
+                        self.run_job(&job);
+                        for batch in &entry.events {
+                            if let Err(e) = self.apply_churn_events(id, batch) {
+                                eprintln!(
+                                    "lopacityd: journal replay: job {id} event batch failed: {e:?}"
+                                );
+                            }
+                        }
+                        recovered += 1;
+                    }
+                    *job.result_graph.lock().expect("job result lock") = entry.result.clone();
+                    let restored = match phase.as_str() {
+                        "done" => Phase::Done,
+                        "cancelled" => Phase::Cancelled,
+                        _ => Phase::Failed,
+                    };
+                    job.set_phase(restored, summary.clone());
+                    job.push_progress("restored from journal".to_string());
+                }
+                None => {
+                    // Interrupted mid-flight (crash or drain): requeue,
+                    // resuming from the newest durable checkpoint.
+                    if let Some(ck) = &entry.checkpoint {
+                        job.push_progress(format!("recovered checkpoint at step {}", ck.steps));
+                        job.store_checkpoint(ck.clone());
+                    }
+                    self.queue.lock().expect("queue lock").push_back(Arc::clone(&job));
+                    self.queue_cv.notify_one();
+                    recovered += 1;
+                }
+            }
+        }
+        self.recovering.store(false, Ordering::SeqCst);
+        bump(&self.metrics.jobs_recovered, recovered);
+        recovered as usize
+    }
+
+    /// Enters drain mode: stop admitting (`503`), cancel running jobs so
+    /// they stop at their next cooperative checkpoint, and suppress
+    /// terminal journaling — drained jobs keep their Submit + Checkpoint
+    /// records only, so the next boot re-queues and resumes them. The
+    /// worker pool exits once current jobs reach their stop.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.cancel_all();
+        self.request_shutdown();
+    }
+
+    /// Whether drain mode is active.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// Drops every finished job that outlived the TTL — its status,
@@ -275,32 +537,72 @@ impl ServerState {
         expired.len()
     }
 
-    /// Registers and enqueues a job, or rejects it if the queue is full.
+    /// Registers and enqueues a job, or rejects it: shutting down or
+    /// draining (`503`), queue at capacity (`429`), backlog byte budget
+    /// exceeded even after shedding (`503` + `Retry-After`), or journal
+    /// write failure (`503` — an unjournaled job must not be admitted).
+    ///
+    /// Load shedding: when a backlog budget is set and admitting this
+    /// spec would push the queued-spec bytes over it, the *oldest* queued
+    /// jobs are shed (failed with a `shed under load` summary, counted in
+    /// `lopacityd_shed_total`) until the newcomer fits — freshest work
+    /// wins, matching the recovery bias toward recent submissions. A spec
+    /// that cannot fit in an empty queue is refused outright.
     pub fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, SubmitError> {
-        if self.is_shutdown() {
+        if self.is_shutdown() || self.is_draining() {
             return Err(SubmitError::ShuttingDown);
         }
         self.gc_expired();
+        let canonical = spec.canonical_body();
+        let spec_bytes = canonical.len();
         let mut queue = self.queue.lock().expect("queue lock");
         if queue.len() >= self.queue_capacity {
             bump(&self.metrics.jobs_rejected, 1);
             return Err(SubmitError::QueueFull);
         }
+        let mut shed: Vec<Arc<Job>> = Vec::new();
+        if let Some(budget) = self.backlog_bytes {
+            if spec_bytes > budget {
+                bump(&self.metrics.jobs_rejected, 1);
+                return Err(SubmitError::Overloaded);
+            }
+            let mut queued_bytes: usize = queue.iter().map(|j| j.spec_bytes).sum();
+            while queued_bytes + spec_bytes > budget {
+                let oldest = queue.pop_front().expect("over budget implies non-empty queue");
+                queued_bytes -= oldest.spec_bytes;
+                shed.push(oldest);
+            }
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        let job = Arc::new(Job {
-            id,
-            spec,
-            control: RunControl::new(),
-            status: Mutex::new(JobStatus { phase: Phase::Queued, summary: String::new() }),
-            progress: Mutex::new(Vec::new()),
-            finished_at: Mutex::new(None),
-        });
+        let job = Arc::new(Job::new(id, spec, spec_bytes));
+        if let Err(e) = self.journal_append(&Record::Submit { id, spec: canonical }) {
+            // Shed jobs stay shed (they were already past the budget with
+            // the newcomer; without it the door stays closed anyway).
+            drop(queue);
+            self.fail_shed(shed);
+            return Err(SubmitError::Journal(e.to_string()));
+        }
         self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
         queue.push_back(Arc::clone(&job));
         drop(queue);
+        self.fail_shed(shed);
         self.queue_cv.notify_one();
         bump(&self.metrics.jobs_submitted, 1);
         Ok(job)
+    }
+
+    /// Marks load-shed jobs failed (durably, when journaled).
+    fn fail_shed(&self, shed: Vec<Arc<Job>>) {
+        for job in shed {
+            bump(&self.metrics.shed_total, 1);
+            let summary = "error shed under load (backlog byte budget exceeded)\n".to_string();
+            let _ = self.journal_append(&Record::Phase {
+                id: job.id,
+                phase: Phase::Failed.name().to_string(),
+                summary: summary.clone(),
+            });
+            job.set_phase(Phase::Failed, summary);
+        }
     }
 
     pub fn job(&self, id: u64) -> Option<Arc<Job>> {
@@ -364,6 +666,10 @@ impl ServerState {
             ("lopacityd_churn_repairs", get(&m.churn_repairs)),
             ("lopacityd_jobs_expired", get(&m.jobs_expired)),
             ("lopacityd_workers_busy", get(&m.workers_busy)),
+            ("lopacityd_jobs_recovered", get(&m.jobs_recovered)),
+            ("lopacityd_jobs_quarantined", get(&m.jobs_quarantined)),
+            ("lopacityd_shed_total", get(&m.shed_total)),
+            ("lopacityd_faults_injected", self.faults.fired()),
             ("lopacityd_queue_depth", self.queue_depth() as u64),
             ("lopacityd_churn_sessions", self.churn_sessions() as u64),
         ] {
@@ -392,27 +698,84 @@ impl ServerState {
                 }
             };
             if job.control.is_cancelled() {
-                bump(&self.metrics.jobs_cancelled, 1);
-                job.set_phase(Phase::Cancelled, "cancelled before start\n".to_string());
+                self.finish_job(&job, Phase::Cancelled, "cancelled before start\n".to_string());
                 continue;
             }
             bump(&self.metrics.workers_busy, 1);
-            // A panicking job must not take its worker down with it — mark
-            // the job failed and keep serving the queue.
+            // A panicking job must not take its worker down with it. A
+            // panicked job is re-queued (it resumes from its last durable
+            // checkpoint) until its attempts budget runs out, then
+            // quarantined: failed with the captured panic, so one
+            // poisoned spec cannot wedge the pool in a retry loop.
             let run = catch_unwind(AssertUnwindSafe(|| self.run_job(&job)));
-            if run.is_err() {
-                bump(&self.metrics.jobs_failed, 1);
-                job.set_phase(Phase::Failed, "internal error: job panicked\n".to_string());
+            if let Err(panic) = run {
+                let what = panic_message(panic.as_ref());
+                let attempts = job.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+                if attempts < self.max_attempts && !self.is_shutdown() {
+                    job.push_progress(format!(
+                        "panic caught (attempt {attempts}/{}): {what}; re-queued",
+                        self.max_attempts
+                    ));
+                    let mut status = job.status.lock().expect("job status lock");
+                    status.phase = Phase::Queued;
+                    status.summary = String::new();
+                    drop(status);
+                    self.queue.lock().expect("queue lock").push_back(Arc::clone(&job));
+                    self.queue_cv.notify_one();
+                } else {
+                    bump(&self.metrics.jobs_quarantined, 1);
+                    bump(&self.metrics.jobs_failed, 1);
+                    self.finish_job(
+                        &job,
+                        Phase::Failed,
+                        format!("error quarantined after {attempts} panics: {what}\n"),
+                    );
+                }
             }
             self.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
             self.gc_expired();
         }
     }
 
+    /// Moves a job to a terminal phase, journaling the transition unless
+    /// the daemon is draining — a drain-interrupted job must recover, so
+    /// it gets no terminal record.
+    fn finish_job(&self, job: &Job, phase: Phase, summary: String) {
+        if phase == Phase::Cancelled {
+            bump(&self.metrics.jobs_cancelled, 1);
+        }
+        if self.is_draining() {
+            job.set_phase(phase, summary);
+            return;
+        }
+        if let Err(e) = self.journal_append(&Record::Phase {
+            id: job.id,
+            phase: phase.name().to_string(),
+            summary: summary.clone(),
+        }) {
+            job.push_progress(format!("journal write failed for terminal phase: {e}"));
+        }
+        job.set_phase(phase, summary);
+    }
+
     /// Fetches (building at most once per key, daemon-wide) the prepared
     /// evaluator for a spec over its resolved graph.
     fn cached_evaluator(&self, spec: &JobSpec, graph: &lopacity_graph::Graph) -> OpacityEvaluator {
         let key = spec.cache_key(graph_hash(graph));
+        // Degradation, not failure: if the cache cannot store the build
+        // (injected `cache.insert` fault), the job pays for a private
+        // build and completes anyway — results never depend on the cache.
+        if self.faults.check_io("cache.insert").is_err() {
+            bump(&self.metrics.cache_builds, 1);
+            return OpacityEvaluator::with_options(
+                graph.clone(),
+                &TypeSpec::DegreePairs,
+                spec.l,
+                spec.engine,
+                lopacity::Parallelism::Auto,
+                spec.store,
+            );
+        }
         let slot = {
             let mut cache = self.cache.lock().expect("cache lock");
             Arc::clone(cache.entry(key).or_default())
@@ -443,14 +806,15 @@ impl ServerState {
             Ok(g) => g,
             Err(e) => {
                 bump(&self.metrics.jobs_failed, 1);
-                job.set_phase(Phase::Failed, format!("graph error: {e}\n"));
+                self.finish_job(job, Phase::Failed, format!("graph error: {e}\n"));
                 return;
             }
         };
         let exact_cap = ExactMinRemovals::default().max_edges;
         if job.spec.method == "exact" && graph.num_edges() > exact_cap {
             bump(&self.metrics.jobs_failed, 1);
-            job.set_phase(
+            self.finish_job(
+                job,
                 Phase::Failed,
                 format!(
                     "graph error: exact method caps at {exact_cap} edges, graph has {}\n",
@@ -469,27 +833,57 @@ impl ServerState {
     }
 
     fn run_anonymize(&self, job: &Job, graph: &lopacity_graph::Graph, ev: OpacityEvaluator) {
-        let mut observer = ProgressLog { job };
+        // Arm checkpoint capture (the observer journals each snapshot) —
+        // but only for the greedy strategies: a checkpoint of the exact
+        // search would be a lie (its tree is not in the snapshot), so an
+        // interrupted exact job simply reruns from scratch, which is
+        // equally deterministic (exact graphs are capped at `max_edges`).
+        let resumable = matches!(job.spec.method.as_str(), "rem" | "rem-ins");
+        if resumable && self.checkpoint_every > 0 {
+            job.control.set_checkpoint_every(Some(self.checkpoint_every));
+        }
+        let resume_from = if resumable { job.latest_checkpoint() } else { None };
+        let mut observer = ProgressLog { job, state: self };
         let mut session = Anonymizer::new(graph, &TypeSpec::DegreePairs)
             .config(job.spec.config())
             .observer(&mut observer)
             .control(job.control.clone());
         session.adopt_prepared(ev);
-        let out = match job.spec.method.as_str() {
-            "rem" => session.run(Removal),
-            "rem-ins" => session.run(RemovalInsertion::default()),
+        let out = match (job.spec.method.as_str(), &resume_from) {
+            ("rem", None) => session.run(Removal),
+            ("rem", Some(ck)) => session.resume_run(Removal, ck),
+            ("rem-ins", None) => session.run(RemovalInsertion::default()),
+            ("rem-ins", Some(ck)) => {
+                let strategy = RemovalInsertion::with_forbidden(
+                    ck.removed.iter().copied(),
+                    ck.inserted.iter().copied(),
+                );
+                session.resume_run(strategy, ck)
+            }
             _ => session.run(ExactMinRemovals::default()),
         };
         drop(session);
+        if let Some(ck) = resume_from {
+            job.push_progress(format!("resumed from checkpoint at step {}", ck.steps));
+        }
         bump(&self.metrics.trials_total, out.trials);
         bump(&self.metrics.fork_clones_total, out.fork_clones);
         let summary = summarize_outcome(&job.spec, &out, job.control.is_cancelled());
         if job.control.is_cancelled() {
-            bump(&self.metrics.jobs_cancelled, 1);
-            job.set_phase(Phase::Cancelled, summary);
+            self.finish_job(job, Phase::Cancelled, summary);
         } else {
+            let mut rendered = Vec::new();
+            lopacity_graph::io::write_edge_list(&out.graph, &mut rendered)
+                .expect("writing to a Vec cannot fail");
+            let rendered = String::from_utf8(rendered).expect("edge list is ASCII");
+            if let Err(e) =
+                self.journal_append(&Record::Result { id: job.id, graph: rendered.clone() })
+            {
+                job.push_progress(format!("journal write failed for result: {e}"));
+            }
+            *job.result_graph.lock().expect("job result lock") = Some(rendered);
             bump(&self.metrics.jobs_completed, 1);
-            job.set_phase(Phase::Done, summary);
+            self.finish_job(job, Phase::Done, summary);
         }
     }
 
@@ -528,17 +922,16 @@ impl ServerState {
         }
         job.push_progress(format!("churn session certified={certified}"));
         if job.control.is_cancelled() {
-            bump(&self.metrics.jobs_cancelled, 1);
-            job.set_phase(Phase::Cancelled, summary);
+            self.finish_job(job, Phase::Cancelled, summary);
         } else if certified {
             self.churn.lock().expect("churn lock").insert(job.id, session);
             bump(&self.metrics.jobs_completed, 1);
-            job.set_phase(Phase::Done, summary);
+            self.finish_job(job, Phase::Done, summary);
         } else {
             // Budget exhausted before certification: no session to hold.
             bump(&self.metrics.jobs_failed, 1);
             summary.push_str("error initial repair did not reach theta\n");
-            job.set_phase(Phase::Failed, summary);
+            self.finish_job(job, Phase::Failed, summary);
         }
     }
 
@@ -550,6 +943,12 @@ impl ServerState {
         let events = EdgeEvent::parse_stream(text).map_err(ChurnError::Parse)?;
         let mut sessions = self.churn.lock().expect("churn lock");
         let session = sessions.get_mut(&id).ok_or(ChurnError::NoSession)?;
+        // Journal the batch before applying: a crash between the append
+        // and the apply replays the batch into the rebuilt session, a
+        // crash before the append means the client was never answered.
+        if let Err(e) = self.journal_append(&Record::Events { id, batch: text.to_string() }) {
+            job.push_progress(format!("journal write failed for event batch: {e}"));
+        }
         let clones_before = session.fork_clones();
         let report = session.apply_batch(&events);
         bump(&self.metrics.churn_events_applied, report.applied as u64);
@@ -581,6 +980,17 @@ impl ServerState {
         }
         bump(&self.metrics.fork_clones_total, session.fork_clones() - clones_before);
         Ok(out)
+    }
+}
+
+/// Best-effort text of a caught panic payload (for quarantine summaries).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -22,7 +22,7 @@ fn boot(workers: usize, queue: usize) -> Daemon {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_capacity: queue,
-        job_ttl_secs: None,
+        ..DaemonConfig::default()
     })
     .expect("bind daemon on an ephemeral port")
 }

@@ -19,6 +19,8 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::net::TcpStream;
+use std::time::Duration;
 
 /// Upper bound on one request line or header line, in bytes.
 const MAX_LINE: usize = 8 * 1024;
@@ -153,6 +155,22 @@ impl Request {
     }
 }
 
+/// Arms per-connection read/write deadlines on a socket — the slowloris
+/// defense. A client that opens a connection and stalls (never sends a
+/// full request, or never drains the response) hits the deadline and the
+/// blocked `read`/`write` returns `WouldBlock`/`TimedOut`, which
+/// [`Request::parse`] surfaces as [`HttpError::Io`] so the handler thread
+/// is reclaimed instead of pinned forever. `None` leaves a direction
+/// unbounded (blocking), matching `TcpStream::set_read_timeout`.
+pub fn set_stream_deadlines(
+    stream: &TcpStream,
+    read: Option<Duration>,
+    write: Option<Duration>,
+) -> io::Result<()> {
+    stream.set_read_timeout(read)?;
+    stream.set_write_timeout(write)
+}
+
 /// Reads one CRLF- (or bare-LF-) terminated line, without its terminator.
 /// An EOF before any byte yields an empty string (mapped to
 /// [`HttpError::ConnectionClosed`] by the request-line caller, and to
@@ -186,6 +204,9 @@ pub struct Response {
     status: u16,
     reason: &'static str,
     content_type: &'static str,
+    /// Extra `name: value` headers (e.g. `Retry-After` on a load-shedding
+    /// `503`), written after the built-in ones.
+    extra_headers: Vec<(String, String)>,
     body: Vec<u8>,
 }
 
@@ -206,7 +227,13 @@ impl Response {
             503 => "Service Unavailable",
             _ => "Unknown",
         };
-        Response { status, reason, content_type: "text/plain; charset=utf-8", body: Vec::new() }
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// `200 OK` with a plain-text body.
@@ -226,6 +253,12 @@ impl Response {
         self
     }
 
+    /// Appends an extra response header (e.g. `Retry-After`).
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
     /// The status code this response will send.
     pub fn status(&self) -> u16 {
         self.status
@@ -235,12 +268,16 @@ impl Response {
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason,
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -318,6 +355,53 @@ mod tests {
         let req =
             parse("GET / HTTP/1.1\r\nX-Tag: a\r\nx-tag: b\r\n\r\n").unwrap();
         assert_eq!(req.headers.get("x-tag").map(String::as_str), Some("b"));
+    }
+
+    /// The slowloris satellite: a client that connects and then stalls
+    /// must not pin the reading thread forever. With a read deadline
+    /// armed, `Request::parse` errors out within the timeout instead of
+    /// blocking on the half-open connection.
+    #[test]
+    fn stalled_clients_hit_the_read_deadline() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The stalling client: connects, sends half a request line, and
+        // goes silent (kept alive until the end of the test).
+        let client = TcpStream::connect(addr).unwrap();
+        {
+            let mut c = &client;
+            c.write_all(b"GET /never").unwrap();
+        }
+        let (server_side, _) = listener.accept().unwrap();
+        set_stream_deadlines(
+            &server_side,
+            Some(Duration::from_millis(80)),
+            Some(Duration::from_millis(80)),
+        )
+        .unwrap();
+        let started = std::time::Instant::now();
+        let err = Request::parse(&mut BufReader::new(&server_side)).unwrap_err();
+        assert!(matches!(err, HttpError::Io(_)), "stall must surface as an I/O error: {err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "read deadline must reclaim the thread promptly, took {:?}",
+            started.elapsed()
+        );
+        drop(client);
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let mut out = Vec::new();
+        Response::new(503)
+            .header("Retry-After", "2")
+            .text("shed\n")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nRetry-After: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nshed\n"), "{text}");
     }
 
     #[test]

@@ -18,9 +18,13 @@
 //! * [`http`] — a vendored minimal HTTP/1.1 request parser and response
 //!   writer (no TLS, no chunked encoding), the transport under the
 //!   `lopacityd` daemon.
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]):
+//!   named sites, per-site hit counting, reproducible chaos plans for the
+//!   daemon's crash-recovery tests.
 
 pub mod args;
 pub mod csv;
+pub mod fault;
 pub mod http;
 pub mod pool;
 pub mod table;
@@ -29,6 +33,7 @@ pub mod timer;
 
 pub use args::Args;
 pub use csv::CsvWriter;
+pub use fault::{FaultAction, FaultPlan};
 pub use pool::Parallelism;
 pub use table::Table;
 pub use timer::Stopwatch;

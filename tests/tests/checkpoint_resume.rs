@@ -1,0 +1,146 @@
+//! The checkpoint-resume half of the crash-recovery contract:
+//!
+//! 1. **Capture is free** — arming checkpoint capture on a [`RunControl`]
+//!    never changes a run's trajectory (the snapshot is a read).
+//! 2. **Resume determinism** — a run interrupted at *any* step boundary
+//!    and resumed from the captured [`RunCheckpoint`] produces a final
+//!    graph, edit lists, and trial clock **byte-identical** to the
+//!    uninterrupted run's, across strategies and both store backends.
+//!
+//! This is the substrate the `lopacityd` journal's recovery protocol
+//! stands on (`crates/daemon/src/journal.rs`): a job killed at any point
+//! is re-queued from its last journaled checkpoint, and property (2) is
+//! what makes the recovery *provable* rather than best-effort.
+
+use lopacity::{
+    AnonymizationOutcome, AnonymizeConfig, Anonymizer, Removal, RemovalInsertion, RunCheckpoint,
+    RunControl, StoreBackend, Strategy, TypeSpec,
+};
+use lopacity_gen::er::gnm;
+use lopacity_graph::Graph;
+
+fn config(theta: f64, store: StoreBackend) -> AnonymizeConfig {
+    AnonymizeConfig::new(2, theta).with_seed(11).with_store(store)
+}
+
+/// Runs to completion while capturing a checkpoint every step; returns the
+/// outcome and every distinct checkpoint the control published.
+fn run_with_checkpoints<S: Strategy + Clone>(
+    g: &Graph,
+    cfg: AnonymizeConfig,
+    strategy: S,
+) -> (AnonymizationOutcome, Vec<RunCheckpoint>) {
+    struct Collector<'c> {
+        control: &'c RunControl,
+        seen: Vec<RunCheckpoint>,
+    }
+    impl lopacity::ProgressObserver for Collector<'_> {
+        fn on_step(&mut self, _event: &lopacity::StepEvent) {
+            if let Some(ck) = self.control.take_checkpoint() {
+                self.seen.push(ck);
+            }
+        }
+    }
+    let control = RunControl::new();
+    control.set_checkpoint_every(Some(1));
+    let mut collector = Collector { control: &control, seen: Vec::new() };
+    let mut session = Anonymizer::new(g, &TypeSpec::DegreePairs)
+        .config(cfg)
+        .control(control.clone())
+        .observer(&mut collector);
+    let out = session.run(strategy);
+    drop(session);
+    (out, collector.seen)
+}
+
+fn assert_identical(full: &AnonymizationOutcome, resumed: &AnonymizationOutcome, tag: &str) {
+    assert_eq!(full.graph, resumed.graph, "{tag}: final graphs differ");
+    assert_eq!(full.removed, resumed.removed, "{tag}: removal lists differ");
+    assert_eq!(full.inserted, resumed.inserted, "{tag}: insertion lists differ");
+    assert_eq!(full.steps, resumed.steps, "{tag}: step counts differ");
+    assert_eq!(full.trials, resumed.trials, "{tag}: trial clocks differ");
+    assert_eq!(full.achieved, resumed.achieved, "{tag}: verdicts differ");
+    assert_eq!(full.final_lo, resumed.final_lo, "{tag}: final maxLO differs");
+}
+
+/// Arming checkpoint capture must not perturb the run.
+#[test]
+fn capture_is_observationally_free() {
+    let g = gnm(40, 100, 7);
+    for store in [StoreBackend::Dense, StoreBackend::Sparse] {
+        let cfg = config(0.4, store);
+        let plain =
+            Anonymizer::new(&g, &TypeSpec::DegreePairs).config(cfg).run(RemovalInsertion::default());
+        let (captured, checkpoints) = run_with_checkpoints(&g, cfg, RemovalInsertion::default());
+        assert_identical(&plain, &captured, "capture-on vs capture-off");
+        assert_eq!(checkpoints.len(), captured.steps, "one checkpoint per step");
+    }
+}
+
+/// Resuming from every checkpoint of a removal run reproduces the
+/// uninterrupted outcome byte-for-byte, on both store backends.
+#[test]
+fn removal_resumes_identically_from_every_step() {
+    let g = gnm(40, 100, 7);
+    for store in [StoreBackend::Dense, StoreBackend::Sparse] {
+        let cfg = config(0.35, store);
+        let (full, checkpoints) = run_with_checkpoints(&g, cfg, Removal);
+        assert!(full.steps >= 3, "need a multi-step run, got {}", full.steps);
+        for ck in &checkpoints {
+            let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs).config(cfg);
+            let resumed = session.resume_run(Removal, ck);
+            assert_identical(&full, &resumed, &format!("{store:?} resume@step{}", ck.steps));
+        }
+    }
+}
+
+/// Same for removal-insertion, whose strategy state (the `E_D`/`E_A`
+/// anti-oscillation sets) must be rebuilt from the checkpoint's edit
+/// lists.
+#[test]
+fn removal_insertion_resumes_identically_from_every_step() {
+    let g = gnm(36, 80, 3);
+    for store in [StoreBackend::Dense, StoreBackend::Sparse] {
+        let cfg = config(0.3, store);
+        let (full, checkpoints) = run_with_checkpoints(&g, cfg, RemovalInsertion::default());
+        assert!(full.steps >= 3, "need a multi-step run, got {}", full.steps);
+        for ck in &checkpoints {
+            let strategy = RemovalInsertion::with_forbidden(
+                ck.removed.iter().copied(),
+                ck.inserted.iter().copied(),
+            );
+            let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs).config(cfg);
+            let resumed = session.resume_run(strategy, ck);
+            assert_identical(&full, &resumed, &format!("{store:?} resume@step{}", ck.steps));
+        }
+    }
+}
+
+/// The crash shape the daemon journal actually sees: the run is *cut off*
+/// by a cancel mid-flight, the last published checkpoint is all that
+/// survives, and the resume from it must still land on the uninterrupted
+/// final graph.
+#[test]
+fn cancel_then_resume_matches_the_uninterrupted_run() {
+    let g = gnm(40, 100, 7);
+    let cfg = config(0.3, StoreBackend::Auto);
+    let (full, _) = run_with_checkpoints(&g, cfg, Removal);
+    assert!(full.steps >= 4);
+
+    // Interrupt after step 2 via the dynamic step budget (deterministic),
+    // keeping the last checkpoint the control captured.
+    let control = RunControl::new();
+    control.set_checkpoint_every(Some(1));
+    control.set_max_steps(Some(2));
+    let mut session =
+        Anonymizer::new(&g, &TypeSpec::DegreePairs).config(cfg).control(control.clone());
+    let partial = session.run(Removal);
+    assert!(!partial.achieved && partial.steps == 2, "interrupted at step 2: {partial}");
+    let ck = control.latest_checkpoint().expect("a checkpoint was captured");
+    assert_eq!(ck.steps, 2);
+    assert_eq!(ck.removed, partial.removed, "checkpoint edits match the partial outcome");
+
+    let mut session = Anonymizer::new(&g, &TypeSpec::DegreePairs).config(cfg);
+    let resumed = session.resume_run(Removal, &ck);
+    assert_identical(&full, &resumed, "cancel@2 then resume");
+}
