@@ -33,7 +33,10 @@ pub mod store;
 pub use bfs::{sampled_mean_ball, truncated_bfs_apsp, truncated_bfs_apsp_sharded, TruncatedBfs};
 pub use dist::{DistanceMatrix, INF, NIBBLE_MAX_L};
 pub use engine::ApspEngine;
-pub use store::{auto_prefers_sparse, DistStore, SparseStore, StoreBackend};
+pub use store::{
+    auto_prefers_sparse, estimate_footprint, expected_mean_ball, DistStore, SparseStore,
+    StoreBackend,
+};
 pub use floyd::{floyd_warshall, FullDistanceMatrix, INF_FULL};
 pub use pointer::pointer_floyd_warshall;
 pub use pruned::l_pruned_floyd_warshall;

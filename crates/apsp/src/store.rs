@@ -101,11 +101,92 @@ pub fn auto_prefers_sparse(n: usize, mean_ball: f64, l: u8) -> bool {
     if n < AUTO_MIN_SPARSE_VERTICES {
         return false;
     }
-    let pairs = n * n.saturating_sub(1) / 2;
-    let dense_bytes = if l <= NIBBLE_MAX_L { pairs.div_ceil(2) } else { pairs };
-    let sparse_bytes =
-        n as f64 * mean_ball * DIRECTED_ENTRY_BYTES as f64 + ((n + 1) * 8) as f64;
-    sparse_bytes < dense_bytes as f64
+    let dense = dense_bytes(n, l);
+    let sparse =
+        n as f64 * mean_ball * DIRECTED_ENTRY_BYTES as f64 + ((n + 1) as f64 * 8.0);
+    sparse < dense as f64
+}
+
+/// Packed dense footprint for `n` vertices at threshold `l`, in bytes.
+/// Overflow-safe for any `usize` n (the pair count is computed in `u128`
+/// and saturated), so admission-control callers can feed it attacker-
+/// declared vertex counts without wrapping.
+fn dense_bytes(n: usize, l: u8) -> u128 {
+    let pairs = n as u128 * n.saturating_sub(1) as u128 / 2;
+    if l <= NIBBLE_MAX_L {
+        pairs.div_ceil(2)
+    } else {
+        pairs
+    }
+}
+
+/// Expected mean within-L ball size for a graph with `n` vertices and `m`
+/// edges, from the branching-process approximation: mean degree
+/// `d = 2m/n`, level `i` of a BFS tree holds ≈ `d (d−1)^(i−1)` vertices,
+/// so `|ball_L| ≈ Σ_{i=1..L} d (d−1)^(i−1)`, capped at `n − 1`. This is
+/// the spec-only stand-in for [`sampled_mean_ball`], which needs the built
+/// graph; on G(n, m)-like inputs the two agree to within a small factor
+/// (locally tree-like), and on clustered graphs it over-estimates —
+/// conservative in the direction admission control wants.
+pub fn expected_mean_ball(n: usize, m: usize, l: u8) -> f64 {
+    if n < 2 || m == 0 || l == 0 {
+        return 0.0;
+    }
+    let cap = (n - 1) as f64;
+    let d = 2.0 * m as f64 / n as f64;
+    let branch = (d - 1.0).max(1.0);
+    let mut ball = 0.0f64;
+    let mut level = d;
+    for _ in 0..l {
+        ball += level;
+        if ball >= cap {
+            return cap;
+        }
+        level *= branch;
+    }
+    ball.min(cap)
+}
+
+/// Predicted memory footprint, in bytes, of the [`DistStore`] a job with
+/// `n` vertices, `m` edges and threshold `l` will occupy under `store` —
+/// computable from a job spec alone, before any graph is materialized or
+/// any APSP build starts. This hoists the per-backend estimate behind
+/// [`StoreBackend::Auto`]'s prepare-time decision into a pure function the
+/// daemon's admission control can ask first:
+///
+/// * `Dense` — `n (n−1) / 2` pairs at a nibble (`l ≤ 14`) or a byte each;
+/// * `Sparse` — `n · ball̂ · 5` arena bytes plus the `(n+1) · 8`-byte row
+///   offset table, with `ball̂ = `[`expected_mean_ball`]`(n, m, l)`;
+/// * `Auto` — whichever of the two [`auto_prefers_sparse`] would pick for
+///   that expected ball (dense below the 4096-vertex sparse floor).
+///
+/// All arithmetic is overflow-checked/saturating: a pathological declared
+/// `n = 10⁹` yields a huge (rejectable) number, never a wrap-around small
+/// one. Saturates at `u64::MAX`.
+pub fn estimate_footprint(n: usize, m: usize, l: u8, store: StoreBackend) -> u64 {
+    let dense = dense_bytes(n, l);
+    let sparse = {
+        let ball = expected_mean_ball(n, m, l);
+        let arena = (n as f64 * ball * DIRECTED_ENTRY_BYTES as f64).ceil();
+        let offsets = (n as u128).saturating_add(1).saturating_mul(8);
+        if arena >= u128::MAX as f64 {
+            u128::MAX
+        } else {
+            (arena as u128).saturating_add(offsets)
+        }
+    };
+    let estimate = match store {
+        StoreBackend::Dense => dense,
+        StoreBackend::Sparse => sparse,
+        StoreBackend::Auto => {
+            if n >= AUTO_MIN_SPARSE_VERTICES && sparse < dense {
+                sparse
+            } else {
+                dense
+            }
+        }
+    };
+    u64::try_from(estimate).unwrap_or(u64::MAX)
 }
 
 /// A truncated distance store: every finite entry is a geodesic distance

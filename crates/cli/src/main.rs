@@ -17,6 +17,9 @@
 //! lopacify stats     --in graph.txt
 //! lopacify generate  --dataset google --n 500 --out graph.txt [--seed N]
 //! lopacify serve     [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS] [--state-dir DIR]
+//!          [--job-mem-budget BYTES] [--mem-budget BYTES] [--job-deadline SECS]
+//! lopacify submit    --spec FILE [--addr HOST:PORT] [--ikey KEY] [--wait] [--out FILE]
+//!          [--retries N] [--seed N]
 //! ```
 //!
 //! Graphs are whitespace-separated edge lists (SNAP format); `#`/`%` lines
@@ -81,6 +84,7 @@ fn main() {
         "compare" => compare(&args),
         "churn" => churn(&args),
         "serve" => serve(&args).map_err(CliError::from),
+        "submit" => submit(&args),
         "opacity" => opacity(&args).map_err(CliError::from),
         "stats" => stats(&args).map_err(CliError::from),
         "generate" => generate(&args).map_err(CliError::from),
@@ -153,24 +157,44 @@ commands:
             datasets: google, berkeley-stanford, epinions, enron, gnutella,
                       acm, wikipedia
   serve     [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS]
-            [--state-dir DIR]
+            [--state-dir DIR] [--job-mem-budget BYTES] [--mem-budget BYTES]
+            [--job-deadline SECS]
             starts lopacityd, the anonymization daemon: jobs over HTTP with
             progress streaming, cooperative cancellation, per-job budgets,
             a shared (graph, L, engine) evaluator cache, and held churn
             sessions (defaults: 127.0.0.1:7311, 2 workers, queue 32);
             --job-ttl drops finished jobs SECS after completion (default:
             keep forever); --state-dir keeps a durable job journal so
-            interrupted jobs resume byte-identically on the next boot
+            interrupted jobs resume byte-identically on the next boot;
+            --job-mem-budget refuses specs whose predicted distance-store
+            footprint exceeds BYTES with 413 before any build;
+            --mem-budget caps the summed prediction across queued+running
+            jobs (429 + Retry-After past it); --job-deadline stops jobs
+            at their next cooperative checkpoint SECS after they start
             (SIGTERM drains and exits 0; see lopacityd --help for the
             full robustness knobs: --fault, --backlog-bytes, ...)
+  submit    --spec FILE [--addr HOST:PORT] [--ikey KEY] [--wait]
+            [--out FILE] [--retries N] [--seed N]
+            submits a job spec file (see the lopacity-daemon crate docs
+            for the format) to a running daemon, retrying 429/503 and
+            transport errors with capped, seeded exponential backoff;
+            prints `id N`; --ikey sends an Idempotency-Key so retries
+            (even across a daemon restart) cannot enqueue duplicates;
+            --wait polls until the job finishes, prints the result
+            summary, writes the anonymized graph to --out if given, and
+            exits 3 when the run ended with theta lost
 
 exit codes:
   0  success
-  1  I/O failures (unreadable/unwritable files) and usage errors
-  2  input parse errors (malformed edge lists or event streams)
+  1  I/O failures (unreadable/unwritable files) and usage errors; for
+     submit: connect failures and retry budgets exhausted
+  2  input parse errors (malformed edge lists or event streams); for
+     submit: the daemon rejected the spec (400) or its predicted
+     footprint (413)
   3  theta lost: anonymize ended with maxLO > theta (for the k-degree and
      kl-adjacency methods: ended with their own certifier unsatisfied),
-     or a churn stream ended uncertified after repair
+     a churn stream ended uncertified after repair, or a submit --wait
+     job finished without achieving theta
 ";
 
 fn load(args: &Args, key: &str) -> Result<Graph, String> {
@@ -626,6 +650,26 @@ fn serve(args: &Args) -> Result<(), String> {
             ),
         },
         state_dir: args.get("state-dir").map(std::path::PathBuf::from),
+        job_mem_budget: match args.get("job-mem-budget") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|_| format!("--job-mem-budget: {raw:?} is not a byte count"))?,
+            ),
+        },
+        mem_budget: match args.get("mem-budget") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse().map_err(|_| format!("--mem-budget: {raw:?} is not a byte count"))?,
+            ),
+        },
+        job_deadline_secs: match args.get("job-deadline") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|_| format!("--job-deadline: {raw:?} is not a seconds count"))?,
+            ),
+        },
         ..defaults
     };
     let daemon = Daemon::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
@@ -635,5 +679,63 @@ fn serve(args: &Args) -> Result<(), String> {
         println!("state-dir {}", dir.display());
     }
     lopacity_daemon::server::serve_until_term(daemon);
+    Ok(())
+}
+
+/// Remote submission through `lopacity-client`: retries `429`/`503` and
+/// transport errors with capped seeded backoff, dedupes via `--ikey`, and
+/// with `--wait` maps the finished job onto the standard exit codes.
+fn submit(args: &Args) -> Result<(), CliError> {
+    use lopacity_client::{Client, ClientConfig, ClientError};
+    let io = |message: String| CliError { code: 1, message };
+    let spec_path = args.get("spec").ok_or(CliError::from("missing --spec FILE"))?;
+    let spec = std::fs::read_to_string(spec_path)
+        .map_err(|e| io(format!("reading {spec_path}: {e}")))?;
+    let defaults = ClientConfig::default();
+    let config = ClientConfig {
+        addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
+        max_retries: args.get_or("retries", defaults.max_retries)?,
+        seed: args.get_or("seed", defaults.seed)?,
+        ..defaults
+    };
+    let mut client = Client::new(config);
+    let submitted = match args.get("ikey") {
+        Some(key) => client.submit_idempotent(&spec, key),
+        None => client.submit(&spec),
+    };
+    let id = match submitted {
+        Ok(id) => id,
+        // 400 (spec did not parse) and 413 (predicted footprint refused)
+        // are data problems — the daemon's reply names the line or the
+        // estimate; retrying cannot help.
+        Err(ClientError::Rejected { status: status @ (400 | 413), body }) => {
+            return Err(CliError { code: 2, message: format!("{status}: {}", body.trim_end()) })
+        }
+        Err(e) => return Err(io(format!("submit to {}: {e}", client.addr()))),
+    };
+    println!("id {id}");
+    if !args.has_flag("wait") {
+        return Ok(());
+    }
+    let summary = client
+        .wait(id, std::time::Duration::from_millis(200))
+        .map_err(|e| io(format!("waiting on job {id}: {e}")))?;
+    print!("{summary}");
+    if let Some(out) = args.get("out") {
+        let graph = client
+            .get(&format!("/jobs/{id}/graph"))
+            .map_err(|e| io(format!("fetching job {id} graph: {e}")))?;
+        std::fs::write(out, graph.body_str().unwrap_or(""))
+            .map_err(|e| io(format!("writing {out}: {e}")))?;
+    }
+    let failed = summary.lines().any(|l| l.starts_with("phase failed"));
+    let lost = summary.lines().any(|l| l == "achieved false")
+        || summary.lines().any(|l| l == "certified false");
+    if failed {
+        return Err(CliError { code: 1, message: format!("job {id} failed") });
+    }
+    if lost {
+        return Err(CliError { code: 3, message: format!("job {id} finished with theta lost") });
+    }
     Ok(())
 }

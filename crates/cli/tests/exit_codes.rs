@@ -235,3 +235,109 @@ fn compare_writes_the_report_and_exits_0() {
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("l-opacity-rem-ins"), "summary table on stdout");
 }
+
+// ---------------------------------------------------------------------
+// Remote submission (`lopacify submit` against an in-process daemon):
+// the same contract over the wire — 0 accepted/achieved, 1 transport,
+// 2 rejected spec (400 parse or 413 footprint), 3 theta lost.
+
+use lopacity_daemon::{Daemon, DaemonConfig};
+
+fn test_daemon(config: DaemonConfig) -> Daemon {
+    Daemon::bind(&DaemonConfig { addr: "127.0.0.1:0".to_string(), workers: 1, ..config })
+        .expect("bind daemon on an ephemeral port")
+}
+
+#[test]
+fn submit_wait_roundtrip_exits_0_and_writes_the_graph() {
+    let daemon = test_daemon(DaemonConfig::default());
+    let spec = scratch("submit-ok", "mode anonymize\nl 1\ntheta 1.0\ngraph gnm 12 20 3\n");
+    let out = out_path("submit-ok");
+    let output = lopacify()
+        .args(["submit", "--wait", "--ikey", "cli-ok-1"])
+        .arg("--addr")
+        .arg(daemon.addr().to_string())
+        .arg("--spec")
+        .arg(&spec)
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("run lopacify");
+    assert_eq!(output.status.code(), Some(0), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("id 1"), "job id printed: {stdout}");
+    assert!(stdout.contains("achieved true"), "result summary printed: {stdout}");
+    let graph = std::fs::read_to_string(&out).expect("graph written");
+    assert!(graph.contains("# vertices"), "edge-list header present: {graph}");
+    daemon.shutdown();
+}
+
+#[test]
+fn submit_rejected_spec_exits_2() {
+    let daemon = test_daemon(DaemonConfig::default());
+    let spec = scratch("submit-bad", "mode anonymize\nl 0\ngraph gnm 5 5 1\n");
+    let status = lopacify()
+        .args(["submit"])
+        .arg("--addr")
+        .arg(daemon.addr().to_string())
+        .arg("--spec")
+        .arg(&spec)
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(2), "a 400 from the daemon is a data error");
+    daemon.shutdown();
+}
+
+#[test]
+fn submit_over_footprint_budget_exits_2() {
+    let daemon =
+        test_daemon(DaemonConfig { job_mem_budget: Some(64), ..DaemonConfig::default() });
+    let spec = scratch("submit-413", "mode anonymize\nl 1\ntheta 1.0\ngraph gnm 100 300 3\n");
+    let output = lopacify()
+        .args(["submit"])
+        .arg("--addr")
+        .arg(daemon.addr().to_string())
+        .arg("--spec")
+        .arg(&spec)
+        .output()
+        .expect("run lopacify");
+    assert_eq!(output.status.code(), Some(2), "a 413 footprint refusal is a data error");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("footprint"), "the estimate reaches the user: {stderr}");
+    daemon.shutdown();
+}
+
+#[test]
+fn submit_unreachable_daemon_exits_1() {
+    let spec = scratch("submit-noconn", "mode anonymize\nl 1\ntheta 1.0\ngraph gnm 5 8 1\n");
+    // A port from the ephemeral range with nothing listening; zero
+    // retries so the failure is immediate.
+    let status = lopacify()
+        .args(["submit", "--addr", "127.0.0.1:59999", "--retries", "0"])
+        .arg("--spec")
+        .arg(&spec)
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(1), "transport failure is an I/O error");
+}
+
+#[test]
+fn submit_wait_with_theta_lost_exits_3() {
+    let daemon = test_daemon(DaemonConfig::default());
+    // One greedy step cannot reach theta 0 on this graph: the job
+    // finishes done with `achieved false` (budget-interrupted).
+    let spec = scratch(
+        "submit-lost",
+        "mode anonymize\nl 2\ntheta 0.0\nseed 11\nmax_steps 1\ngraph gnm 30 60 3\n",
+    );
+    let status = lopacify()
+        .args(["submit", "--wait"])
+        .arg("--addr")
+        .arg(daemon.addr().to_string())
+        .arg("--spec")
+        .arg(&spec)
+        .status()
+        .expect("run lopacify");
+    assert_eq!(status.code(), Some(3), "theta lost over the wire is still exit 3");
+    daemon.shutdown();
+}

@@ -1,0 +1,192 @@
+//! End-to-end chaos for `lopacity-client` against an in-process
+//! `lopacityd`:
+//!
+//! * a fleet of retrying clients drives the daemon past both memory
+//!   budgets (and its queue cap) and still completes every job — zero
+//!   acknowledged submissions lost, zero duplicated;
+//! * the same guarantee holds through an all-sites fault sweep
+//!   (socket reads/writes dropped, fsync failures, a worker panic, a
+//!   cache fault) *and* a daemon restart over the same state dir, with
+//!   idempotent resubmission landing on the original job.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use lopacity_client::{Client, ClientConfig, ClientError};
+use lopacity_daemon::{Daemon, DaemonConfig};
+
+/// A quick job (milliseconds on one worker).
+const QUICK_SPEC: &str = "mode anonymize\nl 1\ntheta 1.0\ngraph gnm 12 20 3\n";
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lop-client-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A test client: tight timeouts, fast capped backoff, a deep retry
+/// budget (overload tests keep the daemon saturated for many rounds).
+fn client_for(addr: SocketAddr, seed: u64) -> Client {
+    Client::new(ClientConfig {
+        addr: addr.to_string(),
+        connect_timeout: Duration::from_secs(5),
+        io_timeout: Some(Duration::from_secs(10)),
+        max_retries: 200,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(40),
+        seed,
+    })
+}
+
+fn metric(metrics: &[(String, u64)], name: &str) -> u64 {
+    metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0)
+}
+
+/// The overload scenario from the issue: budgets sized so that only two
+/// quick jobs fit in flight and only one in the queue, then six clients
+/// at once. Every submission must eventually be admitted (retrying
+/// through `429` + `Retry-After`) and every admitted job must finish.
+#[test]
+fn fleet_retries_through_memory_and_queue_pressure_losing_nothing() {
+    let footprint = {
+        // The daemon computes footprints from the spec; mirror it here to
+        // size the budgets tightly around this exact spec.
+        use lopacity_daemon::JobSpec;
+        JobSpec::parse(QUICK_SPEC).expect("spec").estimated_footprint()
+    };
+    let daemon = Daemon::bind(&DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 1,
+        mem_budget: Some(footprint * 2),
+        job_mem_budget: Some(footprint),
+        ..DaemonConfig::default()
+    })
+    .expect("bind");
+    let addr = daemon.addr();
+
+    const FLEET: usize = 6;
+    let handles: Vec<_> = (0..FLEET)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = client_for(addr, i as u64 + 1);
+                let id = client
+                    .submit_idempotent(QUICK_SPEC, &format!("fleet-{i}"))
+                    .expect("submission must eventually be admitted");
+                let summary = client.wait(id, Duration::from_millis(10)).expect("result");
+                (id, summary)
+            })
+        })
+        .collect();
+    let mut ids = Vec::new();
+    for handle in handles {
+        let (id, summary) = handle.join().expect("fleet thread");
+        assert!(summary.contains("phase done"), "job {id} must finish: {summary}");
+        ids.push(id);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), FLEET, "every client got its own job, none lost or duplicated");
+
+    let mut probe = client_for(addr, 99);
+    let metrics = probe.metrics().expect("metrics");
+    assert_eq!(metric(&metrics, "lopacityd_jobs_submitted"), FLEET as u64);
+    assert_eq!(metric(&metrics, "lopacityd_jobs_completed"), FLEET as u64);
+    // The budgets really did push back: the fleet rode through at least
+    // one memory rejection or queue-full response.
+    let rejected = metric(&metrics, "lopacityd_jobs_rejected_mem")
+        + metric(&metrics, "lopacityd_jobs_rejected");
+    assert!(rejected > 0, "six clients over a two-job budget must collide:\n{metrics:?}");
+
+    // A spec over the per-job budget is a definitive 413 — the client
+    // does not burn retries on it.
+    let too_big = "mode anonymize\nl 1\ntheta 1.0\ngraph gnm 4000 8000 3\n";
+    match probe.submit(too_big) {
+        Err(ClientError::Rejected { status: 413, body }) => {
+            assert!(body.contains("footprint"), "estimate in the body: {body}");
+        }
+        other => panic!("expected a 413 rejection, got {other:?}"),
+    }
+    daemon.shutdown();
+}
+
+/// Keep-alive reuse: one client, many requests, one server connection.
+/// The daemon counts one `lopacityd_jobs_submitted` per submission while
+/// the client never re-dials (verified by submitting + polling dozens of
+/// times through a single `Client` with reuse, which would deadlock or
+/// error if the server closed after each response).
+#[test]
+fn one_connection_serves_many_requests() {
+    let daemon = Daemon::bind(&DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..DaemonConfig::default()
+    })
+    .expect("bind");
+    let mut client = client_for(daemon.addr(), 3);
+    for round in 0..5 {
+        let id = client.submit(QUICK_SPEC).expect("submit");
+        let summary = client.wait(id, Duration::from_millis(5)).expect("wait");
+        assert!(summary.contains("phase done"), "round {round}: {summary}");
+    }
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metric(&metrics, "lopacityd_jobs_submitted"), 5);
+    daemon.shutdown();
+}
+
+/// The crash-consistency half: an all-sites fault sweep while a keyed
+/// submission goes through, then a full daemon restart over the same
+/// state dir. The client's resubmission of the same `Idempotency-Key`
+/// must land on the original job — acknowledged work is neither lost
+/// nor duplicated by the retry.
+#[test]
+fn idempotent_resubmission_survives_faults_and_a_restart() {
+    let dir = state_dir("ikey-restart");
+    // Every injection site fires at least once: connections dropped mid
+    // read and mid write (the client reconnects and retries), a journal
+    // fsync failure (degraded, not fatal), a worker panic (the job is
+    // re-queued and resumed), and a cache fault (private build).
+    let faults =
+        "socket.read:2,socket.write:4,journal.fsync:1,worker.panic:1,cache.insert:1";
+    let first = Daemon::bind(&DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        fault_spec: Some(faults.to_string()),
+        ..DaemonConfig::default()
+    })
+    .expect("bind");
+    let mut client = client_for(first.addr(), 17);
+    let id = client.submit_idempotent(QUICK_SPEC, "exactly-once").expect("submit");
+    let summary = client.wait(id, Duration::from_millis(10)).expect("result");
+    assert!(summary.contains("phase done"), "{summary}");
+    let metrics = client.metrics().expect("metrics");
+    assert!(metric(&metrics, "lopacityd_faults_injected") >= 4, "the sweep fired:\n{metrics:?}");
+    // Resubmitting against the live daemon dedupes in memory.
+    assert_eq!(client.submit_idempotent(QUICK_SPEC, "exactly-once").expect("resubmit"), id);
+    first.shutdown();
+
+    // Restart over the same journal: the dedupe map is rebuilt from the
+    // journaled canonical spec, so the retry still finds the same job —
+    // and its result graph survived too.
+    let second = Daemon::bind(&DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        ..DaemonConfig::default()
+    })
+    .expect("rebind");
+    let mut client = client_for(second.addr(), 18);
+    let retried = client.submit_idempotent(QUICK_SPEC, "exactly-once").expect("resubmit");
+    assert_eq!(retried, id, "the key must dedupe across the restart");
+    let (phase, _) = client.status(id).expect("status");
+    assert_eq!(phase, "done", "the acknowledged job survived the restart");
+    let graph = client.get(&format!("/jobs/{id}/graph")).expect("graph");
+    assert_eq!(graph.status, 200, "result graph recovered from the journal");
+    // A fresh key is still a fresh job (no over-dedupe).
+    let other = client.submit_idempotent(QUICK_SPEC, "another-key").expect("new key");
+    assert_ne!(other, id);
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -34,6 +34,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use lopacity_graph::Edge;
 
@@ -92,6 +93,12 @@ struct Inner {
     /// The latest captured checkpoint, awaiting a consumer (a daemon
     /// worker journaling it). Overwritten by each newer capture.
     checkpoint: Mutex<Option<RunCheckpoint>>,
+    /// Wall-clock deadline; past it every `should_stop` poll answers yes.
+    deadline: Mutex<Option<Instant>>,
+    /// Latched the first time a `should_stop` poll observed the deadline
+    /// passed — lets the owner distinguish "stopped because time ran out"
+    /// from an explicit cancel or a counted budget.
+    deadline_hit: AtomicBool,
 }
 
 impl RunControl {
@@ -104,6 +111,8 @@ impl RunControl {
                 max_steps: AtomicU64::new(UNSET),
                 checkpoint_every: AtomicU64::new(0),
                 checkpoint: Mutex::new(None),
+                deadline: Mutex::new(None),
+                deadline_hit: AtomicBool::new(false),
             }),
         }
     }
@@ -180,13 +189,51 @@ impl RunControl {
         self.inner.checkpoint.lock().expect("checkpoint slot").clone()
     }
 
+    /// Sets (or clears) a wall-clock deadline. Like cancellation it takes
+    /// effect only at the run's cooperative checkpoints, so a
+    /// deadline-stopped run's committed trajectory is still a *prefix* of
+    /// the uninterrupted run's — the stopping *point* depends on the
+    /// clock, but every committed step is one the unlimited run would have
+    /// committed. Setting a new deadline re-arms the expiry latch.
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        *self.inner.deadline.lock().expect("deadline slot") = deadline;
+        self.inner.deadline_hit.store(false, Ordering::Relaxed);
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        *self.inner.deadline.lock().expect("deadline slot")
+    }
+
+    /// Whether a `should_stop` poll has observed the deadline as passed
+    /// since it was last (re)set.
+    pub fn deadline_expired(&self) -> bool {
+        self.inner.deadline_hit.load(Ordering::Relaxed)
+    }
+
+    /// Checks the wall clock against the deadline, latching expiry.
+    fn deadline_reached(&self) -> bool {
+        if self.inner.deadline_hit.load(Ordering::Relaxed) {
+            return true;
+        }
+        let expired = self
+            .deadline()
+            .is_some_and(|deadline| Instant::now() >= deadline);
+        if expired {
+            self.inner.deadline_hit.store(true, Ordering::Relaxed);
+        }
+        expired
+    }
+
     /// Whether a run with the given cumulative counters should stop:
-    /// cancelled, or a dynamic cap reached. The greedy driver calls this
-    /// at its checkpoints via [`crate::RunContext`].
+    /// cancelled, a dynamic cap reached, or the wall-clock deadline
+    /// passed. The greedy driver calls this at its checkpoints via
+    /// [`crate::RunContext`].
     pub fn should_stop(&self, trials: u64, steps: usize) -> bool {
         self.is_cancelled()
             || trials >= self.inner.max_trials.load(Ordering::Relaxed)
             || (steps as u64) >= self.inner.max_steps.load(Ordering::Relaxed)
+            || self.deadline_reached()
     }
 }
 
@@ -242,6 +289,23 @@ mod tests {
         assert!(remote.take_checkpoint().is_none(), "take drains the slot");
         c.set_checkpoint_every(None);
         assert!(!c.checkpoint_due(2));
+    }
+
+    #[test]
+    fn deadline_latches_and_rearms() {
+        use std::time::Duration;
+        let c = RunControl::new();
+        assert!(!c.deadline_expired());
+        c.set_deadline(Some(Instant::now() + Duration::from_secs(3600)));
+        assert!(!c.should_stop(0, 0), "future deadline does not stop");
+        assert!(!c.deadline_expired());
+        c.set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(c.should_stop(0, 0), "past deadline stops at the next poll");
+        assert!(c.deadline_expired(), "expiry latched");
+        assert!(!c.is_cancelled(), "deadline is not a cancel");
+        c.set_deadline(None);
+        assert!(!c.deadline_expired(), "clearing re-arms the latch");
+        assert!(!c.should_stop(0, 0));
     }
 
     #[test]

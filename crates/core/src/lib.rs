@@ -153,7 +153,7 @@ pub use config::{AnonymizeConfig, LookaheadMode};
 pub use control::{RunCheckpoint, RunControl};
 pub use evaluator::{BatchDelta, CommitDelta, OpacityEvaluator};
 pub use lo::LoAssessment;
-pub use lopacity_apsp::StoreBackend;
+pub use lopacity_apsp::{estimate_footprint, StoreBackend};
 pub use lopacity_util::Parallelism;
 pub use model::{LOpacity, PrivacyModel};
 pub use opacity::{opacity_report, OpacityReport};

@@ -18,10 +18,25 @@
 //! SEED`, or `dataset NAME N SEED` (the paper's generator stand-ins).
 
 use lopacity::config::DEFAULT_SEED;
-use lopacity::{AnonymizeConfig, Parallelism, StoreBackend};
+use lopacity::{estimate_footprint, AnonymizeConfig, Parallelism, StoreBackend};
 use lopacity_apsp::ApspEngine;
 use lopacity_gen::Dataset;
 use lopacity_graph::{io as gio, Graph};
+
+/// Hard cap on a spec's *declared* vertex count — generator parameters and
+/// inline edge-list ids alike. Comfortably above the ROADMAP's 10⁷-vertex
+/// ladder, far below the `u32::MAX` id space whose adjacency vectors alone
+/// would be tens of GB: a 20-byte body must not be able to command a
+/// multi-gigabyte allocation before admission control even sees a number.
+pub const MAX_DECLARED_VERTICES: usize = 100_000_000;
+
+/// Hard cap on a spec's declared edge count (same posture as
+/// [`MAX_DECLARED_VERTICES`]).
+pub const MAX_DECLARED_EDGES: usize = 2_000_000_000;
+
+/// Idempotency keys: length cap and allowed alphabet (token-safe, so keys
+/// embed cleanly in the plain-text spec and journal formats).
+pub const MAX_IDEMPOTENCY_KEY: usize = 64;
 
 /// Where the job's graph comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +75,11 @@ pub struct JobSpec {
     pub max_trials: Option<u64>,
     /// Dynamic greedy-step budget.
     pub max_steps: Option<u64>,
+    /// Client-supplied dedupe token (`ikey` line / `Idempotency-Key`
+    /// header): two submissions with the same key are the same job, even
+    /// across a daemon crash — the key rides in the canonical spec text,
+    /// so journal replay rebuilds the dedupe table for free.
+    pub idempotency_key: Option<String>,
     pub source: GraphSource,
 }
 
@@ -80,6 +100,7 @@ impl JobSpec {
             store: StoreBackend::Auto,
             max_trials: None,
             max_steps: None,
+            idempotency_key: None,
             source: GraphSource::Inline(String::new()),
         };
         let mut saw_graph = false;
@@ -139,6 +160,10 @@ impl JobSpec {
                         value.parse().map_err(|_| format!("max_steps: {value:?} is not a u64"))?,
                     );
                 }
+                "ikey" => {
+                    validate_idempotency_key(value)?;
+                    spec.idempotency_key = Some(value.to_string());
+                }
                 "graph" => {
                     saw_graph = true;
                     spec.source = parse_graph_source(value, rest)?;
@@ -188,6 +213,9 @@ impl JobSpec {
         if let Some(cap) = self.max_steps {
             out.push_str(&format!("max_steps {cap}\n"));
         }
+        if let Some(key) = &self.idempotency_key {
+            out.push_str(&format!("ikey {key}\n"));
+        }
         match &self.source {
             GraphSource::Inline(text) => {
                 out.push_str("graph inline\n\n");
@@ -210,12 +238,101 @@ impl JobSpec {
     pub fn cache_key(&self, graph_hash: u64) -> String {
         format!("{graph_hash:016x}/l{}/{}/{}", self.l, self.engine.name(), self.store)
     }
+
+    /// The `(n, m)` this spec's graph will have, predicted from the spec
+    /// alone — no graph is materialized. Exact for `gnm` and `inline`
+    /// (a cheap token scan); for `dataset` it follows the generator's own
+    /// calibrated average-degree target.
+    pub fn predicted_graph_size(&self) -> (usize, usize) {
+        match &self.source {
+            GraphSource::Inline(text) => scan_inline(text),
+            GraphSource::Gnm { n, m, .. } => (*n, *m),
+            GraphSource::Dataset { which, n, .. } => {
+                let avg = which.spec().interpolate_avg_degree(*n);
+                (*n, (avg * *n as f64 / 2.0).round() as usize)
+            }
+        }
+    }
+
+    /// Predicted distance-store bytes for this spec —
+    /// [`lopacity::estimate_footprint`] over
+    /// [`Self::predicted_graph_size`]. The number admission control
+    /// compares against `--job-mem-budget` / `--mem-budget` *before* any
+    /// graph build starts.
+    pub fn estimated_footprint(&self) -> u64 {
+        let (n, m) = self.predicted_graph_size();
+        estimate_footprint(n, m, self.l, self.store)
+    }
+}
+
+/// Checks an idempotency key (from an `ikey` spec line or an
+/// `Idempotency-Key` header): 1..=[`MAX_IDEMPOTENCY_KEY`] characters of
+/// `[A-Za-z0-9._:-]`.
+pub fn validate_idempotency_key(value: &str) -> Result<(), String> {
+    if value.is_empty() || value.len() > MAX_IDEMPOTENCY_KEY {
+        return Err(format!("ikey must be 1..={MAX_IDEMPOTENCY_KEY} characters"));
+    }
+    if !value
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-' | b':'))
+    {
+        return Err("ikey may contain only [A-Za-z0-9._:-]".into());
+    }
+    Ok(())
+}
+
+/// Cheap `(max_id + 1, edge_count)` scan of an inline edge list. Lines
+/// that do not parse as two ids are skipped — they will fail properly
+/// (line-numbered) in [`resolve_graph`]; admission only needs the size.
+fn scan_inline(text: &str) -> (usize, usize) {
+    let mut max_id: u64 = 0;
+    let mut edges: usize = 0;
+    let mut any = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        if let (Some(a), Some(b)) = (parts.next(), parts.next()) {
+            if let (Ok(a), Ok(b)) = (a.parse::<u64>(), b.parse::<u64>()) {
+                if a == b {
+                    continue;
+                }
+                any = true;
+                max_id = max_id.max(a).max(b);
+                edges += 1;
+            }
+        }
+    }
+    if any {
+        (usize::try_from(max_id).unwrap_or(usize::MAX).saturating_add(1), edges)
+    } else {
+        (0, 0)
+    }
 }
 
 fn parse_graph_source(value: &str, rest: &str) -> Result<GraphSource, String> {
     let mut words = value.split_whitespace();
     match words.next() {
-        Some("inline") => Ok(GraphSource::Inline(rest.to_string())),
+        Some("inline") => {
+            // Declared-size caps for uploads, mirroring the generator
+            // ones: the largest *id* bounds the vertex allocation, which
+            // a tiny body can otherwise inflate to `u32::MAX` vertices.
+            let (n, m) = scan_inline(rest);
+            if n > MAX_DECLARED_VERTICES {
+                return Err(format!(
+                    "inline graph: vertex id {} past the declared-vertex cap {MAX_DECLARED_VERTICES}",
+                    n - 1
+                ));
+            }
+            if m > MAX_DECLARED_EDGES {
+                return Err(format!(
+                    "inline graph: {m} edges past the declared-edge cap {MAX_DECLARED_EDGES}"
+                ));
+            }
+            Ok(GraphSource::Inline(rest.to_string()))
+        }
         Some("gnm") => {
             let mut next = |what: &str| -> Result<u64, String> {
                 words
@@ -224,9 +341,25 @@ fn parse_graph_source(value: &str, rest: &str) -> Result<GraphSource, String> {
                     .parse::<u64>()
                     .map_err(|_| format!("graph gnm: {what} is not a number"))
             };
-            let n = next("N")? as usize;
-            let m = next("M")? as usize;
+            let n = usize::try_from(next("N")?)
+                .map_err(|_| "graph gnm: N does not fit usize".to_string())?;
+            let m = usize::try_from(next("M")?)
+                .map_err(|_| "graph gnm: M does not fit usize".to_string())?;
             let seed = next("SEED")?;
+            if n > MAX_DECLARED_VERTICES {
+                return Err(format!("graph gnm: N {n} past the declared-vertex cap {MAX_DECLARED_VERTICES}"));
+            }
+            if m > MAX_DECLARED_EDGES {
+                return Err(format!("graph gnm: M {m} past the declared-edge cap {MAX_DECLARED_EDGES}"));
+            }
+            // An impossible m would panic the generator *inside a worker*
+            // (or, for `m` close to the pair count, grind the rejection
+            // sampler); refuse it at the door with the arithmetic done in
+            // u128 so huge n cannot wrap the pair count.
+            let pairs = n as u128 * n.saturating_sub(1) as u128 / 2;
+            if m as u128 > pairs {
+                return Err(format!("graph gnm: cannot place {m} edges among {pairs} pairs"));
+            }
             Ok(GraphSource::Gnm { n, m, seed })
         }
         Some("dataset") => {
@@ -240,6 +373,11 @@ fn parse_graph_source(value: &str, rest: &str) -> Result<GraphSource, String> {
                 .ok_or("graph dataset: missing N")?
                 .parse::<usize>()
                 .map_err(|_| "graph dataset: N is not a number".to_string())?;
+            if n > MAX_DECLARED_VERTICES {
+                return Err(format!(
+                    "graph dataset: N {n} past the declared-vertex cap {MAX_DECLARED_VERTICES}"
+                ));
+            }
             let seed = words
                 .next()
                 .ok_or("graph dataset: missing SEED")?
@@ -318,12 +456,65 @@ mod tests {
     }
 
     #[test]
+    fn declared_size_caps_reject_pathological_specs() {
+        // gnm: N past the vertex cap, m impossible for n, huge-u64 wrap bait.
+        let big_n = MAX_DECLARED_VERTICES + 1;
+        assert!(JobSpec::parse(&format!("l 1\ngraph gnm {big_n} 5 1\n"))
+            .unwrap_err()
+            .contains("declared-vertex cap"));
+        assert!(JobSpec::parse("l 1\ngraph gnm 10 100 1\n")
+            .unwrap_err()
+            .contains("cannot place"));
+        assert!(JobSpec::parse(&format!("l 1\ngraph gnm {} {} 1\n", u64::MAX, u64::MAX)).is_err());
+        // dataset: N past the cap.
+        assert!(JobSpec::parse(&format!("l 1\ngraph dataset enron {big_n} 1\n"))
+            .unwrap_err()
+            .contains("declared-vertex cap"));
+        // inline: a 2-token body must not declare a ~u32::MAX-vertex graph.
+        assert!(JobSpec::parse("l 1\ngraph inline\n\n0 4294967294\n")
+            .unwrap_err()
+            .contains("declared-vertex cap"));
+        // At the caps, specs still parse.
+        assert!(JobSpec::parse("l 1\ngraph gnm 45 990 1\n").is_ok());
+    }
+
+    #[test]
+    fn idempotency_keys_are_validated_and_round_trip() {
+        let spec = JobSpec::parse("l 1\nikey retry-42.a:b_c\ngraph gnm 5 5 1\n").unwrap();
+        assert_eq!(spec.idempotency_key.as_deref(), Some("retry-42.a:b_c"));
+        let canonical = spec.canonical_body();
+        assert!(canonical.contains("ikey retry-42.a:b_c\n"));
+        let reparsed = JobSpec::parse(&canonical).unwrap();
+        assert_eq!(reparsed.idempotency_key, spec.idempotency_key);
+        assert!(JobSpec::parse("l 1\nikey bad key\ngraph gnm 5 5 1\n").is_err(), "space");
+        assert!(JobSpec::parse("l 1\nikey \ngraph gnm 5 5 1\n").is_err(), "empty");
+        let long = "x".repeat(MAX_IDEMPOTENCY_KEY + 1);
+        assert!(JobSpec::parse(&format!("l 1\nikey {long}\ngraph gnm 5 5 1\n")).is_err(), "long");
+    }
+
+    #[test]
+    fn predicted_sizes_match_the_materialized_graph() {
+        let spec = JobSpec::parse("l 2\ntheta 0.5\ngraph gnm 40 90 3\n").unwrap();
+        assert_eq!(spec.predicted_graph_size(), (40, 90));
+        let spec =
+            JobSpec::parse("l 1\ntheta 0.5\ngraph inline\n\n# c\n0 1\n1 2\n7 7\n2 0\n").unwrap();
+        assert_eq!(spec.predicted_graph_size(), (3, 3), "self-loop dropped, max id 2");
+        let spec = JobSpec::parse("l 1\ntheta 0.5\ngraph dataset enron 200 5\n").unwrap();
+        let (n, m) = spec.predicted_graph_size();
+        let g = resolve_graph(&spec.source).unwrap();
+        assert_eq!(n, 200);
+        let err = (m as f64 - g.num_edges() as f64).abs() / g.num_edges() as f64;
+        assert!(err < 0.25, "dataset m prediction {m} vs real {} off by {err:.2}", g.num_edges());
+        assert!(spec.estimated_footprint() > 0);
+    }
+
+    #[test]
     fn canonical_body_round_trips() {
         let bodies = [
             "mode anonymize\nmethod rem-ins\nl 2\ntheta 0.4\nseed 9\nengine floyd\n\
              store sparse\nmax_trials 500\nmax_steps 7\ngraph gnm 40 90 3\n",
             "mode churn\nl 1\ntheta 0.9\ngraph dataset enron 100 5\n",
-            "l 1\ntheta 0.9\ngraph inline\n\n0 1\n1 2\n",
+            "l 1\ntheta 0.9\nikey a-b.c\ngraph inline\n\n0 1\n1 2\n",
         ];
         for body in bodies {
             let spec = JobSpec::parse(body).unwrap();

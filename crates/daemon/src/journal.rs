@@ -220,6 +220,27 @@ fn encode_frame(record: &Record) -> Vec<u8> {
     frame
 }
 
+/// Scans a raw journal byte buffer into its durable records: the frames
+/// that parse, the byte offset of the first torn/corrupt frame (== the
+/// clean length of the buffer), and the tear's reason when there is one.
+/// This is [`Journal::open`]'s replay loop, exposed so recovery tooling
+/// and the parser fuzz suite can drive it on arbitrary bytes without a
+/// file — it never panics and never allocates beyond the decoded records.
+pub fn scan_frames(buf: &[u8]) -> (Vec<Record>, usize, Option<String>) {
+    let mut records = Vec::new();
+    let mut offset = 0;
+    loop {
+        match parse_frame(buf, offset) {
+            Parsed::Frame(record, next) => {
+                records.push(record);
+                offset = next;
+            }
+            Parsed::Clean => return (records, offset, None),
+            Parsed::Torn(why) => return (records, offset, Some(why)),
+        }
+    }
+}
+
 /// Outcome of parsing one frame from the byte stream at `offset`.
 enum Parsed {
     /// A good frame; `next` is the offset just past it.
@@ -256,8 +277,15 @@ fn parse_frame(buf: &[u8], offset: usize) -> Parsed {
         return Parsed::Torn(format!("bad checksum in header {header:?}"));
     };
     let payload_start = header_end + 1;
-    // Payload + its trailing newline must both be present.
-    if rest.len() < payload_start + len + 1 {
+    // Payload + its trailing newline must both be present. The declared
+    // length is attacker-or-corruption controlled: the bound check must
+    // not wrap (`payload_start + len + 1` with `len` near `usize::MAX`
+    // would), so it is checked arithmetic — overflow is just Torn.
+    let Some(frame_end) = payload_start.checked_add(len).and_then(|end| end.checked_add(1))
+    else {
+        return Parsed::Torn("declared payload length overflows".into());
+    };
+    if rest.len() < frame_end {
         return Parsed::Torn("payload shorter than declared length".into());
     }
     let payload = &rest[payload_start..payload_start + len];
@@ -302,27 +330,16 @@ impl Journal {
         let mut buf = Vec::new();
         file.seek(SeekFrom::Start(0))?;
         file.read_to_end(&mut buf)?;
-        let mut records = Vec::new();
-        let mut offset = 0;
-        loop {
-            match parse_frame(&buf, offset) {
-                Parsed::Frame(record, next) => {
-                    records.push(record);
-                    offset = next;
-                }
-                Parsed::Clean => break,
-                Parsed::Torn(why) => {
-                    eprintln!(
-                        "lopacityd: journal {}: torn tail at byte {offset} ({why}); \
-                         truncating {} bytes",
-                        path.display(),
-                        buf.len() - offset
-                    );
-                    file.set_len(offset as u64)?;
-                    file.sync_data()?;
-                    break;
-                }
-            }
+        let (records, offset, torn) = scan_frames(&buf);
+        if let Some(why) = torn {
+            eprintln!(
+                "lopacityd: journal {}: torn tail at byte {offset} ({why}); \
+                 truncating {} bytes",
+                path.display(),
+                buf.len() - offset
+            );
+            file.set_len(offset as u64)?;
+            file.sync_data()?;
         }
         file.seek(SeekFrom::End(0))?;
         Ok((Journal { file: Mutex::new(file), path, faults }, records))
@@ -473,6 +490,23 @@ mod tests {
         assert!(err.to_string().contains("journal.fsync"), "{err}");
         assert_eq!(faults.fired(), APPEND_ATTEMPTS as u64);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn huge_declared_lengths_are_torn_not_panics() {
+        // A corrupt header declaring a near-usize::MAX payload length used
+        // to wrap the bounds arithmetic and panic the replay slice; it
+        // must scan as a torn tail at offset 0. (Also pinned in the fuzz
+        // corpus: tests/fuzz_corpus/journal/huge-declared-len.bin.)
+        let evil = format!("lopj1 submit 1 {} 0000000000000000\nxx\n", usize::MAX - 8);
+        let (records, offset, torn) = scan_frames(evil.as_bytes());
+        assert!(records.is_empty());
+        assert_eq!(offset, 0);
+        assert!(torn.unwrap().contains("overflow"));
+        // A length merely larger than the buffer is the ordinary torn case.
+        let (records, _, torn) = scan_frames(b"lopj1 submit 1 400 0000000000000000\nxx\n");
+        assert!(records.is_empty());
+        assert!(torn.unwrap().contains("shorter"));
     }
 
     #[test]

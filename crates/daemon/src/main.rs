@@ -10,7 +10,9 @@ lopacityd - L-opacity anonymization daemon
 USAGE:
     lopacityd [--addr HOST:PORT] [--workers N] [--queue N] [--job-ttl SECS]
               [--state-dir DIR] [--checkpoint-every STEPS] [--max-attempts N]
-              [--backlog-bytes N] [--io-timeout SECS] [--fault PLAN]
+              [--backlog-bytes N] [--job-mem-budget BYTES] [--mem-budget BYTES]
+              [--job-deadline SECS] [--max-body BYTES] [--io-timeout SECS]
+              [--fault PLAN]
 
 OPTIONS:
     --addr HOST:PORT   bind address (default 127.0.0.1:7311; port 0 picks a free port)
@@ -32,6 +34,23 @@ OPTIONS:
     --backlog-bytes N  queued-spec byte budget; when exceeded the oldest
                        queued jobs are shed and over-budget submissions get
                        503 + Retry-After (default: no shedding)
+    --job-mem-budget BYTES
+                       per-job predicted-footprint cap: a spec whose
+                       estimated distance-store footprint exceeds it is
+                       refused with 413 before any graph or APSP build
+                       (default: unlimited)
+    --mem-budget BYTES global predicted-footprint budget across queued and
+                       running jobs; submissions past it get 429 +
+                       Retry-After (default: unlimited)
+    --job-deadline SECS
+                       per-job wall-clock deadline, armed when a worker
+                       picks the job up; an expired job stops at its next
+                       cooperative checkpoint as cancelled with
+                       'interrupted deadline' and a certified-prefix
+                       partial result (default: none)
+    --max-body BYTES   request-body cap; larger declared Content-Lengths
+                       get 400 before any body byte is read (default and
+                       hard ceiling: 64 MiB)
     --io-timeout SECS  per-connection socket read/write deadline — the
                        slowloris guard; 0 disables (default 30)
     --fault PLAN       deterministic fault injection, e.g.
@@ -78,6 +97,10 @@ fn run(argv: &[String]) -> Result<(), String> {
         "checkpoint-every",
         "max-attempts",
         "backlog-bytes",
+        "job-mem-budget",
+        "mem-budget",
+        "job-deadline",
+        "max-body",
         "io-timeout",
         "fault",
     ]);
@@ -104,6 +127,10 @@ fn run(argv: &[String]) -> Result<(), String> {
         checkpoint_every: args.get_or("checkpoint-every", defaults.checkpoint_every)?,
         max_attempts: args.get_or("max-attempts", defaults.max_attempts)?,
         backlog_bytes: optional_u64("backlog-bytes")?.map(|n| n as usize),
+        job_mem_budget: optional_u64("job-mem-budget")?,
+        mem_budget: optional_u64("mem-budget")?,
+        job_deadline_secs: optional_u64("job-deadline")?,
+        max_body: optional_u64("max-body")?.map(|n| usize::try_from(n).unwrap_or(usize::MAX)),
     };
     let daemon = Daemon::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
     println!("lopacityd listening on {}", daemon.addr());

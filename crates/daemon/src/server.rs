@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use lopacity_util::http::{set_stream_deadlines, HttpError, Request, Response};
+use lopacity_util::http::{set_stream_deadlines, HttpError, Request, Response, MAX_BODY};
 use lopacity_util::FaultPlan;
 
 use crate::job::JobSpec;
@@ -62,6 +62,19 @@ pub struct DaemonConfig {
     pub max_attempts: u64,
     /// Queued-spec byte budget for load-shedding admission.
     pub backlog_bytes: Option<usize>,
+    /// Per-job predicted-footprint cap in bytes; specs predicted past it
+    /// are refused with `413` before any graph or APSP build.
+    pub job_mem_budget: Option<u64>,
+    /// Global predicted-footprint budget in bytes across queued and
+    /// running jobs; submissions past it get `429` + `Retry-After`.
+    pub mem_budget: Option<u64>,
+    /// Per-job wall-clock deadline in seconds; an expired job stops at
+    /// its next cooperative checkpoint (`cancelled`, `interrupted
+    /// deadline`) with a certified-prefix partial result.
+    pub job_deadline_secs: Option<u64>,
+    /// Request-body cap in bytes, clamped to
+    /// [`lopacity_util::http::MAX_BODY`]. `None` uses the clamp itself.
+    pub max_body: Option<usize>,
 }
 
 impl Default for DaemonConfig {
@@ -77,6 +90,10 @@ impl Default for DaemonConfig {
             checkpoint_every: 1,
             max_attempts: 3,
             backlog_bytes: None,
+            job_mem_budget: None,
+            mem_budget: None,
+            job_deadline_secs: None,
+            max_body: None,
         }
     }
 }
@@ -111,6 +128,9 @@ impl Daemon {
             checkpoint_every: config.checkpoint_every,
             max_attempts: config.max_attempts,
             backlog_bytes: config.backlog_bytes,
+            job_mem_budget: config.job_mem_budget,
+            mem_budget: config.mem_budget,
+            job_deadline: config.job_deadline_secs.map(Duration::from_secs),
         });
         if let Some(dir) = &config.state_dir {
             let (journal, records) = Journal::open(dir, faults)?;
@@ -123,6 +143,7 @@ impl Daemon {
             0 => None,
             secs => Some(Duration::from_secs(secs)),
         };
+        let max_body = config.max_body.unwrap_or(MAX_BODY);
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let state = Arc::clone(&state);
@@ -135,7 +156,7 @@ impl Daemon {
         let accept_state = Arc::clone(&state);
         let accept = thread::Builder::new()
             .name("lopacityd-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_state, io_timeout))
+            .spawn(move || accept_loop(listener, accept_state, io_timeout, max_body))
             .expect("spawn accept thread");
         Ok(Daemon { state, addr, accept: Some(accept), workers, io_timeout })
     }
@@ -244,7 +265,12 @@ pub fn serve_until_term(daemon: Daemon) {
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>, io_timeout: Option<Duration>) {
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    io_timeout: Option<Duration>,
+    max_body: usize,
+) {
     for stream in listener.incoming() {
         if state.is_shutdown() {
             return;
@@ -253,30 +279,48 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>, io_timeout: Optio
         let state = Arc::clone(&state);
         let _ = thread::Builder::new()
             .name("lopacityd-conn".to_string())
-            .spawn(move || handle_connection(stream, state, io_timeout));
+            .spawn(move || handle_connection(stream, state, io_timeout, max_body));
     }
 }
 
-fn handle_connection(stream: TcpStream, state: Arc<ServerState>, io_timeout: Option<Duration>) {
+fn handle_connection(
+    stream: TcpStream,
+    state: Arc<ServerState>,
+    io_timeout: Option<Duration>,
+    max_body: usize,
+) {
     // Read *and* write deadlines: a client that stalls mid-request (or
     // stops draining the response) costs one handler thread for at most
-    // the deadline, not forever — the slowloris guard.
+    // the deadline, not forever — the slowloris guard. The deadlines also
+    // bound how long an idle kept-alive connection holds its thread.
     let _ = set_stream_deadlines(&stream, io_timeout, io_timeout);
-    if state.faults.check_io("socket.read").is_err() {
-        return; // injected read failure: the connection just dies
-    }
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
-    let response = match Request::parse(&mut reader) {
-        Ok(request) => route(&request, &state),
-        Err(HttpError::ConnectionClosed) => return,
-        Err(e) => Response::new(400).text(format!("bad request: {e}\n")),
-    };
-    if state.faults.check_io("socket.write").is_err() {
-        return; // injected write failure: response lost on the wire
-    }
     let mut write_half = stream;
-    let _ = response.write_to(&mut write_half);
+    // Keep-alive loop: serve requests until the client closes, asks to
+    // close, an error makes further framing untrustworthy, or shutdown.
+    loop {
+        if state.faults.check_io("socket.read").is_err() {
+            return; // injected read failure: the connection just dies
+        }
+        let (response, keep) = match Request::parse_with_limits(&mut reader, max_body) {
+            Ok(request) => {
+                let keep = request.keep_alive && !state.is_shutdown();
+                (route(&request, &state), keep)
+            }
+            Err(HttpError::ConnectionClosed) => return,
+            // After a framing error the stream position is undefined —
+            // answer and drop the connection rather than misparse.
+            Err(e) => (Response::new(400).text(format!("bad request: {e}\n")), false),
+        };
+        let response = response.keep_alive(keep);
+        if state.faults.check_io("socket.write").is_err() {
+            return; // injected write failure: response lost on the wire
+        }
+        if response.write_to(&mut write_half).is_err() || !keep {
+            return;
+        }
+    }
 }
 
 /// Dispatches one parsed request against the state.
@@ -355,17 +399,38 @@ fn submit(request: &Request, state: &Arc<ServerState>) -> Response {
     let Some(body) = request.body_str() else {
         return Response::new(400).text("body is not UTF-8\n");
     };
-    let spec = match JobSpec::parse(body) {
+    let mut spec = match JobSpec::parse(body) {
         Ok(spec) => spec,
         Err(e) => return Response::new(400).text(format!("bad job spec: {e}\n")),
     };
+    // An `Idempotency-Key` header is folded into the spec (same slot as
+    // an `ikey` line, which wins on conflict) so it rides the journaled
+    // canonical spec and survives daemon restarts.
+    if spec.idempotency_key.is_none() {
+        if let Some(key) = request.header("idempotency-key") {
+            if let Err(e) = crate::job::validate_idempotency_key(key) {
+                return Response::new(400).text(format!("bad Idempotency-Key: {e}\n"));
+            }
+            spec.idempotency_key = Some(key.to_string());
+        }
+    }
     match state.submit(spec) {
         Ok(job) => Response::new(202).text(format!("id {}\n", job.id)),
-        Err(SubmitError::QueueFull) => Response::new(429).text("queue full\n"),
+        Err(SubmitError::QueueFull) => {
+            Response::new(429).header("Retry-After", "5").text("queue full\n")
+        }
         Err(SubmitError::ShuttingDown) => Response::new(503).text("shutting down\n"),
         Err(SubmitError::Overloaded) => Response::new(503)
             .header("Retry-After", "5")
             .text("overloaded: checkpointed backlog over budget\n"),
+        Err(SubmitError::TooLarge { estimate, budget }) => Response::new(413).text(format!(
+            "estimated footprint {estimate} bytes exceeds the per-job memory budget {budget}\n"
+        )),
+        Err(SubmitError::MemFull { estimate, in_flight, budget }) => Response::new(429)
+            .header("Retry-After", "5")
+            .text(format!(
+                "memory budget full: {in_flight} bytes in flight + {estimate} estimated exceeds {budget}\n"
+            )),
         Err(SubmitError::Journal(e)) => {
             Response::new(503).text(format!("journal write failed, job not admitted: {e}\n"))
         }

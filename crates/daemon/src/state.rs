@@ -62,6 +62,13 @@ pub struct Metrics {
     pub jobs_quarantined: AtomicU64,
     /// Queued jobs dropped by load-shedding admission control.
     pub shed_total: AtomicU64,
+    /// Submissions refused by memory admission control: predicted
+    /// footprint over the per-job budget (`413`) or over the global
+    /// budget across queued+running jobs (`429`).
+    pub jobs_rejected_mem: AtomicU64,
+    /// Jobs stopped at a cooperative checkpoint by their wall-clock
+    /// deadline (finished `cancelled` with `interrupted deadline`).
+    pub deadline_cancels: AtomicU64,
 }
 
 fn bump(counter: &AtomicU64, by: u64) {
@@ -133,6 +140,10 @@ pub struct Job {
     /// Canonical spec size — the unit of backlog accounting for
     /// load-shedding admission.
     spec_bytes: usize,
+    /// Predicted peak distance-store bytes ([`JobSpec::estimated_footprint`])
+    /// — the unit of memory-budget accounting. Computed once at admission
+    /// from the spec alone, never from a built graph.
+    pub footprint: u64,
     /// Rendered final graph (canonical edge-list text), served on
     /// `GET /jobs/<id>/graph` once the job is done.
     result_graph: Mutex<Option<String>>,
@@ -140,9 +151,11 @@ pub struct Job {
 
 impl Job {
     fn new(id: u64, spec: JobSpec, spec_bytes: usize) -> Job {
+        let footprint = spec.estimated_footprint();
         Job {
             id,
             spec,
+            footprint,
             control: RunControl::new(),
             status: Mutex::new(JobStatus { phase: Phase::Queued, summary: String::new() }),
             progress: Mutex::new(Vec::new()),
@@ -212,6 +225,13 @@ pub enum SubmitError {
     /// The checkpointed backlog byte budget cannot admit this spec even
     /// after shedding — retry later (`503` + `Retry-After`).
     Overloaded,
+    /// The spec's predicted footprint alone exceeds the per-job memory
+    /// budget — no retry will help (`413`, estimate in the body).
+    TooLarge { estimate: u64, budget: u64 },
+    /// Admitting this spec would push the summed footprint of queued and
+    /// running jobs over the global memory budget — retry once running
+    /// work drains (`429` + `Retry-After`).
+    MemFull { estimate: u64, in_flight: u64, budget: u64 },
     /// The durable journal could not record the submission; the job was
     /// not admitted (crash safety over availability).
     Journal(String),
@@ -303,6 +323,18 @@ pub struct StateOptions {
     /// Queued-spec byte budget for load-shedding admission; `None`
     /// disables shedding.
     pub backlog_bytes: Option<usize>,
+    /// Per-job predicted-footprint cap; predictions above it are refused
+    /// with `413` before any graph or APSP build. `None` disables.
+    pub job_mem_budget: Option<u64>,
+    /// Global predicted-footprint budget across queued + running jobs;
+    /// submissions that would exceed it get `429` + `Retry-After`.
+    /// `None` disables.
+    pub mem_budget: Option<u64>,
+    /// Per-job wall-clock deadline, armed when a worker picks the job
+    /// up; expiry stops the run at its next cooperative checkpoint, so
+    /// the interrupted output is still a certified prefix. `None`
+    /// disables.
+    pub job_deadline: Option<Duration>,
 }
 
 impl Default for StateOptions {
@@ -314,6 +346,9 @@ impl Default for StateOptions {
             checkpoint_every: 1,
             max_attempts: 3,
             backlog_bytes: None,
+            job_mem_budget: None,
+            mem_budget: None,
+            job_deadline: None,
         }
     }
 }
@@ -339,6 +374,14 @@ pub struct ServerState {
     checkpoint_every: u64,
     max_attempts: u64,
     backlog_bytes: Option<usize>,
+    job_mem_budget: Option<u64>,
+    mem_budget: Option<u64>,
+    job_deadline: Option<Duration>,
+    /// `Idempotency-Key -> job id` for dedupe of client resubmissions.
+    /// Rebuilt from the journal at boot (keys live inside canonical
+    /// specs), so a retry across a daemon crash still finds its job.
+    /// Leaf lock: never held while taking another lock.
+    ikeys: Mutex<HashMap<String, u64>>,
     /// `cache_key -> once-built prepared evaluator`. Grows with distinct
     /// keys for the daemon's lifetime — acceptable for a session daemon;
     /// restart to flush.
@@ -380,6 +423,10 @@ impl ServerState {
             checkpoint_every: options.checkpoint_every,
             max_attempts: options.max_attempts.max(1),
             backlog_bytes: options.backlog_bytes,
+            job_mem_budget: options.job_mem_budget,
+            mem_budget: options.mem_budget,
+            job_deadline: options.job_deadline,
+            ikeys: Mutex::new(HashMap::new()),
             cache: Mutex::new(HashMap::new()),
             churn: Mutex::new(HashMap::new()),
             job_ttl: options.job_ttl,
@@ -452,6 +499,12 @@ impl ServerState {
             };
             let job = Arc::new(Job::new(id, spec, spec_text.len()));
             self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
+            // Idempotency keys ride inside the journaled canonical spec,
+            // so the dedupe map rebuilds for free — a client retrying
+            // across a daemon crash still lands on its original job.
+            if let Some(key) = &job.spec.idempotency_key {
+                self.ikeys.lock().expect("ikeys lock").insert(key.clone(), id);
+            }
             match &entry.terminal {
                 Some((phase, summary)) => {
                     // A `done` churn job still owes its clients a live
@@ -532,6 +585,8 @@ impl ServerState {
             for id in &expired {
                 sessions.remove(id);
             }
+            drop(sessions);
+            self.ikeys.lock().expect("ikeys lock").retain(|_, id| !expired.contains(id));
             bump(&self.metrics.jobs_expired, expired.len() as u64);
         }
         expired.len()
@@ -553,6 +608,31 @@ impl ServerState {
             return Err(SubmitError::ShuttingDown);
         }
         self.gc_expired();
+        // Idempotent resubmission: a spec carrying a known key is the
+        // same logical job — hand back the original instead of admitting
+        // a duplicate. Stale mappings (job GC'd) are dropped and the
+        // submission proceeds as new.
+        if let Some(key) = &spec.idempotency_key {
+            let existing = self.ikeys.lock().expect("ikeys lock").get(key).copied();
+            if let Some(id) = existing {
+                match self.job(id) {
+                    Some(job) => return Ok(job),
+                    None => {
+                        self.ikeys.lock().expect("ikeys lock").remove(key);
+                    }
+                }
+            }
+        }
+        // Memory admission, from the spec alone (no graph is built): a
+        // spec whose predicted footprint exceeds the per-job budget can
+        // never run here, so refuse it outright.
+        let footprint = spec.estimated_footprint();
+        if let Some(budget) = self.job_mem_budget {
+            if footprint > budget {
+                bump(&self.metrics.jobs_rejected_mem, 1);
+                return Err(SubmitError::TooLarge { estimate: footprint, budget });
+            }
+        }
         let canonical = spec.canonical_body();
         let spec_bytes = canonical.len();
         let mut queue = self.queue.lock().expect("queue lock");
@@ -573,6 +653,26 @@ impl ServerState {
                 shed.push(oldest);
             }
         }
+        // Global memory budget: the predicted footprints of everything
+        // queued or running, plus the newcomer, must fit. Checked under
+        // the queue lock so concurrent submits serialize their accounting.
+        if let Some(budget) = self.mem_budget {
+            let shed_ids: Vec<u64> = shed.iter().map(|j| j.id).collect();
+            let in_flight: u64 = self
+                .jobs
+                .lock()
+                .expect("jobs lock")
+                .values()
+                .filter(|j| !j.snapshot().phase.finished() && !shed_ids.contains(&j.id))
+                .map(|j| j.footprint)
+                .sum();
+            if in_flight.saturating_add(footprint) > budget {
+                bump(&self.metrics.jobs_rejected_mem, 1);
+                drop(queue);
+                self.fail_shed(shed);
+                return Err(SubmitError::MemFull { estimate: footprint, in_flight, budget });
+            }
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let job = Arc::new(Job::new(id, spec, spec_bytes));
         if let Err(e) = self.journal_append(&Record::Submit { id, spec: canonical }) {
@@ -585,6 +685,9 @@ impl ServerState {
         self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
         queue.push_back(Arc::clone(&job));
         drop(queue);
+        if let Some(key) = &job.spec.idempotency_key {
+            self.ikeys.lock().expect("ikeys lock").insert(key.clone(), id);
+        }
         self.fail_shed(shed);
         self.queue_cv.notify_one();
         bump(&self.metrics.jobs_submitted, 1);
@@ -669,6 +772,8 @@ impl ServerState {
             ("lopacityd_jobs_recovered", get(&m.jobs_recovered)),
             ("lopacityd_jobs_quarantined", get(&m.jobs_quarantined)),
             ("lopacityd_shed_total", get(&m.shed_total)),
+            ("lopacityd_jobs_rejected_mem", get(&m.jobs_rejected_mem)),
+            ("lopacityd_deadline_cancels", get(&m.deadline_cancels)),
             ("lopacityd_faults_injected", self.faults.fired()),
             ("lopacityd_queue_depth", self.queue_depth() as u64),
             ("lopacityd_churn_sessions", self.churn_sessions() as u64),
@@ -826,6 +931,13 @@ impl ServerState {
         let ev = self.cached_evaluator(&job.spec, &graph);
         job.control.set_max_trials(job.spec.max_trials);
         job.control.set_max_steps(job.spec.max_steps);
+        // Arm the wall-clock deadline per attempt (re-arming clears a
+        // stale expiry latch from a panicked earlier attempt). Expiry is
+        // observed at the same cooperative checkpoints as cancellation,
+        // so a deadline-stopped job still commits a certified prefix.
+        if let Some(deadline) = self.job_deadline {
+            job.control.set_deadline(Some(Instant::now() + deadline));
+        }
         match job.spec.mode {
             JobMode::Anonymize => self.run_anonymize(job, &graph, ev),
             JobMode::Churn => self.run_churn_setup(job, &graph, ev),
@@ -868,8 +980,20 @@ impl ServerState {
         }
         bump(&self.metrics.trials_total, out.trials);
         bump(&self.metrics.fork_clones_total, out.fork_clones);
-        let summary = summarize_outcome(&job.spec, &out, job.control.is_cancelled());
-        if job.control.is_cancelled() {
+        let cancelled = job.control.is_cancelled();
+        let deadline_hit = job.control.deadline_expired();
+        let stopped = if cancelled {
+            Some("cancel")
+        } else if deadline_hit {
+            Some("deadline")
+        } else {
+            None
+        };
+        let summary = summarize_outcome(&job.spec, &out, stopped);
+        if cancelled || deadline_hit {
+            if !cancelled {
+                bump(&self.metrics.deadline_cancels, 1);
+            }
             self.finish_job(job, Phase::Cancelled, summary);
         } else {
             let mut rendered = Vec::new();
@@ -921,7 +1045,13 @@ impl ServerState {
             ));
         }
         job.push_progress(format!("churn session certified={certified}"));
-        if job.control.is_cancelled() {
+        let cancelled = job.control.is_cancelled();
+        let deadline_hit = !cancelled && job.control.deadline_expired();
+        if cancelled || deadline_hit {
+            if deadline_hit {
+                bump(&self.metrics.deadline_cancels, 1);
+                summary.push_str("interrupted deadline\n");
+            }
             self.finish_job(job, Phase::Cancelled, summary);
         } else if certified {
             self.churn.lock().expect("churn lock").insert(job.id, session);
@@ -1051,6 +1181,98 @@ mod tests {
     }
 
     #[test]
+    fn per_job_memory_budget_rejects_oversized_specs_with_the_estimate() {
+        let state = ServerState::with_options(StateOptions {
+            job_mem_budget: Some(1),
+            ..Default::default()
+        });
+        let spec = quick_spec();
+        let estimate = spec.estimated_footprint();
+        assert!(estimate > 1);
+        match state.submit(spec) {
+            Err(SubmitError::TooLarge { estimate: e, budget }) => {
+                assert_eq!(e, estimate);
+                assert_eq!(budget, 1);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert_eq!(state.metrics.jobs_rejected_mem.load(Ordering::Relaxed), 1);
+        // Rejection happens before any build: no graph, no APSP, no job.
+        assert_eq!(state.metrics.cache_builds.load(Ordering::Relaxed), 0);
+        assert_eq!(state.metrics.jobs_submitted.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn global_memory_budget_admits_again_once_work_finishes() {
+        let footprint = quick_spec().estimated_footprint();
+        let state = ServerState::with_options(StateOptions {
+            // Room for one quick_spec job in flight, not two.
+            mem_budget: Some(footprint + footprint / 2),
+            ..Default::default()
+        });
+        let first = state.submit(quick_spec()).expect("first fits");
+        match state.submit(quick_spec()) {
+            Err(SubmitError::MemFull { estimate, in_flight, budget }) => {
+                assert_eq!(estimate, footprint);
+                assert_eq!(in_flight, footprint);
+                assert_eq!(budget, footprint + footprint / 2);
+            }
+            other => panic!("expected MemFull, got {other:?}"),
+        }
+        assert_eq!(state.metrics.jobs_rejected_mem.load(Ordering::Relaxed), 1);
+        // Finished jobs release their reservation; the retry is admitted.
+        state.run_job(&first);
+        assert!(first.snapshot().phase.finished());
+        state.submit(quick_spec()).expect("budget freed by the finished job");
+    }
+
+    #[test]
+    fn idempotency_keys_return_the_original_job() {
+        let state = ServerState::new(4);
+        let keyed = || {
+            JobSpec::parse("mode anonymize\nl 1\ntheta 1.0\nikey k-1\ngraph gnm 12 20 3\n")
+                .unwrap()
+        };
+        let first = state.submit(keyed()).expect("submit");
+        let retry = state.submit(keyed()).expect("resubmit");
+        assert_eq!(first.id, retry.id, "same key, same job");
+        assert_eq!(state.metrics.jobs_submitted.load(Ordering::Relaxed), 1);
+        // A different key is a different job.
+        let other = state
+            .submit(
+                JobSpec::parse("mode anonymize\nl 1\ntheta 1.0\nikey k-2\ngraph gnm 12 20 3\n")
+                    .unwrap(),
+            )
+            .expect("submit");
+        assert_ne!(first.id, other.id);
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_with_a_deadline_summary() {
+        let state = ServerState::with_options(StateOptions {
+            job_deadline: Some(Duration::ZERO),
+            ..Default::default()
+        });
+        // theta 0.0 is unreachable, so the run would grind through its
+        // whole step budget — the already-expired deadline must stop it
+        // at the first cooperative checkpoint instead.
+        let spec =
+            JobSpec::parse("mode anonymize\nl 2\ntheta 0.0\nseed 11\ngraph gnm 150 450 7\n")
+                .unwrap();
+        let job = state.submit(spec).expect("submit");
+        state.run_job(&job);
+        let status = job.snapshot();
+        assert_eq!(status.phase, Phase::Cancelled);
+        assert!(
+            status.summary.contains("interrupted deadline"),
+            "summary must attribute the stop to the deadline: {}",
+            status.summary
+        );
+        assert_eq!(state.metrics.deadline_cancels.load(Ordering::Relaxed), 1);
+        assert!(state.render_metrics().contains("lopacityd_deadline_cancels 1"));
+    }
+
+    #[test]
     fn expiry_drops_held_churn_sessions() {
         let state = ServerState::with_job_ttl(4, Some(Duration::ZERO));
         let spec =
@@ -1064,16 +1286,20 @@ mod tests {
     }
 }
 
-fn summarize_outcome(spec: &JobSpec, out: &AnonymizationOutcome, cancelled: bool) -> String {
-    let interrupted = if cancelled {
-        "cancel"
-    } else if !out.achieved
-        && (spec.max_trials.is_some_and(|cap| out.trials >= cap)
-            || spec.max_steps.is_some_and(|cap| out.steps as u64 >= cap))
-    {
-        "budget"
-    } else {
-        "no"
+fn summarize_outcome(
+    spec: &JobSpec,
+    out: &AnonymizationOutcome,
+    stopped: Option<&'static str>,
+) -> String {
+    let interrupted = match stopped {
+        Some(reason) => reason,
+        None if !out.achieved
+            && (spec.max_trials.is_some_and(|cap| out.trials >= cap)
+                || spec.max_steps.is_some_and(|cap| out.steps as u64 >= cap)) =>
+        {
+            "budget"
+        }
+        None => "no",
     };
     format!(
         "mode anonymize\nachieved {}\nsteps {}\ntrials {}\nremoved {}\ninserted {}\nfinal_lo {:.6}\nn_at_max {}\ninterrupted {interrupted}\n",

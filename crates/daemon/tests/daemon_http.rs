@@ -47,6 +47,20 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
     (status, body)
 }
 
+/// Like [`request`] but returns the raw response, headers included.
+fn request_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw
+}
+
 /// Reads `key value` from a summary body.
 fn field(body: &str, key: &str) -> Option<String> {
     body.lines().find_map(|line| {
@@ -256,8 +270,11 @@ fn bounded_queue_rejects_overflow_with_429() {
     // then overflow.
     let slow = submit(addr, SLOW_SPEC);
     let queued = submit(addr, &shared_spec(0.5));
-    let (status, body) = request(addr, "POST", "/jobs", &shared_spec(0.4));
-    assert_eq!(status, 429, "{body}");
+    let raw = request_raw(addr, "POST", "/jobs", &shared_spec(0.4));
+    assert!(raw.starts_with("HTTP/1.1 429"), "{raw}");
+    // Queue overflow is transient, so — like the load-shedding `503` —
+    // the response tells retrying clients when to come back.
+    assert!(raw.contains("Retry-After:"), "429 must carry Retry-After:\n{raw}");
     assert_eq!(metric(addr, "lopacityd_jobs_rejected"), 1);
 
     // A cancelled queued job is skipped without occupying the worker.

@@ -9,11 +9,25 @@ use crate::{Graph, GraphError, VertexId};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+/// Most vertices an edge list may materialize. The largest SNAP dumps the
+/// paper samples stay well under this, while a single malicious line like
+/// `0 4000000000` would otherwise allocate ~100 GB of adjacency headers
+/// before a single edge lands.
+pub const MAX_EDGE_LIST_VERTICES: usize = 100_000_000;
+
 /// Reads an edge list. Vertex count is `max id + 1` unless `min_vertices`
 /// demands more. Duplicate edges (including reversed duplicates, which SNAP
 /// directed dumps contain) are merged silently; self-loops are dropped,
 /// mirroring how the paper reduces raw datasets to simple graphs.
 pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<Graph, GraphError> {
+    if min_vertices > MAX_EDGE_LIST_VERTICES {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!(
+                "declared vertex count {min_vertices} exceeds the {MAX_EDGE_LIST_VERTICES} cap"
+            ),
+        });
+    }
     let reader = BufReader::new(reader);
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_id: u64 = 0;
@@ -43,10 +57,13 @@ pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<Graph, 
         if a == b {
             continue; // drop self-loops
         }
-        if a > VertexId::MAX as u64 || b > VertexId::MAX as u64 {
+        // A graph on ids `0..=max_id` has `max_id + 1` vertices, so the cap
+        // bounds the ids themselves — this both keeps `n` inside u32 range
+        // and refuses the quadratic-memory ids a hostile list could declare.
+        if a >= MAX_EDGE_LIST_VERTICES as u64 || b >= MAX_EDGE_LIST_VERTICES as u64 {
             return Err(GraphError::VertexOutOfRange {
                 vertex: a.max(b),
-                num_vertices: VertexId::MAX as usize,
+                num_vertices: MAX_EDGE_LIST_VERTICES,
             });
         }
         max_id = max_id.max(a).max(b);
@@ -146,6 +163,24 @@ mod tests {
         }
         let err = read_edge_list("42\n".as_bytes(), 0).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn oversized_vertex_ids_are_errors_not_giant_allocations() {
+        // `0 4294967295` would need n = 2^32 (one past u32 range) and
+        // `0 4000000000` would allocate ~90 GB of adjacency headers; both
+        // must be refused at parse time.
+        for text in ["0 4294967295\n", "0 4000000000\n", "18446744073709551615 1\n"] {
+            let err = read_edge_list(text.as_bytes(), 0).unwrap_err();
+            assert!(
+                matches!(err, GraphError::VertexOutOfRange { .. }),
+                "{text:?} gave {err:?}"
+            );
+        }
+        // The `# vertices N` header is capped the same way.
+        let huge = "# vertices 99999999999\n0 1\n";
+        let err = read_edge_list_with_header(huge.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }), "{err:?}");
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! more.
 //!
 //! Supported: request-line + header parsing from any [`BufRead`],
-//! `Content-Length` bodies, query-string splitting, and a response writer
-//! that always answers `Connection: close` (one exchange per connection —
-//! the daemon's job submissions are seconds-to-minutes of work, so
-//! keep-alive would buy nothing and cost connection-state bookkeeping).
+//! `Content-Length` bodies, query-string splitting, HTTP/1.1 keep-alive
+//! (requests carry [`Request::keep_alive`]; responses answer
+//! `Connection: keep-alive` when [`Response::keep_alive`] opts in, and
+//! `Connection: close` otherwise), a response writer, and a client-side
+//! response parser ([`ClientResponse`]) for the `lopacity-client` crate.
 //! Not supported, by design: chunked transfer encoding, multipart bodies,
 //! TLS, HTTP/2, pipelining.
 //!
@@ -75,13 +76,33 @@ pub struct Request {
     /// The body, sized by `Content-Length` (empty when the header is
     /// absent or `0`).
     pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open: HTTP/1.1
+    /// defaults to yes unless `Connection: close`; HTTP/1.0 requires an
+    /// explicit `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
-    /// Parses one request from `reader` (blocking until the body is
-    /// complete). Returns [`HttpError::ConnectionClosed`] on a clean EOF
-    /// before the first byte — the normal end of a connection.
+    /// Parses one request from `reader` with the default [`MAX_BODY`] cap
+    /// (blocking until the body is complete). Returns
+    /// [`HttpError::ConnectionClosed`] on a clean EOF before the first
+    /// byte — the normal end of a connection.
     pub fn parse<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+        Request::parse_with_limits(reader, MAX_BODY)
+    }
+
+    /// [`Request::parse`] with a caller-chosen body cap (never above
+    /// [`MAX_BODY`]) — the daemon wires its `--max-body` flag through
+    /// here. A declared `Content-Length` beyond the cap is rejected
+    /// *before* any body byte is read or allocated, and the body buffer
+    /// grows incrementally with the bytes actually received, so a client
+    /// declaring a huge length and stalling never costs the declared
+    /// allocation.
+    pub fn parse_with_limits<R: BufRead>(
+        reader: &mut R,
+        max_body: usize,
+    ) -> Result<Request, HttpError> {
+        let max_body = max_body.min(MAX_BODY);
         let line = read_line(reader)?;
         if line.is_empty() {
             return Err(HttpError::ConnectionClosed);
@@ -120,28 +141,35 @@ impl Request {
 
         let length = match headers.get("content-length") {
             Some(v) => v
-                .parse::<usize>()
+                .parse::<u64>()
                 .map_err(|_| HttpError::Malformed("invalid Content-Length"))?,
             None => 0,
         };
-        if length > MAX_BODY {
+        if length > max_body as u64 {
             return Err(HttpError::TooLarge("body"));
         }
-        let mut body = vec![0u8; length];
-        reader.read_exact(&mut body).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                HttpError::ConnectionClosed
-            } else {
-                HttpError::Io(e.to_string())
-            }
-        })?;
+        let body = read_body(reader, length as usize)?;
 
-        Ok(Request { method: method.to_string(), path, query, headers, body })
+        let keep_alive = {
+            let connection =
+                headers.get("connection").map(|v| v.to_ascii_lowercase()).unwrap_or_default();
+            match version {
+                "HTTP/1.0" => connection == "keep-alive",
+                _ => connection != "close",
+            }
+        };
+
+        Ok(Request { method: method.to_string(), path, query, headers, body, keep_alive })
     }
 
     /// The body as UTF-8, or `None` when it is not valid UTF-8.
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Case-insensitive header lookup (keys are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
     }
 
     /// Looks up a `key=value` pair in the query string (first match;
@@ -169,6 +197,25 @@ pub fn set_stream_deadlines(
 ) -> io::Result<()> {
     stream.set_read_timeout(read)?;
     stream.set_write_timeout(write)
+}
+
+/// Reads exactly `length` body bytes, growing the buffer with the bytes
+/// actually received (chunked `read`s) instead of allocating the declared
+/// length up front — a stalling or lying peer costs at most one chunk.
+fn read_body<R: BufRead>(reader: &mut R, length: usize) -> Result<Vec<u8>, HttpError> {
+    const CHUNK: usize = 64 * 1024;
+    let mut body = Vec::with_capacity(length.min(CHUNK));
+    let mut chunk = [0u8; CHUNK];
+    while body.len() < length {
+        let want = (length - body.len()).min(CHUNK);
+        match reader.read(&mut chunk[..want]) {
+            Ok(0) => return Err(HttpError::ConnectionClosed),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+    Ok(body)
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line, without its terminator.
@@ -208,6 +255,8 @@ pub struct Response {
     /// `503`), written after the built-in ones.
     extra_headers: Vec<(String, String)>,
     body: Vec<u8>,
+    /// Whether to answer `Connection: keep-alive` instead of `close`.
+    keep_alive: bool,
 }
 
 impl Response {
@@ -222,6 +271,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             409 => "Conflict",
+            413 => "Payload Too Large",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -233,6 +283,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             extra_headers: Vec::new(),
             body: Vec::new(),
+            keep_alive: false,
         }
     }
 
@@ -259,20 +310,35 @@ impl Response {
         self
     }
 
+    /// Opts this response into `Connection: keep-alive` (the server's
+    /// connection loop sets it when the request asked to stay open and
+    /// the daemon is not draining).
+    pub fn keep_alive(mut self, keep_alive: bool) -> Response {
+        self.keep_alive = keep_alive;
+        self
+    }
+
+    /// Whether this response will answer `Connection: keep-alive`.
+    pub fn keeps_alive(&self) -> bool {
+        self.keep_alive
+    }
+
     /// The status code this response will send.
     pub fn status(&self) -> u16 {
         self.status
     }
 
-    /// Serializes the response (always `Connection: close`).
+    /// Serializes the response (`Connection: close` unless
+    /// [`Response::keep_alive`] opted in).
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason,
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if self.keep_alive { "keep-alive" } else { "close" }
         )?;
         for (name, value) in &self.extra_headers {
             write!(w, "{name}: {value}\r\n")?;
@@ -280,6 +346,93 @@ impl Response {
         w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
+    }
+}
+
+/// One parsed HTTP/1.x *response*, as read by a client (`lopacity-client`
+/// and the `lopacify submit` wrapper). Mirrors [`Request::parse`]'s
+/// defensive posture: the same line/header/body caps apply, so a hostile
+/// or corrupted server cannot drive the client into unbounded allocation
+/// either.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Headers, keys lowercased; later duplicates overwrite earlier ones.
+    pub headers: HashMap<String, String>,
+    /// The body, sized by `Content-Length`.
+    pub body: Vec<u8>,
+    /// Whether the server will keep the connection open after this
+    /// exchange (`Connection: keep-alive`, or HTTP/1.1 without `close`).
+    pub keep_alive: bool,
+}
+
+impl ClientResponse {
+    /// Parses one response from `reader` (blocking until the body is
+    /// complete).
+    pub fn parse<R: BufRead>(reader: &mut R) -> Result<ClientResponse, HttpError> {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            return Err(HttpError::ConnectionClosed);
+        }
+        let mut parts = line.splitn(3, ' ');
+        let version = parts.next().ok_or(HttpError::Malformed("empty status line"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        let status = parts
+            .next()
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or(HttpError::Malformed("invalid status code"))?;
+
+        let mut headers = HashMap::new();
+        loop {
+            let line = read_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::TooLarge("header count"));
+            }
+            let (name, value) =
+                line.split_once(':').ok_or(HttpError::Malformed("header without ':'"))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::Malformed("invalid header name"));
+            }
+            headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+        }
+
+        let length = match headers.get("content-length") {
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| HttpError::Malformed("invalid Content-Length"))?,
+            None => 0,
+        };
+        if length > MAX_BODY as u64 {
+            return Err(HttpError::TooLarge("body"));
+        }
+        let body = read_body(reader, length as usize)?;
+
+        let keep_alive = {
+            let connection =
+                headers.get("connection").map(|v| v.to_ascii_lowercase()).unwrap_or_default();
+            match version {
+                "HTTP/1.0" => connection == "keep-alive",
+                _ => connection != "close",
+            }
+        };
+
+        Ok(ClientResponse { status, headers, body, keep_alive })
+    }
+
+    /// The body as UTF-8, or `None` when it is not valid UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// A header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
     }
 }
 
@@ -389,6 +542,72 @@ mod tests {
             started.elapsed()
         );
         drop(client);
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_http_11_defaults() {
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().keep_alive);
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().keep_alive);
+    }
+
+    #[test]
+    fn keep_alive_responses_say_so() {
+        let mut out = Vec::new();
+        Response::ok("x").keep_alive(true).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("Connection: close"), "{text}");
+    }
+
+    #[test]
+    fn body_cap_rejects_declared_length_before_reading() {
+        // Content-Length past the cap must fail as TooLarge without
+        // waiting for (or allocating) the declared bytes.
+        let raw = format!("POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n", u64::MAX);
+        assert_eq!(parse(&raw).unwrap_err(), HttpError::TooLarge("body"));
+        let raw = "POST /jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\nbody";
+        let err = Request::parse_with_limits(&mut BufReader::new(raw.as_bytes()), 10).unwrap_err();
+        assert_eq!(err, HttpError::TooLarge("body"));
+        // At or under the cap, the body parses as before.
+        let raw = "POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let req = Request::parse_with_limits(&mut BufReader::new(raw.as_bytes()), 10).unwrap();
+        assert_eq!(req.body_str(), Some("body"));
+    }
+
+    #[test]
+    fn client_response_round_trips_a_server_response() {
+        let mut wire = Vec::new();
+        Response::new(429)
+            .header("Retry-After", "3")
+            .text("queue full\n")
+            .keep_alive(true)
+            .write_to(&mut wire)
+            .unwrap();
+        let resp = ClientResponse::parse(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("3"));
+        assert_eq!(resp.body_str(), Some("queue full\n"));
+        assert!(resp.keep_alive);
+
+        let mut wire = Vec::new();
+        Response::ok("done").write_to(&mut wire).unwrap();
+        let resp = ClientResponse::parse(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!resp.keep_alive);
+    }
+
+    #[test]
+    fn client_response_rejects_garbage() {
+        let p = |raw: &str| ClientResponse::parse(&mut BufReader::new(raw.as_bytes()));
+        assert_eq!(p("").unwrap_err(), HttpError::ConnectionClosed);
+        assert!(matches!(p("ICY 200 OK\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(p("HTTP/1.1 abc OK\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            p("HTTP/1.1 200 OK\r\nContent-Length: 99999999999999999999\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Anchors for the admission-control footprint estimator: the spec-only
+//! prediction `estimate_footprint(n, m, l, store)` against the bytes a
+//! real [`DistStore`] build actually occupies, at the two scales the
+//! paper's memory experiments report (`n = 10³` and `n = 10⁴`).
+//!
+//! The daemon rejects jobs *before* building anything based on this
+//! estimate, so the property that matters for safety is that the build
+//! never dwarfs the prediction; the property that matters for utilization
+//! is that the prediction is not orders of magnitude above reality.
+
+use lopacity_apsp::{estimate_footprint, ApspEngine, DistStore, StoreBackend};
+use lopacity_gen::er::gnm;
+use lopacity_util::Parallelism;
+
+const L: u8 = 3;
+
+/// Builds the store for a seeded G(n, m) and returns
+/// `(measured_bytes, estimated_bytes)`.
+fn anchor(n: usize, m: usize, backend: StoreBackend) -> (u64, u64) {
+    let graph = gnm(n, m, 42);
+    let store = DistStore::build(&graph, L, ApspEngine::TruncatedBfs, Parallelism::Fixed(1), backend);
+    (store.storage_bytes() as u64, estimate_footprint(n, m, L, backend))
+}
+
+/// Dense is the easy half: the packed triangle's size is a closed form of
+/// `n` and `l` alone, so the estimate must be *exact*.
+#[test]
+fn dense_estimate_is_exact() {
+    for n in [1_000usize, 10_000] {
+        let (measured, estimated) = anchor(n, 2 * n, StoreBackend::Dense);
+        assert_eq!(estimated, measured, "dense n={n}");
+    }
+}
+
+/// Sparse goes through the branching-process ball approximation; on the
+/// locally tree-like G(n, m) family it must land within a small constant
+/// factor of the arena a real build allocates — close enough that a
+/// budget sized from the estimate neither admits a job 4x its prediction
+/// nor wastes 4x the memory it reserves.
+#[test]
+fn sparse_estimate_tracks_measured_bytes_within_4x() {
+    for n in [1_000usize, 10_000] {
+        let (measured, estimated) = anchor(n, 2 * n, StoreBackend::Sparse);
+        assert!(
+            estimated <= measured * 4,
+            "n={n}: estimate {estimated} is more than 4x the measured {measured} bytes"
+        );
+        assert!(
+            measured <= estimated * 4,
+            "n={n}: measured {measured} bytes exceed 4x the {estimated}-byte estimate"
+        );
+    }
+}
+
+/// `Auto` is what job specs default to, so it is what admission control
+/// actually prices. Whatever representation the build resolves to, the
+/// real bytes must stay within the same 4x envelope of the prediction —
+/// the estimator and the builder must not disagree about which backend
+/// wins by more than that.
+#[test]
+fn auto_estimate_bounds_the_resolved_build() {
+    for n in [1_000usize, 10_000] {
+        let (measured, estimated) = anchor(n, 2 * n, StoreBackend::Auto);
+        assert!(
+            measured <= estimated * 4,
+            "n={n}: auto build used {measured} bytes against a {estimated}-byte estimate"
+        );
+        assert!(
+            estimated <= measured * 4,
+            "n={n}: auto estimate {estimated} is more than 4x the measured {measured} bytes"
+        );
+    }
+}
+
+/// Monotonicity sanity for the admission boundary: a bigger declared job
+/// never estimates smaller (in `n` at fixed density, and in `l`), so a
+/// budget that rejects a spec also rejects every strictly larger one.
+#[test]
+fn estimates_are_monotone_in_declared_size() {
+    let mut last = 0u64;
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        let e = estimate_footprint(n, 2 * n, L, StoreBackend::Auto);
+        assert!(e >= last, "estimate shrank at n={n}: {e} < {last}");
+        last = e;
+    }
+    let mut last = 0u64;
+    for l in 1..=8u8 {
+        let e = estimate_footprint(10_000, 20_000, l, StoreBackend::Sparse);
+        assert!(e >= last, "sparse estimate shrank at l={l}: {e} < {last}");
+        last = e;
+    }
+}

@@ -1,0 +1,393 @@
+//! Structured fuzzing of the five attacker-facing parsers:
+//!
+//! 1. `lopacity_graph::io::read_edge_list` (uploaded edge lists),
+//! 2. `lopacity_daemon::JobSpec::parse` (job specs over `POST /jobs`),
+//! 3. `lopacity::EdgeEvent::parse_stream` (churn event batches),
+//! 4. `lopacity_daemon::journal::scan_frames` (a corrupt on-disk journal),
+//! 5. `lopacity_util::http::Request::parse` (raw bytes off a socket).
+//!
+//! Each parser takes `FUZZ_CASES` inputs (default 256; the CI
+//! `parser-fuzz` job elevates it) drawn from three mutators — raw byte
+//! soup, a token-soup assembler biased toward each grammar's keywords
+//! and pathological numbers, and byte-level mutations of valid
+//! exemplars — plus every file in the checked-in regression corpus under
+//! `tests/fuzz_corpus/`. The contract under test:
+//!
+//! * **no panics** — malformed input is an `Err`, never an abort;
+//! * **no unbounded allocation** — a tracking global allocator fails the
+//!   test if any single allocation exceeds 64 MB (a tiny body must not
+//!   command a multi-gigabyte `Vec::with_capacity` from a declared
+//!   length);
+//! * parse errors carry a message (line-numbered where the grammar has
+//!   lines).
+//!
+//! Generation is deterministic: case RNGs derive from
+//! FNV-1a(parser name) ⊕ case index, the same scheme as the vendored
+//! proptest, so any failure replays exactly.
+
+use std::io::Cursor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+// --------------------------------------------------------------------
+// Allocation guard: every allocation in the process is measured; a fuzz
+// case asserts nothing crossed the cap while it ran. Fuzz bodies hold a
+// global lock so parallel test threads cannot blame each other.
+
+const ALLOC_CAP: usize = 64 * 1024 * 1024;
+
+struct TrackingAlloc;
+
+static MAX_ALLOC: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl std::alloc::GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        MAX_ALLOC.fetch_max(layout.size(), Ordering::Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(
+        &self,
+        ptr: *mut u8,
+        layout: std::alloc::Layout,
+        new_size: usize,
+    ) -> *mut u8 {
+        MAX_ALLOC.fetch_max(new_size, Ordering::Relaxed);
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+static FUZZ_LOCK: Mutex<()> = Mutex::new(());
+
+fn cases() -> u64 {
+    std::env::var("FUZZ_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
+
+/// FNV-1a, matching the vendored proptest's seed derivation.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn rng_for(name: &str, case: u64) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(name) ^ case)
+}
+
+// --------------------------------------------------------------------
+// Mutators.
+
+/// Raw byte soup (includes NUL, newlines, UTF-8 fragments).
+fn byte_soup(rng: &mut StdRng) -> Vec<u8> {
+    let len = rng.random_range(0usize..2048);
+    (0..len).map(|_| rng.random::<u8>()).collect()
+}
+
+/// Numbers that historically break length arithmetic.
+const EVIL_NUMBERS: &[&str] = &[
+    "0",
+    "1",
+    "-1",
+    "007",
+    "4294967295",
+    "4294967296",
+    "9223372036854775807",
+    "18446744073709551615",
+    "18446744073709551616",
+    "99999999999999999999999999",
+    "0.5",
+    "1e308",
+    "-0.0",
+    "NaN",
+    "inf",
+];
+
+/// Assembles lines of whitespace-joined tokens from a vocabulary mixed
+/// with pathological numbers — close enough to each grammar to reach
+/// deep paths, wrong enough to hit every rejection edge.
+fn token_soup(rng: &mut StdRng, vocab: &[&str]) -> Vec<u8> {
+    let lines = rng.random_range(0usize..24);
+    let mut out = String::new();
+    for _ in 0..lines {
+        let tokens = rng.random_range(0usize..6);
+        for i in 0..tokens {
+            if i > 0 {
+                out.push(if rng.random::<bool>() { ' ' } else { '\t' });
+            }
+            let pool = if rng.random_range(0u32..3) == 0 { EVIL_NUMBERS } else { vocab };
+            out.push_str(pool[rng.random_range(0usize..pool.len())]);
+        }
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Byte-level mutation of a valid exemplar: flips, truncations,
+/// duplications, splices of random bytes.
+fn mutate(rng: &mut StdRng, exemplar: &[u8]) -> Vec<u8> {
+    let mut bytes = exemplar.to_vec();
+    for _ in 0..rng.random_range(1usize..8) {
+        if bytes.is_empty() {
+            bytes.push(rng.random::<u8>());
+            continue;
+        }
+        match rng.random_range(0u32..4) {
+            0 => {
+                let at = rng.random_range(0usize..bytes.len());
+                bytes[at] = rng.random::<u8>();
+            }
+            1 => {
+                let at = rng.random_range(0usize..bytes.len());
+                bytes.truncate(at);
+            }
+            2 => {
+                let at = rng.random_range(0usize..bytes.len());
+                bytes.insert(at, rng.random::<u8>());
+            }
+            _ => {
+                let at = rng.random_range(0usize..bytes.len());
+                let chunk: Vec<u8> = bytes[at..].iter().copied().take(16).collect();
+                bytes.extend_from_slice(&chunk);
+            }
+        }
+    }
+    bytes
+}
+
+/// One input per case: round-robin over the three mutators.
+fn draw(rng: &mut StdRng, case: u64, vocab: &[&str], exemplars: &[&[u8]]) -> Vec<u8> {
+    match case % 3 {
+        0 => byte_soup(rng),
+        1 => token_soup(rng, vocab),
+        _ => {
+            let pick = rng.random_range(0usize..exemplars.len());
+            mutate(rng, exemplars[pick])
+        }
+    }
+}
+
+/// Every checked-in regression case for `parser` (panics if the corpus
+/// directory is missing — the corpus is part of the contract).
+fn corpus(parser: &str) -> Vec<(String, Vec<u8>)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../tests/fuzz_corpus");
+    // The package lives at tests/, so the corpus is a sibling: try both.
+    let dir = if dir.exists() {
+        dir.join(parser)
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz_corpus").join(parser)
+    };
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("corpus {dir:?}: {e}")) {
+        let path = entry.expect("corpus entry").path();
+        out.push((path.display().to_string(), std::fs::read(&path).expect("corpus file")));
+    }
+    assert!(!out.is_empty(), "empty corpus for {parser}");
+    out
+}
+
+/// Runs `parse` on one input: must neither panic nor allocate past the
+/// cap. Returns whatever the parser returned.
+fn check<T>(label: &str, input: &[u8], parse: impl FnOnce(&[u8]) -> T) -> T {
+    MAX_ALLOC.store(0, Ordering::Relaxed);
+    let result = catch_unwind(AssertUnwindSafe(|| parse(input)));
+    let peak = MAX_ALLOC.load(Ordering::Relaxed);
+    let outcome = match result {
+        Ok(value) => value,
+        Err(_) => panic!("{label}: parser panicked on {} bytes: {:?}", input.len(), preview(input)),
+    };
+    assert!(
+        peak <= ALLOC_CAP,
+        "{label}: allocation of {peak} bytes (cap {ALLOC_CAP}) on input {:?}",
+        preview(input)
+    );
+    outcome
+}
+
+fn preview(input: &[u8]) -> String {
+    let head: Vec<u8> = input.iter().copied().take(120).collect();
+    String::from_utf8_lossy(&head).into_owned()
+}
+
+/// The shared driver: corpus first, then `cases()` generated inputs.
+fn fuzz_parser(
+    name: &str,
+    vocab: &[&str],
+    exemplars: &[&[u8]],
+    run: impl Fn(&str, &[u8]),
+) {
+    let _guard = FUZZ_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    for (path, bytes) in corpus(name) {
+        run(&format!("{name} corpus {path}"), &bytes);
+    }
+    for case in 0..cases() {
+        let mut rng = rng_for(name, case);
+        let input = draw(&mut rng, case, vocab, exemplars);
+        run(&format!("{name} case {case}"), &input);
+    }
+}
+
+// --------------------------------------------------------------------
+// 1. Edge lists.
+
+#[test]
+fn fuzz_edge_list_parser() {
+    let vocab: &[&str] = &[
+        "#", "%", "# vertices", "vertices", "0", "1", "2", "10", "a", "b", "0 1", "1 0", "",
+    ];
+    let exemplars: &[&[u8]] =
+        &[b"0 1\n1 2\n0 2\n", b"# vertices 5\n0 1\n3 4\n", b"# comment\n% comment\n7 8\n"];
+    fuzz_parser("edge_list", vocab, exemplars, |label, input| {
+        let outcome = check(label, input, |bytes| {
+            lopacity_graph::io::read_edge_list(Cursor::new(bytes.to_vec()), 0)
+        });
+        if let Err(e) = outcome {
+            let message = e.to_string();
+            assert!(!message.is_empty(), "{label}: empty parse error");
+        }
+    });
+}
+
+// --------------------------------------------------------------------
+// 2. Job specs.
+
+#[test]
+fn fuzz_job_spec_parser() {
+    let vocab: &[&str] = &[
+        "mode", "anonymize", "churn", "l", "theta", "seed", "method", "rem", "rem-ins", "exact",
+        "store", "auto", "dense", "sparse", "engine", "max_trials", "max_steps", "ikey",
+        "graph", "gnm", "inline", "dataset", "google", "enron", "0 1", "", "a-b.c:d_e",
+    ];
+    let exemplars: &[&[u8]] = &[
+        b"mode anonymize\nl 2\ntheta 0.5\ngraph gnm 100 300 7\n",
+        b"l 1\ntheta 1.0\nikey k-1\ngraph inline\n\n0 1\n1 2\n",
+        b"mode churn\nl 1\ntheta 0.6\nseed 5\ngraph gnm 30 60 9\n",
+        b"l 1\ngraph dataset google 200\n",
+    ];
+    fuzz_parser("jobspec", vocab, exemplars, |label, input| {
+        let Ok(text) = std::str::from_utf8(input) else { return };
+        let outcome = check(label, input, |_| lopacity_daemon::JobSpec::parse(text));
+        match outcome {
+            Ok(spec) => {
+                // Accepted specs must survive the admission arithmetic and
+                // the canonical round trip without building anything.
+                let _ = check(label, input, |_| spec.estimated_footprint());
+                let canonical = spec.canonical_body();
+                let reparsed = lopacity_daemon::JobSpec::parse(&canonical)
+                    .unwrap_or_else(|e| panic!("{label}: canonical body rejected: {e}"));
+                assert_eq!(reparsed.canonical_body(), canonical, "{label}: unstable canon");
+            }
+            Err(message) => assert!(!message.is_empty(), "{label}: empty parse error"),
+        }
+    });
+}
+
+// --------------------------------------------------------------------
+// 3. Churn event streams.
+
+#[test]
+fn fuzz_event_stream_parser() {
+    let vocab: &[&str] = &["+", "-", "*", "#", "%", "0", "1", "2", "+ 0 1", "- 1 2", ""];
+    let exemplars: &[&[u8]] = &[b"+ 0 1\n- 1 2\n", b"# batch\n+ 3 4\n", b"- 0 1\n+ 0 1\n"];
+    fuzz_parser("events", vocab, exemplars, |label, input| {
+        let Ok(text) = std::str::from_utf8(input) else { return };
+        let outcome = check(label, input, |_| lopacity::EdgeEvent::parse_stream(text));
+        if let Err(message) = outcome {
+            assert!(!message.is_empty(), "{label}: empty parse error");
+        }
+    });
+}
+
+// --------------------------------------------------------------------
+// 4. Journal replay.
+
+#[test]
+fn fuzz_journal_scanner() {
+    let vocab: &[&str] = &[
+        "lopj1", "submit", "phase", "checkpoint", "events", "result", "done", "failed",
+        "0000000000000000", "deadbeefdeadbeef", "ZZZZ", "payload",
+    ];
+    // Valid frames straight from a real journal, so mutations explore
+    // the checksum/length/torn-tail edges rather than dying at `lopj1`.
+    let dir = std::env::temp_dir().join(format!("lop-fuzz-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let faults = std::sync::Arc::new(lopacity_util::FaultPlan::none());
+    let (journal, _) = lopacity_daemon::Journal::open(&dir, faults).expect("journal");
+    journal
+        .append(&lopacity_daemon::Record::Submit {
+            id: 1,
+            spec: "mode anonymize\nl 1\ntheta 1.0\ngraph gnm 12 20 3\n".to_string(),
+        })
+        .expect("append");
+    journal
+        .append(&lopacity_daemon::Record::Phase {
+            id: 1,
+            phase: "done".to_string(),
+            summary: "mode anonymize\nachieved true\n".to_string(),
+        })
+        .expect("append");
+    drop(journal);
+    let valid = std::fs::read(dir.join("journal.log")).expect("journal bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+    let exemplars: &[&[u8]] = &[&valid, b"lopj1 submit 1 4 0000000000000000\nabcd\n"];
+    fuzz_parser("journal", vocab, exemplars, |label, input| {
+        let (records, offset, _torn) =
+            check(label, input, lopacity_daemon::journal::scan_frames);
+        assert!(offset <= input.len(), "{label}: replay offset past the buffer");
+        drop(records);
+    });
+}
+
+// --------------------------------------------------------------------
+// 5. HTTP requests.
+
+#[test]
+fn fuzz_http_request_parser() {
+    let vocab: &[&str] = &[
+        "GET",
+        "POST",
+        "PUT",
+        "/jobs",
+        "/jobs/1",
+        "/metrics",
+        "HTTP/1.1",
+        "HTTP/1.0",
+        "HTTP/2",
+        "Content-Length:",
+        "Connection:",
+        "close",
+        "keep-alive",
+        "Idempotency-Key:",
+        "Host:",
+        "a:b",
+        ":",
+        "",
+    ];
+    let exemplars: &[&[u8]] = &[
+        b"GET /metrics HTTP/1.1\r\n\r\n",
+        b"POST /jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\nl 1\n\n",
+        b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+    ];
+    fuzz_parser("http", vocab, exemplars, |label, input| {
+        let outcome = check(label, input, |bytes| {
+            let mut cursor = Cursor::new(bytes.to_vec());
+            lopacity_util::http::Request::parse(&mut cursor)
+        });
+        if let Err(e) = outcome {
+            assert!(!e.to_string().is_empty(), "{label}: empty parse error");
+        }
+    });
+}
